@@ -1,0 +1,115 @@
+// peats-bench regenerates the paper's evaluation tables on the running
+// implementation (see DESIGN.md §4 for the experiment index):
+//
+//	peats-bench -table bits        E1: memory comparison (§5.2, fn. 3-4)
+//	peats-bench -table ops         E8: operation counts vs ACL baseline (§7)
+//	peats-bench -table resilience  E2: n ≥ 3t+1 bound (Thm. 2 / Cor. 1)
+//	peats-bench -table kvalued     E3: n ≥ (k+1)t+1 bound (Thms. 3-4)
+//	peats-bench -table all         everything
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"peats/internal/bench"
+)
+
+func main() {
+	var (
+		table   = flag.String("table", "all", "table to print: bits|ops|resilience|kvalued|ablation|all")
+		tsFlag  = flag.String("t", "1,2,3,4", "comma-separated fault bounds t")
+		ksFlag  = flag.String("k", "2,3,4", "comma-separated domain sizes k (kvalued table)")
+		probe   = flag.Duration("probe", 500*time.Millisecond, "stall window for below-bound probes")
+		timeout = flag.Duration("timeout", 5*time.Minute, "overall deadline")
+	)
+	flag.Parse()
+	if err := run(*table, *tsFlag, *ksFlag, *probe, *timeout); err != nil {
+		fmt.Fprintln(os.Stderr, "peats-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(table, tsFlag, ksFlag string, probe, timeout time.Duration) error {
+	ts, err := parseInts(tsFlag)
+	if err != nil {
+		return fmt.Errorf("-t: %w", err)
+	}
+	ks, err := parseInts(ksFlag)
+	if err != nil {
+		return fmt.Errorf("-k: %w", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+
+	want := func(name string) bool { return table == "all" || table == name }
+	printed := false
+
+	if want("bits") {
+		fmt.Println("E1 — memory to solve strong binary consensus (paper §5.2):")
+		rows, err := bench.BitsTable(ctx, ts)
+		if err != nil {
+			return err
+		}
+		bench.WriteBitsTable(os.Stdout, rows)
+		fmt.Println()
+		printed = true
+	}
+	if want("ops") {
+		fmt.Println("E8 — measured shared-memory operations, PEATS vs sticky-bit/ACL baseline (§7):")
+		rows, err := bench.OpsTable(ctx, ts)
+		if err != nil {
+			return err
+		}
+		bench.WriteOpsTable(os.Stdout, rows)
+		fmt.Println()
+		printed = true
+	}
+	if want("resilience") {
+		fmt.Println("E2 — strong binary consensus resilience bound n ≥ 3t+1 (Cor. 1):")
+		bench.WriteResilienceTable(os.Stdout, bench.ResilienceTable(ts, probe))
+		fmt.Println()
+		printed = true
+	}
+	if want("ablation") {
+		fmt.Println("Ablations — design-choice costs (DESIGN.md §4):")
+		rows, err := bench.AblationTable(ctx, 2000)
+		if err != nil {
+			return err
+		}
+		bench.WriteAblationTable(os.Stdout, rows)
+		fmt.Println()
+		printed = true
+	}
+	if want("kvalued") {
+		fmt.Println("E3 — k-valued bound n ≥ (k+1)t+1 (Thms. 3-4), t = 1:")
+		bench.WriteKValuedTable(os.Stdout, bench.KValuedTable(ks, []int{1}, probe))
+		fmt.Println()
+		printed = true
+	}
+	if !printed {
+		return fmt.Errorf("unknown table %q", table)
+	}
+	return nil
+}
+
+func parseInts(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, err
+		}
+		if v < 1 {
+			return nil, fmt.Errorf("value %d must be ≥ 1", v)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

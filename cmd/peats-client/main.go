@@ -1,0 +1,180 @@
+// peats-client is an interactive shell for a TCP-deployed replicated
+// PEATS served by peats-server instances.
+//
+//	peats-client -id alice -peers r0=127.0.0.1:7000,... -master secret
+//
+// Commands (tuple fields: bare integers, 'quoted strings', * wildcard,
+// ?name formal):
+//
+//	out  <field> ...          insert an entry
+//	rdp  <field> ...          non-blocking read
+//	inp  <field> ...          non-blocking destructive read
+//	cas  <tmpl fields> -> <entry fields>   conditional atomic swap
+//	quit
+package main
+
+import (
+	"bufio"
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"peats/internal/auth"
+	"peats/internal/bft"
+	"peats/internal/transport"
+	"peats/internal/tuple"
+)
+
+func main() {
+	var (
+		id     = flag.String("id", "client", "client identity (provisioned on the servers)")
+		peers  = flag.String("peers", "", "comma-separated id=addr pairs for all replicas")
+		fFlag  = flag.Int("f", 1, "tolerated Byzantine replicas")
+		master = flag.String("master", "", "shared master secret")
+	)
+	flag.Parse()
+	if err := run(*id, *peers, *master, *fFlag); err != nil {
+		fmt.Fprintln(os.Stderr, "peats-client:", err)
+		os.Exit(1)
+	}
+}
+
+func run(id, peers, master string, f int) error {
+	if peers == "" || master == "" {
+		return fmt.Errorf("-peers and -master are required")
+	}
+	addrs := make(map[string]string)
+	for _, pair := range strings.Split(peers, ",") {
+		rid, addr, ok := strings.Cut(strings.TrimSpace(pair), "=")
+		if !ok {
+			return fmt.Errorf("bad peer %q", pair)
+		}
+		addrs[rid] = addr
+	}
+	replicaIDs := make([]string, 0, len(addrs))
+	for rid := range addrs {
+		replicaIDs = append(replicaIDs, rid)
+	}
+	sort.Strings(replicaIDs)
+
+	kr := auth.NewKeyringFromMaster([]byte(master), id, replicaIDs)
+	tr, err := transport.NewTCP(id, "127.0.0.1:0", addrs, kr)
+	if err != nil {
+		return err
+	}
+	defer tr.Close()
+	ts := bft.NewRemoteSpace(bft.NewClient(tr, replicaIDs, f))
+
+	fmt.Printf("connected as %s to %v; type 'help'\n", id, replicaIDs)
+	sc := bufio.NewScanner(os.Stdin)
+	for fmt.Print("peats> "); sc.Scan(); fmt.Print("peats> ") {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if line == "quit" || line == "exit" {
+			return nil
+		}
+		if line == "help" {
+			fmt.Println("commands: out|rdp|inp <fields...>, cas <tmpl...> -> <entry...>, quit")
+			fmt.Println("fields: 42, 'text', *, ?x")
+			continue
+		}
+		if err := execute(ts, line); err != nil {
+			fmt.Println("error:", err)
+		}
+	}
+	return sc.Err()
+}
+
+func execute(ts *bft.RemoteSpace, line string) error {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	cmd, rest, _ := strings.Cut(line, " ")
+	switch cmd {
+	case "out":
+		entry, err := parseTuple(rest)
+		if err != nil {
+			return err
+		}
+		if err := ts.Out(ctx, entry); err != nil {
+			return err
+		}
+		fmt.Println("ok")
+	case "rdp", "inp":
+		tmpl, err := parseTuple(rest)
+		if err != nil {
+			return err
+		}
+		op := ts.Rdp
+		if cmd == "inp" {
+			op = ts.Inp
+		}
+		t, ok, err := op(ctx, tmpl)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			fmt.Println("no match")
+			return nil
+		}
+		fmt.Println(t)
+	case "cas":
+		tmplStr, entryStr, ok := strings.Cut(rest, "->")
+		if !ok {
+			return fmt.Errorf("cas wants '<tmpl> -> <entry>'")
+		}
+		tmpl, err := parseTuple(tmplStr)
+		if err != nil {
+			return err
+		}
+		entry, err := parseTuple(entryStr)
+		if err != nil {
+			return err
+		}
+		ins, matched, err := ts.Cas(ctx, tmpl, entry)
+		if err != nil {
+			return err
+		}
+		if ins {
+			fmt.Println("inserted")
+		} else {
+			fmt.Println("exists:", matched)
+		}
+	default:
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+	return nil
+}
+
+// parseTuple reads whitespace-separated fields: integers, 'strings',
+// the * wildcard, and ?name formals.
+func parseTuple(s string) (tuple.Tuple, error) {
+	var fields []tuple.Field
+	for _, tok := range strings.Fields(s) {
+		switch {
+		case tok == "*":
+			fields = append(fields, tuple.Any())
+		case strings.HasPrefix(tok, "?"):
+			fields = append(fields, tuple.Formal(tok[1:]))
+		case strings.HasPrefix(tok, "'"):
+			fields = append(fields, tuple.Str(strings.Trim(tok, "'")))
+		default:
+			v, err := strconv.ParseInt(tok, 10, 64)
+			if err != nil {
+				return tuple.Tuple{}, fmt.Errorf("bad field %q (integers, 'strings', *, ?name)", tok)
+			}
+			fields = append(fields, tuple.Int(v))
+		}
+	}
+	if len(fields) == 0 {
+		return tuple.Tuple{}, fmt.Errorf("empty tuple")
+	}
+	return tuple.T(fields...), nil
+}

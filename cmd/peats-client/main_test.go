@@ -1,0 +1,35 @@
+package main
+
+import "testing"
+
+func TestParseTuple(t *testing.T) {
+	tu, err := parseTuple("'TASK' 42 * ?who")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tu.Arity() != 4 {
+		t.Fatalf("arity %d", tu.Arity())
+	}
+	if s, _ := tu.Field(0).StrValue(); s != "TASK" {
+		t.Errorf("field 0 = %v", tu.Field(0))
+	}
+	if v, _ := tu.Field(1).IntValue(); v != 42 {
+		t.Errorf("field 1 = %v", tu.Field(1))
+	}
+	if !tu.Field(2).IsWildcard() || !tu.Field(3).IsFormal() {
+		t.Error("wildcard/formal parsing broken")
+	}
+	if tu.Field(3).Name() != "who" {
+		t.Errorf("formal name = %q", tu.Field(3).Name())
+	}
+
+	if _, err := parseTuple(""); err == nil {
+		t.Error("empty tuple accepted")
+	}
+	if _, err := parseTuple("notanumber"); err == nil {
+		t.Error("bare word accepted")
+	}
+	if _, err := parseTuple("-17"); err != nil {
+		t.Errorf("negative int rejected: %v", err)
+	}
+}

@@ -1,0 +1,147 @@
+// peats-server runs one replica of a TCP-deployed replicated PEATS
+// (paper Fig. 2). Four replicas with f=1 on one machine:
+//
+//	peats-server -id r0 -listen 127.0.0.1:7000 -peers r0=127.0.0.1:7000,r1=127.0.0.1:7001,r2=127.0.0.1:7002,r3=127.0.0.1:7003 -master secret
+//	peats-server -id r1 -listen 127.0.0.1:7001 -peers ... (same)
+//	... r2, r3 likewise.
+//
+// All replicas (and clients, see peats-client) must share the same
+// -master secret, from which pairwise HMAC keys are derived. The
+// served space uses the allow-all policy unless -policy selects one of
+// the built-in consensus policies.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"sort"
+	"strings"
+	"syscall"
+
+	"log"
+
+	"peats/internal/auth"
+	"peats/internal/bft"
+	"peats/internal/consensus"
+	"peats/internal/policy"
+	"peats/internal/transport"
+	"peats/internal/universal"
+)
+
+func main() {
+	var (
+		id      = flag.String("id", "", "replica identity (must appear in -peers)")
+		listen  = flag.String("listen", "", "listen address, e.g. 127.0.0.1:7000")
+		peers   = flag.String("peers", "", "comma-separated id=addr pairs for ALL replicas")
+		fFlag   = flag.Int("f", 1, "tolerated Byzantine replicas (n = 3f+1)")
+		master  = flag.String("master", "", "shared master secret for pairwise keys")
+		polName = flag.String("policy", "allow-all", "access policy: allow-all|weak|strong:<n>,<t>|lockfree")
+		clients = flag.String("clients", "", "comma-separated client identities to provision keys for")
+		verbose = flag.Bool("v", false, "log protocol events")
+	)
+	flag.Parse()
+	if err := run(*id, *listen, *peers, *clients, *master, *polName, *fFlag, *verbose); err != nil {
+		fmt.Fprintln(os.Stderr, "peats-server:", err)
+		os.Exit(1)
+	}
+}
+
+func run(id, listen, peers, clients, master, polName string, f int, verbose bool) error {
+	if id == "" || listen == "" || peers == "" || master == "" {
+		return fmt.Errorf("-id, -listen, -peers and -master are required")
+	}
+	addrs, err := parsePeers(peers)
+	if err != nil {
+		return err
+	}
+	replicaIDs := make([]string, 0, len(addrs))
+	for rid := range addrs {
+		replicaIDs = append(replicaIDs, rid)
+	}
+	sort.Strings(replicaIDs)
+	if len(replicaIDs) != 3*f+1 {
+		return fmt.Errorf("got %d replicas for f=%d, need %d", len(replicaIDs), f, 3*f+1)
+	}
+
+	pol, err := buildPolicy(polName)
+	if err != nil {
+		return err
+	}
+
+	// Provision pairwise keys for replicas and known clients.
+	all := append([]string{}, replicaIDs...)
+	if clients != "" {
+		all = append(all, strings.Split(clients, ",")...)
+	}
+	kr := auth.NewKeyringFromMaster([]byte(master), id, all)
+
+	tr, err := transport.NewTCP(id, listen, addrs, kr)
+	if err != nil {
+		return err
+	}
+	defer tr.Close()
+
+	var logger *log.Logger
+	if verbose {
+		logger = log.New(os.Stderr, "", log.Lmicroseconds)
+	}
+	rep, err := bft.NewReplica(bft.ReplicaConfig{
+		ID:        id,
+		Replicas:  replicaIDs,
+		F:         f,
+		Transport: tr,
+		Service:   bft.NewSpaceService(pol),
+		Logger:    logger,
+	})
+	if err != nil {
+		return err
+	}
+	rep.Start()
+	defer rep.Stop()
+	fmt.Printf("replica %s serving on %s (group %v, f=%d, policy %s)\n",
+		id, tr.Addr(), replicaIDs, f, polName)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("shutting down")
+	return nil
+}
+
+func parsePeers(s string) (map[string]string, error) {
+	out := make(map[string]string)
+	for _, pair := range strings.Split(s, ",") {
+		id, addr, ok := strings.Cut(strings.TrimSpace(pair), "=")
+		if !ok {
+			return nil, fmt.Errorf("bad peer %q (want id=addr)", pair)
+		}
+		out[id] = addr
+	}
+	return out, nil
+}
+
+// buildPolicy maps a policy name to one of the paper's access policies.
+func buildPolicy(name string) (policy.Policy, error) {
+	switch {
+	case name == "allow-all":
+		return policy.AllowAll(), nil
+	case name == "weak":
+		return consensus.WeakPolicy(), nil
+	case name == "lockfree":
+		return universal.LockFreePolicy(), nil
+	case strings.HasPrefix(name, "strong:"):
+		var n, t int
+		if _, err := fmt.Sscanf(name, "strong:%d,%d", &n, &t); err != nil {
+			return policy.Policy{}, fmt.Errorf("bad strong policy %q (want strong:<n>,<t>)", name)
+		}
+		procs := make([]policy.ProcessID, n)
+		for i := range procs {
+			procs[i] = policy.ProcessID(fmt.Sprintf("p%d", i))
+		}
+		return consensus.StrongPolicy(procs, t, []int64{0, 1}), nil
+	default:
+		return policy.Policy{}, fmt.Errorf("unknown policy %q", name)
+	}
+}

@@ -1,0 +1,50 @@
+package main
+
+import (
+	"testing"
+
+	"peats/internal/policy"
+	"peats/internal/tuple"
+)
+
+func TestParsePeers(t *testing.T) {
+	got, err := parsePeers("r0=127.0.0.1:7000, r1=127.0.0.1:7001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got["r0"] != "127.0.0.1:7000" || got["r1"] != "127.0.0.1:7001" {
+		t.Errorf("got %v", got)
+	}
+	if _, err := parsePeers("r0:missing-equals"); err == nil {
+		t.Error("bad peer accepted")
+	}
+}
+
+func TestBuildPolicy(t *testing.T) {
+	for _, name := range []string{"allow-all", "weak", "lockfree", "strong:4,1"} {
+		if _, err := buildPolicy(name); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+	for _, name := range []string{"nope", "strong:x", "strong:"} {
+		if _, err := buildPolicy(name); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+	// The weak policy actually denies non-cas ops.
+	pol, err := buildPolicy("weak")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inv := policy.Invocation{Invoker: "p", Op: policy.OpOut, Entry: tuple.T(tuple.Int(1))}
+	if pol.Allows(inv, probeState{}) {
+		t.Error("weak policy allows out")
+	}
+}
+
+// probeState is an empty StateView for policy probing.
+type probeState struct{}
+
+func (probeState) Rdp(tuple.Tuple) (tuple.Tuple, bool) { return tuple.Tuple{}, false }
+func (probeState) CountMatching(tuple.Tuple) int       { return 0 }
+func (probeState) ForEach(fn func(tuple.Tuple) bool)   {}

@@ -1,0 +1,84 @@
+package peats_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"peats"
+	"peats/internal/consensus"
+	"peats/internal/policylang"
+	"peats/internal/universal"
+)
+
+// Tuple-space basics: insert, match with wildcards and formal fields.
+func Example() {
+	s := peats.NewSpace(peats.AllowAll())
+	h := s.Handle("p1")
+	ctx := context.Background()
+
+	_ = h.Out(ctx, peats.T(peats.Str("JOB"), peats.Int(7), peats.Str("build")))
+	got, _, _ := h.Rdp(ctx, peats.T(peats.Str("JOB"), peats.Formal("id"), peats.Any()))
+	fmt.Println(got)
+	// Output: <"JOB", 7, "build">
+}
+
+// Weak Byzantine consensus (paper Alg. 1): the first cas wins, later
+// proposers adopt the decision, and the Fig. 3 policy stops everything
+// else.
+func ExampleNewSpace_weakConsensus() {
+	s := peats.NewSpace(consensus.WeakPolicy())
+	ctx := context.Background()
+
+	d1, _ := consensus.NewWeak(s.Handle("p1")).Propose(ctx, peats.Int(42))
+	d2, _ := consensus.NewWeak(s.Handle("p2")).Propose(ctx, peats.Int(99))
+	fmt.Println(d1.Equal(d2))
+
+	// A Byzantine process cannot erase the decision: the policy admits
+	// no inp at all.
+	_, _, err := s.Handle("mallory").Inp(ctx, peats.T(peats.Any(), peats.Any()))
+	fmt.Println(errors.Is(err, peats.ErrDenied))
+	// Output:
+	// true
+	// true
+}
+
+// Policies can be written as text and compiled (the paper §4's generic
+// policy enforcer).
+func ExampleNewPolicy_fromText() {
+	pol, err := policylang.Compile(`
+Rpost: allow out <"NOTE", @invoker, str>
+Rread: allow rdp
+`)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	s := peats.NewSpace(pol)
+	ctx := context.Background()
+
+	fmt.Println(s.Handle("ada").Out(ctx, peats.T(peats.Str("NOTE"), peats.Str("ada"), peats.Str("hi"))))
+	err = s.Handle("bob").Out(ctx, peats.T(peats.Str("NOTE"), peats.Str("ada"), peats.Str("forged")))
+	fmt.Println(errors.Is(err, peats.ErrDenied))
+	// Output:
+	// <nil>
+	// true
+}
+
+// The lock-free universal construction (paper Alg. 3) emulates any
+// deterministic object — here a shared counter.
+func ExampleNewSpace_universalConstruction() {
+	s := peats.NewSpace(universal.LockFreePolicy())
+	ctx := context.Background()
+
+	u := universal.NewLockFree(s.Handle("p1"), universal.CounterType{})
+	for i := 0; i < 3; i++ {
+		r, _ := u.Invoke(ctx, universal.CounterInc())
+		v, _ := universal.ReplyValue(r)
+		fmt.Println(v)
+	}
+	// Output:
+	// 0
+	// 1
+	// 2
+}

@@ -1,0 +1,113 @@
+// Leader election among Byzantine processes using default multivalued
+// consensus (paper §5.4) with optimal resilience n = 3t+1.
+//
+// Seven processes (t = 2 tolerated faults) each nominate a leader by
+// proposing its index. One Byzantine process nominates itself and also
+// tries to force the ⊥ outcome with a fabricated justification; one
+// process crashes silently. The Fig. 5 access policy makes the forgery
+// impossible, and the five remaining correct processes elect the same
+// leader.
+//
+// Run with: go run ./examples/leaderelection
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"peats"
+	"peats/internal/consensus"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "leaderelection:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	const (
+		n = 7
+		t = 2
+	)
+	procs := make([]peats.ProcessID, n)
+	for i := range procs {
+		procs[i] = peats.ProcessID(fmt.Sprintf("node%d", i))
+	}
+	s := peats.NewSpace(consensus.DefaultPolicy(procs, t))
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	// The Byzantine node6 tries to decide ⊥ before anyone proposed.
+	evil := s.Handle(procs[6])
+	_, _, err := evil.Cas(ctx,
+		peats.T(peats.Str("DECISION"), peats.Formal("d"), peats.Any()),
+		peats.T(peats.Str("DECISION"), consensus.Bottom(),
+			consensus.JustificationField(consensus.Justification{})))
+	if errors.Is(err, peats.ErrDenied) {
+		fmt.Println("node6's fabricated ⊥ decision: denied (Fig. 5 Rcas)")
+	} else if err == nil {
+		return errors.New("policy failed to stop the forged ⊥")
+	}
+
+	// Nodes 0-4 are correct and all nominate node2 (say, by highest
+	// uptime); node5 has crashed; node6 nominates itself.
+	votes := map[int]int64{0: 2, 1: 2, 2: 2, 3: 2, 4: 2, 6: 6}
+	var (
+		wg sync.WaitGroup
+		mu sync.Mutex
+	)
+	elected := make(map[peats.ProcessID]peats.Field)
+	for i, vote := range votes {
+		wg.Add(1)
+		go func(i int, vote int64) {
+			defer wg.Done()
+			me := procs[i]
+			c, err := consensus.NewDefault(s.Handle(me), consensus.DefaultConfig{
+				Self: me, Procs: procs, T: t, PollInterval: time.Millisecond,
+			})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", me, err)
+				return
+			}
+			d, err := c.Propose(ctx, vote)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", me, err)
+				return
+			}
+			mu.Lock()
+			elected[me] = d
+			mu.Unlock()
+		}(i, vote)
+	}
+	wg.Wait()
+
+	var first peats.Field
+	for _, id := range procs {
+		d, ok := elected[id]
+		if !ok {
+			continue // crashed or errored
+		}
+		fmt.Printf("%s elected: %v\n", id, d)
+		if first.IsZero() {
+			first = d
+		} else if !d.Equal(first) {
+			return fmt.Errorf("agreement violated: %v vs %v", d, first)
+		}
+	}
+	if consensus.IsBottom(first) {
+		fmt.Println("outcome: ⊥ (legitimately justified split) — retry with new nominations")
+		return nil
+	}
+	leader, _ := first.IntValue()
+	if leader == 6 {
+		return errors.New("validity violated: the Byzantine self-nomination won")
+	}
+	fmt.Printf("outcome: node%d is the leader ✓ (nominated by ≥ t+1 processes)\n", leader)
+	return nil
+}

@@ -1,0 +1,76 @@
+// Quickstart: a local PEATS, the Fig. 3 access policy, and wait-free
+// weak consensus among eight processes — three of which are Byzantine
+// and try (unsuccessfully) to subvert the object.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+
+	"peats"
+	"peats/internal/consensus"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "quickstart:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	ctx := context.Background()
+
+	// A PEATS protected by the weak-consensus policy (paper Fig. 3):
+	// the only allowed operation is cas of a DECISION tuple.
+	s := peats.NewSpace(consensus.WeakPolicy())
+
+	// Byzantine processes attack the raw space first.
+	evil := s.Handle("mallory")
+	if err := evil.Out(ctx, peats.T(peats.Str("DECISION"), peats.Int(666))); err != nil {
+		if !errors.Is(err, peats.ErrDenied) {
+			return err
+		}
+		fmt.Println("mallory's forged decision: denied by the reference monitor")
+	}
+	if _, _, err := evil.Inp(ctx, peats.T(peats.Any(), peats.Any())); errors.Is(err, peats.ErrDenied) {
+		fmt.Println("mallory's attempt to erase the decision: denied")
+	}
+
+	// Eight processes concurrently propose their own values; the weak
+	// consensus object is wait-free and uniform, so nobody needs to
+	// know n.
+	var wg sync.WaitGroup
+	decisions := make([]peats.Field, 8)
+	for i := range decisions {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			me := peats.ProcessID(fmt.Sprintf("p%d", i))
+			c := consensus.NewWeak(s.Handle(me))
+			d, err := c.Propose(ctx, peats.Int(int64(100+i)))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", me, err)
+				return
+			}
+			decisions[i] = d
+		}(i)
+	}
+	wg.Wait()
+
+	for i, d := range decisions {
+		fmt.Printf("p%d decided %v\n", i, d)
+	}
+	for i := 1; i < len(decisions); i++ {
+		if !decisions[i].Equal(decisions[0]) {
+			return fmt.Errorf("agreement violated: %v vs %v", decisions[i], decisions[0])
+		}
+	}
+	fmt.Println("agreement: all processes decided the same value ✓")
+	return nil
+}

@@ -1,0 +1,103 @@
+// Replicated PEATS (paper Fig. 2): four BFT replicas — one of which
+// lies about every result — serve a policy-enforced tuple space to
+// clients that coordinate through strong binary consensus.
+//
+// The example shows the full stack working end to end: PBFT-style
+// ordering, per-replica reference monitors, client-side f+1 voting that
+// masks the corrupt replica, and the Fig. 4 policy stopping a Byzantine
+// *client* as well.
+//
+// Run with: go run ./examples/replicated
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"peats"
+	"peats/internal/bft"
+	"peats/internal/consensus"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "replicated:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	const f = 1 // tolerated faulty replicas → n = 4
+	procs := []peats.ProcessID{"p0", "p1", "p2", "p3"}
+	pol := consensus.StrongPolicy(procs, 1, []int64{0, 1})
+
+	// Build the replica group: three honest services, one that corrupts
+	// every reply it sends to clients.
+	services := []bft.Service{
+		bft.NewSpaceService(pol),
+		bft.NewSpaceService(pol),
+		bft.NewCorruptService(bft.NewSpaceService(pol)),
+		bft.NewSpaceService(pol),
+	}
+	cluster, err := bft.NewCluster(f, services)
+	if err != nil {
+		return err
+	}
+	defer cluster.Stop()
+	fmt.Println("started 4 replicas (r2 corrupts every reply it sends)")
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	// A Byzantine client (authenticated as p3) attacks through the
+	// replicated interface; the reference monitor at every correct
+	// replica denies it.
+	evil := peats.ClusterSpace(cluster, "p3")
+	err = evil.Out(ctx, peats.T(peats.Str("PROPOSE"), peats.Str("p0"), peats.Int(1)))
+	if errors.Is(err, peats.ErrDenied) {
+		fmt.Println("p3 impersonating p0: denied by the replicated monitor")
+	} else if err == nil {
+		return errors.New("monitor failed to stop impersonation")
+	}
+
+	// The three correct processes run strong binary consensus over the
+	// replicated space — the same algorithm code as over a local space.
+	var wg sync.WaitGroup
+	decisions := make([]int64, 3)
+	errs := make([]error, 3)
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			me := procs[i]
+			ts := peats.ClusterSpace(cluster, me)
+			c, err := consensus.NewStrong(ts, consensus.StrongConfig{
+				Self: me, Procs: procs, T: 1, Domain: []int64{0, 1},
+				PollInterval: 5 * time.Millisecond,
+			})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			decisions[i], errs[i] = c.Propose(ctx, int64(i%2))
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("p%d: %w", i, err)
+		}
+	}
+	for i, d := range decisions {
+		fmt.Printf("p%d decided %d\n", i, d)
+	}
+	if decisions[0] != decisions[1] || decisions[1] != decisions[2] {
+		return errors.New("agreement violated")
+	}
+	fmt.Println("strong consensus over the replicated PEATS ✓ (corrupt replica outvoted)")
+	return nil
+}

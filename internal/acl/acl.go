@@ -1,0 +1,157 @@
+// Package acl implements the baseline model this paper argues against:
+// simple shared objects (registers, sticky bits) protected by access
+// control lists, as used by Malkhi et al. and Alon et al. (§7).
+//
+// The package provides the objects, a strong-consensus baseline built
+// from sticky bits, and the closed-form object/bit counts of the
+// published algorithms, which the experiment harness compares against
+// the PEATS numbers (experiments E1 and E8).
+package acl
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+	"math/bits"
+	"sync"
+	"sync/atomic"
+
+	"peats/internal/policy"
+)
+
+// ErrAccessDenied is returned when a process invokes an operation it is
+// not listed for.
+var ErrAccessDenied = errors.New("acl: access denied")
+
+// StickyBit is Plotkin's sticky bit protected by a write ACL: a
+// three-valued object (unset, 0, 1) whose first successful Set wins and
+// persists forever. Reads are open to everyone (as in the baseline
+// papers); Set is restricted to the listed writers.
+type StickyBit struct {
+	mu      sync.Mutex
+	set     bool
+	val     int64
+	writers map[policy.ProcessID]struct{}
+	ops     atomic.Int64
+}
+
+// NewStickyBit returns an unset sticky bit writable by the given
+// processes.
+func NewStickyBit(writers ...policy.ProcessID) *StickyBit {
+	ws := make(map[policy.ProcessID]struct{}, len(writers))
+	for _, w := range writers {
+		ws[w] = struct{}{}
+	}
+	return &StickyBit{writers: ws}
+}
+
+// Set attempts to stick value v (0 or 1). It returns true if the bit now
+// holds v (either this call stuck it or it already held v), false if a
+// different value is stuck.
+func (s *StickyBit) Set(p policy.ProcessID, v int64) (bool, error) {
+	if v != 0 && v != 1 {
+		return false, fmt.Errorf("acl: sticky bit value must be 0 or 1, got %d", v)
+	}
+	s.ops.Add(1)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.writers[p]; !ok {
+		return false, fmt.Errorf("%w: %s may not set this bit", ErrAccessDenied, p)
+	}
+	if !s.set {
+		s.set, s.val = true, v
+		return true, nil
+	}
+	return s.val == v, nil
+}
+
+// Read returns the bit's value and whether it has been set. -1 means
+// unset.
+func (s *StickyBit) Read(policy.ProcessID) (int64, bool) {
+	s.ops.Add(1)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.set {
+		return -1, false
+	}
+	return s.val, true
+}
+
+// Ops returns the number of operations executed on the bit.
+func (s *StickyBit) Ops() int64 { return s.ops.Load() }
+
+// BitSize returns the storage bits of a sticky bit: two (value plus
+// set flag) — the unit of the paper's memory comparison.
+func (s *StickyBit) BitSize() int { return 2 }
+
+// Register is a read/write register with a write ACL (Fig. 1's base
+// object, without the value-increasing policy — ACLs cannot express it).
+type Register struct {
+	mu      sync.Mutex
+	val     int64
+	writers map[policy.ProcessID]struct{}
+}
+
+// NewRegister returns a zero register writable by the given processes.
+func NewRegister(writers ...policy.ProcessID) *Register {
+	ws := make(map[policy.ProcessID]struct{}, len(writers))
+	for _, w := range writers {
+		ws[w] = struct{}{}
+	}
+	return &Register{writers: ws}
+}
+
+// Write stores v if p is allowed to write.
+func (r *Register) Write(p policy.ProcessID, v int64) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.writers[p]; !ok {
+		return fmt.Errorf("%w: %s may not write", ErrAccessDenied, p)
+	}
+	r.val = v
+	return nil
+}
+
+// Read returns the current value (reads are open).
+func (r *Register) Read(policy.ProcessID) int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.val
+}
+
+// ---- Closed-form costs of the published baseline algorithms ----
+
+// MMRTProcesses returns the number of processes the Malkhi-Merritt-
+// Reiter-Taubenfeld strong binary consensus algorithm requires to
+// tolerate t faults: n ≥ (t+1)(2t+1) (§7).
+func MMRTProcesses(t int) int { return (t + 1) * (2*t + 1) }
+
+// MMRTStickyBits returns the number of sticky bits the MMRT algorithm
+// uses: 2t+1 (§7).
+func MMRTStickyBits(t int) int { return 2*t + 1 }
+
+// AlonStickyBits returns the number of sticky bits of the Alon et al.
+// optimal-resilience (n ≥ 3t+1) strong consensus algorithm:
+// (n+1)·C(2t+1, t) (§5.2). The result is exact (big.Int) because the
+// binomial explodes quickly.
+func AlonStickyBits(n, t int) *big.Int {
+	c := new(big.Int).Binomial(int64(2*t+1), int64(t))
+	return c.Mul(c, big.NewInt(int64(n+1)))
+}
+
+// PEATSBits returns the paper's bit count for the PEATS strong binary
+// consensus algorithm: n(⌈log n⌉+1) + (1+(t+1)⌈log n⌉) — n PROPOSE
+// tuples of log n + 1 bits plus one DECISION tuple (§5.2). The paper's
+// footnote 3 evaluates the formula with ⌊log₂ n⌋ (68 bits at n=13,
+// t=4 requires log 13 = 3), so this function does the same.
+func PEATSBits(n, t int) int {
+	logn := floorLog2(n)
+	return n*(logn+1) + (1 + (t+1)*logn)
+}
+
+func floorLog2(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return bits.Len(uint(n)) - 1
+}

@@ -1,0 +1,196 @@
+package acl
+
+import (
+	"context"
+	"errors"
+	"math/big"
+	"sync"
+	"testing"
+	"time"
+
+	"peats/internal/policy"
+)
+
+func TestStickyBitSticks(t *testing.T) {
+	b := NewStickyBit("p1", "p2")
+	if _, set := b.Read("anyone"); set {
+		t.Error("fresh bit reads as set")
+	}
+	ok, err := b.Set("p1", 1)
+	if err != nil || !ok {
+		t.Fatalf("first set: %v %v", ok, err)
+	}
+	// Second set with same value succeeds; different value fails.
+	if ok, _ := b.Set("p2", 1); !ok {
+		t.Error("same-value set failed")
+	}
+	if ok, _ := b.Set("p2", 0); ok {
+		t.Error("bit overwritten")
+	}
+	if v, set := b.Read("p9"); !set || v != 1 {
+		t.Errorf("read = %d %v", v, set)
+	}
+}
+
+func TestStickyBitACL(t *testing.T) {
+	b := NewStickyBit("p1")
+	if _, err := b.Set("p2", 1); !errors.Is(err, ErrAccessDenied) {
+		t.Errorf("err = %v, want ErrAccessDenied", err)
+	}
+	if _, err := b.Set("p1", 7); err == nil {
+		t.Error("non-binary value accepted")
+	}
+	// Reads are open.
+	if _, set := b.Read("p2"); set {
+		t.Error("unset bit reads as set")
+	}
+}
+
+func TestStickyBitFirstWriterWinsUnderContention(t *testing.T) {
+	b := NewStickyBit("p0", "p1")
+	writers := []policy.ProcessID{"p0", "p1"}
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int64) {
+			defer wg.Done()
+			if _, err := b.Set(writers[i], i); err != nil {
+				t.Error(err)
+			}
+		}(int64(i))
+	}
+	wg.Wait()
+	v, set := b.Read("p0")
+	if !set || (v != 0 && v != 1) {
+		t.Fatalf("bit = %d %v", v, set)
+	}
+}
+
+func TestRegisterACL(t *testing.T) {
+	r := NewRegister("w")
+	if err := r.Write("w", 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Write("x", 9); !errors.Is(err, ErrAccessDenied) {
+		t.Errorf("err = %v, want ErrAccessDenied", err)
+	}
+	if got := r.Read("anyone"); got != 5 {
+		t.Errorf("read = %d", got)
+	}
+}
+
+func TestBaselineCostFormulas(t *testing.T) {
+	// §7: MMRT uses 2t+1 sticky bits and (t+1)(2t+1) processes.
+	if MMRTProcesses(4) != 45 || MMRTStickyBits(4) != 9 {
+		t.Errorf("MMRT(4) = %d procs / %d bits", MMRTProcesses(4), MMRTStickyBits(4))
+	}
+	// Footnote 4: Alon et al. need 1,764 sticky bits at t=4, n=13.
+	if got := AlonStickyBits(13, 4); got.Cmp(big.NewInt(1764)) != 0 {
+		t.Errorf("AlonStickyBits(13,4) = %v, want 1764", got)
+	}
+	// Footnote 3: the PEATS algorithm needs 68 bits at t=4, n=13.
+	if got := PEATSBits(13, 4); got != 68 {
+		t.Errorf("PEATSBits(13,4) = %d, want 68", got)
+	}
+	// Monotonicity spot checks.
+	if AlonStickyBits(4, 1).Cmp(big.NewInt(15)) != 0 { // 5·C(3,1)=15
+		t.Errorf("AlonStickyBits(4,1) = %v, want 15", AlonStickyBits(4, 1))
+	}
+	if floorLog2(1) != 0 || floorLog2(2) != 1 || floorLog2(13) != 3 || floorLog2(16) != 4 || floorLog2(17) != 4 {
+		t.Error("floorLog2 wrong")
+	}
+}
+
+func TestGroupedConsensusAgreementAndValidity(t *testing.T) {
+	// t=1: 6 processes, 3 bits. All propose 1 → decide 1.
+	c := NewGroupedConsensus(1, 100*time.Microsecond)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	n := len(c.Procs())
+	if n != 6 {
+		t.Fatalf("n = %d, want 6", n)
+	}
+	decisions := make([]int64, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			d, err := c.Propose(ctx, i, 1)
+			if err != nil {
+				t.Errorf("q%d: %v", i, err)
+				return
+			}
+			decisions[i] = d
+		}(i)
+	}
+	wg.Wait()
+	for i, d := range decisions {
+		if d != 1 {
+			t.Errorf("q%d decided %d, want 1", i, d)
+		}
+	}
+}
+
+func TestGroupedConsensusMixedAgreement(t *testing.T) {
+	c := NewGroupedConsensus(1, 100*time.Microsecond)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	n := len(c.Procs())
+	decisions := make([]int64, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			d, err := c.Propose(ctx, i, int64(i%2))
+			if err != nil {
+				t.Errorf("q%d: %v", i, err)
+				return
+			}
+			decisions[i] = d
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < n; i++ {
+		if decisions[i] != decisions[0] {
+			t.Fatalf("disagreement: q%d=%d q0=%d", i, decisions[i], decisions[0])
+		}
+	}
+}
+
+func TestGroupedConsensusOpAccounting(t *testing.T) {
+	c := NewGroupedConsensus(1, 100*time.Microsecond)
+	ctx := context.Background()
+	n := len(c.Procs())
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := c.Propose(ctx, i, 1); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	// Every process does 1 set + ≥ 2t+1 reads: ops ≥ n(2t+2).
+	min := int64(n * (2*1 + 2))
+	if got := c.TotalOps(); got < min {
+		t.Errorf("TotalOps = %d, want ≥ %d", got, min)
+	}
+	if got := c.TotalBits(); got != 6 { // (2t+1) bits × 2 storage bits
+		t.Errorf("TotalBits = %d, want 6", got)
+	}
+}
+
+func TestGroupedConsensusBadIndex(t *testing.T) {
+	c := NewGroupedConsensus(1, time.Millisecond)
+	if _, err := c.Propose(context.Background(), -1, 1); err == nil {
+		t.Error("negative index accepted")
+	}
+	if _, err := c.Propose(context.Background(), 100, 1); err == nil {
+		t.Error("out-of-range index accepted")
+	}
+}

@@ -1,0 +1,116 @@
+package auth
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeriveKeySymmetric(t *testing.T) {
+	master := []byte("master-secret")
+	if DeriveKey(master, "a", "b") != DeriveKey(master, "b", "a") {
+		t.Error("derived key depends on argument order")
+	}
+	if DeriveKey(master, "a", "b") == DeriveKey(master, "a", "c") {
+		t.Error("distinct pairs share a key")
+	}
+	if DeriveKey(master, "a", "b") == DeriveKey([]byte("other"), "a", "b") {
+		t.Error("distinct masters share a key")
+	}
+	// Separator matters: ("ab","c") must differ from ("a","bc").
+	if DeriveKey(master, "ab", "c") == DeriveKey(master, "a", "bc") {
+		t.Error("ambiguous pair encoding")
+	}
+}
+
+func TestMACAndVerify(t *testing.T) {
+	master := []byte("m")
+	peers := []string{"r0", "r1", "r2"}
+	kr0 := NewKeyringFromMaster(master, "r0", peers)
+	kr1 := NewKeyringFromMaster(master, "r1", peers)
+
+	msg := []byte("pre-prepare v=0 n=1")
+	mac, err := kr0.MAC("r1", msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !kr1.Verify("r0", msg, mac) {
+		t.Error("valid MAC rejected")
+	}
+	// Tampered message.
+	bad := append([]byte{}, msg...)
+	bad[0] ^= 1
+	if kr1.Verify("r0", bad, mac) {
+		t.Error("tampered message accepted")
+	}
+	// Tampered MAC.
+	badMac := append([]byte{}, mac...)
+	badMac[0] ^= 1
+	if kr1.Verify("r0", msg, badMac) {
+		t.Error("tampered MAC accepted")
+	}
+	// Wrong claimed sender: r2's key differs.
+	if kr1.Verify("r2", msg, mac) {
+		t.Error("impersonation accepted")
+	}
+}
+
+func TestUnknownPeer(t *testing.T) {
+	kr := NewKeyring("solo")
+	if _, err := kr.MAC("ghost", []byte("x")); !errors.Is(err, ErrUnknownPeer) {
+		t.Errorf("err = %v, want ErrUnknownPeer", err)
+	}
+	if kr.Verify("ghost", []byte("x"), make([]byte, 32)) {
+		t.Error("verify against unknown peer succeeded")
+	}
+}
+
+func TestKeyringPeersAndSelf(t *testing.T) {
+	kr := NewKeyringFromMaster([]byte("m"), "b", []string{"c", "a", "b"})
+	if kr.Self() != "b" {
+		t.Errorf("Self = %q", kr.Self())
+	}
+	ps := kr.Peers()
+	if len(ps) != 2 || ps[0] != "a" || ps[1] != "c" {
+		t.Errorf("Peers = %v (self must be excluded, sorted)", ps)
+	}
+}
+
+func TestGenerateKeyDistinct(t *testing.T) {
+	a, err := GenerateKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Error("two generated keys are equal")
+	}
+}
+
+func TestMACProperty(t *testing.T) {
+	master := []byte("m")
+	kr1 := NewKeyringFromMaster(master, "x", []string{"y"})
+	kr2 := NewKeyringFromMaster(master, "y", []string{"x"})
+	f := func(msg []byte) bool {
+		mac, err := kr1.MAC("y", msg)
+		if err != nil {
+			return false
+		}
+		return kr2.Verify("x", msg, mac)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDigestStable(t *testing.T) {
+	if Digest([]byte("a")) != Digest([]byte("a")) {
+		t.Error("digest not deterministic")
+	}
+	if Digest([]byte("a")) == Digest([]byte("b")) {
+		t.Error("digest collision on trivial input")
+	}
+}

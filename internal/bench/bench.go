@@ -1,0 +1,227 @@
+// Package bench is the experiment harness: it regenerates the paper's
+// evaluation artifacts (the memory and operation-count comparisons of
+// §5.2/§7 and the resilience bounds of §5.2-§5.4) on the running
+// implementation, printing one table per experiment. cmd/peats-bench is
+// its CLI; bench_test.go at the repository root exposes the same
+// workloads as testing.B benchmarks.
+package bench
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"peats/internal/consensus"
+	"peats/internal/peats"
+	"peats/internal/policy"
+	"peats/internal/tuple"
+)
+
+// CountingSpace wraps a TupleSpace and counts the shared-memory
+// operations issued through it, for the E8 operation-count experiment.
+type CountingSpace struct {
+	inner peats.TupleSpace
+	outs  atomic.Int64
+	reads atomic.Int64 // rd+rdp+in+inp
+	cas   atomic.Int64
+}
+
+var _ peats.TupleSpace = (*CountingSpace)(nil)
+
+// NewCountingSpace wraps inner.
+func NewCountingSpace(inner peats.TupleSpace) *CountingSpace {
+	return &CountingSpace{inner: inner}
+}
+
+// Counts returns (outs, reads, cas) issued so far.
+func (c *CountingSpace) Counts() (outs, reads, cas int64) {
+	return c.outs.Load(), c.reads.Load(), c.cas.Load()
+}
+
+// Out implements peats.TupleSpace.
+func (c *CountingSpace) Out(ctx context.Context, e tuple.Tuple) error {
+	c.outs.Add(1)
+	return c.inner.Out(ctx, e)
+}
+
+// Rd implements peats.TupleSpace.
+func (c *CountingSpace) Rd(ctx context.Context, t tuple.Tuple) (tuple.Tuple, error) {
+	c.reads.Add(1)
+	return c.inner.Rd(ctx, t)
+}
+
+// Rdp implements peats.TupleSpace.
+func (c *CountingSpace) Rdp(ctx context.Context, t tuple.Tuple) (tuple.Tuple, bool, error) {
+	c.reads.Add(1)
+	return c.inner.Rdp(ctx, t)
+}
+
+// In implements peats.TupleSpace.
+func (c *CountingSpace) In(ctx context.Context, t tuple.Tuple) (tuple.Tuple, error) {
+	c.reads.Add(1)
+	return c.inner.In(ctx, t)
+}
+
+// Inp implements peats.TupleSpace.
+func (c *CountingSpace) Inp(ctx context.Context, t tuple.Tuple) (tuple.Tuple, bool, error) {
+	c.reads.Add(1)
+	return c.inner.Inp(ctx, t)
+}
+
+// Cas implements peats.TupleSpace.
+func (c *CountingSpace) Cas(ctx context.Context, tmpl, e tuple.Tuple) (bool, tuple.Tuple, error) {
+	c.cas.Add(1)
+	return c.inner.Cas(ctx, tmpl, e)
+}
+
+// RdAll implements peats.TupleSpace.
+func (c *CountingSpace) RdAll(ctx context.Context, t tuple.Tuple) ([]tuple.Tuple, error) {
+	c.reads.Add(1)
+	return c.inner.RdAll(ctx, t)
+}
+
+// StrongRun is the outcome of one fault-free strong binary consensus
+// execution at n = 3t+1.
+type StrongRun struct {
+	N, T         int
+	MeasuredBits int   // bits stored in the space afterwards
+	Tuples       int   // tuples stored (n PROPOSE + 1 DECISION)
+	Outs         int64 // total out operations across processes
+	Reads        int64 // total read operations
+	Cas          int64 // total cas operations
+	Elapsed      time.Duration
+}
+
+// RunStrongConsensus executes strong binary consensus with n = 3t+1
+// processes all proposing (fault-free), returning measured memory and
+// operation counts. Proposals split between 0 and 1 to exercise the
+// collection loop.
+func RunStrongConsensus(ctx context.Context, t int) (StrongRun, error) {
+	n := 3*t + 1
+	procs := make([]policy.ProcessID, n)
+	for i := range procs {
+		procs[i] = policy.ProcessID(fmt.Sprintf("p%d", i))
+	}
+	domain := []int64{0, 1}
+	s := peats.New(consensus.StrongPolicy(procs, t, domain))
+
+	counter := struct {
+		outs, reads, cas atomic.Int64
+	}{}
+	start := time.Now()
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cs := NewCountingSpace(s.Handle(procs[i]))
+			c, err := consensus.NewStrong(cs, consensus.StrongConfig{
+				Self: procs[i], Procs: procs, T: t, Domain: domain,
+				PollInterval: 50 * time.Microsecond,
+			})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if _, err := c.Propose(ctx, int64(i%2)); err != nil {
+				errs[i] = err
+				return
+			}
+			o, r, ca := cs.Counts()
+			counter.outs.Add(o)
+			counter.reads.Add(r)
+			counter.cas.Add(ca)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return StrongRun{}, err
+		}
+	}
+	return StrongRun{
+		N: n, T: t,
+		MeasuredBits: s.Inner().BitSize(),
+		Tuples:       s.Inner().Len(),
+		Outs:         counter.outs.Load(),
+		Reads:        counter.reads.Load(),
+		Cas:          counter.cas.Load(),
+		Elapsed:      time.Since(start),
+	}, nil
+}
+
+// TerminationProbe runs strong binary consensus with the given n and t
+// (bypassing the constructor's bound check) where only correct = n − t
+// processes propose, splitting proposals as adversarially as possible.
+// It reports whether all participants decided within the timeout —
+// true at n ≥ 3t+1, false at n = 3t (Theorem 4's stalling execution).
+func TerminationProbe(n, t int, timeout time.Duration) bool {
+	procs := make([]policy.ProcessID, n)
+	for i := range procs {
+		procs[i] = policy.ProcessID(fmt.Sprintf("p%d", i))
+	}
+	domain := []int64{0, 1}
+	s := peats.New(consensus.StrongPolicy(procs, t, domain))
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+
+	correct := n - t
+	var wg sync.WaitGroup
+	failed := atomic.Bool{}
+	for i := 0; i < correct; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := consensus.NewStrongUnchecked(s.Handle(procs[i]), consensus.StrongConfig{
+				Self: procs[i], Procs: procs, T: t, Domain: domain,
+				PollInterval: 50 * time.Microsecond,
+			})
+			// Alternate 0/1 so no value reaches t+1 at n = 3t with the
+			// t silent processes withheld.
+			if _, err := c.Propose(ctx, int64(i%2)); err != nil {
+				failed.Store(true)
+			}
+		}(i)
+	}
+	wg.Wait()
+	return !failed.Load()
+}
+
+// KValuedProbe is TerminationProbe for the k-valued object (§5.3): the
+// n−t correct processes spread proposals over all k values as evenly as
+// possible.
+func KValuedProbe(n, t, k int, timeout time.Duration) bool {
+	procs := make([]policy.ProcessID, n)
+	for i := range procs {
+		procs[i] = policy.ProcessID(fmt.Sprintf("p%d", i))
+	}
+	domain := make([]int64, k)
+	for i := range domain {
+		domain[i] = int64(i)
+	}
+	s := peats.New(consensus.StrongPolicy(procs, t, domain))
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+
+	correct := n - t
+	var wg sync.WaitGroup
+	failed := atomic.Bool{}
+	for i := 0; i < correct; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := consensus.NewStrongUnchecked(s.Handle(procs[i]), consensus.StrongConfig{
+				Self: procs[i], Procs: procs, T: t, Domain: domain,
+				PollInterval: 50 * time.Microsecond,
+			})
+			if _, err := c.Propose(ctx, int64(i%k)); err != nil {
+				failed.Store(true)
+			}
+		}(i)
+	}
+	wg.Wait()
+	return !failed.Load()
+}

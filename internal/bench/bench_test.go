@@ -1,0 +1,175 @@
+package bench
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"peats/internal/peats"
+	"peats/internal/policy"
+	"peats/internal/tuple"
+)
+
+func TestCountingSpace(t *testing.T) {
+	s := peats.New(policy.AllowAll())
+	cs := NewCountingSpace(s.Handle("p"))
+	ctx := context.Background()
+
+	if err := cs.Out(ctx, tuple.T(tuple.Str("X"))); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := cs.Rdp(ctx, tuple.T(tuple.Any())); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cs.Rd(ctx, tuple.T(tuple.Any())); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := cs.Inp(ctx, tuple.T(tuple.Any())); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := cs.Cas(ctx, tuple.T(tuple.Formal("x")), tuple.T(tuple.Str("Y"))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cs.In(ctx, tuple.T(tuple.Any())); err != nil {
+		t.Fatal(err)
+	}
+	outs, reads, cas := cs.Counts()
+	if outs != 1 || reads != 4 || cas != 1 {
+		t.Errorf("counts = %d/%d/%d, want 1/4/1", outs, reads, cas)
+	}
+}
+
+func TestRunStrongConsensusMeasures(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	run, err := RunStrongConsensus(ctx, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.N != 4 || run.Tuples != 5 {
+		t.Errorf("n=%d tuples=%d, want 4/5", run.N, run.Tuples)
+	}
+	if run.Outs != 4 {
+		t.Errorf("outs = %d, want n", run.Outs)
+	}
+	if run.Cas != 4 {
+		t.Errorf("cas = %d, want n", run.Cas)
+	}
+	if run.Reads < 4 {
+		t.Errorf("reads = %d, want ≥ n", run.Reads)
+	}
+	if run.MeasuredBits == 0 {
+		t.Error("no bits measured")
+	}
+}
+
+func TestTerminationProbes(t *testing.T) {
+	if !TerminationProbe(4, 1, 30*time.Second) {
+		t.Error("n=3t+1 did not terminate")
+	}
+	if TerminationProbe(3, 1, 200*time.Millisecond) {
+		t.Error("n=3t terminated — Theorem 4 violated")
+	}
+	if !KValuedProbe(5, 1, 3, 30*time.Second) {
+		t.Error("k=3, n=(k+1)t+1 did not terminate")
+	}
+	if KValuedProbe(4, 1, 3, 200*time.Millisecond) {
+		t.Error("k=3, n=(k+1)t terminated — Theorem 3 violated")
+	}
+}
+
+func TestBitsTable(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	rows, err := BitsTable(ctx, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	// The headline claim: the ACL-model bit counts dwarf the PEATS
+	// formula, and the gap widens with t.
+	for _, r := range rows {
+		if r.AlonSticky.Int64() <= int64(r.PEATSFormula) && r.T > 1 {
+			t.Errorf("t=%d: Alon %v ≤ PEATS %d — comparison shape broken",
+				r.T, r.AlonSticky, r.PEATSFormula)
+		}
+		if r.MeasuredTuples != r.N+1 {
+			t.Errorf("t=%d: %d tuples, want n+1", r.T, r.MeasuredTuples)
+		}
+	}
+	var buf bytes.Buffer
+	WriteBitsTable(&buf, rows)
+	if !strings.Contains(buf.String(), "PEATS bits") {
+		t.Error("table rendering broken")
+	}
+}
+
+func TestOpsTable(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	rows, err := OpsTable(ctx, []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rows[0]
+	if r.PEATSOps == 0 || r.ACLOps == 0 {
+		t.Errorf("empty measurements: %+v", r)
+	}
+	// Shape check: the ACL baseline needs (t+1)(2t+1) processes vs 3t+1.
+	if r.ACLProcs <= r.PEATSProcs {
+		t.Errorf("ACL procs %d ≤ PEATS procs %d", r.ACLProcs, r.PEATSProcs)
+	}
+	var buf bytes.Buffer
+	WriteOpsTable(&buf, rows)
+	if !strings.Contains(buf.String(), "ACL") {
+		t.Error("table rendering broken")
+	}
+}
+
+func TestResilienceAndKValuedTables(t *testing.T) {
+	rows := ResilienceTable([]int{1}, 200*time.Millisecond)
+	if !rows[0].AtBound || rows[0].BelowBound {
+		t.Errorf("resilience row wrong: %+v", rows[0])
+	}
+	var buf bytes.Buffer
+	WriteResilienceTable(&buf, rows)
+	if !strings.Contains(buf.String(), "3t+1") {
+		t.Error("rendering broken")
+	}
+
+	krows := KValuedTable([]int{2}, []int{1}, 200*time.Millisecond)
+	if !krows[0].AtBound || krows[0].BelowBound {
+		t.Errorf("k-valued row wrong: %+v", krows[0])
+	}
+	buf.Reset()
+	WriteKValuedTable(&buf, krows)
+	if !strings.Contains(buf.String(), "(k+1)t+1") {
+		t.Error("rendering broken")
+	}
+}
+
+func TestAblationTable(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	rows, err := AblationTable(ctx, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.Baseline <= 0 || r.With <= 0 {
+			t.Errorf("%s: empty measurement %+v", r.Name, r)
+		}
+	}
+	var buf bytes.Buffer
+	WriteAblationTable(&buf, rows)
+	if !strings.Contains(buf.String(), "reference monitor") {
+		t.Error("rendering broken")
+	}
+}

@@ -1,0 +1,199 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math/big"
+	"text/tabwriter"
+	"time"
+
+	"peats/internal/acl"
+)
+
+// BitsRow is one line of the E1 memory-comparison table (§5.2,
+// footnotes 3-4): the paper's closed-form bit counts next to the bits
+// actually stored by this implementation after a fault-free run.
+type BitsRow struct {
+	T              int
+	N              int      // 3t+1
+	PEATSFormula   int      // n(log n+1) + (1+(t+1)log n)
+	PEATSMeasured  int      // bits stored in our space (string ids, so larger)
+	MMRTSticky     int      // 2t+1 sticky bits, at n = (t+1)(2t+1) processes
+	MMRTProcesses  int      //
+	AlonSticky     *big.Int // (n+1)·C(2t+1, t) sticky bits at n = 3t+1
+	MeasuredTuples int
+}
+
+// BitsTable computes the E1 rows for the given fault bounds. Measured
+// values come from real executions; ctx bounds the total run time.
+func BitsTable(ctx context.Context, ts []int) ([]BitsRow, error) {
+	rows := make([]BitsRow, 0, len(ts))
+	for _, t := range ts {
+		n := 3*t + 1
+		run, err := RunStrongConsensus(ctx, t)
+		if err != nil {
+			return nil, fmt.Errorf("bits table t=%d: %w", t, err)
+		}
+		rows = append(rows, BitsRow{
+			T:              t,
+			N:              n,
+			PEATSFormula:   acl.PEATSBits(n, t),
+			PEATSMeasured:  run.MeasuredBits,
+			MMRTSticky:     acl.MMRTStickyBits(t),
+			MMRTProcesses:  acl.MMRTProcesses(t),
+			AlonSticky:     acl.AlonStickyBits(n, t),
+			MeasuredTuples: run.Tuples,
+		})
+	}
+	return rows, nil
+}
+
+// WriteBitsTable renders the E1 table.
+func WriteBitsTable(w io.Writer, rows []BitsRow) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "t\tn\tPEATS bits (paper)\tPEATS tuples (measured)\tPEATS bits (measured)\tAlon et al. sticky bits (n=3t+1)\tMMRT sticky bits\tMMRT processes")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%d\t%d\t%d\t%d\t%d\t%v\t%d\t%d\n",
+			r.T, r.N, r.PEATSFormula, r.MeasuredTuples, r.PEATSMeasured,
+			r.AlonSticky, r.MMRTSticky, r.MMRTProcesses)
+	}
+	tw.Flush()
+}
+
+// OpsRow is one line of the E8 operation-count table: shared-memory
+// operations to solve strong binary consensus, PEATS vs the sticky-bit
+// baseline, measured on fault-free executions.
+type OpsRow struct {
+	T            int
+	PEATSProcs   int
+	PEATSOps     int64 // out + reads + cas, total across processes
+	PEATSPerProc float64
+	ACLProcs     int
+	ACLOps       int64
+	ACLPerProc   float64
+}
+
+// OpsTable measures the E8 rows.
+func OpsTable(ctx context.Context, ts []int) ([]OpsRow, error) {
+	rows := make([]OpsRow, 0, len(ts))
+	for _, t := range ts {
+		run, err := RunStrongConsensus(ctx, t)
+		if err != nil {
+			return nil, fmt.Errorf("ops table t=%d: %w", t, err)
+		}
+		peatsOps := run.Outs + run.Reads + run.Cas
+
+		aclOps, aclProcs, err := runGroupedBaseline(ctx, t)
+		if err != nil {
+			return nil, fmt.Errorf("ops table t=%d baseline: %w", t, err)
+		}
+		rows = append(rows, OpsRow{
+			T:            t,
+			PEATSProcs:   run.N,
+			PEATSOps:     peatsOps,
+			PEATSPerProc: float64(peatsOps) / float64(run.N),
+			ACLProcs:     aclProcs,
+			ACLOps:       aclOps,
+			ACLPerProc:   float64(aclOps) / float64(aclProcs),
+		})
+	}
+	return rows, nil
+}
+
+func runGroupedBaseline(ctx context.Context, t int) (ops int64, procs int, err error) {
+	c := acl.NewGroupedConsensus(t, 50*time.Microsecond)
+	n := len(c.Procs())
+	errCh := make(chan error, n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			_, err := c.Propose(ctx, i, int64(i%2))
+			errCh <- err
+		}(i)
+	}
+	for i := 0; i < n; i++ {
+		if e := <-errCh; e != nil {
+			return 0, 0, e
+		}
+	}
+	return c.TotalOps(), n, nil
+}
+
+// WriteOpsTable renders the E8 table.
+func WriteOpsTable(w io.Writer, rows []OpsRow) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "t\tPEATS n\tPEATS ops\tPEATS ops/proc\tACL n\tACL sticky ops\tACL ops/proc")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%d\t%d\t%d\t%.1f\t%d\t%d\t%.1f\n",
+			r.T, r.PEATSProcs, r.PEATSOps, r.PEATSPerProc,
+			r.ACLProcs, r.ACLOps, r.ACLPerProc)
+	}
+	tw.Flush()
+}
+
+// ResilienceRow is one line of the E2 table: strong binary consensus
+// terminates at n = 3t+1 and stalls at n = 3t.
+type ResilienceRow struct {
+	T            int
+	AtBound      bool // terminated with n = 3t+1
+	BelowBound   bool // terminated with n = 3t (must be false)
+	ProbeTimeout time.Duration
+}
+
+// ResilienceTable probes the E2 rows. probeTimeout bounds how long a
+// below-bound run may stall before it is declared non-terminating.
+func ResilienceTable(ts []int, probeTimeout time.Duration) []ResilienceRow {
+	rows := make([]ResilienceRow, 0, len(ts))
+	for _, t := range ts {
+		rows = append(rows, ResilienceRow{
+			T:            t,
+			AtBound:      TerminationProbe(3*t+1, t, 30*time.Second),
+			BelowBound:   TerminationProbe(3*t, t, probeTimeout),
+			ProbeTimeout: probeTimeout,
+		})
+	}
+	return rows
+}
+
+// WriteResilienceTable renders the E2 table.
+func WriteResilienceTable(w io.Writer, rows []ResilienceRow) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "t\tn=3t+1 terminates\tn=3t terminates (within probe)")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%d\t%v\t%v\n", r.T, r.AtBound, r.BelowBound)
+	}
+	tw.Flush()
+}
+
+// KValuedRow is one line of the E3 table: the k-valued bound
+// n = (k+1)t+1 of Theorems 3-4.
+type KValuedRow struct {
+	K, T       int
+	AtBound    bool // n = (k+1)t+1 terminates
+	BelowBound bool // n = (k+1)t stalls
+}
+
+// KValuedTable probes the E3 rows.
+func KValuedTable(ks, ts []int, probeTimeout time.Duration) []KValuedRow {
+	var rows []KValuedRow
+	for _, k := range ks {
+		for _, t := range ts {
+			rows = append(rows, KValuedRow{
+				K: k, T: t,
+				AtBound:    KValuedProbe((k+1)*t+1, t, k, 30*time.Second),
+				BelowBound: KValuedProbe((k+1)*t, t, k, probeTimeout),
+			})
+		}
+	}
+	return rows
+}
+
+// WriteKValuedTable renders the E3 table.
+func WriteKValuedTable(w io.Writer, rows []KValuedRow) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "k\tt\tn=(k+1)t+1 terminates\tn=(k+1)t terminates (within probe)")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%d\t%d\t%v\t%v\n", r.K, r.T, r.AtBound, r.BelowBound)
+	}
+	tw.Flush()
+}

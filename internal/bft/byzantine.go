@@ -1,0 +1,46 @@
+package bft
+
+import "sync/atomic"
+
+// Byzantine service wrappers: a faulty replica runs the same protocol
+// code but executes a corrupted state machine, modelling compromised
+// replicas that lie about results. (Silent and partitioned replicas are
+// modelled at the transport layer; an equivocating primary is exercised
+// through the protocol's equivocation detection.)
+
+// CorruptService wraps a Service and corrupts every Execute result —
+// the replica participates correctly in ordering but lies to clients.
+// Client-side f+1 voting must mask it.
+type CorruptService struct {
+	inner    Service
+	corrupts atomic.Int64
+}
+
+var _ Service = (*CorruptService)(nil)
+
+// NewCorruptService returns a service that flips the bytes of every
+// result produced by inner.
+func NewCorruptService(inner Service) *CorruptService {
+	return &CorruptService{inner: inner}
+}
+
+// Corruptions returns how many results were corrupted.
+func (s *CorruptService) Corruptions() int64 { return s.corrupts.Load() }
+
+// Execute implements Service, corrupting the result.
+func (s *CorruptService) Execute(client string, op []byte) []byte {
+	res := s.inner.Execute(client, op)
+	s.corrupts.Add(1)
+	bad := make([]byte, len(res))
+	for i, b := range res {
+		bad[i] = ^b
+	}
+	return bad
+}
+
+// Snapshot implements Service (uncorrupted, so checkpoints still match;
+// a corrupt checkpoint would only slow the group down further).
+func (s *CorruptService) Snapshot() []byte { return s.inner.Snapshot() }
+
+// Restore implements Service.
+func (s *CorruptService) Restore(snapshot []byte) error { return s.inner.Restore(snapshot) }

@@ -1,0 +1,204 @@
+package bft
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"peats/internal/transport"
+)
+
+// Client invokes operations on the replicated service. It broadcasts
+// each request to every replica and accepts a result once f+1 distinct
+// replicas report byte-identical results — with at most f faulty
+// replicas, at least one of the f+1 is correct, so the result is the
+// one produced by the correct state machine.
+//
+// A Client issues one operation at a time (the model's well-formedness
+// assumption); Invoke is not safe for concurrent use.
+type Client struct {
+	id       string
+	tr       transport.Transport
+	replicas []string
+	f        int
+	reqID    uint64
+	// RetransmitInterval is how often an unanswered request is resent
+	// (asynchronous networks may drop it). Defaults to 100ms.
+	RetransmitInterval time.Duration
+}
+
+// NewClient returns a client for the given replica group. The transport
+// identity is the client's authenticated process identity.
+func NewClient(tr transport.Transport, replicas []string, f int) *Client {
+	cp := make([]string, len(replicas))
+	copy(cp, replicas)
+	return &Client{
+		id: tr.Self(), tr: tr, replicas: cp, f: f,
+		RetransmitInterval: 100 * time.Millisecond,
+	}
+}
+
+// ID returns the client's authenticated identity.
+func (c *Client) ID() string { return c.id }
+
+// Invoke submits op for ordered execution and returns the voted result.
+func (c *Client) Invoke(ctx context.Context, op []byte) ([]byte, error) {
+	c.reqID++
+	req := Request{Client: c.id, ReqID: c.reqID, Op: op}
+	payload, err := Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("bft client: %w", err)
+	}
+
+	send := func() {
+		for _, id := range c.replicas {
+			// Best effort: the asynchronous model tolerates loss and the
+			// retransmission loop recovers.
+			_ = c.tr.Send(id, payload)
+		}
+	}
+	send()
+
+	votes := make(map[string]map[string]struct{}) // result → replicas
+	ticker := time.NewTicker(c.RetransmitInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return nil, fmt.Errorf("bft client: %w", ctx.Err())
+		case <-ticker.C:
+			send()
+		case m, ok := <-c.tr.Inbox():
+			if !ok {
+				return nil, fmt.Errorf("bft client: transport closed")
+			}
+			msg, err := Unmarshal(m.Payload)
+			if err != nil {
+				continue
+			}
+			rep, ok := msg.(Reply)
+			if !ok || rep.Replica != m.From || rep.ReqID != c.reqID || rep.Client != c.id {
+				continue // stale or foreign message
+			}
+			if !c.isReplica(m.From) {
+				continue
+			}
+			key := string(rep.Result)
+			if votes[key] == nil {
+				votes[key] = make(map[string]struct{})
+			}
+			votes[key][rep.Replica] = struct{}{}
+			if len(votes[key]) >= c.f+1 {
+				return rep.Result, nil
+			}
+		}
+	}
+}
+
+func (c *Client) isReplica(id string) bool {
+	for _, rid := range c.replicas {
+		if rid == id {
+			return true
+		}
+	}
+	return false
+}
+
+// Cluster is a convenience harness bundling n replicas over an
+// in-process network, used by tests, benchmarks and examples.
+type Cluster struct {
+	Net      *transport.Network
+	Replicas []*Replica
+	IDs      []string
+	F        int
+
+	mu      sync.Mutex
+	nextCli int
+}
+
+// ClusterOption tweaks cluster construction.
+type ClusterOption func(*clusterConfig)
+
+type clusterConfig struct {
+	checkpointInterval uint64
+	vcTimeout          time.Duration
+	seed               int64
+}
+
+// WithCheckpointInterval sets the replicas' checkpoint interval.
+func WithCheckpointInterval(k uint64) ClusterOption {
+	return func(c *clusterConfig) { c.checkpointInterval = k }
+}
+
+// WithViewChangeTimeout sets the replicas' view-change timeout.
+func WithViewChangeTimeout(d time.Duration) ClusterOption {
+	return func(c *clusterConfig) { c.vcTimeout = d }
+}
+
+// WithSeed sets the network fault-injection seed.
+func WithSeed(seed int64) ClusterOption {
+	return func(c *clusterConfig) { c.seed = seed }
+}
+
+// NewCluster starts n = 3f+1 replicas of the given services (one per
+// replica, so Byzantine tests can hand a corrupt service to some of
+// them) over a fresh in-process network. services[i] may be nil to skip
+// starting replica i (a crashed replica).
+func NewCluster(f int, services []Service, opts ...ClusterOption) (*Cluster, error) {
+	cfg := clusterConfig{checkpointInterval: 64, vcTimeout: 500 * time.Millisecond, seed: 1}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	n := 3*f + 1
+	if len(services) != n {
+		return nil, fmt.Errorf("bft: need %d services for f=%d, got %d", n, f, len(services))
+	}
+	net := transport.NewNetwork(cfg.seed)
+	ids := make([]string, n)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("r%d", i)
+	}
+	cl := &Cluster{Net: net, IDs: ids, F: f}
+	for i, svc := range services {
+		if svc == nil {
+			continue
+		}
+		rep, err := NewReplica(ReplicaConfig{
+			ID:                 ids[i],
+			Replicas:           ids,
+			F:                  f,
+			Transport:          net.Endpoint(ids[i]),
+			Service:            svc,
+			CheckpointInterval: cfg.checkpointInterval,
+			ViewChangeTimeout:  cfg.vcTimeout,
+		})
+		if err != nil {
+			net.Close()
+			return nil, err
+		}
+		rep.Start()
+		cl.Replicas = append(cl.Replicas, rep)
+	}
+	return cl, nil
+}
+
+// Client returns a new client with a unique identity on the cluster's
+// network.
+func (c *Cluster) Client(id string) *Client {
+	if id == "" {
+		c.mu.Lock()
+		c.nextCli++
+		id = fmt.Sprintf("client%d", c.nextCli)
+		c.mu.Unlock()
+	}
+	return NewClient(c.Net.Endpoint(id), c.IDs, c.F)
+}
+
+// Stop shuts down all replicas and the network.
+func (c *Cluster) Stop() {
+	for _, r := range c.Replicas {
+		r.Stop()
+	}
+	c.Net.Close()
+}

@@ -1,0 +1,328 @@
+// Package bft implements the replication substrate of Fig. 2: a
+// PBFT-style Byzantine fault-tolerant state machine replication
+// protocol, built from scratch on the transport and auth packages, that
+// turns the deterministic PEATS-plus-reference-monitor state machine
+// into a single dependable linearizable shared object for an open set
+// of (possibly Byzantine) client processes.
+//
+// The protocol follows Castro-Liskov PBFT with MAC-authenticated
+// channels: n = 3f+1 replicas, a primary per view, the three-phase
+// pre-prepare/prepare/commit agreement with 2f+1 quorums, periodic
+// checkpoints with state transfer for laggards, view changes driven by
+// request timers, and clients that accept a result once f+1 distinct
+// replicas report the same bytes.
+//
+// Simplifications relative to the full PBFT paper, none of which affect
+// the experiments: view-change messages carry the pre-prepares of
+// prepared requests directly (channel MACs stand in for the per-message
+// proof sets), and the low/high water mark window is a fixed constant.
+package bft
+
+import (
+	"fmt"
+
+	"peats/internal/auth"
+	"peats/internal/wire"
+)
+
+// MsgType discriminates protocol messages on the wire.
+type MsgType uint8
+
+// Protocol message types.
+const (
+	MsgRequest MsgType = iota + 1
+	MsgPrePrepare
+	MsgPrepare
+	MsgCommit
+	MsgReply
+	MsgCheckpoint
+	MsgViewChange
+	MsgNewView
+	MsgStateRequest
+	MsgStateResponse
+)
+
+// String returns the PBFT name of the message type.
+func (t MsgType) String() string {
+	switch t {
+	case MsgRequest:
+		return "REQUEST"
+	case MsgPrePrepare:
+		return "PRE-PREPARE"
+	case MsgPrepare:
+		return "PREPARE"
+	case MsgCommit:
+		return "COMMIT"
+	case MsgReply:
+		return "REPLY"
+	case MsgCheckpoint:
+		return "CHECKPOINT"
+	case MsgViewChange:
+		return "VIEW-CHANGE"
+	case MsgNewView:
+		return "NEW-VIEW"
+	case MsgStateRequest:
+		return "STATE-REQUEST"
+	case MsgStateResponse:
+		return "STATE-RESPONSE"
+	default:
+		return fmt.Sprintf("MSG(%d)", uint8(t))
+	}
+}
+
+// Request is a client operation submitted for ordering.
+type Request struct {
+	Client string
+	ReqID  uint64
+	Op     []byte
+}
+
+// Digest returns the canonical digest identifying the request.
+func (r Request) Digest() [32]byte { return auth.Digest(encodeRequest(r)) }
+
+func encodeRequest(r Request) []byte {
+	w := wire.NewWriter()
+	w.String(r.Client)
+	w.Uvarint(r.ReqID)
+	w.Bytes(r.Op)
+	return w.Data()
+}
+
+func decodeRequest(r *wire.Reader) Request {
+	return Request{Client: r.String(), ReqID: r.Uvarint(), Op: r.Bytes()}
+}
+
+// PrePrepare is the primary's ordering proposal for a request.
+type PrePrepare struct {
+	View   uint64
+	Seq    uint64
+	Digest [32]byte
+	Req    Request
+}
+
+// Prepare is a replica's vote that it accepted a pre-prepare.
+type Prepare struct {
+	View    uint64
+	Seq     uint64
+	Digest  [32]byte
+	Replica string
+}
+
+// Commit is a replica's vote that the request is prepared network-wide.
+type Commit struct {
+	View    uint64
+	Seq     uint64
+	Digest  [32]byte
+	Replica string
+}
+
+// Reply carries one replica's execution result back to the client.
+type Reply struct {
+	View    uint64
+	Client  string
+	ReqID   uint64
+	Replica string
+	Result  []byte
+}
+
+// Checkpoint announces a replica's state digest at a checkpoint.
+type Checkpoint struct {
+	Seq     uint64
+	Digest  [32]byte
+	Replica string
+}
+
+// ViewChange asks to install view NewView. Prepared carries the
+// pre-prepares of requests the sender prepared above its stable
+// checkpoint.
+type ViewChange struct {
+	NewView    uint64
+	LastStable uint64
+	Prepared   []PrePrepare
+	Replica    string
+}
+
+// NewView installs a view: the new primary re-issues pre-prepares for
+// every request prepared by any member of the view-change quorum.
+type NewView struct {
+	View        uint64
+	PrePrepares []PrePrepare
+	Replica     string
+}
+
+// StateRequest asks a peer for the checkpointed state at Seq.
+type StateRequest struct {
+	Seq     uint64
+	Replica string
+}
+
+// StateResponse carries a checkpointed state snapshot.
+type StateResponse struct {
+	Seq      uint64
+	View     uint64
+	Snapshot []byte
+	Replica  string
+}
+
+// Marshal encodes any protocol message with its type tag.
+func Marshal(msg any) ([]byte, error) {
+	w := wire.NewWriter()
+	switch m := msg.(type) {
+	case Request:
+		w.Byte(byte(MsgRequest))
+		w.Bytes(encodeRequest(m))
+	case PrePrepare:
+		w.Byte(byte(MsgPrePrepare))
+		encodePrePrepare(w, m)
+	case Prepare:
+		w.Byte(byte(MsgPrepare))
+		encodeVote(w, m.View, m.Seq, m.Digest, m.Replica)
+	case Commit:
+		w.Byte(byte(MsgCommit))
+		encodeVote(w, m.View, m.Seq, m.Digest, m.Replica)
+	case Reply:
+		w.Byte(byte(MsgReply))
+		w.Uvarint(m.View)
+		w.String(m.Client)
+		w.Uvarint(m.ReqID)
+		w.String(m.Replica)
+		w.Bytes(m.Result)
+	case Checkpoint:
+		w.Byte(byte(MsgCheckpoint))
+		w.Uvarint(m.Seq)
+		w.Bytes(m.Digest[:])
+		w.String(m.Replica)
+	case ViewChange:
+		w.Byte(byte(MsgViewChange))
+		w.Uvarint(m.NewView)
+		w.Uvarint(m.LastStable)
+		w.Uvarint(uint64(len(m.Prepared)))
+		for _, pp := range m.Prepared {
+			encodePrePrepare(w, pp)
+		}
+		w.String(m.Replica)
+	case NewView:
+		w.Byte(byte(MsgNewView))
+		w.Uvarint(m.View)
+		w.Uvarint(uint64(len(m.PrePrepares)))
+		for _, pp := range m.PrePrepares {
+			encodePrePrepare(w, pp)
+		}
+		w.String(m.Replica)
+	case StateRequest:
+		w.Byte(byte(MsgStateRequest))
+		w.Uvarint(m.Seq)
+		w.String(m.Replica)
+	case StateResponse:
+		w.Byte(byte(MsgStateResponse))
+		w.Uvarint(m.Seq)
+		w.Uvarint(m.View)
+		w.Bytes(m.Snapshot)
+		w.String(m.Replica)
+	default:
+		return nil, fmt.Errorf("bft: cannot marshal %T", msg)
+	}
+	return w.Data(), nil
+}
+
+// Unmarshal decodes a protocol message.
+func Unmarshal(b []byte) (any, error) {
+	r := wire.NewReader(b)
+	t := MsgType(r.Byte())
+	var msg any
+	switch t {
+	case MsgRequest:
+		body := wire.NewReader(r.Bytes())
+		req := decodeRequest(body)
+		body.ExpectEOF()
+		if err := body.Err(); err != nil {
+			return nil, fmt.Errorf("bft: decode request: %w", err)
+		}
+		msg = req
+	case MsgPrePrepare:
+		msg = decodePrePrepare(r)
+	case MsgPrepare:
+		v, s, d, rep := decodeVote(r)
+		msg = Prepare{View: v, Seq: s, Digest: d, Replica: rep}
+	case MsgCommit:
+		v, s, d, rep := decodeVote(r)
+		msg = Commit{View: v, Seq: s, Digest: d, Replica: rep}
+	case MsgReply:
+		msg = Reply{
+			View: r.Uvarint(), Client: r.String(), ReqID: r.Uvarint(),
+			Replica: r.String(), Result: r.Bytes(),
+		}
+	case MsgCheckpoint:
+		cp := Checkpoint{Seq: r.Uvarint()}
+		copy(cp.Digest[:], r.BytesView())
+		cp.Replica = r.String()
+		msg = cp
+	case MsgViewChange:
+		vc := ViewChange{NewView: r.Uvarint(), LastStable: r.Uvarint()}
+		count := r.Uvarint()
+		if count > maxBatch {
+			return nil, fmt.Errorf("bft: view-change with %d pre-prepares", count)
+		}
+		for i := uint64(0); i < count; i++ {
+			vc.Prepared = append(vc.Prepared, decodePrePrepare(r))
+		}
+		vc.Replica = r.String()
+		msg = vc
+	case MsgNewView:
+		nv := NewView{View: r.Uvarint()}
+		count := r.Uvarint()
+		if count > maxBatch {
+			return nil, fmt.Errorf("bft: new-view with %d pre-prepares", count)
+		}
+		for i := uint64(0); i < count; i++ {
+			nv.PrePrepares = append(nv.PrePrepares, decodePrePrepare(r))
+		}
+		nv.Replica = r.String()
+		msg = nv
+	case MsgStateRequest:
+		msg = StateRequest{Seq: r.Uvarint(), Replica: r.String()}
+	case MsgStateResponse:
+		msg = StateResponse{Seq: r.Uvarint(), View: r.Uvarint(), Snapshot: r.Bytes(), Replica: r.String()}
+	default:
+		return nil, fmt.Errorf("bft: unknown message type %d", t)
+	}
+	r.ExpectEOF()
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("bft: decode %v: %w", t, err)
+	}
+	return msg, nil
+}
+
+// maxBatch bounds decoded pre-prepare lists so malformed messages cannot
+// force huge allocations.
+const maxBatch = 1 << 16
+
+func encodePrePrepare(w *wire.Writer, pp PrePrepare) {
+	w.Uvarint(pp.View)
+	w.Uvarint(pp.Seq)
+	w.Bytes(pp.Digest[:])
+	w.Bytes(encodeRequest(pp.Req))
+}
+
+func decodePrePrepare(r *wire.Reader) PrePrepare {
+	pp := PrePrepare{View: r.Uvarint(), Seq: r.Uvarint()}
+	copy(pp.Digest[:], r.BytesView())
+	body := wire.NewReader(r.Bytes())
+	pp.Req = decodeRequest(body)
+	return pp
+}
+
+func encodeVote(w *wire.Writer, view, seq uint64, digest [32]byte, replica string) {
+	w.Uvarint(view)
+	w.Uvarint(seq)
+	w.Bytes(digest[:])
+	w.String(replica)
+}
+
+func decodeVote(r *wire.Reader) (view, seq uint64, digest [32]byte, replica string) {
+	view = r.Uvarint()
+	seq = r.Uvarint()
+	copy(digest[:], r.BytesView())
+	replica = r.String()
+	return
+}

@@ -1,0 +1,123 @@
+package bft
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"peats/internal/auth"
+)
+
+func TestMessageRoundTrips(t *testing.T) {
+	req := Request{Client: "c1", ReqID: 7, Op: []byte{1, 2, 3}}
+	d := req.Digest()
+	msgs := []any{
+		req,
+		PrePrepare{View: 1, Seq: 9, Digest: d, Req: req},
+		Prepare{View: 1, Seq: 9, Digest: d, Replica: "r2"},
+		Commit{View: 1, Seq: 9, Digest: d, Replica: "r0"},
+		Reply{View: 1, Client: "c1", ReqID: 7, Replica: "r3", Result: []byte{9}},
+		Checkpoint{Seq: 128, Digest: d, Replica: "r1"},
+		ViewChange{NewView: 2, LastStable: 64,
+			Prepared: []PrePrepare{{View: 1, Seq: 65, Digest: d, Req: req}},
+			Replica:  "r2"},
+		NewView{View: 2,
+			PrePrepares: []PrePrepare{{View: 2, Seq: 65, Digest: d, Req: req}},
+			Replica:     "r2"},
+		StateRequest{Seq: 128, Replica: "r3"},
+		StateResponse{Seq: 128, View: 2, Snapshot: []byte{4, 5}, Replica: "r1"},
+	}
+	for _, msg := range msgs {
+		enc, err := Marshal(msg)
+		if err != nil {
+			t.Fatalf("%T: %v", msg, err)
+		}
+		dec, err := Unmarshal(enc)
+		if err != nil {
+			t.Fatalf("%T: %v", msg, err)
+		}
+		// Compare via re-marshal (structs contain slices).
+		enc2, err := Marshal(dec)
+		if err != nil {
+			t.Fatalf("remarshal %T: %v", dec, err)
+		}
+		if !bytes.Equal(enc, enc2) {
+			t.Errorf("%T: round trip not canonical", msg)
+		}
+	}
+}
+
+func TestMarshalUnknownType(t *testing.T) {
+	if _, err := Marshal(42); err == nil {
+		t.Error("marshalling an int should fail")
+	}
+}
+
+func TestUnmarshalMalformed(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{0xee},                   // unknown type
+		{byte(MsgRequest)},       // truncated
+		{byte(MsgPrePrepare), 1}, // truncated
+		{byte(MsgViewChange), 1, 0, 0xff, 0xff, 0xff, 0xff, 0xff, 0x0f}, // huge count
+	}
+	for i, c := range cases {
+		if _, err := Unmarshal(c); err == nil {
+			t.Errorf("case %d: malformed message accepted", i)
+		}
+	}
+	// Trailing bytes rejected.
+	enc, err := Marshal(StateRequest{Seq: 1, Replica: "r"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Unmarshal(append(enc, 0xaa)); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+}
+
+func TestRequestDigestDistinguishes(t *testing.T) {
+	base := Request{Client: "c", ReqID: 1, Op: []byte{1}}
+	variants := []Request{
+		{Client: "d", ReqID: 1, Op: []byte{1}},
+		{Client: "c", ReqID: 2, Op: []byte{1}},
+		{Client: "c", ReqID: 1, Op: []byte{2}},
+	}
+	for _, v := range variants {
+		if v.Digest() == base.Digest() {
+			t.Errorf("digest collision: %+v vs %+v", v, base)
+		}
+	}
+	if base.Digest() != base.Digest() {
+		t.Error("digest not deterministic")
+	}
+}
+
+func TestRequestDigestMatchesEncoding(t *testing.T) {
+	req := Request{Client: "c", ReqID: 3, Op: []byte("op")}
+	if req.Digest() != auth.Digest(encodeRequest(req)) {
+		t.Error("Digest() must hash the canonical encoding")
+	}
+}
+
+func TestMessageRoundTripProperty(t *testing.T) {
+	f := func(client string, reqID uint64, op []byte, view, seq uint64) bool {
+		req := Request{Client: client, ReqID: reqID, Op: op}
+		pp := PrePrepare{View: view, Seq: seq, Digest: req.Digest(), Req: req}
+		enc, err := Marshal(pp)
+		if err != nil {
+			return false
+		}
+		dec, err := Unmarshal(enc)
+		if err != nil {
+			return false
+		}
+		got, ok := dec.(PrePrepare)
+		return ok && got.View == view && got.Seq == seq &&
+			got.Digest == pp.Digest && got.Req.Client == client &&
+			got.Req.ReqID == reqID && bytes.Equal(got.Req.Op, op)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

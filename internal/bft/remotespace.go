@@ -1,0 +1,132 @@
+package bft
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"peats/internal/peats"
+	"peats/internal/policy"
+	"peats/internal/tuple"
+	"peats/internal/wire"
+)
+
+// RemoteSpace is the client-side view of the replicated PEATS: it
+// implements peats.TupleSpace by shipping operations through the BFT
+// client, so the consensus algorithms and universal constructions run
+// unchanged over the replicated realisation (Fig. 2).
+//
+// Blocking rd/in are realised by polling their non-blocking variants,
+// as in DEPSPACE.
+type RemoteSpace struct {
+	c *Client
+	// PollInterval paces the rd/in polling loops (default 5ms).
+	PollInterval time.Duration
+}
+
+var _ peats.TupleSpace = (*RemoteSpace)(nil)
+
+// NewRemoteSpace wraps a BFT client as a tuple space handle. The
+// process identity seen by the reference monitor is the client's
+// transport identity.
+func NewRemoteSpace(c *Client) *RemoteSpace {
+	return &RemoteSpace{c: c, PollInterval: 5 * time.Millisecond}
+}
+
+// ID returns the authenticated process identity of the underlying
+// client.
+func (s *RemoteSpace) ID() policy.ProcessID { return policy.ProcessID(s.c.ID()) }
+
+func (s *RemoteSpace) invoke(ctx context.Context, op wire.SpaceOp) (wire.SpaceResult, error) {
+	raw, err := s.c.Invoke(ctx, wire.EncodeSpaceOp(op))
+	if err != nil {
+		return wire.SpaceResult{}, err
+	}
+	res, err := wire.DecodeSpaceResult(raw)
+	if err != nil {
+		return wire.SpaceResult{}, fmt.Errorf("replicated space: %w", err)
+	}
+	if err := resultToError(res); err != nil {
+		return wire.SpaceResult{}, err
+	}
+	return res, nil
+}
+
+// Out implements peats.TupleSpace.
+func (s *RemoteSpace) Out(ctx context.Context, entry tuple.Tuple) error {
+	_, err := s.invoke(ctx, wire.SpaceOp{Op: policy.OpOut, Entry: entry})
+	return err
+}
+
+// Rdp implements peats.TupleSpace.
+func (s *RemoteSpace) Rdp(ctx context.Context, tmpl tuple.Tuple) (tuple.Tuple, bool, error) {
+	res, err := s.invoke(ctx, wire.SpaceOp{Op: policy.OpRdp, Template: tmpl})
+	if err != nil {
+		return tuple.Tuple{}, false, err
+	}
+	return res.Tuple, res.Found, nil
+}
+
+// Inp implements peats.TupleSpace.
+func (s *RemoteSpace) Inp(ctx context.Context, tmpl tuple.Tuple) (tuple.Tuple, bool, error) {
+	res, err := s.invoke(ctx, wire.SpaceOp{Op: policy.OpInp, Template: tmpl})
+	if err != nil {
+		return tuple.Tuple{}, false, err
+	}
+	return res.Tuple, res.Found, nil
+}
+
+// RdAll implements peats.TupleSpace.
+func (s *RemoteSpace) RdAll(ctx context.Context, tmpl tuple.Tuple) ([]tuple.Tuple, error) {
+	res, err := s.invoke(ctx, wire.SpaceOp{Op: policy.OpRdAll, Template: tmpl})
+	if err != nil {
+		return nil, err
+	}
+	return res.Tuples, nil
+}
+
+// Cas implements peats.TupleSpace.
+func (s *RemoteSpace) Cas(ctx context.Context, tmpl, entry tuple.Tuple) (bool, tuple.Tuple, error) {
+	res, err := s.invoke(ctx, wire.SpaceOp{Op: policy.OpCas, Template: tmpl, Entry: entry})
+	if err != nil {
+		return false, tuple.Tuple{}, err
+	}
+	return res.Inserted, res.Tuple, nil
+}
+
+// Rd implements peats.TupleSpace by polling Rdp.
+func (s *RemoteSpace) Rd(ctx context.Context, tmpl tuple.Tuple) (tuple.Tuple, error) {
+	return s.poll(ctx, tmpl, s.Rdp)
+}
+
+// In implements peats.TupleSpace by polling Inp.
+func (s *RemoteSpace) In(ctx context.Context, tmpl tuple.Tuple) (tuple.Tuple, error) {
+	return s.poll(ctx, tmpl, s.Inp)
+}
+
+func (s *RemoteSpace) poll(
+	ctx context.Context,
+	tmpl tuple.Tuple,
+	op func(context.Context, tuple.Tuple) (tuple.Tuple, bool, error),
+) (tuple.Tuple, error) {
+	interval := s.PollInterval
+	if interval <= 0 {
+		interval = 5 * time.Millisecond
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		t, ok, err := op(ctx, tmpl)
+		if err != nil {
+			return tuple.Tuple{}, err
+		}
+		if ok {
+			return t, nil
+		}
+		select {
+		case <-ctx.Done():
+			return tuple.Tuple{}, ctx.Err()
+		case <-ticker.C:
+		}
+	}
+}

@@ -1,0 +1,740 @@
+package bft
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"peats/internal/auth"
+	"peats/internal/transport"
+	"peats/internal/wire"
+)
+
+// ReplicaConfig configures one replica of the replicated PEATS.
+type ReplicaConfig struct {
+	// ID is this replica's identity; it must appear in Replicas.
+	ID string
+	// Replicas is the ordered replica group; the primary of view v is
+	// Replicas[v mod n].
+	Replicas []string
+	// F is the number of Byzantine replicas tolerated; len(Replicas)
+	// must be at least 3F+1.
+	F int
+	// Transport carries protocol messages; its identity must equal ID.
+	Transport transport.Transport
+	// Service is the deterministic state machine to replicate.
+	Service Service
+	// CheckpointInterval is the number of executions between
+	// checkpoints (default 64).
+	CheckpointInterval uint64
+	// ViewChangeTimeout is how long a backup waits for a pending request
+	// to commit before suspecting the primary (default 500ms). Each
+	// unsuccessful view change doubles it.
+	ViewChangeTimeout time.Duration
+	// Logger receives protocol diagnostics; nil disables logging.
+	Logger *log.Logger
+}
+
+// logEntry tracks one sequence number through the three phases.
+type logEntry struct {
+	prePrepare *PrePrepare
+	prepares   map[string]struct{} // replicas that vouched (incl. primary via pre-prepare)
+	commits    map[string]struct{}
+	sentCommit bool
+	executed   bool
+}
+
+// clientRecord implements at-most-once execution per client.
+type clientRecord struct {
+	lastReqID uint64
+	lastReply []byte
+	lastView  uint64
+}
+
+// Replica is one member of the replicated PEATS group. Start launches
+// its event loop; Stop shuts it down.
+type Replica struct {
+	cfg     ReplicaConfig
+	n       int
+	index   int
+	logger  *log.Logger
+	tr      transport.Transport
+	service Service
+
+	// Protocol state, owned by the event loop goroutine.
+	view        uint64
+	seq         uint64 // highest sequence assigned (primary)
+	executed    uint64 // highest sequence executed
+	lowWater    uint64 // last stable checkpoint
+	entries     map[uint64]*logEntry
+	clients     map[string]*clientRecord
+	pending     map[[32]byte]Request  // awaiting commit (view-change timer)
+	assigned    map[[32]byte]uint64   // primary: digest → assigned seq (current view)
+	unverified  map[uint64]PrePrepare // pre-prepares awaiting the client's first-hand request
+	checkpoints map[uint64]map[string][32]byte
+	snapshots   map[uint64][]byte
+
+	inViewChange bool
+	nextTimeout  time.Duration
+	viewChanges  map[uint64]map[string]ViewChange
+
+	timer *time.Timer
+	stop  chan struct{}
+	done  chan struct{}
+
+	// Atomic mirrors of loop-owned state for external observation.
+	viewMirror     atomic.Uint64
+	executedMirror atomic.Uint64
+}
+
+// window is the high-water offset: sequence numbers beyond
+// lowWater+window are refused until a checkpoint advances.
+const window = 1024
+
+// NewReplica validates the configuration and returns a stopped replica.
+func NewReplica(cfg ReplicaConfig) (*Replica, error) {
+	if len(cfg.Replicas) < 3*cfg.F+1 {
+		return nil, fmt.Errorf("bft: %d replicas cannot tolerate f=%d (need ≥ %d)",
+			len(cfg.Replicas), cfg.F, 3*cfg.F+1)
+	}
+	index := -1
+	for i, id := range cfg.Replicas {
+		if id == cfg.ID {
+			index = i
+			break
+		}
+	}
+	if index < 0 {
+		return nil, fmt.Errorf("bft: replica %q not in group", cfg.ID)
+	}
+	if cfg.Transport == nil || cfg.Service == nil {
+		return nil, fmt.Errorf("bft: transport and service are required")
+	}
+	if cfg.CheckpointInterval == 0 {
+		cfg.CheckpointInterval = 64
+	}
+	if cfg.ViewChangeTimeout <= 0 {
+		cfg.ViewChangeTimeout = 500 * time.Millisecond
+	}
+	r := &Replica{
+		cfg:         cfg,
+		n:           len(cfg.Replicas),
+		index:       index,
+		logger:      cfg.Logger,
+		tr:          cfg.Transport,
+		service:     cfg.Service,
+		entries:     make(map[uint64]*logEntry),
+		clients:     make(map[string]*clientRecord),
+		pending:     make(map[[32]byte]Request),
+		assigned:    make(map[[32]byte]uint64),
+		unverified:  make(map[uint64]PrePrepare),
+		checkpoints: make(map[uint64]map[string][32]byte),
+		snapshots:   make(map[uint64][]byte),
+		viewChanges: make(map[uint64]map[string]ViewChange),
+		nextTimeout: cfg.ViewChangeTimeout,
+		stop:        make(chan struct{}),
+		done:        make(chan struct{}),
+	}
+	return r, nil
+}
+
+// Start launches the replica's event loop.
+func (r *Replica) Start() {
+	r.timer = time.NewTimer(time.Hour)
+	r.timer.Stop()
+	go r.run()
+}
+
+// Stop terminates the event loop and waits for it to exit.
+func (r *Replica) Stop() {
+	close(r.stop)
+	<-r.done
+}
+
+// View returns the replica's current view.
+func (r *Replica) View() uint64 { return r.viewMirror.Load() }
+
+// Executed returns the highest executed sequence number.
+func (r *Replica) Executed() uint64 { return r.executedMirror.Load() }
+
+func (r *Replica) logf(format string, args ...any) {
+	if r.logger != nil {
+		r.logger.Printf("[%s v=%d] "+format, append([]any{r.cfg.ID, r.view}, args...)...)
+	}
+}
+
+func (r *Replica) primary(view uint64) string {
+	return r.cfg.Replicas[view%uint64(r.n)]
+}
+
+func (r *Replica) isPrimary() bool { return r.primary(r.view) == r.cfg.ID }
+
+// quorum is the prepare/commit quorum: 2f+1 distinct replicas.
+func (r *Replica) quorum() int { return 2*r.cfg.F + 1 }
+
+func (r *Replica) run() {
+	defer close(r.done)
+	for {
+		select {
+		case <-r.stop:
+			return
+		case m, ok := <-r.tr.Inbox():
+			if !ok {
+				return
+			}
+			r.dispatch(m)
+			r.sync()
+		case <-r.timer.C:
+			r.onTimeout()
+			r.sync()
+		}
+	}
+}
+
+// sync refreshes the externally visible mirrors; the loop calls it
+// after every event.
+func (r *Replica) sync() {
+	r.viewMirror.Store(r.view)
+	r.executedMirror.Store(r.executed)
+}
+
+func (r *Replica) dispatch(m transport.Inbound) {
+	msg, err := Unmarshal(m.Payload)
+	if err != nil {
+		r.logf("drop malformed message from %s: %v", m.From, err)
+		return
+	}
+	switch msg := msg.(type) {
+	case Request:
+		// Requests come from clients; the transport authenticated the
+		// sender, so a Byzantine client cannot submit ops under another
+		// client's identity.
+		if msg.Client != m.From {
+			r.logf("drop request claiming %q from %q", msg.Client, m.From)
+			return
+		}
+		r.onRequest(msg)
+	case PrePrepare:
+		if m.From != r.primary(msg.View) {
+			r.logf("drop pre-prepare from non-primary %s", m.From)
+			return
+		}
+		r.onPrePrepare(msg)
+	case Prepare:
+		if msg.Replica != m.From || !r.isReplica(m.From) {
+			return
+		}
+		r.onPrepare(msg)
+	case Commit:
+		if msg.Replica != m.From || !r.isReplica(m.From) {
+			return
+		}
+		r.onCommit(msg)
+	case Checkpoint:
+		if msg.Replica != m.From || !r.isReplica(m.From) {
+			return
+		}
+		r.onCheckpoint(msg)
+	case ViewChange:
+		if msg.Replica != m.From || !r.isReplica(m.From) {
+			return
+		}
+		r.onViewChange(msg)
+	case NewView:
+		if msg.Replica != m.From || m.From != r.primary(msg.View) {
+			return
+		}
+		r.onNewView(msg)
+	case StateRequest:
+		if !r.isReplica(m.From) {
+			return
+		}
+		r.onStateRequest(msg, m.From)
+	case StateResponse:
+		if msg.Replica != m.From || !r.isReplica(m.From) {
+			return
+		}
+		r.onStateResponse(msg)
+	default:
+		r.logf("drop unexpected %T from %s", msg, m.From)
+	}
+}
+
+func (r *Replica) isReplica(id string) bool {
+	for _, rid := range r.cfg.Replicas {
+		if rid == id {
+			return true
+		}
+	}
+	return false
+}
+
+func (r *Replica) broadcast(msg any) {
+	payload, err := Marshal(msg)
+	if err != nil {
+		r.logf("marshal %T: %v", msg, err)
+		return
+	}
+	for _, id := range r.cfg.Replicas {
+		if id == r.cfg.ID {
+			continue
+		}
+		if err := r.tr.Send(id, payload); err != nil {
+			r.logf("send to %s: %v", id, err)
+		}
+	}
+}
+
+func (r *Replica) sendTo(id string, msg any) {
+	payload, err := Marshal(msg)
+	if err != nil {
+		r.logf("marshal %T: %v", msg, err)
+		return
+	}
+	if err := r.tr.Send(id, payload); err != nil {
+		r.logf("send to %s: %v", id, err)
+	}
+}
+
+// ---- Normal case ----
+
+func (r *Replica) onRequest(req Request) {
+	// At-most-once: answer duplicates from the client table.
+	if rec, ok := r.clients[req.Client]; ok && req.ReqID <= rec.lastReqID {
+		if req.ReqID == rec.lastReqID && rec.lastReply != nil {
+			r.sendTo(req.Client, Reply{
+				View: rec.lastView, Client: req.Client, ReqID: req.ReqID,
+				Replica: r.cfg.ID, Result: rec.lastReply,
+			})
+		}
+		return
+	}
+	if r.inViewChange {
+		return
+	}
+	digest := req.Digest()
+	if r.isPrimary() {
+		if _, dup := r.assigned[digest]; dup {
+			return // already assigned a sequence number
+		}
+		if r.seq+1 > r.lowWater+window {
+			r.logf("window full, dropping request %x", digest[:4])
+			return
+		}
+		r.seq++
+		pp := PrePrepare{View: r.view, Seq: r.seq, Digest: digest, Req: req}
+		r.pending[digest] = req
+		r.acceptPrePrepare(pp)
+		r.broadcast(pp)
+		r.armTimer()
+		return
+	}
+	// Backup: clients broadcast requests to every replica, so the
+	// primary has (or will get, via client retransmission) its own copy.
+	// Track the request and suspect the primary if nothing commits
+	// before the timer fires. Requests are deliberately never forwarded
+	// replica-to-replica: channel MACs authenticate only hop-by-hop, so
+	// a forwarded request would let a Byzantine replica forge client
+	// operations.
+	//
+	// The timer is armed only when the request FIRST becomes pending:
+	// client retransmissions must not keep pushing it back, or a faulty
+	// primary would never be suspected.
+	if _, dup := r.pending[digest]; dup {
+		return
+	}
+	r.pending[digest] = req
+	if len(r.pending) == 1 {
+		r.armTimer()
+	}
+	r.retryUnverified(digest)
+}
+
+// verifiable reports whether the replica may vouch for a pre-prepared
+// request: either the view-change no-op, or a request it received
+// first-hand from the authenticated client. Without this check a
+// Byzantine primary could alter a client's operation in its pre-prepare
+// (requests are only channel-authenticated hop by hop, unlike PBFT's
+// per-request authenticators) and the forgery could prepare and survive
+// a view change.
+func (r *Replica) verifiable(pp PrePrepare) bool {
+	if pp.Req.Client == "" && len(pp.Req.Op) == 0 {
+		return true // no-op filler from a NEW-VIEW
+	}
+	_, firsthand := r.pending[pp.Digest]
+	if firsthand {
+		return true
+	}
+	// Already-executed requests re-appear after view changes; the
+	// client table proves we saw them first-hand before.
+	if rec, ok := r.clients[pp.Req.Client]; ok && pp.Req.ReqID <= rec.lastReqID {
+		return true
+	}
+	return false
+}
+
+// retryUnverified re-processes buffered pre-prepares once the client's
+// first-hand copy of a request arrives.
+func (r *Replica) retryUnverified(digest [32]byte) {
+	for seq, pp := range r.unverified {
+		if pp.Digest == digest {
+			delete(r.unverified, seq)
+			if pp.View == r.view {
+				r.processPrePrepare(pp)
+			}
+		}
+	}
+}
+
+func (r *Replica) entry(seq uint64) *logEntry {
+	e, ok := r.entries[seq]
+	if !ok {
+		e = &logEntry{
+			prepares: make(map[string]struct{}),
+			commits:  make(map[string]struct{}),
+		}
+		r.entries[seq] = e
+	}
+	return e
+}
+
+func (r *Replica) onPrePrepare(pp PrePrepare) {
+	if r.inViewChange || pp.View != r.view {
+		return
+	}
+	if pp.Seq <= r.lowWater || pp.Seq > r.lowWater+window {
+		return
+	}
+	if pp.Req.Digest() != pp.Digest {
+		r.logf("pre-prepare digest mismatch at seq %d", pp.Seq)
+		return
+	}
+	e := r.entry(pp.Seq)
+	if e.prePrepare != nil {
+		if e.prePrepare.Digest != pp.Digest {
+			r.logf("conflicting pre-prepare at seq %d — primary equivocates", pp.Seq)
+			r.startViewChange(r.view + 1)
+		}
+		return
+	}
+	if buffered, dup := r.unverified[pp.Seq]; dup && buffered.Digest != pp.Digest {
+		r.logf("conflicting pre-prepare at seq %d — primary equivocates", pp.Seq)
+		r.startViewChange(r.view + 1)
+		return
+	}
+	if !r.verifiable(pp) {
+		// Wait for the client's own broadcast (it retransmits) before
+		// vouching; see verifiable. The view-change timer is already
+		// armed by the pending request — deliberately NOT re-armed here,
+		// or a primary could stall us forever with unverifiable
+		// pre-prepares.
+		r.unverified[pp.Seq] = pp
+		return
+	}
+	r.processPrePrepare(pp)
+}
+
+// processPrePrepare accepts a verified pre-prepare and votes for it.
+func (r *Replica) processPrePrepare(pp PrePrepare) {
+	if r.isPrimary() {
+		return
+	}
+	e := r.entry(pp.Seq)
+	if e.prePrepare != nil {
+		return
+	}
+	r.acceptPrePrepare(pp)
+	prep := Prepare{View: pp.View, Seq: pp.Seq, Digest: pp.Digest, Replica: r.cfg.ID}
+	r.broadcast(prep)
+	r.tryPrepared(pp.Seq)
+}
+
+// acceptPrePrepare records the pre-prepare and the issuing primary's
+// implicit prepare vote, plus our own.
+func (r *Replica) acceptPrePrepare(pp PrePrepare) {
+	e := r.entry(pp.Seq)
+	ppCopy := pp
+	e.prePrepare = &ppCopy
+	e.prepares[r.primary(pp.View)] = struct{}{}
+	e.prepares[r.cfg.ID] = struct{}{}
+	if pp.Seq > r.seq {
+		r.seq = pp.Seq
+	}
+	r.pending[pp.Digest] = pp.Req
+	r.assigned[pp.Digest] = pp.Seq
+}
+
+func (r *Replica) onPrepare(p Prepare) {
+	if r.inViewChange || p.View != r.view {
+		return
+	}
+	if p.Seq <= r.lowWater || p.Seq > r.lowWater+window {
+		return
+	}
+	e := r.entry(p.Seq)
+	if e.prePrepare != nil && e.prePrepare.Digest != p.Digest {
+		return // vote for a different request: ignore
+	}
+	e.prepares[p.Replica] = struct{}{}
+	r.tryPrepared(p.Seq)
+}
+
+func (r *Replica) tryPrepared(seq uint64) {
+	e := r.entries[seq]
+	if e == nil || e.prePrepare == nil || e.sentCommit {
+		return
+	}
+	if len(e.prepares) < r.quorum() {
+		return
+	}
+	e.sentCommit = true
+	c := Commit{View: r.view, Seq: seq, Digest: e.prePrepare.Digest, Replica: r.cfg.ID}
+	e.commits[r.cfg.ID] = struct{}{}
+	r.broadcast(c)
+	r.tryExecute()
+}
+
+func (r *Replica) onCommit(c Commit) {
+	if c.Seq <= r.lowWater || c.Seq > r.lowWater+window {
+		return
+	}
+	// Commits are accepted across views: a commit quorum is meaningful
+	// as long as the digest matches the accepted pre-prepare.
+	e := r.entry(c.Seq)
+	if e.prePrepare != nil && e.prePrepare.Digest != c.Digest {
+		return
+	}
+	e.commits[c.Replica] = struct{}{}
+	r.tryExecute()
+}
+
+// committed reports whether entry e has a commit quorum and is safe to
+// execute.
+func (r *Replica) committed(e *logEntry) bool {
+	return e != nil && e.prePrepare != nil && e.sentCommit && len(e.commits) >= r.quorum()
+}
+
+// tryExecute applies committed requests in sequence order.
+func (r *Replica) tryExecute() {
+	for {
+		next := r.executed + 1
+		e := r.entries[next]
+		if !r.committed(e) {
+			return
+		}
+		req := e.prePrepare.Req
+		result := r.executeOnce(req)
+		e.executed = true
+		r.executed = next
+		delete(r.pending, e.prePrepare.Digest)
+		delete(r.assigned, e.prePrepare.Digest)
+		if result != nil {
+			r.sendTo(req.Client, Reply{
+				View: r.view, Client: req.Client, ReqID: req.ReqID,
+				Replica: r.cfg.ID, Result: result,
+			})
+		}
+		if len(r.pending) == 0 {
+			r.disarmTimer()
+		} else {
+			r.armTimer()
+		}
+		if r.executed%r.cfg.CheckpointInterval == 0 {
+			r.makeCheckpoint(r.executed)
+		}
+	}
+}
+
+// executeOnce applies a request unless the client table shows it was
+// already executed (possible across view changes). It returns the
+// result to send, or nil to stay silent.
+func (r *Replica) executeOnce(req Request) []byte {
+	rec, ok := r.clients[req.Client]
+	if !ok {
+		rec = &clientRecord{}
+		r.clients[req.Client] = rec
+	}
+	if req.ReqID <= rec.lastReqID {
+		if req.ReqID == rec.lastReqID {
+			return rec.lastReply
+		}
+		return nil // old request re-ordered: never re-execute
+	}
+	result := r.service.Execute(req.Client, req.Op)
+	rec.lastReqID = req.ReqID
+	rec.lastReply = result
+	rec.lastView = r.view
+	return result
+}
+
+// ---- Checkpoints and state transfer ----
+
+// stateSnapshot captures service state plus the client table (the
+// client table is part of replicated state: without it a restored
+// replica would re-execute old requests).
+func (r *Replica) stateSnapshot() []byte {
+	w := wire.NewWriter()
+	w.Bytes(r.service.Snapshot())
+	w.Uvarint(uint64(len(r.clients)))
+	ids := make([]string, 0, len(r.clients))
+	for id := range r.clients {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		rec := r.clients[id]
+		w.String(id)
+		w.Uvarint(rec.lastReqID)
+		w.Bytes(rec.lastReply)
+		w.Uvarint(rec.lastView)
+	}
+	return w.Data()
+}
+
+func (r *Replica) restoreState(snapshot []byte) error {
+	rd := wire.NewReader(snapshot)
+	svc := rd.Bytes()
+	count := rd.Uvarint()
+	if count > maxBatch {
+		return fmt.Errorf("bft: snapshot with %d client records", count)
+	}
+	clients := make(map[string]*clientRecord, count)
+	for i := uint64(0); i < count; i++ {
+		id := rd.String()
+		clients[id] = &clientRecord{
+			lastReqID: rd.Uvarint(),
+			lastReply: rd.Bytes(),
+			lastView:  rd.Uvarint(),
+		}
+	}
+	rd.ExpectEOF()
+	if err := rd.Err(); err != nil {
+		return fmt.Errorf("bft: decode snapshot: %w", err)
+	}
+	if err := r.service.Restore(svc); err != nil {
+		return err
+	}
+	r.clients = clients
+	return nil
+}
+
+func (r *Replica) makeCheckpoint(seq uint64) {
+	snap := r.stateSnapshot()
+	r.snapshots[seq] = snap
+	digest := auth.Digest(snap)
+	cp := Checkpoint{Seq: seq, Digest: digest, Replica: r.cfg.ID}
+	r.recordCheckpoint(cp)
+	r.broadcast(cp)
+}
+
+func (r *Replica) onCheckpoint(cp Checkpoint) {
+	r.recordCheckpoint(cp)
+}
+
+func (r *Replica) recordCheckpoint(cp Checkpoint) {
+	if cp.Seq <= r.lowWater {
+		return
+	}
+	byReplica, ok := r.checkpoints[cp.Seq]
+	if !ok {
+		byReplica = make(map[string][32]byte)
+		r.checkpoints[cp.Seq] = byReplica
+	}
+	byReplica[cp.Replica] = cp.Digest
+	// Count matching digests.
+	counts := make(map[[32]byte]int)
+	for _, d := range byReplica {
+		counts[d]++
+	}
+	for d, c := range counts {
+		if c < r.quorum() {
+			continue
+		}
+		if cp.Seq <= r.executed {
+			r.stabilize(cp.Seq)
+		} else {
+			// We are behind a stable checkpoint: fetch state from a
+			// replica that has it.
+			r.requestState(cp.Seq, d)
+		}
+		return
+	}
+}
+
+// stabilize makes seq the low water mark and garbage-collects.
+func (r *Replica) stabilize(seq uint64) {
+	if seq <= r.lowWater {
+		return
+	}
+	r.lowWater = seq
+	for s := range r.entries {
+		if s <= seq {
+			delete(r.entries, s)
+		}
+	}
+	for s := range r.checkpoints {
+		if s < seq {
+			delete(r.checkpoints, s)
+		}
+	}
+	for s := range r.snapshots {
+		if s < seq {
+			delete(r.snapshots, s)
+		}
+	}
+	r.logf("checkpoint stable at %d", seq)
+}
+
+func (r *Replica) requestState(seq uint64, digest [32]byte) {
+	for id, d := range r.checkpoints[seq] {
+		if d == digest && id != r.cfg.ID {
+			r.sendTo(id, StateRequest{Seq: seq, Replica: r.cfg.ID})
+			return
+		}
+	}
+}
+
+func (r *Replica) onStateRequest(req StateRequest, from string) {
+	snap, ok := r.snapshots[req.Seq]
+	if !ok {
+		return
+	}
+	r.sendTo(from, StateResponse{Seq: req.Seq, View: r.view, Snapshot: snap, Replica: r.cfg.ID})
+}
+
+func (r *Replica) onStateResponse(resp StateResponse) {
+	if resp.Seq <= r.executed {
+		return
+	}
+	// Verify against a checkpoint quorum before installing.
+	byReplica := r.checkpoints[resp.Seq]
+	digest := auth.Digest(resp.Snapshot)
+	matching := 0
+	for _, d := range byReplica {
+		if d == digest {
+			matching++
+		}
+	}
+	if matching < r.quorum() {
+		r.logf("state response at %d lacks a digest quorum", resp.Seq)
+		return
+	}
+	if err := r.restoreState(resp.Snapshot); err != nil {
+		r.logf("restore at %d: %v", resp.Seq, err)
+		return
+	}
+	r.executed = resp.Seq
+	if resp.Seq > r.seq {
+		r.seq = resp.Seq
+	}
+	r.snapshots[resp.Seq] = resp.Snapshot
+	r.stabilize(resp.Seq)
+	if resp.View > r.view {
+		r.view = resp.View
+		r.inViewChange = false
+	}
+	r.logf("state transfer installed seq %d", resp.Seq)
+	r.tryExecute()
+}

@@ -1,0 +1,142 @@
+package bft
+
+import (
+	"errors"
+	"fmt"
+
+	"peats/internal/peats"
+	"peats/internal/policy"
+	"peats/internal/space"
+	"peats/internal/tuple"
+	"peats/internal/wire"
+)
+
+// Service is the deterministic state machine a replica executes. The
+// replication layer guarantees every correct replica applies the same
+// (client, op) sequence; the service must therefore be a pure function
+// of that sequence (paper §4: "both the augmented tuple space and the
+// reference monitor are deterministic objects").
+type Service interface {
+	// Execute applies one operation invoked by the authenticated client
+	// and returns the canonical result bytes.
+	Execute(client string, op []byte) []byte
+	// Snapshot returns the canonical encoding of the current state.
+	Snapshot() []byte
+	// Restore replaces the state with a snapshot.
+	Restore(snapshot []byte) error
+}
+
+// SpaceService is the PEATS state machine: an augmented tuple space
+// guarded by the reference monitor, executing wire.SpaceOp operations.
+// This is the box marked "interceptor + tuple space" in Fig. 2.
+type SpaceService struct {
+	inner *space.Space
+	pol   policy.Policy
+}
+
+var _ Service = (*SpaceService)(nil)
+
+// NewSpaceService returns a PEATS service protected by the given policy.
+func NewSpaceService(pol policy.Policy) *SpaceService {
+	return &SpaceService{inner: space.New(), pol: pol}
+}
+
+// Space exposes the underlying space for inspection in tests.
+func (s *SpaceService) Space() *space.Space { return s.inner }
+
+// Execute implements Service. Malformed operations yield StatusError;
+// operations rejected by the monitor yield StatusDenied. Both are
+// deterministic results, so replicas never diverge on bad input.
+func (s *SpaceService) Execute(client string, op []byte) []byte {
+	decoded, err := wire.DecodeSpaceOp(op)
+	if err != nil {
+		return wire.EncodeSpaceResult(wire.SpaceResult{
+			Status: wire.StatusError, Detail: err.Error(),
+		})
+	}
+	inv := policy.Invocation{
+		Invoker:  policy.ProcessID(client),
+		Op:       decoded.Op,
+		Template: decoded.Template,
+		Entry:    decoded.Entry,
+	}
+	var res wire.SpaceResult
+	s.inner.Do(func(tx *space.Tx) {
+		if d := s.pol.Evaluate(inv, tx); !d.Allowed {
+			res = wire.SpaceResult{Status: wire.StatusDenied, Detail: inv.String()}
+			return
+		}
+		switch decoded.Op {
+		case policy.OpOut:
+			if err := tx.Out(decoded.Entry); err != nil {
+				res = wire.SpaceResult{Status: wire.StatusError, Detail: err.Error()}
+				return
+			}
+			res = wire.SpaceResult{Status: wire.StatusOK}
+		case policy.OpRdp:
+			t, ok := tx.Rdp(decoded.Template)
+			res = wire.SpaceResult{Status: wire.StatusOK, Found: ok, Tuple: t}
+		case policy.OpInp:
+			t, ok := tx.Inp(decoded.Template)
+			res = wire.SpaceResult{Status: wire.StatusOK, Found: ok, Tuple: t}
+		case policy.OpRdAll:
+			all := tx.RdAll(decoded.Template)
+			res = wire.SpaceResult{Status: wire.StatusOK, Found: len(all) > 0, Tuples: all}
+		case policy.OpCas:
+			ins, matched, err := tx.Cas(decoded.Template, decoded.Entry)
+			if err != nil {
+				res = wire.SpaceResult{Status: wire.StatusError, Detail: err.Error()}
+				return
+			}
+			res = wire.SpaceResult{Status: wire.StatusOK, Inserted: ins, Tuple: matched}
+		default:
+			res = wire.SpaceResult{Status: wire.StatusError,
+				Detail: fmt.Sprintf("unsupported op %v", decoded.Op)}
+		}
+	})
+	return wire.EncodeSpaceResult(res)
+}
+
+// Snapshot implements Service: the canonical encoding of the tuple list.
+func (s *SpaceService) Snapshot() []byte {
+	tuples := s.inner.Snapshot()
+	w := wire.NewWriter()
+	w.Uvarint(uint64(len(tuples)))
+	for _, t := range tuples {
+		w.Tuple(t)
+	}
+	return w.Data()
+}
+
+// Restore implements Service.
+func (s *SpaceService) Restore(snapshot []byte) error {
+	r := wire.NewReader(snapshot)
+	count := r.Uvarint()
+	if count > maxBatch {
+		return fmt.Errorf("bft: snapshot with %d tuples", count)
+	}
+	tuples := make([]tuple.Tuple, 0, count)
+	for i := uint64(0); i < count; i++ {
+		tuples = append(tuples, r.Tuple())
+	}
+	r.ExpectEOF()
+	if err := r.Err(); err != nil {
+		return fmt.Errorf("bft: restore space: %w", err)
+	}
+	s.inner.Restore(tuples)
+	return nil
+}
+
+// resultToError converts a decoded SpaceResult status into the error
+// the local PEATS would return, so the two realisations are
+// interchangeable behind peats.TupleSpace.
+func resultToError(res wire.SpaceResult) error {
+	switch res.Status {
+	case wire.StatusOK:
+		return nil
+	case wire.StatusDenied:
+		return fmt.Errorf("%w: %s", peats.ErrDenied, res.Detail)
+	default:
+		return errors.New("peats service: " + res.Detail)
+	}
+}

@@ -1,0 +1,161 @@
+package bft
+
+import (
+	"bytes"
+	"testing"
+
+	"peats/internal/policy"
+	"peats/internal/tuple"
+	"peats/internal/wire"
+)
+
+func execOp(t *testing.T, svc Service, client string, op wire.SpaceOp) wire.SpaceResult {
+	t.Helper()
+	raw := svc.Execute(client, wire.EncodeSpaceOp(op))
+	res, err := wire.DecodeSpaceResult(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestSpaceServiceExecute(t *testing.T) {
+	svc := NewSpaceService(policy.AllowAll())
+
+	res := execOp(t, svc, "c1", wire.SpaceOp{
+		Op: policy.OpOut, Entry: tuple.T(tuple.Str("A"), tuple.Int(1)),
+	})
+	if res.Status != wire.StatusOK {
+		t.Fatalf("out: %+v", res)
+	}
+
+	res = execOp(t, svc, "c1", wire.SpaceOp{
+		Op: policy.OpRdp, Template: tuple.T(tuple.Str("A"), tuple.Formal("v")),
+	})
+	if res.Status != wire.StatusOK || !res.Found {
+		t.Fatalf("rdp: %+v", res)
+	}
+	if v, _ := res.Tuple.Field(1).IntValue(); v != 1 {
+		t.Errorf("rdp tuple = %v", res.Tuple)
+	}
+
+	res = execOp(t, svc, "c1", wire.SpaceOp{
+		Op:       policy.OpCas,
+		Template: tuple.T(tuple.Str("D"), tuple.Formal("d")),
+		Entry:    tuple.T(tuple.Str("D"), tuple.Int(9)),
+	})
+	if res.Status != wire.StatusOK || !res.Inserted {
+		t.Fatalf("cas: %+v", res)
+	}
+
+	res = execOp(t, svc, "c1", wire.SpaceOp{
+		Op: policy.OpInp, Template: tuple.T(tuple.Str("A"), tuple.Any()),
+	})
+	if res.Status != wire.StatusOK || !res.Found {
+		t.Fatalf("inp: %+v", res)
+	}
+	if svc.Space().Len() != 1 {
+		t.Errorf("space len = %d, want 1 (the decision)", svc.Space().Len())
+	}
+}
+
+func TestSpaceServiceDenial(t *testing.T) {
+	// Deny-all policy: operations return StatusDenied and leave state
+	// untouched.
+	svc := NewSpaceService(policy.New())
+	res := execOp(t, svc, "evil", wire.SpaceOp{
+		Op: policy.OpOut, Entry: tuple.T(tuple.Str("X")),
+	})
+	if res.Status != wire.StatusDenied {
+		t.Fatalf("status = %v, want denied", res.Status)
+	}
+	if svc.Space().Len() != 0 {
+		t.Error("denied op mutated state")
+	}
+}
+
+func TestSpaceServiceMalformedOp(t *testing.T) {
+	svc := NewSpaceService(policy.AllowAll())
+	raw := svc.Execute("c1", []byte{0xde, 0xad})
+	res, err := wire.DecodeSpaceResult(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != wire.StatusError {
+		t.Errorf("status = %v, want error", res.Status)
+	}
+	// Nil op (the view-change no-op) is also a deterministic error.
+	raw = svc.Execute("", nil)
+	if _, err := wire.DecodeSpaceResult(raw); err != nil {
+		t.Errorf("no-op execution must still produce a decodable result: %v", err)
+	}
+}
+
+func TestSpaceServiceDeterminism(t *testing.T) {
+	// Two replicas fed the same operation sequence produce identical
+	// results and snapshots.
+	mkOps := func() [][]byte {
+		return [][]byte{
+			wire.EncodeSpaceOp(wire.SpaceOp{Op: policy.OpOut, Entry: tuple.T(tuple.Str("K"), tuple.Int(1))}),
+			wire.EncodeSpaceOp(wire.SpaceOp{Op: policy.OpOut, Entry: tuple.T(tuple.Str("K"), tuple.Int(2))}),
+			wire.EncodeSpaceOp(wire.SpaceOp{Op: policy.OpInp, Template: tuple.T(tuple.Str("K"), tuple.Any())}),
+			wire.EncodeSpaceOp(wire.SpaceOp{Op: policy.OpCas,
+				Template: tuple.T(tuple.Str("K"), tuple.Formal("x")),
+				Entry:    tuple.T(tuple.Str("K"), tuple.Int(3))}),
+			{0xff}, // malformed, still deterministic
+		}
+	}
+	a, b := NewSpaceService(policy.AllowAll()), NewSpaceService(policy.AllowAll())
+	for i, op := range mkOps() {
+		ra := a.Execute("c", op)
+		rb := b.Execute("c", op)
+		if !bytes.Equal(ra, rb) {
+			t.Errorf("op %d: results diverge", i)
+		}
+	}
+	if !bytes.Equal(a.Snapshot(), b.Snapshot()) {
+		t.Error("snapshots diverge")
+	}
+}
+
+func TestSpaceServiceSnapshotRestore(t *testing.T) {
+	a := NewSpaceService(policy.AllowAll())
+	for i := int64(0); i < 5; i++ {
+		execOp(t, a, "c", wire.SpaceOp{Op: policy.OpOut, Entry: tuple.T(tuple.Str("S"), tuple.Int(i))})
+	}
+	snap := a.Snapshot()
+
+	b := NewSpaceService(policy.AllowAll())
+	if err := b.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Snapshot(), b.Snapshot()) {
+		t.Error("restored snapshot differs")
+	}
+	// Restored replica continues deterministically.
+	ra := a.Execute("c", wire.EncodeSpaceOp(wire.SpaceOp{Op: policy.OpInp, Template: tuple.T(tuple.Str("S"), tuple.Any())}))
+	rb := b.Execute("c", wire.EncodeSpaceOp(wire.SpaceOp{Op: policy.OpInp, Template: tuple.T(tuple.Str("S"), tuple.Any())}))
+	if !bytes.Equal(ra, rb) {
+		t.Error("post-restore execution diverges")
+	}
+
+	if err := b.Restore([]byte{0xff, 0xff}); err == nil {
+		t.Error("malformed snapshot accepted")
+	}
+}
+
+func TestCorruptServiceLies(t *testing.T) {
+	inner := NewSpaceService(policy.AllowAll())
+	corrupt := NewCorruptService(inner)
+	op := wire.EncodeSpaceOp(wire.SpaceOp{Op: policy.OpOut, Entry: tuple.T(tuple.Str("X"))})
+	honest := inner.Execute("c", op)
+	// Fresh service so the state matches.
+	corruptInner := NewSpaceService(policy.AllowAll())
+	bad := NewCorruptService(corruptInner).Execute("c", op)
+	if bytes.Equal(honest, bad) {
+		t.Error("corrupt service returned honest bytes")
+	}
+	if corrupt.Corruptions() != 0 {
+		t.Error("corruption counter should start at 0")
+	}
+}

@@ -1,0 +1,177 @@
+package bft
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"peats/internal/auth"
+	"peats/internal/consensus"
+	"peats/internal/peats"
+	"peats/internal/policy"
+	"peats/internal/transport"
+	"peats/internal/tuple"
+	"peats/internal/universal"
+)
+
+// startTCPCluster runs a 3f+1 replica group over real TCP loopback with
+// HMAC-authenticated frames — the cmd/peats-server deployment, in-process.
+func startTCPCluster(t *testing.T, f int, pol policy.Policy, clients []string) ([]string, map[string]string, []byte) {
+	t.Helper()
+	n := 3*f + 1
+	ids := make([]string, n)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("r%d", i)
+	}
+	master := []byte("tcp-test-master")
+	everyone := append(append([]string{}, ids...), clients...)
+
+	addrs := make(map[string]string)
+	var trs []*transport.TCP
+	for _, id := range ids {
+		kr := auth.NewKeyringFromMaster(master, id, everyone)
+		tr, err := transport.NewTCP(id, "127.0.0.1:0", addrs, kr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		trs = append(trs, tr)
+		addrs[id] = tr.Addr()
+	}
+	for _, tr := range trs {
+		for id, addr := range addrs {
+			tr.SetPeerAddr(id, addr)
+		}
+	}
+	var reps []*Replica
+	for i, id := range ids {
+		rep, err := NewReplica(ReplicaConfig{
+			ID: id, Replicas: ids, F: f,
+			Transport: trs[i],
+			Service:   NewSpaceService(pol),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep.Start()
+		reps = append(reps, rep)
+	}
+	t.Cleanup(func() {
+		for _, r := range reps {
+			r.Stop()
+		}
+		for _, tr := range trs {
+			_ = tr.Close()
+		}
+	})
+	return ids, addrs, master
+}
+
+func tcpClient(t *testing.T, ids []string, addrs map[string]string, master []byte, id string, f int) *RemoteSpace {
+	t.Helper()
+	kr := auth.NewKeyringFromMaster(master, id, ids)
+	tr, err := transport.NewTCP(id, "127.0.0.1:0", addrs, kr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = tr.Close() })
+	return NewRemoteSpace(NewClient(tr, ids, f))
+}
+
+func TestReplicatedOverTCP(t *testing.T) {
+	procs := []policy.ProcessID{"p0", "p1", "p2", "p3"}
+	pol := consensus.StrongPolicy(procs, 1, []int64{0, 1})
+	ids, addrs, master := startTCPCluster(t, 1, pol, []string{"p0", "p1", "p2", "p3"})
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	// Policy enforced across TCP: an impersonated proposal is denied by
+	// every replica's monitor.
+	evil := tcpClient(t, ids, addrs, master, "p3", 1)
+	err := evil.Out(ctx, tuple.T(tuple.Str("PROPOSE"), tuple.Str("p0"), tuple.Int(1)))
+	if !errors.Is(err, peats.ErrDenied) {
+		t.Fatalf("impersonation over TCP err = %v, want denial", err)
+	}
+
+	// Strong consensus across TCP clients.
+	type result struct {
+		v   int64
+		err error
+	}
+	results := make(chan result, 3)
+	for i := 0; i < 3; i++ {
+		go func(i int) {
+			me := procs[i]
+			ts := tcpClient(t, ids, addrs, master, string(me), 1)
+			c, err := consensus.NewStrong(ts, consensus.StrongConfig{
+				Self: me, Procs: procs, T: 1, Domain: []int64{0, 1},
+				PollInterval: 5 * time.Millisecond,
+			})
+			if err != nil {
+				results <- result{err: err}
+				return
+			}
+			v, err := c.Propose(ctx, 1)
+			results <- result{v: v, err: err}
+		}(i)
+	}
+	for i := 0; i < 3; i++ {
+		r := <-results
+		if r.err != nil {
+			t.Fatal(r.err)
+		}
+		if r.v != 1 {
+			t.Errorf("decided %d, want 1", r.v)
+		}
+	}
+}
+
+func TestUniversalConstructionOverReplicatedSpace(t *testing.T) {
+	// The wait-free universal construction (Alg. 4) over the replicated
+	// PEATS: a FIFO queue emulated on top of a BFT cluster — the full
+	// stack of the paper in one test.
+	procs := []policy.ProcessID{"u0", "u1"}
+	pol := universal.WaitFreePolicy(procs)
+	services := []Service{
+		NewSpaceService(pol), NewSpaceService(pol), NewSpaceService(pol), NewSpaceService(pol),
+	}
+	cl, err := NewCluster(1, services)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Stop()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	mk := func(id policy.ProcessID) *universal.WaitFree {
+		ts := NewRemoteSpace(cl.Client(string(id)))
+		u, err := universal.NewWaitFree(ts, universal.QueueType{}, id, procs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return u
+	}
+	producer, consumer := mk("u0"), mk("u1")
+	for i := int64(1); i <= 3; i++ {
+		if _, err := producer.Invoke(ctx, universal.Enqueue(i*7)); err != nil {
+			t.Fatalf("enqueue: %v", err)
+		}
+	}
+	for i := int64(1); i <= 3; i++ {
+		r, err := consumer.Invoke(ctx, universal.Dequeue())
+		if err != nil {
+			t.Fatalf("dequeue: %v", err)
+		}
+		if v, ok := universal.ReplyValue(r); !ok || v != i*7 {
+			t.Errorf("dequeue #%d = %d, want %d", i, v, i*7)
+		}
+	}
+	r, err := consumer.Invoke(ctx, universal.Dequeue())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !universal.ReplyEmpty(r) {
+		t.Error("queue should be empty")
+	}
+}

@@ -1,0 +1,243 @@
+package bft
+
+// View changes: a backup that suspects the primary (a pending request
+// did not commit before its timer fired, or the primary equivocated)
+// broadcasts VIEW-CHANGE for the next view with the pre-prepares of the
+// requests it prepared. The primary of the new view installs it with
+// NEW-VIEW once it holds 2f+1 view-change messages, re-issuing
+// pre-prepares for every request prepared by any quorum member; holes in
+// the sequence space are filled with no-op requests so execution never
+// stalls. A replica that sees f+1 view-changes for a higher view joins
+// the change even if its own timer has not fired (the PBFT liveness
+// rule).
+
+// armTimer starts (or restarts) the view-change timer.
+func (r *Replica) armTimer() {
+	if !r.timer.Stop() {
+		select {
+		case <-r.timer.C:
+		default:
+		}
+	}
+	r.timer.Reset(r.nextTimeout)
+}
+
+func (r *Replica) disarmTimer() {
+	if !r.timer.Stop() {
+		select {
+		case <-r.timer.C:
+		default:
+		}
+	}
+}
+
+func (r *Replica) onTimeout() {
+	if r.inViewChange {
+		// The view change itself stalled: move to the next view.
+		r.startViewChange(r.view + 1)
+		return
+	}
+	if len(r.pending) == 0 {
+		return
+	}
+	r.logf("request timer expired, suspecting primary %s", r.primary(r.view))
+	r.startViewChange(r.view + 1)
+}
+
+// preparedProofs collects the pre-prepares of entries prepared above the
+// stable checkpoint (the P set of PBFT, with channel MACs standing in
+// for per-message proofs).
+func (r *Replica) preparedProofs() []PrePrepare {
+	var out []PrePrepare
+	for seq, e := range r.entries {
+		if seq <= r.lowWater || e.prePrepare == nil {
+			continue
+		}
+		if len(e.prepares) >= r.quorum() {
+			out = append(out, *e.prePrepare)
+		}
+	}
+	return out
+}
+
+func (r *Replica) startViewChange(newView uint64) {
+	if newView <= r.view {
+		return
+	}
+	r.inViewChange = true
+	r.view = newView
+	vc := ViewChange{
+		NewView:    newView,
+		LastStable: r.lowWater,
+		Prepared:   r.preparedProofs(),
+		Replica:    r.cfg.ID,
+	}
+	r.logf("starting view change to %d (%d prepared)", newView, len(vc.Prepared))
+	r.recordViewChange(vc)
+	r.broadcast(vc)
+	// Exponential backoff prevents view-change livelock under asynchrony.
+	r.nextTimeout *= 2
+	r.armTimer()
+}
+
+func (r *Replica) onViewChange(vc ViewChange) {
+	if vc.NewView <= r.view && !(vc.NewView == r.view && r.inViewChange) {
+		return
+	}
+	r.recordViewChange(vc)
+
+	// Liveness rule: join a view change supported by f+1 replicas even
+	// if our own timer has not fired.
+	if vc.NewView > r.view && len(r.viewChanges[vc.NewView]) >= r.cfg.F+1 {
+		r.startViewChange(vc.NewView)
+	}
+	r.maybeInstallView(vc.NewView)
+}
+
+func (r *Replica) recordViewChange(vc ViewChange) {
+	byReplica, ok := r.viewChanges[vc.NewView]
+	if !ok {
+		byReplica = make(map[string]ViewChange)
+		r.viewChanges[vc.NewView] = byReplica
+	}
+	byReplica[vc.Replica] = vc
+}
+
+// maybeInstallView runs at the would-be primary: with 2f+1 view-change
+// messages for the target view it composes and broadcasts NEW-VIEW.
+func (r *Replica) maybeInstallView(view uint64) {
+	if r.primary(view) != r.cfg.ID || view != r.view || !r.inViewChange {
+		return
+	}
+	vcs := r.viewChanges[view]
+	if len(vcs) < r.quorum() {
+		return
+	}
+
+	// Merge the prepared sets: highest-view pre-prepare wins per seq.
+	merged := make(map[uint64]PrePrepare)
+	maxSeq := r.lowWater
+	for _, vc := range vcs {
+		for _, pp := range vc.Prepared {
+			if pp.Seq <= r.lowWater {
+				continue
+			}
+			if cur, ok := merged[pp.Seq]; !ok || pp.View > cur.View {
+				merged[pp.Seq] = pp
+			}
+			if pp.Seq > maxSeq {
+				maxSeq = pp.Seq
+			}
+		}
+	}
+	// Re-stamp into the new view, filling holes with no-ops so the
+	// execution pipeline cannot stall on a gap.
+	pps := make([]PrePrepare, 0, maxSeq-r.lowWater)
+	for seq := r.lowWater + 1; seq <= maxSeq; seq++ {
+		pp, ok := merged[seq]
+		if !ok {
+			noop := Request{Client: "", ReqID: 0, Op: nil}
+			pp = PrePrepare{View: view, Seq: seq, Digest: noop.Digest(), Req: noop}
+		} else {
+			pp = PrePrepare{View: view, Seq: seq, Digest: pp.Digest, Req: pp.Req}
+		}
+		pps = append(pps, pp)
+	}
+
+	nv := NewView{View: view, PrePrepares: pps, Replica: r.cfg.ID}
+	r.logf("installing view %d with %d pre-prepares", view, len(pps))
+	r.broadcast(nv)
+	r.installView(view, pps)
+}
+
+func (r *Replica) onNewView(nv NewView) {
+	if nv.View < r.view || (nv.View == r.view && !r.inViewChange) {
+		return
+	}
+	// Validate the re-issued pre-prepares minimally: correct view and
+	// digests matching their requests.
+	for _, pp := range nv.PrePrepares {
+		if pp.View != nv.View || pp.Req.Digest() != pp.Digest {
+			r.logf("invalid NEW-VIEW from %s", nv.Replica)
+			return
+		}
+	}
+	r.installView(nv.View, nv.PrePrepares)
+	// Backups vote for the re-issued pre-prepares.
+	for _, pp := range nv.PrePrepares {
+		if pp.Seq <= r.lowWater {
+			continue
+		}
+		prep := Prepare{View: pp.View, Seq: pp.Seq, Digest: pp.Digest, Replica: r.cfg.ID}
+		r.broadcast(prep)
+	}
+}
+
+// installView switches to the view and reseeds the log with the
+// re-issued pre-prepares.
+func (r *Replica) installView(view uint64, pps []PrePrepare) {
+	r.view = view
+	r.inViewChange = false
+	r.nextTimeout = r.cfg.ViewChangeTimeout
+
+	// Reset per-view voting state above the stable checkpoint, keeping
+	// executed entries.
+	for seq, e := range r.entries {
+		if seq > r.lowWater && !e.executed {
+			delete(r.entries, seq)
+		}
+	}
+	r.assigned = make(map[[32]byte]uint64)
+	r.unverified = make(map[uint64]PrePrepare)
+	// Continue assigning after the view's re-issued pre-prepares, not
+	// after the stale counter of the previous view — otherwise a hole
+	// at an abandoned sequence number would stall execution forever.
+	r.seq = r.lowWater
+	if r.executed > r.seq {
+		r.seq = r.executed
+	}
+	for _, pp := range pps {
+		if pp.Seq > r.seq {
+			r.seq = pp.Seq
+		}
+	}
+	for seq := range r.viewChanges {
+		if seq <= view {
+			delete(r.viewChanges, seq)
+		}
+	}
+	for _, pp := range pps {
+		if pp.Seq <= r.lowWater {
+			continue
+		}
+		if e, ok := r.entries[pp.Seq]; ok && e.executed {
+			continue
+		}
+		if !r.verifiable(pp) {
+			// A Byzantine view-change participant may have smuggled a
+			// forged "prepared" request into the NEW-VIEW; only vouch
+			// for requests we saw first-hand (the client retransmits).
+			r.unverified[pp.Seq] = pp
+			continue
+		}
+		r.acceptPrePrepare(pp)
+		r.tryPrepared(pp.Seq)
+	}
+	if len(r.pending) > 0 {
+		r.armTimer()
+		// The new primary re-proposes pending requests that did not make
+		// it into the view's pre-prepares; backups wait for the client's
+		// retransmission (see onRequest for why replicas never forward).
+		if r.isPrimary() {
+			for digest, req := range r.pending {
+				if _, ok := r.assigned[digest]; ok {
+					continue
+				}
+				r.onRequest(req)
+			}
+		}
+	} else {
+		r.disarmTimer()
+	}
+	r.logf("entered view %d", view)
+}

@@ -1,0 +1,245 @@
+package consensus
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"peats/internal/peats"
+	"peats/internal/policy"
+	"peats/internal/tuple"
+)
+
+// bottomMarker is the string value representing the default value ⊥ in
+// a DECISION tuple. Proposals carry int values, so ⊥ can never collide
+// with a proposal (the Rout rule forbids proposing it outright).
+const bottomMarker = "⊥" // ⊥
+
+// Bottom is the default decision value ⊥ of default multivalued
+// consensus: decided when no value gathered t+1 proposals among the
+// first n−t observed.
+func Bottom() tuple.Field { return tuple.Str(bottomMarker) }
+
+// IsBottom reports whether a decision field is ⊥.
+func IsBottom(f tuple.Field) bool {
+	s, ok := f.StrValue()
+	return ok && s == bottomMarker
+}
+
+// Default is the paper's §5.4 default multivalued consensus object:
+// optimal resilience n ≥ 3t+1 with arbitrary (multivalued) proposals, at
+// the cost of a weakened validity — the object may decide ⊥ when the
+// proposals are too split, but only with a verifiable justification.
+type Default struct {
+	ts    peats.TupleSpace
+	self  policy.ProcessID
+	procs []policy.ProcessID
+	t     int
+	poll  time.Duration
+}
+
+// DefaultConfig configures a default multivalued consensus object.
+type DefaultConfig struct {
+	Self         policy.ProcessID
+	Procs        []policy.ProcessID
+	T            int
+	PollInterval time.Duration
+}
+
+// NewDefault returns a default consensus object over ts, which should be
+// protected by DefaultPolicy with matching parameters. It enforces the
+// optimal resilience bound n ≥ 3t+1.
+func NewDefault(ts peats.TupleSpace, cfg DefaultConfig) (*Default, error) {
+	if n := len(cfg.Procs); n < 3*cfg.T+1 {
+		return nil, fmt.Errorf("consensus: n=%d processes cannot tolerate t=%d faults (need n ≥ %d)",
+			n, cfg.T, 3*cfg.T+1)
+	}
+	poll := cfg.PollInterval
+	if poll <= 0 {
+		poll = time.Millisecond
+	}
+	procs := make([]policy.ProcessID, len(cfg.Procs))
+	copy(procs, cfg.Procs)
+	return &Default{ts: ts, self: cfg.Self, procs: procs, t: cfg.T, poll: poll}, nil
+}
+
+// Propose submits value v and returns the consensus value, which is
+// either a value proposed by a correct process or Bottom(). The object
+// is t-threshold.
+func (d *Default) Propose(ctx context.Context, v int64) (tuple.Field, error) {
+	err := d.ts.Out(ctx, tuple.T(tuple.Str(tagPropose), tuple.Str(string(d.self)), tuple.Int(v)))
+	if err != nil {
+		return tuple.Field{}, fmt.Errorf("default consensus: announce: %w", err)
+	}
+
+	n := len(d.procs)
+	sets := make(map[int64][]policy.ProcessID)
+	read := make(map[policy.ProcessID]struct{}, n)
+	var commit tuple.Field
+	var just tuple.Field
+	for commit.IsZero() {
+		for _, pj := range d.procs {
+			if _, done := read[pj]; done {
+				continue
+			}
+			t, found, err := d.ts.Rdp(ctx, tuple.T(tuple.Str(tagPropose), tuple.Str(string(pj)), tuple.Formal("v")))
+			if err != nil {
+				return tuple.Field{}, fmt.Errorf("default consensus: read proposals: %w", err)
+			}
+			if !found {
+				continue
+			}
+			pv, isInt := t.Field(2).IntValue()
+			if !isInt {
+				continue
+			}
+			read[pj] = struct{}{}
+			sets[pv] = append(sets[pv], pj)
+			if len(sets[pv]) >= d.t+1 {
+				commit = tuple.Int(pv)
+				just = PIDSetField(sets[pv][:d.t+1])
+				break
+			}
+		}
+		if !commit.IsZero() {
+			break
+		}
+		// After reading n−t proposals with no value at t+1, decide ⊥
+		// justified by every set collected so far (each ≤ t by
+		// construction of the loop above).
+		if len(read) >= n-d.t {
+			commit = Bottom()
+			just = JustificationField(Justification{Sets: sets})
+			break
+		}
+		select {
+		case <-ctx.Done():
+			return tuple.Field{}, fmt.Errorf("default consensus: %w", ctx.Err())
+		case <-time.After(d.poll):
+		}
+	}
+
+	inserted, matched, err := d.ts.Cas(ctx,
+		tuple.T(tuple.Str(tagDecision), tuple.Formal("d"), tuple.Any()),
+		tuple.T(tuple.Str(tagDecision), commit, just))
+	if err != nil {
+		return tuple.Field{}, fmt.Errorf("default consensus: commit: %w", err)
+	}
+	if inserted {
+		return commit, nil
+	}
+	dec := matched.Field(1)
+	if !dec.IsValue() {
+		return tuple.Field{}, fmt.Errorf("default consensus: malformed decision tuple %v", matched)
+	}
+	return dec, nil
+}
+
+// DefaultPolicy is the access policy of Fig. 5. It extends the strong
+// policy in two ways: proposals must differ from ⊥ (trivially true here
+// since proposals are ints and ⊥ is a string), and a DECISION with value
+// ⊥ must be justified by a set of sets {Sv} such that
+//
+//  1. ∪Sv contains at least n−t distinct participants,
+//  2. no Sv has more than t processes, and
+//  3. every q ∈ Sv corresponds to a <PROPOSE, q, v> tuple in the space.
+//
+// A DECISION with value v ≠ ⊥ requires the strong justification: t+1
+// proposers of v.
+func DefaultPolicy(procs []policy.ProcessID, t int) policy.Policy {
+	n := len(procs)
+	member := make(map[policy.ProcessID]struct{}, n)
+	for _, p := range procs {
+		member[p] = struct{}{}
+	}
+
+	rout := policy.And(
+		policy.EntryArity(3),
+		policy.EntryField(0, tuple.Str(tagPropose)),
+		policy.EntryFieldIsInvoker(1),
+		policy.Check(func(inv policy.Invocation, _ policy.StateView) bool {
+			_, ok := member[inv.Invoker]
+			if !ok {
+				return false
+			}
+			// Rule Rout of Fig. 5: the proposed value must not be ⊥.
+			if IsBottom(inv.Entry.Field(2)) {
+				return false
+			}
+			_, isInt := inv.Entry.Field(2).IntValue()
+			return isInt
+		}),
+		policy.Check(func(inv policy.Invocation, st policy.StateView) bool {
+			_, dup := st.Rdp(tuple.T(tuple.Str(tagPropose), inv.Entry.Field(1), tuple.Any()))
+			return !dup
+		}),
+	)
+
+	validValueDecision := func(inv policy.Invocation, st policy.StateView) bool {
+		set, err := DecodePIDSetField(inv.Entry.Field(2))
+		if err != nil || len(set) < t+1 {
+			return false
+		}
+		for _, q := range set {
+			if _, ok := member[q]; !ok {
+				return false
+			}
+			tmpl := tuple.T(tuple.Str(tagPropose), tuple.Str(string(q)), inv.Entry.Field(1))
+			if _, ok := st.Rdp(tmpl); !ok {
+				return false
+			}
+		}
+		return true
+	}
+
+	validBottomDecision := func(inv policy.Invocation, st policy.StateView) bool {
+		just, err := DecodeJustificationField(inv.Entry.Field(2))
+		if err != nil {
+			return false
+		}
+		union := make(map[policy.ProcessID]struct{})
+		for v, set := range just.Sets {
+			// Condition 2: no set larger than t.
+			if len(set) > t {
+				return false
+			}
+			for _, q := range set {
+				if _, ok := member[q]; !ok {
+					return false
+				}
+				// Condition 3: every claimed proposal exists.
+				tmpl := tuple.T(tuple.Str(tagPropose), tuple.Str(string(q)), tuple.Int(v))
+				if _, ok := st.Rdp(tmpl); !ok {
+					return false
+				}
+				union[q] = struct{}{}
+			}
+		}
+		// Condition 1: at least n−t proposals observed.
+		return len(union) >= n-t
+	}
+
+	rcas := policy.And(
+		policy.TemplateArity(3),
+		policy.TemplateField(0, tuple.Str(tagDecision)),
+		policy.TemplateFieldFormal(1),
+		policy.EntryArity(3),
+		policy.EntryField(0, tuple.Str(tagDecision)),
+		policy.Check(func(inv policy.Invocation, st policy.StateView) bool {
+			if IsBottom(inv.Entry.Field(1)) {
+				return validBottomDecision(inv, st)
+			}
+			if _, isInt := inv.Entry.Field(1).IntValue(); !isInt {
+				return false
+			}
+			return validValueDecision(inv, st)
+		}),
+	)
+
+	return policy.New(
+		policy.Rule{Name: "Rrd", Op: policy.OpRd, When: policy.Always},
+		policy.Rule{Name: "Rrdp", Op: policy.OpRdp, When: policy.Always},
+		policy.Rule{Name: "Rout", Op: policy.OpOut, When: rout},
+		policy.Rule{Name: "Rcas", Op: policy.OpCas, When: rcas},
+	)
+}

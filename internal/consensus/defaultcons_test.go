@@ -1,0 +1,235 @@
+package consensus
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"peats/internal/peats"
+	"peats/internal/policy"
+	"peats/internal/tuple"
+)
+
+// runDefault runs default consensus; proposals maps process index to
+// value, absent indices stay silent.
+func runDefault(t *testing.T, n, ft int, proposals map[int]int64) map[int]tuple.Field {
+	t.Helper()
+	procs := pids(n)
+	s := peats.New(DefaultPolicy(procs, ft))
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	var mu sync.Mutex
+	decided := make(map[int]tuple.Field, len(proposals))
+	var wg sync.WaitGroup
+	for i, v := range proposals {
+		wg.Add(1)
+		go func(i int, v int64) {
+			defer wg.Done()
+			c, err := NewDefault(s.Handle(procs[i]), DefaultConfig{
+				Self: procs[i], Procs: procs, T: ft,
+				PollInterval: 100 * time.Microsecond,
+			})
+			if err != nil {
+				t.Errorf("p%d: %v", i, err)
+				return
+			}
+			d, err := c.Propose(ctx, v)
+			if err != nil {
+				t.Errorf("p%d propose: %v", i, err)
+				return
+			}
+			mu.Lock()
+			decided[i] = d
+			mu.Unlock()
+		}(i, v)
+	}
+	wg.Wait()
+	return decided
+}
+
+func TestDefaultUnanimousDecidesValue(t *testing.T) {
+	// Validity condition 1: all correct processes propose v ⇒ v decided.
+	proposals := map[int]int64{0: 5, 1: 5, 2: 5, 3: 5}
+	decided := runDefault(t, 4, 1, proposals)
+	if len(decided) != 4 {
+		t.Fatalf("%d decided, want 4", len(decided))
+	}
+	for i, d := range decided {
+		if v, ok := d.IntValue(); !ok || v != 5 {
+			t.Errorf("p%d decided %v, want 5", i, d)
+		}
+	}
+}
+
+func TestDefaultSplitMayDecideBottom(t *testing.T) {
+	// n=4, t=1, four distinct values: no value can gather t+1 = 2
+	// proposers, so every process must decide ⊥.
+	proposals := map[int]int64{0: 1, 1: 2, 2: 3, 3: 4}
+	decided := runDefault(t, 4, 1, proposals)
+	if len(decided) != 4 {
+		t.Fatalf("%d decided, want 4", len(decided))
+	}
+	for i, d := range decided {
+		if !IsBottom(d) {
+			t.Errorf("p%d decided %v, want ⊥", i, d)
+		}
+	}
+}
+
+func TestDefaultAgreementMixed(t *testing.T) {
+	// n=7, t=2: 12 proposed thrice (≥ t+1), rest split. Either 12 or ⊥
+	// can legally win the race, but everyone agrees.
+	proposals := map[int]int64{0: 12, 1: 12, 2: 12, 3: 4, 4: 5, 5: 6, 6: 7}
+	decided := runDefault(t, 7, 2, proposals)
+	var first tuple.Field
+	for i, d := range decided {
+		if first.IsZero() {
+			first = d
+			continue
+		}
+		if !d.Equal(first) {
+			t.Errorf("p%d decided %v, others %v", i, d, first)
+		}
+	}
+	if !IsBottom(first) {
+		if v, _ := first.IntValue(); v != 12 {
+			t.Errorf("decided %v, want 12 or ⊥", first)
+		}
+	}
+}
+
+func TestDefaultByzantineCannotForceBottom(t *testing.T) {
+	// All 3 correct processes (n=4, t=1) propose 5; the Byzantine
+	// process tries to push a ⊥ decision with a bogus justification.
+	// Every attempt must be denied, and the decision must be 5.
+	procs := pids(4)
+	s := peats.New(DefaultPolicy(procs, 1))
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	evil := s.Handle(procs[3])
+
+	decTmpl := tuple.T(tuple.Str("DECISION"), tuple.Formal("d"), tuple.Any())
+
+	// Attempt 1: ⊥ with an empty justification (union < n−t).
+	_, _, err := evil.Cas(ctx, decTmpl,
+		tuple.T(tuple.Str("DECISION"), Bottom(), JustificationField(Justification{})))
+	if !errors.Is(err, peats.ErrDenied) {
+		t.Errorf("empty justification err = %v, want denial", err)
+	}
+
+	// Attempt 2: ⊥ claiming proposals that do not exist.
+	fake := Justification{Sets: map[int64][]policy.ProcessID{
+		1: {"p0"}, 2: {"p1"}, 3: {"p2"},
+	}}
+	_, _, err = evil.Cas(ctx, decTmpl,
+		tuple.T(tuple.Str("DECISION"), Bottom(), JustificationField(fake)))
+	if !errors.Is(err, peats.ErrDenied) {
+		t.Errorf("fabricated justification err = %v, want denial", err)
+	}
+
+	// Attempt 3: proposing ⊥ itself is forbidden by Rout. ⊥ is a string
+	// so it is rejected as a proposal value outright.
+	err = evil.Out(ctx, tuple.T(tuple.Str("PROPOSE"), tuple.Str("p3"), Bottom()))
+	if !errors.Is(err, peats.ErrDenied) {
+		t.Errorf("⊥ proposal err = %v, want denial", err)
+	}
+
+	// Now the correct processes run; the evil process also proposes a
+	// legal value 9 to try splitting.
+	if err := evil.Out(ctx, tuple.T(tuple.Str("PROPOSE"), tuple.Str("p3"), tuple.Int(9))); err != nil {
+		t.Fatal(err)
+	}
+	// Attempt 4: with its own proposal in place, evil claims a split:
+	// {5:{p0}, 9:{p3}} — union is only 2 < n−t = 3. Denied.
+	// (It cannot do better: it cannot wait for all three correct
+	// proposals and still show every set ≤ t, since 5 will have 3 > t.)
+	var wg sync.WaitGroup
+	decisions := make([]tuple.Field, 3)
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c, _ := NewDefault(s.Handle(procs[i]), DefaultConfig{
+				Self: procs[i], Procs: procs, T: 1,
+				PollInterval: 100 * time.Microsecond,
+			})
+			d, err := c.Propose(ctx, 5)
+			if err != nil {
+				t.Errorf("p%d: %v", i, err)
+				return
+			}
+			decisions[i] = d
+		}(i)
+	}
+	wg.Wait()
+	for i, d := range decisions {
+		if v, ok := d.IntValue(); !ok || v != 5 {
+			t.Errorf("p%d decided %v, want 5", i, d)
+		}
+	}
+}
+
+func TestDefaultBottomJustificationChecked(t *testing.T) {
+	// A legitimate ⊥ decision must carry sets each ≤ t whose union is
+	// ≥ n−t, with every claimed proposal present. Craft the state by
+	// hand and probe the policy boundary cases directly.
+	procs := pids(4)
+	ft := 1
+	s := peats.New(DefaultPolicy(procs, ft))
+	ctx := context.Background()
+
+	// Three distinct proposals (n−t = 3 observed, no value at t+1).
+	for i := 0; i < 3; i++ {
+		h := s.Handle(procs[i])
+		err := h.Out(ctx, tuple.T(tuple.Str("PROPOSE"), tuple.Str(string(procs[i])), tuple.Int(int64(i+1))))
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	decTmpl := tuple.T(tuple.Str("DECISION"), tuple.Formal("d"), tuple.Any())
+
+	// A set larger than t invalidates the justification even if true.
+	tooBig := Justification{Sets: map[int64][]policy.ProcessID{
+		1: {"p0", "p1"}, // claims two proposers of 1 — |S| > t and also false
+		2: {"p1"},
+		3: {"p2"},
+	}}
+	_, _, err := s.Handle("p0").Cas(ctx, decTmpl,
+		tuple.T(tuple.Str("DECISION"), Bottom(), JustificationField(tooBig)))
+	if !errors.Is(err, peats.ErrDenied) {
+		t.Errorf("oversized set err = %v, want denial", err)
+	}
+
+	// The correct justification is accepted.
+	good := Justification{Sets: map[int64][]policy.ProcessID{
+		1: {"p0"}, 2: {"p1"}, 3: {"p2"},
+	}}
+	ins, _, err := s.Handle("p0").Cas(ctx, decTmpl,
+		tuple.T(tuple.Str("DECISION"), Bottom(), JustificationField(good)))
+	if err != nil || !ins {
+		t.Errorf("valid ⊥ decision rejected: ins=%v err=%v", ins, err)
+	}
+}
+
+func TestDefaultResilienceBound(t *testing.T) {
+	s := peats.New(DefaultPolicy(pids(3), 1))
+	_, err := NewDefault(s.Handle("p0"), DefaultConfig{Self: "p0", Procs: pids(3), T: 1})
+	if err == nil {
+		t.Error("n=3t accepted for default consensus")
+	}
+	if _, err := NewDefault(s.Handle("p0"), DefaultConfig{Self: "p0", Procs: pids(4), T: 1}); err != nil {
+		t.Errorf("n=3t+1 rejected: %v", err)
+	}
+}
+
+func TestBottomHelpers(t *testing.T) {
+	if !IsBottom(Bottom()) {
+		t.Error("IsBottom(Bottom()) = false")
+	}
+	if IsBottom(tuple.Int(0)) || IsBottom(tuple.Str("x")) || IsBottom(tuple.Any()) {
+		t.Error("IsBottom true for non-bottom field")
+	}
+}

@@ -1,0 +1,159 @@
+// Package consensus implements the paper's consensus objects over a
+// PEATS (§5): weak consensus (Alg. 1), strong consensus (Alg. 2,
+// generalised to k values per §5.3), and default multivalued consensus
+// (§5.4), together with the access policies of Figs. 3, 4 and 5 that
+// make them tolerate Byzantine processes.
+package consensus
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"peats/internal/policy"
+	"peats/internal/tuple"
+)
+
+// encodePIDs returns the canonical encoding of a set of process
+// identifiers: sorted, deduplicated, length-prefixed. Canonical form
+// matters because the justification travels inside a tuple field that
+// replicas compare bytewise.
+func encodePIDs(pids []policy.ProcessID) []byte {
+	set := make([]string, 0, len(pids))
+	seen := make(map[string]struct{}, len(pids))
+	for _, p := range pids {
+		s := string(p)
+		if _, dup := seen[s]; dup {
+			continue
+		}
+		seen[s] = struct{}{}
+		set = append(set, s)
+	}
+	sort.Strings(set)
+	out := binary.AppendUvarint(nil, uint64(len(set)))
+	for _, s := range set {
+		out = binary.AppendUvarint(out, uint64(len(s)))
+		out = append(out, s...)
+	}
+	return out
+}
+
+// decodePIDs parses an encoded process-id set, rejecting non-canonical
+// encodings (unsorted or duplicated elements) so a Byzantine process
+// cannot inflate a justification.
+func decodePIDs(b []byte) ([]policy.ProcessID, int, error) {
+	n, consumed := binary.Uvarint(b)
+	if consumed <= 0 {
+		return nil, 0, fmt.Errorf("pid set: bad count")
+	}
+	pids := make([]policy.ProcessID, 0, n)
+	prev := ""
+	for i := uint64(0); i < n; i++ {
+		l, m := binary.Uvarint(b[consumed:])
+		if m <= 0 {
+			return nil, 0, fmt.Errorf("pid set: bad length")
+		}
+		consumed += m
+		if uint64(len(b)-consumed) < l {
+			return nil, 0, fmt.Errorf("pid set: truncated")
+		}
+		s := string(b[consumed : consumed+int(l)])
+		consumed += int(l)
+		if i > 0 && s <= prev {
+			return nil, 0, fmt.Errorf("pid set: not canonical")
+		}
+		prev = s
+		pids = append(pids, policy.ProcessID(s))
+	}
+	return pids, consumed, nil
+}
+
+// PIDSetField packs a set of process ids into a bytes tuple field.
+func PIDSetField(pids []policy.ProcessID) tuple.Field {
+	return tuple.Bytes(encodePIDs(pids))
+}
+
+// DecodePIDSetField unpacks a PIDSetField.
+func DecodePIDSetField(f tuple.Field) ([]policy.ProcessID, error) {
+	b, ok := f.BytesValue()
+	if !ok {
+		return nil, fmt.Errorf("pid set: field is not bytes")
+	}
+	pids, n, err := decodePIDs(b)
+	if err != nil {
+		return nil, err
+	}
+	if n != len(b) {
+		return nil, fmt.Errorf("pid set: trailing bytes")
+	}
+	return pids, nil
+}
+
+// Justification is the set-of-sets a process must exhibit to decide ⊥
+// in default consensus: for each value, the processes it read proposing
+// that value (paper §5.4, Fig. 5 rule Rcas).
+type Justification struct {
+	// Sets maps each proposed value to the set of proposers observed.
+	Sets map[int64][]policy.ProcessID
+}
+
+// encode returns the canonical encoding: values ascending, each with its
+// canonical pid set.
+func (j Justification) encode() []byte {
+	vals := make([]int64, 0, len(j.Sets))
+	for v := range j.Sets {
+		vals = append(vals, v)
+	}
+	sort.Slice(vals, func(a, b int) bool { return vals[a] < vals[b] })
+	out := binary.AppendUvarint(nil, uint64(len(vals)))
+	for _, v := range vals {
+		out = binary.AppendUvarint(out, zigzag(v))
+		out = append(out, encodePIDs(j.Sets[v])...)
+	}
+	return out
+}
+
+// JustificationField packs a justification into a bytes tuple field.
+func JustificationField(j Justification) tuple.Field {
+	return tuple.Bytes(j.encode())
+}
+
+// DecodeJustificationField unpacks a JustificationField, enforcing
+// canonical form.
+func DecodeJustificationField(f tuple.Field) (Justification, error) {
+	b, ok := f.BytesValue()
+	if !ok {
+		return Justification{}, fmt.Errorf("justification: field is not bytes")
+	}
+	n, consumed := binary.Uvarint(b)
+	if consumed <= 0 {
+		return Justification{}, fmt.Errorf("justification: bad count")
+	}
+	j := Justification{Sets: make(map[int64][]policy.ProcessID, n)}
+	var prev int64
+	for i := uint64(0); i < n; i++ {
+		u, m := binary.Uvarint(b[consumed:])
+		if m <= 0 {
+			return Justification{}, fmt.Errorf("justification: bad value")
+		}
+		consumed += m
+		v := unzigzag(u)
+		if i > 0 && v <= prev {
+			return Justification{}, fmt.Errorf("justification: not canonical")
+		}
+		prev = v
+		pids, m2, err := decodePIDs(b[consumed:])
+		if err != nil {
+			return Justification{}, err
+		}
+		consumed += m2
+		j.Sets[v] = pids
+	}
+	if consumed != len(b) {
+		return Justification{}, fmt.Errorf("justification: trailing bytes")
+	}
+	return j, nil
+}
+
+func zigzag(v int64) uint64   { return uint64((v << 1) ^ (v >> 63)) }
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }

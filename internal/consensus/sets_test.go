@@ -1,0 +1,159 @@
+package consensus
+
+import (
+	"testing"
+	"testing/quick"
+
+	"peats/internal/policy"
+	"peats/internal/tuple"
+)
+
+func TestPIDSetRoundTrip(t *testing.T) {
+	tests := []struct {
+		name string
+		in   []policy.ProcessID
+		want []policy.ProcessID
+	}{
+		{"empty", nil, []policy.ProcessID{}},
+		{"single", []policy.ProcessID{"p1"}, []policy.ProcessID{"p1"}},
+		{"sorted", []policy.ProcessID{"a", "b"}, []policy.ProcessID{"a", "b"}},
+		{"unsorted input canonicalised", []policy.ProcessID{"c", "a", "b"},
+			[]policy.ProcessID{"a", "b", "c"}},
+		{"duplicates removed", []policy.ProcessID{"x", "x", "y"},
+			[]policy.ProcessID{"x", "y"}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			f := PIDSetField(tt.in)
+			got, err := DecodePIDSetField(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(tt.want) {
+				t.Fatalf("got %v, want %v", got, tt.want)
+			}
+			for i := range got {
+				if got[i] != tt.want[i] {
+					t.Errorf("got %v, want %v", got, tt.want)
+				}
+			}
+		})
+	}
+}
+
+func TestDecodePIDSetRejectsNonCanonical(t *testing.T) {
+	// Hand-craft an unsorted encoding: count=2, "b", "a".
+	raw := []byte{2, 1, 'b', 1, 'a'}
+	if _, err := DecodePIDSetField(tuple.Bytes(raw)); err == nil {
+		t.Error("unsorted set accepted")
+	}
+	// Duplicated: "a", "a".
+	raw = []byte{2, 1, 'a', 1, 'a'}
+	if _, err := DecodePIDSetField(tuple.Bytes(raw)); err == nil {
+		t.Error("duplicated set accepted")
+	}
+	// Truncated.
+	raw = []byte{2, 1, 'a'}
+	if _, err := DecodePIDSetField(tuple.Bytes(raw)); err == nil {
+		t.Error("truncated set accepted")
+	}
+	// Trailing junk.
+	raw = []byte{1, 1, 'a', 0xff}
+	if _, err := DecodePIDSetField(tuple.Bytes(raw)); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+	// Wrong field type.
+	if _, err := DecodePIDSetField(tuple.Int(1)); err == nil {
+		t.Error("int field accepted as pid set")
+	}
+}
+
+func TestJustificationRoundTrip(t *testing.T) {
+	j := Justification{Sets: map[int64][]policy.ProcessID{
+		1:  {"p1", "p2"},
+		-5: {"p3"},
+		7:  {},
+	}}
+	got, err := DecodeJustificationField(JustificationField(j))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Sets) != 3 {
+		t.Fatalf("got %d sets, want 3", len(got.Sets))
+	}
+	if len(got.Sets[1]) != 2 || got.Sets[1][0] != "p1" || got.Sets[1][1] != "p2" {
+		t.Errorf("set[1] = %v", got.Sets[1])
+	}
+	if len(got.Sets[-5]) != 1 || got.Sets[-5][0] != "p3" {
+		t.Errorf("set[-5] = %v", got.Sets[-5])
+	}
+	if len(got.Sets[7]) != 0 {
+		t.Errorf("set[7] = %v", got.Sets[7])
+	}
+}
+
+func TestJustificationCanonicalEncoding(t *testing.T) {
+	a := JustificationField(Justification{Sets: map[int64][]policy.ProcessID{
+		1: {"b", "a"}, 2: {"c"},
+	}})
+	b := JustificationField(Justification{Sets: map[int64][]policy.ProcessID{
+		2: {"c"}, 1: {"a", "b"},
+	}})
+	ab, _ := a.BytesValue()
+	bb, _ := b.BytesValue()
+	if string(ab) != string(bb) {
+		t.Error("justification encoding is not canonical")
+	}
+}
+
+func TestDecodeJustificationRejectsMalformed(t *testing.T) {
+	cases := [][]byte{
+		{},                        // empty
+		{1},                       // missing value
+		{1, 2},                    // missing set
+		{1, 2, 2, 1, 'b', 1, 'a'}, // non-canonical inner set
+		{2, 2, 0, 2, 0},           // duplicate/descending values (1,1)... zigzag(1)=2
+		{1, 2, 0, 0xaa},           // trailing bytes
+	}
+	for i, c := range cases {
+		if _, err := DecodeJustificationField(tuple.Bytes(c)); err == nil {
+			t.Errorf("case %d: malformed justification % x accepted", i, c)
+		}
+	}
+	if _, err := DecodeJustificationField(tuple.Str("x")); err == nil {
+		t.Error("string field accepted as justification")
+	}
+}
+
+func TestPIDSetProperty(t *testing.T) {
+	f := func(names []string) bool {
+		pids := make([]policy.ProcessID, len(names))
+		for i, s := range names {
+			pids[i] = policy.ProcessID(s)
+		}
+		got, err := DecodePIDSetField(PIDSetField(pids))
+		if err != nil {
+			return false
+		}
+		// Result is sorted and duplicate-free.
+		for i := 1; i < len(got); i++ {
+			if got[i-1] >= got[i] {
+				return false
+			}
+		}
+		// Every input appears.
+		set := make(map[policy.ProcessID]bool)
+		for _, p := range got {
+			set[p] = true
+		}
+		for _, p := range pids {
+			if !set[p] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,274 @@
+package consensus
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"peats/internal/peats"
+	"peats/internal/policy"
+	"peats/internal/tuple"
+)
+
+// Strong is the paper's Algorithm 2: a t-threshold strong Byzantine
+// consensus object, generalised from binary to k-valued per §5.3.
+//
+// Each process first publishes its proposal as a <PROPOSE, p, v> tuple,
+// then repeatedly reads the other processes' proposals until some value
+// has been proposed by at least t+1 processes — hence by at least one
+// correct process. It then commits that value with
+//
+//	cas(<DECISION, ?d, *>, <DECISION, v, Sv>)
+//
+// where Sv is the justifying set of t+1 proposers, which the access
+// policy (Fig. 4) verifies against the PROPOSE tuples in the space.
+//
+// Resilience: n ≥ 3t+1 for binary consensus (optimal, Cor. 1) and
+// n ≥ (k+1)t+1 for k values (Thms. 3-4).
+type Strong struct {
+	ts     peats.TupleSpace
+	self   policy.ProcessID
+	procs  []policy.ProcessID
+	t      int
+	domain []int64
+	poll   time.Duration
+
+	// opsOut, opsRdp, opsCas count the shared-memory operations issued
+	// by the last Propose, for the operation-count experiments (E8).
+	opsOut, opsRdp, opsCas int
+}
+
+// StrongConfig configures a strong consensus object.
+type StrongConfig struct {
+	// Self is this process's authenticated identity.
+	Self policy.ProcessID
+	// Procs is the full set of participating processes (the algorithm is
+	// not uniform: every process must know every other, §5.2).
+	Procs []policy.ProcessID
+	// T is the maximum number of Byzantine processes tolerated.
+	T int
+	// Domain is the set of proposable values V. len(Domain) == 2 gives
+	// the paper's binary object.
+	Domain []int64
+	// PollInterval is the delay between read rounds while waiting for
+	// t+1 matching proposals. Defaults to 1ms.
+	PollInterval time.Duration
+}
+
+// NewStrong returns a strong consensus object over ts, which should be
+// protected by StrongPolicy with matching parameters. It returns an
+// error if the configuration violates the resilience bound
+// n ≥ (k+1)t+1 of Theorem 3.
+func NewStrong(ts peats.TupleSpace, cfg StrongConfig) (*Strong, error) {
+	n, k := len(cfg.Procs), len(cfg.Domain)
+	if k < 2 {
+		return nil, fmt.Errorf("consensus: domain needs at least 2 values, got %d", k)
+	}
+	if need := (k+1)*cfg.T + 1; n < need {
+		return nil, fmt.Errorf("consensus: n=%d processes cannot tolerate t=%d faults with k=%d values (need n ≥ %d)",
+			n, cfg.T, k, need)
+	}
+	poll := cfg.PollInterval
+	if poll <= 0 {
+		poll = time.Millisecond
+	}
+	procs := make([]policy.ProcessID, len(cfg.Procs))
+	copy(procs, cfg.Procs)
+	domain := make([]int64, len(cfg.Domain))
+	copy(domain, cfg.Domain)
+	return &Strong{
+		ts: ts, self: cfg.Self, procs: procs, t: cfg.T,
+		domain: domain, poll: poll,
+	}, nil
+}
+
+// NewStrongUnchecked builds a strong consensus object without the
+// resilience-bound validation. It exists for the lower-bound
+// experiments (E2/E3), which deliberately run below n = (k+1)t+1 to
+// demonstrate non-termination; production code should use NewStrong.
+func NewStrongUnchecked(ts peats.TupleSpace, cfg StrongConfig) *Strong {
+	poll := cfg.PollInterval
+	if poll <= 0 {
+		poll = time.Millisecond
+	}
+	procs := make([]policy.ProcessID, len(cfg.Procs))
+	copy(procs, cfg.Procs)
+	domain := make([]int64, len(cfg.Domain))
+	copy(domain, cfg.Domain)
+	return &Strong{
+		ts: ts, self: cfg.Self, procs: procs, t: cfg.T,
+		domain: domain, poll: poll,
+	}
+}
+
+// NewStrongBinary returns the paper's binary object (Domain = {0, 1}).
+func NewStrongBinary(ts peats.TupleSpace, self policy.ProcessID, procs []policy.ProcessID, t int) (*Strong, error) {
+	return NewStrong(ts, StrongConfig{Self: self, Procs: procs, T: t, Domain: []int64{0, 1}})
+}
+
+// OpCounts returns the (out, rdp, cas) operation counts of the last
+// Propose call.
+func (s *Strong) OpCounts() (out, rdp, cas int) { return s.opsOut, s.opsRdp, s.opsCas }
+
+// Propose submits value v and returns the consensus value. The object is
+// t-threshold: termination is guaranteed when at least n−t correct
+// processes invoke Propose. The call honours ctx cancellation, returning
+// ctx.Err() if no value gathers t+1 proposals in time.
+func (s *Strong) Propose(ctx context.Context, v int64) (int64, error) {
+	if !s.inDomain(v) {
+		return 0, fmt.Errorf("consensus: proposal %d outside domain %v", v, s.domain)
+	}
+	s.opsOut, s.opsRdp, s.opsCas = 0, 0, 0
+
+	// Line 2: announce the proposal.
+	s.opsOut++
+	err := s.ts.Out(ctx, tuple.T(tuple.Str(tagPropose), tuple.Str(string(s.self)), tuple.Int(v)))
+	if err != nil {
+		return 0, fmt.Errorf("strong consensus: announce: %w", err)
+	}
+
+	// Lines 3-11: collect proposals until some value has t+1 proposers.
+	sets := make(map[int64][]policy.ProcessID, len(s.domain))
+	read := make(map[policy.ProcessID]struct{}, len(s.procs))
+	commit, ok := int64(0), false
+	for !ok {
+		for _, pj := range s.procs {
+			if _, done := read[pj]; done {
+				continue
+			}
+			s.opsRdp++
+			t, found, err := s.ts.Rdp(ctx, tuple.T(tuple.Str(tagPropose), tuple.Str(string(pj)), tuple.Formal("v")))
+			if err != nil {
+				return 0, fmt.Errorf("strong consensus: read proposals: %w", err)
+			}
+			if !found {
+				continue
+			}
+			pv, isInt := t.Field(2).IntValue()
+			if !isInt {
+				continue
+			}
+			read[pj] = struct{}{}
+			sets[pv] = append(sets[pv], pj)
+			if len(sets[pv]) >= s.t+1 {
+				commit, ok = pv, true
+				break
+			}
+		}
+		if ok {
+			break
+		}
+		select {
+		case <-ctx.Done():
+			return 0, fmt.Errorf("strong consensus: %w", ctx.Err())
+		case <-time.After(s.poll):
+		}
+	}
+
+	// Lines 12-15: commit the justified value; read the decision if
+	// another process committed first.
+	s.opsCas++
+	inserted, matched, err := s.ts.Cas(ctx,
+		tuple.T(tuple.Str(tagDecision), tuple.Formal("d"), tuple.Any()),
+		tuple.T(tuple.Str(tagDecision), tuple.Int(commit), PIDSetField(sets[commit][:s.t+1])))
+	if err != nil {
+		return 0, fmt.Errorf("strong consensus: commit: %w", err)
+	}
+	if inserted {
+		return commit, nil
+	}
+	d, isInt := matched.Field(1).IntValue()
+	if !isInt {
+		return 0, fmt.Errorf("strong consensus: malformed decision tuple %v", matched)
+	}
+	return d, nil
+}
+
+func (s *Strong) inDomain(v int64) bool {
+	for _, d := range s.domain {
+		if d == v {
+			return true
+		}
+	}
+	return false
+}
+
+// StrongPolicy is the access policy of Fig. 4, parameterised by the
+// process set, the fault bound t and the value domain:
+//
+//	Rrd:  any process may read any tuple (rd/rdp);
+//	Rout: p may insert <PROPOSE, p, v> once, with v in the domain;
+//	Rcas: cas(<DECISION, x, *>, <DECISION, v, S>) requires formal(x),
+//	      S a canonical set of ≥ t+1 distinct participants, and
+//	      <PROPOSE, q, v> in the space for every q ∈ S.
+//
+// These rules are what constrain Byzantine processes: a faulty process
+// cannot propose twice, cannot forge another's proposal, and cannot
+// commit a value that t+1 processes did not propose.
+func StrongPolicy(procs []policy.ProcessID, t int, domain []int64) policy.Policy {
+	inDomain := func(f tuple.Field) bool {
+		v, ok := f.IntValue()
+		if !ok {
+			return false
+		}
+		for _, d := range domain {
+			if d == v {
+				return true
+			}
+		}
+		return false
+	}
+	member := make(map[policy.ProcessID]struct{}, len(procs))
+	for _, p := range procs {
+		member[p] = struct{}{}
+	}
+
+	rout := policy.And(
+		policy.EntryArity(3),
+		policy.EntryField(0, tuple.Str(tagPropose)),
+		policy.EntryFieldIsInvoker(1),
+		policy.Check(func(inv policy.Invocation, _ policy.StateView) bool {
+			_, ok := member[inv.Invoker]
+			return ok && inDomain(inv.Entry.Field(2))
+		}),
+		// Only one PROPOSE entry per process.
+		policy.Check(func(inv policy.Invocation, st policy.StateView) bool {
+			_, dup := st.Rdp(tuple.T(tuple.Str(tagPropose), inv.Entry.Field(1), tuple.Any()))
+			return !dup
+		}),
+	)
+
+	rcas := policy.And(
+		policy.TemplateArity(3),
+		policy.TemplateField(0, tuple.Str(tagDecision)),
+		policy.TemplateFieldFormal(1),
+		policy.EntryArity(3),
+		policy.EntryField(0, tuple.Str(tagDecision)),
+		policy.Check(func(inv policy.Invocation, st policy.StateView) bool {
+			if !inDomain(inv.Entry.Field(1)) {
+				return false
+			}
+			set, err := DecodePIDSetField(inv.Entry.Field(2))
+			if err != nil || len(set) < t+1 {
+				return false
+			}
+			for _, q := range set {
+				if _, ok := member[q]; !ok {
+					return false
+				}
+				tmpl := tuple.T(tuple.Str(tagPropose), tuple.Str(string(q)), inv.Entry.Field(1))
+				if _, ok := st.Rdp(tmpl); !ok {
+					return false
+				}
+			}
+			return true
+		}),
+	)
+
+	return policy.New(
+		policy.Rule{Name: "Rrd", Op: policy.OpRd, When: policy.Always},
+		policy.Rule{Name: "Rrdp", Op: policy.OpRdp, When: policy.Always},
+		policy.Rule{Name: "Rout", Op: policy.OpOut, When: rout},
+		policy.Rule{Name: "Rcas", Op: policy.OpCas, When: rcas},
+	)
+}

@@ -1,0 +1,95 @@
+package consensus
+
+import (
+	"context"
+	"fmt"
+
+	"peats/internal/peats"
+	"peats/internal/policy"
+	"peats/internal/space"
+	"peats/internal/tuple"
+)
+
+// TwoProcess demonstrates the §2.3 claim that a *plain* tuple space
+// (without cas) has consensus number exactly 2: two processes can reach
+// wait-free consensus using only out/inp/rdp, by racing to withdraw a
+// single pre-loaded TOKEN tuple.
+//
+// The winner of the inp race decides its own value; the loser finds the
+// token gone and adopts the winner's published value. With three or more
+// processes the scheme breaks (the loser cannot tell which of the other
+// processes won first), matching the consensus-number-2 bound.
+type TwoProcess struct {
+	ts   peats.TupleSpace
+	self policy.ProcessID
+	peer policy.ProcessID
+}
+
+const tagToken = "TOKEN"
+
+// NewTwoProcessSpace builds the shared PEATS for a two-process consensus
+// instance: the space is pre-loaded with the TOKEN tuple and protected
+// by a policy allowing each process one VAL announcement and one token
+// withdrawal, with no cas at all.
+func NewTwoProcessSpace(p1, p2 policy.ProcessID) *peats.Space {
+	inner := space.New()
+	// Pre-loading happens before the object is shared, so it bypasses
+	// the policy by construction (it is part of the initial state).
+	if err := inner.Out(tuple.T(tuple.Str(tagToken))); err != nil {
+		panic(err) // unreachable: the token is a valid entry
+	}
+	pol := policy.New(
+		policy.Rule{Name: "Rrdp", Op: policy.OpRdp, When: policy.Always},
+		policy.Rule{Name: "Rout", Op: policy.OpOut, When: policy.And(
+			policy.InvokerIn(p1, p2),
+			policy.EntryArity(3),
+			policy.EntryField(0, tuple.Str("VAL")),
+			policy.EntryFieldIsInvoker(1),
+			policy.Check(func(inv policy.Invocation, st policy.StateView) bool {
+				_, dup := st.Rdp(tuple.T(tuple.Str("VAL"), inv.Entry.Field(1), tuple.Any()))
+				return !dup
+			}),
+		)},
+		policy.Rule{Name: "Rinp", Op: policy.OpInp, When: policy.And(
+			policy.InvokerIn(p1, p2),
+			policy.TemplateArity(1),
+			policy.TemplateField(0, tuple.Str(tagToken)),
+		)},
+	)
+	return peats.Wrap(inner, pol)
+}
+
+// NewTwoProcess returns the consensus object for one of the two
+// processes. ts must be a handle on a space built by NewTwoProcessSpace.
+func NewTwoProcess(ts peats.TupleSpace, self, peer policy.ProcessID) *TwoProcess {
+	return &TwoProcess{ts: ts, self: self, peer: peer}
+}
+
+// Propose submits v and returns the consensus value. Wait-free for two
+// processes.
+func (c *TwoProcess) Propose(ctx context.Context, v int64) (int64, error) {
+	// Publish own value first so the loser can always find the winner's.
+	err := c.ts.Out(ctx, tuple.T(tuple.Str("VAL"), tuple.Str(string(c.self)), tuple.Int(v)))
+	if err != nil {
+		return 0, fmt.Errorf("two-process consensus: publish: %w", err)
+	}
+	// Race for the token.
+	_, won, err := c.ts.Inp(ctx, tuple.T(tuple.Str(tagToken)))
+	if err != nil {
+		return 0, fmt.Errorf("two-process consensus: token: %w", err)
+	}
+	if won {
+		return v, nil
+	}
+	// Lost: the peer must already have published its value (it publishes
+	// before taking the token).
+	peerVal, err := peats.PollRd(ctx, c.ts, tuple.T(tuple.Str("VAL"), tuple.Str(string(c.peer)), tuple.Formal("v")), 0)
+	if err != nil {
+		return 0, fmt.Errorf("two-process consensus: read winner: %w", err)
+	}
+	pv, ok := peerVal.Field(2).IntValue()
+	if !ok {
+		return 0, fmt.Errorf("two-process consensus: malformed value tuple %v", peerVal)
+	}
+	return pv, nil
+}

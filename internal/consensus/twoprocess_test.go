@@ -1,0 +1,96 @@
+package consensus
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"peats/internal/peats"
+	"peats/internal/tuple"
+)
+
+func TestTwoProcessSequential(t *testing.T) {
+	s := NewTwoProcessSpace("a", "b")
+	ctx := context.Background()
+
+	ca := NewTwoProcess(s.Handle("a"), "a", "b")
+	cb := NewTwoProcess(s.Handle("b"), "b", "a")
+
+	da, err := ca.Propose(ctx, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if da != 10 {
+		t.Errorf("first proposer decided %d, want own value", da)
+	}
+	db, err := cb.Propose(ctx, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db != 10 {
+		t.Errorf("second proposer decided %d, want 10", db)
+	}
+}
+
+func TestTwoProcessConcurrentAgreement(t *testing.T) {
+	for round := 0; round < 20; round++ {
+		s := NewTwoProcessSpace("a", "b")
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+
+		var da, db int64
+		var ea, eb error
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			da, ea = NewTwoProcess(s.Handle("a"), "a", "b").Propose(ctx, 1)
+		}()
+		go func() {
+			defer wg.Done()
+			db, eb = NewTwoProcess(s.Handle("b"), "b", "a").Propose(ctx, 2)
+		}()
+		wg.Wait()
+		cancel()
+		if ea != nil || eb != nil {
+			t.Fatalf("round %d: %v / %v", round, ea, eb)
+		}
+		if da != db {
+			t.Fatalf("round %d: disagreement %d vs %d", round, da, db)
+		}
+		if da != 1 && da != 2 {
+			t.Fatalf("round %d: decided unproposed value %d", round, da)
+		}
+	}
+}
+
+func TestTwoProcessPolicyConstraints(t *testing.T) {
+	s := NewTwoProcessSpace("a", "b")
+	ctx := context.Background()
+	ha := s.Handle("a")
+
+	// No cas at all on this space (plain tuple space has no cas).
+	_, _, err := ha.Cas(ctx, tuple.T(tuple.Any()), tuple.T(tuple.Str("X")))
+	if !errors.Is(err, peats.ErrDenied) {
+		t.Errorf("cas err = %v, want denial", err)
+	}
+	// A third process cannot join.
+	_, _, err = s.Handle("c").Inp(ctx, tuple.T(tuple.Str("TOKEN")))
+	if !errors.Is(err, peats.ErrDenied) {
+		t.Errorf("outsider inp err = %v, want denial", err)
+	}
+	// A process cannot publish twice (would let it change its vote).
+	if err := ha.Out(ctx, tuple.T(tuple.Str("VAL"), tuple.Str("a"), tuple.Int(1))); err != nil {
+		t.Fatal(err)
+	}
+	err = ha.Out(ctx, tuple.T(tuple.Str("VAL"), tuple.Str("a"), tuple.Int(2)))
+	if !errors.Is(err, peats.ErrDenied) {
+		t.Errorf("double publish err = %v, want denial", err)
+	}
+	// Cannot steal the peer's identity.
+	err = ha.Out(ctx, tuple.T(tuple.Str("VAL"), tuple.Str("b"), tuple.Int(9)))
+	if !errors.Is(err, peats.ErrDenied) {
+		t.Errorf("impersonation err = %v, want denial", err)
+	}
+}

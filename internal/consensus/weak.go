@@ -1,0 +1,70 @@
+package consensus
+
+import (
+	"context"
+	"fmt"
+
+	"peats/internal/peats"
+	"peats/internal/policy"
+	"peats/internal/tuple"
+)
+
+// Tuple tags used by the consensus algorithms.
+const (
+	tagDecision = "DECISION"
+	tagPropose  = "PROPOSE"
+)
+
+// Weak is the paper's Algorithm 1: a wait-free, uniform, multivalued
+// weak Byzantine consensus object. A process proposes by attempting
+//
+//	cas(<DECISION, ?d>, <DECISION, v>)
+//
+// The first cas inserts its proposal as the decision; every later cas
+// fails and reads the decision through the formal field ?d.
+type Weak struct {
+	ts peats.TupleSpace
+}
+
+// NewWeak returns a weak consensus object over ts. The space should be
+// protected by WeakPolicy.
+func NewWeak(ts peats.TupleSpace) *Weak {
+	return &Weak{ts: ts}
+}
+
+// Propose submits value v and returns the consensus value. It is
+// wait-free: it always returns after a single cas, regardless of how
+// many other processes have failed.
+func (w *Weak) Propose(ctx context.Context, v tuple.Field) (tuple.Field, error) {
+	if !v.IsValue() {
+		return tuple.Field{}, fmt.Errorf("consensus: proposal must be a defined value, got %v", v)
+	}
+	inserted, matched, err := w.ts.Cas(ctx,
+		tuple.T(tuple.Str(tagDecision), tuple.Formal("d")),
+		tuple.T(tuple.Str(tagDecision), v))
+	if err != nil {
+		return tuple.Field{}, fmt.Errorf("weak consensus: %w", err)
+	}
+	if inserted {
+		return v, nil
+	}
+	return matched.Field(1), nil
+}
+
+// WeakPolicy is the access policy of Fig. 3: the only operation allowed
+// on the space is cas of a two-field DECISION tuple whose template has a
+// formal second field. Because in/inp are denied, at most one DECISION
+// tuple can ever exist, which makes the space a persistent object.
+func WeakPolicy() policy.Policy {
+	return policy.New(policy.Rule{
+		Name: "Rcas",
+		Op:   policy.OpCas,
+		When: policy.And(
+			policy.TemplateArity(2),
+			policy.TemplateField(0, tuple.Str(tagDecision)),
+			policy.TemplateFieldFormal(1),
+			policy.EntryArity(2),
+			policy.EntryField(0, tuple.Str(tagDecision)),
+		),
+	})
+}

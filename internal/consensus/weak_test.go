@@ -1,0 +1,161 @@
+package consensus
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"peats/internal/peats"
+	"peats/internal/policy"
+	"peats/internal/tuple"
+)
+
+func TestWeakAgreementSequential(t *testing.T) {
+	s := peats.New(WeakPolicy())
+	ctx := context.Background()
+
+	first := NewWeak(s.Handle("p1"))
+	d1, err := first.Propose(ctx, tuple.Int(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := d1.IntValue(); v != 42 {
+		t.Errorf("first proposer decided %v, want own value", d1)
+	}
+	for i := 2; i <= 5; i++ {
+		c := NewWeak(s.Handle(policy.ProcessID(fmt.Sprintf("p%d", i))))
+		d, err := c.Propose(ctx, tuple.Int(int64(100+i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !d.Equal(d1) {
+			t.Errorf("p%d decided %v, want %v (agreement)", i, d, d1)
+		}
+	}
+}
+
+func TestWeakAgreementConcurrent(t *testing.T) {
+	// Wait-freedom and agreement under heavy contention; also uniform:
+	// no process knows n.
+	s := peats.New(WeakPolicy())
+	const procs = 32
+	decisions := make([]tuple.Field, procs)
+	var wg sync.WaitGroup
+	for i := 0; i < procs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			id := policy.ProcessID(fmt.Sprintf("p%d", i))
+			c := NewWeak(s.Handle(id))
+			d, err := c.Propose(context.Background(), tuple.Int(int64(i)))
+			if err != nil {
+				t.Errorf("p%d: %v", i, err)
+				return
+			}
+			decisions[i] = d
+		}(i)
+	}
+	wg.Wait()
+
+	// Agreement: all equal. Validity: the value was proposed by someone.
+	for i := 1; i < procs; i++ {
+		if !decisions[i].Equal(decisions[0]) {
+			t.Fatalf("p%d decided %v, p0 decided %v", i, decisions[i], decisions[0])
+		}
+	}
+	v, ok := decisions[0].IntValue()
+	if !ok || v < 0 || v >= procs {
+		t.Errorf("decision %v was never proposed", decisions[0])
+	}
+}
+
+func TestWeakMultivalued(t *testing.T) {
+	// The weak object accepts arbitrary value kinds.
+	s := peats.New(WeakPolicy())
+	c := NewWeak(s.Handle("p1"))
+	d, err := c.Propose(context.Background(), tuple.Str("leader=p1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sv, _ := d.StrValue(); sv != "leader=p1" {
+		t.Errorf("decided %v", d)
+	}
+}
+
+func TestWeakRejectsUndefinedProposal(t *testing.T) {
+	s := peats.New(WeakPolicy())
+	c := NewWeak(s.Handle("p1"))
+	if _, err := c.Propose(context.Background(), tuple.Any()); err == nil {
+		t.Error("proposing a wildcard should fail")
+	}
+	if _, err := c.Propose(context.Background(), tuple.Formal("v")); err == nil {
+		t.Error("proposing a formal field should fail")
+	}
+}
+
+func TestWeakPolicyBlocksByzantineInterference(t *testing.T) {
+	// A Byzantine process cannot subvert the object through raw access:
+	// Fig. 3 allows only the well-formed cas.
+	s := peats.New(WeakPolicy())
+	evil := s.Handle("byz")
+	ctx := context.Background()
+
+	// Cannot insert a decision directly.
+	if err := evil.Out(ctx, tuple.T(tuple.Str("DECISION"), tuple.Int(666))); !errors.Is(err, peats.ErrDenied) {
+		t.Errorf("out err = %v, want denial", err)
+	}
+	// Cannot remove the decision (no in/inp rule).
+	if _, _, err := evil.Inp(ctx, tuple.T(tuple.Str("DECISION"), tuple.Any())); !errors.Is(err, peats.ErrDenied) {
+		t.Errorf("inp err = %v, want denial", err)
+	}
+	// Cannot cas with a non-formal template (would allow a second
+	// decision tuple).
+	_, _, err := evil.Cas(ctx,
+		tuple.T(tuple.Str("DECISION"), tuple.Int(1)),
+		tuple.T(tuple.Str("DECISION"), tuple.Int(666)))
+	if !errors.Is(err, peats.ErrDenied) {
+		t.Errorf("bad cas err = %v, want denial", err)
+	}
+	// Cannot cas a wrong-arity decision.
+	_, _, err = evil.Cas(ctx,
+		tuple.T(tuple.Str("DECISION"), tuple.Formal("d"), tuple.Any()),
+		tuple.T(tuple.Str("DECISION"), tuple.Int(666), tuple.Int(0)))
+	if !errors.Is(err, peats.ErrDenied) {
+		t.Errorf("wrong arity cas err = %v, want denial", err)
+	}
+
+	// The object still works for correct processes, and the Byzantine
+	// process's own *well-formed* proposal is acceptable (weak validity
+	// permits deciding a faulty process's value).
+	good := NewWeak(s.Handle("p1"))
+	if _, err := good.Propose(ctx, tuple.Int(1)); err != nil {
+		t.Fatalf("correct process blocked: %v", err)
+	}
+}
+
+func TestWeakDecisionPersists(t *testing.T) {
+	// Attie's observation (§7): consensus needs a persistent object. The
+	// policy makes the DECISION tuple unremovable, so late processes
+	// always see it.
+	s := peats.New(WeakPolicy())
+	ctx := context.Background()
+	if _, err := NewWeak(s.Handle("p1")).Propose(ctx, tuple.Int(9)); err != nil {
+		t.Fatal(err)
+	}
+	// Many late arrivals, all see 9.
+	for i := 0; i < 10; i++ {
+		d, err := NewWeak(s.Handle(policy.ProcessID(fmt.Sprintf("late%d", i)))).
+			Propose(ctx, tuple.Int(int64(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v, _ := d.IntValue(); v != 9 {
+			t.Errorf("late%d decided %v, want 9", i, d)
+		}
+	}
+	if got := s.Inner().Len(); got != 1 {
+		t.Errorf("space holds %d tuples, want exactly 1 decision", got)
+	}
+}

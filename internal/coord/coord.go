@@ -1,0 +1,317 @@
+// Package coord builds the coordination abstractions the paper's
+// introduction motivates — mutual exclusion, leader election, barriers —
+// on top of a policy-enforced tuple space, so an open and untrusted set
+// of processes can coordinate through a small dependable service
+// (paper §8: "coordination of nontrusted processes in practical
+// systems").
+//
+// Every abstraction comes with the access policy that keeps Byzantine
+// processes from subverting it: a process cannot release a lock it does
+// not hold, cannot arrive twice at a barrier, and cannot crown itself
+// leader for an epoch that already has one.
+package coord
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"peats/internal/peats"
+	"peats/internal/policy"
+	"peats/internal/tuple"
+)
+
+// ErrNotHeld is returned when releasing a lock the caller does not hold.
+var ErrNotHeld = errors.New("coord: lock not held by caller")
+
+const (
+	tagLock   = "LOCK"
+	tagLeader = "LEADER"
+	tagArrive = "ARRIVE"
+)
+
+// Lock is a Byzantine-safe spin lock: the lock is held by process p iff
+// the tuple <LOCK, name, p> is in the space. Acquire races a cas;
+// Release withdraws the holder tuple, which the policy allows only to
+// the holder itself. A Byzantine process can at worst hold the lock and
+// never release it — the policy makes stealing and forged releases
+// impossible, but (as with any mutual exclusion under Byzantine
+// failures) termination requires the holder to cooperate.
+type Lock struct {
+	ts   peats.TupleSpace
+	self policy.ProcessID
+	name string
+	// Poll paces Acquire's retry loop (default 1ms).
+	Poll time.Duration
+}
+
+// NewLock returns process self's handle on the named lock.
+func NewLock(ts peats.TupleSpace, self policy.ProcessID, name string) *Lock {
+	return &Lock{ts: ts, self: self, name: name, Poll: time.Millisecond}
+}
+
+// TryAcquire attempts to take the lock without blocking. It returns
+// true on success and, on failure, the current holder.
+func (l *Lock) TryAcquire(ctx context.Context) (bool, policy.ProcessID, error) {
+	inserted, matched, err := l.ts.Cas(ctx,
+		tuple.T(tuple.Str(tagLock), tuple.Str(l.name), tuple.Formal("holder")),
+		tuple.T(tuple.Str(tagLock), tuple.Str(l.name), tuple.Str(string(l.self))))
+	if err != nil {
+		return false, "", fmt.Errorf("lock %q: %w", l.name, err)
+	}
+	if inserted {
+		return true, l.self, nil
+	}
+	holder, _ := matched.Field(2).StrValue()
+	return false, policy.ProcessID(holder), nil
+}
+
+// Acquire blocks (polling) until the lock is taken or ctx expires.
+func (l *Lock) Acquire(ctx context.Context) error {
+	poll := l.Poll
+	if poll <= 0 {
+		poll = time.Millisecond
+	}
+	ticker := time.NewTicker(poll)
+	defer ticker.Stop()
+	for {
+		ok, _, err := l.TryAcquire(ctx)
+		if err != nil {
+			return err
+		}
+		if ok {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("lock %q: %w", l.name, ctx.Err())
+		case <-ticker.C:
+		}
+	}
+}
+
+// Release frees the lock. Only the holder's release passes the policy.
+func (l *Lock) Release(ctx context.Context) error {
+	_, ok, err := l.ts.Inp(ctx,
+		tuple.T(tuple.Str(tagLock), tuple.Str(l.name), tuple.Str(string(l.self))))
+	if err != nil {
+		return fmt.Errorf("lock %q: %w", l.name, err)
+	}
+	if !ok {
+		return fmt.Errorf("lock %q: %w", l.name, ErrNotHeld)
+	}
+	return nil
+}
+
+// LockPolicy is the access policy for spaces serving locks:
+//
+//	Rcas: a process may take a free lock only in its own name;
+//	Rinp: a process may withdraw only <LOCK, *, itself> — so releases
+//	      cannot be forged and the lock cannot be stolen.
+func LockPolicy() policy.Policy {
+	return policy.New(
+		policy.Rule{Name: "Rcas", Op: policy.OpCas, When: policy.And(
+			policy.TemplateArity(3),
+			policy.TemplateField(0, tuple.Str(tagLock)),
+			policy.TemplateFieldFormal(2),
+			policy.EntryArity(3),
+			policy.EntryField(0, tuple.Str(tagLock)),
+			policy.EntryFieldIsInvoker(2),
+			// Lock name must match between template and entry, or a
+			// Byzantine process could take lock A by probing lock B.
+			policy.Check(func(inv policy.Invocation, _ policy.StateView) bool {
+				return inv.Template.Field(1).Equal(inv.Entry.Field(1))
+			}),
+		)},
+		policy.Rule{Name: "Rinp", Op: policy.OpInp, When: policy.And(
+			policy.TemplateArity(3),
+			policy.TemplateField(0, tuple.Str(tagLock)),
+			policy.Check(func(inv policy.Invocation, _ policy.StateView) bool {
+				s, ok := inv.Template.Field(2).StrValue()
+				return ok && policy.ProcessID(s) == inv.Invoker
+			}),
+		)},
+		policy.Rule{Name: "Rrdp", Op: policy.OpRdp, When: policy.And(
+			policy.TemplateArity(3),
+			policy.TemplateField(0, tuple.Str(tagLock)),
+		)},
+	)
+}
+
+// Elector elects one leader per epoch with the wait-free weak-consensus
+// pattern: the first cas of <LEADER, epoch, candidate> wins, everyone
+// else adopts the winner. Candidates must nominate themselves, so a
+// Byzantine process can win an election (leader election cannot exclude
+// faulty candidates without strong consensus) but cannot install a
+// leader under another process's name or depose an elected one.
+type Elector struct {
+	ts   peats.TupleSpace
+	self policy.ProcessID
+}
+
+// NewElector returns process self's handle on the election object.
+func NewElector(ts peats.TupleSpace, self policy.ProcessID) *Elector {
+	return &Elector{ts: ts, self: self}
+}
+
+// Elect nominates self for the epoch and returns the elected leader.
+func (e *Elector) Elect(ctx context.Context, epoch int64) (policy.ProcessID, error) {
+	inserted, matched, err := e.ts.Cas(ctx,
+		tuple.T(tuple.Str(tagLeader), tuple.Int(epoch), tuple.Formal("who")),
+		tuple.T(tuple.Str(tagLeader), tuple.Int(epoch), tuple.Str(string(e.self))))
+	if err != nil {
+		return "", fmt.Errorf("elect epoch %d: %w", epoch, err)
+	}
+	if inserted {
+		return e.self, nil
+	}
+	who, _ := matched.Field(2).StrValue()
+	return policy.ProcessID(who), nil
+}
+
+// Leader returns the epoch's leader, if elected.
+func (e *Elector) Leader(ctx context.Context, epoch int64) (policy.ProcessID, bool, error) {
+	t, ok, err := e.ts.Rdp(ctx,
+		tuple.T(tuple.Str(tagLeader), tuple.Int(epoch), tuple.Formal("who")))
+	if err != nil || !ok {
+		return "", false, err
+	}
+	who, _ := t.Field(2).StrValue()
+	return policy.ProcessID(who), true, nil
+}
+
+// ElectorPolicy allows only self-nominations via cas and open reads;
+// LEADER tuples are permanent (no in/inp), so elected leaders cannot be
+// deposed within an epoch.
+func ElectorPolicy() policy.Policy {
+	return policy.New(
+		policy.Rule{Name: "Rcas", Op: policy.OpCas, When: policy.And(
+			policy.TemplateArity(3),
+			policy.TemplateField(0, tuple.Str(tagLeader)),
+			policy.TemplateFieldFormal(2),
+			policy.EntryArity(3),
+			policy.EntryField(0, tuple.Str(tagLeader)),
+			policy.EntryFieldIsInvoker(2),
+			policy.Check(func(inv policy.Invocation, _ policy.StateView) bool {
+				return inv.Template.Field(1).Equal(inv.Entry.Field(1))
+			}),
+		)},
+		policy.Rule{Name: "Rrdp", Op: policy.OpRdp, When: policy.Always},
+		policy.Rule{Name: "Rrd", Op: policy.OpRd, When: policy.Always},
+	)
+}
+
+// Barrier synchronises a known group: each process arrives once per
+// phase; Await returns when at least quorum processes have arrived.
+// With quorum = n−t the barrier is t-threshold (it tolerates t silent
+// processes); the policy stops Byzantine members from arriving twice or
+// in someone else's name, so they cannot fake quorum.
+type Barrier struct {
+	ts     peats.TupleSpace
+	self   policy.ProcessID
+	procs  []policy.ProcessID
+	quorum int
+	// Poll paces Await (default 1ms).
+	Poll time.Duration
+}
+
+// NewBarrier returns process self's handle on the group barrier.
+// quorum ≤ 0 defaults to len(procs).
+func NewBarrier(ts peats.TupleSpace, self policy.ProcessID, procs []policy.ProcessID, quorum int) *Barrier {
+	if quorum <= 0 || quorum > len(procs) {
+		quorum = len(procs)
+	}
+	cp := make([]policy.ProcessID, len(procs))
+	copy(cp, procs)
+	return &Barrier{ts: ts, self: self, procs: cp, quorum: quorum, Poll: time.Millisecond}
+}
+
+// Arrive registers this process at the phase.
+func (b *Barrier) Arrive(ctx context.Context, phase int64) error {
+	err := b.ts.Out(ctx,
+		tuple.T(tuple.Str(tagArrive), tuple.Int(phase), tuple.Str(string(b.self))))
+	if err != nil {
+		return fmt.Errorf("barrier phase %d: %w", phase, err)
+	}
+	return nil
+}
+
+// Await blocks until quorum processes have arrived at the phase.
+func (b *Barrier) Await(ctx context.Context, phase int64) error {
+	poll := b.Poll
+	if poll <= 0 {
+		poll = time.Millisecond
+	}
+	ticker := time.NewTicker(poll)
+	defer ticker.Stop()
+	seen := make(map[policy.ProcessID]struct{}, len(b.procs))
+	for {
+		for _, p := range b.procs {
+			if _, ok := seen[p]; ok {
+				continue
+			}
+			_, ok, err := b.ts.Rdp(ctx,
+				tuple.T(tuple.Str(tagArrive), tuple.Int(phase), tuple.Str(string(p))))
+			if err != nil {
+				return fmt.Errorf("barrier phase %d: %w", phase, err)
+			}
+			if ok {
+				seen[p] = struct{}{}
+			}
+		}
+		if len(seen) >= b.quorum {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("barrier phase %d: %w", phase, ctx.Err())
+		case <-ticker.C:
+		}
+	}
+}
+
+// ArriveAndAwait is Arrive followed by Await.
+func (b *Barrier) ArriveAndAwait(ctx context.Context, phase int64) error {
+	if err := b.Arrive(ctx, phase); err != nil {
+		return err
+	}
+	return b.Await(ctx, phase)
+}
+
+// BarrierPolicy restricts arrivals to the group, one per phase per
+// process, in the arriver's own name; ARRIVE tuples are permanent.
+func BarrierPolicy(procs []policy.ProcessID) policy.Policy {
+	member := make(map[policy.ProcessID]struct{}, len(procs))
+	for _, p := range procs {
+		member[p] = struct{}{}
+	}
+	return policy.New(
+		policy.Rule{Name: "Rout", Op: policy.OpOut, When: policy.And(
+			policy.EntryArity(3),
+			policy.EntryField(0, tuple.Str(tagArrive)),
+			policy.EntryFieldIsInvoker(2),
+			policy.Check(func(inv policy.Invocation, st policy.StateView) bool {
+				if _, ok := member[inv.Invoker]; !ok {
+					return false
+				}
+				if _, isInt := inv.Entry.Field(1).IntValue(); !isInt {
+					return false
+				}
+				_, dup := st.Rdp(tuple.T(tuple.Str(tagArrive), inv.Entry.Field(1), inv.Entry.Field(2)))
+				return !dup
+			}),
+		)},
+		policy.Rule{Name: "Rrdp", Op: policy.OpRdp, When: policy.Always},
+	)
+}
+
+// Merge combines policies serving several abstractions on one space
+// (rule order is preserved; deny-by-default still applies).
+func Merge(pols ...policy.Policy) policy.Policy {
+	var rules []policy.Rule
+	for _, p := range pols {
+		rules = append(rules, p.Rules()...)
+	}
+	return policy.New(rules...)
+}

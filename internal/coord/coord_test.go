@@ -1,0 +1,291 @@
+package coord
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"peats/internal/peats"
+	"peats/internal/policy"
+	"peats/internal/tuple"
+)
+
+func TestLockMutualExclusion(t *testing.T) {
+	s := peats.New(LockPolicy())
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	// A shared counter incremented non-atomically under the lock: with
+	// mutual exclusion there are no lost updates.
+	var counter int
+	const workers, perWorker = 8, 25
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			me := policy.ProcessID(fmt.Sprintf("w%d", w))
+			l := NewLock(s.Handle(me), me, "counter")
+			l.Poll = 100 * time.Microsecond
+			for i := 0; i < perWorker; i++ {
+				if err := l.Acquire(ctx); err != nil {
+					t.Error(err)
+					return
+				}
+				counter++
+				if err := l.Release(ctx); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if counter != workers*perWorker {
+		t.Errorf("counter = %d, want %d (mutual exclusion violated)", counter, workers*perWorker)
+	}
+}
+
+func TestLockCannotBeStolenOrForgedRelease(t *testing.T) {
+	s := peats.New(LockPolicy())
+	ctx := context.Background()
+
+	alice := NewLock(s.Handle("alice"), "alice", "L")
+	ok, _, err := alice.TryAcquire(ctx)
+	if err != nil || !ok {
+		t.Fatalf("acquire: %v %v", ok, err)
+	}
+
+	evil := s.Handle("mallory")
+	// Cannot withdraw alice's holder tuple.
+	_, _, err = evil.Inp(ctx, tuple.T(tuple.Str("LOCK"), tuple.Str("L"), tuple.Str("alice")))
+	if !errors.Is(err, peats.ErrDenied) {
+		t.Errorf("steal err = %v, want denial", err)
+	}
+	// Cannot acquire in alice's name.
+	_, _, err = evil.Cas(ctx,
+		tuple.T(tuple.Str("LOCK"), tuple.Str("M"), tuple.Formal("h")),
+		tuple.T(tuple.Str("LOCK"), tuple.Str("M"), tuple.Str("alice")))
+	if !errors.Is(err, peats.ErrDenied) {
+		t.Errorf("impersonated acquire err = %v, want denial", err)
+	}
+	// Cannot cross-probe: template lock M, entry lock L.
+	_, _, err = evil.Cas(ctx,
+		tuple.T(tuple.Str("LOCK"), tuple.Str("M"), tuple.Formal("h")),
+		tuple.T(tuple.Str("LOCK"), tuple.Str("L"), tuple.Str("mallory")))
+	if !errors.Is(err, peats.ErrDenied) {
+		t.Errorf("cross-lock cas err = %v, want denial", err)
+	}
+	// Releasing a lock mallory does not hold reports ErrNotHeld.
+	m := NewLock(s.Handle("mallory"), "mallory", "other")
+	if err := m.Release(ctx); !errors.Is(err, ErrNotHeld) {
+		t.Errorf("release err = %v, want ErrNotHeld", err)
+	}
+	// The busy lock reports its holder.
+	bob := NewLock(s.Handle("bob"), "bob", "L")
+	ok, holder, err := bob.TryAcquire(ctx)
+	if err != nil || ok {
+		t.Fatalf("bob acquired a held lock: %v %v", ok, err)
+	}
+	if holder != "alice" {
+		t.Errorf("holder = %q, want alice", holder)
+	}
+	// After release, bob can take it.
+	if err := alice.Release(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if ok, _, _ := bob.TryAcquire(ctx); !ok {
+		t.Error("bob cannot acquire released lock")
+	}
+}
+
+func TestLockAcquireTimeout(t *testing.T) {
+	s := peats.New(LockPolicy())
+	ctx := context.Background()
+	a := NewLock(s.Handle("a"), "a", "L")
+	if ok, _, _ := a.TryAcquire(ctx); !ok {
+		t.Fatal("setup")
+	}
+	b := NewLock(s.Handle("b"), "b", "L")
+	b.Poll = 100 * time.Microsecond
+	short, cancel := context.WithTimeout(ctx, 30*time.Millisecond)
+	defer cancel()
+	if err := b.Acquire(short); !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("err = %v, want deadline", err)
+	}
+}
+
+func TestElector(t *testing.T) {
+	s := peats.New(ElectorPolicy())
+	ctx := context.Background()
+
+	// Concurrent self-nominations: exactly one leader, all agree.
+	const candidates = 10
+	leaders := make([]policy.ProcessID, candidates)
+	var wg sync.WaitGroup
+	for i := 0; i < candidates; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			me := policy.ProcessID(fmt.Sprintf("n%d", i))
+			e := NewElector(s.Handle(me), me)
+			l, err := e.Elect(ctx, 1)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			leaders[i] = l
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < candidates; i++ {
+		if leaders[i] != leaders[0] {
+			t.Fatalf("disagreement: %v vs %v", leaders[i], leaders[0])
+		}
+	}
+
+	// The leader is observable without nominating.
+	obs := NewElector(s.Handle("observer"), "observer")
+	who, ok, err := obs.Leader(ctx, 1)
+	if err != nil || !ok || who != leaders[0] {
+		t.Errorf("Leader = %v %v %v", who, ok, err)
+	}
+	// A new epoch elects independently.
+	if _, ok, _ := obs.Leader(ctx, 2); ok {
+		t.Error("epoch 2 has a leader already")
+	}
+}
+
+func TestElectorPolicyStopsForgery(t *testing.T) {
+	s := peats.New(ElectorPolicy())
+	ctx := context.Background()
+	evil := s.Handle("mallory")
+
+	// Nominating someone else.
+	_, _, err := evil.Cas(ctx,
+		tuple.T(tuple.Str("LEADER"), tuple.Int(1), tuple.Formal("w")),
+		tuple.T(tuple.Str("LEADER"), tuple.Int(1), tuple.Str("victim")))
+	if !errors.Is(err, peats.ErrDenied) {
+		t.Errorf("forged nomination err = %v, want denial", err)
+	}
+	// Deposing a leader (no inp rule at all).
+	e := NewElector(s.Handle("honest"), "honest")
+	if _, err := e.Elect(ctx, 1); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = evil.Inp(ctx, tuple.T(tuple.Str("LEADER"), tuple.Int(1), tuple.Any()))
+	if !errors.Is(err, peats.ErrDenied) {
+		t.Errorf("depose err = %v, want denial", err)
+	}
+	// Byzantine self-nomination is legal (weak validity): mallory may
+	// win a FRESH epoch, but cannot override epoch 1.
+	who, err := NewElector(evil, "mallory").Elect(ctx, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if who != "honest" {
+		t.Errorf("epoch 1 leader changed to %v", who)
+	}
+}
+
+func TestBarrierQuorum(t *testing.T) {
+	procs := []policy.ProcessID{"p0", "p1", "p2", "p3"}
+	s := peats.New(BarrierPolicy(procs))
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	// Quorum 3 of 4: the barrier opens with one silent process.
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			b := NewBarrier(s.Handle(procs[i]), procs[i], procs, 3)
+			b.Poll = 100 * time.Microsecond
+			if err := b.ArriveAndAwait(ctx, 1); err != nil {
+				t.Errorf("%s: %v", procs[i], err)
+				return
+			}
+			<-release
+			if err := b.ArriveAndAwait(ctx, 2); err != nil {
+				t.Errorf("%s phase 2: %v", procs[i], err)
+			}
+		}(i)
+	}
+	close(release)
+	wg.Wait()
+}
+
+func TestBarrierBlocksBelowQuorum(t *testing.T) {
+	procs := []policy.ProcessID{"p0", "p1", "p2"}
+	s := peats.New(BarrierPolicy(procs))
+	b := NewBarrier(s.Handle(procs[0]), procs[0], procs, 0) // full quorum
+	b.Poll = 100 * time.Microsecond
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	if err := b.ArriveAndAwait(ctx, 1); !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("err = %v, want deadline (alone at a full barrier)", err)
+	}
+}
+
+func TestBarrierPolicyStopsFakeQuorum(t *testing.T) {
+	procs := []policy.ProcessID{"p0", "p1", "p2"}
+	s := peats.New(BarrierPolicy(procs))
+	ctx := context.Background()
+	evil := s.Handle(procs[2])
+
+	// Arriving in someone else's name.
+	err := evil.Out(ctx, tuple.T(tuple.Str("ARRIVE"), tuple.Int(1), tuple.Str("p0")))
+	if !errors.Is(err, peats.ErrDenied) {
+		t.Errorf("forged arrival err = %v, want denial", err)
+	}
+	// Arriving twice at the same phase.
+	if err := evil.Out(ctx, tuple.T(tuple.Str("ARRIVE"), tuple.Int(1), tuple.Str("p2"))); err != nil {
+		t.Fatal(err)
+	}
+	err = evil.Out(ctx, tuple.T(tuple.Str("ARRIVE"), tuple.Int(1), tuple.Str("p2")))
+	if !errors.Is(err, peats.ErrDenied) {
+		t.Errorf("double arrival err = %v, want denial", err)
+	}
+	// Outsiders cannot arrive.
+	err = s.Handle("outsider").Out(ctx, tuple.T(tuple.Str("ARRIVE"), tuple.Int(1), tuple.Str("outsider")))
+	if !errors.Is(err, peats.ErrDenied) {
+		t.Errorf("outsider arrival err = %v, want denial", err)
+	}
+	// Different phase is a fresh arrival slot.
+	if err := evil.Out(ctx, tuple.T(tuple.Str("ARRIVE"), tuple.Int(2), tuple.Str("p2"))); err != nil {
+		t.Errorf("phase 2 arrival denied: %v", err)
+	}
+}
+
+func TestMergePolicies(t *testing.T) {
+	// One space serving locks and elections simultaneously.
+	pol := Merge(LockPolicy(), ElectorPolicy())
+	s := peats.New(pol)
+	ctx := context.Background()
+
+	l := NewLock(s.Handle("p1"), "p1", "jobs")
+	if ok, _, err := l.TryAcquire(ctx); err != nil || !ok {
+		t.Fatalf("lock via merged policy: %v %v", ok, err)
+	}
+	e := NewElector(s.Handle("p1"), "p1")
+	if _, err := e.Elect(ctx, 1); err != nil {
+		t.Fatalf("elect via merged policy: %v", err)
+	}
+	// Still deny-by-default for everything else.
+	if err := s.Handle("p1").Out(ctx, tuple.T(tuple.Str("RANDOM"))); !errors.Is(err, peats.ErrDenied) {
+		t.Errorf("unrelated out err = %v, want denial", err)
+	}
+}
+
+func TestCoordOverReplicatedSpace(t *testing.T) {
+	// The abstractions run unchanged over the BFT-replicated space.
+	if testing.Short() {
+		t.Skip("replicated coordination is slow")
+	}
+	clusterTest(t)
+}

@@ -1,0 +1,88 @@
+package coord
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"peats/internal/bft"
+	"peats/internal/policy"
+)
+
+// clusterTest exercises Lock and Elector over a 4-replica BFT cluster
+// with one corrupt replica — the full Fig. 2 stack under the
+// coordination abstractions.
+func clusterTest(t *testing.T) {
+	t.Helper()
+	pol := Merge(LockPolicy(), ElectorPolicy())
+	services := []bft.Service{
+		bft.NewSpaceService(pol),
+		bft.NewSpaceService(pol),
+		bft.NewCorruptService(bft.NewSpaceService(pol)),
+		bft.NewSpaceService(pol),
+	}
+	cl, err := bft.NewCluster(1, services)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Stop()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	// Mutual exclusion across replicated clients.
+	var counter int
+	const workers, perWorker = 3, 3
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			me := policy.ProcessID(fmt.Sprintf("w%d", w))
+			ts := bft.NewRemoteSpace(cl.Client(string(me)))
+			l := NewLock(ts, me, "shared")
+			l.Poll = 2 * time.Millisecond
+			for i := 0; i < perWorker; i++ {
+				if err := l.Acquire(ctx); err != nil {
+					t.Error(err)
+					return
+				}
+				counter++
+				if err := l.Release(ctx); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if counter != workers*perWorker {
+		t.Errorf("counter = %d, want %d", counter, workers*perWorker)
+	}
+
+	// Election across replicated clients.
+	leaders := make([]policy.ProcessID, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			me := policy.ProcessID(fmt.Sprintf("w%d", w))
+			ts := bft.NewRemoteSpace(cl.Client(string(me) + "-e"))
+			// Note: the elector's identity is the client transport id.
+			e := NewElector(ts, policy.ProcessID(string(me)+"-e"))
+			l, err := e.Elect(ctx, 7)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			leaders[w] = l
+		}(w)
+	}
+	wg.Wait()
+	for w := 1; w < workers; w++ {
+		if leaders[w] != leaders[0] {
+			t.Fatalf("election disagreement: %v vs %v", leaders[w], leaders[0])
+		}
+	}
+}

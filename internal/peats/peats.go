@@ -1,0 +1,251 @@
+// Package peats implements the Policy-Enforced Augmented Tuple Space:
+// an augmented tuple space whose operations are vetted by a reference
+// monitor evaluating a fine-grained access policy (paper §3-§4).
+//
+// A PEATS is shared by processes that may be Byzantine. Each process
+// accesses the space through a Handle bound to its authenticated
+// identity; the monitor sees that identity, the operation and its
+// arguments, and the current space state, and allows or denies the
+// invocation. Denied invocations return ErrDenied without touching the
+// space.
+//
+// The package also defines TupleSpace, the interface implemented by the
+// local PEATS handle and by the replicated BFT client, so the paper's
+// consensus algorithms and universal constructions run unchanged over
+// either realisation.
+package peats
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"peats/internal/policy"
+	"peats/internal/space"
+	"peats/internal/tuple"
+)
+
+// ErrDenied is returned when the reference monitor rejects an
+// invocation under the space's access policy.
+var ErrDenied = errors.New("peats: invocation denied by access policy")
+
+// TupleSpace is the augmented-tuple-space interface used by all
+// algorithms in this repository. Implementations are bound to an
+// authenticated process identity.
+//
+// Cas is the conditional atomic swap: atomically, if no tuple matches
+// tmpl, insert entry and return inserted=true; otherwise return
+// inserted=false and the first matching tuple.
+type TupleSpace interface {
+	Out(ctx context.Context, entry tuple.Tuple) error
+	Rd(ctx context.Context, tmpl tuple.Tuple) (tuple.Tuple, error)
+	Rdp(ctx context.Context, tmpl tuple.Tuple) (tuple.Tuple, bool, error)
+	In(ctx context.Context, tmpl tuple.Tuple) (tuple.Tuple, error)
+	Inp(ctx context.Context, tmpl tuple.Tuple) (tuple.Tuple, bool, error)
+	Cas(ctx context.Context, tmpl, entry tuple.Tuple) (bool, tuple.Tuple, error)
+	// RdAll is the bulk non-destructive read (copy-collect), an
+	// extension of the DepSpace line beyond the paper's operations.
+	RdAll(ctx context.Context, tmpl tuple.Tuple) ([]tuple.Tuple, error)
+}
+
+// Stats counts monitor decisions, for the policy-overhead experiments.
+type Stats struct {
+	Allowed int64
+	Denied  int64
+}
+
+// Space is a PEATS: a linearizable augmented tuple space protected by an
+// access policy.
+type Space struct {
+	inner   *space.Space
+	pol     policy.Policy
+	allowed atomic.Int64
+	denied  atomic.Int64
+}
+
+// New returns a PEATS with the given access policy over a fresh space.
+func New(pol policy.Policy) *Space {
+	return &Space{inner: space.New(), pol: pol}
+}
+
+// Wrap returns a PEATS protecting an existing space. It is used by the
+// replication substrate, which owns the space for checkpointing.
+func Wrap(inner *space.Space, pol policy.Policy) *Space {
+	return &Space{inner: inner, pol: pol}
+}
+
+// Handle returns the view of the space bound to process id. All
+// invocations through the handle are checked against the policy with
+// that identity.
+func (s *Space) Handle(id policy.ProcessID) *Handle {
+	return &Handle{space: s, id: id}
+}
+
+// Policy returns the access policy protecting the space.
+func (s *Space) Policy() policy.Policy { return s.pol }
+
+// Inner exposes the underlying space for state inspection (snapshots,
+// bit accounting). Mutations must go through handles.
+func (s *Space) Inner() *space.Space { return s.inner }
+
+// Stats returns a snapshot of the monitor's decision counters.
+func (s *Space) Stats() Stats {
+	return Stats{Allowed: s.allowed.Load(), Denied: s.denied.Load()}
+}
+
+// evaluate runs the reference monitor for one invocation against the
+// given state view and updates the decision counters.
+func (s *Space) evaluate(inv policy.Invocation, st policy.StateView) error {
+	d := s.pol.Evaluate(inv, st)
+	if !d.Allowed {
+		s.denied.Add(1)
+		return fmt.Errorf("%w: %s", ErrDenied, inv)
+	}
+	s.allowed.Add(1)
+	return nil
+}
+
+// Handle is a process-bound view of a PEATS. It implements TupleSpace.
+type Handle struct {
+	space *Space
+	id    policy.ProcessID
+}
+
+var _ TupleSpace = (*Handle)(nil)
+
+// ID returns the process identity the handle is bound to.
+func (h *Handle) ID() policy.ProcessID { return h.id }
+
+// Out inserts entry if the policy allows it. The monitor check and the
+// insertion happen in one atomic section, mirroring the sequential
+// execution of the replicated realisation.
+func (h *Handle) Out(_ context.Context, entry tuple.Tuple) error {
+	inv := policy.Invocation{Invoker: h.id, Op: policy.OpOut, Entry: entry}
+	var err error
+	h.space.inner.Do(func(tx *space.Tx) {
+		if err = h.space.evaluate(inv, tx); err != nil {
+			return
+		}
+		err = tx.Out(entry)
+	})
+	return err
+}
+
+// Rdp performs a non-blocking read if the policy allows it.
+func (h *Handle) Rdp(_ context.Context, tmpl tuple.Tuple) (tuple.Tuple, bool, error) {
+	inv := policy.Invocation{Invoker: h.id, Op: policy.OpRdp, Template: tmpl}
+	var (
+		t   tuple.Tuple
+		ok  bool
+		err error
+	)
+	h.space.inner.Do(func(tx *space.Tx) {
+		if err = h.space.evaluate(inv, tx); err != nil {
+			return
+		}
+		t, ok = tx.Rdp(tmpl)
+	})
+	return t, ok, err
+}
+
+// Inp performs a non-blocking destructive read if the policy allows it.
+func (h *Handle) Inp(_ context.Context, tmpl tuple.Tuple) (tuple.Tuple, bool, error) {
+	inv := policy.Invocation{Invoker: h.id, Op: policy.OpInp, Template: tmpl}
+	var (
+		t   tuple.Tuple
+		ok  bool
+		err error
+	)
+	h.space.inner.Do(func(tx *space.Tx) {
+		if err = h.space.evaluate(inv, tx); err != nil {
+			return
+		}
+		t, ok = tx.Inp(tmpl)
+	})
+	return t, ok, err
+}
+
+// Rd performs a blocking read if the policy allows it. The permission
+// check precedes the wait; the paper's rd rules are unconditional, so
+// the split is harmless.
+func (h *Handle) Rd(ctx context.Context, tmpl tuple.Tuple) (tuple.Tuple, error) {
+	inv := policy.Invocation{Invoker: h.id, Op: policy.OpRd, Template: tmpl}
+	var err error
+	h.space.inner.Do(func(tx *space.Tx) { err = h.space.evaluate(inv, tx) })
+	if err != nil {
+		return tuple.Tuple{}, err
+	}
+	return h.space.inner.Rd(ctx, tmpl)
+}
+
+// In performs a blocking destructive read if the policy allows it.
+func (h *Handle) In(ctx context.Context, tmpl tuple.Tuple) (tuple.Tuple, error) {
+	inv := policy.Invocation{Invoker: h.id, Op: policy.OpIn, Template: tmpl}
+	var err error
+	h.space.inner.Do(func(tx *space.Tx) { err = h.space.evaluate(inv, tx) })
+	if err != nil {
+		return tuple.Tuple{}, err
+	}
+	return h.space.inner.In(ctx, tmpl)
+}
+
+// RdAll performs the bulk non-destructive read if the policy allows it.
+func (h *Handle) RdAll(_ context.Context, tmpl tuple.Tuple) ([]tuple.Tuple, error) {
+	inv := policy.Invocation{Invoker: h.id, Op: policy.OpRdAll, Template: tmpl}
+	var (
+		out []tuple.Tuple
+		err error
+	)
+	h.space.inner.Do(func(tx *space.Tx) {
+		if err = h.space.evaluate(inv, tx); err != nil {
+			return
+		}
+		out = tx.RdAll(tmpl)
+	})
+	return out, err
+}
+
+// Cas performs the conditional atomic swap if the policy allows it.
+// The monitor evaluation and the swap form a single atomic step.
+func (h *Handle) Cas(_ context.Context, tmpl, entry tuple.Tuple) (bool, tuple.Tuple, error) {
+	inv := policy.Invocation{Invoker: h.id, Op: policy.OpCas, Template: tmpl, Entry: entry}
+	var (
+		inserted bool
+		matched  tuple.Tuple
+		err      error
+	)
+	h.space.inner.Do(func(tx *space.Tx) {
+		if err = h.space.evaluate(inv, tx); err != nil {
+			return
+		}
+		inserted, matched, err = tx.Cas(tmpl, entry)
+	})
+	return inserted, matched, err
+}
+
+// PollRd emulates a blocking rd over a space that only offers rdp (the
+// replicated client), by polling with the given interval. It is exported
+// for algorithm implementations that must work over both realisations.
+func PollRd(ctx context.Context, ts TupleSpace, tmpl tuple.Tuple, interval time.Duration) (tuple.Tuple, error) {
+	if interval <= 0 {
+		interval = time.Millisecond
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		t, ok, err := ts.Rdp(ctx, tmpl)
+		if err != nil {
+			return tuple.Tuple{}, err
+		}
+		if ok {
+			return t, nil
+		}
+		select {
+		case <-ctx.Done():
+			return tuple.Tuple{}, ctx.Err()
+		case <-ticker.C:
+		}
+	}
+}

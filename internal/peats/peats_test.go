@@ -1,0 +1,251 @@
+package peats
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"peats/internal/policy"
+	"peats/internal/space"
+	"peats/internal/tuple"
+)
+
+func TestHandleAllOpsAllowAll(t *testing.T) {
+	s := New(policy.AllowAll())
+	h := s.Handle("p1")
+	ctx := context.Background()
+
+	if err := h.Out(ctx, tuple.T(tuple.Str("X"), tuple.Int(1))); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok, err := h.Rdp(ctx, tuple.T(tuple.Str("X"), tuple.Any())); err != nil || !ok || got.Arity() != 2 {
+		t.Fatalf("rdp = %v %v %v", got, ok, err)
+	}
+	if got, err := h.Rd(ctx, tuple.T(tuple.Str("X"), tuple.Any())); err != nil || got.Arity() != 2 {
+		t.Fatalf("rd = %v %v", got, err)
+	}
+	if got, ok, err := h.Inp(ctx, tuple.T(tuple.Str("X"), tuple.Any())); err != nil || !ok || got.Arity() != 2 {
+		t.Fatalf("inp = %v %v %v", got, ok, err)
+	}
+	if err := h.Out(ctx, tuple.T(tuple.Str("Y"))); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := h.In(ctx, tuple.T(tuple.Str("Y"))); err != nil || got.Arity() != 1 {
+		t.Fatalf("in = %v %v", got, err)
+	}
+	ins, _, err := h.Cas(ctx, tuple.T(tuple.Str("Z"), tuple.Formal("v")), tuple.T(tuple.Str("Z"), tuple.Int(9)))
+	if err != nil || !ins {
+		t.Fatalf("cas = %v %v", ins, err)
+	}
+}
+
+func TestDenialDoesNotTouchState(t *testing.T) {
+	// Policy: only cas of DECISION tuples allowed (Fig. 3 shape).
+	pol := policy.New(policy.Rule{
+		Name: "Rcas",
+		Op:   policy.OpCas,
+		When: policy.And(
+			policy.EntryArity(2),
+			policy.EntryField(0, tuple.Str("DECISION")),
+			policy.TemplateFieldFormal(1),
+		),
+	})
+	s := New(pol)
+	h := s.Handle("p1")
+	ctx := context.Background()
+
+	if err := h.Out(ctx, tuple.T(tuple.Str("DECISION"), tuple.Int(1))); !errors.Is(err, ErrDenied) {
+		t.Errorf("out err = %v, want ErrDenied", err)
+	}
+	if _, _, err := h.Inp(ctx, tuple.T(tuple.Any(), tuple.Any())); !errors.Is(err, ErrDenied) {
+		t.Errorf("inp err = %v, want ErrDenied", err)
+	}
+	if s.Inner().Len() != 0 {
+		t.Error("denied operation mutated the space")
+	}
+
+	// A conforming cas is allowed exactly once; the DECISION persists.
+	ins, _, err := h.Cas(ctx, tuple.T(tuple.Str("DECISION"), tuple.Formal("d")),
+		tuple.T(tuple.Str("DECISION"), tuple.Int(4)))
+	if err != nil || !ins {
+		t.Fatalf("cas = %v %v", ins, err)
+	}
+	// cas with non-formal second template field: denied.
+	_, _, err = h.Cas(ctx, tuple.T(tuple.Str("DECISION"), tuple.Int(4)),
+		tuple.T(tuple.Str("DECISION"), tuple.Int(5)))
+	if !errors.Is(err, ErrDenied) {
+		t.Errorf("non-formal cas err = %v, want ErrDenied", err)
+	}
+
+	st := s.Stats()
+	if st.Allowed != 1 || st.Denied != 3 {
+		t.Errorf("stats = %+v, want 1 allowed / 3 denied", st)
+	}
+}
+
+func TestPolicySeesInvokerIdentity(t *testing.T) {
+	pol := policy.New(policy.Rule{
+		Name: "Rout",
+		Op:   policy.OpOut,
+		When: policy.And(policy.InvokerIn("alice"), policy.EntryFieldIsInvoker(0)),
+	})
+	s := New(pol)
+	ctx := context.Background()
+
+	alice, bob := s.Handle("alice"), s.Handle("bob")
+	if err := alice.Out(ctx, tuple.T(tuple.Str("alice"), tuple.Int(1))); err != nil {
+		t.Errorf("alice out: %v", err)
+	}
+	// Alice cannot claim to be bob in the tuple.
+	if err := alice.Out(ctx, tuple.T(tuple.Str("bob"), tuple.Int(1))); !errors.Is(err, ErrDenied) {
+		t.Errorf("impersonation err = %v, want ErrDenied", err)
+	}
+	// Bob is not in the ACL at all.
+	if err := bob.Out(ctx, tuple.T(tuple.Str("bob"), tuple.Int(1))); !errors.Is(err, ErrDenied) {
+		t.Errorf("bob out err = %v, want ErrDenied", err)
+	}
+}
+
+func TestStatefulPolicyAtomicWithCas(t *testing.T) {
+	// A cas that is only allowed while fewer than 1 MARK tuples exist.
+	// Concurrent invocations must never both pass the monitor and insert,
+	// proving check+execute is atomic.
+	pol := policy.New(policy.Rule{
+		Name: "Rcas",
+		Op:   policy.OpCas,
+		When: policy.Check(func(_ policy.Invocation, st policy.StateView) bool {
+			return st.CountMatching(tuple.T(tuple.Str("MARK"), tuple.Any())) == 0
+		}),
+	})
+	s := New(pol)
+	ctx := context.Background()
+
+	const workers = 16
+	var wg sync.WaitGroup
+	inserted := make(chan struct{}, workers)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(v int64) {
+			defer wg.Done()
+			h := s.Handle(policy.ProcessID("p"))
+			ins, _, err := h.Cas(ctx,
+				tuple.T(tuple.Str("MARK"), tuple.Formal("x")),
+				tuple.T(tuple.Str("MARK"), tuple.Int(v)))
+			if err == nil && ins {
+				inserted <- struct{}{}
+			}
+		}(int64(i))
+	}
+	wg.Wait()
+	close(inserted)
+	n := 0
+	for range inserted {
+		n++
+	}
+	if n != 1 {
+		t.Errorf("%d cas calls succeeded, want 1", n)
+	}
+	if got := s.Inner().CountMatching(tuple.T(tuple.Str("MARK"), tuple.Any())); got != 1 {
+		t.Errorf("%d MARK tuples stored, want 1", got)
+	}
+}
+
+func TestWrapSharesSpace(t *testing.T) {
+	inner := space.New()
+	if err := inner.Out(tuple.T(tuple.Str("PRE"))); err != nil {
+		t.Fatal(err)
+	}
+	s := Wrap(inner, policy.AllowAll())
+	if _, ok, err := s.Handle("p").Rdp(context.Background(), tuple.T(tuple.Str("PRE"))); err != nil || !ok {
+		t.Error("wrapped space does not see pre-existing tuples")
+	}
+	if s.Inner() != inner {
+		t.Error("Inner() should return the wrapped space")
+	}
+}
+
+func TestRdDeniedBeforeBlocking(t *testing.T) {
+	pol := policy.New() // deny everything
+	h := New(pol).Handle("p")
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	start := time.Now()
+	_, err := h.Rd(ctx, tuple.T(tuple.Str("X")))
+	if !errors.Is(err, ErrDenied) {
+		t.Errorf("err = %v, want ErrDenied", err)
+	}
+	if time.Since(start) > 500*time.Millisecond {
+		t.Error("denied rd blocked instead of failing fast")
+	}
+	_, err = h.In(ctx, tuple.T(tuple.Str("X")))
+	if !errors.Is(err, ErrDenied) {
+		t.Errorf("in err = %v, want ErrDenied", err)
+	}
+}
+
+func TestPollRd(t *testing.T) {
+	s := New(policy.AllowAll())
+	h := s.Handle("p1")
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		_ = h.Out(context.Background(), tuple.T(tuple.Str("LATE"), tuple.Int(1)))
+	}()
+	got, err := PollRd(ctx, h, tuple.T(tuple.Str("LATE"), tuple.Any()), time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := got.Field(1).IntValue(); v != 1 {
+		t.Errorf("PollRd got %v", got)
+	}
+}
+
+func TestPollRdCancellation(t *testing.T) {
+	s := New(policy.AllowAll())
+	h := s.Handle("p1")
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	_, err := PollRd(ctx, h, tuple.T(tuple.Str("NEVER")), time.Millisecond)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("err = %v, want DeadlineExceeded", err)
+	}
+}
+
+func TestPollRdPropagatesDenial(t *testing.T) {
+	h := New(policy.New()).Handle("p")
+	_, err := PollRd(context.Background(), h, tuple.T(tuple.Str("X")), time.Millisecond)
+	if !errors.Is(err, ErrDenied) {
+		t.Errorf("err = %v, want ErrDenied", err)
+	}
+}
+
+func TestHandleID(t *testing.T) {
+	h := New(policy.AllowAll()).Handle("p7")
+	if h.ID() != "p7" {
+		t.Errorf("ID = %v", h.ID())
+	}
+}
+
+func TestHandleRdAll(t *testing.T) {
+	s := New(policy.AllowAll())
+	h := s.Handle("p")
+	ctx := context.Background()
+	for i := int64(0); i < 3; i++ {
+		if err := h.Out(ctx, tuple.T(tuple.Str("X"), tuple.Int(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	all, err := h.RdAll(ctx, tuple.T(tuple.Str("X"), tuple.Any()))
+	if err != nil || len(all) != 3 {
+		t.Fatalf("RdAll = %d tuples, err %v", len(all), err)
+	}
+	// Denied under a policy without an rdAll rule.
+	restricted := New(policy.New(policy.Rule{Name: "r", Op: policy.OpRdp})).Handle("p")
+	if _, err := restricted.RdAll(ctx, tuple.T(tuple.Any())); !errors.Is(err, ErrDenied) {
+		t.Errorf("err = %v, want ErrDenied", err)
+	}
+}

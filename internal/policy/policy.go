@@ -1,0 +1,179 @@
+// Package policy implements fine-grained access policies and the
+// reference monitor of the Policy-Enforced Object (PEO) model.
+//
+// A policy is a set of rules. Each rule has an invocation pattern (the
+// operation it governs) and a logical expression — a predicate over the
+// three pieces of information the paper's reference monitor may inspect:
+//
+//  1. the invoker process identifier;
+//  2. the operation and its arguments;
+//  3. the current state of the protected object.
+//
+// An invocation is allowed iff at least one rule for its operation is
+// satisfied. Following the principle of fail-safe defaults (Saltzer &
+// Schroeder), an invocation that fits no rule is denied.
+//
+// The Go predicates play the role of the paper's PROLOG-style rule
+// bodies; the transliterations of the paper's figures live next to the
+// algorithms that use them (packages consensus and universal).
+package policy
+
+import (
+	"fmt"
+	"strings"
+
+	"peats/internal/tuple"
+)
+
+// ProcessID identifies an authenticated process invoking operations on a
+// protected object. The model assumes a malicious process cannot
+// impersonate a correct one; the transport layer realises this with
+// per-process authenticated channels.
+type ProcessID string
+
+// Op enumerates the operations of the augmented tuple space.
+type Op uint8
+
+// Tuple-space operations subject to policy enforcement.
+const (
+	OpOut Op = iota + 1
+	OpRd
+	OpRdp
+	OpIn
+	OpInp
+	OpCas
+	// OpRdAll is the bulk non-destructive read of every matching tuple
+	// (DepSpace's copy-collect) — an extension beyond the paper's six
+	// operations, governed by policies like any other.
+	OpRdAll
+)
+
+// String returns the paper's name for the operation.
+func (o Op) String() string {
+	switch o {
+	case OpOut:
+		return "out"
+	case OpRd:
+		return "rd"
+	case OpRdp:
+		return "rdp"
+	case OpIn:
+		return "in"
+	case OpInp:
+		return "inp"
+	case OpCas:
+		return "cas"
+	case OpRdAll:
+		return "rdAll"
+	default:
+		return fmt.Sprintf("op(%d)", uint8(o))
+	}
+}
+
+// Invocation is one attempted operation, as seen by the reference
+// monitor before execution.
+type Invocation struct {
+	Invoker ProcessID
+	Op      Op
+	// Template is the template argument of rd/rdp/in/inp/cas.
+	// It is the zero Tuple for out.
+	Template tuple.Tuple
+	// Entry is the entry argument of out and cas. It is the zero Tuple
+	// for the read operations.
+	Entry tuple.Tuple
+}
+
+// String renders the invocation for diagnostics and audit logs.
+func (inv Invocation) String() string {
+	var args []string
+	if !inv.Template.IsZero() {
+		args = append(args, inv.Template.String())
+	}
+	if !inv.Entry.IsZero() {
+		args = append(args, inv.Entry.String())
+	}
+	return fmt.Sprintf("%s: %s(%s)", inv.Invoker, inv.Op, strings.Join(args, ", "))
+}
+
+// StateView is the read-only view of the protected object's state that
+// rule predicates may inspect. It is implemented by *space.Space.
+type StateView interface {
+	// Rdp returns the first tuple matching tmpl, if any.
+	Rdp(tmpl tuple.Tuple) (tuple.Tuple, bool)
+	// CountMatching returns how many stored tuples match tmpl.
+	CountMatching(tmpl tuple.Tuple) int
+	// ForEach visits every stored tuple until fn returns false.
+	ForEach(fn func(tuple.Tuple) bool)
+}
+
+// Predicate is the logical expression of a rule: it decides whether a
+// particular invocation may execute given the object's current state.
+// Predicates must be deterministic and must not mutate state.
+type Predicate func(inv Invocation, st StateView) bool
+
+// Rule associates an invocation pattern (operation) with a predicate.
+// Name identifies the rule in diagnostics (e.g. "Rcas").
+type Rule struct {
+	Name string
+	Op   Op
+	When Predicate
+}
+
+// Policy is an ordered set of rules with deny-by-default semantics.
+// The zero Policy denies everything.
+type Policy struct {
+	rules []Rule
+}
+
+// New returns a policy composed of the given rules.
+func New(rules ...Rule) Policy {
+	cp := make([]Rule, len(rules))
+	copy(cp, rules)
+	return Policy{rules: cp}
+}
+
+// Rules returns a copy of the policy's rules.
+func (p Policy) Rules() []Rule {
+	cp := make([]Rule, len(p.rules))
+	copy(cp, p.rules)
+	return cp
+}
+
+// Decision records the outcome of a reference-monitor check.
+type Decision struct {
+	Allowed bool
+	// Rule is the name of the rule that allowed the invocation, or ""
+	// when denied.
+	Rule string
+}
+
+// Evaluate applies the monitor to an invocation: the invocation is
+// allowed iff some rule for its operation is satisfied. Invocations
+// matching no rule are denied (fail-safe default).
+func (p Policy) Evaluate(inv Invocation, st StateView) Decision {
+	for _, r := range p.rules {
+		if r.Op != inv.Op {
+			continue
+		}
+		if r.When == nil || r.When(inv, st) {
+			return Decision{Allowed: true, Rule: r.Name}
+		}
+	}
+	return Decision{}
+}
+
+// Allows reports whether the policy permits the invocation.
+func (p Policy) Allows(inv Invocation, st StateView) bool {
+	return p.Evaluate(inv, st).Allowed
+}
+
+// AllowAll returns the permissive policy used by unprotected spaces:
+// every operation is allowed unconditionally.
+func AllowAll() Policy {
+	ops := []Op{OpOut, OpRd, OpRdp, OpIn, OpInp, OpCas, OpRdAll}
+	rules := make([]Rule, 0, len(ops))
+	for _, op := range ops {
+		rules = append(rules, Rule{Name: "allow-" + op.String(), Op: op})
+	}
+	return New(rules...)
+}

@@ -1,0 +1,294 @@
+package policy
+
+import (
+	"strings"
+	"testing"
+
+	"peats/internal/space"
+	"peats/internal/tuple"
+)
+
+func inv(p ProcessID, op Op, tmpl, entry tuple.Tuple) Invocation {
+	return Invocation{Invoker: p, Op: op, Template: tmpl, Entry: entry}
+}
+
+func TestZeroPolicyDeniesEverything(t *testing.T) {
+	var p Policy
+	st := space.New()
+	for _, op := range []Op{OpOut, OpRd, OpRdp, OpIn, OpInp, OpCas} {
+		if p.Allows(inv("p1", op, tuple.T(tuple.Any()), tuple.T(tuple.Int(1))), st) {
+			t.Errorf("zero policy allowed %v", op)
+		}
+	}
+}
+
+func TestFailSafeDefault(t *testing.T) {
+	// A policy with only an out rule denies every other operation.
+	p := New(Rule{Name: "Rout", Op: OpOut, When: Always})
+	st := space.New()
+	if !p.Allows(inv("p1", OpOut, tuple.Tuple{}, tuple.T(tuple.Int(1))), st) {
+		t.Error("out should be allowed")
+	}
+	for _, op := range []Op{OpRd, OpRdp, OpIn, OpInp, OpCas} {
+		if p.Allows(inv("p1", op, tuple.T(tuple.Any()), tuple.Tuple{}), st) {
+			t.Errorf("%v should be denied by fail-safe default", op)
+		}
+	}
+}
+
+func TestNilWhenMeansUnconditional(t *testing.T) {
+	p := New(Rule{Name: "r", Op: OpRdp})
+	if !p.Allows(inv("p", OpRdp, tuple.T(tuple.Any()), tuple.Tuple{}), space.New()) {
+		t.Error("rule with nil When should allow")
+	}
+}
+
+func TestEvaluateReportsRuleName(t *testing.T) {
+	p := New(
+		Rule{Name: "strict", Op: OpOut, When: InvokerIn("p1")},
+		Rule{Name: "loose", Op: OpOut, When: Always},
+	)
+	st := space.New()
+	d := p.Evaluate(inv("p1", OpOut, tuple.Tuple{}, tuple.T(tuple.Int(1))), st)
+	if !d.Allowed || d.Rule != "strict" {
+		t.Errorf("decision = %+v, want strict", d)
+	}
+	d = p.Evaluate(inv("p9", OpOut, tuple.Tuple{}, tuple.T(tuple.Int(1))), st)
+	if !d.Allowed || d.Rule != "loose" {
+		t.Errorf("decision = %+v, want loose", d)
+	}
+}
+
+func TestAllowAll(t *testing.T) {
+	p := AllowAll()
+	st := space.New()
+	for _, op := range []Op{OpOut, OpRd, OpRdp, OpIn, OpInp, OpCas} {
+		if !p.Allows(inv("anyone", op, tuple.T(tuple.Any()), tuple.T(tuple.Int(1))), st) {
+			t.Errorf("AllowAll denied %v", op)
+		}
+	}
+}
+
+// TestFigure1RegisterPolicy transliterates the paper's Fig. 1: a numeric
+// register (modelled as a <REG, v> tuple) where anyone may read but only
+// p1, p2, p3 may write, and only values greater than the current one.
+func TestFigure1RegisterPolicy(t *testing.T) {
+	regTmpl := tuple.T(tuple.Str("REG"), tuple.Any())
+	greaterThanCurrent := Check(func(in Invocation, st StateView) bool {
+		v, ok := in.Entry.Field(1).IntValue()
+		if !ok {
+			return false
+		}
+		cur, found := st.Rdp(regTmpl)
+		if !found {
+			return true // no value yet: any first write allowed
+		}
+		c, _ := cur.Field(1).IntValue()
+		return v > c
+	})
+	pol := New(
+		Rule{Name: "Rread", Op: OpRdp, When: Always},
+		Rule{Name: "Rwrite", Op: OpOut, When: And(
+			InvokerIn("p1", "p2", "p3"),
+			EntryArity(2),
+			EntryField(0, tuple.Str("REG")),
+			greaterThanCurrent,
+		)},
+	)
+
+	st := space.New()
+	write := func(p ProcessID, v int64) bool {
+		in := inv(p, OpOut, tuple.Tuple{}, tuple.T(tuple.Str("REG"), tuple.Int(v)))
+		if !pol.Allows(in, st) {
+			return false
+		}
+		// Simulate the register: replace the current value.
+		st.Inp(regTmpl)
+		if err := st.Out(in.Entry); err != nil {
+			t.Fatal(err)
+		}
+		return true
+	}
+
+	if !write("p1", 5) {
+		t.Error("first write by p1 denied")
+	}
+	if write("p4", 10) {
+		t.Error("write by p4 allowed (not in ACL)")
+	}
+	if write("p2", 5) {
+		t.Error("non-increasing write allowed")
+	}
+	if write("p2", 3) {
+		t.Error("decreasing write allowed")
+	}
+	if !write("p3", 6) {
+		t.Error("increasing write by p3 denied")
+	}
+	if !pol.Allows(inv("p9", OpRdp, regTmpl, tuple.Tuple{}), st) {
+		t.Error("read denied")
+	}
+}
+
+func TestCombinators(t *testing.T) {
+	st := space.New()
+	i := inv("p1", OpOut, tuple.Tuple{}, tuple.T(tuple.Str("X")))
+	tr := Predicate(Always)
+	fa := Not(Always)
+
+	tests := []struct {
+		name string
+		p    Predicate
+		want bool
+	}{
+		{"And empty", And(), true},
+		{"And all true", And(tr, tr), true},
+		{"And one false", And(tr, fa), false},
+		{"Or empty", Or(), false},
+		{"Or one true", Or(fa, tr), true},
+		{"Or all false", Or(fa, fa), false},
+		{"Not true", Not(tr), false},
+		{"Not false", Not(fa), true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.p(i, st); got != tt.want {
+				t.Errorf("got %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestAndShortCircuits(t *testing.T) {
+	called := false
+	spy := Check(func(Invocation, StateView) bool { called = true; return true })
+	p := And(Not(Always), spy)
+	if p(Invocation{}, space.New()) {
+		t.Error("And should be false")
+	}
+	if called {
+		t.Error("And did not short-circuit")
+	}
+}
+
+func TestInvocationArgumentPredicates(t *testing.T) {
+	st := space.New()
+	entry := tuple.T(tuple.Str("PROPOSE"), tuple.Str("p1"), tuple.Int(1))
+	tmpl := tuple.T(tuple.Str("DECISION"), tuple.Formal("d"))
+	i := inv("p1", OpCas, tmpl, entry)
+
+	tests := []struct {
+		name string
+		p    Predicate
+		want bool
+	}{
+		{"EntryArity ok", EntryArity(3), true},
+		{"EntryArity wrong", EntryArity(2), false},
+		{"TemplateArity ok", TemplateArity(2), true},
+		{"TemplateArity wrong", TemplateArity(3), false},
+		{"EntryField ok", EntryField(0, tuple.Str("PROPOSE")), true},
+		{"EntryField wrong", EntryField(0, tuple.Str("DECISION")), false},
+		{"TemplateField ok", TemplateField(0, tuple.Str("DECISION")), true},
+		{"TemplateFieldFormal ok", TemplateFieldFormal(1), true},
+		{"TemplateFieldFormal not formal", TemplateFieldFormal(0), false},
+		{"TemplateFieldFormal out of range", TemplateFieldFormal(5), false},
+		{"EntryFieldIsInvoker ok", EntryFieldIsInvoker(1), true},
+		{"EntryFieldIsInvoker wrong field", EntryFieldIsInvoker(0), false},
+		{"EntryFieldIsInvoker non-string", EntryFieldIsInvoker(2), false},
+		{"InvokerIn yes", InvokerIn("p1", "p2"), true},
+		{"InvokerIn no", InvokerIn("p2", "p3"), false},
+		{"InvokerIn empty", InvokerIn(), false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.p(i, st); got != tt.want {
+				t.Errorf("got %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestStatePredicates(t *testing.T) {
+	st := space.New()
+	if err := st.Out(tuple.T(tuple.Str("PROPOSE"), tuple.Str("p1"), tuple.Int(1))); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Out(tuple.T(tuple.Str("PROPOSE"), tuple.Str("p2"), tuple.Int(1))); err != nil {
+		t.Fatal(err)
+	}
+
+	i := inv("p1", OpCas,
+		tuple.T(tuple.Str("DECISION"), tuple.Formal("d")),
+		tuple.T(tuple.Str("DECISION"), tuple.Int(1)))
+
+	if !Exists(tuple.T(tuple.Str("PROPOSE"), tuple.Any(), tuple.Any()))(i, st) {
+		t.Error("Exists false for present tuple")
+	}
+	if Exists(tuple.T(tuple.Str("DECISION"), tuple.Any()))(i, st) {
+		t.Error("Exists true for absent tuple")
+	}
+	if !NotExists(tuple.T(tuple.Str("DECISION"), tuple.Any()))(i, st) {
+		t.Error("NotExists false for absent tuple")
+	}
+
+	buildProposal := func(in Invocation) (tuple.Tuple, bool) {
+		v := in.Entry.Field(1)
+		if !v.IsValue() {
+			return tuple.Tuple{}, false
+		}
+		return tuple.T(tuple.Str("PROPOSE"), tuple.Any(), v), true
+	}
+	if !CountAtLeast(2, buildProposal)(i, st) {
+		t.Error("CountAtLeast(2) false with 2 proposals")
+	}
+	if CountAtLeast(3, buildProposal)(i, st) {
+		t.Error("CountAtLeast(3) true with 2 proposals")
+	}
+	bad := func(Invocation) (tuple.Tuple, bool) { return tuple.Tuple{}, false }
+	if CountAtLeast(0, bad)(i, st) {
+		t.Error("CountAtLeast with failing builder should be false")
+	}
+	if ExistsFn(bad)(i, st) {
+		t.Error("ExistsFn with failing builder should be false")
+	}
+	if !ExistsFn(buildProposal)(i, st) {
+		t.Error("ExistsFn false for present tuple")
+	}
+}
+
+func TestOpString(t *testing.T) {
+	want := map[Op]string{
+		OpOut: "out", OpRd: "rd", OpRdp: "rdp",
+		OpIn: "in", OpInp: "inp", OpCas: "cas", Op(99): "op(99)",
+	}
+	for op, s := range want {
+		if op.String() != s {
+			t.Errorf("%d.String() = %q, want %q", op, op.String(), s)
+		}
+	}
+}
+
+func TestInvocationString(t *testing.T) {
+	i := inv("p1", OpCas,
+		tuple.T(tuple.Str("D"), tuple.Formal("d")),
+		tuple.T(tuple.Str("D"), tuple.Int(1)))
+	s := i.String()
+	for _, want := range []string{"p1", "cas", "?d", "1"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Invocation.String() = %q missing %q", s, want)
+		}
+	}
+	o := inv("p2", OpOut, tuple.Tuple{}, tuple.T(tuple.Int(3)))
+	if s := o.String(); !strings.Contains(s, "out(<3>)") {
+		t.Errorf("out rendering = %q", s)
+	}
+}
+
+func TestRulesReturnsCopy(t *testing.T) {
+	p := New(Rule{Name: "a", Op: OpOut})
+	rs := p.Rules()
+	rs[0].Name = "mutated"
+	if p.Rules()[0].Name != "a" {
+		t.Error("Rules() exposed internal slice")
+	}
+}

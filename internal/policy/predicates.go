@@ -1,0 +1,134 @@
+package policy
+
+import "peats/internal/tuple"
+
+// Combinators for building rule predicates. These mirror the connectives
+// and atoms of the paper's PROLOG-style rule bodies (conjunction,
+// disjunction, negation, existential quantification over the space, and
+// tests on invocation arguments).
+
+// And is satisfied when every predicate is satisfied. And() is true.
+func And(ps ...Predicate) Predicate {
+	return func(inv Invocation, st StateView) bool {
+		for _, p := range ps {
+			if !p(inv, st) {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// Or is satisfied when at least one predicate is satisfied. Or() is false.
+func Or(ps ...Predicate) Predicate {
+	return func(inv Invocation, st StateView) bool {
+		for _, p := range ps {
+			if p(inv, st) {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// Not negates a predicate.
+func Not(p Predicate) Predicate {
+	return func(inv Invocation, st StateView) bool { return !p(inv, st) }
+}
+
+// Always is satisfied by every invocation.
+func Always(Invocation, StateView) bool { return true }
+
+// InvokerIn is satisfied when the invoker is one of the listed
+// processes — the paper's ACL-as-a-special-case-of-policy (§3, Fig. 1).
+func InvokerIn(ids ...ProcessID) Predicate {
+	set := make(map[ProcessID]struct{}, len(ids))
+	for _, id := range ids {
+		set[id] = struct{}{}
+	}
+	return func(inv Invocation, _ StateView) bool {
+		_, ok := set[inv.Invoker]
+		return ok
+	}
+}
+
+// EntryArity requires the entry argument to have exactly n fields.
+func EntryArity(n int) Predicate {
+	return func(inv Invocation, _ StateView) bool { return inv.Entry.Arity() == n }
+}
+
+// TemplateArity requires the template argument to have exactly n fields.
+func TemplateArity(n int) Predicate {
+	return func(inv Invocation, _ StateView) bool { return inv.Template.Arity() == n }
+}
+
+// EntryField requires field i of the entry argument to equal f.
+func EntryField(i int, f tuple.Field) Predicate {
+	return func(inv Invocation, _ StateView) bool { return inv.Entry.Field(i).Equal(f) }
+}
+
+// TemplateField requires field i of the template argument to equal f.
+func TemplateField(i int, f tuple.Field) Predicate {
+	return func(inv Invocation, _ StateView) bool { return inv.Template.Field(i).Equal(f) }
+}
+
+// TemplateFieldFormal requires field i of the template to be a formal
+// field (the paper's formal(x) predicate, e.g. in Figs. 3 and 4).
+func TemplateFieldFormal(i int) Predicate {
+	return func(inv Invocation, _ StateView) bool { return inv.Template.Field(i).IsFormal() }
+}
+
+// EntryFieldIsInvoker requires field i of the entry to be the invoker's
+// identifier — e.g. Fig. 4's Rout: out(<PROPOSE, p, *>) invoked by p.
+func EntryFieldIsInvoker(i int) Predicate {
+	return func(inv Invocation, _ StateView) bool {
+		s, ok := inv.Entry.Field(i).StrValue()
+		return ok && ProcessID(s) == inv.Invoker
+	}
+}
+
+// Exists is satisfied when some stored tuple matches tmpl
+// (∃y: <...> ∈ TS in the paper's rules).
+func Exists(tmpl tuple.Tuple) Predicate {
+	return func(_ Invocation, st StateView) bool {
+		_, ok := st.Rdp(tmpl)
+		return ok
+	}
+}
+
+// NotExists is satisfied when no stored tuple matches tmpl.
+func NotExists(tmpl tuple.Tuple) Predicate {
+	return Not(Exists(tmpl))
+}
+
+// ExistsFn builds the template from the invocation before testing
+// existence, for rules whose quantified tuple depends on the arguments
+// (e.g. Fig. 7: ∃y: <SEQ, pos−1, y> ∈ TS where pos comes from the cas).
+func ExistsFn(build func(inv Invocation) (tuple.Tuple, bool)) Predicate {
+	return func(inv Invocation, st StateView) bool {
+		tmpl, ok := build(inv)
+		if !ok {
+			return false
+		}
+		_, found := st.Rdp(tmpl)
+		return found
+	}
+}
+
+// CountAtLeast is satisfied when at least n stored tuples match the
+// template built from the invocation (e.g. Fig. 4's "v appears in
+// proposals of at least t+1 processes").
+func CountAtLeast(n int, build func(inv Invocation) (tuple.Tuple, bool)) Predicate {
+	return func(inv Invocation, st StateView) bool {
+		tmpl, ok := build(inv)
+		if !ok {
+			return false
+		}
+		return st.CountMatching(tmpl) >= n
+	}
+}
+
+// Check wraps an arbitrary deterministic function as a predicate, for
+// rule bodies that do not decompose into the combinators above (e.g. the
+// set-of-sets justification of the default-consensus Rcas, Fig. 5).
+func Check(fn func(inv Invocation, st StateView) bool) Predicate { return fn }

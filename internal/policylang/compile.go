@@ -1,0 +1,281 @@
+package policylang
+
+import (
+	"fmt"
+
+	"peats/internal/policy"
+	"peats/internal/tuple"
+)
+
+// Options tweak compilation.
+type Options struct {
+	// Extra makes named native predicates available to rules via
+	// "when native <name>" guards — the escape hatch for conditions the
+	// language cannot express (e.g. Fig. 4's ∀q ∈ S justification
+	// check). Nil predicates are rejected.
+	Extra map[string]policy.Predicate
+}
+
+// Compile parses and compiles a policy source text.
+func Compile(src string) (policy.Policy, error) {
+	return CompileWith(src, Options{})
+}
+
+// CompileWith is Compile with options.
+func CompileWith(src string, opts Options) (policy.Policy, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return policy.Policy{}, err
+	}
+	asts, err := parse(toks)
+	if err != nil {
+		return policy.Policy{}, err
+	}
+	rules := make([]policy.Rule, 0, len(asts))
+	for _, ast := range asts {
+		r, err := compileRule(ast, opts)
+		if err != nil {
+			return policy.Policy{}, err
+		}
+		rules = append(rules, r)
+	}
+	return policy.New(rules...), nil
+}
+
+// MustCompile is Compile that panics on error, for policies embedded as
+// program constants.
+func MustCompile(src string) policy.Policy {
+	p, err := Compile(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func compileRule(ast ruleAST, opts Options) (policy.Rule, error) {
+	var preds []policy.Predicate
+	if ast.tmplPat != nil {
+		p, err := compilePat(ast.tmplPat, argTemplate, opts)
+		if err != nil {
+			return policy.Rule{}, err
+		}
+		preds = append(preds, p)
+	}
+	if ast.entPat != nil {
+		p, err := compilePat(ast.entPat, argEntry, opts)
+		if err != nil {
+			return policy.Rule{}, err
+		}
+		preds = append(preds, p)
+	}
+	if ast.guard != nil {
+		g, err := compileExpr(ast.guard, opts)
+		if err != nil {
+			return policy.Rule{}, err
+		}
+		preds = append(preds, g)
+	}
+	var when policy.Predicate
+	switch len(preds) {
+	case 0:
+		when = policy.Always
+	case 1:
+		when = preds[0]
+	default:
+		when = policy.And(preds...)
+	}
+	return policy.Rule{Name: ast.name, Op: ast.op, When: when}, nil
+}
+
+type argSelector uint8
+
+const (
+	argTemplate argSelector = iota + 1
+	argEntry
+)
+
+func (a argSelector) pick(inv policy.Invocation) tuple.Tuple {
+	if a == argEntry {
+		return inv.Entry
+	}
+	return inv.Template
+}
+
+// compilePat turns an argument pattern into a predicate requiring the
+// selected argument to have the pattern's arity and satisfy every field
+// constraint.
+func compilePat(pat *tuplePat, sel argSelector, opts Options) (policy.Predicate, error) {
+	checks := make([]func(inv policy.Invocation, f tuple.Field) bool, len(pat.fields))
+	for i, fp := range pat.fields {
+		check, err := compileFieldCheck(fp)
+		if err != nil {
+			return nil, err
+		}
+		checks[i] = check
+	}
+	arity := len(pat.fields)
+	return func(inv policy.Invocation, _ policy.StateView) bool {
+		arg := sel.pick(inv)
+		if arg.Arity() != arity {
+			return false
+		}
+		for i, check := range checks {
+			if !check(inv, arg.Field(i)) {
+				return false
+			}
+		}
+		return true
+	}, nil
+}
+
+func compileFieldCheck(fp fieldPat) (func(policy.Invocation, tuple.Field) bool, error) {
+	switch fp.kind {
+	case fLitString:
+		want := tuple.Str(fp.s)
+		return func(_ policy.Invocation, f tuple.Field) bool { return f.Equal(want) }, nil
+	case fLitInt:
+		want := tuple.Int(fp.i)
+		return func(_ policy.Invocation, f tuple.Field) bool { return f.Equal(want) }, nil
+	case fLitBool:
+		want := tuple.Bool(fp.b)
+		return func(_ policy.Invocation, f tuple.Field) bool { return f.Equal(want) }, nil
+	case fAnyValue:
+		return func(_ policy.Invocation, f tuple.Field) bool { return !f.IsZero() }, nil
+	case fTypeInt:
+		return kindCheck(tuple.KindInt), nil
+	case fTypeStr:
+		return kindCheck(tuple.KindString), nil
+	case fTypeBool:
+		return kindCheck(tuple.KindBool), nil
+	case fTypeBytes:
+		return kindCheck(tuple.KindBytes), nil
+	case fFormal:
+		return func(_ policy.Invocation, f tuple.Field) bool { return f.IsFormal() }, nil
+	case fInvoker:
+		return func(inv policy.Invocation, f tuple.Field) bool {
+			s, ok := f.StrValue()
+			return ok && policy.ProcessID(s) == inv.Invoker
+		}, nil
+	case fRefEntry, fRefTmpl:
+		return nil, errf(fp.line, "$-references are only allowed in guard tuples")
+	default:
+		return nil, errf(fp.line, "internal: unknown field pattern kind %d", fp.kind)
+	}
+}
+
+func kindCheck(k tuple.Kind) func(policy.Invocation, tuple.Field) bool {
+	return func(_ policy.Invocation, f tuple.Field) bool { return f.Kind() == k }
+}
+
+// buildGuardTemplate materialises a guard tuple pattern against a
+// concrete invocation, producing the template to query the space with.
+// It fails (allowing the guard to evaluate that field as unmatched) if
+// a reference points outside the referenced argument or a constraint
+// cannot be represented as a template field.
+func buildGuardTemplate(pat *tuplePat, inv policy.Invocation) (tuple.Tuple, bool) {
+	fields := make([]tuple.Field, len(pat.fields))
+	for i, fp := range pat.fields {
+		switch fp.kind {
+		case fLitString:
+			fields[i] = tuple.Str(fp.s)
+		case fLitInt:
+			fields[i] = tuple.Int(fp.i)
+		case fLitBool:
+			fields[i] = tuple.Bool(fp.b)
+		case fAnyValue:
+			fields[i] = tuple.Any()
+		case fInvoker:
+			fields[i] = tuple.Str(string(inv.Invoker))
+		case fRefEntry:
+			f := inv.Entry.Field(fp.ref)
+			if f.IsZero() || !f.IsValue() {
+				return tuple.Tuple{}, false
+			}
+			fields[i] = f
+		case fRefTmpl:
+			f := inv.Template.Field(fp.ref)
+			if f.IsZero() || !f.IsValue() {
+				return tuple.Tuple{}, false
+			}
+			fields[i] = f
+		case fTypeInt, fTypeStr, fTypeBool, fTypeBytes, fFormal:
+			// Type constraints cannot be expressed as a space template;
+			// treat them as wildcards for the state query.
+			fields[i] = tuple.Any()
+		default:
+			return tuple.Tuple{}, false
+		}
+	}
+	return tuple.T(fields...), true
+}
+
+func compileExpr(e exprAST, opts Options) (policy.Predicate, error) {
+	switch e := e.(type) {
+	case exprTrue:
+		return policy.Always, nil
+	case exprNot:
+		x, err := compileExpr(e.x, opts)
+		if err != nil {
+			return nil, err
+		}
+		return policy.Not(x), nil
+	case exprAnd:
+		l, err := compileExpr(e.l, opts)
+		if err != nil {
+			return nil, err
+		}
+		r, err := compileExpr(e.r, opts)
+		if err != nil {
+			return nil, err
+		}
+		return policy.And(l, r), nil
+	case exprOr:
+		l, err := compileExpr(e.l, opts)
+		if err != nil {
+			return nil, err
+		}
+		r, err := compileExpr(e.r, opts)
+		if err != nil {
+			return nil, err
+		}
+		return policy.Or(l, r), nil
+	case exprExists:
+		pat := e.pat
+		return policy.ExistsFn(func(inv policy.Invocation) (tuple.Tuple, bool) {
+			return buildGuardTemplate(pat, inv)
+		}), nil
+	case exprCount:
+		pat := e.pat
+		cmp := e.cmp
+		n := int(e.n)
+		return policy.Check(func(inv policy.Invocation, st policy.StateView) bool {
+			tmpl, ok := buildGuardTemplate(pat, inv)
+			if !ok {
+				return false
+			}
+			c := st.CountMatching(tmpl)
+			switch cmp {
+			case tokGE:
+				return c >= n
+			case tokLE:
+				return c <= n
+			default:
+				return c == n
+			}
+		}), nil
+	case exprNative:
+		pred, ok := opts.Extra[e.name]
+		if !ok || pred == nil {
+			return nil, errf(e.line, "native predicate %q is not provided", e.name)
+		}
+		return pred, nil
+	case exprInvokerIn:
+		ids := make([]policy.ProcessID, len(e.ids))
+		for i, s := range e.ids {
+			ids[i] = policy.ProcessID(s)
+		}
+		return policy.InvokerIn(ids...), nil
+	default:
+		return nil, fmt.Errorf("policy: internal: unknown expression %T", e)
+	}
+}

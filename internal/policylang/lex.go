@@ -1,0 +1,310 @@
+// Package policylang implements a small declarative language for PEATS
+// access policies, playing the role of the "more generic policy
+// enforcer system" the paper points to (§4, citing law-governed
+// interaction). Policies are written as allow-rules in a syntax close
+// to the paper's figures and compiled to policy.Policy values:
+//
+//	# Fig. 3 — weak consensus
+//	Rcas: allow cas <"DECISION", formal> -> <"DECISION", *>
+//
+//	# Fig. 4 (Rout) — one in-domain proposal per process
+//	Rout: allow out <"PROPOSE", @invoker, int>
+//	      when not exists <"PROPOSE", $e1, *>
+//
+// Rule anatomy: an optional name, "allow", the operation, a pattern for
+// its argument(s) (entry for out, template for the reads, template ->
+// entry for cas), and an optional "when" guard over the space state and
+// the invoker. Everything a rule does not explicitly allow stays denied
+// (the engine's fail-safe default).
+//
+// Pattern fields: literals ("s", 42, true), * (any defined value), the
+// type constraints int/str/bool/bytes, formal (a formal field — only
+// meaningful in templates), and @invoker (a string equal to the
+// invoking process). Guard tuples may additionally use $e<i> and $t<i>
+// to reference field i (0-based) of the entry or template argument.
+//
+// The language covers Figs. 1, 3 and 7 exactly and the per-field parts
+// of Figs. 4, 5 and 8; quantified set checks (∀q ∈ S ...) still need a
+// native predicate, which Compile accepts through the Extra hook.
+package policylang
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokString
+	tokInt
+	tokLAngle  // <
+	tokRAngle  // >
+	tokComma   // ,
+	tokLBrace  // {
+	tokRBrace  // }
+	tokLParen  // (
+	tokRParen  // )
+	tokArrow   // ->
+	tokColon   // :
+	tokStar    // *
+	tokAt      // @
+	tokDollar  // $
+	tokGE      // >=
+	tokLE      // <=
+	tokEQ      // ==
+	tokNewline // statement separator
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokIdent:
+		return "identifier"
+	case tokString:
+		return "string"
+	case tokInt:
+		return "integer"
+	case tokLAngle:
+		return "'<'"
+	case tokRAngle:
+		return "'>'"
+	case tokComma:
+		return "','"
+	case tokLBrace:
+		return "'{'"
+	case tokRBrace:
+		return "'}'"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokArrow:
+		return "'->'"
+	case tokColon:
+		return "':'"
+	case tokStar:
+		return "'*'"
+	case tokAt:
+		return "'@'"
+	case tokDollar:
+		return "'$'"
+	case tokGE:
+		return "'>='"
+	case tokLE:
+		return "'<='"
+	case tokEQ:
+		return "'=='"
+	case tokNewline:
+		return "newline"
+	default:
+		return fmt.Sprintf("token(%d)", k)
+	}
+}
+
+type token struct {
+	kind tokenKind
+	text string
+	line int
+}
+
+// ParseError reports a syntax or compilation error with its line.
+type ParseError struct {
+	Line int
+	Msg  string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("policy: line %d: %s", e.Line, e.Msg)
+}
+
+func errf(line int, format string, args ...any) *ParseError {
+	return &ParseError{Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// lex splits src into tokens. Newlines separate statements (a rule may
+// continue on the next line after "when", "and", "or", "," or "->",
+// which the lexer handles by suppressing the newline token after a
+// continuation token).
+func lex(src string) ([]token, error) {
+	var toks []token
+	line := 1
+	i := 0
+	emit := func(k tokenKind, text string) { toks = append(toks, token{kind: k, text: text, line: line}) }
+	lastContinues := func() bool {
+		for j := len(toks) - 1; j >= 0; j-- {
+			t := toks[j]
+			if t.kind == tokNewline {
+				return true // blank region: suppress duplicates
+			}
+			switch t.kind {
+			case tokComma, tokArrow, tokLParen, tokLBrace, tokLAngle:
+				return true
+			case tokIdent:
+				switch t.text {
+				case "when", "and", "or", "not", "allow":
+					return true
+				}
+				return false
+			default:
+				return false
+			}
+		}
+		return true // leading newlines
+	}
+
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == '\n':
+			if !lastContinues() {
+				emit(tokNewline, "\n")
+			}
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '#':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case c == '"':
+			j := i + 1
+			var sb strings.Builder
+			for j < len(src) && src[j] != '"' {
+				if src[j] == '\n' {
+					return nil, errf(line, "unterminated string")
+				}
+				if src[j] == '\\' && j+1 < len(src) {
+					j++
+				}
+				sb.WriteByte(src[j])
+				j++
+			}
+			if j >= len(src) {
+				return nil, errf(line, "unterminated string")
+			}
+			emit(tokString, sb.String())
+			i = j + 1
+		case c == '<':
+			if i+1 < len(src) && src[i+1] == '=' {
+				emit(tokLE, "<=")
+				i += 2
+			} else {
+				emit(tokLAngle, "<")
+				i++
+			}
+		case c == '>':
+			if i+1 < len(src) && src[i+1] == '=' {
+				emit(tokGE, ">=")
+				i += 2
+			} else {
+				emit(tokRAngle, ">")
+				i++
+			}
+		case c == '=':
+			if i+1 < len(src) && src[i+1] == '=' {
+				emit(tokEQ, "==")
+				i += 2
+			} else {
+				return nil, errf(line, "unexpected '='; comparisons use '=='")
+			}
+		case c == '-':
+			if i+1 < len(src) && src[i+1] == '>' {
+				emit(tokArrow, "->")
+				i += 2
+			} else if i+1 < len(src) && isDigit(src[i+1]) {
+				j := i + 1
+				for j < len(src) && isDigit(src[j]) {
+					j++
+				}
+				emit(tokInt, src[i:j])
+				i = j
+			} else {
+				return nil, errf(line, "unexpected '-'")
+			}
+		case c == ',':
+			emit(tokComma, ",")
+			i++
+		case c == '{':
+			emit(tokLBrace, "{")
+			i++
+		case c == '}':
+			emit(tokRBrace, "}")
+			i++
+		case c == '(':
+			emit(tokLParen, "(")
+			i++
+		case c == ')':
+			emit(tokRParen, ")")
+			i++
+		case c == ':':
+			emit(tokColon, ":")
+			i++
+		case c == '*':
+			emit(tokStar, "*")
+			i++
+		case c == '@':
+			emit(tokAt, "@")
+			i++
+		case c == '$':
+			emit(tokDollar, "$")
+			i++
+		case isDigit(c):
+			j := i
+			for j < len(src) && isDigit(src[j]) {
+				j++
+			}
+			emit(tokInt, src[i:j])
+			i = j
+		case isIdentStart(rune(c)):
+			j := i
+			for j < len(src) && isIdentPart(rune(src[j])) {
+				j++
+			}
+			emit(tokIdent, src[i:j])
+			i = j
+		default:
+			return nil, errf(line, "unexpected character %q", c)
+		}
+	}
+	emit(tokEOF, "")
+	return joinContinuations(toks), nil
+}
+
+// joinContinuations removes statement-separating newlines when the next
+// line visibly continues the rule (starts with when/and/or/not-in-rule
+// keywords or '->'), so guards may be written under the rule head.
+func joinContinuations(toks []token) []token {
+	out := toks[:0]
+	for i, t := range toks {
+		if t.kind == tokNewline && i+1 < len(toks) {
+			next := toks[i+1]
+			if next.kind == tokArrow {
+				continue
+			}
+			if next.kind == tokIdent {
+				switch next.text {
+				case "when", "and", "or":
+					continue
+				}
+			}
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_'
+}
+
+func isIdentPart(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '-'
+}

@@ -1,0 +1,428 @@
+package policylang
+
+import (
+	"strconv"
+
+	"peats/internal/policy"
+)
+
+// AST types. A parsed policy is a list of rules; Compile turns them
+// into a policy.Policy.
+
+type ruleAST struct {
+	name    string
+	line    int
+	op      policy.Op
+	tmplPat *tuplePat // reads and cas
+	entPat  *tuplePat // out and cas
+	guard   exprAST   // nil means unconditional
+}
+
+// tuplePat constrains one tuple argument field by field.
+type tuplePat struct {
+	fields []fieldPat
+	line   int
+}
+
+type fieldKind uint8
+
+const (
+	fLitString fieldKind = iota + 1
+	fLitInt
+	fLitBool
+	fAnyValue  // * — any defined value
+	fTypeInt   // int
+	fTypeStr   // str
+	fTypeBool  // bool
+	fTypeBytes // bytes
+	fFormal    // formal — must be a formal field
+	fInvoker   // @invoker — string equal to the invoker
+	fRefEntry  // $e<i> — copy of entry field i (guard tuples only)
+	fRefTmpl   // $t<i> — copy of template field i (guard tuples only)
+)
+
+type fieldPat struct {
+	kind fieldKind
+	s    string
+	i    int64
+	b    bool
+	ref  int
+	line int
+}
+
+// Guard expression AST.
+type exprAST interface{ isExpr() }
+
+type exprTrue struct{}
+
+type exprNot struct{ x exprAST }
+
+type exprAnd struct{ l, r exprAST }
+
+type exprOr struct{ l, r exprAST }
+
+type exprExists struct{ pat *tuplePat }
+
+type exprCount struct {
+	pat  *tuplePat
+	cmp  tokenKind // tokGE, tokLE, tokEQ
+	n    int64
+	line int
+}
+
+type exprInvokerIn struct{ ids []string }
+
+type exprNative struct {
+	name string
+	line int
+}
+
+func (exprTrue) isExpr()      {}
+func (exprNot) isExpr()       {}
+func (exprAnd) isExpr()       {}
+func (exprOr) isExpr()        {}
+func (exprExists) isExpr()    {}
+func (exprCount) isExpr()     {}
+func (exprInvokerIn) isExpr() {}
+func (exprNative) isExpr()    {}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) expect(k tokenKind) (token, error) {
+	t := p.next()
+	if t.kind != k {
+		return t, errf(t.line, "expected %v, got %v %q", k, t.kind, t.text)
+	}
+	return t, nil
+}
+
+func (p *parser) skipNewlines() {
+	for p.peek().kind == tokNewline {
+		p.pos++
+	}
+}
+
+// parse consumes the whole token stream into rule ASTs.
+func parse(toks []token) ([]ruleAST, error) {
+	p := &parser{toks: toks}
+	var rules []ruleAST
+	for {
+		p.skipNewlines()
+		if p.peek().kind == tokEOF {
+			return rules, nil
+		}
+		r, err := p.parseRule(len(rules))
+		if err != nil {
+			return nil, err
+		}
+		rules = append(rules, r)
+	}
+}
+
+var opNames = map[string]policy.Op{
+	"out": policy.OpOut, "rd": policy.OpRd, "rdp": policy.OpRdp,
+	"in": policy.OpIn, "inp": policy.OpInp, "cas": policy.OpCas,
+	"rdall": policy.OpRdAll,
+}
+
+func (p *parser) parseRule(index int) (ruleAST, error) {
+	var r ruleAST
+	t := p.next()
+	r.line = t.line
+
+	// Optional "Name:" prefix.
+	if t.kind == tokIdent && t.text != "allow" && p.peek().kind == tokColon {
+		r.name = t.text
+		p.next() // colon
+		t = p.next()
+	}
+	if t.kind != tokIdent || t.text != "allow" {
+		return r, errf(t.line, "expected 'allow', got %q", t.text)
+	}
+	if r.name == "" {
+		r.name = "rule-" + strconv.Itoa(index+1)
+	}
+
+	opTok, err := p.expect(tokIdent)
+	if err != nil {
+		return r, err
+	}
+	op, ok := opNames[opTok.text]
+	if !ok {
+		return r, errf(opTok.line, "unknown operation %q", opTok.text)
+	}
+	r.op = op
+
+	// Optional argument pattern(s).
+	if p.peek().kind == tokLAngle {
+		pat, err := p.parseTuplePat(false)
+		if err != nil {
+			return r, err
+		}
+		switch op {
+		case policy.OpOut:
+			r.entPat = pat
+		case policy.OpCas:
+			r.tmplPat = pat
+			if _, err := p.expect(tokArrow); err != nil {
+				return r, err
+			}
+			ent, err := p.parseTuplePat(false)
+			if err != nil {
+				return r, err
+			}
+			r.entPat = ent
+		default:
+			r.tmplPat = pat
+		}
+	} else if op == policy.OpCas {
+		// cas either has both patterns or none.
+		if p.peek().kind == tokArrow {
+			return r, errf(p.peek().line, "cas pattern must be '<tmpl> -> <entry>'")
+		}
+	}
+
+	// Optional guard.
+	if t := p.peek(); t.kind == tokIdent && t.text == "when" {
+		p.next()
+		g, err := p.parseExpr()
+		if err != nil {
+			return r, err
+		}
+		r.guard = g
+	}
+
+	switch p.peek().kind {
+	case tokNewline:
+		p.next()
+	case tokEOF:
+	default:
+		return r, errf(p.peek().line, "unexpected %v %q after rule", p.peek().kind, p.peek().text)
+	}
+	return r, nil
+}
+
+// parseTuplePat parses <field, field, ...>. Guard patterns (inGuard)
+// additionally accept $e<i>/$t<i> references.
+func (p *parser) parseTuplePat(inGuard bool) (*tuplePat, error) {
+	open, err := p.expect(tokLAngle)
+	if err != nil {
+		return nil, err
+	}
+	pat := &tuplePat{line: open.line}
+	for {
+		f, err := p.parseFieldPat(inGuard)
+		if err != nil {
+			return nil, err
+		}
+		pat.fields = append(pat.fields, f)
+		t := p.next()
+		switch t.kind {
+		case tokComma:
+			continue
+		case tokRAngle:
+			return pat, nil
+		default:
+			return nil, errf(t.line, "expected ',' or '>' in tuple, got %v %q", t.kind, t.text)
+		}
+	}
+}
+
+func (p *parser) parseFieldPat(inGuard bool) (fieldPat, error) {
+	t := p.next()
+	switch t.kind {
+	case tokString:
+		return fieldPat{kind: fLitString, s: t.text, line: t.line}, nil
+	case tokInt:
+		v, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return fieldPat{}, errf(t.line, "bad integer %q", t.text)
+		}
+		return fieldPat{kind: fLitInt, i: v, line: t.line}, nil
+	case tokStar:
+		return fieldPat{kind: fAnyValue, line: t.line}, nil
+	case tokAt:
+		id, err := p.expect(tokIdent)
+		if err != nil {
+			return fieldPat{}, err
+		}
+		if id.text != "invoker" {
+			return fieldPat{}, errf(id.line, "unknown reference @%s (only @invoker)", id.text)
+		}
+		return fieldPat{kind: fInvoker, line: t.line}, nil
+	case tokDollar:
+		if !inGuard {
+			return fieldPat{}, errf(t.line, "$-references are only allowed in guard tuples")
+		}
+		id, err := p.expect(tokIdent)
+		if err != nil {
+			return fieldPat{}, err
+		}
+		if len(id.text) < 2 || (id.text[0] != 'e' && id.text[0] != 't') {
+			return fieldPat{}, errf(id.line, "bad reference $%s (want $e<i> or $t<i>)", id.text)
+		}
+		idx, err := strconv.Atoi(id.text[1:])
+		if err != nil || idx < 0 {
+			return fieldPat{}, errf(id.line, "bad reference index in $%s", id.text)
+		}
+		kind := fRefEntry
+		if id.text[0] == 't' {
+			kind = fRefTmpl
+		}
+		return fieldPat{kind: kind, ref: idx, line: t.line}, nil
+	case tokIdent:
+		switch t.text {
+		case "true", "false":
+			return fieldPat{kind: fLitBool, b: t.text == "true", line: t.line}, nil
+		case "int":
+			return fieldPat{kind: fTypeInt, line: t.line}, nil
+		case "str":
+			return fieldPat{kind: fTypeStr, line: t.line}, nil
+		case "bool":
+			return fieldPat{kind: fTypeBool, line: t.line}, nil
+		case "bytes":
+			return fieldPat{kind: fTypeBytes, line: t.line}, nil
+		case "formal":
+			return fieldPat{kind: fFormal, line: t.line}, nil
+		default:
+			return fieldPat{}, errf(t.line, "unknown field pattern %q", t.text)
+		}
+	default:
+		return fieldPat{}, errf(t.line, "unexpected %v %q in tuple pattern", t.kind, t.text)
+	}
+}
+
+// parseExpr parses guards with precedence not > and > or.
+func (p *parser) parseExpr() (exprAST, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().kind == tokIdent && p.peek().text == "or" {
+		p.next()
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = exprOr{l: l, r: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (exprAST, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().kind == tokIdent && p.peek().text == "and" {
+		p.next()
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = exprAnd{l: l, r: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseUnary() (exprAST, error) {
+	if t := p.peek(); t.kind == tokIdent && t.text == "not" {
+		p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return exprNot{x: x}, nil
+	}
+	return p.parseAtom()
+}
+
+func (p *parser) parseAtom() (exprAST, error) {
+	t := p.next()
+	switch {
+	case t.kind == tokLParen:
+		x, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		return x, nil
+	case t.kind == tokIdent && t.text == "true":
+		return exprTrue{}, nil
+	case t.kind == tokIdent && t.text == "exists":
+		pat, err := p.parseTuplePat(true)
+		if err != nil {
+			return nil, err
+		}
+		return exprExists{pat: pat}, nil
+	case t.kind == tokIdent && t.text == "count":
+		pat, err := p.parseTuplePat(true)
+		if err != nil {
+			return nil, err
+		}
+		cmp := p.next()
+		switch cmp.kind {
+		case tokGE, tokLE, tokEQ:
+		default:
+			return nil, errf(cmp.line, "count needs '>=', '<=' or '==', got %q", cmp.text)
+		}
+		num, err := p.expect(tokInt)
+		if err != nil {
+			return nil, err
+		}
+		n, err := strconv.ParseInt(num.text, 10, 64)
+		if err != nil {
+			return nil, errf(num.line, "bad count bound %q", num.text)
+		}
+		return exprCount{pat: pat, cmp: cmp.kind, n: n, line: t.line}, nil
+	case t.kind == tokIdent && t.text == "native":
+		id, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		return exprNative{name: id.text, line: t.line}, nil
+	case t.kind == tokIdent && t.text == "invoker":
+		kw, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		if kw.text != "in" {
+			return nil, errf(kw.line, "expected 'in' after 'invoker'")
+		}
+		if _, err := p.expect(tokLBrace); err != nil {
+			return nil, err
+		}
+		var ids []string
+		for {
+			id := p.next()
+			switch id.kind {
+			case tokIdent, tokString, tokInt:
+				ids = append(ids, id.text)
+			case tokRBrace:
+				return exprInvokerIn{ids: ids}, nil
+			default:
+				return nil, errf(id.line, "unexpected %v in identity set", id.kind)
+			}
+			if p.peek().kind == tokComma {
+				p.next()
+			}
+		}
+	default:
+		return nil, errf(t.line, "unexpected %v %q in guard", t.kind, t.text)
+	}
+}

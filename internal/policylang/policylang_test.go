@@ -1,0 +1,393 @@
+package policylang
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"peats/internal/consensus"
+	"peats/internal/peats"
+	"peats/internal/policy"
+	"peats/internal/space"
+	"peats/internal/tuple"
+)
+
+func inv(p policy.ProcessID, op policy.Op, tmpl, entry tuple.Tuple) policy.Invocation {
+	return policy.Invocation{Invoker: p, Op: op, Template: tmpl, Entry: entry}
+}
+
+func TestCompileWeakConsensusPolicy(t *testing.T) {
+	// The Fig. 3 policy, in the DSL, must behave identically to the
+	// hand-built consensus.WeakPolicy on a probe of invocations.
+	src := `
+# Fig. 3 — weak consensus
+Rcas: allow cas <"DECISION", formal> -> <"DECISION", *>
+`
+	dsl, err := Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	native := consensus.WeakPolicy()
+
+	st := space.New()
+	probes := []policy.Invocation{
+		inv("p1", policy.OpCas,
+			tuple.T(tuple.Str("DECISION"), tuple.Formal("d")),
+			tuple.T(tuple.Str("DECISION"), tuple.Int(7))),
+		inv("p1", policy.OpCas, // non-formal template
+			tuple.T(tuple.Str("DECISION"), tuple.Int(1)),
+			tuple.T(tuple.Str("DECISION"), tuple.Int(7))),
+		inv("p1", policy.OpCas, // wrong tag
+			tuple.T(tuple.Str("X"), tuple.Formal("d")),
+			tuple.T(tuple.Str("DECISION"), tuple.Int(7))),
+		inv("p1", policy.OpCas, // wrong arity
+			tuple.T(tuple.Str("DECISION"), tuple.Formal("d"), tuple.Any()),
+			tuple.T(tuple.Str("DECISION"), tuple.Int(7), tuple.Int(1))),
+		inv("p1", policy.OpOut, tuple.Tuple{}, tuple.T(tuple.Str("DECISION"), tuple.Int(7))),
+		inv("p1", policy.OpInp, tuple.T(tuple.Any(), tuple.Any()), tuple.Tuple{}),
+		inv("p1", policy.OpRdp, tuple.T(tuple.Any(), tuple.Any()), tuple.Tuple{}),
+	}
+	for i, probe := range probes {
+		if got, want := dsl.Allows(probe, st), native.Allows(probe, st); got != want {
+			t.Errorf("probe %d (%s): dsl=%v native=%v", i, probe, got, want)
+		}
+	}
+}
+
+func TestCompiledWeakPolicyRunsConsensus(t *testing.T) {
+	// End to end: Algorithm 1 over a space protected by the DSL policy.
+	pol := MustCompile(`Rcas: allow cas <"DECISION", formal> -> <"DECISION", *>`)
+	s := peats.New(pol)
+	ctx := context.Background()
+	d, err := consensus.NewWeak(s.Handle("p1")).Propose(ctx, tuple.Int(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := d.IntValue(); v != 5 {
+		t.Errorf("decided %v", d)
+	}
+	d2, err := consensus.NewWeak(s.Handle("p2")).Propose(ctx, tuple.Int(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d2.Equal(d) {
+		t.Error("agreement violated under DSL policy")
+	}
+}
+
+func TestFig1RegisterPolicyInDSL(t *testing.T) {
+	// Fig. 1's ACL part (the value-greater-than-current part needs a
+	// native predicate — the documented escape hatch).
+	greater := policy.Check(func(in policy.Invocation, st policy.StateView) bool {
+		v, ok := in.Entry.Field(1).IntValue()
+		if !ok {
+			return false
+		}
+		cur, found := st.Rdp(tuple.T(tuple.Str("REG"), tuple.Any()))
+		if !found {
+			return true
+		}
+		c, _ := cur.Field(1).IntValue()
+		return v > c
+	})
+	pol, err := CompileWith(`
+Rread:  allow rdp <"REG", *>
+Rwrite: allow out <"REG", int>
+        when invoker in {p1, p2, p3} and native greater
+`, Options{Extra: map[string]policy.Predicate{"greater": greater}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	st := space.New()
+	w := func(p policy.ProcessID, v int64) bool {
+		i := inv(p, policy.OpOut, tuple.Tuple{}, tuple.T(tuple.Str("REG"), tuple.Int(v)))
+		if !pol.Allows(i, st) {
+			return false
+		}
+		st.Inp(tuple.T(tuple.Str("REG"), tuple.Any()))
+		if err := st.Out(i.Entry); err != nil {
+			t.Fatal(err)
+		}
+		return true
+	}
+	if !w("p1", 5) || w("p4", 9) || w("p2", 3) || !w("p3", 8) {
+		t.Error("Fig. 1 semantics broken in DSL")
+	}
+	if !pol.Allows(inv("anyone", policy.OpRdp, tuple.T(tuple.Str("REG"), tuple.Any()), tuple.Tuple{}), st) {
+		t.Error("read denied")
+	}
+}
+
+func TestLockFreePolicyInDSL(t *testing.T) {
+	// Fig. 7 without the pos(template)==pos(entry) cross-argument check,
+	// which needs a native predicate.
+	samePos := policy.Check(func(in policy.Invocation, _ policy.StateView) bool {
+		tp, ok1 := in.Template.Field(1).IntValue()
+		ep, ok2 := in.Entry.Field(1).IntValue()
+		return ok1 && ok2 && tp == ep && ep >= 1
+	})
+	pol, err := CompileWith(`
+Rcas: allow cas <"SEQ", int, formal> -> <"SEQ", int, bytes>
+      when native samepos and (exists <"SEQ", $e1, *> or count <"SEQ", *, *> == 0)
+`, Options{Extra: map[string]policy.Predicate{"samepos": samePos}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = pol
+	// Note: the contiguity condition proper needs pos−1 arithmetic, which
+	// stays native; this test only checks the language composes.
+}
+
+func TestGuardReferences(t *testing.T) {
+	// exists <"PROPOSE", $e1, *>: the guard tuple copies entry field 1.
+	pol := MustCompile(`
+Rout: allow out <"PROPOSE", @invoker, int>
+      when not exists <"PROPOSE", $e1, *>
+Rrdp: allow rdp
+`)
+	st := space.New()
+	first := inv("p1", policy.OpOut, tuple.Tuple{},
+		tuple.T(tuple.Str("PROPOSE"), tuple.Str("p1"), tuple.Int(4)))
+	if !pol.Allows(first, st) {
+		t.Fatal("first proposal denied")
+	}
+	if err := st.Out(first.Entry); err != nil {
+		t.Fatal(err)
+	}
+	// Second proposal by the same process: denied by the exists guard.
+	second := inv("p1", policy.OpOut, tuple.Tuple{},
+		tuple.T(tuple.Str("PROPOSE"), tuple.Str("p1"), tuple.Int(9)))
+	if pol.Allows(second, st) {
+		t.Error("double proposal allowed")
+	}
+	// Impersonation: @invoker mismatch.
+	forged := inv("p2", policy.OpOut, tuple.Tuple{},
+		tuple.T(tuple.Str("PROPOSE"), tuple.Str("p1"), tuple.Int(9)))
+	if pol.Allows(forged, st) {
+		t.Error("impersonation allowed")
+	}
+	// Another process proposing is fine.
+	other := inv("p2", policy.OpOut, tuple.Tuple{},
+		tuple.T(tuple.Str("PROPOSE"), tuple.Str("p2"), tuple.Int(9)))
+	if !pol.Allows(other, st) {
+		t.Error("other process denied")
+	}
+	// Non-int value: type constraint.
+	bad := inv("p3", policy.OpOut, tuple.Tuple{},
+		tuple.T(tuple.Str("PROPOSE"), tuple.Str("p3"), tuple.Str("one")))
+	if pol.Allows(bad, st) {
+		t.Error("non-int proposal allowed")
+	}
+}
+
+func TestCountGuard(t *testing.T) {
+	pol := MustCompile(`
+Rcas: allow cas <"D", formal> -> <"D", int>
+      when count <"P", *, $e1> >= 2
+`)
+	st := space.New()
+	cas := inv("p", policy.OpCas,
+		tuple.T(tuple.Str("D"), tuple.Formal("d")),
+		tuple.T(tuple.Str("D"), tuple.Int(7)))
+	if pol.Allows(cas, st) {
+		t.Error("cas allowed with zero support")
+	}
+	mustOut := func(tu tuple.Tuple) {
+		if err := st.Out(tu); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustOut(tuple.T(tuple.Str("P"), tuple.Str("a"), tuple.Int(7)))
+	if pol.Allows(cas, st) {
+		t.Error("cas allowed with one supporter")
+	}
+	mustOut(tuple.T(tuple.Str("P"), tuple.Str("b"), tuple.Int(7)))
+	if !pol.Allows(cas, st) {
+		t.Error("cas denied with two supporters")
+	}
+	// Support for a DIFFERENT value must not help.
+	cas9 := inv("p", policy.OpCas,
+		tuple.T(tuple.Str("D"), tuple.Formal("d")),
+		tuple.T(tuple.Str("D"), tuple.Int(9)))
+	if pol.Allows(cas9, st) {
+		t.Error("cas allowed with support for another value")
+	}
+}
+
+func TestComparisonsAndLogic(t *testing.T) {
+	pol := MustCompile(`
+a: allow out <"A"> when count <"X", *> <= 1
+b: allow out <"B"> when count <"X", *> == 2 or invoker in {root}
+c: allow out <"C"> when not (exists <"X", 1> and exists <"X", 2>)
+`)
+	st := space.New()
+	outA := inv("p", policy.OpOut, tuple.Tuple{}, tuple.T(tuple.Str("A")))
+	outB := inv("p", policy.OpOut, tuple.Tuple{}, tuple.T(tuple.Str("B")))
+	outBroot := inv("root", policy.OpOut, tuple.Tuple{}, tuple.T(tuple.Str("B")))
+	outC := inv("p", policy.OpOut, tuple.Tuple{}, tuple.T(tuple.Str("C")))
+
+	if !pol.Allows(outA, st) || pol.Allows(outB, st) || !pol.Allows(outBroot, st) || !pol.Allows(outC, st) {
+		t.Error("initial state evaluation wrong")
+	}
+	mustOut := func(tu tuple.Tuple) {
+		if err := st.Out(tu); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustOut(tuple.T(tuple.Str("X"), tuple.Int(1)))
+	mustOut(tuple.T(tuple.Str("X"), tuple.Int(2)))
+	if pol.Allows(outA, st) {
+		t.Error("A allowed with 2 X tuples (<= 1)")
+	}
+	if !pol.Allows(outB, st) {
+		t.Error("B denied with exactly 2 X tuples")
+	}
+	if pol.Allows(outC, st) {
+		t.Error("C allowed although both X tuples exist")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string // substring of the error
+	}{
+		{"gibberish", "frobnicate", "expected 'allow'"},
+		{"bad op", "allow munge", "unknown operation"},
+		{"unterminated string", `allow out <"abc`, "unterminated string"},
+		{"unterminated tuple", `allow out <"a", 1`, "expected ',' or '>'"},
+		{"cas missing entry", `allow cas <"a"> when true`, "expected '->'"},
+		{"bad field", `allow out <wibble>`, "unknown field pattern"},
+		{"ref outside guard", `allow out <$e1>`, "only allowed in guard"},
+		{"bad ref", `allow out <"a"> when exists <$q1>`, "bad reference"},
+		{"bad at", `allow out <@self>`, "only @invoker"},
+		{"count bad cmp", `allow out <"a"> when count <"x"> > 1`, "count needs"},
+		{"missing native", `allow out <"a"> when native nope`, "not provided"},
+		{"single equals", `allow out <"a"> when count <"x"> = 1`, "unexpected '='"},
+		{"trailing junk", `allow rdp } `, "unexpected"},
+		{"invoker missing in", `allow out <"a"> when invoker within {x}`, "expected 'in'"},
+	}
+	for _, tt := range cases {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := Compile(tt.src)
+			if err == nil {
+				t.Fatalf("no error for %q", tt.src)
+			}
+			if !strings.Contains(err.Error(), tt.want) {
+				t.Errorf("error %q does not mention %q", err, tt.want)
+			}
+			var pe *ParseError
+			if !errors.As(err, &pe) {
+				t.Errorf("error is %T, want *ParseError", err)
+			}
+		})
+	}
+}
+
+func TestMustCompilePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustCompile did not panic on bad input")
+		}
+	}()
+	MustCompile("not a policy")
+}
+
+func TestRuleNamesAndDefaults(t *testing.T) {
+	pol := MustCompile(`
+Rone: allow rdp
+allow inp
+`)
+	rules := pol.Rules()
+	if len(rules) != 2 {
+		t.Fatalf("%d rules", len(rules))
+	}
+	if rules[0].Name != "Rone" {
+		t.Errorf("rule 0 name %q", rules[0].Name)
+	}
+	if rules[1].Name != "rule-2" {
+		t.Errorf("rule 1 name %q", rules[1].Name)
+	}
+}
+
+func TestMultilineRulesAndComments(t *testing.T) {
+	pol, err := Compile(`
+# leading comment
+
+Rout: allow out <"A",
+                 @invoker,
+                 int>   # trailing comment
+      when invoker in {p1, p2}
+      and not exists <"A", $e1, *>
+
+allow rdp
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := space.New()
+	ok := inv("p1", policy.OpOut, tuple.Tuple{},
+		tuple.T(tuple.Str("A"), tuple.Str("p1"), tuple.Int(1)))
+	if !pol.Allows(ok, st) {
+		t.Error("multiline rule broken")
+	}
+}
+
+func TestBoolAndBytesPatterns(t *testing.T) {
+	pol := MustCompile(`
+a: allow out <"F", true>
+b: allow out <"G", bool>
+c: allow out <"H", bytes>
+d: allow out <"I", 42>
+`)
+	st := space.New()
+	cases := []struct {
+		entry tuple.Tuple
+		want  bool
+	}{
+		{tuple.T(tuple.Str("F"), tuple.Bool(true)), true},
+		{tuple.T(tuple.Str("F"), tuple.Bool(false)), false},
+		{tuple.T(tuple.Str("G"), tuple.Bool(false)), true},
+		{tuple.T(tuple.Str("G"), tuple.Int(0)), false},
+		{tuple.T(tuple.Str("H"), tuple.Bytes([]byte{1})), true},
+		{tuple.T(tuple.Str("H"), tuple.Str("x")), false},
+		{tuple.T(tuple.Str("I"), tuple.Int(42)), true},
+		{tuple.T(tuple.Str("I"), tuple.Int(43)), false},
+	}
+	for i, c := range cases {
+		got := pol.Allows(inv("p", policy.OpOut, tuple.Tuple{}, c.entry), st)
+		if got != c.want {
+			t.Errorf("case %d (%v): got %v", i, c.entry, got)
+		}
+	}
+}
+
+func TestNegativeIntLiteral(t *testing.T) {
+	pol := MustCompile(`a: allow out <-5>`)
+	st := space.New()
+	if !pol.Allows(inv("p", policy.OpOut, tuple.Tuple{}, tuple.T(tuple.Int(-5))), st) {
+		t.Error("negative literal broken")
+	}
+	if pol.Allows(inv("p", policy.OpOut, tuple.Tuple{}, tuple.T(tuple.Int(5))), st) {
+		t.Error("sign ignored")
+	}
+}
+
+func TestRdAllRule(t *testing.T) {
+	pol := MustCompile(`
+Rbulk: allow rdall <"LOG", *>
+`)
+	st := space.New()
+	if !pol.Allows(inv("p", policy.OpRdAll, tuple.T(tuple.Str("LOG"), tuple.Any()), tuple.Tuple{}), st) {
+		t.Error("rdall rule not matched")
+	}
+	if pol.Allows(inv("p", policy.OpRdAll, tuple.T(tuple.Str("SECRET"), tuple.Any()), tuple.Tuple{}), st) {
+		t.Error("rdall allowed on wrong tag")
+	}
+	if pol.Allows(inv("p", policy.OpRdp, tuple.T(tuple.Str("LOG"), tuple.Any()), tuple.Tuple{}), st) {
+		t.Error("rdp allowed by an rdall rule")
+	}
+}

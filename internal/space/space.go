@@ -1,0 +1,286 @@
+// Package space implements a linearizable augmented tuple space.
+//
+// The space provides the three LINDA operations out (write), rd
+// (non-destructive read) and in (destructive read), their non-blocking
+// variants rdp and inp, and the conditional atomic swap cas(t̄, t) of
+// Segall and Bakken-Schlichting: atomically, "if reading template t̄
+// fails, insert entry t". cas gives the space consensus number n, which
+// makes it a universal object.
+//
+// All operations take effect atomically under a single mutex, which
+// directly yields linearizability: the linearization point of every
+// operation is its critical section. Matching scans tuples in insertion
+// order, so the space is a deterministic state machine — a requirement
+// for the BFT state-machine-replication substrate (paper §4).
+package space
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"peats/internal/tuple"
+)
+
+// ErrNotEntry is returned when out or cas is given a tuple with
+// undefined fields where an entry is required.
+var ErrNotEntry = errors.New("space: tuple is not an entry")
+
+// Space is a linearizable augmented tuple space. The zero value is
+// ready to use.
+type Space struct {
+	mu      sync.Mutex
+	tuples  []tuple.Tuple // insertion order; deterministic match order
+	waiters []*waiter     // registration order; nil slots were served or cancelled
+}
+
+// waiter is a parked blocking rd/in call.
+type waiter struct {
+	tmpl    tuple.Tuple
+	remove  bool // in (true) vs rd (false)
+	matched chan tuple.Tuple
+}
+
+// New returns an empty space.
+func New() *Space {
+	return &Space{}
+}
+
+// Len returns the number of tuples currently stored.
+func (s *Space) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.tuples)
+}
+
+// BitSize returns the total payload bits stored, for the memory
+// accounting experiments.
+func (s *Space) BitSize() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	total := 0
+	for _, t := range s.tuples {
+		total += t.BitSize()
+	}
+	return total
+}
+
+// Out inserts entry t into the space, waking any waiter whose template
+// matches it.
+func (s *Space) Out(t tuple.Tuple) error {
+	if !t.IsEntry() {
+		return fmt.Errorf("%w: %v", ErrNotEntry, t)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.insertLocked(t)
+	return nil
+}
+
+// insertLocked adds t and delivers it to matching waiters, in
+// registration order. All matching non-destructive (rd) waiters observe
+// the tuple; the first matching destructive (in) waiter consumes it, in
+// which case the tuple is never stored.
+func (s *Space) insertLocked(t tuple.Tuple) {
+	consumed := false
+	for i, w := range s.waiters {
+		if w == nil || !tuple.Matches(t, w.tmpl) {
+			continue
+		}
+		if w.remove {
+			if consumed {
+				continue
+			}
+			consumed = true
+		}
+		s.waiters[i] = nil
+		w.matched <- t
+	}
+	s.compactWaitersLocked()
+	if !consumed {
+		s.tuples = append(s.tuples, t)
+	}
+}
+
+// compactWaitersLocked drops trailing and, when mostly empty, interior
+// nil slots so the waiter list does not grow without bound.
+func (s *Space) compactWaitersLocked() {
+	live := 0
+	for _, w := range s.waiters {
+		if w != nil {
+			live++
+		}
+	}
+	if live*2 >= len(s.waiters) {
+		return
+	}
+	kept := make([]*waiter, 0, live)
+	for _, w := range s.waiters {
+		if w != nil {
+			kept = append(kept, w)
+		}
+	}
+	s.waiters = kept
+}
+
+// Rdp performs a non-blocking non-destructive read: it returns the first
+// tuple (in insertion order) matching template tmpl, or ok=false if none
+// matches.
+func (s *Space) Rdp(tmpl tuple.Tuple) (tuple.Tuple, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.findLocked(tmpl, false)
+}
+
+// Inp performs a non-blocking destructive read: like Rdp but the matched
+// tuple is removed from the space.
+func (s *Space) Inp(tmpl tuple.Tuple) (tuple.Tuple, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.findLocked(tmpl, true)
+}
+
+func (s *Space) findLocked(tmpl tuple.Tuple, remove bool) (tuple.Tuple, bool) {
+	for i, t := range s.tuples {
+		if tuple.Matches(t, tmpl) {
+			if remove {
+				s.tuples = append(s.tuples[:i], s.tuples[i+1:]...)
+			}
+			return t, true
+		}
+	}
+	return tuple.Tuple{}, false
+}
+
+// Rd performs a blocking non-destructive read: it waits until a tuple
+// matching tmpl is present and returns it. It returns ctx.Err() if the
+// context is cancelled first.
+func (s *Space) Rd(ctx context.Context, tmpl tuple.Tuple) (tuple.Tuple, error) {
+	return s.blocking(ctx, tmpl, false)
+}
+
+// In performs a blocking destructive read: it waits until a tuple
+// matching tmpl is present, removes it, and returns it.
+func (s *Space) In(ctx context.Context, tmpl tuple.Tuple) (tuple.Tuple, error) {
+	return s.blocking(ctx, tmpl, true)
+}
+
+func (s *Space) blocking(ctx context.Context, tmpl tuple.Tuple, remove bool) (tuple.Tuple, error) {
+	s.mu.Lock()
+	if t, ok := s.findLocked(tmpl, remove); ok {
+		s.mu.Unlock()
+		return t, nil
+	}
+	w := &waiter{tmpl: tmpl, remove: remove, matched: make(chan tuple.Tuple, 1)}
+	s.waiters = append(s.waiters, w)
+	s.mu.Unlock()
+
+	select {
+	case t := <-w.matched:
+		return t, nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		delivered := true
+		for i, q := range s.waiters {
+			if q == w {
+				s.waiters[i] = nil
+				delivered = false
+				break
+			}
+		}
+		s.mu.Unlock()
+		if delivered {
+			// A concurrent insert already handed us a tuple. Honour it so
+			// a destructive read never discards the consumed tuple.
+			return <-w.matched, nil
+		}
+		return tuple.Tuple{}, ctx.Err()
+	}
+}
+
+// Cas performs the conditional atomic swap cas(t̄, t): atomically, if no
+// tuple matches template tmpl, insert entry t and return inserted=true.
+// Otherwise return inserted=false together with the first matching tuple,
+// whose fields satisfy tmpl's formal fields (the paper's algorithms read
+// the decision value through them).
+func (s *Space) Cas(tmpl, t tuple.Tuple) (inserted bool, matched tuple.Tuple, err error) {
+	if !t.IsEntry() {
+		return false, tuple.Tuple{}, fmt.Errorf("%w: %v", ErrNotEntry, t)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if m, ok := s.findLocked(tmpl, false); ok {
+		return false, m, nil
+	}
+	s.insertLocked(t)
+	return true, tuple.Tuple{}, nil
+}
+
+// RdAll returns every stored tuple matching tmpl, in insertion order —
+// the bulk non-destructive read of the DepSpace line (copy-collect).
+func (s *Space) RdAll(tmpl tuple.Tuple) []tuple.Tuple {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return rdAllLocked(s, tmpl)
+}
+
+func rdAllLocked(s *Space, tmpl tuple.Tuple) []tuple.Tuple {
+	var out []tuple.Tuple
+	for _, t := range s.tuples {
+		if tuple.Matches(t, tmpl) {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Snapshot returns a copy of the space contents in insertion order, for
+// checkpointing in the replication substrate.
+func (s *Space) Snapshot() []tuple.Tuple {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cp := make([]tuple.Tuple, len(s.tuples))
+	copy(cp, s.tuples)
+	return cp
+}
+
+// Restore replaces the space contents with the given tuples (in order),
+// discarding the current contents. Waiters are re-evaluated against the
+// restored tuples.
+func (s *Space) Restore(tuples []tuple.Tuple) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tuples = s.tuples[:0]
+	for _, t := range tuples {
+		s.insertLocked(t)
+	}
+}
+
+// ForEach calls fn for every stored tuple in insertion order while
+// holding the space lock; fn must not call back into the space. It is
+// used by policy predicates that quantify over the whole state (e.g. the
+// default-consensus ⊥ justification rule). Iteration stops when fn
+// returns false.
+func (s *Space) ForEach(fn func(tuple.Tuple) bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, t := range s.tuples {
+		if !fn(t) {
+			return
+		}
+	}
+}
+
+// CountMatching returns the number of stored tuples matching tmpl.
+func (s *Space) CountMatching(tmpl tuple.Tuple) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, t := range s.tuples {
+		if tuple.Matches(t, tmpl) {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,593 @@
+package space
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"peats/internal/tuple"
+)
+
+func TestOutRdpInp(t *testing.T) {
+	s := New()
+	if err := s.Out(tuple.T(tuple.Str("A"), tuple.Int(1))); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Out(tuple.T(tuple.Str("A"), tuple.Int(2))); err != nil {
+		t.Fatal(err)
+	}
+
+	// rdp returns the first matching tuple in insertion order, without
+	// removing it.
+	got, ok := s.Rdp(tuple.T(tuple.Str("A"), tuple.Formal("v")))
+	if !ok {
+		t.Fatal("rdp found nothing")
+	}
+	if v, _ := got.Field(1).IntValue(); v != 1 {
+		t.Errorf("rdp returned %v, want first inserted", got)
+	}
+	if s.Len() != 2 {
+		t.Errorf("rdp removed a tuple: len=%d", s.Len())
+	}
+
+	// inp removes.
+	got, ok = s.Inp(tuple.T(tuple.Str("A"), tuple.Any()))
+	if !ok {
+		t.Fatal("inp found nothing")
+	}
+	if v, _ := got.Field(1).IntValue(); v != 1 {
+		t.Errorf("inp returned %v, want first inserted", got)
+	}
+	if s.Len() != 1 {
+		t.Errorf("inp did not remove: len=%d", s.Len())
+	}
+
+	// No match.
+	if _, ok := s.Rdp(tuple.T(tuple.Str("B"), tuple.Any())); ok {
+		t.Error("rdp matched wrong tag")
+	}
+	if _, ok := s.Inp(tuple.T(tuple.Str("B"), tuple.Any())); ok {
+		t.Error("inp matched wrong tag")
+	}
+}
+
+func TestOutRejectsTemplates(t *testing.T) {
+	s := New()
+	err := s.Out(tuple.T(tuple.Str("A"), tuple.Any()))
+	if !errors.Is(err, ErrNotEntry) {
+		t.Errorf("Out(template) err = %v, want ErrNotEntry", err)
+	}
+	err = s.Out(tuple.T(tuple.Str("A"), tuple.Formal("x")))
+	if !errors.Is(err, ErrNotEntry) {
+		t.Errorf("Out(formal template) err = %v, want ErrNotEntry", err)
+	}
+}
+
+func TestCasInsertsWhenNoMatch(t *testing.T) {
+	s := New()
+	tmpl := tuple.T(tuple.Str("DECISION"), tuple.Formal("d"))
+	entry := tuple.T(tuple.Str("DECISION"), tuple.Int(7))
+
+	ins, matched, err := s.Cas(tmpl, entry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ins {
+		t.Fatal("first cas should insert")
+	}
+	if !matched.IsZero() {
+		t.Errorf("matched should be zero on insert, got %v", matched)
+	}
+
+	// Second cas fails and returns the stored tuple (binding the formal).
+	ins, matched, err = s.Cas(tmpl, tuple.T(tuple.Str("DECISION"), tuple.Int(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ins {
+		t.Fatal("second cas must not insert")
+	}
+	if v, _ := matched.Field(1).IntValue(); v != 7 {
+		t.Errorf("cas matched %v, want first decision", matched)
+	}
+	if s.Len() != 1 {
+		t.Errorf("len = %d, want 1", s.Len())
+	}
+}
+
+func TestCasRejectsTemplateEntry(t *testing.T) {
+	s := New()
+	_, _, err := s.Cas(tuple.T(tuple.Any()), tuple.T(tuple.Formal("x")))
+	if !errors.Is(err, ErrNotEntry) {
+		t.Errorf("err = %v, want ErrNotEntry", err)
+	}
+}
+
+func TestCasOnlyOneWinnerUnderContention(t *testing.T) {
+	s := New()
+	tmpl := tuple.T(tuple.Str("D"), tuple.Formal("d"))
+	const procs = 32
+	wins := make(chan int64, procs)
+	var wg sync.WaitGroup
+	for i := 0; i < procs; i++ {
+		wg.Add(1)
+		go func(v int64) {
+			defer wg.Done()
+			ins, _, err := s.Cas(tmpl, tuple.T(tuple.Str("D"), tuple.Int(v)))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if ins {
+				wins <- v
+			}
+		}(int64(i))
+	}
+	wg.Wait()
+	close(wins)
+	var winners []int64
+	for v := range wins {
+		winners = append(winners, v)
+	}
+	if len(winners) != 1 {
+		t.Fatalf("got %d cas winners, want exactly 1", len(winners))
+	}
+	got, ok := s.Rdp(tmpl)
+	if !ok {
+		t.Fatal("no decision tuple")
+	}
+	if v, _ := got.Field(1).IntValue(); v != winners[0] {
+		t.Errorf("stored %v, want winner %d", got, winners[0])
+	}
+}
+
+func TestBlockingRdWakesOnOut(t *testing.T) {
+	s := New()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+
+	done := make(chan tuple.Tuple, 1)
+	go func() {
+		got, err := s.Rd(ctx, tuple.T(tuple.Str("X"), tuple.Formal("v")))
+		if err != nil {
+			t.Error(err)
+		}
+		done <- got
+	}()
+
+	time.Sleep(10 * time.Millisecond)
+	if err := s.Out(tuple.T(tuple.Str("X"), tuple.Int(5))); err != nil {
+		t.Fatal(err)
+	}
+	got := <-done
+	if v, _ := got.Field(1).IntValue(); v != 5 {
+		t.Errorf("rd got %v", got)
+	}
+	// rd is non-destructive: tuple still stored.
+	if s.Len() != 1 {
+		t.Errorf("len = %d after rd, want 1", s.Len())
+	}
+}
+
+func TestBlockingInConsumesExactlyOnce(t *testing.T) {
+	s := New()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+
+	const readers = 8
+	results := make(chan error, readers)
+	for i := 0; i < readers; i++ {
+		go func() {
+			_, err := s.In(ctx, tuple.T(tuple.Str("JOB"), tuple.Any()))
+			results <- err
+		}()
+	}
+	time.Sleep(10 * time.Millisecond)
+	// Insert exactly 3 jobs: exactly 3 readers complete.
+	for i := 0; i < 3; i++ {
+		if err := s.Out(tuple.T(tuple.Str("JOB"), tuple.Int(int64(i)))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	okCount := 0
+	for i := 0; i < 3; i++ {
+		if err := <-results; err == nil {
+			okCount++
+		}
+	}
+	if okCount != 3 {
+		t.Errorf("%d readers completed, want 3", okCount)
+	}
+	if s.Len() != 0 {
+		t.Errorf("len = %d, want 0 (all jobs consumed)", s.Len())
+	}
+	cancel()
+	for i := 0; i < readers-3; i++ {
+		if err := <-results; err == nil {
+			t.Error("extra reader completed without a tuple")
+		}
+	}
+}
+
+func TestBlockingRdMultipleReadersAllSee(t *testing.T) {
+	s := New()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	const readers = 5
+	var wg sync.WaitGroup
+	errs := make(chan error, readers)
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := s.Rd(ctx, tuple.T(tuple.Str("E"), tuple.Any()))
+			errs <- err
+		}()
+	}
+	time.Sleep(10 * time.Millisecond)
+	if err := s.Out(tuple.T(tuple.Str("E"), tuple.Int(1))); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Errorf("rd reader: %v", err)
+		}
+	}
+}
+
+func TestBlockingCancellation(t *testing.T) {
+	s := New()
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := s.In(ctx, tuple.T(tuple.Str("NEVER")))
+		errCh <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	if err := <-errCh; !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+	// The cancelled waiter must not consume later tuples.
+	if err := s.Out(tuple.T(tuple.Str("NEVER"))); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 1 {
+		t.Errorf("cancelled waiter consumed a tuple; len=%d", s.Len())
+	}
+}
+
+func TestBlockingInReturnsImmediatelyWhenPresent(t *testing.T) {
+	s := New()
+	if err := s.Out(tuple.T(tuple.Str("Y"), tuple.Int(3))); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.In(context.Background(), tuple.T(tuple.Str("Y"), tuple.Any()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := got.Field(1).IntValue(); v != 3 {
+		t.Errorf("in got %v", got)
+	}
+	if s.Len() != 0 {
+		t.Error("in did not remove tuple")
+	}
+}
+
+func TestSnapshotRestore(t *testing.T) {
+	s := New()
+	for i := 0; i < 5; i++ {
+		if err := s.Out(tuple.T(tuple.Str("S"), tuple.Int(int64(i)))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := s.Snapshot()
+	if len(snap) != 5 {
+		t.Fatalf("snapshot len = %d", len(snap))
+	}
+
+	s2 := New()
+	if err := s2.Out(tuple.T(tuple.Str("OLD"))); err != nil {
+		t.Fatal(err)
+	}
+	s2.Restore(snap)
+	if s2.Len() != 5 {
+		t.Errorf("restored len = %d, want 5", s2.Len())
+	}
+	if _, ok := s2.Rdp(tuple.T(tuple.Str("OLD"))); ok {
+		t.Error("restore kept old contents")
+	}
+	// Insertion order preserved: rdp finds Int(0) first.
+	got, _ := s2.Rdp(tuple.T(tuple.Str("S"), tuple.Any()))
+	if v, _ := got.Field(1).IntValue(); v != 0 {
+		t.Errorf("restore broke insertion order: first = %v", got)
+	}
+
+	// Snapshot is a copy: mutating it does not affect the space.
+	snap[0] = tuple.T(tuple.Str("HACK"))
+	if _, ok := s2.Rdp(tuple.T(tuple.Str("HACK"))); ok {
+		t.Error("snapshot aliases internal storage")
+	}
+}
+
+func TestRestoreWakesWaiters(t *testing.T) {
+	s := New()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	done := make(chan error, 1)
+	go func() {
+		_, err := s.Rd(ctx, tuple.T(tuple.Str("R")))
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	s.Restore([]tuple.Tuple{tuple.T(tuple.Str("R"))})
+	if err := <-done; err != nil {
+		t.Errorf("waiter not woken by Restore: %v", err)
+	}
+}
+
+func TestForEachAndCountMatching(t *testing.T) {
+	s := New()
+	for i := 0; i < 4; i++ {
+		tag := "A"
+		if i%2 == 1 {
+			tag = "B"
+		}
+		if err := s.Out(tuple.T(tuple.Str(tag), tuple.Int(int64(i)))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := s.CountMatching(tuple.T(tuple.Str("A"), tuple.Any())); n != 2 {
+		t.Errorf("CountMatching(A) = %d, want 2", n)
+	}
+	seen := 0
+	s.ForEach(func(tuple.Tuple) bool { seen++; return true })
+	if seen != 4 {
+		t.Errorf("ForEach visited %d, want 4", seen)
+	}
+	seen = 0
+	s.ForEach(func(tuple.Tuple) bool { seen++; return false })
+	if seen != 1 {
+		t.Errorf("ForEach early stop visited %d, want 1", seen)
+	}
+}
+
+func TestBitSize(t *testing.T) {
+	s := New()
+	if s.BitSize() != 0 {
+		t.Error("empty space has nonzero BitSize")
+	}
+	if err := s.Out(tuple.T(tuple.Bool(true), tuple.Int(7))); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.BitSize(); got != 5 {
+		t.Errorf("BitSize = %d, want 5", got)
+	}
+}
+
+func TestDeterministicMatchOrderAfterRemovals(t *testing.T) {
+	// The space must behave as a deterministic state machine: two spaces
+	// receiving the same operation sequence return identical results.
+	ops := func(s *Space) []string {
+		var log []string
+		record := func(t tuple.Tuple, ok bool) {
+			log = append(log, fmt.Sprintf("%v/%v", t, ok))
+		}
+		_ = s.Out(tuple.T(tuple.Str("K"), tuple.Int(1)))
+		_ = s.Out(tuple.T(tuple.Str("K"), tuple.Int(2)))
+		_ = s.Out(tuple.T(tuple.Str("K"), tuple.Int(3)))
+		record(s.Inp(tuple.T(tuple.Str("K"), tuple.Any())))
+		record(s.Rdp(tuple.T(tuple.Str("K"), tuple.Any())))
+		ins, m, _ := s.Cas(tuple.T(tuple.Str("K"), tuple.Formal("x")), tuple.T(tuple.Str("K"), tuple.Int(9)))
+		log = append(log, fmt.Sprintf("%v/%v", ins, m))
+		record(s.Inp(tuple.T(tuple.Str("K"), tuple.Any())))
+		return log
+	}
+	a, b := ops(New()), ops(New())
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("divergence at step %d: %q vs %q", i, a[i], b[i])
+		}
+	}
+}
+
+func TestSpaceProperty_OutThenInpRoundTrips(t *testing.T) {
+	f := func(vals []int64) bool {
+		s := New()
+		for _, v := range vals {
+			if err := s.Out(tuple.T(tuple.Str("P"), tuple.Int(v))); err != nil {
+				return false
+			}
+		}
+		// inp drains in insertion order.
+		for _, v := range vals {
+			got, ok := s.Inp(tuple.T(tuple.Str("P"), tuple.Any()))
+			if !ok {
+				return false
+			}
+			if g, _ := got.Field(1).IntValue(); g != v {
+				return false
+			}
+		}
+		return s.Len() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSpaceProperty_CasIdempotentLoser(t *testing.T) {
+	// After a successful cas, any number of further cas calls with the
+	// same template return the same matched tuple and never insert.
+	f := func(first int64, rest []int64) bool {
+		s := New()
+		tmpl := tuple.T(tuple.Str("D"), tuple.Formal("d"))
+		ins, _, err := s.Cas(tmpl, tuple.T(tuple.Str("D"), tuple.Int(first)))
+		if err != nil || !ins {
+			return false
+		}
+		for _, v := range rest {
+			ins, m, err := s.Cas(tmpl, tuple.T(tuple.Str("D"), tuple.Int(v)))
+			if err != nil || ins {
+				return false
+			}
+			if g, _ := m.Field(1).IntValue(); g != first {
+				return false
+			}
+		}
+		return s.Len() == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConcurrentMixedOpsRace(t *testing.T) {
+	// Exercise all operations concurrently under the race detector.
+	s := New()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(id int64) {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				_ = s.Out(tuple.T(tuple.Str("M"), tuple.Int(id), tuple.Int(int64(j))))
+				s.Rdp(tuple.T(tuple.Str("M"), tuple.Any(), tuple.Any()))
+				s.Inp(tuple.T(tuple.Str("M"), tuple.Int(id), tuple.Any()))
+				_, _, _ = s.Cas(tuple.T(tuple.Str("C"), tuple.Formal("x")),
+					tuple.T(tuple.Str("C"), tuple.Int(id)))
+			}
+		}(int64(i))
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for j := 0; j < 20; j++ {
+			_, _ = s.Rd(ctx, tuple.T(tuple.Str("M"), tuple.Any(), tuple.Any()))
+		}
+	}()
+	wg.Wait()
+}
+
+func TestRdAll(t *testing.T) {
+	s := New()
+	for i := int64(0); i < 5; i++ {
+		tag := "A"
+		if i%2 == 1 {
+			tag = "B"
+		}
+		if err := s.Out(tuple.T(tuple.Str(tag), tuple.Int(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	all := s.RdAll(tuple.T(tuple.Str("A"), tuple.Any()))
+	if len(all) != 3 {
+		t.Fatalf("RdAll(A) returned %d tuples, want 3", len(all))
+	}
+	// Insertion order preserved.
+	for i, want := range []int64{0, 2, 4} {
+		if v, _ := all[i].Field(1).IntValue(); v != want {
+			t.Errorf("tuple %d = %v, want value %d", i, all[i], want)
+		}
+	}
+	// Non-destructive.
+	if s.Len() != 5 {
+		t.Errorf("RdAll removed tuples: len=%d", s.Len())
+	}
+	if got := s.RdAll(tuple.T(tuple.Str("C"), tuple.Any())); got != nil {
+		t.Errorf("RdAll with no matches = %v, want nil", got)
+	}
+}
+
+// TestModelEquivalence drives the space and a naive reference model with
+// the same random operation stream and requires identical observable
+// behaviour — a model-based check of the sequential semantics.
+func TestModelEquivalence(t *testing.T) {
+	type model struct{ tuples []tuple.Tuple }
+	findModel := func(m *model, tmpl tuple.Tuple, remove bool) (tuple.Tuple, bool) {
+		for i, e := range m.tuples {
+			if tuple.Matches(e, tmpl) {
+				if remove {
+					m.tuples = append(m.tuples[:i], m.tuples[i+1:]...)
+				}
+				return e, true
+			}
+		}
+		return tuple.Tuple{}, false
+	}
+
+	f := func(ops []uint8, vals []int64) bool {
+		s := New()
+		m := &model{}
+		vi := 0
+		nextVal := func() int64 {
+			if len(vals) == 0 {
+				return 0
+			}
+			v := vals[vi%len(vals)]
+			vi++
+			return v % 4 // small domain to force matches
+		}
+		for _, op := range ops {
+			v := nextVal()
+			entry := tuple.T(tuple.Str("K"), tuple.Int(v))
+			tmpl := tuple.T(tuple.Str("K"), tuple.Int(v))
+			switch op % 4 {
+			case 0:
+				if err := s.Out(entry); err != nil {
+					return false
+				}
+				m.tuples = append(m.tuples, entry)
+			case 1:
+				got, ok := s.Rdp(tmpl)
+				want, wok := findModel(m, tmpl, false)
+				if ok != wok || (ok && !got.Equal(want)) {
+					return false
+				}
+			case 2:
+				got, ok := s.Inp(tmpl)
+				want, wok := findModel(m, tmpl, true)
+				if ok != wok || (ok && !got.Equal(want)) {
+					return false
+				}
+			case 3:
+				ins, matched, err := s.Cas(tmpl, entry)
+				if err != nil {
+					return false
+				}
+				want, wok := findModel(m, tmpl, false)
+				if ins == wok {
+					return false // cas inserts iff the model had no match
+				}
+				if !ins && !matched.Equal(want) {
+					return false
+				}
+				if ins {
+					m.tuples = append(m.tuples, entry)
+				}
+			}
+			if s.Len() != len(m.tuples) {
+				return false
+			}
+		}
+		// Final states identical.
+		snap := s.Snapshot()
+		for i := range snap {
+			if !snap[i].Equal(m.tuples[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

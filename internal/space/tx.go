@@ -1,0 +1,81 @@
+package space
+
+import "peats/internal/tuple"
+
+// Tx is a view of the space inside an atomic section opened with Do.
+// It exposes the non-blocking operations without re-acquiring the lock,
+// so a caller can evaluate a policy predicate and execute the guarded
+// operation as one indivisible step — exactly what the replicated
+// realisation gets for free from sequential execution.
+//
+// A Tx is only valid during the Do callback; retaining it is a bug.
+type Tx struct {
+	s *Space
+}
+
+// Do runs fn while holding the space lock. fn must not call methods on
+// the Space itself (only on the Tx) and must not block.
+func (s *Space) Do(fn func(tx *Tx)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fn(&Tx{s: s})
+}
+
+// Out inserts entry t (see Space.Out).
+func (tx *Tx) Out(t tuple.Tuple) error {
+	if !t.IsEntry() {
+		return ErrNotEntry
+	}
+	tx.s.insertLocked(t)
+	return nil
+}
+
+// Rdp returns the first tuple matching tmpl (see Space.Rdp).
+func (tx *Tx) Rdp(tmpl tuple.Tuple) (tuple.Tuple, bool) {
+	return tx.s.findLocked(tmpl, false)
+}
+
+// Inp removes and returns the first tuple matching tmpl (see Space.Inp).
+func (tx *Tx) Inp(tmpl tuple.Tuple) (tuple.Tuple, bool) {
+	return tx.s.findLocked(tmpl, true)
+}
+
+// Cas performs the conditional atomic swap (see Space.Cas).
+func (tx *Tx) Cas(tmpl, t tuple.Tuple) (bool, tuple.Tuple, error) {
+	if !t.IsEntry() {
+		return false, tuple.Tuple{}, ErrNotEntry
+	}
+	if m, ok := tx.s.findLocked(tmpl, false); ok {
+		return false, m, nil
+	}
+	tx.s.insertLocked(t)
+	return true, tuple.Tuple{}, nil
+}
+
+// RdAll returns every stored tuple matching tmpl (see Space.RdAll).
+func (tx *Tx) RdAll(tmpl tuple.Tuple) []tuple.Tuple {
+	return rdAllLocked(tx.s, tmpl)
+}
+
+// Len returns the number of stored tuples.
+func (tx *Tx) Len() int { return len(tx.s.tuples) }
+
+// CountMatching returns how many stored tuples match tmpl.
+func (tx *Tx) CountMatching(tmpl tuple.Tuple) int {
+	n := 0
+	for _, t := range tx.s.tuples {
+		if tuple.Matches(t, tmpl) {
+			n++
+		}
+	}
+	return n
+}
+
+// ForEach visits stored tuples in insertion order until fn returns false.
+func (tx *Tx) ForEach(fn func(tuple.Tuple) bool) {
+	for _, t := range tx.s.tuples {
+		if !fn(t) {
+			return
+		}
+	}
+}

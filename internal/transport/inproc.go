@@ -1,0 +1,208 @@
+package transport
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Network is an in-process simulated network hub. Endpoints register by
+// identity; the hub routes messages between them, applying per-link
+// fault injection: drop probability, fixed delay, and partitions. It is
+// the deterministic substrate for the Byzantine-replica experiments.
+type Network struct {
+	mu        sync.Mutex
+	rng       *rand.Rand
+	endpoints map[string]*Endpoint
+	links     map[[2]string]linkConfig
+	parts     map[string]int // identity → partition id (0 = default)
+	wg        sync.WaitGroup
+	closed    bool
+}
+
+type linkConfig struct {
+	dropRate float64
+	delay    time.Duration
+}
+
+// NewNetwork returns a hub whose fault injection draws from the given
+// seed, so failure schedules are reproducible.
+func NewNetwork(seed int64) *Network {
+	return &Network{
+		rng:       rand.New(rand.NewSource(seed)),
+		endpoints: make(map[string]*Endpoint),
+		links:     make(map[[2]string]linkConfig),
+		parts:     make(map[string]int),
+	}
+}
+
+// Endpoint registers (or returns) the endpoint for identity id.
+func (n *Network) Endpoint(id string) *Endpoint {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if ep, ok := n.endpoints[id]; ok {
+		return ep
+	}
+	ep := &Endpoint{
+		net:   n,
+		id:    id,
+		inbox: make(chan Inbound, inboxDepth),
+		done:  make(chan struct{}),
+	}
+	n.endpoints[id] = ep
+	return ep
+}
+
+// inboxDepth bounds each endpoint's queue. The asynchronous model
+// permits message loss, so overflow degrades to a drop rather than
+// blocking the sender — protocols retransmit.
+const inboxDepth = 4096
+
+// SetLink configures fault injection for the directed link from → to.
+// dropRate ∈ [0,1] is the probability a message is silently lost;
+// delay postpones delivery of surviving messages.
+func (n *Network) SetLink(from, to string, dropRate float64, delay time.Duration) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.links[[2]string{from, to}] = linkConfig{dropRate: dropRate, delay: delay}
+}
+
+// SetNodeFaults applies the drop/delay configuration to every link into
+// and out of the node.
+func (n *Network) SetNodeFaults(id string, dropRate float64, delay time.Duration) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for other := range n.endpoints {
+		if other == id {
+			continue
+		}
+		n.links[[2]string{id, other}] = linkConfig{dropRate: dropRate, delay: delay}
+		n.links[[2]string{other, id}] = linkConfig{dropRate: dropRate, delay: delay}
+	}
+}
+
+// Partition places each listed group of identities in its own partition;
+// messages only flow within a partition. Unlisted nodes stay in
+// partition 0. Heal with HealPartitions.
+func (n *Network) Partition(groups ...[]string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.parts = make(map[string]int)
+	for g, ids := range groups {
+		for _, id := range ids {
+			n.parts[id] = g + 1
+		}
+	}
+}
+
+// HealPartitions reconnects all partitions.
+func (n *Network) HealPartitions() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.parts = make(map[string]int)
+}
+
+// Close shuts down every endpoint and waits for in-flight deliveries.
+func (n *Network) Close() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.closed = true
+	eps := make([]*Endpoint, 0, len(n.endpoints))
+	for _, ep := range n.endpoints {
+		eps = append(eps, ep)
+	}
+	n.mu.Unlock()
+	for _, ep := range eps {
+		ep.closeLocal()
+	}
+	n.wg.Wait()
+}
+
+// route delivers payload from → to, applying fault injection. Called
+// with n.mu NOT held.
+func (n *Network) route(from, to string, payload []byte) error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return ErrClosed
+	}
+	dst, ok := n.endpoints[to]
+	if !ok {
+		n.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrUnknownPeer, to)
+	}
+	if n.parts[from] != n.parts[to] {
+		n.mu.Unlock()
+		return nil // partitioned: silently dropped
+	}
+	cfg := n.links[[2]string{from, to}]
+	if cfg.dropRate > 0 && n.rng.Float64() < cfg.dropRate {
+		n.mu.Unlock()
+		return nil // dropped
+	}
+	delay := cfg.delay
+	n.wg.Add(1)
+	n.mu.Unlock()
+
+	cp := make([]byte, len(payload))
+	copy(cp, payload)
+	msg := Inbound{From: from, Payload: cp}
+	deliver := func() {
+		defer n.wg.Done()
+		select {
+		case dst.inbox <- msg:
+		case <-dst.done:
+		default:
+			// Inbox full: drop (asynchronous model permits loss).
+		}
+	}
+	if delay > 0 {
+		time.AfterFunc(delay, deliver)
+		return nil
+	}
+	deliver()
+	return nil
+}
+
+// Endpoint is one node's attachment to a Network.
+type Endpoint struct {
+	net       *Network
+	id        string
+	inbox     chan Inbound
+	closeOnce sync.Once
+	done      chan struct{}
+}
+
+var _ Transport = (*Endpoint)(nil)
+
+// Self implements Transport.
+func (e *Endpoint) Self() string { return e.id }
+
+// Send implements Transport.
+func (e *Endpoint) Send(to string, payload []byte) error {
+	select {
+	case <-e.done:
+		return ErrClosed
+	default:
+	}
+	return e.net.route(e.id, to, payload)
+}
+
+// Inbox implements Transport.
+func (e *Endpoint) Inbox() <-chan Inbound { return e.inbox }
+
+// Close implements Transport.
+func (e *Endpoint) Close() error {
+	e.closeLocal()
+	return nil
+}
+
+func (e *Endpoint) closeLocal() {
+	e.closeOnce.Do(func() {
+		close(e.done)
+	})
+}

@@ -1,0 +1,310 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"peats/internal/auth"
+	"peats/internal/wire"
+)
+
+// TCP is a Transport over TCP connections with HMAC-authenticated
+// frames. Every frame carries the sender identity and a MAC computed
+// with the pairwise key shared between sender and receiver, so a node
+// cannot impersonate another (the model's §2.1 assumption); frames that
+// fail verification are dropped silently.
+//
+// Connections are dialled lazily and re-dialled after failures; loss
+// during reconnection is acceptable because the protocols above assume
+// an asynchronous, lossy network and retransmit.
+type TCP struct {
+	self  string
+	kr    *auth.Keyring
+	ln    net.Listener
+	inbox chan Inbound
+
+	mu      sync.Mutex
+	addrs   map[string]string
+	conns   map[string]net.Conn
+	inbound map[net.Conn]struct{}
+	closed  bool
+
+	wg   sync.WaitGroup
+	done chan struct{}
+}
+
+var _ Transport = (*TCP)(nil)
+
+// maxFrame bounds accepted frame sizes (16 MiB) so a malicious peer
+// cannot force unbounded allocations.
+const maxFrame = 16 << 20
+
+// NewTCP starts a TCP transport for node self listening on listenAddr.
+// addrs maps peer identities to dial addresses; peers whose addresses
+// are not yet known (e.g. during a rolling bring-up on ephemeral ports)
+// can be added later with SetPeerAddr. kr must hold keys for all peers.
+func NewTCP(self, listenAddr string, addrs map[string]string, kr *auth.Keyring) (*TCP, error) {
+	ln, err := net.Listen("tcp", listenAddr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", listenAddr, err)
+	}
+	t := &TCP{
+		self:    self,
+		kr:      kr,
+		addrs:   make(map[string]string, len(addrs)),
+		ln:      ln,
+		inbox:   make(chan Inbound, inboxDepth),
+		conns:   make(map[string]net.Conn),
+		inbound: make(map[net.Conn]struct{}),
+		done:    make(chan struct{}),
+	}
+	for id, a := range addrs {
+		t.addrs[id] = a
+	}
+	t.wg.Add(1)
+	go t.acceptLoop()
+	return t, nil
+}
+
+// Addr returns the transport's bound listen address.
+func (t *TCP) Addr() string { return t.ln.Addr().String() }
+
+// SetPeerAddr registers (or updates) a peer's dial address.
+func (t *TCP) SetPeerAddr(id, addr string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.addrs[id] = addr
+}
+
+// Self implements Transport.
+func (t *TCP) Self() string { return t.self }
+
+// Inbox implements Transport.
+func (t *TCP) Inbox() <-chan Inbound { return t.inbox }
+
+// Send implements Transport. The frame is MACed for the destination.
+func (t *TCP) Send(to string, payload []byte) error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return ErrClosed
+	}
+	conn, ok := t.conns[to]
+	t.mu.Unlock()
+
+	if !ok {
+		var err error
+		conn, err = t.dial(to)
+		if err != nil {
+			return err
+		}
+	}
+	frame, err := t.sealFrame(to, payload)
+	if err != nil {
+		return err
+	}
+	if err := writeFrame(conn, frame); err != nil {
+		t.dropConn(to, conn)
+		// One reconnection attempt; beyond that the message is lost,
+		// which the asynchronous model tolerates.
+		conn, derr := t.dial(to)
+		if derr != nil {
+			return derr
+		}
+		if werr := writeFrame(conn, frame); werr != nil {
+			t.dropConn(to, conn)
+			return fmt.Errorf("transport: send to %s: %w", to, werr)
+		}
+	}
+	return nil
+}
+
+// Close implements Transport.
+func (t *TCP) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	close(t.done)
+	conns := make([]net.Conn, 0, len(t.conns)+len(t.inbound))
+	for _, c := range t.conns {
+		conns = append(conns, c)
+	}
+	for c := range t.inbound {
+		conns = append(conns, c)
+	}
+	t.conns = map[string]net.Conn{}
+	t.inbound = map[net.Conn]struct{}{}
+	t.mu.Unlock()
+
+	_ = t.ln.Close()
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	t.wg.Wait()
+	return nil
+}
+
+// sealFrame encodes self → to payload with its MAC.
+func (t *TCP) sealFrame(to string, payload []byte) ([]byte, error) {
+	body := frameBody(t.self, to, payload)
+	mac, err := t.kr.MAC(to, body)
+	if err != nil {
+		return nil, fmt.Errorf("transport: seal for %s: %w", to, err)
+	}
+	w := wire.NewWriter()
+	w.String(t.self)
+	w.Bytes(payload)
+	w.Bytes(mac)
+	return w.Data(), nil
+}
+
+// frameBody is the MACed content: direction-bound so a frame cannot be
+// reflected back or replayed to a third node.
+func frameBody(from, to string, payload []byte) []byte {
+	w := wire.NewWriter()
+	w.String(from)
+	w.String(to)
+	w.Bytes(payload)
+	return w.Data()
+}
+
+func (t *TCP) dial(to string) (net.Conn, error) {
+	t.mu.Lock()
+	addr, ok := t.addrs[to]
+	t.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownPeer, to)
+	}
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", to, err)
+	}
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		_ = conn.Close()
+		return nil, ErrClosed
+	}
+	if existing, ok := t.conns[to]; ok {
+		// Lost a race with another Send; reuse the established one.
+		t.mu.Unlock()
+		_ = conn.Close()
+		return existing, nil
+	}
+	t.conns[to] = conn
+	t.mu.Unlock()
+	// Connections are bidirectional: the peer may reply over this very
+	// connection (it cannot dial back to an ephemeral client port).
+	t.wg.Add(1)
+	go t.readLoop(conn)
+	return conn, nil
+}
+
+func (t *TCP) dropConn(to string, conn net.Conn) {
+	t.mu.Lock()
+	if t.conns[to] == conn {
+		delete(t.conns, to)
+	}
+	t.mu.Unlock()
+	_ = conn.Close()
+}
+
+func (t *TCP) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		conn, err := t.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		t.inbound[conn] = struct{}{}
+		t.mu.Unlock()
+		t.wg.Add(1)
+		go t.readLoop(conn)
+	}
+}
+
+// readLoop consumes frames from one inbound connection, verifying each
+// MAC before delivery.
+func (t *TCP) readLoop(conn net.Conn) {
+	defer t.wg.Done()
+	defer func() {
+		t.mu.Lock()
+		delete(t.inbound, conn)
+		for id, c := range t.conns {
+			if c == conn {
+				delete(t.conns, id)
+			}
+		}
+		t.mu.Unlock()
+		_ = conn.Close()
+	}()
+	for {
+		frame, err := readFrame(conn)
+		if err != nil {
+			return
+		}
+		r := wire.NewReader(frame)
+		from := r.String()
+		payload := r.Bytes()
+		mac := r.Bytes()
+		r.ExpectEOF()
+		if r.Err() != nil {
+			return // malformed framing: drop the connection
+		}
+		if !t.kr.Verify(from, frameBody(from, t.self, payload), mac) {
+			continue // forged or corrupted: drop the frame
+		}
+		// Remember the connection as the reverse path to the sender:
+		// clients listen on ephemeral ports, so replies must flow back
+		// over the connection the request arrived on.
+		t.mu.Lock()
+		if _, known := t.conns[from]; !known && !t.closed {
+			t.conns[from] = conn
+		}
+		t.mu.Unlock()
+		select {
+		case t.inbox <- Inbound{From: from, Payload: payload}:
+		case <-t.done:
+			return
+		}
+	}
+}
+
+// writeFrame sends one length-prefixed frame in a single Write so
+// concurrent writers cannot interleave header and body.
+func writeFrame(conn net.Conn, frame []byte) error {
+	buf := make([]byte, 4+len(frame))
+	binary.BigEndian.PutUint32(buf[:4], uint32(len(frame)))
+	copy(buf[4:], frame)
+	_, err := conn.Write(buf)
+	return err
+}
+
+func readFrame(conn net.Conn) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+		return nil, err
+	}
+	size := binary.BigEndian.Uint32(hdr[:])
+	if size > maxFrame {
+		return nil, fmt.Errorf("transport: frame of %d bytes exceeds limit", size)
+	}
+	frame := make([]byte, size)
+	if _, err := io.ReadFull(conn, frame); err != nil {
+		return nil, err
+	}
+	return frame, nil
+}

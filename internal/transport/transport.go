@@ -1,0 +1,43 @@
+// Package transport provides the point-to-point messaging layer of the
+// replicated PEATS (Fig. 2): an interface over which the BFT protocol
+// exchanges messages, with two implementations — an in-process simulated
+// network with fault injection (drops, delays, partitions) for tests and
+// benchmarks, and a TCP transport with HMAC-authenticated frames for
+// real deployments.
+package transport
+
+import "errors"
+
+// ErrClosed is returned by Send after the transport is closed.
+var ErrClosed = errors.New("transport: closed")
+
+// ErrUnknownPeer is returned when sending to an unregistered identity.
+var ErrUnknownPeer = errors.New("transport: unknown peer")
+
+// Inbound is a received message with its authenticated sender identity.
+// The transport guarantees From is genuine (in-process: enforced by the
+// hub; TCP: verified by per-pair MAC), which is the no-impersonation
+// assumption of the model (§2.1).
+type Inbound struct {
+	From    string
+	Payload []byte
+}
+
+// Transport is an asynchronous, authenticated point-to-point channel
+// bundle for one node.
+//
+// Send is best-effort and non-blocking: the network may drop or delay
+// messages arbitrarily (asynchronous system model); protocols must
+// retransmit. Inbox delivers received messages until Close.
+type Transport interface {
+	// Self returns this node's identity.
+	Self() string
+	// Send queues payload for delivery to the named peer.
+	Send(to string, payload []byte) error
+	// Inbox returns the channel of received messages. After Close no
+	// further messages are delivered; consumers must also watch their
+	// own stop signal rather than rely on the channel closing.
+	Inbox() <-chan Inbound
+	// Close releases resources and closes the inbox.
+	Close() error
+}

@@ -1,0 +1,312 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"peats/internal/auth"
+)
+
+func recvWithin(t *testing.T, tr Transport, d time.Duration) Inbound {
+	t.Helper()
+	select {
+	case m := <-tr.Inbox():
+		return m
+	case <-time.After(d):
+		t.Fatal("no message within deadline")
+		return Inbound{}
+	}
+}
+
+func expectSilence(t *testing.T, tr Transport, d time.Duration) {
+	t.Helper()
+	select {
+	case m := <-tr.Inbox():
+		t.Fatalf("unexpected message from %s: %q", m.From, m.Payload)
+	case <-time.After(d):
+	}
+}
+
+func TestInprocDelivery(t *testing.T) {
+	n := NewNetwork(1)
+	defer n.Close()
+	a, b := n.Endpoint("a"), n.Endpoint("b")
+
+	if err := a.Send("b", []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	m := recvWithin(t, b, time.Second)
+	if m.From != "a" || string(m.Payload) != "hello" {
+		t.Errorf("got %+v", m)
+	}
+}
+
+func TestInprocSenderIdentityIsAuthentic(t *testing.T) {
+	// The hub stamps the real sender; an endpoint has no way to claim
+	// another identity (Send takes no "from").
+	n := NewNetwork(1)
+	defer n.Close()
+	a, b := n.Endpoint("a"), n.Endpoint("b")
+	_ = a.Send("b", []byte("x"))
+	if m := recvWithin(t, b, time.Second); m.From != "a" {
+		t.Errorf("From = %q", m.From)
+	}
+}
+
+func TestInprocUnknownPeer(t *testing.T) {
+	n := NewNetwork(1)
+	defer n.Close()
+	a := n.Endpoint("a")
+	if err := a.Send("ghost", nil); !errors.Is(err, ErrUnknownPeer) {
+		t.Errorf("err = %v, want ErrUnknownPeer", err)
+	}
+}
+
+func TestInprocPayloadCopied(t *testing.T) {
+	n := NewNetwork(1)
+	defer n.Close()
+	a, b := n.Endpoint("a"), n.Endpoint("b")
+	buf := []byte("orig")
+	if err := a.Send("b", buf); err != nil {
+		t.Fatal(err)
+	}
+	buf[0] = 'X'
+	if m := recvWithin(t, b, time.Second); string(m.Payload) != "orig" {
+		t.Errorf("payload aliased sender buffer: %q", m.Payload)
+	}
+}
+
+func TestInprocDropRate(t *testing.T) {
+	n := NewNetwork(42)
+	defer n.Close()
+	a, b := n.Endpoint("a"), n.Endpoint("b")
+	n.SetLink("a", "b", 1.0, 0) // drop everything a→b
+	if err := a.Send("b", []byte("lost")); err != nil {
+		t.Fatal(err)
+	}
+	expectSilence(t, b, 50*time.Millisecond)
+	// Reverse direction unaffected.
+	if err := b.Send("a", []byte("back")); err != nil {
+		t.Fatal(err)
+	}
+	recvWithin(t, a, time.Second)
+}
+
+func TestInprocDelay(t *testing.T) {
+	n := NewNetwork(1)
+	defer n.Close()
+	a, b := n.Endpoint("a"), n.Endpoint("b")
+	n.SetLink("a", "b", 0, 50*time.Millisecond)
+	start := time.Now()
+	if err := a.Send("b", []byte("slow")); err != nil {
+		t.Fatal(err)
+	}
+	recvWithin(t, b, time.Second)
+	if elapsed := time.Since(start); elapsed < 40*time.Millisecond {
+		t.Errorf("delivered after %v, want ≥ ~50ms", elapsed)
+	}
+}
+
+func TestInprocPartition(t *testing.T) {
+	n := NewNetwork(1)
+	defer n.Close()
+	a, b, c := n.Endpoint("a"), n.Endpoint("b"), n.Endpoint("c")
+
+	n.Partition([]string{"a"}, []string{"b", "c"})
+	if err := a.Send("b", []byte("blocked")); err != nil {
+		t.Fatal(err)
+	}
+	expectSilence(t, b, 50*time.Millisecond)
+	// Within partition works.
+	if err := b.Send("c", []byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	recvWithin(t, c, time.Second)
+
+	n.HealPartitions()
+	if err := a.Send("b", []byte("healed")); err != nil {
+		t.Fatal(err)
+	}
+	if m := recvWithin(t, b, time.Second); string(m.Payload) != "healed" {
+		t.Errorf("got %q", m.Payload)
+	}
+}
+
+func TestInprocSetNodeFaults(t *testing.T) {
+	n := NewNetwork(1)
+	defer n.Close()
+	a, b := n.Endpoint("a"), n.Endpoint("b")
+	n.SetNodeFaults("b", 1.0, 0) // b fully lossy both directions
+	_ = a.Send("b", []byte("x"))
+	expectSilence(t, b, 50*time.Millisecond)
+	_ = b.Send("a", []byte("y"))
+	expectSilence(t, a, 50*time.Millisecond)
+}
+
+func TestInprocClosedEndpoint(t *testing.T) {
+	n := NewNetwork(1)
+	defer n.Close()
+	a := n.Endpoint("a")
+	n.Endpoint("b")
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send("b", nil); !errors.Is(err, ErrClosed) {
+		t.Errorf("err = %v, want ErrClosed", err)
+	}
+}
+
+func newTCPTrio(t *testing.T) (map[string]*TCP, func()) {
+	t.Helper()
+	ids := []string{"r0", "r1", "r2"}
+	master := []byte("test-master")
+	trs := make(map[string]*TCP, len(ids))
+	addrs := make(map[string]string)
+	for _, id := range ids {
+		kr := auth.NewKeyringFromMaster(master, id, ids)
+		tr, err := NewTCP(id, "127.0.0.1:0", nil, kr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		trs[id] = tr
+		addrs[id] = tr.Addr()
+	}
+	for _, tr := range trs {
+		for id, addr := range addrs {
+			tr.SetPeerAddr(id, addr)
+		}
+	}
+	cleanup := func() {
+		for _, tr := range trs {
+			_ = tr.Close()
+		}
+	}
+	return trs, cleanup
+}
+
+func TestTCPDeliveryAndAuth(t *testing.T) {
+	trs, cleanup := newTCPTrio(t)
+	defer cleanup()
+
+	if err := trs["r0"].Send("r1", []byte("prepare")); err != nil {
+		t.Fatal(err)
+	}
+	m := recvWithin(t, trs["r1"], 5*time.Second)
+	if m.From != "r0" || string(m.Payload) != "prepare" {
+		t.Errorf("got %+v", m)
+	}
+
+	// Bidirectional and multi-peer.
+	if err := trs["r1"].Send("r0", []byte("ack")); err != nil {
+		t.Fatal(err)
+	}
+	if m := recvWithin(t, trs["r0"], 5*time.Second); string(m.Payload) != "ack" {
+		t.Errorf("got %q", m.Payload)
+	}
+	if err := trs["r2"].Send("r0", []byte("from r2")); err != nil {
+		t.Fatal(err)
+	}
+	if m := recvWithin(t, trs["r0"], 5*time.Second); m.From != "r2" {
+		t.Errorf("From = %q", m.From)
+	}
+}
+
+func TestTCPRejectsForgedSender(t *testing.T) {
+	// An attacker with r2's keys cannot claim to be r0: the MAC is
+	// computed with the (sender, receiver) pairwise key.
+	ids := []string{"r0", "r1", "r2"}
+	master := []byte("m")
+	kr1 := auth.NewKeyringFromMaster(master, "r1", ids)
+	victim, err := NewTCP("r1", "127.0.0.1:0", nil, kr1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer victim.Close()
+
+	// "r2" builds a transport that lies about its identity: it seals
+	// frames with its own key but labels them from "r0".
+	kr2 := auth.NewKeyringFromMaster(master, "r2", ids)
+	attacker, err := NewTCP("r2", "127.0.0.1:0", map[string]string{"r1": victim.Addr()}, kr2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer attacker.Close()
+	attacker.self = "r0" // forge the claimed identity
+
+	if err := attacker.Send("r1", []byte("evil")); err != nil {
+		t.Fatal(err)
+	}
+	expectSilence(t, victim, 100*time.Millisecond)
+}
+
+func TestTCPGarbageConnection(t *testing.T) {
+	ids := []string{"r0", "r1"}
+	kr := auth.NewKeyringFromMaster([]byte("m"), "r0", ids)
+	tr, err := NewTCP("r0", "127.0.0.1:0", nil, kr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+
+	// Raw garbage and oversized frames must not crash or deliver.
+	conn, err := netDial(tr.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _ = conn.Write([]byte{0xff, 0xff, 0xff, 0xff, 1, 2, 3})
+	_ = conn.Close()
+	expectSilence(t, tr, 100*time.Millisecond)
+}
+
+func TestTCPSendToUnknown(t *testing.T) {
+	kr := auth.NewKeyringFromMaster([]byte("m"), "r0", []string{"r0"})
+	tr, err := NewTCP("r0", "127.0.0.1:0", nil, kr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	if err := tr.Send("ghost", nil); !errors.Is(err, ErrUnknownPeer) {
+		t.Errorf("err = %v, want ErrUnknownPeer", err)
+	}
+}
+
+func TestTCPClose(t *testing.T) {
+	trs, cleanup := newTCPTrio(t)
+	cleanup() // close all
+	if err := trs["r0"].Send("r1", nil); !errors.Is(err, ErrClosed) {
+		t.Errorf("err = %v, want ErrClosed", err)
+	}
+	// Double close is fine.
+	if err := trs["r0"].Close(); err != nil {
+		t.Errorf("second close: %v", err)
+	}
+}
+
+func TestTCPManyMessagesOrdered(t *testing.T) {
+	trs, cleanup := newTCPTrio(t)
+	defer cleanup()
+	const count = 200
+	for i := 0; i < count; i++ {
+		if err := trs["r0"].Send("r1", []byte(fmt.Sprintf("m%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Same-connection messages arrive in order.
+	for i := 0; i < count; i++ {
+		m := recvWithin(t, trs["r1"], 5*time.Second)
+		if want := fmt.Sprintf("m%d", i); string(m.Payload) != want {
+			t.Fatalf("message %d = %q, want %q", i, m.Payload, want)
+		}
+	}
+}
+
+// netDial is a tiny indirection so the garbage-connection test reads
+// clearly.
+func netDial(addr string) (interface {
+	Write([]byte) (int, error)
+	Close() error
+}, error) {
+	return netDialTCP(addr)
+}

@@ -1,0 +1,135 @@
+package universal
+
+import (
+	"context"
+	"fmt"
+
+	"peats/internal/peats"
+	"peats/internal/policy"
+	"peats/internal/tuple"
+)
+
+const (
+	tagSeq = "SEQ"
+	tagAnn = "ANN"
+)
+
+// LockFree is the paper's Algorithm 3: a uniform lock-free universal
+// construction. Every invocation on the emulated object is threaded
+// into a totally ordered list of <SEQ, pos, inv> tuples; each process
+// replays the list against its local copy of the state.
+//
+// The construction is uniform: processes need not know each other, so
+// it works for an unknown and dynamic set of processes. It is lock-free
+// but not wait-free — a process can starve if others keep winning the
+// cas race (see WaitFree for the helping construction).
+//
+// A LockFree instance is one process's handle on the emulated object;
+// it is not safe for concurrent use by multiple goroutines (the model's
+// well-formedness assumption: one pending invocation per process).
+type LockFree struct {
+	ts    peats.TupleSpace
+	obj   Object
+	pos   int64
+	steps int64 // cas attempts by the last Invoke, for benches
+}
+
+// NewLockFree returns a process-local replica of an emulated object of
+// the given type over ts, which should be protected by LockFreePolicy.
+func NewLockFree(ts peats.TupleSpace, typ Type) *LockFree {
+	return &LockFree{ts: ts, obj: typ.New()}
+}
+
+// Steps returns the number of cas attempts made by the last Invoke.
+func (u *LockFree) Steps() int64 { return u.steps }
+
+// Invoke executes inv on the emulated object and returns its reply.
+// All correct processes observe the same total order of invocations
+// (Lemma 1 + Theorem 6: the construction is linearizable).
+func (u *LockFree) Invoke(ctx context.Context, inv []byte) ([]byte, error) {
+	u.steps = 0
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("lock-free universal: %w", err)
+		}
+		u.pos++
+		u.steps++
+		inserted, matched, err := u.ts.Cas(ctx,
+			tuple.T(tuple.Str(tagSeq), tuple.Int(u.pos), tuple.Formal("einv")),
+			tuple.T(tuple.Str(tagSeq), tuple.Int(u.pos), tuple.Bytes(inv)))
+		if err != nil {
+			return nil, fmt.Errorf("lock-free universal: thread: %w", err)
+		}
+		if inserted {
+			return u.obj.Apply(inv), nil
+		}
+		einv, ok := matched.Field(2).BytesValue()
+		if !ok {
+			return nil, fmt.Errorf("lock-free universal: malformed SEQ tuple %v", matched)
+		}
+		u.obj.Apply(einv)
+	}
+}
+
+// Sync replays all operations threaded since the last Invoke or Sync
+// without threading anything, bringing the local replica of the state
+// up to date. Read-only observers use it to refresh their view without
+// consuming a list position. The Fig. 7 policy does not admit rdp, so
+// Sync works over a space protected by the Fig. 8 (wait-free) policy or
+// any policy that allows reads; over a Fig. 7 space use Invoke, whose
+// failed cas calls replay implicitly.
+func (u *LockFree) Sync(ctx context.Context) error {
+	for {
+		t, ok, err := u.ts.Rdp(ctx, tuple.T(tuple.Str(tagSeq), tuple.Int(u.pos+1), tuple.Formal("inv")))
+		if err != nil {
+			return fmt.Errorf("lock-free universal: sync: %w", err)
+		}
+		if !ok {
+			return nil
+		}
+		u.pos++
+		if inv, isBytes := t.Field(2).BytesValue(); isBytes {
+			u.obj.Apply(inv)
+		}
+	}
+}
+
+// LockFreePolicy is the access policy of Fig. 7: only cas is allowed,
+// the template must be <SEQ, pos, x> with formal x, the entry must be
+// <SEQ, pos, inv> for the same pos, and position pos may only be filled
+// when position pos−1 already is (pos = 1 opens the list). These rules
+// enforce the Lemma 1 invariants: at most one tuple per position and no
+// gaps, i.e. a consistent totally ordered operation list even against
+// Byzantine processes.
+func LockFreePolicy() policy.Policy {
+	return policy.New(policy.Rule{
+		Name: "Rcas",
+		Op:   policy.OpCas,
+		When: policy.And(
+			policy.TemplateArity(3),
+			policy.TemplateField(0, tuple.Str(tagSeq)),
+			policy.TemplateFieldFormal(2),
+			policy.EntryArity(3),
+			policy.EntryField(0, tuple.Str(tagSeq)),
+			policy.Check(samePosAndContiguous),
+		),
+	})
+}
+
+// samePosAndContiguous checks pos(template) == pos(entry) ≥ 1 and the
+// contiguity condition pos = 1 ∨ ∃y: <SEQ, pos−1, y> ∈ TS.
+func samePosAndContiguous(inv policy.Invocation, st policy.StateView) bool {
+	tp, ok1 := inv.Template.Field(1).IntValue()
+	ep, ok2 := inv.Entry.Field(1).IntValue()
+	if !ok1 || !ok2 || tp != ep || ep < 1 {
+		return false
+	}
+	if _, isBytes := inv.Entry.Field(2).BytesValue(); !isBytes {
+		return false
+	}
+	if ep == 1 {
+		return true
+	}
+	_, prev := st.Rdp(tuple.T(tuple.Str(tagSeq), tuple.Int(ep-1), tuple.Any()))
+	return prev
+}

@@ -1,0 +1,266 @@
+package universal
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"peats/internal/peats"
+	"peats/internal/policy"
+	"peats/internal/tuple"
+)
+
+func TestLockFreeSingleProcessCounter(t *testing.T) {
+	s := peats.New(LockFreePolicy())
+	u := NewLockFree(s.Handle("p1"), CounterType{})
+	ctx := context.Background()
+	for i := int64(0); i < 10; i++ {
+		r, err := u.Invoke(ctx, CounterInc())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v, _ := ReplyValue(r); v != i {
+			t.Errorf("inc #%d = %d", i, v)
+		}
+	}
+}
+
+func TestLockFreeTotalOrderAcrossProcesses(t *testing.T) {
+	// N processes each fetch-and-increment the shared counter K times.
+	// Linearizability of the emulation means the N*K replies are exactly
+	// the values 0..N*K-1, each exactly once.
+	const procs, perProc = 8, 10
+	s := peats.New(LockFreePolicy())
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	var mu sync.Mutex
+	seen := make(map[int64]int)
+	var wg sync.WaitGroup
+	for p := 0; p < procs; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			id := policy.ProcessID(fmt.Sprintf("p%d", p))
+			u := NewLockFree(s.Handle(id), CounterType{})
+			for i := 0; i < perProc; i++ {
+				r, err := u.Invoke(ctx, CounterInc())
+				if err != nil {
+					t.Errorf("p%d: %v", p, err)
+					return
+				}
+				v, ok := ReplyValue(r)
+				if !ok {
+					t.Errorf("p%d: bad reply", p)
+					return
+				}
+				mu.Lock()
+				seen[v]++
+				mu.Unlock()
+			}
+		}(p)
+	}
+	wg.Wait()
+
+	if len(seen) != procs*perProc {
+		t.Fatalf("saw %d distinct counter values, want %d", len(seen), procs*perProc)
+	}
+	for v := int64(0); v < procs*perProc; v++ {
+		if seen[v] != 1 {
+			t.Errorf("value %d returned %d times, want exactly once", v, seen[v])
+		}
+	}
+}
+
+func TestLockFreeReplicasConverge(t *testing.T) {
+	// Two processes interleave register writes; afterwards both replicas
+	// report the same final value (they replayed the same list).
+	s := peats.New(LockFreePolicy())
+	ctx := context.Background()
+	a := NewLockFree(s.Handle("a"), RegisterType{})
+	b := NewLockFree(s.Handle("b"), RegisterType{})
+
+	if _, err := a.Invoke(ctx, RegWrite(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Invoke(ctx, RegWrite(2)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Invoke(ctx, RegWrite(3)); err != nil {
+		t.Fatal(err)
+	}
+
+	ra, err := a.Invoke(ctx, RegRead())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := b.Invoke(ctx, RegRead())
+	if err != nil {
+		t.Fatal(err)
+	}
+	va, _ := ReplyValue(ra)
+	vb, _ := ReplyValue(rb)
+	// b's read is threaded after a's read; both reads see write 3 (the
+	// last write) since reads do not modify the register.
+	if va != 3 || vb != 3 {
+		t.Errorf("replicas diverged: a=%d b=%d, want 3", va, vb)
+	}
+}
+
+func TestLockFreeListInvariants(t *testing.T) {
+	// Lemma 1: at most one tuple per position, and positions contiguous
+	// from 1.
+	const procs, perProc = 6, 5
+	s := peats.New(LockFreePolicy())
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	for p := 0; p < procs; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			u := NewLockFree(s.Handle(policy.ProcessID(fmt.Sprintf("p%d", p))), QueueType{})
+			for i := 0; i < perProc; i++ {
+				if _, err := u.Invoke(ctx, Enqueue(int64(p*100+i))); err != nil {
+					t.Errorf("p%d: %v", p, err)
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+
+	total := s.Inner().Len()
+	if total != procs*perProc {
+		t.Fatalf("%d SEQ tuples, want %d", total, procs*perProc)
+	}
+	for pos := 1; pos <= total; pos++ {
+		n := s.Inner().CountMatching(tuple.T(tuple.Str("SEQ"), tuple.Int(int64(pos)), tuple.Any()))
+		if n != 1 {
+			t.Errorf("position %d holds %d tuples, want exactly 1", pos, n)
+		}
+	}
+}
+
+func TestLockFreePolicyRejectsByzantineThreading(t *testing.T) {
+	s := peats.New(LockFreePolicy())
+	evil := s.Handle("byz")
+	ctx := context.Background()
+
+	// Gap: threading position 5 with an empty list.
+	_, _, err := evil.Cas(ctx,
+		tuple.T(tuple.Str("SEQ"), tuple.Int(5), tuple.Formal("x")),
+		tuple.T(tuple.Str("SEQ"), tuple.Int(5), tuple.Bytes([]byte{1})))
+	if !errors.Is(err, peats.ErrDenied) {
+		t.Errorf("gap cas err = %v, want denial", err)
+	}
+	// Mismatched template/entry positions.
+	_, _, err = evil.Cas(ctx,
+		tuple.T(tuple.Str("SEQ"), tuple.Int(1), tuple.Formal("x")),
+		tuple.T(tuple.Str("SEQ"), tuple.Int(2), tuple.Bytes([]byte{1})))
+	if !errors.Is(err, peats.ErrDenied) {
+		t.Errorf("mismatched pos err = %v, want denial", err)
+	}
+	// Non-formal template (could overwrite-by-duplicate).
+	_, _, err = evil.Cas(ctx,
+		tuple.T(tuple.Str("SEQ"), tuple.Int(1), tuple.Bytes([]byte{2})),
+		tuple.T(tuple.Str("SEQ"), tuple.Int(1), tuple.Bytes([]byte{1})))
+	if !errors.Is(err, peats.ErrDenied) {
+		t.Errorf("non-formal cas err = %v, want denial", err)
+	}
+	// Position 0 or negative.
+	_, _, err = evil.Cas(ctx,
+		tuple.T(tuple.Str("SEQ"), tuple.Int(0), tuple.Formal("x")),
+		tuple.T(tuple.Str("SEQ"), tuple.Int(0), tuple.Bytes([]byte{1})))
+	if !errors.Is(err, peats.ErrDenied) {
+		t.Errorf("pos 0 err = %v, want denial", err)
+	}
+	// out/in/inp/rd/rdp are not in the Fig. 7 policy at all.
+	if err := evil.Out(ctx, tuple.T(tuple.Str("SEQ"), tuple.Int(1), tuple.Bytes([]byte{1}))); !errors.Is(err, peats.ErrDenied) {
+		t.Errorf("out err = %v, want denial", err)
+	}
+	if _, _, err := evil.Inp(ctx, tuple.T(tuple.Str("SEQ"), tuple.Any(), tuple.Any())); !errors.Is(err, peats.ErrDenied) {
+		t.Errorf("inp err = %v, want denial", err)
+	}
+	// A Byzantine process CAN thread garbage invocations in order — the
+	// policy cannot read minds — but correct replicas skip/err them
+	// deterministically.
+	ins, _, err := evil.Cas(ctx,
+		tuple.T(tuple.Str("SEQ"), tuple.Int(1), tuple.Formal("x")),
+		tuple.T(tuple.Str("SEQ"), tuple.Int(1), tuple.Bytes([]byte{0xde, 0xad})))
+	if err != nil || !ins {
+		t.Fatalf("in-order garbage cas: ins=%v err=%v", ins, err)
+	}
+	u := NewLockFree(s.Handle("good"), CounterType{})
+	r, err := u.Invoke(ctx, CounterInc())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := ReplyValue(r); v != 0 {
+		t.Errorf("counter affected by garbage: %d", v)
+	}
+}
+
+func TestLockFreeUniform(t *testing.T) {
+	// Uniformity: late joiners with no knowledge of the others catch up
+	// purely from the list.
+	s := peats.New(LockFreePolicy())
+	ctx := context.Background()
+	a := NewLockFree(s.Handle("a"), QueueType{})
+	for i := int64(1); i <= 4; i++ {
+		if _, err := a.Invoke(ctx, Enqueue(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	late := NewLockFree(s.Handle("late-joiner"), QueueType{})
+	r, err := late.Invoke(ctx, Dequeue())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := ReplyValue(r); v != 1 {
+		t.Errorf("late joiner dequeued %d, want 1", v)
+	}
+}
+
+func TestLockFreeContextCancellation(t *testing.T) {
+	s := peats.New(LockFreePolicy())
+	u := NewLockFree(s.Handle("p"), CounterType{})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := u.Invoke(ctx, CounterInc()); !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want Canceled", err)
+	}
+}
+
+func TestLockFreeSync(t *testing.T) {
+	// Sync needs a policy admitting rdp; the wait-free policy extends
+	// the lock-free rules with reads, so the list semantics are the same.
+	ids := wfProcs(2)
+	s := peats.New(WaitFreePolicy(ids))
+	ctx := context.Background()
+
+	writer := NewLockFree(s.Handle(ids[0]), CounterType{})
+	for i := 0; i < 5; i++ {
+		if _, err := writer.Invoke(ctx, CounterInc()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	observer := NewLockFree(s.Handle(ids[1]), CounterType{})
+	if err := observer.Sync(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// The observer's next invocation sees the synced state: the counter
+	// is at 5, so its fetch-and-increment returns 5.
+	r, err := observer.Invoke(ctx, CounterInc())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := ReplyValue(r); v != 5 {
+		t.Errorf("post-sync inc returned %d, want 5", v)
+	}
+	// Sync on an up-to-date replica is a no-op.
+	if err := observer.Sync(ctx); err != nil {
+		t.Fatal(err)
+	}
+}

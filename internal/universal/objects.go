@@ -1,0 +1,283 @@
+// Package universal implements the paper's §6: PEATS-based universal
+// constructions that emulate arbitrary deterministic shared objects for
+// Byzantine processes — the uniform lock-free construction (Alg. 3) and
+// the wait-free construction with helping (Alg. 4), with the access
+// policies of Figs. 7 and 8.
+//
+// An emulated type T is given by its initial state and a deterministic
+// transition function applyT(state, invocation) → (state, reply)
+// (paper §6). Here a Type produces fresh Objects; invocations and
+// replies are canonical byte strings so every replica of the state
+// evolves identically.
+package universal
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Type describes an emulable deterministic object type T =
+// ⟨STATE, S0, INVOKE, REPLY, applyT⟩. New returns an object in the
+// initial state S0; the Object's Apply method is applyT.
+type Type interface {
+	// Name identifies the type (diagnostics only).
+	Name() string
+	// New returns a fresh object in the initial state.
+	New() Object
+}
+
+// Object is one copy of the emulated object's state. Apply executes an
+// invocation, mutating the state and returning the reply. Apply must be
+// deterministic: equal invocation sequences yield equal states and
+// replies. Unknown invocations must return an error reply (not panic),
+// because Byzantine processes can thread arbitrary bytes.
+type Object interface {
+	Apply(inv []byte) (reply []byte)
+}
+
+// Invocation and reply encodings are single-byte opcodes followed by
+// optional operands; replies reuse the same helpers.
+const (
+	opRead  = 0x01
+	opWrite = 0x02
+	opInc   = 0x03
+	opEnq   = 0x04
+	opDeq   = 0x05
+	opSet   = 0x06
+	opCSwap = 0x07
+
+	replyOK    = 0x20
+	replyValue = 0x21
+	replyEmpty = 0x22
+	replyFail  = 0x23
+	replyErr   = 0x2f
+)
+
+func encInt(op byte, v int64) []byte {
+	return binary.AppendVarint([]byte{op}, v)
+}
+
+func decInt(b []byte) (int64, bool) {
+	if len(b) < 1 {
+		return 0, false
+	}
+	v, n := binary.Varint(b[1:])
+	return v, n > 0 && 1+n == len(b)
+}
+
+func errReply(format string, args ...any) []byte {
+	return append([]byte{replyErr}, fmt.Sprintf(format, args...)...)
+}
+
+// IsErrReply reports whether a reply encodes an invalid-invocation error.
+func IsErrReply(b []byte) bool { return len(b) > 0 && b[0] == replyErr }
+
+// ReplyValue extracts the integer carried by a value reply.
+func ReplyValue(b []byte) (int64, bool) {
+	if len(b) < 1 || b[0] != replyValue {
+		return 0, false
+	}
+	v, n := binary.Varint(b[1:])
+	return v, n > 0
+}
+
+// ReplyOK reports whether the reply is the plain acknowledgement.
+func ReplyOK(b []byte) bool { return len(b) == 1 && b[0] == replyOK }
+
+// ReplyBool decodes a success/failure reply (used by sticky bit set and
+// compare-and-swap).
+func ReplyBool(b []byte) (bool, bool) {
+	if len(b) != 1 {
+		return false, false
+	}
+	switch b[0] {
+	case replyOK:
+		return true, true
+	case replyFail:
+		return false, true
+	}
+	return false, false
+}
+
+// ReplyEmpty reports whether the reply is the queue's "empty" answer.
+func ReplyEmpty(b []byte) bool { return len(b) == 1 && b[0] == replyEmpty }
+
+// ---- Register ----
+
+// RegisterType is a read/write integer register.
+type RegisterType struct{}
+
+// Name implements Type.
+func (RegisterType) Name() string { return "register" }
+
+// New implements Type.
+func (RegisterType) New() Object { return &register{} }
+
+type register struct{ v int64 }
+
+func (r *register) Apply(inv []byte) []byte {
+	if len(inv) == 1 && inv[0] == opRead {
+		return encInt(replyValue, r.v)
+	}
+	if v, ok := decInt(inv); ok && inv[0] == opWrite {
+		r.v = v
+		return []byte{replyOK}
+	}
+	return errReply("register: bad invocation % x", inv)
+}
+
+// RegRead encodes a register read invocation.
+func RegRead() []byte { return []byte{opRead} }
+
+// RegWrite encodes a register write invocation.
+func RegWrite(v int64) []byte { return encInt(opWrite, v) }
+
+// ---- Sticky bit ----
+
+// StickyBitType is Plotkin's sticky bit: a three-state object (⊥, 0, 1)
+// whose first set wins and sticks forever — the universal object of the
+// ACL model this paper improves on.
+type StickyBitType struct{}
+
+// Name implements Type.
+func (StickyBitType) Name() string { return "stickybit" }
+
+// New implements Type.
+func (StickyBitType) New() Object { return &stickyBit{val: -1} }
+
+type stickyBit struct{ val int64 } // -1 = unset
+
+func (s *stickyBit) Apply(inv []byte) []byte {
+	if len(inv) == 1 && inv[0] == opRead {
+		return encInt(replyValue, s.val)
+	}
+	if v, ok := decInt(inv); ok && inv[0] == opSet && (v == 0 || v == 1) {
+		if s.val == -1 {
+			s.val = v
+			return []byte{replyOK}
+		}
+		if s.val == v {
+			return []byte{replyOK}
+		}
+		return []byte{replyFail}
+	}
+	return errReply("stickybit: bad invocation % x", inv)
+}
+
+// StickySet encodes a sticky-bit set invocation (v must be 0 or 1).
+func StickySet(v int64) []byte { return encInt(opSet, v) }
+
+// StickyRead encodes a sticky-bit read invocation (-1 means unset).
+func StickyRead() []byte { return []byte{opRead} }
+
+// ---- Counter ----
+
+// CounterType is a fetch-and-increment counter.
+type CounterType struct{}
+
+// Name implements Type.
+func (CounterType) Name() string { return "counter" }
+
+// New implements Type.
+func (CounterType) New() Object { return &counter{} }
+
+type counter struct{ v int64 }
+
+func (c *counter) Apply(inv []byte) []byte {
+	switch {
+	case len(inv) == 1 && inv[0] == opInc:
+		old := c.v
+		c.v++
+		return encInt(replyValue, old)
+	case len(inv) == 1 && inv[0] == opRead:
+		return encInt(replyValue, c.v)
+	}
+	return errReply("counter: bad invocation % x", inv)
+}
+
+// CounterInc encodes fetch-and-increment (reply carries the old value).
+func CounterInc() []byte { return []byte{opInc} }
+
+// CounterRead encodes a counter read.
+func CounterRead() []byte { return []byte{opRead} }
+
+// ---- FIFO queue ----
+
+// QueueType is a FIFO queue of integers.
+type QueueType struct{}
+
+// Name implements Type.
+func (QueueType) Name() string { return "queue" }
+
+// New implements Type.
+func (QueueType) New() Object { return &queue{} }
+
+type queue struct{ items []int64 }
+
+func (q *queue) Apply(inv []byte) []byte {
+	if v, ok := decInt(inv); ok && inv[0] == opEnq {
+		q.items = append(q.items, v)
+		return []byte{replyOK}
+	}
+	if len(inv) == 1 && inv[0] == opDeq {
+		if len(q.items) == 0 {
+			return []byte{replyEmpty}
+		}
+		v := q.items[0]
+		q.items = q.items[1:]
+		return encInt(replyValue, v)
+	}
+	return errReply("queue: bad invocation % x", inv)
+}
+
+// Enqueue encodes a queue enqueue invocation.
+func Enqueue(v int64) []byte { return encInt(opEnq, v) }
+
+// Dequeue encodes a queue dequeue invocation.
+func Dequeue() []byte { return []byte{opDeq} }
+
+// ---- Compare-and-swap register ----
+
+// CASRegisterType is a compare-and-swap register: cswap(old, new) sets
+// the value to new iff it currently equals old (the classical register
+// compare&swap, dual of the tuple-space cas — see paper footnote 2).
+type CASRegisterType struct{}
+
+// Name implements Type.
+func (CASRegisterType) Name() string { return "casregister" }
+
+// New implements Type.
+func (CASRegisterType) New() Object { return &casRegister{} }
+
+type casRegister struct{ v int64 }
+
+func (c *casRegister) Apply(inv []byte) []byte {
+	if len(inv) == 1 && inv[0] == opRead {
+		return encInt(replyValue, c.v)
+	}
+	if len(inv) > 1 && inv[0] == opCSwap {
+		old, n := binary.Varint(inv[1:])
+		if n <= 0 {
+			return errReply("casregister: bad invocation")
+		}
+		newV, m := binary.Varint(inv[1+n:])
+		if m <= 0 || 1+n+m != len(inv) {
+			return errReply("casregister: bad invocation")
+		}
+		if c.v != old {
+			return []byte{replyFail}
+		}
+		c.v = newV
+		return []byte{replyOK}
+	}
+	return errReply("casregister: bad invocation % x", inv)
+}
+
+// CSwap encodes a compare-and-swap invocation.
+func CSwap(old, newV int64) []byte {
+	b := binary.AppendVarint([]byte{opCSwap}, old)
+	return binary.AppendVarint(b, newV)
+}
+
+// CASRead encodes a compare-and-swap register read.
+func CASRead() []byte { return []byte{opRead} }

@@ -1,0 +1,146 @@
+package universal
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestRegister(t *testing.T) {
+	r := RegisterType{}.New()
+	if v, ok := ReplyValue(r.Apply(RegRead())); !ok || v != 0 {
+		t.Errorf("initial read = %d %v", v, ok)
+	}
+	if !ReplyOK(r.Apply(RegWrite(42))) {
+		t.Error("write not acknowledged")
+	}
+	if v, _ := ReplyValue(r.Apply(RegRead())); v != 42 {
+		t.Errorf("read after write = %d", v)
+	}
+	if !IsErrReply(r.Apply([]byte{0xff})) {
+		t.Error("garbage invocation not rejected")
+	}
+	if !IsErrReply(r.Apply(nil)) {
+		t.Error("empty invocation not rejected")
+	}
+}
+
+func TestStickyBit(t *testing.T) {
+	s := StickyBitType{}.New()
+	if v, _ := ReplyValue(s.Apply(StickyRead())); v != -1 {
+		t.Errorf("initial sticky read = %d, want -1 (unset)", v)
+	}
+	if ok, valid := ReplyBool(s.Apply(StickySet(1))); !valid || !ok {
+		t.Error("first set failed")
+	}
+	// Setting the same value again succeeds; the opposite fails.
+	if ok, _ := ReplyBool(s.Apply(StickySet(1))); !ok {
+		t.Error("idempotent set failed")
+	}
+	if ok, _ := ReplyBool(s.Apply(StickySet(0))); ok {
+		t.Error("conflicting set succeeded — bit is not sticky")
+	}
+	if v, _ := ReplyValue(s.Apply(StickyRead())); v != 1 {
+		t.Errorf("sticky value = %d, want 1", v)
+	}
+	if !IsErrReply(s.Apply(StickySet(7))) {
+		t.Error("non-binary set not rejected")
+	}
+}
+
+func TestCounter(t *testing.T) {
+	c := CounterType{}.New()
+	for i := int64(0); i < 5; i++ {
+		if v, ok := ReplyValue(c.Apply(CounterInc())); !ok || v != i {
+			t.Errorf("inc #%d returned %d", i, v)
+		}
+	}
+	if v, _ := ReplyValue(c.Apply(CounterRead())); v != 5 {
+		t.Errorf("read = %d, want 5", v)
+	}
+	if !IsErrReply(c.Apply([]byte{opEnq, 1})) {
+		t.Error("foreign invocation not rejected")
+	}
+}
+
+func TestQueue(t *testing.T) {
+	q := QueueType{}.New()
+	if !ReplyEmpty(q.Apply(Dequeue())) {
+		t.Error("dequeue on empty queue should reply empty")
+	}
+	for i := int64(1); i <= 3; i++ {
+		if !ReplyOK(q.Apply(Enqueue(i * 10))) {
+			t.Errorf("enqueue %d failed", i)
+		}
+	}
+	for i := int64(1); i <= 3; i++ {
+		v, ok := ReplyValue(q.Apply(Dequeue()))
+		if !ok || v != i*10 {
+			t.Errorf("dequeue #%d = %d, want %d (FIFO)", i, v, i*10)
+		}
+	}
+	if !ReplyEmpty(q.Apply(Dequeue())) {
+		t.Error("drained queue should reply empty")
+	}
+}
+
+func TestCASRegister(t *testing.T) {
+	c := CASRegisterType{}.New()
+	if ok, _ := ReplyBool(c.Apply(CSwap(0, 5))); !ok {
+		t.Error("cswap from initial value failed")
+	}
+	if ok, _ := ReplyBool(c.Apply(CSwap(0, 9))); ok {
+		t.Error("cswap with stale expected value succeeded")
+	}
+	if v, _ := ReplyValue(c.Apply(CASRead())); v != 5 {
+		t.Errorf("value = %d, want 5", v)
+	}
+	if !IsErrReply(c.Apply([]byte{opCSwap})) {
+		t.Error("truncated cswap not rejected")
+	}
+}
+
+func TestDeterminismProperty(t *testing.T) {
+	// Equal invocation sequences produce equal replies on fresh objects —
+	// the applyT determinism the constructions depend on.
+	f := func(writes []int64) bool {
+		a, b := RegisterType{}.New(), RegisterType{}.New()
+		for _, w := range writes {
+			ra := a.Apply(RegWrite(w))
+			rb := b.Apply(RegWrite(w))
+			if !bytes.Equal(ra, rb) {
+				return false
+			}
+		}
+		return bytes.Equal(a.Apply(RegRead()), b.Apply(RegRead()))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGarbageInvocationsNeverPanic(t *testing.T) {
+	types := []Type{RegisterType{}, StickyBitType{}, CounterType{}, QueueType{}, CASRegisterType{}}
+	f := func(raw []byte) bool {
+		for _, typ := range types {
+			obj := typ.New()
+			_ = obj.Apply(raw) // must not panic
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTypeNames(t *testing.T) {
+	names := map[string]Type{
+		"register": RegisterType{}, "stickybit": StickyBitType{},
+		"counter": CounterType{}, "queue": QueueType{}, "casregister": CASRegisterType{},
+	}
+	for want, typ := range names {
+		if typ.Name() != want {
+			t.Errorf("Name() = %q, want %q", typ.Name(), want)
+		}
+	}
+}

@@ -1,0 +1,266 @@
+package universal
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"peats/internal/peats"
+	"peats/internal/policy"
+	"peats/internal/tuple"
+)
+
+// WaitFree is the paper's Algorithm 4: a wait-free universal
+// construction. It extends the lock-free list with a helping mechanism:
+// a process announces its invocation in an <ANN, i, inv> tuple, and each
+// list position pos has a preferred process (pos mod n). The access
+// policy (Fig. 8) forbids threading anything at a position whose
+// preferred process has an announced-but-unthreaded invocation — so a
+// correct process's invocation is threaded within at most n positions
+// even against n−1 Byzantine contenders (Lemmas 4-5).
+//
+// Unlike the lock-free construction, this one is not uniform: processes
+// must know each other's identities to help.
+//
+// A WaitFree instance is one process's handle; it is not safe for
+// concurrent use by multiple goroutines.
+type WaitFree struct {
+	ts      peats.TupleSpace
+	obj     Object
+	procs   []policy.ProcessID
+	index   int64
+	counter int64
+	pos     int64
+	steps   int64
+}
+
+// NewWaitFree returns process self's replica of an emulated object of
+// the given type over ts, which should be protected by WaitFreePolicy
+// with the same process list. It returns an error if self is not in
+// procs.
+func NewWaitFree(ts peats.TupleSpace, typ Type, self policy.ProcessID, procs []policy.ProcessID) (*WaitFree, error) {
+	idx := -1
+	for i, p := range procs {
+		if p == self {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return nil, fmt.Errorf("universal: process %q not in participant set", self)
+	}
+	cp := make([]policy.ProcessID, len(procs))
+	copy(cp, procs)
+	return &WaitFree{ts: ts, obj: typ.New(), procs: cp, index: int64(idx)}, nil
+}
+
+// Steps returns the number of list positions examined by the last Invoke.
+func (u *WaitFree) Steps() int64 { return u.steps }
+
+// wrapUnique makes an invocation globally unique by prefixing the
+// invoker index and a per-process sequence number (the paper's
+// "timestamp plus invoker identification").
+func wrapUnique(index, counter int64, inv []byte) []byte {
+	b := binary.AppendUvarint(nil, uint64(index))
+	b = binary.AppendUvarint(b, uint64(counter))
+	return append(b, inv...)
+}
+
+// unwrapUnique strips the uniqueness prefix, returning the payload.
+func unwrapUnique(b []byte) ([]byte, bool) {
+	_, n := binary.Uvarint(b)
+	if n <= 0 {
+		return nil, false
+	}
+	_, m := binary.Uvarint(b[n:])
+	if m <= 0 {
+		return nil, false
+	}
+	return b[n+m:], true
+}
+
+// Invoke executes inv on the emulated object and returns its reply.
+// It is wait-free: it completes in a bounded number of its own steps
+// regardless of the behaviour of other processes.
+func (u *WaitFree) Invoke(ctx context.Context, rawInv []byte) ([]byte, error) {
+	u.counter++
+	inv := wrapUnique(u.index, u.counter, rawInv)
+	n := int64(len(u.procs))
+	u.steps = 0
+
+	// Line 4: announce.
+	if err := u.ts.Out(ctx, tuple.T(tuple.Str(tagAnn), tuple.Int(u.index), tuple.Bytes(inv))); err != nil {
+		return nil, fmt.Errorf("wait-free universal: announce: %w", err)
+	}
+
+	var reply []byte
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("wait-free universal: %w", err)
+		}
+		u.pos++
+		u.steps++
+		preferred := u.pos % n
+
+		var einv []byte
+		seqT, occupied, err := u.ts.Rdp(ctx, tuple.T(tuple.Str(tagSeq), tuple.Int(u.pos), tuple.Formal("einv")))
+		if err != nil {
+			return nil, fmt.Errorf("wait-free universal: read position: %w", err)
+		}
+		if !occupied {
+			// Lines 9-15: determine the invocation to thread, helping
+			// the preferred process if it has an unthreaded announcement.
+			tinv := inv
+			if u.index != preferred {
+				annT, hasAnn, err := u.ts.Rdp(ctx, tuple.T(tuple.Str(tagAnn), tuple.Int(preferred), tuple.Formal("tinv")))
+				if err != nil {
+					return nil, fmt.Errorf("wait-free universal: read announcement: %w", err)
+				}
+				if hasAnn {
+					pinv, _ := annT.Field(2).BytesValue()
+					_, threaded, err := u.ts.Rdp(ctx, tuple.T(tuple.Str(tagSeq), tuple.Any(), tuple.Bytes(pinv)))
+					if err != nil {
+						return nil, fmt.Errorf("wait-free universal: check threaded: %w", err)
+					}
+					if !threaded {
+						tinv = pinv // help the preferred process
+					}
+				}
+			}
+			// Lines 16-18: thread tinv.
+			inserted, matched, err := u.ts.Cas(ctx,
+				tuple.T(tuple.Str(tagSeq), tuple.Int(u.pos), tuple.Formal("einv")),
+				tuple.T(tuple.Str(tagSeq), tuple.Int(u.pos), tuple.Bytes(tinv)))
+			switch {
+			case errors.Is(err, peats.ErrDenied):
+				// The preferred process announced between our reads and
+				// the cas; retry the same position with fresh reads.
+				u.pos--
+				u.steps--
+				continue
+			case err != nil:
+				return nil, fmt.Errorf("wait-free universal: thread: %w", err)
+			case inserted:
+				einv = tinv
+			default:
+				einv, _ = matched.Field(2).BytesValue()
+			}
+		} else {
+			einv, _ = seqT.Field(2).BytesValue()
+		}
+
+		// Line 20: execute the threaded invocation on the local state.
+		r := u.applyThreaded(einv)
+		// Line 21: repeat until our own invocation has executed.
+		if bytes.Equal(einv, inv) {
+			reply = r
+			break
+		}
+	}
+
+	// Line 22: withdraw the announcement.
+	if _, _, err := u.ts.Inp(ctx, tuple.T(tuple.Str(tagAnn), tuple.Int(u.index), tuple.Bytes(inv))); err != nil {
+		return nil, fmt.Errorf("wait-free universal: withdraw announcement: %w", err)
+	}
+	return reply, nil
+}
+
+// applyThreaded applies one threaded invocation to the local state.
+// Invocations that do not carry a valid uniqueness prefix (only a
+// Byzantine process can thread those) are skipped deterministically, so
+// all correct processes still agree on the state.
+func (u *WaitFree) applyThreaded(einv []byte) []byte {
+	payload, ok := unwrapUnique(einv)
+	if !ok {
+		return errReply("universal: malformed threaded invocation")
+	}
+	return u.obj.Apply(payload)
+}
+
+// WaitFreePolicy is the access policy of Fig. 8 for n = len(procs)
+// processes. It extends the lock-free policy (Fig. 7) with:
+//
+//	Rrdp: any process may read;
+//	Rout: p_i may insert <ANN, i, inv> (only its own index, one
+//	      announcement at a time);
+//	Rinp: p_i may withdraw only its own announcements;
+//	Rcas: the Fig. 7 list rules, plus the helping constraint — the cas
+//	      may execute only if (1) the position's preferred process has
+//	      no announcement, or (2) its announced invocation is already
+//	      threaded, or (3) the entry being threaded is that announced
+//	      invocation.
+func WaitFreePolicy(procs []policy.ProcessID) policy.Policy {
+	n := int64(len(procs))
+	indexOf := make(map[policy.ProcessID]int64, len(procs))
+	for i, p := range procs {
+		indexOf[p] = int64(i)
+	}
+
+	rout := policy.And(
+		policy.EntryArity(3),
+		policy.EntryField(0, tuple.Str(tagAnn)),
+		policy.Check(func(inv policy.Invocation, st policy.StateView) bool {
+			idx, ok := indexOf[inv.Invoker]
+			if !ok {
+				return false
+			}
+			i, isInt := inv.Entry.Field(1).IntValue()
+			if !isInt || i != idx {
+				return false
+			}
+			if _, isBytes := inv.Entry.Field(2).BytesValue(); !isBytes {
+				return false
+			}
+			// One announcement at a time (well-formedness).
+			_, pending := st.Rdp(tuple.T(tuple.Str(tagAnn), tuple.Int(idx), tuple.Any()))
+			return !pending
+		}),
+	)
+
+	rinp := policy.And(
+		policy.TemplateArity(3),
+		policy.TemplateField(0, tuple.Str(tagAnn)),
+		policy.Check(func(inv policy.Invocation, _ policy.StateView) bool {
+			idx, ok := indexOf[inv.Invoker]
+			if !ok {
+				return false
+			}
+			i, isInt := inv.Template.Field(1).IntValue()
+			return isInt && i == idx
+		}),
+	)
+
+	helping := policy.Check(func(inv policy.Invocation, st policy.StateView) bool {
+		pos, _ := inv.Entry.Field(1).IntValue()
+		preferred := pos % n
+		annT, hasAnn := st.Rdp(tuple.T(tuple.Str(tagAnn), tuple.Int(preferred), tuple.Formal("y")))
+		if !hasAnn {
+			return true // condition 1: no announcement
+		}
+		pinv := annT.Field(2)
+		if _, threaded := st.Rdp(tuple.T(tuple.Str(tagSeq), tuple.Any(), pinv)); threaded {
+			return true // condition 2: already threaded
+		}
+		return inv.Entry.Field(2).Equal(pinv) // condition 3: threading it now
+	})
+
+	rcas := policy.And(
+		policy.TemplateArity(3),
+		policy.TemplateField(0, tuple.Str(tagSeq)),
+		policy.TemplateFieldFormal(2),
+		policy.EntryArity(3),
+		policy.EntryField(0, tuple.Str(tagSeq)),
+		policy.Check(samePosAndContiguous),
+		helping,
+	)
+
+	return policy.New(
+		policy.Rule{Name: "Rrd", Op: policy.OpRd, When: policy.Always},
+		policy.Rule{Name: "Rrdp", Op: policy.OpRdp, When: policy.Always},
+		policy.Rule{Name: "Rout", Op: policy.OpOut, When: rout},
+		policy.Rule{Name: "Rinp", Op: policy.OpInp, When: rinp},
+		policy.Rule{Name: "Rcas", Op: policy.OpCas, When: rcas},
+	)
+}

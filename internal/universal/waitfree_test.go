@@ -1,0 +1,356 @@
+package universal
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"peats/internal/peats"
+	"peats/internal/policy"
+	"peats/internal/tuple"
+)
+
+func wfProcs(n int) []policy.ProcessID {
+	ps := make([]policy.ProcessID, n)
+	for i := range ps {
+		ps[i] = policy.ProcessID(fmt.Sprintf("p%d", i))
+	}
+	return ps
+}
+
+func TestWaitFreeSingleProcess(t *testing.T) {
+	procs := wfProcs(3)
+	s := peats.New(WaitFreePolicy(procs))
+	u, err := NewWaitFree(s.Handle("p0"), CounterType{}, "p0", procs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for i := int64(0); i < 5; i++ {
+		r, err := u.Invoke(ctx, CounterInc())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v, _ := ReplyValue(r); v != i {
+			t.Errorf("inc #%d = %d", i, v)
+		}
+	}
+	// Announcements are withdrawn after each invocation.
+	if n := s.Inner().CountMatching(tuple.T(tuple.Str("ANN"), tuple.Any(), tuple.Any())); n != 0 {
+		t.Errorf("%d dangling announcements", n)
+	}
+}
+
+func TestWaitFreeRejectsUnknownProcess(t *testing.T) {
+	procs := wfProcs(3)
+	s := peats.New(WaitFreePolicy(procs))
+	if _, err := NewWaitFree(s.Handle("stranger"), CounterType{}, "stranger", procs); err == nil {
+		t.Error("unknown process accepted")
+	}
+}
+
+func TestWaitFreeTotalOrder(t *testing.T) {
+	const procs, perProc = 6, 8
+	ids := wfProcs(procs)
+	s := peats.New(WaitFreePolicy(ids))
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	var mu sync.Mutex
+	seen := make(map[int64]int)
+	var wg sync.WaitGroup
+	for p := 0; p < procs; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			u, err := NewWaitFree(s.Handle(ids[p]), CounterType{}, ids[p], ids)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for i := 0; i < perProc; i++ {
+				r, err := u.Invoke(ctx, CounterInc())
+				if err != nil {
+					t.Errorf("p%d: %v", p, err)
+					return
+				}
+				v, ok := ReplyValue(r)
+				if !ok {
+					t.Errorf("p%d: bad reply", p)
+					return
+				}
+				mu.Lock()
+				seen[v]++
+				mu.Unlock()
+			}
+		}(p)
+	}
+	wg.Wait()
+
+	if len(seen) != procs*perProc {
+		t.Fatalf("saw %d distinct values, want %d", len(seen), procs*perProc)
+	}
+	for v := int64(0); v < procs*perProc; v++ {
+		if seen[v] != 1 {
+			t.Errorf("value %d seen %d times", v, seen[v])
+		}
+	}
+}
+
+func TestWaitFreeHelpingDefeatsStarvation(t *testing.T) {
+	// A slow process competes with a flood of fast invocations. With the
+	// helping mechanism its single invocation must complete while the
+	// fast processes keep threading — bounded steps (Lemma 5: at most a
+	// full rotation of positions).
+	ids := wfProcs(3)
+	s := peats.New(WaitFreePolicy(ids))
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	stop := make(chan struct{})
+	var floodWg sync.WaitGroup
+	floodWg.Add(1)
+	go func() {
+		defer floodWg.Done()
+		u, err := NewWaitFree(s.Handle(ids[1]), CounterType{}, ids[1], ids)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := u.Invoke(ctx, CounterInc()); err != nil {
+				return
+			}
+		}
+	}()
+
+	slow, err := NewWaitFree(s.Handle(ids[0]), CounterType{}, ids[0], ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := slow.Invoke(ctx, CounterInc()); err != nil {
+		t.Fatalf("slow process starved: %v", err)
+	}
+	close(stop)
+	floodWg.Wait()
+}
+
+func TestWaitFreePolicyEnforcesHelping(t *testing.T) {
+	ids := wfProcs(2) // positions alternate p1 (pos 1), p0 (pos 2), ...
+	s := peats.New(WaitFreePolicy(ids))
+	ctx := context.Background()
+	h0, h1 := s.Handle(ids[0]), s.Handle(ids[1])
+
+	// p1 announces an invocation.
+	ann := wrapUnique(1, 1, CounterInc())
+	if err := h1.Out(ctx, tuple.T(tuple.Str("ANN"), tuple.Int(1), tuple.Bytes(ann))); err != nil {
+		t.Fatal(err)
+	}
+	// Position 1's preferred process is 1 (1 mod 2). p0 may not thread
+	// its own invocation there while p1's is announced and unthreaded.
+	mine := wrapUnique(0, 1, CounterInc())
+	_, _, err := h0.Cas(ctx,
+		tuple.T(tuple.Str("SEQ"), tuple.Int(1), tuple.Formal("x")),
+		tuple.T(tuple.Str("SEQ"), tuple.Int(1), tuple.Bytes(mine)))
+	if !errors.Is(err, peats.ErrDenied) {
+		t.Fatalf("selfish cas err = %v, want denial (helping violated)", err)
+	}
+	// But p0 may thread p1's announced invocation (condition 3).
+	ins, _, err := h0.Cas(ctx,
+		tuple.T(tuple.Str("SEQ"), tuple.Int(1), tuple.Formal("x")),
+		tuple.T(tuple.Str("SEQ"), tuple.Int(1), tuple.Bytes(ann)))
+	if err != nil || !ins {
+		t.Fatalf("helping cas: ins=%v err=%v", ins, err)
+	}
+	// Once threaded, position 3 (preferred 1 again) is free for p0
+	// because p1's announcement is already threaded (condition 2) —
+	// first fill position 2.
+	ins, _, err = h0.Cas(ctx,
+		tuple.T(tuple.Str("SEQ"), tuple.Int(2), tuple.Formal("x")),
+		tuple.T(tuple.Str("SEQ"), tuple.Int(2), tuple.Bytes(mine)))
+	if err != nil || !ins {
+		t.Fatalf("pos 2 cas: ins=%v err=%v", ins, err)
+	}
+	mine2 := wrapUnique(0, 2, CounterInc())
+	ins, _, err = h0.Cas(ctx,
+		tuple.T(tuple.Str("SEQ"), tuple.Int(3), tuple.Formal("x")),
+		tuple.T(tuple.Str("SEQ"), tuple.Int(3), tuple.Bytes(mine2)))
+	if err != nil || !ins {
+		t.Fatalf("pos 3 cas after threading: ins=%v err=%v", ins, err)
+	}
+}
+
+func TestWaitFreePolicyAnnouncementRules(t *testing.T) {
+	ids := wfProcs(2)
+	s := peats.New(WaitFreePolicy(ids))
+	ctx := context.Background()
+	h0, h1 := s.Handle(ids[0]), s.Handle(ids[1])
+
+	// Cannot announce under another index.
+	err := h0.Out(ctx, tuple.T(tuple.Str("ANN"), tuple.Int(1), tuple.Bytes([]byte{1})))
+	if !errors.Is(err, peats.ErrDenied) {
+		t.Errorf("forged announcement err = %v, want denial", err)
+	}
+	// Valid announcement.
+	if err := h0.Out(ctx, tuple.T(tuple.Str("ANN"), tuple.Int(0), tuple.Bytes([]byte{1}))); err != nil {
+		t.Fatal(err)
+	}
+	// No second concurrent announcement.
+	err = h0.Out(ctx, tuple.T(tuple.Str("ANN"), tuple.Int(0), tuple.Bytes([]byte{2})))
+	if !errors.Is(err, peats.ErrDenied) {
+		t.Errorf("second announcement err = %v, want denial", err)
+	}
+	// Another process cannot withdraw it.
+	_, _, err = h1.Inp(ctx, tuple.T(tuple.Str("ANN"), tuple.Int(0), tuple.Any()))
+	if !errors.Is(err, peats.ErrDenied) {
+		t.Errorf("foreign inp err = %v, want denial", err)
+	}
+	// The owner can.
+	if _, ok, err := h0.Inp(ctx, tuple.T(tuple.Str("ANN"), tuple.Int(0), tuple.Any())); err != nil || !ok {
+		t.Errorf("own inp: ok=%v err=%v", ok, err)
+	}
+	// Outsiders can do nothing.
+	err = s.Handle("evil").Out(ctx, tuple.T(tuple.Str("ANN"), tuple.Int(0), tuple.Bytes([]byte{3})))
+	if !errors.Is(err, peats.ErrDenied) {
+		t.Errorf("outsider announcement err = %v, want denial", err)
+	}
+}
+
+func TestWaitFreeReplicasConvergeWithQueue(t *testing.T) {
+	ids := wfProcs(3)
+	s := peats.New(WaitFreePolicy(ids))
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	var wg sync.WaitGroup
+	for p := 0; p < 3; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			u, err := NewWaitFree(s.Handle(ids[p]), QueueType{}, ids[p], ids)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for i := 0; i < 5; i++ {
+				if _, err := u.Invoke(ctx, Enqueue(int64(p*10+i))); err != nil {
+					t.Errorf("p%d: %v", p, err)
+					return
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+
+	// A late consumer drains the queue: 15 elements, each process's
+	// values in its own program order (FIFO of a linearizable queue).
+	u, err := NewWaitFree(s.Handle(ids[0]), QueueType{}, ids[0], ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lastOf := map[int64]int64{0: -1, 1: -1, 2: -1}
+	for i := 0; i < 15; i++ {
+		r, err := u.Invoke(ctx, Dequeue())
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, ok := ReplyValue(r)
+		if !ok {
+			t.Fatalf("dequeue #%d: bad reply", i)
+		}
+		p, off := v/10, v%10
+		if off <= lastOf[p] {
+			t.Errorf("process %d values out of order: %d after %d", p, off, lastOf[p])
+		}
+		lastOf[p] = off
+	}
+	r, err := u.Invoke(ctx, Dequeue())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ReplyEmpty(r) {
+		t.Error("queue should be empty after 15 dequeues")
+	}
+}
+
+func TestWaitFreeStepsBounded(t *testing.T) {
+	// With no contention, an invocation threads in O(1) positions.
+	ids := wfProcs(4)
+	s := peats.New(WaitFreePolicy(ids))
+	u, err := NewWaitFree(s.Handle(ids[0]), CounterType{}, ids[0], ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := u.Invoke(context.Background(), CounterInc()); err != nil {
+		t.Fatal(err)
+	}
+	if u.Steps() > int64(len(ids)) {
+		t.Errorf("uncontended invoke took %d steps, want ≤ n", u.Steps())
+	}
+}
+
+func TestUniqueWrapRoundTrip(t *testing.T) {
+	payload := []byte{1, 2, 3}
+	w := wrapUnique(3, 17, payload)
+	got, ok := unwrapUnique(w)
+	if !ok || string(got) != string(payload) {
+		t.Errorf("unwrap = % x, %v", got, ok)
+	}
+	// Distinct (index, counter) give distinct wrappers.
+	if string(wrapUnique(1, 1, payload)) == string(wrapUnique(1, 2, payload)) {
+		t.Error("wrappers not unique across counters")
+	}
+	if string(wrapUnique(1, 1, payload)) == string(wrapUnique(2, 1, payload)) {
+		t.Error("wrappers not unique across processes")
+	}
+	if _, ok := unwrapUnique(nil); ok {
+		t.Error("unwrap of empty should fail")
+	}
+}
+
+func TestWaitFreeEmulatesStickyBit(t *testing.T) {
+	// The universal construction emulates the ACL model's own universal
+	// object: a sticky bit shared by Byzantine processes. First set
+	// wins across processes; conflicting sets fail.
+	ids := wfProcs(3)
+	s := peats.New(WaitFreePolicy(ids))
+	ctx := context.Background()
+
+	mk := func(i int) *WaitFree {
+		u, err := NewWaitFree(s.Handle(ids[i]), StickyBitType{}, ids[i], ids)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return u
+	}
+	a, b := mk(0), mk(1)
+	r, err := a.Invoke(ctx, StickySet(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := ReplyBool(r); !ok {
+		t.Fatal("first set failed")
+	}
+	r, err = b.Invoke(ctx, StickySet(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := ReplyBool(r); ok {
+		t.Error("conflicting set succeeded — emulated bit is not sticky")
+	}
+	r, err = b.Invoke(ctx, StickyRead())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := ReplyValue(r); v != 1 {
+		t.Errorf("emulated bit reads %d, want 1", v)
+	}
+}

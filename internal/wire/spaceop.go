@@ -1,0 +1,106 @@
+package wire
+
+import (
+	"fmt"
+
+	"peats/internal/policy"
+	"peats/internal/tuple"
+)
+
+// SpaceOp is one tuple-space operation shipped to the replicated PEATS.
+// Blocking rd/in are realised client-side by polling rdp/inp, so only
+// the non-blocking operations and cas travel on the wire (the DEPSPACE
+// realisation does the same).
+type SpaceOp struct {
+	Op       policy.Op
+	Template tuple.Tuple // rdp/inp/cas
+	Entry    tuple.Tuple // out/cas
+}
+
+// EncodeSpaceOp returns the canonical encoding of op.
+func EncodeSpaceOp(op SpaceOp) []byte {
+	w := NewWriter()
+	w.Byte(byte(op.Op))
+	w.Tuple(op.Template)
+	w.Tuple(op.Entry)
+	return w.Data()
+}
+
+// DecodeSpaceOp parses an encoded operation.
+func DecodeSpaceOp(b []byte) (SpaceOp, error) {
+	r := NewReader(b)
+	op := SpaceOp{Op: policy.Op(r.Byte())}
+	op.Template = r.Tuple()
+	op.Entry = r.Tuple()
+	r.ExpectEOF()
+	if err := r.Err(); err != nil {
+		return SpaceOp{}, fmt.Errorf("decode space op: %w", err)
+	}
+	switch op.Op {
+	case policy.OpOut, policy.OpRdp, policy.OpInp, policy.OpCas, policy.OpRdAll:
+	default:
+		return SpaceOp{}, fmt.Errorf("decode space op: unsupported op %v", op.Op)
+	}
+	return op, nil
+}
+
+// Status of an executed space operation.
+type Status uint8
+
+// Space-operation statuses.
+const (
+	StatusOK     Status = iota + 1 // executed
+	StatusDenied                   // rejected by the reference monitor
+	StatusError                    // malformed operation
+)
+
+// SpaceResult is the deterministic outcome of a SpaceOp, produced
+// identically by every correct replica.
+type SpaceResult struct {
+	Status   Status
+	Inserted bool          // cas: entry was inserted
+	Found    bool          // rdp/inp: a tuple matched
+	Tuple    tuple.Tuple   // matched tuple, when Found or failed cas
+	Tuples   []tuple.Tuple // rdAll: every matching tuple
+	Detail   string        // denial/error detail
+}
+
+// EncodeSpaceResult returns the canonical encoding of res.
+func EncodeSpaceResult(res SpaceResult) []byte {
+	w := NewWriter()
+	w.Byte(byte(res.Status))
+	w.Bool(res.Inserted)
+	w.Bool(res.Found)
+	w.Tuple(res.Tuple)
+	w.Uvarint(uint64(len(res.Tuples)))
+	for _, t := range res.Tuples {
+		w.Tuple(t)
+	}
+	w.String(res.Detail)
+	return w.Data()
+}
+
+// DecodeSpaceResult parses an encoded result.
+func DecodeSpaceResult(b []byte) (SpaceResult, error) {
+	r := NewReader(b)
+	res := SpaceResult{Status: Status(r.Byte())}
+	res.Inserted = r.Bool()
+	res.Found = r.Bool()
+	res.Tuple = r.Tuple()
+	count := r.Uvarint()
+	if count > 1<<20 {
+		return SpaceResult{}, fmt.Errorf("decode space result: %d tuples", count)
+	}
+	for i := uint64(0); i < count; i++ {
+		res.Tuples = append(res.Tuples, r.Tuple())
+	}
+	res.Detail = r.String()
+	r.ExpectEOF()
+	if err := r.Err(); err != nil {
+		return SpaceResult{}, fmt.Errorf("decode space result: %w", err)
+	}
+	if res.Status < StatusOK || res.Status > StatusError {
+		return SpaceResult{}, fmt.Errorf("decode space result: bad status %d", res.Status)
+	}
+	return res, nil
+}

@@ -1,0 +1,190 @@
+package wire
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"peats/internal/policy"
+	"peats/internal/tuple"
+)
+
+func TestWriterReaderRoundTrip(t *testing.T) {
+	w := NewWriter()
+	w.Byte(7)
+	w.Bool(true)
+	w.Bool(false)
+	w.Uvarint(300)
+	w.Varint(-42)
+	w.Bytes([]byte{1, 2, 3})
+	w.String("hello")
+	w.Tuple(tuple.T(tuple.Str("X"), tuple.Int(9), tuple.Formal("v")))
+
+	r := NewReader(w.Data())
+	if got := r.Byte(); got != 7 {
+		t.Errorf("Byte = %d", got)
+	}
+	if !r.Bool() || r.Bool() {
+		t.Error("Bool round trip")
+	}
+	if got := r.Uvarint(); got != 300 {
+		t.Errorf("Uvarint = %d", got)
+	}
+	if got := r.Varint(); got != -42 {
+		t.Errorf("Varint = %d", got)
+	}
+	if got := r.Bytes(); len(got) != 3 || got[2] != 3 {
+		t.Errorf("Bytes = %v", got)
+	}
+	if got := r.String(); got != "hello" {
+		t.Errorf("String = %q", got)
+	}
+	tu := r.Tuple()
+	if !tu.Equal(tuple.T(tuple.Str("X"), tuple.Int(9), tuple.Formal("v"))) {
+		t.Errorf("Tuple = %v", tu)
+	}
+	r.ExpectEOF()
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReaderTruncation(t *testing.T) {
+	w := NewWriter()
+	w.String("abcdef")
+	data := w.Data()
+
+	r := NewReader(data[:3])
+	_ = r.String()
+	if !errors.Is(r.Err(), ErrTruncated) {
+		t.Errorf("err = %v, want ErrTruncated", r.Err())
+	}
+
+	// Error sticks: later reads return zero values without panicking.
+	if r.Byte() != 0 || r.Uvarint() != 0 || r.String() != "" {
+		t.Error("reads after error should return zero values")
+	}
+
+	// Trailing bytes detected.
+	r2 := NewReader(append(data, 0xff))
+	_ = r2.String()
+	r2.ExpectEOF()
+	if r2.Err() == nil {
+		t.Error("trailing bytes not detected")
+	}
+}
+
+func TestReaderEmptyInput(t *testing.T) {
+	r := NewReader(nil)
+	_ = r.Byte()
+	if !errors.Is(r.Err(), ErrTruncated) {
+		t.Error("reading from empty input should fail")
+	}
+}
+
+func TestBytesIsCopy(t *testing.T) {
+	w := NewWriter()
+	w.Bytes([]byte{9, 9})
+	data := w.Data()
+	r := NewReader(data)
+	got := r.Bytes()
+	got[0] = 1
+	r2 := NewReader(data)
+	if r2.Bytes()[0] != 9 {
+		t.Error("Bytes aliased the input buffer")
+	}
+}
+
+func TestSpaceOpRoundTrip(t *testing.T) {
+	ops := []SpaceOp{
+		{Op: policy.OpOut, Entry: tuple.T(tuple.Str("A"), tuple.Int(1))},
+		{Op: policy.OpRdp, Template: tuple.T(tuple.Str("A"), tuple.Any())},
+		{Op: policy.OpInp, Template: tuple.T(tuple.Str("A"), tuple.Formal("x"))},
+		{Op: policy.OpCas,
+			Template: tuple.T(tuple.Str("D"), tuple.Formal("d")),
+			Entry:    tuple.T(tuple.Str("D"), tuple.Int(5))},
+	}
+	for _, op := range ops {
+		got, err := DecodeSpaceOp(EncodeSpaceOp(op))
+		if err != nil {
+			t.Fatalf("%v: %v", op.Op, err)
+		}
+		if got.Op != op.Op || !got.Template.Equal(op.Template) || !got.Entry.Equal(op.Entry) {
+			t.Errorf("round trip mismatch: %+v vs %+v", got, op)
+		}
+	}
+}
+
+func TestSpaceOpRejectsUnsupported(t *testing.T) {
+	// Blocking ops do not travel on the wire.
+	for _, op := range []policy.Op{policy.OpRd, policy.OpIn, policy.Op(99)} {
+		enc := EncodeSpaceOp(SpaceOp{Op: op})
+		if _, err := DecodeSpaceOp(enc); err == nil {
+			t.Errorf("op %v accepted", op)
+		}
+	}
+	if _, err := DecodeSpaceOp([]byte{}); err == nil {
+		t.Error("empty op accepted")
+	}
+	if _, err := DecodeSpaceOp([]byte{byte(policy.OpOut)}); err == nil {
+		t.Error("truncated op accepted")
+	}
+}
+
+func TestSpaceResultRoundTrip(t *testing.T) {
+	results := []SpaceResult{
+		{Status: StatusOK, Inserted: true},
+		{Status: StatusOK, Found: true, Tuple: tuple.T(tuple.Str("X"), tuple.Int(3))},
+		{Status: StatusDenied, Detail: "policy violation: Rcas"},
+		{Status: StatusError, Detail: "malformed"},
+	}
+	for _, res := range results {
+		got, err := DecodeSpaceResult(EncodeSpaceResult(res))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Status != res.Status || got.Inserted != res.Inserted ||
+			got.Found != res.Found || !got.Tuple.Equal(res.Tuple) || got.Detail != res.Detail {
+			t.Errorf("round trip mismatch: %+v vs %+v", got, res)
+		}
+	}
+}
+
+func TestSpaceResultRejectsBadStatus(t *testing.T) {
+	enc := EncodeSpaceResult(SpaceResult{Status: Status(99)})
+	if _, err := DecodeSpaceResult(enc); err == nil {
+		t.Error("bad status accepted")
+	}
+	if _, err := DecodeSpaceResult(nil); err == nil {
+		t.Error("empty result accepted")
+	}
+}
+
+func TestSpaceResultCanonical(t *testing.T) {
+	// Equal results encode identically — the property client voting
+	// depends on.
+	a := EncodeSpaceResult(SpaceResult{Status: StatusOK, Found: true,
+		Tuple: tuple.T(tuple.Str("T"), tuple.Int(1))})
+	b := EncodeSpaceResult(SpaceResult{Status: StatusOK, Found: true,
+		Tuple: tuple.T(tuple.Str("T"), tuple.Int(1))})
+	if string(a) != string(b) {
+		t.Error("equal results encode differently")
+	}
+}
+
+func TestWireProperty(t *testing.T) {
+	f := func(u uint64, v int64, s string, bs []byte) bool {
+		w := NewWriter()
+		w.Uvarint(u)
+		w.Varint(v)
+		w.String(s)
+		w.Bytes(bs)
+		r := NewReader(w.Data())
+		gu, gv, gs, gb := r.Uvarint(), r.Varint(), r.String(), r.Bytes()
+		r.ExpectEOF()
+		return r.Err() == nil && gu == u && gv == v && gs == s && string(gb) == string(bs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

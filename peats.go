@@ -1,0 +1,139 @@
+// Package peats is the public API of the PEATS library — a Go
+// implementation of "Sharing Memory between Byzantine Processes Using
+// Policy-Enforced Tuple Spaces" (Bessani, Correia, Fraga, Lung; ICDCS
+// 2006 / IEEE TPDS 2009).
+//
+// A PEATS is an augmented tuple space — a LINDA tuple space with a
+// conditional atomic swap (cas) — protected by a fine-grained access
+// policy evaluated by a reference monitor on every invocation. On top
+// of a single PEATS the library provides the paper's Byzantine
+// fault-tolerant consensus objects (weak, strong, default multivalued)
+// and its lock-free and wait-free universal constructions, plus the
+// replicated realisation of the space over a PBFT-style state machine
+// replication substrate.
+//
+// Quick start (local space, weak consensus):
+//
+//	s := peats.NewSpace(consensus.WeakPolicy())
+//	c := consensus.NewWeak(s.Handle("p1"))
+//	decision, err := c.Propose(ctx, peats.Int(42))
+//
+// The same algorithms run unchanged over a Byzantine fault-tolerant
+// replicated space; see NewLocalCluster and the examples/ directory.
+package peats
+
+import (
+	"peats/internal/bft"
+	ipeats "peats/internal/peats"
+	"peats/internal/policy"
+	"peats/internal/space"
+	"peats/internal/tuple"
+)
+
+// Tuple-model re-exports.
+type (
+	// Tuple is a sequence of typed fields: an entry when all fields are
+	// defined, a template otherwise.
+	Tuple = tuple.Tuple
+	// Field is one tuple position: a value, the wildcard, or a formal
+	// field.
+	Field = tuple.Field
+	// Bindings maps formal-field names to matched values.
+	Bindings = tuple.Bindings
+)
+
+// Field and tuple constructors (see package tuple).
+var (
+	// T builds a tuple from fields.
+	T = tuple.T
+	// Int builds a defined integer field.
+	Int = tuple.Int
+	// Str builds a defined string field.
+	Str = tuple.Str
+	// Bool builds a defined boolean field.
+	Bool = tuple.Bool
+	// Bytes builds a defined byte-string field.
+	Bytes = tuple.Bytes
+	// Any is the wildcard field "*".
+	Any = tuple.Any
+	// Formal builds the formal field "?name", which binds on match.
+	Formal = tuple.Formal
+	// Match tests an entry against a template, returning bindings.
+	Match = tuple.Match
+)
+
+// Policy-model re-exports.
+type (
+	// ProcessID is an authenticated process identity.
+	ProcessID = policy.ProcessID
+	// Policy is a set of access rules with deny-by-default semantics.
+	Policy = policy.Policy
+	// Rule pairs an operation with the predicate that must hold for an
+	// invocation of it to execute.
+	Rule = policy.Rule
+	// Invocation is what the reference monitor inspects: invoker,
+	// operation, arguments.
+	Invocation = policy.Invocation
+	// StateView is the read-only object state visible to predicates.
+	StateView = policy.StateView
+)
+
+// NewPolicy builds a policy from rules; AllowAll permits everything.
+var (
+	NewPolicy = policy.New
+	AllowAll  = policy.AllowAll
+)
+
+// Space re-exports.
+type (
+	// Space is a local linearizable PEATS.
+	Space = ipeats.Space
+	// Handle is a process-bound view of a Space.
+	Handle = ipeats.Handle
+	// TupleSpace is the interface implemented by local handles and by
+	// the replicated client, over which all algorithms are written.
+	TupleSpace = ipeats.TupleSpace
+)
+
+// ErrDenied is returned when the reference monitor rejects an
+// invocation.
+var ErrDenied = ipeats.ErrDenied
+
+// NewSpace returns a local PEATS protected by the given policy.
+func NewSpace(pol Policy) *Space { return ipeats.New(pol) }
+
+// WrapSpace protects an existing raw space with a policy.
+func WrapSpace(inner *space.Space, pol Policy) *Space { return ipeats.Wrap(inner, pol) }
+
+// Replication re-exports (Fig. 2 realisation).
+type (
+	// Cluster is an in-process replicated PEATS deployment.
+	Cluster = bft.Cluster
+	// RemoteSpace is the client view of a replicated PEATS; it
+	// implements TupleSpace.
+	RemoteSpace = bft.RemoteSpace
+	// Replica is one member of a replicated PEATS group.
+	Replica = bft.Replica
+	// ReplicaConfig configures a replica (for TCP deployments via
+	// cmd/peats-server).
+	ReplicaConfig = bft.ReplicaConfig
+)
+
+// NewLocalCluster starts an in-process BFT-replicated PEATS with
+// n = 3f+1 replicas, each running the reference monitor with the given
+// policy. Callers obtain TupleSpace handles with ClusterSpace and must
+// Stop the cluster when done.
+func NewLocalCluster(f int, pol Policy) (*Cluster, error) {
+	n := 3*f + 1
+	services := make([]bft.Service, n)
+	for i := range services {
+		services[i] = bft.NewSpaceService(pol)
+	}
+	return bft.NewCluster(f, services)
+}
+
+// ClusterSpace returns a TupleSpace handle on the replicated PEATS for
+// the given authenticated process identity.
+func ClusterSpace(c *Cluster, id ProcessID) *RemoteSpace {
+	return bft.NewRemoteSpace(c.Client(string(id)))
+}

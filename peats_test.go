@@ -1,0 +1,85 @@
+package peats
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"peats/internal/consensus"
+	"peats/internal/policylang"
+)
+
+func TestFacadeLocalSpace(t *testing.T) {
+	s := NewSpace(AllowAll())
+	h := s.Handle("p1")
+	ctx := context.Background()
+
+	if err := h.Out(ctx, T(Str("GREETING"), Str("hello"), Int(1), Bool(true))); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := h.Rdp(ctx, T(Str("GREETING"), Formal("msg"), Any(), Any()))
+	if err != nil || !ok {
+		t.Fatalf("rdp: %v %v", ok, err)
+	}
+	binds, matched := Match(got, T(Str("GREETING"), Formal("msg"), Any(), Any()))
+	if !matched {
+		t.Fatal("re-match failed")
+	}
+	if msg, _ := binds["msg"].StrValue(); msg != "hello" {
+		t.Errorf("binding = %v", binds["msg"])
+	}
+}
+
+func TestFacadePolicyDenial(t *testing.T) {
+	s := NewSpace(NewPolicy()) // deny everything
+	err := s.Handle("p").Out(context.Background(), T(Int(1)))
+	if !errors.Is(err, ErrDenied) {
+		t.Errorf("err = %v, want ErrDenied", err)
+	}
+}
+
+func TestFacadeReplicatedCluster(t *testing.T) {
+	cluster, err := NewLocalCluster(1, consensus.WeakPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Stop()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	// Weak consensus through the public facade over 4 BFT replicas.
+	a := consensus.NewWeak(ClusterSpace(cluster, "p1"))
+	b := consensus.NewWeak(ClusterSpace(cluster, "p2"))
+	da, err := a.Propose(ctx, Int(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := b.Propose(ctx, Int(43))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !da.Equal(db) {
+		t.Errorf("disagreement across replicated clients: %v vs %v", da, db)
+	}
+}
+
+func TestFacadeWithPolicyLanguage(t *testing.T) {
+	// A DSL-compiled policy through the public facade.
+	pol, err := policylang.Compile(`
+Rout: allow out <"NOTE", @invoker, str>
+Rrdp: allow rdp
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSpace(pol)
+	ctx := context.Background()
+	if err := s.Handle("alice").Out(ctx, T(Str("NOTE"), Str("alice"), Str("hi"))); err != nil {
+		t.Fatal(err)
+	}
+	err = s.Handle("bob").Out(ctx, T(Str("NOTE"), Str("alice"), Str("forged")))
+	if !errors.Is(err, ErrDenied) {
+		t.Errorf("forged note err = %v, want ErrDenied", err)
+	}
+}
