@@ -477,3 +477,99 @@ func BenchmarkHMACFrame(b *testing.B) {
 		}
 	}
 }
+
+// ---- Storage engines (slice reference vs indexed default) ----
+//
+// One bench per (engine, size, op) through the public PEATS API, so the
+// measured path includes the reference monitor — the cost a real client
+// pays. The probed tuple sits behind size-1 others of mixed arities,
+// the linear scan's worst case.
+
+func engineSpace(b *testing.B, eng StoreEngine, size int) *Handle {
+	b.Helper()
+	s := NewSpace(AllowAll(), WithStore(eng))
+	h := s.Handle("bench")
+	ctx := context.Background()
+	for i := 0; i < size-1; i++ {
+		tag := fmt.Sprintf("tag%d", i%17)
+		var t Tuple
+		if i%2 == 0 {
+			t = T(Str(tag), Int(int64(i)))
+		} else {
+			t = T(Str(tag), Int(int64(i)), Bool(true))
+		}
+		if err := h.Out(ctx, t); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := h.Out(ctx, T(Str("needle"), Int(0))); err != nil {
+		b.Fatal(err)
+	}
+	return h
+}
+
+func BenchmarkEngineRdp(b *testing.B) {
+	ctx := context.Background()
+	tmpl := T(Str("needle"), Any())
+	for _, eng := range []StoreEngine{SliceStore, IndexedStore} {
+		for _, size := range []int{10, 100, 10000} {
+			b.Run(fmt.Sprintf("%s/n=%d", eng, size), func(b *testing.B) {
+				h := engineSpace(b, eng, size)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for b.Loop() {
+					if _, ok, err := h.Rdp(ctx, tmpl); err != nil || !ok {
+						b.Fatal("needle not found")
+					}
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkEngineInp(b *testing.B) {
+	ctx := context.Background()
+	tmpl := T(Str("needle"), Any())
+	entry := T(Str("needle"), Int(0))
+	for _, eng := range []StoreEngine{SliceStore, IndexedStore} {
+		for _, size := range []int{10, 100, 10000} {
+			b.Run(fmt.Sprintf("%s/n=%d", eng, size), func(b *testing.B) {
+				h := engineSpace(b, eng, size)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for b.Loop() {
+					if _, ok, err := h.Inp(ctx, tmpl); err != nil || !ok {
+						b.Fatal("needle not found")
+					}
+					if err := h.Out(ctx, entry); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkEngineCas(b *testing.B) {
+	ctx := context.Background()
+	tmpl := T(Str("absent"), Any())
+	entry := T(Str("absent"), Int(1))
+	for _, eng := range []StoreEngine{SliceStore, IndexedStore} {
+		for _, size := range []int{10, 100, 10000} {
+			b.Run(fmt.Sprintf("%s/n=%d", eng, size), func(b *testing.B) {
+				h := engineSpace(b, eng, size)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for b.Loop() {
+					ins, _, err := h.Cas(ctx, tmpl, entry)
+					if err != nil || !ins {
+						b.Fatal("cas did not insert")
+					}
+					if _, ok, err := h.Inp(ctx, tmpl); err != nil || !ok {
+						b.Fatal("cas entry vanished")
+					}
+				}
+			})
+		}
+	}
+}

@@ -5,6 +5,7 @@
 //	peats-bench -table ops         E8: operation counts vs ACL baseline (§7)
 //	peats-bench -table resilience  E2: n ≥ 3t+1 bound (Thm. 2 / Cor. 1)
 //	peats-bench -table kvalued     E3: n ≥ (k+1)t+1 bound (Thms. 3-4)
+//	peats-bench -table stores      storage-engine comparison (slice vs indexed)
 //	peats-bench -table all         everything
 package main
 
@@ -22,7 +23,7 @@ import (
 
 func main() {
 	var (
-		table   = flag.String("table", "all", "table to print: bits|ops|resilience|kvalued|ablation|all")
+		table   = flag.String("table", "all", "table to print: bits|ops|resilience|kvalued|ablation|stores|all")
 		tsFlag  = flag.String("t", "1,2,3,4", "comma-separated fault bounds t")
 		ksFlag  = flag.String("k", "2,3,4", "comma-separated domain sizes k (kvalued table)")
 		probe   = flag.Duration("probe", 500*time.Millisecond, "stall window for below-bound probes")
@@ -83,6 +84,16 @@ func run(table, tsFlag, ksFlag string, probe, timeout time.Duration) error {
 			return err
 		}
 		bench.WriteAblationTable(os.Stdout, rows)
+		fmt.Println()
+		printed = true
+	}
+	if want("stores") {
+		fmt.Println("Storage engines — slice (reference) vs indexed (default), mixed arities:")
+		rows, err := bench.StoresTable(nil)
+		if err != nil {
+			return err
+		}
+		bench.WriteStoresTable(os.Stdout, rows)
 		fmt.Println()
 		printed = true
 	}

@@ -26,6 +26,7 @@ import (
 	"peats/internal/bft"
 	"peats/internal/consensus"
 	"peats/internal/policy"
+	"peats/internal/space"
 	"peats/internal/transport"
 	"peats/internal/universal"
 )
@@ -39,16 +40,17 @@ func main() {
 		master  = flag.String("master", "", "shared master secret for pairwise keys")
 		polName = flag.String("policy", "allow-all", "access policy: allow-all|weak|strong:<n>,<t>|lockfree")
 		clients = flag.String("clients", "", "comma-separated client identities to provision keys for")
+		engine  = flag.String("store", "", "tuple-store engine: slice|indexed (default indexed)")
 		verbose = flag.Bool("v", false, "log protocol events")
 	)
 	flag.Parse()
-	if err := run(*id, *listen, *peers, *clients, *master, *polName, *fFlag, *verbose); err != nil {
+	if err := run(*id, *listen, *peers, *clients, *master, *polName, *engine, *fFlag, *verbose); err != nil {
 		fmt.Fprintln(os.Stderr, "peats-server:", err)
 		os.Exit(1)
 	}
 }
 
-func run(id, listen, peers, clients, master, polName string, f int, verbose bool) error {
+func run(id, listen, peers, clients, master, polName, engine string, f int, verbose bool) error {
 	if id == "" || listen == "" || peers == "" || master == "" {
 		return fmt.Errorf("-id, -listen, -peers and -master are required")
 	}
@@ -83,6 +85,11 @@ func run(id, listen, peers, clients, master, polName string, f int, verbose bool
 	}
 	defer tr.Close()
 
+	svc, err := bft.NewSpaceServiceWithEngine(pol, space.Engine(engine))
+	if err != nil {
+		return err
+	}
+
 	var logger *log.Logger
 	if verbose {
 		logger = log.New(os.Stderr, "", log.Lmicroseconds)
@@ -92,7 +99,7 @@ func run(id, listen, peers, clients, master, polName string, f int, verbose bool
 		Replicas:  replicaIDs,
 		F:         f,
 		Transport: tr,
-		Service:   bft.NewSpaceService(pol),
+		Service:   svc,
 		Logger:    logger,
 	})
 	if err != nil {

@@ -1,0 +1,3 @@
+module peats
+
+go 1.24

@@ -1,0 +1,134 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"testing"
+	"text/tabwriter"
+
+	"peats/internal/space"
+	"peats/internal/tuple"
+)
+
+// StoreRow is one measurement of the storage-engine comparison: the
+// cost of one operation against a space holding Size resident tuples of
+// mixed arities, backed by Engine.
+type StoreRow struct {
+	Op      string
+	Size    int
+	Engine  space.Engine
+	NsPerOp int64
+}
+
+// StoreSizes are the resident-set sizes the engine comparison probes.
+var StoreSizes = []int{10, 100, 10000}
+
+// StoreFill populates st with n tuples of mixed arities and tags, the
+// probed tuple (tag "needle") last — the linear scan's worst case. It
+// is the single definition of the engine-comparison workload, shared
+// by the CLI stores table and the go-test benchmarks in
+// internal/space.
+func StoreFill(st space.Store, n int) {
+	for i := 0; i < n-1; i++ {
+		tag := fmt.Sprintf("tag%d", i%17)
+		if i%2 == 0 {
+			st.Insert(tuple.T(tuple.Str(tag), tuple.Int(int64(i))))
+		} else {
+			st.Insert(tuple.T(tuple.Str(tag), tuple.Int(int64(i)), tuple.Bool(true)))
+		}
+	}
+	st.Insert(tuple.T(tuple.Str("needle"), tuple.Int(0)))
+}
+
+// StoresTable measures rdp, inp and cas ns/op for every store engine at
+// every size in sizes (StoreSizes when nil).
+func StoresTable(sizes []int) ([]StoreRow, error) {
+	if sizes == nil {
+		sizes = StoreSizes
+	}
+	needle := tuple.T(tuple.Str("needle"), tuple.Any())
+	absent := tuple.T(tuple.Str("absent"), tuple.Any())
+	needleEntry := tuple.T(tuple.Str("needle"), tuple.Int(0))
+	absentEntry := tuple.T(tuple.Str("absent"), tuple.Int(1))
+
+	ops := []struct {
+		name string
+		loop func(st space.Store, b *testing.B)
+	}{
+		{"rdp", func(st space.Store, b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, ok := st.Find(needle, false); !ok {
+					b.Fatal("needle not found")
+				}
+			}
+		}},
+		{"inp", func(st space.Store, b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, ok := st.Find(needle, true); !ok {
+					b.Fatal("needle not found")
+				}
+				st.Insert(needleEntry)
+			}
+		}},
+		{"cas", func(st space.Store, b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, ok := st.Find(absent, false); !ok {
+					st.Insert(absentEntry)
+				}
+				if _, ok := st.Find(absent, true); !ok {
+					b.Fatal("cas entry vanished")
+				}
+			}
+		}},
+	}
+
+	var rows []StoreRow
+	for _, op := range ops {
+		for _, size := range sizes {
+			for _, engine := range space.Engines() {
+				st, err := space.NewStore(engine)
+				if err != nil {
+					return nil, err
+				}
+				StoreFill(st, size)
+				loop := op.loop
+				res := testing.Benchmark(func(b *testing.B) { loop(st, b) })
+				rows = append(rows, StoreRow{
+					Op: op.name, Size: size, Engine: engine, NsPerOp: res.NsPerOp(),
+				})
+			}
+		}
+	}
+	return rows, nil
+}
+
+// WriteStoresTable renders the engine comparison, one line per (op,
+// size) with the slice baseline, the indexed engine, and the speedup.
+func WriteStoresTable(w io.Writer, rows []StoreRow) {
+	type key struct {
+		op   string
+		size int
+	}
+	byCell := make(map[key]map[space.Engine]int64)
+	var order []key
+	for _, r := range rows {
+		k := key{r.Op, r.Size}
+		if byCell[k] == nil {
+			byCell[k] = make(map[space.Engine]int64)
+			order = append(order, k)
+		}
+		byCell[k][r.Engine] = r.NsPerOp
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "op\ttuples\tslice ns/op\tindexed ns/op\tspeedup")
+	for _, k := range order {
+		cell := byCell[k]
+		slice, indexed := cell[space.EngineSlice], cell[space.EngineIndexed]
+		speedup := "-"
+		if indexed > 0 {
+			speedup = fmt.Sprintf("%.1fx", float64(slice)/float64(indexed))
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%s\n", k.op, k.size, slice, indexed, speedup)
+	}
+	tw.Flush()
+}

@@ -29,6 +29,13 @@ type Service interface {
 // SpaceService is the PEATS state machine: an augmented tuple space
 // guarded by the reference monitor, executing wire.SpaceOp operations.
 // This is the box marked "interceptor + tuple space" in Fig. 2.
+//
+// The space's store engine is pluggable (NewSpaceServiceWithEngine).
+// Replicas running different engines stay consistent: the Store
+// determinism contract guarantees identical match order for identical
+// operation sequences, and Snapshot/Restore exchange engine-neutral
+// tuple lists, so checkpoints and state transfers install cleanly on
+// any engine.
 type SpaceService struct {
 	inner *space.Space
 	pol   policy.Policy
@@ -36,9 +43,20 @@ type SpaceService struct {
 
 var _ Service = (*SpaceService)(nil)
 
-// NewSpaceService returns a PEATS service protected by the given policy.
+// NewSpaceService returns a PEATS service protected by the given
+// policy, backed by the default store engine.
 func NewSpaceService(pol policy.Policy) *SpaceService {
 	return &SpaceService{inner: space.New(), pol: pol}
+}
+
+// NewSpaceServiceWithEngine returns a PEATS service whose space uses
+// the named store engine.
+func NewSpaceServiceWithEngine(pol policy.Policy, e space.Engine) (*SpaceService, error) {
+	inner, err := space.NewWithEngine(e)
+	if err != nil {
+		return nil, err
+	}
+	return &SpaceService{inner: inner, pol: pol}, nil
 }
 
 // Space exposes the underlying space for inspection in tests.

@@ -65,9 +65,20 @@ type Space struct {
 	denied  atomic.Int64
 }
 
-// New returns a PEATS with the given access policy over a fresh space.
+// New returns a PEATS with the given access policy over a fresh space
+// backed by the default store engine.
 func New(pol policy.Policy) *Space {
 	return &Space{inner: space.New(), pol: pol}
+}
+
+// NewWithEngine returns a PEATS whose space is backed by the named
+// store engine (see space.Engine).
+func NewWithEngine(pol policy.Policy, e space.Engine) (*Space, error) {
+	inner, err := space.NewWithEngine(e)
+	if err != nil {
+		return nil, err
+	}
+	return &Space{inner: inner, pol: pol}, nil
 }
 
 // Wrap returns a PEATS protecting an existing space. It is used by the

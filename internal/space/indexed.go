@@ -1,0 +1,229 @@
+package space
+
+import "peats/internal/tuple"
+
+// IndexedStore is the production storage engine. Tuples are bucketed by
+// arity and, within an arity, hashed on the canonical key of their
+// first field, so the common template shapes — a defined tag field
+// followed by wildcards or formals, as used by every consensus object
+// and universal construction in this repository — match in O(bucket)
+// instead of O(space).
+//
+// Insertion order is preserved through monotonic sequence numbers: each
+// record carries the seq at which it was inserted, and every index list
+// is append-only and therefore seq-sorted. A lookup scans exactly one
+// candidate list in seq order, so the first full match it encounters is
+// the first match in insertion order — the same tuple the reference
+// SliceStore returns. Key collisions only add skipped candidates, never
+// reordered ones, so the determinism contract of Store holds and the
+// space remains a deterministic state machine for the BFT substrate.
+//
+// Removal marks records dead in place (O(1)) and the store compacts
+// all index structures once at least half the records are dead, keeping
+// amortised cost per operation constant. Scans additionally trim dead
+// records from the head of the list they walked, so queue-like
+// workloads (out/in on one key) do not accumulate tombstones in their
+// hot list.
+type IndexedStore struct {
+	seq     uint64
+	live    int
+	order   []*irec // global insertion (seq) order; may contain dead records
+	buckets map[int]*arityBucket
+}
+
+// irec is one stored tuple plus its bookkeeping. The same record is
+// shared by the global order list and the per-arity index lists, so
+// marking it dead is visible everywhere at once.
+type irec struct {
+	seq  uint64
+	t    tuple.Tuple
+	dead bool
+}
+
+// arityBucket indexes the records of one arity.
+type arityBucket struct {
+	live  int
+	all   []*irec            // seq order; for templates with an undefined first field
+	byKey map[string][]*irec // first-field key → seq order
+}
+
+var _ Store = (*IndexedStore)(nil)
+
+// compactMin is the order-list length below which compaction is not
+// worth the rebuild.
+const compactMin = 32
+
+// NewIndexedStore returns an empty indexed store.
+func NewIndexedStore() *IndexedStore {
+	return &IndexedStore{buckets: make(map[int]*arityBucket)}
+}
+
+// Engine implements Store.
+func (s *IndexedStore) Engine() Engine { return EngineIndexed }
+
+// Insert implements Store.
+func (s *IndexedStore) Insert(t tuple.Tuple) {
+	r := &irec{seq: s.seq, t: t}
+	s.seq++
+	s.order = append(s.order, r)
+	s.index(r)
+	s.live++
+}
+
+// index files r into its arity bucket. Tuples whose first field is
+// undefined (non-entries installed by Restore) get no key entry; they
+// can never match a template, so keyed lookups may skip them.
+func (s *IndexedStore) index(r *irec) {
+	arity := r.t.Arity()
+	b := s.buckets[arity]
+	if b == nil {
+		b = &arityBucket{byKey: make(map[string][]*irec)}
+		s.buckets[arity] = b
+	}
+	b.all = append(b.all, r)
+	if key, ok := r.t.Field(0).MatchKey(); ok {
+		b.byKey[key] = append(b.byKey[key], r)
+	}
+	b.live++
+}
+
+// candidates returns the one index list that holds every possible match
+// for tmpl, in seq order: the first-field key list when the template's
+// first field is defined, the whole arity bucket otherwise.
+func (s *IndexedStore) candidates(tmpl tuple.Tuple) (b *arityBucket, list []*irec, key string, keyed bool) {
+	b = s.buckets[tmpl.Arity()]
+	if b == nil || b.live == 0 {
+		return nil, nil, "", false
+	}
+	if key, ok := tmpl.Field(0).MatchKey(); ok {
+		return b, b.byKey[key], key, true
+	}
+	return b, b.all, "", false
+}
+
+// Find implements Store.
+func (s *IndexedStore) Find(tmpl tuple.Tuple, remove bool) (tuple.Tuple, bool) {
+	b, list, key, keyed := s.candidates(tmpl)
+	if b == nil {
+		return tuple.Tuple{}, false
+	}
+	kept, t, ok := s.scan(list, tmpl, remove)
+	if keyed {
+		if len(kept) == 0 {
+			delete(b.byKey, key)
+		} else {
+			b.byKey[key] = kept
+		}
+	} else {
+		b.all = kept
+	}
+	if ok && remove {
+		s.maybeCompact()
+	}
+	return t, ok
+}
+
+// scan walks list in seq order for the first record matching tmpl,
+// marking it dead when remove is set. It returns the list with any
+// contiguous dead head trimmed off.
+func (s *IndexedStore) scan(list []*irec, tmpl tuple.Tuple, remove bool) (kept []*irec, t tuple.Tuple, ok bool) {
+	head := 0
+	for i, r := range list {
+		if r.dead {
+			if i == head {
+				head++
+			}
+			continue
+		}
+		if !tuple.Matches(r.t, tmpl) {
+			continue
+		}
+		if remove {
+			r.dead = true
+			s.live--
+			s.buckets[r.t.Arity()].live--
+			if i == head {
+				head++
+			}
+		}
+		return list[head:], r.t, true
+	}
+	return list[head:], tuple.Tuple{}, false
+}
+
+// FindAll implements Store.
+func (s *IndexedStore) FindAll(tmpl tuple.Tuple) []tuple.Tuple {
+	_, list, _, _ := s.candidates(tmpl)
+	var out []tuple.Tuple
+	for _, r := range list {
+		if !r.dead && tuple.Matches(r.t, tmpl) {
+			out = append(out, r.t)
+		}
+	}
+	return out
+}
+
+// Count implements Store.
+func (s *IndexedStore) Count(tmpl tuple.Tuple) int {
+	_, list, _, _ := s.candidates(tmpl)
+	n := 0
+	for _, r := range list {
+		if !r.dead && tuple.Matches(r.t, tmpl) {
+			n++
+		}
+	}
+	return n
+}
+
+// Len implements Store.
+func (s *IndexedStore) Len() int { return s.live }
+
+// ForEach implements Store.
+func (s *IndexedStore) ForEach(fn func(tuple.Tuple) bool) {
+	for _, r := range s.order {
+		if r.dead {
+			continue
+		}
+		if !fn(r.t) {
+			return
+		}
+	}
+}
+
+// Snapshot implements Store.
+func (s *IndexedStore) Snapshot() []tuple.Tuple {
+	cp := make([]tuple.Tuple, 0, s.live)
+	for _, r := range s.order {
+		if !r.dead {
+			cp = append(cp, r.t)
+		}
+	}
+	return cp
+}
+
+// Reset implements Store.
+func (s *IndexedStore) Reset() {
+	s.live = 0
+	s.order = nil
+	s.buckets = make(map[int]*arityBucket)
+}
+
+// maybeCompact rebuilds every index structure without the dead records
+// once they outnumber the live ones. Relative seq order is preserved,
+// so observable behaviour is unchanged.
+func (s *IndexedStore) maybeCompact() {
+	if len(s.order) < compactMin || s.live*2 >= len(s.order) {
+		return
+	}
+	order := make([]*irec, 0, s.live)
+	for _, r := range s.order {
+		if !r.dead {
+			order = append(order, r)
+		}
+	}
+	s.order = order
+	s.buckets = make(map[int]*arityBucket)
+	for _, r := range order {
+		s.index(r)
+	}
+}

@@ -1,0 +1,308 @@
+package space
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"peats/internal/tuple"
+)
+
+// bgCtx returns a context that outlives any reasonable test step but
+// cannot hang a broken run forever.
+func bgCtx(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+// parityGen produces random tuples and templates over a small domain so
+// that matches, misses, key collisions within an arity, and wildcard /
+// formal first fields are all frequent. Everything derives from a
+// seeded rand.Rand, so failures reproduce by seed.
+type parityGen struct {
+	rng *rand.Rand
+}
+
+func (g *parityGen) field(defined bool) tuple.Field {
+	if !defined {
+		if g.rng.Intn(2) == 0 {
+			return tuple.Any()
+		}
+		return tuple.Formal(fmt.Sprintf("v%d", g.rng.Intn(3)))
+	}
+	switch g.rng.Intn(4) {
+	case 0:
+		return tuple.Int(int64(g.rng.Intn(4)))
+	case 1:
+		return tuple.Str(string(rune('A' + g.rng.Intn(3))))
+	case 2:
+		return tuple.Bool(g.rng.Intn(2) == 0)
+	default:
+		return tuple.Bytes([]byte{byte(g.rng.Intn(3))})
+	}
+}
+
+// entry returns a fully defined tuple of arity 1..3.
+func (g *parityGen) entry() tuple.Tuple {
+	arity := 1 + g.rng.Intn(3)
+	fields := make([]tuple.Field, arity)
+	for i := range fields {
+		fields[i] = g.field(true)
+	}
+	return tuple.T(fields...)
+}
+
+// template returns a tuple of arity 1..3 with each field independently
+// defined or undefined — including templates with an undefined first
+// field, which exercise the indexed store's arity-scan path.
+func (g *parityGen) template() tuple.Tuple {
+	arity := 1 + g.rng.Intn(3)
+	fields := make([]tuple.Field, arity)
+	for i := range fields {
+		fields[i] = g.field(g.rng.Intn(3) != 0)
+	}
+	return tuple.T(fields...)
+}
+
+// TestStoreParity drives the slice store and the indexed store with the
+// same randomized operation sequence and requires identical results at
+// every step — same found/not-found, same tuple (so same match order),
+// same lengths, and identical snapshots. This is the determinism-parity
+// property the SMR substrate depends on: either engine must realise the
+// same deterministic state machine.
+func TestStoreParity(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			g := &parityGen{rng: rand.New(rand.NewSource(seed))}
+			ref := NewSliceStore()
+			idx := NewIndexedStore()
+
+			check := func(step int, what string, a, b tuple.Tuple, aok, bok bool) {
+				t.Helper()
+				if aok != bok {
+					t.Fatalf("step %d %s: slice ok=%v indexed ok=%v", step, what, aok, bok)
+				}
+				if aok && !a.Equal(b) {
+					t.Fatalf("step %d %s: slice %v indexed %v (match order diverged)", step, what, a, b)
+				}
+			}
+			checkSnapshots := func(step int) {
+				t.Helper()
+				sa, sb := ref.Snapshot(), idx.Snapshot()
+				if len(sa) != len(sb) {
+					t.Fatalf("step %d: snapshot lens %d vs %d", step, len(sa), len(sb))
+				}
+				for i := range sa {
+					if !sa[i].Equal(sb[i]) {
+						t.Fatalf("step %d: snapshot[%d] %v vs %v", step, i, sa[i], sb[i])
+					}
+				}
+			}
+
+			const steps = 3000
+			for i := 0; i < steps; i++ {
+				switch op := g.rng.Intn(10); {
+				case op < 3: // out
+					e := g.entry()
+					ref.Insert(e)
+					idx.Insert(e)
+				case op < 5: // rdp
+					tmpl := g.template()
+					a, aok := ref.Find(tmpl, false)
+					b, bok := idx.Find(tmpl, false)
+					check(i, "rdp", a, b, aok, bok)
+				case op < 8: // inp
+					tmpl := g.template()
+					a, aok := ref.Find(tmpl, true)
+					b, bok := idx.Find(tmpl, true)
+					check(i, "inp", a, b, aok, bok)
+				case op < 9: // cas
+					tmpl, e := g.template(), g.entry()
+					a, aok := ref.Find(tmpl, false)
+					b, bok := idx.Find(tmpl, false)
+					check(i, "cas-read", a, b, aok, bok)
+					if !aok {
+						ref.Insert(e)
+						idx.Insert(e)
+					}
+				default: // rdall + count, occasionally snapshot/restore
+					tmpl := g.template()
+					as, bs := ref.FindAll(tmpl), idx.FindAll(tmpl)
+					if len(as) != len(bs) {
+						t.Fatalf("step %d rdall: %d vs %d matches", i, len(as), len(bs))
+					}
+					for j := range as {
+						if !as[j].Equal(bs[j]) {
+							t.Fatalf("step %d rdall[%d]: %v vs %v", i, j, as[j], bs[j])
+						}
+					}
+					if ref.Count(tmpl) != idx.Count(tmpl) {
+						t.Fatalf("step %d: counts diverge", i)
+					}
+					if g.rng.Intn(20) == 0 {
+						// Snapshot one engine, restore into both: state must
+						// converge regardless of which engine sourced it.
+						snap := idx.Snapshot()
+						ref.Reset()
+						idx.Reset()
+						for _, e := range snap {
+							ref.Insert(e)
+							idx.Insert(e)
+						}
+					}
+				}
+				if ref.Len() != idx.Len() {
+					t.Fatalf("step %d: len %d vs %d", i, ref.Len(), idx.Len())
+				}
+			}
+			checkSnapshots(steps)
+		})
+	}
+}
+
+// TestSpaceParityAcrossEngines runs the same operation sequence through
+// two full Spaces (waiter plumbing included) built on different engines
+// and compares every result — the end-to-end version of TestStoreParity.
+func TestSpaceParityAcrossEngines(t *testing.T) {
+	for seed := int64(100); seed < 110; seed++ {
+		g := &parityGen{rng: rand.New(rand.NewSource(seed))}
+		a := NewWithStore(NewSliceStore())
+		b := NewWithStore(NewIndexedStore())
+
+		for i := 0; i < 1500; i++ {
+			switch g.rng.Intn(5) {
+			case 0:
+				e := g.entry()
+				if err1, err2 := a.Out(e), b.Out(e); (err1 == nil) != (err2 == nil) {
+					t.Fatalf("seed %d step %d: out errs diverge", seed, i)
+				}
+			case 1:
+				tmpl := g.template()
+				ta, oka := a.Rdp(tmpl)
+				tb, okb := b.Rdp(tmpl)
+				if oka != okb || (oka && !ta.Equal(tb)) {
+					t.Fatalf("seed %d step %d rdp: %v/%v vs %v/%v", seed, i, ta, oka, tb, okb)
+				}
+			case 2:
+				tmpl := g.template()
+				ta, oka := a.Inp(tmpl)
+				tb, okb := b.Inp(tmpl)
+				if oka != okb || (oka && !ta.Equal(tb)) {
+					t.Fatalf("seed %d step %d inp: %v/%v vs %v/%v", seed, i, ta, oka, tb, okb)
+				}
+			case 3:
+				tmpl, e := g.template(), g.entry()
+				insA, mA, _ := a.Cas(tmpl, e)
+				insB, mB, _ := b.Cas(tmpl, e)
+				if insA != insB || !mA.Equal(mB) {
+					t.Fatalf("seed %d step %d cas: %v/%v vs %v/%v", seed, i, insA, mA, insB, mB)
+				}
+			case 4:
+				if g.rng.Intn(10) == 0 {
+					snap := a.Snapshot()
+					a.Restore(snap)
+					b.Restore(snap)
+				}
+			}
+			if a.Len() != b.Len() {
+				t.Fatalf("seed %d step %d: len %d vs %d", seed, i, a.Len(), b.Len())
+			}
+		}
+		sa, sb := a.Snapshot(), b.Snapshot()
+		if len(sa) != len(sb) {
+			t.Fatalf("seed %d: final snapshots differ in length", seed)
+		}
+		for i := range sa {
+			if !sa[i].Equal(sb[i]) {
+				t.Fatalf("seed %d: final snapshot[%d] %v vs %v", seed, i, sa[i], sb[i])
+			}
+		}
+	}
+}
+
+// TestIndexedStoreQueueCompaction hammers the out/in queue pattern on a
+// single key — the worst case for tombstone accumulation — and checks
+// the store neither leaks dead records without bound nor loses order.
+func TestIndexedStoreQueueCompaction(t *testing.T) {
+	s := NewIndexedStore()
+	tmpl := tuple.T(tuple.Str("Q"), tuple.Any())
+	for i := 0; i < 10000; i++ {
+		s.Insert(tuple.T(tuple.Str("Q"), tuple.Int(int64(i))))
+		got, ok := s.Find(tmpl, true)
+		if !ok {
+			t.Fatalf("iteration %d: queue empty", i)
+		}
+		if v, _ := got.Field(1).IntValue(); v != int64(i) {
+			t.Fatalf("iteration %d: got %v, want FIFO order", i, got)
+		}
+	}
+	if s.Len() != 0 {
+		t.Fatalf("len = %d, want 0", s.Len())
+	}
+	if len(s.order) > 2*compactMin {
+		t.Errorf("order retains %d records after drain; compaction not keeping up", len(s.order))
+	}
+}
+
+// TestIndexedStoreRestoresNonEntries checks a Restore carrying a
+// non-entry tuple (possible only via a hostile snapshot) is stored
+// verbatim and inert under matching, exactly like the slice store.
+func TestIndexedStoreRestoresNonEntries(t *testing.T) {
+	bad := tuple.T(tuple.Any(), tuple.Int(1))
+	ref, idx := NewSliceStore(), NewIndexedStore()
+	for _, st := range []Store{ref, idx} {
+		st.Insert(bad)
+		st.Insert(tuple.T(tuple.Str("ok")))
+		if st.Len() != 2 {
+			t.Fatalf("%s: len = %d, want 2 (verbatim storage)", st.Engine(), st.Len())
+		}
+		if _, ok := st.Find(tuple.T(tuple.Any(), tuple.Any()), false); ok {
+			t.Errorf("%s: stored template matched a template", st.Engine())
+		}
+		if snap := st.Snapshot(); len(snap) != 2 || !snap[0].Equal(bad) {
+			t.Errorf("%s: snapshot dropped or reordered non-entry", st.Engine())
+		}
+	}
+}
+
+// TestWaiterIndexLeakFree checks that served and cancelled waiters are
+// removed from the arity index immediately (satellite: the old
+// compaction could retain served slots indefinitely).
+func TestWaiterIndexLeakFree(t *testing.T) {
+	s := New()
+	probe := func() int {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		n := 0
+		for _, list := range s.waiters {
+			n += len(list)
+		}
+		return n
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			if _, err := s.In(bgCtx(t), tuple.T(tuple.Str("W"), tuple.Any())); err != nil {
+				t.Error(err)
+			}
+		}
+	}()
+	for i := 0; i < 50; i++ {
+		for s.Len() != 0 || probe() == 0 { // wait until the reader is parked
+			time.Sleep(50 * time.Microsecond)
+		}
+		if err := s.Out(tuple.T(tuple.Str("W"), tuple.Int(int64(i)))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	<-done
+	if n := probe(); n != 0 {
+		t.Errorf("%d waiters retained after all were served", n)
+	}
+}

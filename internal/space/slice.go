@@ -1,0 +1,84 @@
+package space
+
+import "peats/internal/tuple"
+
+// SliceStore is the reference storage engine: insertion order is the
+// physical order of a flat slice, and every lookup is a linear scan.
+// It is deliberately the simplest possible realisation of the Store
+// determinism contract; the indexed engine is tested for observational
+// equivalence against it.
+type SliceStore struct {
+	tuples []tuple.Tuple
+}
+
+var _ Store = (*SliceStore)(nil)
+
+// NewSliceStore returns an empty slice store.
+func NewSliceStore() *SliceStore {
+	return &SliceStore{}
+}
+
+// Engine implements Store.
+func (s *SliceStore) Engine() Engine { return EngineSlice }
+
+// Insert implements Store.
+func (s *SliceStore) Insert(t tuple.Tuple) {
+	s.tuples = append(s.tuples, t)
+}
+
+// Find implements Store.
+func (s *SliceStore) Find(tmpl tuple.Tuple, remove bool) (tuple.Tuple, bool) {
+	for i, t := range s.tuples {
+		if tuple.Matches(t, tmpl) {
+			if remove {
+				s.tuples = append(s.tuples[:i], s.tuples[i+1:]...)
+			}
+			return t, true
+		}
+	}
+	return tuple.Tuple{}, false
+}
+
+// FindAll implements Store.
+func (s *SliceStore) FindAll(tmpl tuple.Tuple) []tuple.Tuple {
+	var out []tuple.Tuple
+	for _, t := range s.tuples {
+		if tuple.Matches(t, tmpl) {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Count implements Store.
+func (s *SliceStore) Count(tmpl tuple.Tuple) int {
+	n := 0
+	for _, t := range s.tuples {
+		if tuple.Matches(t, tmpl) {
+			n++
+		}
+	}
+	return n
+}
+
+// Len implements Store.
+func (s *SliceStore) Len() int { return len(s.tuples) }
+
+// ForEach implements Store.
+func (s *SliceStore) ForEach(fn func(tuple.Tuple) bool) {
+	for _, t := range s.tuples {
+		if !fn(t) {
+			return
+		}
+	}
+}
+
+// Snapshot implements Store.
+func (s *SliceStore) Snapshot() []tuple.Tuple {
+	cp := make([]tuple.Tuple, len(s.tuples))
+	copy(cp, s.tuples)
+	return cp
+}
+
+// Reset implements Store.
+func (s *SliceStore) Reset() { s.tuples = s.tuples[:0] }

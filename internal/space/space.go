@@ -9,9 +9,25 @@
 //
 // All operations take effect atomically under a single mutex, which
 // directly yields linearizability: the linearization point of every
-// operation is its critical section. Matching scans tuples in insertion
-// order, so the space is a deterministic state machine — a requirement
-// for the BFT state-machine-replication substrate (paper §4).
+// operation is its critical section. Matching always selects tuples in
+// insertion order, so the space is a deterministic state machine — a
+// requirement for the BFT state-machine-replication substrate
+// (paper §4).
+//
+// # Storage engines
+//
+// Tuple storage is pluggable behind the Store interface. Two engines
+// are provided: the slice store (EngineSlice), a linear-scan reference
+// model, and the indexed store (EngineIndexed, the default), which
+// buckets tuples by arity and hashes on the first defined field while
+// preserving insertion-order match semantics through monotonic sequence
+// numbers. Both engines are observationally equivalent by construction
+// and by property test (see parity_test.go); the choice only affects
+// performance. New selects the default engine; NewWithEngine and
+// NewWithStore select explicitly.
+//
+// Blocked rd/in callers are parked on waiters indexed by template
+// arity, so an insert only consults waiters that could possibly match.
 package space
 
 import (
@@ -27,12 +43,12 @@ import (
 // undefined fields where an entry is required.
 var ErrNotEntry = errors.New("space: tuple is not an entry")
 
-// Space is a linearizable augmented tuple space. The zero value is
-// ready to use.
+// Space is a linearizable augmented tuple space backed by a pluggable
+// Store engine.
 type Space struct {
 	mu      sync.Mutex
-	tuples  []tuple.Tuple // insertion order; deterministic match order
-	waiters []*waiter     // registration order; nil slots were served or cancelled
+	store   Store
+	waiters map[int][]*waiter // template arity → registration order
 }
 
 // waiter is a parked blocking rd/in call.
@@ -42,16 +58,39 @@ type waiter struct {
 	matched chan tuple.Tuple
 }
 
-// New returns an empty space.
+// New returns an empty space backed by the default store engine.
 func New() *Space {
-	return &Space{}
+	return NewWithStore(NewIndexedStore())
+}
+
+// NewWithEngine returns an empty space backed by the named engine.
+func NewWithEngine(e Engine) (*Space, error) {
+	st, err := NewStore(e)
+	if err != nil {
+		return nil, err
+	}
+	return NewWithStore(st), nil
+}
+
+// NewWithStore returns an empty space backed by the given store. The
+// store must not be shared with another space or touched directly
+// afterwards.
+func NewWithStore(st Store) *Space {
+	return &Space{store: st, waiters: make(map[int][]*waiter)}
+}
+
+// Engine returns the engine of the backing store.
+func (s *Space) Engine() Engine {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.store.Engine()
 }
 
 // Len returns the number of tuples currently stored.
 func (s *Space) Len() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return len(s.tuples)
+	return s.store.Len()
 }
 
 // BitSize returns the total payload bits stored, for the memory
@@ -60,9 +99,10 @@ func (s *Space) BitSize() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	total := 0
-	for _, t := range s.tuples {
+	s.store.ForEach(func(t tuple.Tuple) bool {
 		total += t.BitSize()
-	}
+		return true
+	})
 	return total
 }
 
@@ -78,50 +118,49 @@ func (s *Space) Out(t tuple.Tuple) error {
 	return nil
 }
 
-// insertLocked adds t and delivers it to matching waiters, in
+// insertLocked adds t, first offering it to matching waiters in
 // registration order. All matching non-destructive (rd) waiters observe
 // the tuple; the first matching destructive (in) waiter consumes it, in
 // which case the tuple is never stored.
 func (s *Space) insertLocked(t tuple.Tuple) {
-	consumed := false
-	for i, w := range s.waiters {
-		if w == nil || !tuple.Matches(t, w.tmpl) {
+	if s.deliverLocked(t) {
+		return
+	}
+	s.store.Insert(t)
+}
+
+// deliverLocked hands t to parked waiters of the matching arity, in
+// registration order, removing every served waiter from the index.
+// It reports whether a destructive waiter consumed the tuple.
+func (s *Space) deliverLocked(t tuple.Tuple) (consumed bool) {
+	arity := t.Arity()
+	list := s.waiters[arity]
+	if len(list) == 0 {
+		return false
+	}
+	kept := list[:0]
+	for _, w := range list {
+		if !tuple.Matches(t, w.tmpl) || (w.remove && consumed) {
+			kept = append(kept, w)
 			continue
 		}
 		if w.remove {
-			if consumed {
-				continue
-			}
 			consumed = true
 		}
-		s.waiters[i] = nil
 		w.matched <- t
 	}
-	s.compactWaitersLocked()
-	if !consumed {
-		s.tuples = append(s.tuples, t)
-	}
+	s.setWaitersLocked(arity, kept)
+	return consumed
 }
 
-// compactWaitersLocked drops trailing and, when mostly empty, interior
-// nil slots so the waiter list does not grow without bound.
-func (s *Space) compactWaitersLocked() {
-	live := 0
-	for _, w := range s.waiters {
-		if w != nil {
-			live++
-		}
-	}
-	if live*2 >= len(s.waiters) {
+// setWaitersLocked stores the waiter list for an arity, dropping the
+// bucket entirely when it empties so served waiters never linger.
+func (s *Space) setWaitersLocked(arity int, list []*waiter) {
+	if len(list) == 0 {
+		delete(s.waiters, arity)
 		return
 	}
-	kept := make([]*waiter, 0, live)
-	for _, w := range s.waiters {
-		if w != nil {
-			kept = append(kept, w)
-		}
-	}
-	s.waiters = kept
+	s.waiters[arity] = list
 }
 
 // Rdp performs a non-blocking non-destructive read: it returns the first
@@ -130,7 +169,7 @@ func (s *Space) compactWaitersLocked() {
 func (s *Space) Rdp(tmpl tuple.Tuple) (tuple.Tuple, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.findLocked(tmpl, false)
+	return s.store.Find(tmpl, false)
 }
 
 // Inp performs a non-blocking destructive read: like Rdp but the matched
@@ -138,19 +177,7 @@ func (s *Space) Rdp(tmpl tuple.Tuple) (tuple.Tuple, bool) {
 func (s *Space) Inp(tmpl tuple.Tuple) (tuple.Tuple, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.findLocked(tmpl, true)
-}
-
-func (s *Space) findLocked(tmpl tuple.Tuple, remove bool) (tuple.Tuple, bool) {
-	for i, t := range s.tuples {
-		if tuple.Matches(t, tmpl) {
-			if remove {
-				s.tuples = append(s.tuples[:i], s.tuples[i+1:]...)
-			}
-			return t, true
-		}
-	}
-	return tuple.Tuple{}, false
+	return s.store.Find(tmpl, true)
 }
 
 // Rd performs a blocking non-destructive read: it waits until a tuple
@@ -168,12 +195,13 @@ func (s *Space) In(ctx context.Context, tmpl tuple.Tuple) (tuple.Tuple, error) {
 
 func (s *Space) blocking(ctx context.Context, tmpl tuple.Tuple, remove bool) (tuple.Tuple, error) {
 	s.mu.Lock()
-	if t, ok := s.findLocked(tmpl, remove); ok {
+	if t, ok := s.store.Find(tmpl, remove); ok {
 		s.mu.Unlock()
 		return t, nil
 	}
+	arity := tmpl.Arity()
 	w := &waiter{tmpl: tmpl, remove: remove, matched: make(chan tuple.Tuple, 1)}
-	s.waiters = append(s.waiters, w)
+	s.waiters[arity] = append(s.waiters[arity], w)
 	s.mu.Unlock()
 
 	select {
@@ -182,9 +210,10 @@ func (s *Space) blocking(ctx context.Context, tmpl tuple.Tuple, remove bool) (tu
 	case <-ctx.Done():
 		s.mu.Lock()
 		delivered := true
-		for i, q := range s.waiters {
+		list := s.waiters[arity]
+		for i, q := range list {
 			if q == w {
-				s.waiters[i] = nil
+				s.setWaitersLocked(arity, append(list[:i], list[i+1:]...))
 				delivered = false
 				break
 			}
@@ -210,7 +239,7 @@ func (s *Space) Cas(tmpl, t tuple.Tuple) (inserted bool, matched tuple.Tuple, er
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if m, ok := s.findLocked(tmpl, false); ok {
+	if m, ok := s.store.Find(tmpl, false); ok {
 		return false, m, nil
 	}
 	s.insertLocked(t)
@@ -222,17 +251,7 @@ func (s *Space) Cas(tmpl, t tuple.Tuple) (inserted bool, matched tuple.Tuple, er
 func (s *Space) RdAll(tmpl tuple.Tuple) []tuple.Tuple {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return rdAllLocked(s, tmpl)
-}
-
-func rdAllLocked(s *Space, tmpl tuple.Tuple) []tuple.Tuple {
-	var out []tuple.Tuple
-	for _, t := range s.tuples {
-		if tuple.Matches(t, tmpl) {
-			out = append(out, t)
-		}
-	}
-	return out
+	return s.store.FindAll(tmpl)
 }
 
 // Snapshot returns a copy of the space contents in insertion order, for
@@ -240,20 +259,54 @@ func rdAllLocked(s *Space, tmpl tuple.Tuple) []tuple.Tuple {
 func (s *Space) Snapshot() []tuple.Tuple {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	cp := make([]tuple.Tuple, len(s.tuples))
-	copy(cp, s.tuples)
-	return cp
+	return s.store.Snapshot()
 }
 
-// Restore replaces the space contents with the given tuples (in order),
-// discarding the current contents. Waiters are re-evaluated against the
-// restored tuples.
+// Restore atomically replaces the space contents with the given tuples
+// (in order), discarding the current contents.
+//
+// Restore semantics are deliberately two-phased so a replica installing
+// a checkpoint reaches exactly the snapshot state first: the store is
+// reset and every tuple installed verbatim, and only then are parked
+// waiters re-evaluated against the restored contents, in registration
+// order, with normal rd/in semantics (a served destructive waiter
+// removes its match). On a replica the service executes only
+// non-blocking operations, so no waiters exist and the restored state
+// is bit-identical to the snapshot.
 func (s *Space) Restore(tuples []tuple.Tuple) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.tuples = s.tuples[:0]
+	s.store.Reset()
 	for _, t := range tuples {
-		s.insertLocked(t)
+		s.store.Insert(t)
+	}
+	s.wakeWaitersLocked()
+}
+
+// Reset discards the space contents without waking or discarding
+// waiters: parked rd/in calls stay parked until a later insert or
+// Restore satisfies them, or their context ends.
+func (s *Space) Reset() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.store.Reset()
+}
+
+// wakeWaitersLocked re-evaluates every parked waiter against the store,
+// in registration order per arity (arity classes are independent: a
+// waiter can only match tuples of its template's arity). Served waiters
+// are removed from the index.
+func (s *Space) wakeWaitersLocked() {
+	for arity, list := range s.waiters {
+		kept := list[:0]
+		for _, w := range list {
+			if t, ok := s.store.Find(w.tmpl, w.remove); ok {
+				w.matched <- t
+				continue
+			}
+			kept = append(kept, w)
+		}
+		s.setWaitersLocked(arity, kept)
 	}
 }
 
@@ -265,22 +318,12 @@ func (s *Space) Restore(tuples []tuple.Tuple) {
 func (s *Space) ForEach(fn func(tuple.Tuple) bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	for _, t := range s.tuples {
-		if !fn(t) {
-			return
-		}
-	}
+	s.store.ForEach(fn)
 }
 
 // CountMatching returns the number of stored tuples matching tmpl.
 func (s *Space) CountMatching(tmpl tuple.Tuple) int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	n := 0
-	for _, t := range s.tuples {
-		if tuple.Matches(t, tmpl) {
-			n++
-		}
-	}
-	return n
+	return s.store.Count(tmpl)
 }

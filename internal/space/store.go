@@ -1,0 +1,79 @@
+package space
+
+import (
+	"fmt"
+
+	"peats/internal/tuple"
+)
+
+// Engine names a tuple-store implementation selectable at space
+// construction time.
+type Engine string
+
+const (
+	// EngineSlice is the reference store: a flat slice scanned linearly.
+	// It is the executable specification of the match semantics and the
+	// baseline the indexed engine is property-tested against.
+	EngineSlice Engine = "slice"
+	// EngineIndexed is the production store: tuples bucketed by arity and
+	// hashed on their first field, with insertion order preserved through
+	// monotonic sequence numbers.
+	EngineIndexed Engine = "indexed"
+)
+
+// DefaultEngine is the engine used when none is specified.
+const DefaultEngine = EngineIndexed
+
+// Store is the storage engine behind a Space: an ordered multiset of
+// entries with template matching. A Store is not safe for concurrent
+// use; the owning Space serialises access under its mutex.
+//
+// Determinism contract: the space is the shared object of a BFT
+// state-machine-replication substrate (paper §4), so every method must
+// be a pure function of the sequence of Insert/Find(remove)/Reset calls
+// applied so far. In particular, Find and FindAll must select matches
+// in insertion order, and ForEach and Snapshot must iterate in
+// insertion order — regardless of how the engine organises tuples
+// internally. Two stores (of any engine) fed the same call sequence
+// must return identical results.
+type Store interface {
+	// Engine identifies the implementation, for reporting.
+	Engine() Engine
+	// Insert adds entry t after every tuple already stored.
+	Insert(t tuple.Tuple)
+	// Find returns the first tuple in insertion order matching tmpl,
+	// removing it when remove is true.
+	Find(tmpl tuple.Tuple, remove bool) (tuple.Tuple, bool)
+	// FindAll returns every stored tuple matching tmpl, in insertion
+	// order (nil when none match).
+	FindAll(tmpl tuple.Tuple) []tuple.Tuple
+	// Count returns the number of stored tuples matching tmpl.
+	Count(tmpl tuple.Tuple) int
+	// Len returns the number of stored tuples.
+	Len() int
+	// ForEach visits stored tuples in insertion order until fn returns
+	// false.
+	ForEach(fn func(tuple.Tuple) bool)
+	// Snapshot returns a copy of the contents in insertion order.
+	Snapshot() []tuple.Tuple
+	// Reset discards every stored tuple.
+	Reset()
+}
+
+// NewStore returns a fresh store for the named engine. The empty engine
+// selects DefaultEngine.
+func NewStore(e Engine) (Store, error) {
+	switch e {
+	case "":
+		return NewStore(DefaultEngine)
+	case EngineSlice:
+		return NewSliceStore(), nil
+	case EngineIndexed:
+		return NewIndexedStore(), nil
+	default:
+		return nil, fmt.Errorf("space: unknown store engine %q", e)
+	}
+}
+
+// Engines lists the selectable engines.
+func Engines() []Engine { return []Engine{EngineSlice, EngineIndexed} }

@@ -32,12 +32,12 @@ func (tx *Tx) Out(t tuple.Tuple) error {
 
 // Rdp returns the first tuple matching tmpl (see Space.Rdp).
 func (tx *Tx) Rdp(tmpl tuple.Tuple) (tuple.Tuple, bool) {
-	return tx.s.findLocked(tmpl, false)
+	return tx.s.store.Find(tmpl, false)
 }
 
 // Inp removes and returns the first tuple matching tmpl (see Space.Inp).
 func (tx *Tx) Inp(tmpl tuple.Tuple) (tuple.Tuple, bool) {
-	return tx.s.findLocked(tmpl, true)
+	return tx.s.store.Find(tmpl, true)
 }
 
 // Cas performs the conditional atomic swap (see Space.Cas).
@@ -45,7 +45,7 @@ func (tx *Tx) Cas(tmpl, t tuple.Tuple) (bool, tuple.Tuple, error) {
 	if !t.IsEntry() {
 		return false, tuple.Tuple{}, ErrNotEntry
 	}
-	if m, ok := tx.s.findLocked(tmpl, false); ok {
+	if m, ok := tx.s.store.Find(tmpl, false); ok {
 		return false, m, nil
 	}
 	tx.s.insertLocked(t)
@@ -54,28 +54,18 @@ func (tx *Tx) Cas(tmpl, t tuple.Tuple) (bool, tuple.Tuple, error) {
 
 // RdAll returns every stored tuple matching tmpl (see Space.RdAll).
 func (tx *Tx) RdAll(tmpl tuple.Tuple) []tuple.Tuple {
-	return rdAllLocked(tx.s, tmpl)
+	return tx.s.store.FindAll(tmpl)
 }
 
 // Len returns the number of stored tuples.
-func (tx *Tx) Len() int { return len(tx.s.tuples) }
+func (tx *Tx) Len() int { return tx.s.store.Len() }
 
 // CountMatching returns how many stored tuples match tmpl.
 func (tx *Tx) CountMatching(tmpl tuple.Tuple) int {
-	n := 0
-	for _, t := range tx.s.tuples {
-		if tuple.Matches(t, tmpl) {
-			n++
-		}
-	}
-	return n
+	return tx.s.store.Count(tmpl)
 }
 
 // ForEach visits stored tuples in insertion order until fn returns false.
 func (tx *Tx) ForEach(fn func(tuple.Tuple) bool) {
-	for _, t := range tx.s.tuples {
-		if !fn(t) {
-			return
-		}
-	}
+	tx.s.store.ForEach(fn)
 }

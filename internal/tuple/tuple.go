@@ -11,6 +11,7 @@
 package tuple
 
 import (
+	"encoding/binary"
 	"fmt"
 	"strconv"
 	"strings"
@@ -210,6 +211,28 @@ func (f Field) String() string {
 		}
 	}
 	return "<invalid>"
+}
+
+// MatchKey returns a canonical key for a defined field value: two
+// defined fields are Equal iff their keys are equal, so the key can
+// index hash buckets without weakening match semantics. It returns
+// ok=false for wildcard and formal fields, which have no value to key.
+func (f Field) MatchKey() (string, bool) {
+	if f.mode != modeValue {
+		return "", false
+	}
+	switch f.kind {
+	case KindInt, KindBool:
+		var buf [9]byte
+		buf[0] = byte(f.kind)
+		binary.BigEndian.PutUint64(buf[1:], uint64(f.i))
+		return string(buf[:]), true
+	case KindString:
+		return string([]byte{byte(f.kind)}) + f.s, true
+	case KindBytes:
+		return string([]byte{byte(f.kind)}) + string(f.b), true
+	}
+	return "", false
 }
 
 // BitSize returns the number of bits of payload the field occupies,

@@ -99,8 +99,57 @@ type (
 // invocation.
 var ErrDenied = ipeats.ErrDenied
 
-// NewSpace returns a local PEATS protected by the given policy.
-func NewSpace(pol Policy) *Space { return ipeats.New(pol) }
+// StoreEngine selects the tuple-storage engine backing a space. The
+// zero value selects the default engine (IndexedStore).
+type StoreEngine = space.Engine
+
+// Available store engines.
+const (
+	// SliceStore is the linear-scan reference engine: simplest possible
+	// semantics, O(n) matching. Useful as a baseline and for debugging.
+	SliceStore StoreEngine = space.EngineSlice
+	// IndexedStore is the production engine (the default): tuples are
+	// bucketed by arity and hashed on their first field, with insertion
+	// order — and therefore match determinism — preserved through
+	// monotonic sequence numbers.
+	IndexedStore StoreEngine = space.EngineIndexed
+)
+
+// Option configures space construction (NewSpace, NewLocalCluster).
+type Option func(*options)
+
+type options struct {
+	engine StoreEngine
+}
+
+// WithStore selects the tuple-storage engine. Both engines implement
+// identical deterministic match semantics (enforced by property test),
+// so the choice only affects performance; replicas of one cluster may
+// even mix engines.
+func WithStore(e StoreEngine) Option {
+	return func(o *options) { o.engine = e }
+}
+
+func buildOptions(opts []Option) options {
+	var o options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return o
+}
+
+// NewSpace returns a local PEATS protected by the given policy. By
+// default the space uses the indexed store engine; pass
+// WithStore(SliceStore) for the reference engine. Unknown engines
+// panic, as they indicate a programming error at construction time.
+func NewSpace(pol Policy, opts ...Option) *Space {
+	o := buildOptions(opts)
+	s, err := ipeats.NewWithEngine(pol, o.engine)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
 
 // WrapSpace protects an existing raw space with a policy.
 func WrapSpace(inner *space.Space, pol Policy) *Space { return ipeats.Wrap(inner, pol) }
@@ -122,12 +171,18 @@ type (
 // NewLocalCluster starts an in-process BFT-replicated PEATS with
 // n = 3f+1 replicas, each running the reference monitor with the given
 // policy. Callers obtain TupleSpace handles with ClusterSpace and must
-// Stop the cluster when done.
-func NewLocalCluster(f int, pol Policy) (*Cluster, error) {
+// Stop the cluster when done. WithStore selects the storage engine
+// every replica's space uses.
+func NewLocalCluster(f int, pol Policy, opts ...Option) (*Cluster, error) {
+	o := buildOptions(opts)
 	n := 3*f + 1
 	services := make([]bft.Service, n)
 	for i := range services {
-		services[i] = bft.NewSpaceService(pol)
+		svc, err := bft.NewSpaceServiceWithEngine(pol, o.engine)
+		if err != nil {
+			return nil, err
+		}
+		services[i] = svc
 	}
 	return bft.NewCluster(f, services)
 }

@@ -83,3 +83,54 @@ Rrdp: allow rdp
 		t.Errorf("forged note err = %v, want ErrDenied", err)
 	}
 }
+
+// TestFacadeStoreEngines exercises the WithStore option end to end:
+// each engine drives a local space through the full monitor path, and
+// a replicated cluster runs on the reference engine, proving the
+// engine choice threads through every layer.
+func TestFacadeStoreEngines(t *testing.T) {
+	ctx := context.Background()
+	for _, eng := range []StoreEngine{SliceStore, IndexedStore} {
+		s := NewSpace(AllowAll(), WithStore(eng))
+		h := s.Handle("p1")
+		for i := int64(0); i < 3; i++ {
+			if err := h.Out(ctx, T(Str("E"), Int(i))); err != nil {
+				t.Fatalf("%s: out: %v", eng, err)
+			}
+		}
+		// First match in insertion order, identically on both engines.
+		got, ok, err := h.Inp(ctx, T(Str("E"), Any()))
+		if err != nil || !ok {
+			t.Fatalf("%s: inp: %v %v", eng, ok, err)
+		}
+		if v, _ := got.Field(1).IntValue(); v != 0 {
+			t.Errorf("%s: inp returned %v, want first inserted", eng, got)
+		}
+		if s.Inner().Engine() != eng {
+			t.Errorf("space reports engine %q, want %q", s.Inner().Engine(), eng)
+		}
+	}
+
+	if NewSpace(AllowAll()).Inner().Engine() != IndexedStore {
+		t.Error("default engine is not the indexed store")
+	}
+
+	cluster, err := NewLocalCluster(1, AllowAll(), WithStore(SliceStore))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Stop()
+	cctx, cancel := context.WithTimeout(ctx, 30*time.Second)
+	defer cancel()
+	rs := ClusterSpace(cluster, "p1")
+	if err := rs.Out(cctx, T(Str("R"), Int(7))); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := rs.Rdp(cctx, T(Str("R"), Any()))
+	if err != nil || !ok {
+		t.Fatalf("replicated rdp over slice engine: %v %v", ok, err)
+	}
+	if v, _ := got.Field(1).IntValue(); v != 7 {
+		t.Errorf("replicated rdp = %v", got)
+	}
+}
