@@ -6,7 +6,12 @@
 //	peats-bench -table resilience  E2: n ≥ 3t+1 bound (Thm. 2 / Cor. 1)
 //	peats-bench -table kvalued     E3: n ≥ (k+1)t+1 bound (Thms. 3-4)
 //	peats-bench -table stores      storage-engine comparison (slice vs indexed)
+//	peats-bench -table agreement   agreement layer: batched vs unbatched, read-only vs ordered
 //	peats-bench -table all         everything
+//
+// The agreement table additionally writes a machine-readable report to
+// -json (default BENCH_agreement.json); size it with -agree-writers,
+// -agree-ops, -agree-reads and -agree-batch.
 package main
 
 import (
@@ -23,20 +28,28 @@ import (
 
 func main() {
 	var (
-		table   = flag.String("table", "all", "table to print: bits|ops|resilience|kvalued|ablation|stores|all")
-		tsFlag  = flag.String("t", "1,2,3,4", "comma-separated fault bounds t")
-		ksFlag  = flag.String("k", "2,3,4", "comma-separated domain sizes k (kvalued table)")
-		probe   = flag.Duration("probe", 500*time.Millisecond, "stall window for below-bound probes")
-		timeout = flag.Duration("timeout", 5*time.Minute, "overall deadline")
+		table    = flag.String("table", "all", "table to print: bits|ops|resilience|kvalued|ablation|stores|agreement|all")
+		tsFlag   = flag.String("t", "1,2,3,4", "comma-separated fault bounds t")
+		ksFlag   = flag.String("k", "2,3,4", "comma-separated domain sizes k (kvalued table)")
+		probe    = flag.Duration("probe", 500*time.Millisecond, "stall window for below-bound probes")
+		timeout  = flag.Duration("timeout", 5*time.Minute, "overall deadline")
+		agWriter = flag.Int("agree-writers", 0, "agreement table: concurrent writer clients (default 32)")
+		agOps    = flag.Int("agree-ops", 0, "agreement table: ordered write ops (out/inp) per writer (default 60)")
+		agReads  = flag.Int("agree-reads", 0, "agreement table: rdp probes per read mode (default 300)")
+		agBatch  = flag.Int("agree-batch", 0, "agreement table: batched configuration (default 64)")
+		jsonPath = flag.String("json", "BENCH_agreement.json", "agreement table: machine-readable report path ('' disables)")
 	)
 	flag.Parse()
-	if err := run(*table, *tsFlag, *ksFlag, *probe, *timeout); err != nil {
+	agree := bench.AgreementConfig{
+		Writers: *agWriter, OpsPerWriter: *agOps, Reads: *agReads, BatchSize: *agBatch,
+	}
+	if err := run(*table, *tsFlag, *ksFlag, *probe, *timeout, agree, *jsonPath); err != nil {
 		fmt.Fprintln(os.Stderr, "peats-bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(table, tsFlag, ksFlag string, probe, timeout time.Duration) error {
+func run(table, tsFlag, ksFlag string, probe, timeout time.Duration, agree bench.AgreementConfig, jsonPath string) error {
 	ts, err := parseInts(tsFlag)
 	if err != nil {
 		return fmt.Errorf("-t: %w", err)
@@ -94,6 +107,22 @@ func run(table, tsFlag, ksFlag string, probe, timeout time.Duration) error {
 			return err
 		}
 		bench.WriteStoresTable(os.Stdout, rows)
+		fmt.Println()
+		printed = true
+	}
+	if want("agreement") {
+		fmt.Println("Agreement layer — batched vs unbatched ordering, read-only vs ordered reads (in-proc):")
+		rows, err := bench.AgreementTable(ctx, agree)
+		if err != nil {
+			return err
+		}
+		bench.WriteAgreementTable(os.Stdout, rows)
+		if jsonPath != "" {
+			if err := bench.WriteAgreementJSON(jsonPath, rows); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", jsonPath)
+		}
 		fmt.Println()
 		printed = true
 	}

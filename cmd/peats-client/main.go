@@ -68,7 +68,9 @@ func run(id, peers, master string, f int) error {
 		return err
 	}
 	defer tr.Close()
-	ts := bft.NewRemoteSpace(bft.NewClient(tr, replicaIDs, f))
+	cli := bft.NewClient(tr, replicaIDs, f)
+	cli.Keyring = kr // enables the authenticator vector + primary-first sends
+	ts := bft.NewRemoteSpace(cli)
 
 	fmt.Printf("connected as %s to %v; type 'help'\n", id, replicaIDs)
 	sc := bufio.NewScanner(os.Stdin)

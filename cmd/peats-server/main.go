@@ -19,6 +19,7 @@ import (
 	"sort"
 	"strings"
 	"syscall"
+	"time"
 
 	"log"
 
@@ -33,28 +34,41 @@ import (
 
 func main() {
 	var (
-		id      = flag.String("id", "", "replica identity (must appear in -peers)")
-		listen  = flag.String("listen", "", "listen address, e.g. 127.0.0.1:7000")
-		peers   = flag.String("peers", "", "comma-separated id=addr pairs for ALL replicas")
-		fFlag   = flag.Int("f", 1, "tolerated Byzantine replicas (n = 3f+1)")
-		master  = flag.String("master", "", "shared master secret for pairwise keys")
-		polName = flag.String("policy", "allow-all", "access policy: allow-all|weak|strong:<n>,<t>|lockfree")
-		clients = flag.String("clients", "", "comma-separated client identities to provision keys for")
-		engine  = flag.String("store", "", "tuple-store engine: slice|indexed (default indexed)")
-		verbose = flag.Bool("v", false, "log protocol events")
+		id         = flag.String("id", "", "replica identity (must appear in -peers)")
+		listen     = flag.String("listen", "", "listen address, e.g. 127.0.0.1:7000")
+		peers      = flag.String("peers", "", "comma-separated id=addr pairs for ALL replicas")
+		fFlag      = flag.Int("f", 1, "tolerated Byzantine replicas (n = 3f+1)")
+		master     = flag.String("master", "", "shared master secret for pairwise keys")
+		polName    = flag.String("policy", "allow-all", "access policy: allow-all|weak|strong:<n>,<t>|lockfree")
+		clients    = flag.String("clients", "", "comma-separated client identities to provision keys for")
+		engine     = flag.String("store", "", "tuple-store engine: slice|indexed (default indexed)")
+		batch      = flag.Int("batch", 64, "max client requests ordered per agreement round (1 = unbatched)")
+		batchDelay = flag.Duration("batch-delay", 2*time.Millisecond, "max time the primary holds a non-full batch while the pipeline is busy")
+		verbose    = flag.Bool("v", false, "log protocol events")
 	)
 	flag.Parse()
-	if err := run(*id, *listen, *peers, *clients, *master, *polName, *engine, *fFlag, *verbose); err != nil {
+	if err := run(serverConfig{
+		id: *id, listen: *listen, peers: *peers, clients: *clients,
+		master: *master, polName: *polName, engine: *engine,
+		f: *fFlag, batch: *batch, batchDelay: *batchDelay, verbose: *verbose,
+	}); err != nil {
 		fmt.Fprintln(os.Stderr, "peats-server:", err)
 		os.Exit(1)
 	}
 }
 
-func run(id, listen, peers, clients, master, polName, engine string, f int, verbose bool) error {
-	if id == "" || listen == "" || peers == "" || master == "" {
+type serverConfig struct {
+	id, listen, peers, clients, master, polName, engine string
+	f, batch                                            int
+	batchDelay                                          time.Duration
+	verbose                                             bool
+}
+
+func run(cfg serverConfig) error {
+	if cfg.id == "" || cfg.listen == "" || cfg.peers == "" || cfg.master == "" {
 		return fmt.Errorf("-id, -listen, -peers and -master are required")
 	}
-	addrs, err := parsePeers(peers)
+	addrs, err := parsePeers(cfg.peers)
 	if err != nil {
 		return err
 	}
@@ -63,52 +77,57 @@ func run(id, listen, peers, clients, master, polName, engine string, f int, verb
 		replicaIDs = append(replicaIDs, rid)
 	}
 	sort.Strings(replicaIDs)
-	if len(replicaIDs) != 3*f+1 {
-		return fmt.Errorf("got %d replicas for f=%d, need %d", len(replicaIDs), f, 3*f+1)
+	if len(replicaIDs) != 3*cfg.f+1 {
+		return fmt.Errorf("got %d replicas for f=%d, need %d", len(replicaIDs), cfg.f, 3*cfg.f+1)
 	}
 
-	pol, err := buildPolicy(polName)
+	pol, err := buildPolicy(cfg.polName)
 	if err != nil {
 		return err
 	}
 
-	// Provision pairwise keys for replicas and known clients.
+	// Provision pairwise keys for replicas and known clients. The same
+	// keyring authenticates transport frames and verifies the request
+	// authenticator vectors clients attach for the batching fast path.
 	all := append([]string{}, replicaIDs...)
-	if clients != "" {
-		all = append(all, strings.Split(clients, ",")...)
+	if cfg.clients != "" {
+		all = append(all, strings.Split(cfg.clients, ",")...)
 	}
-	kr := auth.NewKeyringFromMaster([]byte(master), id, all)
+	kr := auth.NewKeyringFromMaster([]byte(cfg.master), cfg.id, all)
 
-	tr, err := transport.NewTCP(id, listen, addrs, kr)
+	tr, err := transport.NewTCP(cfg.id, cfg.listen, addrs, kr)
 	if err != nil {
 		return err
 	}
 	defer tr.Close()
 
-	svc, err := bft.NewSpaceServiceWithEngine(pol, space.Engine(engine))
+	svc, err := bft.NewSpaceServiceWithEngine(pol, space.Engine(cfg.engine))
 	if err != nil {
 		return err
 	}
 
 	var logger *log.Logger
-	if verbose {
+	if cfg.verbose {
 		logger = log.New(os.Stderr, "", log.Lmicroseconds)
 	}
 	rep, err := bft.NewReplica(bft.ReplicaConfig{
-		ID:        id,
-		Replicas:  replicaIDs,
-		F:         f,
-		Transport: tr,
-		Service:   svc,
-		Logger:    logger,
+		ID:         cfg.id,
+		Replicas:   replicaIDs,
+		F:          cfg.f,
+		Transport:  tr,
+		Service:    svc,
+		BatchSize:  cfg.batch,
+		BatchDelay: cfg.batchDelay,
+		Keyring:    kr,
+		Logger:     logger,
 	})
 	if err != nil {
 		return err
 	}
 	rep.Start()
 	defer rep.Stop()
-	fmt.Printf("replica %s serving on %s (group %v, f=%d, policy %s)\n",
-		id, tr.Addr(), replicaIDs, f, polName)
+	fmt.Printf("replica %s serving on %s (group %v, f=%d, policy %s, batch %d)\n",
+		cfg.id, tr.Addr(), replicaIDs, cfg.f, cfg.polName, cfg.batch)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -16,6 +16,7 @@ import (
 	"crypto/sha256"
 	"errors"
 	"fmt"
+	"hash"
 	"sort"
 	"sync"
 )
@@ -64,11 +65,47 @@ type Keyring struct {
 	self string
 	mu   sync.RWMutex
 	keys map[string]Key
+	// macs caches one reusable HMAC instance per peer: crypto/hmac
+	// restores its precomputed inner/outer pad states on Reset, so an
+	// amortized MAC costs two compression runs with no per-call key
+	// schedule or wrapper allocation. MAC computation is per-request
+	// work on the replication hot path (request authenticator
+	// vectors), so this matters.
+	macs map[string]*peerMAC
+}
+
+// peerMAC is a mutex-guarded reusable HMAC-SHA256 instance for one
+// pairwise key.
+type peerMAC struct {
+	mu      sync.Mutex
+	h       hash.Hash
+	scratch [KeySize]byte // verify-side sum buffer, reused under mu
+}
+
+func newPeerMAC(k Key) *peerMAC {
+	return &peerMAC{h: hmac.New(sha256.New, k[:])}
+}
+
+func (p *peerMAC) mac(msg []byte) []byte {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.h.Reset()
+	p.h.Write(msg)
+	return p.h.Sum(make([]byte, 0, KeySize))
+}
+
+// verify checks a MAC without allocating.
+func (p *peerMAC) verify(msg, mac []byte) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.h.Reset()
+	p.h.Write(msg)
+	return hmac.Equal(p.h.Sum(p.scratch[:0]), mac)
 }
 
 // NewKeyring returns an empty keyring for the given node identity.
 func NewKeyring(self string) *Keyring {
-	return &Keyring{self: self, keys: make(map[string]Key)}
+	return &Keyring{self: self, keys: make(map[string]Key), macs: make(map[string]*peerMAC)}
 }
 
 // NewKeyringFromMaster returns a keyring pre-provisioned with derived
@@ -92,6 +129,7 @@ func (kr *Keyring) SetKey(peer string, k Key) {
 	kr.mu.Lock()
 	defer kr.mu.Unlock()
 	kr.keys[peer] = k
+	kr.macs[peer] = newPeerMAC(k)
 }
 
 // Peers returns the identities the keyring has keys for, sorted.
@@ -109,24 +147,24 @@ func (kr *Keyring) Peers() []string {
 // MAC computes the authenticator for msg on the channel to peer.
 func (kr *Keyring) MAC(peer string, msg []byte) ([]byte, error) {
 	kr.mu.RLock()
-	k, ok := kr.keys[peer]
+	pm := kr.macs[peer]
 	kr.mu.RUnlock()
-	if !ok {
+	if pm == nil {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownPeer, peer)
 	}
-	m := hmac.New(sha256.New, k[:])
-	m.Write(msg)
-	return m.Sum(nil), nil
+	return pm.mac(msg), nil
 }
 
 // Verify checks the authenticator for msg on the channel from peer.
 // It returns false for unknown peers and for invalid MACs.
 func (kr *Keyring) Verify(peer string, msg, mac []byte) bool {
-	want, err := kr.MAC(peer, msg)
-	if err != nil {
+	kr.mu.RLock()
+	pm := kr.macs[peer]
+	kr.mu.RUnlock()
+	if pm == nil {
 		return false
 	}
-	return hmac.Equal(want, mac)
+	return pm.verify(msg, mac)
 }
 
 // Digest returns the SHA-256 digest of b. Protocol messages are

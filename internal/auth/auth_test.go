@@ -1,6 +1,8 @@
 package auth
 
 import (
+	"crypto/hmac"
+	"crypto/sha256"
 	"errors"
 	"testing"
 	"testing/quick"
@@ -112,5 +114,29 @@ func TestDigestStable(t *testing.T) {
 	}
 	if Digest([]byte("a")) == Digest([]byte("b")) {
 		t.Error("digest collision on trivial input")
+	}
+}
+
+func TestPadCachedMACMatchesHMAC(t *testing.T) {
+	// The pad-state fast path must be bit-identical to crypto/hmac —
+	// TCP frames and request authenticators from old and new nodes
+	// interoperate.
+	kr := NewKeyring("a")
+	k := DeriveKey([]byte("m"), "a", "b")
+	kr.SetKey("b", k)
+	for _, msg := range [][]byte{nil, {}, []byte("x"), make([]byte, 31), make([]byte, 32), make([]byte, 200)} {
+		got, err := kr.MAC("b", msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := hmac.New(sha256.New, k[:])
+		m.Write(msg)
+		want := m.Sum(nil)
+		if !hmac.Equal(got, want) {
+			t.Fatalf("MAC(%d bytes) diverges from crypto/hmac", len(msg))
+		}
+		if !kr.Verify("b", msg, want) {
+			t.Fatalf("Verify rejects the canonical HMAC for %d bytes", len(msg))
+		}
 	}
 }

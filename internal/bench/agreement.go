@@ -1,0 +1,323 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"text/tabwriter"
+	"time"
+
+	"peats/internal/bft"
+	"peats/internal/policy"
+	"peats/internal/tuple"
+)
+
+// AgreementConfig sizes the agreement-layer comparison. The zero value
+// selects defaults sized for a laptop run; CI smoke-tests the path with
+// tiny parameters.
+type AgreementConfig struct {
+	// Writers is the number of concurrent writer clients.
+	Writers int
+	// OpsPerWriter is how many ordered write operations each writer
+	// issues per configuration.
+	OpsPerWriter int
+	// Reads is how many sequential rdp probes each read mode issues.
+	Reads int
+	// BatchSize is the batched configuration compared against batch
+	// size 1.
+	BatchSize int
+	// Groups lists the fault bounds f to sweep (n = 3f+1 replicas).
+	// Batching amortizes the O(n²) agreement traffic, so its speedup
+	// grows with the group — the sweep shows the scaling.
+	Groups []int
+}
+
+func (c AgreementConfig) withDefaults() AgreementConfig {
+	if c.Writers <= 0 {
+		c.Writers = 32
+	}
+	if c.OpsPerWriter <= 0 {
+		c.OpsPerWriter = 60
+	}
+	if c.Reads <= 0 {
+		c.Reads = 300
+	}
+	if c.BatchSize <= 1 {
+		c.BatchSize = 64
+	}
+	if len(c.Groups) == 0 {
+		c.Groups = []int{1, 2, 4}
+	}
+	return c
+}
+
+// AgreementRow is one measurement of the agreement-layer comparison on
+// the in-process transport: batched vs unbatched ordered writes under
+// concurrent clients (per group size), and read-only vs ordered read
+// latency.
+type AgreementRow struct {
+	Workload  string  `json:"workload"` // "write" or "read"
+	Mode      string  `json:"mode"`     // "batch=N" / "ordered" / "read-only"
+	F         int     `json:"f"`        // fault bound; n = 3f+1 replicas
+	Clients   int     `json:"clients"`
+	Ops       int     `json:"ops"`
+	Seconds   float64 `json:"seconds"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+	AvgMicros float64 `json:"avg_latency_us"`
+}
+
+// AgreementTable measures the agreement layer: write throughput with
+// concurrent clients at batch size 1 vs cfg.BatchSize, and rdp latency
+// on the ordered path vs the read-only fast path.
+func AgreementTable(ctx context.Context, cfg AgreementConfig) ([]AgreementRow, error) {
+	cfg = cfg.withDefaults()
+	var rows []AgreementRow
+
+	for _, f := range cfg.Groups {
+		for _, batch := range []int{1, cfg.BatchSize} {
+			row, err := writeThroughput(ctx, f, batch, cfg.Writers, cfg.OpsPerWriter)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, row)
+		}
+	}
+	readRows, err := readLatency(ctx, cfg.BatchSize, cfg.Reads)
+	if err != nil {
+		return nil, err
+	}
+	return append(rows, readRows...), nil
+}
+
+func agreementCluster(f, batch int) (*bft.Cluster, error) {
+	pol := policy.AllowAll()
+	services := make([]bft.Service, 3*f+1)
+	for i := range services {
+		services[i] = bft.NewSpaceService(pol)
+	}
+	return bft.NewCluster(f, services, bft.WithBatchSize(batch))
+}
+
+// writeThroughput measures steady-state wall-clock throughput of
+// Writers concurrent clients each issuing OpsPerWriter ordered write
+// operations (alternating out and inp so the resident space — and with
+// it the checkpoint cost — stays bounded, isolating agreement-layer
+// cost). A warm-up wave runs before the timed one so cluster and
+// client setup stay out of the measurement.
+func writeThroughput(ctx context.Context, f, batch, writers, opsPer int) (AgreementRow, error) {
+	cl, err := agreementCluster(f, batch)
+	if err != nil {
+		return AgreementRow{}, err
+	}
+	defer cl.Stop()
+
+	spaces := make([]*bft.RemoteSpace, writers)
+	for w := range spaces {
+		spaces[w] = bft.NewRemoteSpace(cl.Client(fmt.Sprintf("w%d", w)))
+	}
+	wave := func(ops int) (time.Duration, error) {
+		var wg sync.WaitGroup
+		errs := make(chan error, writers)
+		start := time.Now()
+		for w := 0; w < writers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				entry := tuple.T(tuple.Str("LOAD"), tuple.Int(int64(w)))
+				for i := 0; i < ops; i++ {
+					if i%2 == 0 {
+						if err := spaces[w].Out(ctx, entry); err != nil {
+							errs <- fmt.Errorf("writer %d out %d: %w", w, i, err)
+							return
+						}
+					} else if _, _, err := spaces[w].Inp(ctx, entry); err != nil {
+						errs <- fmt.Errorf("writer %d inp %d: %w", w, i, err)
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		close(errs)
+		return elapsed, <-errs
+	}
+
+	warm := opsPer / 4
+	if warm < 2 {
+		warm = 2
+	}
+	if _, err := wave(warm); err != nil {
+		return AgreementRow{}, err
+	}
+	elapsed, err := wave(opsPer)
+	if err != nil {
+		return AgreementRow{}, err
+	}
+
+	ops := writers * opsPer
+	return AgreementRow{
+		Workload:  "write",
+		Mode:      fmt.Sprintf("batch=%d", batch),
+		F:         f,
+		Clients:   writers,
+		Ops:       ops,
+		Seconds:   elapsed.Seconds(),
+		OpsPerSec: float64(ops) / elapsed.Seconds(),
+		AvgMicros: float64(elapsed.Microseconds()) / float64(ops) * float64(writers),
+	}, nil
+}
+
+// readLatency measures sequential rdp latency over a settled cluster,
+// on the ordered path and on the read-only fast path.
+func readLatency(ctx context.Context, batch, reads int) ([]AgreementRow, error) {
+	cl, err := agreementCluster(1, batch)
+	if err != nil {
+		return nil, err
+	}
+	defer cl.Stop()
+
+	writer := bft.NewRemoteSpace(cl.Client("seed"))
+	if err := writer.Out(ctx, tuple.T(tuple.Str("NEEDLE"), tuple.Int(1))); err != nil {
+		return nil, err
+	}
+	// Let every replica execute the write so the read-only quorum forms
+	// on the first round trip, as in steady state.
+	deadline := time.Now().Add(2 * time.Second)
+	for _, r := range cl.Replicas {
+		for r.Executed() < 1 && time.Now().Before(deadline) {
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	tmpl := tuple.T(tuple.Str("NEEDLE"), tuple.Any())
+	var rows []AgreementRow
+	for _, mode := range []struct {
+		name    string
+		ordered bool
+	}{{"ordered", true}, {"read-only", false}} {
+		ts := bft.NewRemoteSpace(cl.Client("reader-" + mode.name))
+		ts.OrderedReads = mode.ordered
+		start := time.Now()
+		for i := 0; i < reads; i++ {
+			if _, ok, err := ts.Rdp(ctx, tmpl); err != nil || !ok {
+				return nil, fmt.Errorf("%s rdp %d: found=%v err=%v", mode.name, i, ok, err)
+			}
+		}
+		elapsed := time.Since(start)
+		rows = append(rows, AgreementRow{
+			Workload:  "read",
+			Mode:      mode.name,
+			F:         1,
+			Clients:   1,
+			Ops:       reads,
+			Seconds:   elapsed.Seconds(),
+			OpsPerSec: float64(reads) / elapsed.Seconds(),
+			AvgMicros: float64(elapsed.Microseconds()) / float64(reads),
+		})
+	}
+	return rows, nil
+}
+
+// WriteAgreementTable renders the agreement comparison with the
+// batching speedup per group size and the read-path latency ratio.
+func WriteAgreementTable(w io.Writer, rows []AgreementRow) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "workload\tmode\tn\tclients\tops\tops/sec\tavg latency")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%d\t%d\t%.0f\t%.0fµs\n",
+			r.Workload, r.Mode, 3*r.F+1, r.Clients, r.Ops, r.OpsPerSec, r.AvgMicros)
+	}
+	tw.Flush()
+	for _, s := range WriteSpeedups(rows) {
+		fmt.Fprintf(w, "batching speedup at n=%d: %.1fx write throughput\n", 3*s.F+1, s.Speedup)
+	}
+	if r := readOnlyGain(rows); r > 0 {
+		fmt.Fprintf(w, "read-only fast path: %.1fx lower read latency\n", r)
+	}
+}
+
+// WriteSpeedup is batched-over-unbatched write throughput at one group
+// size.
+type WriteSpeedup struct {
+	F       int     `json:"f"`
+	Speedup float64 `json:"speedup"`
+}
+
+// WriteSpeedups returns the batching speedup per fault bound, in row
+// order. Batching amortizes the O(n²) vote traffic of the three-phase
+// protocol, so the speedup grows with the replica group.
+func WriteSpeedups(rows []AgreementRow) []WriteSpeedup {
+	base := make(map[int]float64)
+	batched := make(map[int]float64)
+	var order []int
+	for _, r := range rows {
+		if r.Workload != "write" {
+			continue
+		}
+		if _, seen := base[r.F]; !seen {
+			if _, seen := batched[r.F]; !seen {
+				order = append(order, r.F)
+			}
+		}
+		if r.Mode == "batch=1" {
+			base[r.F] = r.OpsPerSec
+		} else {
+			batched[r.F] = r.OpsPerSec
+		}
+	}
+	var out []WriteSpeedup
+	for _, f := range order {
+		if base[f] > 0 && batched[f] > 0 {
+			out = append(out, WriteSpeedup{F: f, Speedup: batched[f] / base[f]})
+		}
+	}
+	return out
+}
+
+// readOnlyGain returns ordered over read-only average read latency.
+func readOnlyGain(rows []AgreementRow) float64 {
+	var ordered, ro float64
+	for _, r := range rows {
+		if r.Workload != "read" {
+			continue
+		}
+		if r.Mode == "ordered" {
+			ordered = r.AvgMicros
+		} else {
+			ro = r.AvgMicros
+		}
+	}
+	if ordered == 0 || ro == 0 {
+		return 0
+	}
+	return ordered / ro
+}
+
+// agreementReport is the machine-readable artifact schema.
+type agreementReport struct {
+	Table           string         `json:"table"`
+	GeneratedAt     string         `json:"generated_at"`
+	WriteSpeedups   []WriteSpeedup `json:"write_speedups"`
+	ReadLatencyGain float64        `json:"read_latency_gain"`
+	Rows            []AgreementRow `json:"rows"`
+}
+
+// WriteAgreementJSON writes the rows as a machine-readable JSON report.
+func WriteAgreementJSON(path string, rows []AgreementRow) error {
+	report := agreementReport{
+		Table:           "agreement",
+		GeneratedAt:     time.Now().UTC().Format(time.RFC3339),
+		WriteSpeedups:   WriteSpeedups(rows),
+		ReadLatencyGain: readOnlyGain(rows),
+		Rows:            rows,
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

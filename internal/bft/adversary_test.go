@@ -258,6 +258,166 @@ func TestLossyNetworkStillCommits(t *testing.T) {
 	}
 }
 
+// TestByzantinePrimaryEquivocatesOnBatchContents: the fake primary
+// proposes the SAME two client requests under the same sequence number
+// but in different orders to different backups — the batch digests
+// differ, no quorum can form on either, and the group must recover via
+// view change with both requests executing exactly once.
+func TestByzantinePrimaryEquivocatesOnBatchContents(t *testing.T) {
+	ids := []string{"r0", "r1", "r2", "r3"}
+	net := transport.NewNetwork(7)
+	t.Cleanup(net.Close)
+	startBackups(t, net, ids, 200*time.Millisecond)
+
+	// Two well-formed clients (one outstanding request each): the
+	// adversarial reordering below must not trip per-client
+	// at-most-once suppression.
+	c1, c2 := net.Endpoint("c1"), net.Endpoint("c2")
+	req1 := Request{Client: "c1", ReqID: 1, Op: wire.EncodeSpaceOp(wire.SpaceOp{
+		Op: policy.OpOut, Entry: tuple.T(tuple.Str("EQ"), tuple.Int(1))})}
+	req2 := Request{Client: "c2", ReqID: 1, Op: wire.EncodeSpaceOp(wire.SpaceOp{
+		Op: policy.OpOut, Entry: tuple.T(tuple.Str("EQ"), tuple.Int(2))})}
+	send := func(from *transport.Endpoint, msg any, to ...string) {
+		payload, err := Marshal(msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, id := range to {
+			_ = from.Send(id, payload)
+		}
+	}
+	// The clients broadcast their requests (no keyring on this path),
+	// so every backup holds first-hand copies and can vouch.
+	send(c1, req1, "r1", "r2", "r3")
+	send(c2, req2, "r1", "r2", "r3")
+
+	fp := startFakePrimary(net, "r0", func(fp *fakePrimary, m transport.Inbound) {
+		msg, err := Unmarshal(m.Payload)
+		if err != nil {
+			return
+		}
+		if _, ok := msg.(Request); !ok {
+			return // silent in the view change
+		}
+		ab := []Request{req1, req2}
+		ba := []Request{req2, req1}
+		fp.send(t, "r1", Batch{View: 0, Seq: 1, Digest: BatchDigest(ab), Reqs: ab})
+		fp.send(t, "r2", Batch{View: 0, Seq: 1, Digest: BatchDigest(ba), Reqs: ba})
+		fp.send(t, "r3", Batch{View: 0, Seq: 1, Digest: BatchDigest(ba), Reqs: ba})
+	})
+	defer fp.halt()
+	// Trigger the equivocation (requests reach r0 too).
+	send(c1, req1, "r0")
+	send(c2, req2, "r0")
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	reader := NewRemoteSpace(NewClient(net.Endpoint("reader"), ids, 1))
+	// Both requests must eventually commit (under the new view) …
+	for _, want := range []int64{1, 2} {
+		if _, err := reader.Rd(ctx, tuple.T(tuple.Str("EQ"), tuple.Int(want))); err != nil {
+			t.Fatalf("request %d never executed after batch equivocation: %v", want, err)
+		}
+	}
+	// … and exactly once each.
+	all, err := reader.RdAll(ctx, tuple.T(tuple.Str("EQ"), tuple.Any()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 2 {
+		t.Errorf("%d EQ tuples, want 2 (lost or double execution): %v", len(all), all)
+	}
+}
+
+// TestViewChangeMidBatchPreservesDigest: a batch prepared in view 0 at
+// only part of the group (so it cannot commit) must be re-proposed in
+// view 1 under the SAME digest, and every request in it must execute
+// exactly once.
+func TestViewChangeMidBatchPreservesDigest(t *testing.T) {
+	ids := []string{"r0", "r1", "r2", "r3"}
+	net := transport.NewNetwork(7)
+	t.Cleanup(net.Close)
+	startBackups(t, net, ids, 200*time.Millisecond)
+
+	client := net.Endpoint("c")
+	req1 := Request{Client: "c", ReqID: 1, Op: wire.EncodeSpaceOp(wire.SpaceOp{
+		Op: policy.OpOut, Entry: tuple.T(tuple.Str("VC"), tuple.Int(1))})}
+	req2 := Request{Client: "c", ReqID: 2, Op: wire.EncodeSpaceOp(wire.SpaceOp{
+		Op: policy.OpOut, Entry: tuple.T(tuple.Str("VC"), tuple.Int(2))})}
+	for _, req := range []Request{req1, req2} {
+		payload, err := Marshal(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, id := range ids[1:] {
+			_ = client.Send(id, payload)
+		}
+	}
+
+	newViews := make(chan NewView, 4)
+	fp := startFakePrimary(net, "r0", func(fp *fakePrimary, m transport.Inbound) {
+		msg, err := Unmarshal(m.Payload)
+		if err != nil {
+			return
+		}
+		if nv, ok := msg.(NewView); ok {
+			newViews <- nv
+		}
+	})
+	defer fp.halt()
+
+	// Propose the batch to r1 and r2 only: both reach a prepare quorum
+	// (the pre-prepare carries the primary's implicit vote) but the
+	// commit quorum of 3 cannot form — the batch is stuck prepared when
+	// the view-change timers fire.
+	reqs := []Request{req1, req2}
+	batch := Batch{View: 0, Seq: 1, Digest: BatchDigest(reqs), Reqs: reqs}
+	fp.send(t, "r1", batch)
+	fp.send(t, "r2", batch)
+
+	// The NEW-VIEW from the view-1 primary (r1) must re-propose the
+	// prepared batch under its original digest.
+	select {
+	case nv := <-newViews:
+		if nv.View != 1 {
+			t.Fatalf("NEW-VIEW for view %d, want 1", nv.View)
+		}
+		found := false
+		for _, b := range nv.Batches {
+			if b.Seq == 1 {
+				found = true
+				if b.Digest != batch.Digest {
+					t.Errorf("batch re-proposed under digest %x, want %x", b.Digest[:4], batch.Digest[:4])
+				}
+				if len(b.Reqs) != 2 {
+					t.Errorf("re-proposed batch has %d requests, want 2", len(b.Reqs))
+				}
+			}
+		}
+		if !found {
+			t.Error("NEW-VIEW does not re-propose the prepared batch")
+		}
+	case <-time.After(20 * time.Second):
+		t.Fatal("no NEW-VIEW observed")
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	reader := NewRemoteSpace(NewClient(net.Endpoint("reader"), ids, 1))
+	for _, want := range []int64{1, 2} {
+		if _, err := reader.Rd(ctx, tuple.T(tuple.Str("VC"), tuple.Int(want))); err != nil {
+			t.Fatalf("request %d lost across the view change: %v", want, err)
+		}
+	}
+	all, err := reader.RdAll(ctx, tuple.T(tuple.Str("VC"), tuple.Any()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 2 {
+		t.Errorf("%d VC tuples, want 2 (lost or double execution): %v", len(all), all)
+	}
+}
+
 func TestByzantineClientCannotImpersonateViaProtocol(t *testing.T) {
 	// A Byzantine CLIENT submits a request claiming another client's
 	// identity; replicas verify the transport-authenticated sender and

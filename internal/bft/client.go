@@ -3,17 +3,38 @@ package bft
 import (
 	"context"
 	"fmt"
+	"math/bits"
+	"sort"
 	"sync"
 	"time"
 
+	"peats/internal/auth"
 	"peats/internal/transport"
 )
 
-// Client invokes operations on the replicated service. It broadcasts
-// each request to every replica and accepts a result once f+1 distinct
-// replicas report byte-identical results — with at most f faulty
-// replicas, at least one of the f+1 is correct, so the result is the
-// one produced by the correct state machine.
+// Client invokes operations on the replicated service.
+//
+// Ordered operations are sent to the presumed primary first (when the
+// client holds pairwise keys, so it can attach the authenticator vector
+// backups need to vouch for primary-relayed requests) and broadcast to
+// every replica only on retransmission — the happy path costs one
+// message instead of n. Without keys the client broadcasts from the
+// start, as the backups can then only vouch for first-hand copies.
+//
+// An ordered result is accepted once 2f+1 distinct replicas report
+// byte-identical results. f+1 would suffice for correctness of the
+// result itself, but the stronger threshold is what makes the
+// read-only optimization linearizable (Castro-Liskov §4.1): a write
+// accepted at 2f+1 has executed at ≥ f+1 correct replicas, and any
+// 2f+1 read-only quorum contains ≥ f+1 correct repliers, so the two
+// sets intersect in a correct replica whose read reflects the write.
+//
+// Read-only operations take the unordered fast path: the client
+// broadcasts a READ-ONLY message, replicas execute it against current
+// committed state, and the client accepts once 2f+1 distinct replicas
+// report byte-identical read-only replies. If the quorum cannot form
+// (replies conflict or time out), the client falls back to the
+// ordered path.
 //
 // A Client issues one operation at a time (the model's well-formedness
 // assumption); Invoke is not safe for concurrent use.
@@ -23,9 +44,96 @@ type Client struct {
 	replicas []string
 	f        int
 	reqID    uint64
+	view     uint64 // highest view observed in replies: primary guess
 	// RetransmitInterval is how often an unanswered request is resent
 	// (asynchronous networks may drop it). Defaults to 100ms.
 	RetransmitInterval time.Duration
+	// ReadOnlyFallback is how long a read-only invocation waits for a
+	// 2f+1 matching-reply quorum before falling back to the ordered
+	// path. Defaults to 50ms.
+	ReadOnlyFallback time.Duration
+	// Keyring optionally holds the client's pairwise keys with every
+	// replica; it enables the authenticator vector and the primary-first
+	// send pattern.
+	Keyring *auth.Keyring
+
+	retx    *time.Ticker // reusable retransmission ticker
+	roTimer *time.Timer  // reusable read-only fallback timer
+
+	indexes map[string]int // replica id → group index
+	votes   voteBox        // reusable per-invocation vote tally
+	views   []uint64       // per-invocation reported views, by replica index
+	seen    uint64         // bitmask of replicas that reported a view
+}
+
+// voteBox tallies byte-identical replies per distinct result, with
+// voters as replica-index bitmasks. It is reused across invocations so
+// the reply hot path allocates nothing per operation.
+type voteBox struct {
+	results []string
+	voters  []uint64
+}
+
+func (v *voteBox) reset() {
+	v.results = v.results[:0]
+	v.voters = v.voters[:0]
+}
+
+// add records one replica's vote and returns the number of distinct
+// replicas now backing that result.
+func (v *voteBox) add(result []byte, replica int) int {
+	bit := uint64(1) << uint(replica)
+	for i, res := range v.results {
+		if res == string(result) {
+			v.voters[i] |= bit
+			return bits.OnesCount64(v.voters[i])
+		}
+	}
+	v.results = append(v.results, string(result))
+	v.voters = append(v.voters, bit)
+	return 1
+}
+
+// best returns the size of the largest camp.
+func (v *voteBox) best() int {
+	best := 0
+	for _, m := range v.voters {
+		if c := bits.OnesCount64(m); c > best {
+			best = c
+		}
+	}
+	return best
+}
+
+// noteView records one replica's claimed view for this invocation.
+func (c *Client) noteView(idx int, view uint64) {
+	if c.views == nil {
+		c.views = make([]uint64, len(c.replicas))
+	}
+	c.views[idx] = view
+	c.seen |= 1 << uint(idx)
+}
+
+// adoptView advances the primary guess to the highest view at least
+// f+1 distinct replicas reported this invocation — a single (possibly
+// Byzantine) reply must not be able to wedge the guess at a bogus
+// view, which would cost every future invocation the retransmission
+// round before reaching the real primary.
+func (c *Client) adoptView() {
+	var reported []uint64
+	for i := range c.replicas {
+		if c.seen&(1<<uint(i)) != 0 {
+			reported = append(reported, c.views[i])
+		}
+	}
+	if len(reported) < c.f+1 {
+		return
+	}
+	sort.Slice(reported, func(i, j int) bool { return reported[i] > reported[j] })
+	// reported[f] is backed by f+1 replicas, at least one correct.
+	if v := reported[c.f]; v > c.view {
+		c.view = v
+	}
 }
 
 // NewClient returns a client for the given replica group. The transport
@@ -33,67 +141,197 @@ type Client struct {
 func NewClient(tr transport.Transport, replicas []string, f int) *Client {
 	cp := make([]string, len(replicas))
 	copy(cp, replicas)
+	indexes := make(map[string]int, len(cp))
+	for i, id := range cp {
+		indexes[id] = i
+	}
 	return &Client{
 		id: tr.Self(), tr: tr, replicas: cp, f: f,
+		indexes:            indexes,
 		RetransmitInterval: 100 * time.Millisecond,
+		ReadOnlyFallback:   50 * time.Millisecond,
 	}
 }
 
 // ID returns the client's authenticated identity.
 func (c *Client) ID() string { return c.id }
 
+// primaryGuess returns the presumed primary of the highest view the
+// client has observed.
+func (c *Client) primaryGuess() string {
+	return c.replicas[c.view%uint64(len(c.replicas))]
+}
+
+// authVector computes the per-replica authenticator vector for req, or
+// nil when the client lacks a key for any replica.
+func (c *Client) authVector(req Request) [][]byte {
+	if c.Keyring == nil {
+		return nil
+	}
+	d := req.Digest()
+	vec := make([][]byte, len(c.replicas))
+	for i, id := range c.replicas {
+		mac, err := c.Keyring.MAC(id, d[:])
+		if err != nil {
+			return nil
+		}
+		vec[i] = mac
+	}
+	return vec
+}
+
 // Invoke submits op for ordered execution and returns the voted result.
 func (c *Client) Invoke(ctx context.Context, op []byte) ([]byte, error) {
 	c.reqID++
 	req := Request{Client: c.id, ReqID: c.reqID, Op: op}
+	req.Auth = c.authVector(req)
+	return c.invokeOrdered(ctx, req)
+}
+
+func (c *Client) invokeOrdered(ctx context.Context, req Request) ([]byte, error) {
 	payload, err := Marshal(req)
 	if err != nil {
 		return nil, fmt.Errorf("bft client: %w", err)
 	}
 
-	send := func() {
+	broadcast := func() {
 		for _, id := range c.replicas {
 			// Best effort: the asynchronous model tolerates loss and the
 			// retransmission loop recovers.
 			_ = c.tr.Send(id, payload)
 		}
 	}
-	send()
+	if req.Auth != nil {
+		// Happy path: the primary relays the request inside its batch,
+		// and the authenticator vector lets backups vouch for it.
+		_ = c.tr.Send(c.primaryGuess(), payload)
+	} else {
+		broadcast()
+	}
 
-	votes := make(map[string]map[string]struct{}) // result → replicas
-	ticker := time.NewTicker(c.RetransmitInterval)
-	defer ticker.Stop()
+	c.votes.reset()
+	c.seen = 0
+	if c.retx == nil {
+		c.retx = time.NewTicker(c.RetransmitInterval)
+	} else {
+		c.retx.Reset(c.RetransmitInterval)
+	}
+	defer c.retx.Stop()
 	for {
 		select {
 		case <-ctx.Done():
 			return nil, fmt.Errorf("bft client: %w", ctx.Err())
-		case <-ticker.C:
-			send()
+		case <-c.retx.C:
+			broadcast()
 		case m, ok := <-c.tr.Inbox():
 			if !ok {
 				return nil, fmt.Errorf("bft client: transport closed")
 			}
-			msg, err := Unmarshal(m.Payload)
-			if err != nil {
-				continue
+			rep, ok := c.replyFor(m, req.ReqID)
+			if !ok || rep.ReadOnly {
+				continue // read-only replies never count toward an ordered vote
 			}
-			rep, ok := msg.(Reply)
-			if !ok || rep.Replica != m.From || rep.ReqID != c.reqID || rep.Client != c.id {
-				continue // stale or foreign message
-			}
-			if !c.isReplica(m.From) {
-				continue
-			}
-			key := string(rep.Result)
-			if votes[key] == nil {
-				votes[key] = make(map[string]struct{})
-			}
-			votes[key][rep.Replica] = struct{}{}
-			if len(votes[key]) >= c.f+1 {
+			idx := c.indexes[rep.Replica]
+			c.noteView(idx, rep.View)
+			if c.votes.add(rep.Result, idx) >= 2*c.f+1 {
+				c.adoptView()
 				return rep.Result, nil
 			}
 		}
 	}
+}
+
+// InvokeReadOnly submits a non-mutating op on the read-only fast path,
+// falling back to ordered execution if no quorum forms.
+func (c *Client) InvokeReadOnly(ctx context.Context, op []byte) ([]byte, error) {
+	c.reqID++
+	ro := ReadOnly{Client: c.id, ReqID: c.reqID, Op: op}
+	payload, err := Marshal(ro)
+	if err != nil {
+		return nil, fmt.Errorf("bft client: %w", err)
+	}
+	for _, id := range c.replicas {
+		_ = c.tr.Send(id, payload)
+	}
+
+	fallback := c.ReadOnlyFallback
+	if fallback <= 0 {
+		fallback = 50 * time.Millisecond
+	}
+	if c.roTimer == nil {
+		c.roTimer = time.NewTimer(fallback)
+	} else {
+		if !c.roTimer.Stop() {
+			select {
+			case <-c.roTimer.C:
+			default:
+			}
+		}
+		c.roTimer.Reset(fallback)
+	}
+	deadline := c.roTimer
+	defer deadline.Stop()
+
+	n := len(c.replicas)
+	need := 2*c.f + 1
+	c.votes.reset()
+	c.seen = 0
+	var replied uint64
+	for {
+		select {
+		case <-ctx.Done():
+			return nil, fmt.Errorf("bft client: %w", ctx.Err())
+		case <-deadline.C:
+			return c.orderedFallback(ctx, op)
+		case m, ok := <-c.tr.Inbox():
+			if !ok {
+				return nil, fmt.Errorf("bft client: transport closed")
+			}
+			rep, ok := c.replyFor(m, ro.ReqID)
+			if !ok || !rep.ReadOnly {
+				continue
+			}
+			idx := c.indexes[rep.Replica]
+			replied |= 1 << uint(idx)
+			c.noteView(idx, rep.View)
+			if c.votes.add(rep.Result, idx) >= need {
+				c.adoptView()
+				return rep.Result, nil
+			}
+			// Fall back as soon as a quorum is impossible: even if every
+			// silent replica joined the largest camp it would not reach
+			// 2f+1 matching replies.
+			if c.votes.best()+(n-bits.OnesCount64(replied)) < need {
+				return c.orderedFallback(ctx, op)
+			}
+		}
+	}
+}
+
+// orderedFallback re-submits the operation on the ordered path under
+// the same request ID (replicas never recorded the read-only attempt,
+// so at-most-once bookkeeping is untouched).
+func (c *Client) orderedFallback(ctx context.Context, op []byte) ([]byte, error) {
+	req := Request{Client: c.id, ReqID: c.reqID, Op: op}
+	req.Auth = c.authVector(req)
+	return c.invokeOrdered(ctx, req)
+}
+
+// replyFor validates an inbound message as a reply to the current
+// request from a genuine replica.
+func (c *Client) replyFor(m transport.Inbound, reqID uint64) (Reply, bool) {
+	msg, err := Unmarshal(m.Payload)
+	if err != nil {
+		return Reply{}, false
+	}
+	rep, ok := msg.(Reply)
+	if !ok || rep.Replica != m.From || rep.ReqID != reqID || rep.Client != c.id {
+		return Reply{}, false // stale or foreign message
+	}
+	if !c.isReplica(m.From) {
+		return Reply{}, false
+	}
+	return rep, true
 }
 
 func (c *Client) isReplica(id string) bool {
@@ -105,6 +343,12 @@ func (c *Client) isReplica(id string) bool {
 	return false
 }
 
+// clusterMaster is the deterministic master secret in-process clusters
+// derive pairwise client-replica keys from. The in-process network
+// already enforces sender identity; the keys only feed the request
+// authenticator vectors, mirroring a real deployment's trusted setup.
+var clusterMaster = []byte("peats-inproc-cluster")
+
 // Cluster is a convenience harness bundling n replicas over an
 // in-process network, used by tests, benchmarks and examples.
 type Cluster struct {
@@ -112,6 +356,8 @@ type Cluster struct {
 	Replicas []*Replica
 	IDs      []string
 	F        int
+
+	keyrings map[string]*auth.Keyring // replica id → its keyring
 
 	mu      sync.Mutex
 	nextCli int
@@ -124,6 +370,8 @@ type clusterConfig struct {
 	checkpointInterval uint64
 	vcTimeout          time.Duration
 	seed               int64
+	batchSize          int
+	batchDelay         time.Duration
 }
 
 // WithCheckpointInterval sets the replicas' checkpoint interval.
@@ -139,6 +387,17 @@ func WithViewChangeTimeout(d time.Duration) ClusterOption {
 // WithSeed sets the network fault-injection seed.
 func WithSeed(seed int64) ClusterOption {
 	return func(c *clusterConfig) { c.seed = seed }
+}
+
+// WithBatchSize sets the replicas' maximum agreement batch size.
+func WithBatchSize(n int) ClusterOption {
+	return func(c *clusterConfig) { c.batchSize = n }
+}
+
+// WithBatchDelay sets how long the primary holds a non-full batch open
+// while earlier batches are in flight.
+func WithBatchDelay(d time.Duration) ClusterOption {
+	return func(c *clusterConfig) { c.batchDelay = d }
 }
 
 // NewCluster starts n = 3f+1 replicas of the given services (one per
@@ -159,7 +418,10 @@ func NewCluster(f int, services []Service, opts ...ClusterOption) (*Cluster, err
 	for i := range ids {
 		ids[i] = fmt.Sprintf("r%d", i)
 	}
-	cl := &Cluster{Net: net, IDs: ids, F: f}
+	cl := &Cluster{Net: net, IDs: ids, F: f, keyrings: make(map[string]*auth.Keyring)}
+	for _, id := range ids {
+		cl.keyrings[id] = auth.NewKeyringFromMaster(clusterMaster, id, ids)
+	}
 	for i, svc := range services {
 		if svc == nil {
 			continue
@@ -172,6 +434,9 @@ func NewCluster(f int, services []Service, opts ...ClusterOption) (*Cluster, err
 			Service:            svc,
 			CheckpointInterval: cfg.checkpointInterval,
 			ViewChangeTimeout:  cfg.vcTimeout,
+			BatchSize:          cfg.batchSize,
+			BatchDelay:         cfg.batchDelay,
+			Keyring:            cl.keyrings[ids[i]],
 		})
 		if err != nil {
 			net.Close()
@@ -184,7 +449,8 @@ func NewCluster(f int, services []Service, opts ...ClusterOption) (*Cluster, err
 }
 
 // Client returns a new client with a unique identity on the cluster's
-// network.
+// network, provisioned with pairwise keys at every replica (the
+// in-process stand-in for a real deployment's key setup).
 func (c *Cluster) Client(id string) *Client {
 	if id == "" {
 		c.mu.Lock()
@@ -192,7 +458,12 @@ func (c *Cluster) Client(id string) *Client {
 		id = fmt.Sprintf("client%d", c.nextCli)
 		c.mu.Unlock()
 	}
-	return NewClient(c.Net.Endpoint(id), c.IDs, c.F)
+	for rid, kr := range c.keyrings {
+		kr.SetKey(id, auth.DeriveKey(clusterMaster, rid, id))
+	}
+	cli := NewClient(c.Net.Endpoint(id), c.IDs, c.F)
+	cli.Keyring = auth.NewKeyringFromMaster(clusterMaster, id, c.IDs)
+	return cli
 }
 
 // Stop shuts down all replicas and the network.

@@ -9,16 +9,35 @@
 // channels: n = 3f+1 replicas, a primary per view, the three-phase
 // pre-prepare/prepare/commit agreement with 2f+1 quorums, periodic
 // checkpoints with state transfer for laggards, view changes driven by
-// request timers, and clients that accept a result once f+1 distinct
-// replicas report the same bytes.
+// request timers, and clients that accept a result once 2f+1 distinct
+// replicas report the same bytes (the threshold that keeps the
+// read-only optimization linearizable; see Client).
+//
+// Two Castro-Liskov throughput optimizations are implemented on top of
+// the base protocol:
+//
+//   - Batching and pipelining: the unit of agreement is a Batch — an
+//     ordered list of client requests under a single digest and
+//     sequence number. The primary accumulates concurrently arriving
+//     requests and assigns sequence numbers without waiting for earlier
+//     batches to commit, pipelined up to the water-mark window.
+//     A single-request batch travels as the classic PRE-PREPARE.
+//
+//   - Read-only fast path: clients send non-mutating operations as
+//     READ-ONLY messages; replicas execute them against their current
+//     committed state without ordering and reply with a read-only flag;
+//     the client accepts once 2f+1 distinct replicas report
+//     byte-identical results, falling back to ordered execution
+//     otherwise.
 //
 // Simplifications relative to the full PBFT paper, none of which affect
-// the experiments: view-change messages carry the pre-prepares of
-// prepared requests directly (channel MACs stand in for the per-message
+// the experiments: view-change messages carry the batches of prepared
+// requests directly (channel MACs stand in for the per-message
 // proof sets), and the low/high water mark window is a fixed constant.
 package bft
 
 import (
+	"encoding/binary"
 	"fmt"
 
 	"peats/internal/auth"
@@ -40,6 +59,9 @@ const (
 	MsgNewView
 	MsgStateRequest
 	MsgStateResponse
+	MsgBatch
+	MsgReadOnly
+	MsgSeqRequest
 )
 
 // String returns the PBFT name of the message type.
@@ -65,34 +87,104 @@ func (t MsgType) String() string {
 		return "STATE-REQUEST"
 	case MsgStateResponse:
 		return "STATE-RESPONSE"
+	case MsgBatch:
+		return "BATCH"
+	case MsgReadOnly:
+		return "READ-ONLY"
+	case MsgSeqRequest:
+		return "SEQ-REQUEST"
 	default:
 		return fmt.Sprintf("MSG(%d)", uint8(t))
 	}
 }
 
 // Request is a client operation submitted for ordering.
+//
+// Auth is an optional authenticator vector: Auth[i] is the HMAC of the
+// request digest under the pairwise key the client shares with the i-th
+// replica of the group. It lets a backup vouch for a request it only
+// saw inside the primary's batch (the client sent it to the primary
+// alone), closing the forgery window that hop-by-hop channel MACs leave
+// open. Requests without a vector fall back to first-hand verification
+// (the client broadcasts and retransmits). The vector is excluded from
+// the digest: the digest identifies the operation, not its transport
+// proof.
 type Request struct {
 	Client string
 	ReqID  uint64
 	Op     []byte
+	Auth   [][]byte
 }
 
-// Digest returns the canonical digest identifying the request.
-func (r Request) Digest() [32]byte { return auth.Digest(encodeRequest(r)) }
+// Digest returns the canonical digest identifying the request. The
+// encoding is assembled in a stack buffer: digests are recomputed on
+// every hot-path hop, so this must not allocate for typical requests.
+func (r Request) Digest() [32]byte {
+	var arr [192]byte
+	buf := appendRequest(arr[:0], r)
+	return auth.Digest(buf)
+}
 
+// appendRequest appends the canonical (digest) encoding: the
+// authenticator vector is deliberately not part of it.
+func appendRequest(buf []byte, r Request) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(r.Client)))
+	buf = append(buf, r.Client...)
+	buf = binary.AppendUvarint(buf, r.ReqID)
+	buf = binary.AppendUvarint(buf, uint64(len(r.Op)))
+	buf = append(buf, r.Op...)
+	return buf
+}
+
+// encodeRequest is the canonical (digest) encoding as a fresh slice.
 func encodeRequest(r Request) []byte {
-	w := wire.NewWriter()
-	w.String(r.Client)
-	w.Uvarint(r.ReqID)
-	w.Bytes(r.Op)
-	return w.Data()
+	return appendRequest(make([]byte, 0, 64+len(r.Client)+len(r.Op)), r)
 }
 
 func decodeRequest(r *wire.Reader) Request {
 	return Request{Client: r.String(), ReqID: r.Uvarint(), Op: r.Bytes()}
 }
 
-// PrePrepare is the primary's ordering proposal for a request.
+// maxAuth bounds decoded authenticator vectors (one entry per replica).
+const maxAuth = 1 << 10
+
+// encodeRequestWire writes the full wire form: canonical encoding plus
+// the authenticator vector.
+func encodeRequestWire(w *wire.Writer, r Request) {
+	w.Bytes(encodeRequest(r))
+	w.Uvarint(uint64(len(r.Auth)))
+	for _, a := range r.Auth {
+		w.Bytes(a)
+	}
+}
+
+func decodeRequestWire(r *wire.Reader) (Request, error) {
+	// The nested body is parsed in place: decodeRequest copies what it
+	// retains (Op, Client), so no defensive copy of the body is needed.
+	body := wire.NewReader(r.BytesView())
+	req := decodeRequest(body)
+	body.ExpectEOF()
+	if err := body.Err(); err != nil {
+		return Request{}, fmt.Errorf("decode request: %w", err)
+	}
+	count := r.Uvarint()
+	if count > maxAuth {
+		return Request{}, fmt.Errorf("request with %d authenticators", count)
+	}
+	if count > 0 {
+		// The authenticators alias the receiver-owned payload: each
+		// replica ever reads only its own slot, so copying the whole
+		// vector per hop would be pure overhead.
+		req.Auth = make([][]byte, 0, count)
+		for i := uint64(0); i < count; i++ {
+			req.Auth = append(req.Auth, r.BytesView())
+		}
+	}
+	return req, nil
+}
+
+// PrePrepare is the primary's ordering proposal for a single request —
+// the wire form of a one-request batch.
 type PrePrepare struct {
 	View   uint64
 	Seq    uint64
@@ -100,7 +192,81 @@ type PrePrepare struct {
 	Req    Request
 }
 
-// Prepare is a replica's vote that it accepted a pre-prepare.
+// Batch is the unit of agreement: an ordered list of client requests
+// proposed under a single digest and sequence number. A one-request
+// batch has the digest of its request (and travels as a PRE-PREPARE);
+// larger batches are digested over the concatenated request encodings.
+type Batch struct {
+	View   uint64
+	Seq    uint64
+	Digest [32]byte
+	Reqs   []Request
+}
+
+// BatchDigest returns the canonical digest of an ordered request list:
+// the digest of the concatenated request digests. For a single request
+// it coincides with the request digest, so the PRE-PREPARE and BATCH
+// forms of the same proposal agree.
+func BatchDigest(reqs []Request) [32]byte {
+	ds := make([][32]byte, len(reqs))
+	for i, r := range reqs {
+		ds[i] = r.Digest()
+	}
+	return batchDigestFrom(ds)
+}
+
+// batchDomain separates the multi-request batch-digest preimage from
+// the request-digest preimage space. A request preimage begins with a
+// canonical uvarint (the client-name length), and no canonical uvarint
+// byte can be 0xff in terminal position — so no encodeRequest output
+// ever starts with 0xff 0x00, and a crafted request can never collide
+// with a batch digest (which would let a Byzantine primary smuggle two
+// different proposals past the same-digest equivocation check).
+var batchDomain = []byte{0xff, 0x00, 'p', 'e', 'a', 't', 's', '-', 'b', 'a', 't', 'c', 'h'}
+
+// batchDigestFrom folds precomputed per-request digests into the batch
+// digest — every consumer needs the request digests anyway, so the
+// batch digest costs one extra hash over 32·k bytes instead of
+// re-encoding every request.
+func batchDigestFrom(ds [][32]byte) [32]byte {
+	if len(ds) == 1 {
+		return ds[0]
+	}
+	buf := make([]byte, 0, 32+33*len(ds))
+	buf = append(buf, batchDomain...)
+	buf = binary.AppendUvarint(buf, uint64(len(ds)))
+	for _, d := range ds {
+		buf = binary.AppendUvarint(buf, 32)
+		buf = append(buf, d[:]...)
+	}
+	return auth.Digest(buf)
+}
+
+// asBatch lifts a pre-prepare into the batch form the replica works on.
+func (pp PrePrepare) asBatch() Batch {
+	return Batch{View: pp.View, Seq: pp.Seq, Digest: pp.Digest, Reqs: []Request{pp.Req}}
+}
+
+// digests returns the per-request digests of the batch and whether the
+// batch digest matches its contents.
+func (b Batch) digests() ([][32]byte, bool) {
+	if len(b.Reqs) == 0 {
+		return nil, false
+	}
+	ds := make([][32]byte, len(b.Reqs))
+	for i, r := range b.Reqs {
+		ds[i] = r.Digest()
+	}
+	return ds, batchDigestFrom(ds) == b.Digest
+}
+
+// wellFormed reports whether the batch's digest matches its contents.
+func (b Batch) wellFormed() bool {
+	_, ok := b.digests()
+	return ok
+}
+
+// Prepare is a replica's vote that it accepted a batch proposal.
 type Prepare struct {
 	View    uint64
 	Seq     uint64
@@ -108,7 +274,7 @@ type Prepare struct {
 	Replica string
 }
 
-// Commit is a replica's vote that the request is prepared network-wide.
+// Commit is a replica's vote that the batch is prepared network-wide.
 type Commit struct {
 	View    uint64
 	Seq     uint64
@@ -117,12 +283,25 @@ type Commit struct {
 }
 
 // Reply carries one replica's execution result back to the client.
+// ReadOnly marks results of the unordered read-only fast path; clients
+// never mix read-only and ordered replies in one vote (a lagging
+// replica's read-only reply must not help an ordered quorum).
 type Reply struct {
-	View    uint64
-	Client  string
-	ReqID   uint64
-	Replica string
-	Result  []byte
+	View     uint64
+	Client   string
+	ReqID    uint64
+	Replica  string
+	Result   []byte
+	ReadOnly bool
+}
+
+// ReadOnly asks a replica to execute a non-mutating operation against
+// its current committed state, without ordering. The reply is only
+// meaningful in a 2f+1 byte-identical vote at the client.
+type ReadOnly struct {
+	Client string
+	ReqID  uint64
+	Op     []byte
 }
 
 // Checkpoint announces a replica's state digest at a checkpoint.
@@ -133,21 +312,30 @@ type Checkpoint struct {
 }
 
 // ViewChange asks to install view NewView. Prepared carries the
-// pre-prepares of requests the sender prepared above its stable
-// checkpoint.
+// batches the sender prepared above its stable checkpoint.
 type ViewChange struct {
 	NewView    uint64
 	LastStable uint64
-	Prepared   []PrePrepare
+	Prepared   []Batch
 	Replica    string
 }
 
-// NewView installs a view: the new primary re-issues pre-prepares for
-// every request prepared by any member of the view-change quorum.
+// NewView installs a view: the new primary re-issues, under their
+// original digests, the batches prepared by any member of the
+// view-change quorum.
 type NewView struct {
-	View        uint64
-	PrePrepares []PrePrepare
-	Replica     string
+	View    uint64
+	Batches []Batch
+	Replica string
+}
+
+// SeqRequest asks peers to re-send their commit vote for a sequence
+// number the sender is stuck on (its protocol messages were lost —
+// the asynchronous network drops messages and votes are not otherwise
+// retransmitted). Client request retransmissions trigger it.
+type SeqRequest struct {
+	Seq     uint64
+	Replica string
 }
 
 // StateRequest asks a peer for the checkpointed state at Seq.
@@ -170,10 +358,13 @@ func Marshal(msg any) ([]byte, error) {
 	switch m := msg.(type) {
 	case Request:
 		w.Byte(byte(MsgRequest))
-		w.Bytes(encodeRequest(m))
+		encodeRequestWire(w, m)
 	case PrePrepare:
 		w.Byte(byte(MsgPrePrepare))
 		encodePrePrepare(w, m)
+	case Batch:
+		w.Byte(byte(MsgBatch))
+		encodeBatch(w, m)
 	case Prepare:
 		w.Byte(byte(MsgPrepare))
 		encodeVote(w, m.View, m.Seq, m.Digest, m.Replica)
@@ -187,6 +378,12 @@ func Marshal(msg any) ([]byte, error) {
 		w.Uvarint(m.ReqID)
 		w.String(m.Replica)
 		w.Bytes(m.Result)
+		w.Bool(m.ReadOnly)
+	case ReadOnly:
+		w.Byte(byte(MsgReadOnly))
+		w.String(m.Client)
+		w.Uvarint(m.ReqID)
+		w.Bytes(m.Op)
 	case Checkpoint:
 		w.Byte(byte(MsgCheckpoint))
 		w.Uvarint(m.Seq)
@@ -197,17 +394,21 @@ func Marshal(msg any) ([]byte, error) {
 		w.Uvarint(m.NewView)
 		w.Uvarint(m.LastStable)
 		w.Uvarint(uint64(len(m.Prepared)))
-		for _, pp := range m.Prepared {
-			encodePrePrepare(w, pp)
+		for _, b := range m.Prepared {
+			encodeBatch(w, b)
 		}
 		w.String(m.Replica)
 	case NewView:
 		w.Byte(byte(MsgNewView))
 		w.Uvarint(m.View)
-		w.Uvarint(uint64(len(m.PrePrepares)))
-		for _, pp := range m.PrePrepares {
-			encodePrePrepare(w, pp)
+		w.Uvarint(uint64(len(m.Batches)))
+		for _, b := range m.Batches {
+			encodeBatch(w, b)
 		}
+		w.String(m.Replica)
+	case SeqRequest:
+		w.Byte(byte(MsgSeqRequest))
+		w.Uvarint(m.Seq)
 		w.String(m.Replica)
 	case StateRequest:
 		w.Byte(byte(MsgStateRequest))
@@ -232,15 +433,23 @@ func Unmarshal(b []byte) (any, error) {
 	var msg any
 	switch t {
 	case MsgRequest:
-		body := wire.NewReader(r.Bytes())
-		req := decodeRequest(body)
-		body.ExpectEOF()
-		if err := body.Err(); err != nil {
-			return nil, fmt.Errorf("bft: decode request: %w", err)
+		req, err := decodeRequestWire(r)
+		if err != nil {
+			return nil, fmt.Errorf("bft: %w", err)
 		}
 		msg = req
 	case MsgPrePrepare:
-		msg = decodePrePrepare(r)
+		pp, err := decodePrePrepare(r)
+		if err != nil {
+			return nil, fmt.Errorf("bft: %w", err)
+		}
+		msg = pp
+	case MsgBatch:
+		bt, err := decodeBatch(r)
+		if err != nil {
+			return nil, fmt.Errorf("bft: %w", err)
+		}
+		msg = bt
 	case MsgPrepare:
 		v, s, d, rep := decodeVote(r)
 		msg = Prepare{View: v, Seq: s, Digest: d, Replica: rep}
@@ -250,8 +459,10 @@ func Unmarshal(b []byte) (any, error) {
 	case MsgReply:
 		msg = Reply{
 			View: r.Uvarint(), Client: r.String(), ReqID: r.Uvarint(),
-			Replica: r.String(), Result: r.Bytes(),
+			Replica: r.String(), Result: r.Bytes(), ReadOnly: r.Bool(),
 		}
+	case MsgReadOnly:
+		msg = ReadOnly{Client: r.String(), ReqID: r.Uvarint(), Op: r.Bytes()}
 	case MsgCheckpoint:
 		cp := Checkpoint{Seq: r.Uvarint()}
 		copy(cp.Digest[:], r.BytesView())
@@ -261,10 +472,14 @@ func Unmarshal(b []byte) (any, error) {
 		vc := ViewChange{NewView: r.Uvarint(), LastStable: r.Uvarint()}
 		count := r.Uvarint()
 		if count > maxBatch {
-			return nil, fmt.Errorf("bft: view-change with %d pre-prepares", count)
+			return nil, fmt.Errorf("bft: view-change with %d batches", count)
 		}
 		for i := uint64(0); i < count; i++ {
-			vc.Prepared = append(vc.Prepared, decodePrePrepare(r))
+			bt, err := decodeBatch(r)
+			if err != nil {
+				return nil, fmt.Errorf("bft: view-change: %w", err)
+			}
+			vc.Prepared = append(vc.Prepared, bt)
 		}
 		vc.Replica = r.String()
 		msg = vc
@@ -272,13 +487,19 @@ func Unmarshal(b []byte) (any, error) {
 		nv := NewView{View: r.Uvarint()}
 		count := r.Uvarint()
 		if count > maxBatch {
-			return nil, fmt.Errorf("bft: new-view with %d pre-prepares", count)
+			return nil, fmt.Errorf("bft: new-view with %d batches", count)
 		}
 		for i := uint64(0); i < count; i++ {
-			nv.PrePrepares = append(nv.PrePrepares, decodePrePrepare(r))
+			bt, err := decodeBatch(r)
+			if err != nil {
+				return nil, fmt.Errorf("bft: new-view: %w", err)
+			}
+			nv.Batches = append(nv.Batches, bt)
 		}
 		nv.Replica = r.String()
 		msg = nv
+	case MsgSeqRequest:
+		msg = SeqRequest{Seq: r.Uvarint(), Replica: r.String()}
 	case MsgStateRequest:
 		msg = StateRequest{Seq: r.Uvarint(), Replica: r.String()}
 	case MsgStateResponse:
@@ -293,23 +514,53 @@ func Unmarshal(b []byte) (any, error) {
 	return msg, nil
 }
 
-// maxBatch bounds decoded pre-prepare lists so malformed messages cannot
-// force huge allocations.
+// maxBatch bounds decoded request and batch lists so malformed messages
+// cannot force huge allocations.
 const maxBatch = 1 << 16
 
 func encodePrePrepare(w *wire.Writer, pp PrePrepare) {
 	w.Uvarint(pp.View)
 	w.Uvarint(pp.Seq)
 	w.Bytes(pp.Digest[:])
-	w.Bytes(encodeRequest(pp.Req))
+	encodeRequestWire(w, pp.Req)
 }
 
-func decodePrePrepare(r *wire.Reader) PrePrepare {
+func decodePrePrepare(r *wire.Reader) (PrePrepare, error) {
 	pp := PrePrepare{View: r.Uvarint(), Seq: r.Uvarint()}
 	copy(pp.Digest[:], r.BytesView())
-	body := wire.NewReader(r.Bytes())
-	pp.Req = decodeRequest(body)
-	return pp
+	req, err := decodeRequestWire(r)
+	if err != nil {
+		return PrePrepare{}, err
+	}
+	pp.Req = req
+	return pp, nil
+}
+
+func encodeBatch(w *wire.Writer, b Batch) {
+	w.Uvarint(b.View)
+	w.Uvarint(b.Seq)
+	w.Bytes(b.Digest[:])
+	w.Uvarint(uint64(len(b.Reqs)))
+	for _, req := range b.Reqs {
+		encodeRequestWire(w, req)
+	}
+}
+
+func decodeBatch(r *wire.Reader) (Batch, error) {
+	b := Batch{View: r.Uvarint(), Seq: r.Uvarint()}
+	copy(b.Digest[:], r.BytesView())
+	count := r.Uvarint()
+	if count > maxBatch {
+		return Batch{}, fmt.Errorf("batch with %d requests", count)
+	}
+	for i := uint64(0); i < count; i++ {
+		req, err := decodeRequestWire(r)
+		if err != nil {
+			return Batch{}, err
+		}
+		b.Reqs = append(b.Reqs, req)
+	}
+	return b, nil
 }
 
 func encodeVote(w *wire.Writer, view, seq uint64, digest [32]byte, replica string) {

@@ -10,20 +10,28 @@ import (
 
 func TestMessageRoundTrips(t *testing.T) {
 	req := Request{Client: "c1", ReqID: 7, Op: []byte{1, 2, 3}}
+	authed := Request{Client: "c2", ReqID: 3, Op: []byte{4},
+		Auth: [][]byte{{0xaa}, {0xbb}, {0xcc}, {0xdd}}}
 	d := req.Digest()
+	batch := []Request{req, {Client: "c2", ReqID: 4, Op: []byte{5}}}
 	msgs := []any{
 		req,
+		authed,
 		PrePrepare{View: 1, Seq: 9, Digest: d, Req: req},
+		Batch{View: 1, Seq: 10, Digest: BatchDigest(batch), Reqs: batch},
 		Prepare{View: 1, Seq: 9, Digest: d, Replica: "r2"},
 		Commit{View: 1, Seq: 9, Digest: d, Replica: "r0"},
 		Reply{View: 1, Client: "c1", ReqID: 7, Replica: "r3", Result: []byte{9}},
+		Reply{View: 1, Client: "c1", ReqID: 8, Replica: "r3", Result: []byte{9}, ReadOnly: true},
+		ReadOnly{Client: "c1", ReqID: 9, Op: []byte{7}},
 		Checkpoint{Seq: 128, Digest: d, Replica: "r1"},
 		ViewChange{NewView: 2, LastStable: 64,
-			Prepared: []PrePrepare{{View: 1, Seq: 65, Digest: d, Req: req}},
+			Prepared: []Batch{{View: 1, Seq: 65, Digest: BatchDigest(batch), Reqs: batch}},
 			Replica:  "r2"},
 		NewView{View: 2,
-			PrePrepares: []PrePrepare{{View: 2, Seq: 65, Digest: d, Req: req}},
-			Replica:     "r2"},
+			Batches: []Batch{{View: 2, Seq: 65, Digest: d, Reqs: []Request{req}}},
+			Replica: "r2"},
+		SeqRequest{Seq: 66, Replica: "r0"},
 		StateRequest{Seq: 128, Replica: "r3"},
 		StateResponse{Seq: 128, View: 2, Snapshot: []byte{4, 5}, Replica: "r1"},
 	}
@@ -97,6 +105,28 @@ func TestRequestDigestMatchesEncoding(t *testing.T) {
 	req := Request{Client: "c", ReqID: 3, Op: []byte("op")}
 	if req.Digest() != auth.Digest(encodeRequest(req)) {
 		t.Error("Digest() must hash the canonical encoding")
+	}
+	// The authenticator vector is transport proof, not identity: it
+	// must not perturb the digest (a Byzantine primary flipping MAC
+	// bytes must not mint a "different" request).
+	withAuth := req
+	withAuth.Auth = [][]byte{{1}, {2}, {3}, {4}}
+	if withAuth.Digest() != req.Digest() {
+		t.Error("authenticator vector must be excluded from the digest")
+	}
+}
+
+func TestBatchDigest(t *testing.T) {
+	r1 := Request{Client: "a", ReqID: 1, Op: []byte{1}}
+	r2 := Request{Client: "b", ReqID: 1, Op: []byte{2}}
+	if BatchDigest([]Request{r1}) != r1.Digest() {
+		t.Error("single-request batch digest must equal the request digest")
+	}
+	if BatchDigest([]Request{r1, r2}) == BatchDigest([]Request{r2, r1}) {
+		t.Error("batch digest must be order-sensitive")
+	}
+	if BatchDigest([]Request{r1, r2}) == BatchDigest([]Request{r1}) {
+		t.Error("batch digest must cover every request")
 	}
 }
 

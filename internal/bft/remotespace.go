@@ -18,10 +18,18 @@ import (
 //
 // Blocking rd/in are realised by polling their non-blocking variants,
 // as in DEPSPACE.
+//
+// Non-mutating operations (rd, rdp, rdAll) take the read-only fast
+// path by default: replicas answer from current committed state
+// without ordering and the client accepts a 2f+1 byte-identical vote,
+// falling back to ordered execution when the vote cannot form. Set
+// OrderedReads to force every read through total ordering.
 type RemoteSpace struct {
 	c *Client
 	// PollInterval paces the rd/in polling loops (default 5ms).
 	PollInterval time.Duration
+	// OrderedReads disables the read-only fast path.
+	OrderedReads bool
 }
 
 var _ peats.TupleSpace = (*RemoteSpace)(nil)
@@ -38,7 +46,24 @@ func NewRemoteSpace(c *Client) *RemoteSpace {
 func (s *RemoteSpace) ID() policy.ProcessID { return policy.ProcessID(s.c.ID()) }
 
 func (s *RemoteSpace) invoke(ctx context.Context, op wire.SpaceOp) (wire.SpaceResult, error) {
-	raw, err := s.c.Invoke(ctx, wire.EncodeSpaceOp(op))
+	return s.invokeVia(ctx, op, s.c.Invoke)
+}
+
+// invokeRO ships a non-mutating operation over the read-only fast path
+// (unless disabled); the client falls back to ordering on vote failure.
+func (s *RemoteSpace) invokeRO(ctx context.Context, op wire.SpaceOp) (wire.SpaceResult, error) {
+	if s.OrderedReads {
+		return s.invoke(ctx, op)
+	}
+	return s.invokeVia(ctx, op, s.c.InvokeReadOnly)
+}
+
+func (s *RemoteSpace) invokeVia(
+	ctx context.Context,
+	op wire.SpaceOp,
+	call func(context.Context, []byte) ([]byte, error),
+) (wire.SpaceResult, error) {
+	raw, err := call(ctx, wire.EncodeSpaceOp(op))
 	if err != nil {
 		return wire.SpaceResult{}, err
 	}
@@ -60,7 +85,7 @@ func (s *RemoteSpace) Out(ctx context.Context, entry tuple.Tuple) error {
 
 // Rdp implements peats.TupleSpace.
 func (s *RemoteSpace) Rdp(ctx context.Context, tmpl tuple.Tuple) (tuple.Tuple, bool, error) {
-	res, err := s.invoke(ctx, wire.SpaceOp{Op: policy.OpRdp, Template: tmpl})
+	res, err := s.invokeRO(ctx, wire.SpaceOp{Op: policy.OpRdp, Template: tmpl})
 	if err != nil {
 		return tuple.Tuple{}, false, err
 	}
@@ -78,7 +103,7 @@ func (s *RemoteSpace) Inp(ctx context.Context, tmpl tuple.Tuple) (tuple.Tuple, b
 
 // RdAll implements peats.TupleSpace.
 func (s *RemoteSpace) RdAll(ctx context.Context, tmpl tuple.Tuple) ([]tuple.Tuple, error) {
-	res, err := s.invoke(ctx, wire.SpaceOp{Op: policy.OpRdAll, Template: tmpl})
+	res, err := s.invokeRO(ctx, wire.SpaceOp{Op: policy.OpRdAll, Template: tmpl})
 	if err != nil {
 		return nil, err
 	}

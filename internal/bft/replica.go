@@ -3,6 +3,7 @@ package bft
 import (
 	"fmt"
 	"log"
+	"math/bits"
 	"sort"
 	"sync/atomic"
 	"time"
@@ -33,17 +34,54 @@ type ReplicaConfig struct {
 	// to commit before suspecting the primary (default 500ms). Each
 	// unsuccessful view change doubles it.
 	ViewChangeTimeout time.Duration
+	// BatchSize is the maximum number of client requests the primary
+	// proposes under one sequence number. At 1 (the default) every
+	// request is proposed individually the moment it arrives — the
+	// classic per-request protocol. Above 1 the primary accumulates
+	// requests that arrive while earlier batches are in flight and
+	// proposes them together, amortizing the three-phase round.
+	BatchSize int
+	// BatchDelay bounds how long the primary holds a non-full batch
+	// open while earlier batches are in flight (default 2ms). It only
+	// matters when BatchSize > 1: an idle pipeline always proposes
+	// immediately, so the delay is never paid at low load.
+	BatchDelay time.Duration
+	// Keyring optionally holds the pairwise keys this replica shares
+	// with clients. When set, the replica can vouch for a request it
+	// only saw inside the primary's batch by verifying the client's
+	// authenticator vector; without it, verification falls back to
+	// first-hand copies broadcast by the client.
+	Keyring *auth.Keyring
 	// Logger receives protocol diagnostics; nil disables logging.
 	Logger *log.Logger
 }
 
-// logEntry tracks one sequence number through the three phases.
+// logEntry tracks one sequence number through the three phases. Vote
+// sets are bitmasks over replica group indexes (NewReplica bounds the
+// group at 64), so recording a vote is a bit-or instead of a map
+// insert — votes are the highest-volume messages in the protocol.
+//
+// prepares and commits only ever hold votes for the accepted batch's
+// digest. Votes that arrive before the proposal (reordered networks,
+// repair retransmissions) park in early, keyed by the digest they were
+// cast for, and merge on accept — counting a digest-unchecked vote
+// toward a quorum would let an equivocating primary get one fork
+// executed with the other fork's votes.
 type logEntry struct {
-	prePrepare *PrePrepare
-	prepares   map[string]struct{} // replicas that vouched (incl. primary via pre-prepare)
-	commits    map[string]struct{}
+	batch      *Batch
+	digests    [][32]byte // per-request digests, computed once on accept
+	prepares   uint64     // replicas that vouched for batch.Digest (incl. primary via proposal)
+	commits    uint64
+	early      map[[32]byte]*earlyVotes // votes received before the proposal, by digest
 	sentCommit bool
 	executed   bool
+}
+
+// earlyVotes holds votes for one digest at a sequence number whose
+// proposal has not arrived yet.
+type earlyVotes struct {
+	prepares uint64
+	commits  uint64
 }
 
 // clientRecord implements at-most-once execution per client.
@@ -53,12 +91,27 @@ type clientRecord struct {
 	lastView  uint64
 }
 
+// queuedReq is one request awaiting a sequence number at the primary.
+type queuedReq struct {
+	req    Request
+	digest [32]byte
+}
+
+// unverifiedBatch buffers a batch awaiting request verification, with
+// its per-request digests computed once — re-verification runs on
+// every client-request arrival, so it must not re-hash the batch.
+type unverifiedBatch struct {
+	b  Batch
+	ds [][32]byte
+}
+
 // Replica is one member of the replicated PEATS group. Start launches
 // its event loop; Stop shuts it down.
 type Replica struct {
 	cfg     ReplicaConfig
 	n       int
 	index   int
+	indexes map[string]int // replica id → group index
 	logger  *log.Logger
 	tr      transport.Transport
 	service Service
@@ -70,9 +123,11 @@ type Replica struct {
 	lowWater    uint64 // last stable checkpoint
 	entries     map[uint64]*logEntry
 	clients     map[string]*clientRecord
-	pending     map[[32]byte]Request  // awaiting commit (view-change timer)
-	assigned    map[[32]byte]uint64   // primary: digest → assigned seq (current view)
-	unverified  map[uint64]PrePrepare // pre-prepares awaiting the client's first-hand request
+	pending     map[[32]byte]Request       // awaiting commit (view-change timer)
+	assigned    map[[32]byte]uint64        // request digest → seq of its batch (current view)
+	queue       []queuedReq                // primary: requests awaiting a sequence number
+	queued      map[[32]byte]struct{}      // primary: digests in queue
+	unverified  map[uint64]unverifiedBatch // batches awaiting request verification
 	checkpoints map[uint64]map[string][32]byte
 	snapshots   map[uint64][]byte
 
@@ -80,18 +135,31 @@ type Replica struct {
 	nextTimeout  time.Duration
 	viewChanges  map[uint64]map[string]ViewChange
 
-	timer *time.Timer
-	stop  chan struct{}
-	done  chan struct{}
+	timer           *time.Timer
+	batchTimer      *time.Timer
+	batchTimerArmed bool
+	scratchSeen     map[string]struct{} // batchResults duplicate scan, reused
+	stop            chan struct{}
+	done            chan struct{}
 
 	// Atomic mirrors of loop-owned state for external observation.
 	viewMirror     atomic.Uint64
 	executedMirror atomic.Uint64
+	recordsMirror  atomic.Int64
+	batchesMirror  atomic.Uint64
 }
 
 // window is the high-water offset: sequence numbers beyond
 // lowWater+window are refused until a checkpoint advances.
 const window = 1024
+
+// pipelineDepth is how many non-full batches the primary keeps in
+// flight before holding further proposals open to accumulate. Depth 1
+// self-clocks proposals on the commit stream — requests arriving
+// during a round coalesce into the next batch — which measures best on
+// the in-proc transport; full batches always propose immediately, so
+// the pipeline still deepens under saturation.
+const pipelineDepth = 1
 
 // NewReplica validates the configuration and returns a stopped replica.
 func NewReplica(cfg ReplicaConfig) (*Replica, error) {
@@ -99,11 +167,15 @@ func NewReplica(cfg ReplicaConfig) (*Replica, error) {
 		return nil, fmt.Errorf("bft: %d replicas cannot tolerate f=%d (need ≥ %d)",
 			len(cfg.Replicas), cfg.F, 3*cfg.F+1)
 	}
+	if len(cfg.Replicas) > 64 {
+		return nil, fmt.Errorf("bft: %d replicas exceed the group bound of 64", len(cfg.Replicas))
+	}
 	index := -1
+	indexes := make(map[string]int, len(cfg.Replicas))
 	for i, id := range cfg.Replicas {
+		indexes[id] = i
 		if id == cfg.ID {
 			index = i
-			break
 		}
 	}
 	if index < 0 {
@@ -118,10 +190,20 @@ func NewReplica(cfg ReplicaConfig) (*Replica, error) {
 	if cfg.ViewChangeTimeout <= 0 {
 		cfg.ViewChangeTimeout = 500 * time.Millisecond
 	}
+	if cfg.BatchSize < 1 {
+		cfg.BatchSize = 1
+	}
+	if cfg.BatchSize > maxBatch {
+		cfg.BatchSize = maxBatch
+	}
+	if cfg.BatchDelay <= 0 {
+		cfg.BatchDelay = 2 * time.Millisecond
+	}
 	r := &Replica{
 		cfg:         cfg,
 		n:           len(cfg.Replicas),
 		index:       index,
+		indexes:     indexes,
 		logger:      cfg.Logger,
 		tr:          cfg.Transport,
 		service:     cfg.Service,
@@ -129,7 +211,8 @@ func NewReplica(cfg ReplicaConfig) (*Replica, error) {
 		clients:     make(map[string]*clientRecord),
 		pending:     make(map[[32]byte]Request),
 		assigned:    make(map[[32]byte]uint64),
-		unverified:  make(map[uint64]PrePrepare),
+		queued:      make(map[[32]byte]struct{}),
+		unverified:  make(map[uint64]unverifiedBatch),
 		checkpoints: make(map[uint64]map[string][32]byte),
 		snapshots:   make(map[uint64][]byte),
 		viewChanges: make(map[uint64]map[string]ViewChange),
@@ -144,6 +227,8 @@ func NewReplica(cfg ReplicaConfig) (*Replica, error) {
 func (r *Replica) Start() {
 	r.timer = time.NewTimer(time.Hour)
 	r.timer.Stop()
+	r.batchTimer = time.NewTimer(time.Hour)
+	r.batchTimer.Stop()
 	go r.run()
 }
 
@@ -158,6 +243,16 @@ func (r *Replica) View() uint64 { return r.viewMirror.Load() }
 
 // Executed returns the highest executed sequence number.
 func (r *Replica) Executed() uint64 { return r.executedMirror.Load() }
+
+// LogRecords returns the number of protocol-log records currently held
+// (log entries, pending requests, sequence assignments, queued
+// requests, and unverified batches). Checkpoint garbage collection must
+// keep it bounded under sustained load.
+func (r *Replica) LogRecords() int64 { return r.recordsMirror.Load() }
+
+// BatchesProposed returns how many batch proposals this replica has
+// issued as primary (for tests and diagnostics).
+func (r *Replica) BatchesProposed() uint64 { return r.batchesMirror.Load() }
 
 func (r *Replica) logf(format string, args ...any) {
 	if r.logger != nil {
@@ -189,6 +284,10 @@ func (r *Replica) run() {
 		case <-r.timer.C:
 			r.onTimeout()
 			r.sync()
+		case <-r.batchTimer.C:
+			r.batchTimerArmed = false
+			r.flushQueue(true)
+			r.sync()
 		}
 	}
 }
@@ -198,6 +297,8 @@ func (r *Replica) run() {
 func (r *Replica) sync() {
 	r.viewMirror.Store(r.view)
 	r.executedMirror.Store(r.executed)
+	r.recordsMirror.Store(int64(len(r.entries) + len(r.pending) +
+		len(r.assigned) + len(r.queue) + len(r.unverified)))
 }
 
 func (r *Replica) dispatch(m transport.Inbound) {
@@ -216,12 +317,24 @@ func (r *Replica) dispatch(m transport.Inbound) {
 			return
 		}
 		r.onRequest(msg)
+	case ReadOnly:
+		if msg.Client != m.From {
+			r.logf("drop read-only claiming %q from %q", msg.Client, m.From)
+			return
+		}
+		r.onReadOnly(msg)
 	case PrePrepare:
 		if m.From != r.primary(msg.View) {
 			r.logf("drop pre-prepare from non-primary %s", m.From)
 			return
 		}
-		r.onPrePrepare(msg)
+		r.onBatch(msg.asBatch())
+	case Batch:
+		if m.From != r.primary(msg.View) {
+			r.logf("drop batch from non-primary %s", m.From)
+			return
+		}
+		r.onBatch(msg)
 	case Prepare:
 		if msg.Replica != m.From || !r.isReplica(m.From) {
 			return
@@ -247,6 +360,11 @@ func (r *Replica) dispatch(m transport.Inbound) {
 			return
 		}
 		r.onNewView(msg)
+	case SeqRequest:
+		if msg.Replica != m.From || !r.isReplica(m.From) {
+			return
+		}
+		r.onSeqRequest(msg, m.From)
 	case StateRequest:
 		if !r.isReplica(m.From) {
 			return
@@ -263,12 +381,13 @@ func (r *Replica) dispatch(m transport.Inbound) {
 }
 
 func (r *Replica) isReplica(id string) bool {
-	for _, rid := range r.cfg.Replicas {
-		if rid == id {
-			return true
-		}
-	}
-	return false
+	_, ok := r.indexes[id]
+	return ok
+}
+
+// voteBit returns the bitmask bit of a replica's group index.
+func (r *Replica) voteBit(id string) uint64 {
+	return 1 << uint(r.indexes[id])
 }
 
 func (r *Replica) broadcast(msg any) {
@@ -316,73 +435,221 @@ func (r *Replica) onRequest(req Request) {
 	}
 	digest := req.Digest()
 	if r.isPrimary() {
-		if _, dup := r.assigned[digest]; dup {
-			return // already assigned a sequence number
-		}
-		if r.seq+1 > r.lowWater+window {
-			r.logf("window full, dropping request %x", digest[:4])
+		if seq, dup := r.assigned[digest]; dup {
+			// The client is retransmitting a request we already
+			// proposed: protocol messages were probably lost.
+			r.repairSeq(seq)
 			return
 		}
-		r.seq++
-		pp := PrePrepare{View: r.view, Seq: r.seq, Digest: digest, Req: req}
+		if _, dup := r.queued[digest]; dup {
+			return // already awaiting a sequence number
+		}
 		r.pending[digest] = req
-		r.acceptPrePrepare(pp)
-		r.broadcast(pp)
+		r.enqueue(req, digest)
+		r.flushQueue(false)
 		r.armTimer()
 		return
 	}
-	// Backup: clients broadcast requests to every replica, so the
-	// primary has (or will get, via client retransmission) its own copy.
-	// Track the request and suspect the primary if nothing commits
-	// before the timer fires. Requests are deliberately never forwarded
-	// replica-to-replica: channel MACs authenticate only hop-by-hop, so
-	// a forwarded request would let a Byzantine replica forge client
-	// operations.
+	// Backup: the client sends requests to the primary first (or
+	// broadcasts, without a keyring) and broadcasts on retransmit, so
+	// the primary has (or will get) its own copy. Track the request and
+	// suspect the primary if nothing commits before the timer fires.
+	// Requests are deliberately never forwarded replica-to-replica:
+	// channel MACs authenticate only hop-by-hop, so a forwarded request
+	// would let a Byzantine replica forge client operations.
 	//
 	// The timer is armed only when the request FIRST becomes pending:
 	// client retransmissions must not keep pushing it back, or a faulty
 	// primary would never be suspected.
 	if _, dup := r.pending[digest]; dup {
+		if seq, ok := r.assigned[digest]; ok {
+			r.repairSeq(seq)
+		}
 		return
 	}
 	r.pending[digest] = req
 	if len(r.pending) == 1 {
 		r.armTimer()
 	}
-	r.retryUnverified(digest)
+	r.retryUnverified()
 }
 
-// verifiable reports whether the replica may vouch for a pre-prepared
-// request: either the view-change no-op, or a request it received
-// first-hand from the authenticated client. Without this check a
-// Byzantine primary could alter a client's operation in its pre-prepare
-// (requests are only channel-authenticated hop by hop, unlike PBFT's
-// per-request authenticators) and the forgery could prepare and survive
-// a view change.
-func (r *Replica) verifiable(pp PrePrepare) bool {
-	if pp.Req.Client == "" && len(pp.Req.Op) == 0 {
-		return true // no-op filler from a NEW-VIEW
+// repairSeq recovers a sequence number the client is still waiting on:
+// votes are not otherwise retransmitted (the network may drop them),
+// so a replica stuck mid-protocol would hold the 2f+1 reply quorum
+// below threshold forever. The primary re-sends the proposal (for
+// peers that lost it), everyone re-sends its own highest vote, and a
+// SEQ-REQUEST solicits the commit votes we may have lost ourselves.
+// Client retransmissions pace the repair, so it is naturally
+// rate-limited and touches only sequences someone still waits on.
+func (r *Replica) repairSeq(seq uint64) {
+	e := r.entries[seq]
+	if e == nil || e.batch == nil || e.executed {
+		return
 	}
-	_, firsthand := r.pending[pp.Digest]
-	if firsthand {
+	if r.isPrimary() {
+		r.sendProposal(*e.batch)
+	}
+	if e.sentCommit {
+		r.broadcast(Commit{View: r.view, Seq: seq, Digest: e.batch.Digest, Replica: r.cfg.ID})
+	} else if !r.isPrimary() {
+		r.broadcast(Prepare{View: e.batch.View, Seq: seq, Digest: e.batch.Digest, Replica: r.cfg.ID})
+	}
+	r.broadcast(SeqRequest{Seq: seq, Replica: r.cfg.ID})
+}
+
+// onSeqRequest re-sends our commit vote for a sequence a peer is stuck
+// on.
+func (r *Replica) onSeqRequest(sr SeqRequest, from string) {
+	e := r.entries[sr.Seq]
+	if e == nil || e.batch == nil {
+		return
+	}
+	if e.sentCommit || e.executed {
+		r.sendTo(from, Commit{View: r.view, Seq: sr.Seq, Digest: e.batch.Digest, Replica: r.cfg.ID})
+	}
+}
+
+// enqueue appends a request to the primary's batch queue.
+func (r *Replica) enqueue(req Request, digest [32]byte) {
+	r.queue = append(r.queue, queuedReq{req: req, digest: digest})
+	r.queued[digest] = struct{}{}
+}
+
+// flushQueue proposes queued requests as batches. The primary proposes
+// immediately when a full batch is queued or when nothing it proposed
+// is still uncommitted (an idle pipeline must never wait); otherwise it
+// holds the partial batch open — accumulating requests that arrive
+// while earlier batches run the three phases — until the batch fills,
+// the pipeline drains, or the batch timer forces it out. Sequence
+// numbers are assigned without waiting for earlier batches to commit,
+// pipelined up to the water-mark window.
+func (r *Replica) flushQueue(force bool) {
+	if !r.isPrimary() || r.inViewChange {
+		return
+	}
+	max := r.cfg.BatchSize
+	for len(r.queue) > 0 {
+		if r.seq+1 > r.lowWater+window {
+			r.logf("window full, holding %d queued requests", len(r.queue))
+			return // stabilize will flush once the window advances
+		}
+		if !force && len(r.queue) < max && r.seq >= r.executed+pipelineDepth {
+			r.armBatchTimer()
+			return
+		}
+		force = false
+		n := len(r.queue)
+		if n > max {
+			n = max
+		}
+		reqs := make([]Request, n)
+		ds := make([][32]byte, n)
+		for i, q := range r.queue[:n] {
+			reqs[i] = q.req
+			ds[i] = q.digest
+			delete(r.queued, q.digest)
+		}
+		if n == len(r.queue) {
+			r.queue = r.queue[:0] // keep the backing array for the next wave
+		} else {
+			r.queue = append([]queuedReq(nil), r.queue[n:]...)
+		}
+		r.seq++
+		b := Batch{View: r.view, Seq: r.seq, Digest: batchDigestFrom(ds), Reqs: reqs}
+		r.acceptBatch(b, ds)
+		r.sendProposal(b)
+		r.batchesMirror.Add(1)
+		r.armTimer()
+	}
+	r.disarmBatchTimer()
+}
+
+// sendProposal broadcasts a batch proposal, using the classic
+// PRE-PREPARE wire form for single-request batches.
+func (r *Replica) sendProposal(b Batch) {
+	if len(b.Reqs) == 1 {
+		r.broadcast(PrePrepare{View: b.View, Seq: b.Seq, Digest: b.Digest, Req: b.Reqs[0]})
+		return
+	}
+	r.broadcast(b)
+}
+
+func (r *Replica) armBatchTimer() {
+	if r.batchTimerArmed {
+		return
+	}
+	r.batchTimerArmed = true
+	r.batchTimer.Reset(r.cfg.BatchDelay)
+}
+
+func (r *Replica) disarmBatchTimer() {
+	if !r.batchTimerArmed {
+		return
+	}
+	r.batchTimerArmed = false
+	if !r.batchTimer.Stop() {
+		select {
+		case <-r.batchTimer.C:
+		default:
+		}
+	}
+}
+
+// noop reports whether req is the view-change no-op filler.
+func noop(req Request) bool { return req.Client == "" && len(req.Op) == 0 }
+
+// verifiableReq reports whether the replica may vouch for a request
+// proposed in a batch: the view-change no-op, a request it received
+// first-hand from the authenticated client, one the client table
+// proves it saw before, or one carrying a valid authenticator for this
+// replica. Without this check a Byzantine primary could alter a
+// client's operation in its proposal (requests are only
+// channel-authenticated hop by hop) and the forgery could prepare and
+// survive a view change.
+func (r *Replica) verifiableReq(req Request, digest [32]byte) bool {
+	if noop(req) {
+		return true
+	}
+	if _, firsthand := r.pending[digest]; firsthand {
 		return true
 	}
 	// Already-executed requests re-appear after view changes; the
 	// client table proves we saw them first-hand before.
-	if rec, ok := r.clients[pp.Req.Client]; ok && pp.Req.ReqID <= rec.lastReqID {
+	if rec, ok := r.clients[req.Client]; ok && req.ReqID <= rec.lastReqID {
 		return true
 	}
-	return false
+	return r.authValid(req, digest)
 }
 
-// retryUnverified re-processes buffered pre-prepares once the client's
-// first-hand copy of a request arrives.
-func (r *Replica) retryUnverified(digest [32]byte) {
-	for seq, pp := range r.unverified {
-		if pp.Digest == digest {
+// authValid verifies the client's authenticator for this replica.
+func (r *Replica) authValid(req Request, digest [32]byte) bool {
+	kr := r.cfg.Keyring
+	if kr == nil || len(req.Auth) != r.n {
+		return false
+	}
+	return kr.Verify(req.Client, digest[:], req.Auth[r.index])
+}
+
+// batchVerifiable reports whether every request in the batch may be
+// vouched for.
+func (r *Replica) batchVerifiable(b Batch, ds [][32]byte) bool {
+	for i, req := range b.Reqs {
+		if !r.verifiableReq(req, ds[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// retryUnverified re-processes buffered batches once more first-hand
+// requests arrive.
+func (r *Replica) retryUnverified() {
+	for seq, ub := range r.unverified {
+		if r.batchVerifiable(ub.b, ub.ds) {
 			delete(r.unverified, seq)
-			if pp.View == r.view {
-				r.processPrePrepare(pp)
+			if ub.b.View == r.view {
+				r.processBatch(ub.b, ub.ds)
 			}
 		}
 	}
@@ -391,79 +658,101 @@ func (r *Replica) retryUnverified(digest [32]byte) {
 func (r *Replica) entry(seq uint64) *logEntry {
 	e, ok := r.entries[seq]
 	if !ok {
-		e = &logEntry{
-			prepares: make(map[string]struct{}),
-			commits:  make(map[string]struct{}),
-		}
+		e = &logEntry{}
 		r.entries[seq] = e
 	}
 	return e
 }
 
-func (r *Replica) onPrePrepare(pp PrePrepare) {
-	if r.inViewChange || pp.View != r.view {
+func (r *Replica) onBatch(b Batch) {
+	if r.inViewChange || b.View != r.view {
 		return
 	}
-	if pp.Seq <= r.lowWater || pp.Seq > r.lowWater+window {
+	if b.Seq <= r.lowWater || b.Seq > r.lowWater+window {
 		return
 	}
-	if pp.Req.Digest() != pp.Digest {
-		r.logf("pre-prepare digest mismatch at seq %d", pp.Seq)
+	ds, ok := b.digests()
+	if !ok {
+		r.logf("batch digest mismatch at seq %d", b.Seq)
 		return
 	}
-	e := r.entry(pp.Seq)
-	if e.prePrepare != nil {
-		if e.prePrepare.Digest != pp.Digest {
-			r.logf("conflicting pre-prepare at seq %d — primary equivocates", pp.Seq)
+	e := r.entry(b.Seq)
+	if e.batch != nil {
+		if e.batch.Digest != b.Digest {
+			r.logf("conflicting proposal at seq %d — primary equivocates", b.Seq)
 			r.startViewChange(r.view + 1)
 		}
 		return
 	}
-	if buffered, dup := r.unverified[pp.Seq]; dup && buffered.Digest != pp.Digest {
-		r.logf("conflicting pre-prepare at seq %d — primary equivocates", pp.Seq)
+	if buffered, dup := r.unverified[b.Seq]; dup && buffered.b.Digest != b.Digest {
+		r.logf("conflicting proposal at seq %d — primary equivocates", b.Seq)
 		r.startViewChange(r.view + 1)
 		return
 	}
-	if !r.verifiable(pp) {
-		// Wait for the client's own broadcast (it retransmits) before
-		// vouching; see verifiable. The view-change timer is already
+	if !r.batchVerifiable(b, ds) {
+		// Wait for the client's own copy (it retransmits) before
+		// vouching; see verifiableReq. The view-change timer is already
 		// armed by the pending request — deliberately NOT re-armed here,
 		// or a primary could stall us forever with unverifiable
-		// pre-prepares.
-		r.unverified[pp.Seq] = pp
+		// proposals.
+		r.unverified[b.Seq] = unverifiedBatch{b: b, ds: ds}
 		return
 	}
-	r.processPrePrepare(pp)
+	r.processBatch(b, ds)
 }
 
-// processPrePrepare accepts a verified pre-prepare and votes for it.
-func (r *Replica) processPrePrepare(pp PrePrepare) {
+// processBatch accepts a verified batch and votes for it.
+func (r *Replica) processBatch(b Batch, ds [][32]byte) {
 	if r.isPrimary() {
 		return
 	}
-	e := r.entry(pp.Seq)
-	if e.prePrepare != nil {
+	e := r.entry(b.Seq)
+	if e.batch != nil {
 		return
 	}
-	r.acceptPrePrepare(pp)
-	prep := Prepare{View: pp.View, Seq: pp.Seq, Digest: pp.Digest, Replica: r.cfg.ID}
+	r.acceptBatch(b, ds)
+	prep := Prepare{View: b.View, Seq: b.Seq, Digest: b.Digest, Replica: r.cfg.ID}
 	r.broadcast(prep)
-	r.tryPrepared(pp.Seq)
+	r.tryPrepared(b.Seq)
+	// Early commit votes merged by acceptBatch may already form a
+	// quorum (committed does not require our own prepared state).
+	r.tryExecute()
 }
 
-// acceptPrePrepare records the pre-prepare and the issuing primary's
-// implicit prepare vote, plus our own.
-func (r *Replica) acceptPrePrepare(pp PrePrepare) {
-	e := r.entry(pp.Seq)
-	ppCopy := pp
-	e.prePrepare = &ppCopy
-	e.prepares[r.primary(pp.View)] = struct{}{}
-	e.prepares[r.cfg.ID] = struct{}{}
-	if pp.Seq > r.seq {
-		r.seq = pp.Seq
+// acceptBatch records the batch and the issuing primary's implicit
+// prepare vote, plus our own; votes that arrived before the proposal
+// merge in if — and only if — they were cast for this digest. Every
+// request in the batch becomes pending (so the view-change timer
+// guards it) and assigned.
+func (r *Replica) acceptBatch(b Batch, ds [][32]byte) {
+	e := r.entry(b.Seq)
+	bCopy := b
+	e.batch = &bCopy
+	e.digests = ds
+	if ev, ok := e.early[b.Digest]; ok {
+		e.prepares |= ev.prepares
+		e.commits |= ev.commits
 	}
-	r.pending[pp.Digest] = pp.Req
-	r.assigned[pp.Digest] = pp.Seq
+	e.early = nil
+	e.prepares |= r.voteBit(r.primary(b.View))
+	e.prepares |= r.voteBit(r.cfg.ID)
+	if b.Seq > r.seq {
+		r.seq = b.Seq
+	}
+	wasEmpty := len(r.pending) == 0
+	for i, req := range b.Reqs {
+		if noop(req) {
+			continue
+		}
+		r.pending[ds[i]] = req
+		r.assigned[ds[i]] = b.Seq
+	}
+	if wasEmpty && len(r.pending) > 0 {
+		// The first pending request arrived inside the proposal itself
+		// (the client sent it to the primary alone): arm the suspicion
+		// timer exactly as if the client had broadcast it.
+		r.armTimer()
+	}
 }
 
 func (r *Replica) onPrepare(p Prepare) {
@@ -474,24 +763,55 @@ func (r *Replica) onPrepare(p Prepare) {
 		return
 	}
 	e := r.entry(p.Seq)
-	if e.prePrepare != nil && e.prePrepare.Digest != p.Digest {
-		return // vote for a different request: ignore
+	if e.batch == nil {
+		if ev := r.earlyVote(e, p.Digest); ev != nil {
+			ev.prepares |= r.voteBit(p.Replica)
+		}
+		return
 	}
-	e.prepares[p.Replica] = struct{}{}
+	if e.batch.Digest != p.Digest {
+		return // vote for a different proposal: ignore
+	}
+	e.prepares |= r.voteBit(p.Replica)
 	r.tryPrepared(p.Seq)
+}
+
+// maxEarlyDigests bounds distinct digests buffered per sequence number
+// before its proposal arrives: honest executions produce at most a
+// couple (the proposal's digest, a re-proposal across views, a no-op
+// filler), so the bound only discards garbage a Byzantine replica
+// streams under fresh random digests — which would otherwise grow
+// memory without limit on sequences that never get a proposal.
+const maxEarlyDigests = 4
+
+// earlyVote returns the pre-proposal vote bucket for a digest, or nil
+// when the per-entry digest bound is exhausted.
+func (r *Replica) earlyVote(e *logEntry, digest [32]byte) *earlyVotes {
+	if e.early == nil {
+		e.early = make(map[[32]byte]*earlyVotes, 1)
+	}
+	ev, ok := e.early[digest]
+	if !ok {
+		if len(e.early) >= maxEarlyDigests {
+			return nil
+		}
+		ev = &earlyVotes{}
+		e.early[digest] = ev
+	}
+	return ev
 }
 
 func (r *Replica) tryPrepared(seq uint64) {
 	e := r.entries[seq]
-	if e == nil || e.prePrepare == nil || e.sentCommit {
+	if e == nil || e.batch == nil || e.sentCommit {
 		return
 	}
-	if len(e.prepares) < r.quorum() {
+	if bits.OnesCount64(e.prepares) < r.quorum() {
 		return
 	}
 	e.sentCommit = true
-	c := Commit{View: r.view, Seq: seq, Digest: e.prePrepare.Digest, Replica: r.cfg.ID}
-	e.commits[r.cfg.ID] = struct{}{}
+	c := Commit{View: r.view, Seq: seq, Digest: e.batch.Digest, Replica: r.cfg.ID}
+	e.commits |= r.voteBit(r.cfg.ID)
 	r.broadcast(c)
 	r.tryExecute()
 }
@@ -501,41 +821,44 @@ func (r *Replica) onCommit(c Commit) {
 		return
 	}
 	// Commits are accepted across views: a commit quorum is meaningful
-	// as long as the digest matches the accepted pre-prepare.
+	// as long as the digest matches the accepted proposal.
 	e := r.entry(c.Seq)
-	if e.prePrepare != nil && e.prePrepare.Digest != c.Digest {
+	if e.batch == nil {
+		if ev := r.earlyVote(e, c.Digest); ev != nil {
+			ev.commits |= r.voteBit(c.Replica)
+		}
 		return
 	}
-	e.commits[c.Replica] = struct{}{}
+	if e.batch.Digest != c.Digest {
+		return
+	}
+	e.commits |= r.voteBit(c.Replica)
 	r.tryExecute()
 }
 
 // committed reports whether entry e has a commit quorum and is safe to
-// execute.
+// execute. Our own prepared state (sentCommit) is deliberately not
+// required: 2f+1 commit votes for the accepted batch prove the batch
+// prepared at f+1 correct replicas, which is exactly the property view
+// changes preserve — so executing on the commit quorum alone is safe,
+// and it lets a replica that lost prepare traffic catch up from
+// repaired commits without re-running the prepare round.
 func (r *Replica) committed(e *logEntry) bool {
-	return e != nil && e.prePrepare != nil && e.sentCommit && len(e.commits) >= r.quorum()
+	return e != nil && e.batch != nil && bits.OnesCount64(e.commits) >= r.quorum()
 }
 
-// tryExecute applies committed requests in sequence order.
+// tryExecute applies committed batches in sequence order, each batch
+// atomically.
 func (r *Replica) tryExecute() {
 	for {
 		next := r.executed + 1
 		e := r.entries[next]
 		if !r.committed(e) {
-			return
+			break
 		}
-		req := e.prePrepare.Req
-		result := r.executeOnce(req)
+		r.executeBatch(e)
 		e.executed = true
 		r.executed = next
-		delete(r.pending, e.prePrepare.Digest)
-		delete(r.assigned, e.prePrepare.Digest)
-		if result != nil {
-			r.sendTo(req.Client, Reply{
-				View: r.view, Client: req.Client, ReqID: req.ReqID,
-				Replica: r.cfg.ID, Result: result,
-			})
-		}
 		if len(r.pending) == 0 {
 			r.disarmTimer()
 		} else {
@@ -545,6 +868,108 @@ func (r *Replica) tryExecute() {
 			r.makeCheckpoint(r.executed)
 		}
 	}
+	// The pipeline advanced (or stalled): give the primary a chance to
+	// propose what queued up meanwhile.
+	r.flushQueue(false)
+}
+
+// executeBatch applies every request of a committed batch in order and
+// replies to the clients. When the service supports atomic batch
+// execution and the batch holds several fresh requests from distinct
+// clients, they execute in one service critical section.
+//
+// Every replica replies: the client waits for 2f+1 byte-identical
+// replies (the threshold the read-only optimization needs), so all
+// 3f+1 must send for the vote to survive f faulty or slow replicas
+// without falling back to retransmission.
+func (r *Replica) executeBatch(e *logEntry) {
+	b := e.batch
+	results := r.batchResults(b.Reqs)
+	for i, req := range b.Reqs {
+		if noop(req) {
+			continue
+		}
+		d := e.digests[i]
+		delete(r.pending, d)
+		delete(r.assigned, d)
+		delete(r.queued, d)
+		if results[i] != nil {
+			r.sendTo(req.Client, Reply{
+				View: r.view, Client: req.Client, ReqID: req.ReqID,
+				Replica: r.cfg.ID, Result: results[i],
+			})
+		}
+	}
+}
+
+// batchResults computes the reply for every request of a batch,
+// updating the client table. Fresh requests execute; duplicates are
+// answered from the table (or silently skipped) exactly as in the
+// per-request protocol.
+func (r *Replica) batchResults(reqs []Request) [][]byte {
+	results := make([][]byte, len(reqs))
+	// Fast path: hand all fresh requests to the service in one atomic
+	// step. Only safe when no client appears twice in the batch (a
+	// Byzantine-primary corner): within-batch duplicates need the
+	// sequential at-most-once bookkeeping. The duplicate scan shares
+	// one pass with the gather, using a reusable scratch set.
+	if be, ok := r.service.(BatchExecutor); ok && len(reqs) > 1 {
+		if r.scratchSeen == nil {
+			r.scratchSeen = make(map[string]struct{}, len(reqs))
+		} else {
+			clear(r.scratchSeen)
+		}
+		idx := make([]int, 0, len(reqs))
+		clients := make([]string, 0, len(reqs))
+		ops := make([][]byte, 0, len(reqs))
+		clientTwice := false
+		for i, req := range reqs {
+			if noop(req) {
+				continue
+			}
+			if _, dup := r.scratchSeen[req.Client]; dup {
+				clientTwice = true
+				break
+			}
+			r.scratchSeen[req.Client] = struct{}{}
+			rec := r.clients[req.Client]
+			if rec != nil && req.ReqID <= rec.lastReqID {
+				continue // duplicate: answered below via executeOnce
+			}
+			idx = append(idx, i)
+			clients = append(clients, req.Client)
+			ops = append(ops, req.Op)
+		}
+		if !clientTwice && len(idx) > 1 {
+			out := be.ExecuteBatch(clients, ops)
+			for j, i := range idx {
+				req := reqs[i]
+				rec, ok := r.clients[req.Client]
+				if !ok {
+					rec = &clientRecord{}
+					r.clients[req.Client] = rec
+				}
+				rec.lastReqID = req.ReqID
+				rec.lastReply = out[j]
+				rec.lastView = r.view
+				results[i] = out[j]
+			}
+			// Duplicates (and anything else) fall through below.
+			for i, req := range reqs {
+				if results[i] == nil && !noop(req) {
+					results[i] = r.executeOnce(req)
+				}
+			}
+			return results
+		}
+	}
+	for i, req := range reqs {
+		if noop(req) {
+			continue
+		}
+		results[i] = r.executeOnce(req)
+	}
+	return results
 }
 
 // executeOnce applies a request unless the client table shows it was
@@ -567,6 +992,28 @@ func (r *Replica) executeOnce(req Request) []byte {
 	rec.lastReply = result
 	rec.lastView = r.view
 	return result
+}
+
+// ---- Read-only fast path ----
+
+// onReadOnly executes a non-mutating operation against the current
+// committed state, without ordering. The reply carries the read-only
+// flag so the client votes it separately (2f+1 byte-identical); a
+// replica whose service cannot serve the operation read-only stays
+// silent and the client falls back to the ordered path.
+func (r *Replica) onReadOnly(ro ReadOnly) {
+	roe, ok := r.service.(ReadOnlyExecutor)
+	if !ok {
+		return
+	}
+	result, ok := roe.ExecuteReadOnly(ro.Client, ro.Op)
+	if !ok {
+		return
+	}
+	r.sendTo(ro.Client, Reply{
+		View: r.view, Client: ro.Client, ReqID: ro.ReqID,
+		Replica: r.cfg.ID, Result: result, ReadOnly: true,
+	})
 }
 
 // ---- Checkpoints and state transfer ----
@@ -663,7 +1110,11 @@ func (r *Replica) recordCheckpoint(cp Checkpoint) {
 	}
 }
 
-// stabilize makes seq the low water mark and garbage-collects.
+// stabilize makes seq the low water mark and garbage-collects every
+// protocol record the stable checkpoint subsumes: log entries,
+// checkpoint votes, snapshots, sequence assignments, buffered batches,
+// and pending requests the client table proves executed. This is what
+// keeps the log bounded under sustained load.
 func (r *Replica) stabilize(seq uint64) {
 	if seq <= r.lowWater {
 		return
@@ -684,7 +1135,27 @@ func (r *Replica) stabilize(seq uint64) {
 			delete(r.snapshots, s)
 		}
 	}
+	for d, s := range r.assigned {
+		if s <= seq {
+			delete(r.assigned, d)
+		}
+	}
+	for s := range r.unverified {
+		if s <= seq {
+			delete(r.unverified, s)
+		}
+	}
+	for d, req := range r.pending {
+		if rec, ok := r.clients[req.Client]; ok && req.ReqID <= rec.lastReqID {
+			delete(r.pending, d)
+		}
+	}
+	if len(r.pending) == 0 {
+		r.disarmTimer()
+	}
 	r.logf("checkpoint stable at %d", seq)
+	// The window may have re-opened for held batches.
+	r.flushQueue(false)
 }
 
 func (r *Replica) requestState(seq uint64, digest [32]byte) {

@@ -26,6 +26,27 @@ type Service interface {
 	Restore(snapshot []byte) error
 }
 
+// BatchExecutor is an optional Service extension: a service that can
+// apply a committed batch of operations in one atomic step (one
+// critical section instead of one per operation). The results must be
+// identical to executing the operations one by one in order — the
+// replica falls back to sequential Execute when the extension is
+// absent, and the two paths must not be distinguishable.
+type BatchExecutor interface {
+	// ExecuteBatch applies ops[i] as clients[i] for every i, in order,
+	// atomically, returning one result per operation.
+	ExecuteBatch(clients []string, ops [][]byte) [][]byte
+}
+
+// ReadOnlyExecutor is an optional Service extension backing the
+// read-only fast path: executing a non-mutating operation against the
+// current state, outside the ordered sequence. Implementations must
+// return ok=false for any operation that would mutate state — the
+// replica then stays silent and the client falls back to ordering.
+type ReadOnlyExecutor interface {
+	ExecuteReadOnly(client string, op []byte) (result []byte, ok bool)
+}
+
 // SpaceService is the PEATS state machine: an augmented tuple space
 // guarded by the reference monitor, executing wire.SpaceOp operations.
 // This is the box marked "interceptor + tuple space" in Fig. 2.
@@ -41,7 +62,11 @@ type SpaceService struct {
 	pol   policy.Policy
 }
 
-var _ Service = (*SpaceService)(nil)
+var (
+	_ Service          = (*SpaceService)(nil)
+	_ BatchExecutor    = (*SpaceService)(nil)
+	_ ReadOnlyExecutor = (*SpaceService)(nil)
+)
 
 // NewSpaceService returns a PEATS service protected by the given
 // policy, backed by the default store engine.
@@ -68,10 +93,73 @@ func (s *SpaceService) Space() *space.Space { return s.inner }
 func (s *SpaceService) Execute(client string, op []byte) []byte {
 	decoded, err := wire.DecodeSpaceOp(op)
 	if err != nil {
-		return wire.EncodeSpaceResult(wire.SpaceResult{
-			Status: wire.StatusError, Detail: err.Error(),
-		})
+		return encodeOpError(err)
 	}
+	var res []byte
+	s.inner.Do(func(tx *space.Tx) {
+		res = s.executeIn(tx, client, decoded)
+	})
+	return res
+}
+
+func encodeOpError(err error) []byte {
+	return wire.EncodeSpaceResult(wire.SpaceResult{
+		Status: wire.StatusError, Detail: err.Error(),
+	})
+}
+
+// ExecuteBatch implements BatchExecutor: every operation of a committed
+// batch executes inside one space critical section, amortizing the lock
+// and making the batch atomic with respect to concurrent read-only
+// execution.
+func (s *SpaceService) ExecuteBatch(clients []string, ops [][]byte) [][]byte {
+	results := make([][]byte, len(ops))
+	decoded := make([]wire.SpaceOp, len(ops))
+	for i, op := range ops {
+		d, err := wire.DecodeSpaceOp(op)
+		if err != nil {
+			results[i] = encodeOpError(err)
+			continue
+		}
+		decoded[i] = d
+	}
+	s.inner.Do(func(tx *space.Tx) {
+		for i := range ops {
+			if results[i] != nil {
+				continue // malformed: deterministic error already encoded
+			}
+			results[i] = s.executeIn(tx, clients[i], decoded[i])
+		}
+	})
+	return results
+}
+
+// ExecuteReadOnly implements ReadOnlyExecutor: rdp and rdAll (the
+// non-mutating operations) execute against current state without
+// ordering, still passing through the reference monitor. Every other
+// operation — and any malformed one, whose deterministic error result
+// per-replica voting would mask anyway — reports ok=false so the
+// client falls back to the ordered path.
+func (s *SpaceService) ExecuteReadOnly(client string, op []byte) ([]byte, bool) {
+	decoded, err := wire.DecodeSpaceOp(op)
+	if err != nil {
+		return nil, false
+	}
+	switch decoded.Op {
+	case policy.OpRdp, policy.OpRdAll:
+	default:
+		return nil, false
+	}
+	var res []byte
+	s.inner.Do(func(tx *space.Tx) {
+		res = s.executeIn(tx, client, decoded)
+	})
+	return res, true
+}
+
+// executeIn applies one decoded operation inside an open critical
+// section.
+func (s *SpaceService) executeIn(tx *space.Tx, client string, decoded wire.SpaceOp) []byte {
 	inv := policy.Invocation{
 		Invoker:  policy.ProcessID(client),
 		Op:       decoded.Op,
@@ -79,39 +167,37 @@ func (s *SpaceService) Execute(client string, op []byte) []byte {
 		Entry:    decoded.Entry,
 	}
 	var res wire.SpaceResult
-	s.inner.Do(func(tx *space.Tx) {
-		if d := s.pol.Evaluate(inv, tx); !d.Allowed {
-			res = wire.SpaceResult{Status: wire.StatusDenied, Detail: inv.String()}
-			return
+	if d := s.pol.Evaluate(inv, tx); !d.Allowed {
+		res = wire.SpaceResult{Status: wire.StatusDenied, Detail: inv.String()}
+		return wire.EncodeSpaceResult(res)
+	}
+	switch decoded.Op {
+	case policy.OpOut:
+		if err := tx.Out(decoded.Entry); err != nil {
+			res = wire.SpaceResult{Status: wire.StatusError, Detail: err.Error()}
+			break
 		}
-		switch decoded.Op {
-		case policy.OpOut:
-			if err := tx.Out(decoded.Entry); err != nil {
-				res = wire.SpaceResult{Status: wire.StatusError, Detail: err.Error()}
-				return
-			}
-			res = wire.SpaceResult{Status: wire.StatusOK}
-		case policy.OpRdp:
-			t, ok := tx.Rdp(decoded.Template)
-			res = wire.SpaceResult{Status: wire.StatusOK, Found: ok, Tuple: t}
-		case policy.OpInp:
-			t, ok := tx.Inp(decoded.Template)
-			res = wire.SpaceResult{Status: wire.StatusOK, Found: ok, Tuple: t}
-		case policy.OpRdAll:
-			all := tx.RdAll(decoded.Template)
-			res = wire.SpaceResult{Status: wire.StatusOK, Found: len(all) > 0, Tuples: all}
-		case policy.OpCas:
-			ins, matched, err := tx.Cas(decoded.Template, decoded.Entry)
-			if err != nil {
-				res = wire.SpaceResult{Status: wire.StatusError, Detail: err.Error()}
-				return
-			}
-			res = wire.SpaceResult{Status: wire.StatusOK, Inserted: ins, Tuple: matched}
-		default:
-			res = wire.SpaceResult{Status: wire.StatusError,
-				Detail: fmt.Sprintf("unsupported op %v", decoded.Op)}
+		res = wire.SpaceResult{Status: wire.StatusOK}
+	case policy.OpRdp:
+		t, ok := tx.Rdp(decoded.Template)
+		res = wire.SpaceResult{Status: wire.StatusOK, Found: ok, Tuple: t}
+	case policy.OpInp:
+		t, ok := tx.Inp(decoded.Template)
+		res = wire.SpaceResult{Status: wire.StatusOK, Found: ok, Tuple: t}
+	case policy.OpRdAll:
+		all := tx.RdAll(decoded.Template)
+		res = wire.SpaceResult{Status: wire.StatusOK, Found: len(all) > 0, Tuples: all}
+	case policy.OpCas:
+		ins, matched, err := tx.Cas(decoded.Template, decoded.Entry)
+		if err != nil {
+			res = wire.SpaceResult{Status: wire.StatusError, Detail: err.Error()}
+			break
 		}
-	})
+		res = wire.SpaceResult{Status: wire.StatusOK, Inserted: ins, Tuple: matched}
+	default:
+		res = wire.SpaceResult{Status: wire.StatusError,
+			Detail: fmt.Sprintf("unsupported op %v", decoded.Op)}
+	}
 	return wire.EncodeSpaceResult(res)
 }
 

@@ -1,12 +1,14 @@
 package bft
 
+import "math/bits"
+
 // View changes: a backup that suspects the primary (a pending request
 // did not commit before its timer fired, or the primary equivocated)
-// broadcasts VIEW-CHANGE for the next view with the pre-prepares of the
-// requests it prepared. The primary of the new view installs it with
-// NEW-VIEW once it holds 2f+1 view-change messages, re-issuing
-// pre-prepares for every request prepared by any quorum member; holes in
-// the sequence space are filled with no-op requests so execution never
+// broadcasts VIEW-CHANGE for the next view with the batches it
+// prepared. The primary of the new view installs it with NEW-VIEW once
+// it holds 2f+1 view-change messages, re-issuing — under their original
+// digests — the batches prepared by any quorum member; holes in the
+// sequence space are filled with no-op batches so execution never
 // stalls. A replica that sees f+1 view-changes for a higher view joins
 // the change even if its own timer has not fired (the PBFT liveness
 // rule).
@@ -44,17 +46,17 @@ func (r *Replica) onTimeout() {
 	r.startViewChange(r.view + 1)
 }
 
-// preparedProofs collects the pre-prepares of entries prepared above the
+// preparedProofs collects the batches of entries prepared above the
 // stable checkpoint (the P set of PBFT, with channel MACs standing in
 // for per-message proofs).
-func (r *Replica) preparedProofs() []PrePrepare {
-	var out []PrePrepare
+func (r *Replica) preparedProofs() []Batch {
+	var out []Batch
 	for seq, e := range r.entries {
-		if seq <= r.lowWater || e.prePrepare == nil {
+		if seq <= r.lowWater || e.batch == nil {
 			continue
 		}
-		if len(e.prepares) >= r.quorum() {
-			out = append(out, *e.prePrepare)
+		if bits.OnesCount64(e.prepares) >= r.quorum() {
+			out = append(out, *e.batch)
 		}
 	}
 	return out
@@ -66,6 +68,7 @@ func (r *Replica) startViewChange(newView uint64) {
 	}
 	r.inViewChange = true
 	r.view = newView
+	r.disarmBatchTimer()
 	vc := ViewChange{
 		NewView:    newView,
 		LastStable: r.lowWater,
@@ -114,68 +117,70 @@ func (r *Replica) maybeInstallView(view uint64) {
 		return
 	}
 
-	// Merge the prepared sets: highest-view pre-prepare wins per seq.
-	merged := make(map[uint64]PrePrepare)
+	// Merge the prepared sets: highest-view batch wins per seq.
+	merged := make(map[uint64]Batch)
 	maxSeq := r.lowWater
 	for _, vc := range vcs {
-		for _, pp := range vc.Prepared {
-			if pp.Seq <= r.lowWater {
+		for _, b := range vc.Prepared {
+			if b.Seq <= r.lowWater {
 				continue
 			}
-			if cur, ok := merged[pp.Seq]; !ok || pp.View > cur.View {
-				merged[pp.Seq] = pp
+			if cur, ok := merged[b.Seq]; !ok || b.View > cur.View {
+				merged[b.Seq] = b
 			}
-			if pp.Seq > maxSeq {
-				maxSeq = pp.Seq
+			if b.Seq > maxSeq {
+				maxSeq = b.Seq
 			}
 		}
 	}
-	// Re-stamp into the new view, filling holes with no-ops so the
-	// execution pipeline cannot stall on a gap.
-	pps := make([]PrePrepare, 0, maxSeq-r.lowWater)
+	// Re-stamp into the new view — keeping each prepared batch's
+	// original digest and request list, so a batch prepared in view v
+	// re-proposes under the same digest in view v+1 — and fill holes
+	// with no-ops so the execution pipeline cannot stall on a gap.
+	batches := make([]Batch, 0, maxSeq-r.lowWater)
 	for seq := r.lowWater + 1; seq <= maxSeq; seq++ {
-		pp, ok := merged[seq]
+		b, ok := merged[seq]
 		if !ok {
-			noop := Request{Client: "", ReqID: 0, Op: nil}
-			pp = PrePrepare{View: view, Seq: seq, Digest: noop.Digest(), Req: noop}
+			noopReq := Request{Client: "", ReqID: 0, Op: nil}
+			b = Batch{View: view, Seq: seq, Digest: noopReq.Digest(), Reqs: []Request{noopReq}}
 		} else {
-			pp = PrePrepare{View: view, Seq: seq, Digest: pp.Digest, Req: pp.Req}
+			b = Batch{View: view, Seq: seq, Digest: b.Digest, Reqs: b.Reqs}
 		}
-		pps = append(pps, pp)
+		batches = append(batches, b)
 	}
 
-	nv := NewView{View: view, PrePrepares: pps, Replica: r.cfg.ID}
-	r.logf("installing view %d with %d pre-prepares", view, len(pps))
+	nv := NewView{View: view, Batches: batches, Replica: r.cfg.ID}
+	r.logf("installing view %d with %d batches", view, len(batches))
 	r.broadcast(nv)
-	r.installView(view, pps)
+	r.installView(view, batches)
 }
 
 func (r *Replica) onNewView(nv NewView) {
 	if nv.View < r.view || (nv.View == r.view && !r.inViewChange) {
 		return
 	}
-	// Validate the re-issued pre-prepares minimally: correct view and
-	// digests matching their requests.
-	for _, pp := range nv.PrePrepares {
-		if pp.View != nv.View || pp.Req.Digest() != pp.Digest {
+	// Validate the re-issued batches minimally: correct view and
+	// digests matching their request lists.
+	for _, b := range nv.Batches {
+		if b.View != nv.View || !b.wellFormed() {
 			r.logf("invalid NEW-VIEW from %s", nv.Replica)
 			return
 		}
 	}
-	r.installView(nv.View, nv.PrePrepares)
-	// Backups vote for the re-issued pre-prepares.
-	for _, pp := range nv.PrePrepares {
-		if pp.Seq <= r.lowWater {
+	r.installView(nv.View, nv.Batches)
+	// Backups vote for the re-issued batches.
+	for _, b := range nv.Batches {
+		if b.Seq <= r.lowWater {
 			continue
 		}
-		prep := Prepare{View: pp.View, Seq: pp.Seq, Digest: pp.Digest, Replica: r.cfg.ID}
+		prep := Prepare{View: b.View, Seq: b.Seq, Digest: b.Digest, Replica: r.cfg.ID}
 		r.broadcast(prep)
 	}
 }
 
 // installView switches to the view and reseeds the log with the
-// re-issued pre-prepares.
-func (r *Replica) installView(view uint64, pps []PrePrepare) {
+// re-issued batches.
+func (r *Replica) installView(view uint64, batches []Batch) {
 	r.view = view
 	r.inViewChange = false
 	r.nextTimeout = r.cfg.ViewChangeTimeout
@@ -188,17 +193,20 @@ func (r *Replica) installView(view uint64, pps []PrePrepare) {
 		}
 	}
 	r.assigned = make(map[[32]byte]uint64)
-	r.unverified = make(map[uint64]PrePrepare)
-	// Continue assigning after the view's re-issued pre-prepares, not
-	// after the stale counter of the previous view — otherwise a hole
-	// at an abandoned sequence number would stall execution forever.
+	r.unverified = make(map[uint64]unverifiedBatch)
+	r.queue = nil
+	r.queued = make(map[[32]byte]struct{})
+	r.disarmBatchTimer()
+	// Continue assigning after the view's re-issued batches, not after
+	// the stale counter of the previous view — otherwise a hole at an
+	// abandoned sequence number would stall execution forever.
 	r.seq = r.lowWater
 	if r.executed > r.seq {
 		r.seq = r.executed
 	}
-	for _, pp := range pps {
-		if pp.Seq > r.seq {
-			r.seq = pp.Seq
+	for _, b := range batches {
+		if b.Seq > r.seq {
+			r.seq = b.Seq
 		}
 	}
 	for seq := range r.viewChanges {
@@ -206,35 +214,45 @@ func (r *Replica) installView(view uint64, pps []PrePrepare) {
 			delete(r.viewChanges, seq)
 		}
 	}
-	for _, pp := range pps {
-		if pp.Seq <= r.lowWater {
+	for _, b := range batches {
+		if b.Seq <= r.lowWater {
 			continue
 		}
-		if e, ok := r.entries[pp.Seq]; ok && e.executed {
+		if e, ok := r.entries[b.Seq]; ok && e.executed {
 			continue
 		}
-		if !r.verifiable(pp) {
+		ds, ok := b.digests()
+		if !ok {
+			continue // malformed batch cannot be accepted
+		}
+		if !r.batchVerifiable(b, ds) {
 			// A Byzantine view-change participant may have smuggled a
 			// forged "prepared" request into the NEW-VIEW; only vouch
-			// for requests we saw first-hand (the client retransmits).
-			r.unverified[pp.Seq] = pp
+			// for requests we saw first-hand (the client retransmits)
+			// or that carry a valid authenticator.
+			r.unverified[b.Seq] = unverifiedBatch{b: b, ds: ds}
 			continue
 		}
-		r.acceptPrePrepare(pp)
-		r.tryPrepared(pp.Seq)
+		r.acceptBatch(b, ds)
+		r.tryPrepared(b.Seq)
 	}
+	r.tryExecute()
 	if len(r.pending) > 0 {
 		r.armTimer()
 		// The new primary re-proposes pending requests that did not make
-		// it into the view's pre-prepares; backups wait for the client's
+		// it into the view's batches; backups wait for the client's
 		// retransmission (see onRequest for why replicas never forward).
 		if r.isPrimary() {
 			for digest, req := range r.pending {
 				if _, ok := r.assigned[digest]; ok {
 					continue
 				}
-				r.onRequest(req)
+				if rec, ok := r.clients[req.Client]; ok && req.ReqID <= rec.lastReqID {
+					continue // already executed in an earlier view
+				}
+				r.enqueue(req, digest)
 			}
+			r.flushQueue(true)
 		}
 	} else {
 		r.disarmTimer()

@@ -70,6 +70,31 @@ func (s *IndexedStore) Insert(t tuple.Tuple) {
 	s.live++
 }
 
+// InsertBatch implements Store. Records for the whole batch share one
+// backing allocation and the order list grows once, so index building
+// on large snapshots (Restore, checkpoint install) is amortized across
+// the batch instead of paying per-tuple allocation and growth.
+func (s *IndexedStore) InsertBatch(ts []tuple.Tuple) {
+	if len(ts) == 0 {
+		return
+	}
+	recs := make([]irec, len(ts))
+	if need := len(s.order) + len(ts); cap(s.order) < need {
+		grown := make([]*irec, len(s.order), need)
+		copy(grown, s.order)
+		s.order = grown
+	}
+	for i, t := range ts {
+		r := &recs[i]
+		r.seq = s.seq
+		r.t = t
+		s.seq++
+		s.order = append(s.order, r)
+		s.index(r)
+	}
+	s.live += len(ts)
+}
+
 // index files r into its arity bucket. Tuples whose first field is
 // undefined (non-entries installed by Restore) get no key entry; they
 // can never match a template, so keyed lookups may skip them.
@@ -139,12 +164,19 @@ func (s *IndexedStore) scan(list []*irec, tmpl tuple.Tuple, remove bool) (kept [
 			continue
 		}
 		if remove {
+			t := r.t
 			r.dead = true
+			// Release the tuple immediately: records can share a
+			// batch-allocated backing array (InsertBatch), so a dead
+			// record must not pin its payload until the whole batch
+			// compacts away.
+			r.t = tuple.Tuple{}
 			s.live--
-			s.buckets[r.t.Arity()].live--
+			s.buckets[t.Arity()].live--
 			if i == head {
 				head++
 			}
+			return list[head:], t, true
 		}
 		return list[head:], r.t, true
 	}

@@ -26,6 +26,11 @@ func (s *SliceStore) Insert(t tuple.Tuple) {
 	s.tuples = append(s.tuples, t)
 }
 
+// InsertBatch implements Store.
+func (s *SliceStore) InsertBatch(ts []tuple.Tuple) {
+	s.tuples = append(s.tuples, ts...)
+}
+
 // Find implements Store.
 func (s *SliceStore) Find(tmpl tuple.Tuple, remove bool) (tuple.Tuple, bool) {
 	for i, t := range s.tuples {

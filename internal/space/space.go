@@ -277,9 +277,7 @@ func (s *Space) Restore(tuples []tuple.Tuple) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.store.Reset()
-	for _, t := range tuples {
-		s.store.Insert(t)
-	}
+	s.store.InsertBatch(tuples)
 	s.wakeWaitersLocked()
 }
 

@@ -41,6 +41,11 @@ type Store interface {
 	Engine() Engine
 	// Insert adds entry t after every tuple already stored.
 	Insert(t tuple.Tuple)
+	// InsertBatch adds every tuple of ts in order, equivalent to
+	// calling Insert on each but letting the engine amortize index
+	// building — the hot path of Restore and checkpoint installs,
+	// where whole snapshots arrive at once.
+	InsertBatch(ts []tuple.Tuple)
 	// Find returns the first tuple in insertion order matching tmpl,
 	// removing it when remove is true.
 	Find(tmpl tuple.Tuple, remove bool) (tuple.Tuple, bool)

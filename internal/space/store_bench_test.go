@@ -94,6 +94,66 @@ func BenchmarkStoreCas(b *testing.B) {
 	}
 }
 
+// BenchmarkStoreInsertBatch compares installing a 10k-tuple snapshot
+// via per-tuple Insert against one InsertBatch call — the Restore /
+// checkpoint-install path.
+func BenchmarkStoreInsertBatch(b *testing.B) {
+	const n = 10000
+	tuples := make([]tuple.Tuple, n)
+	for i := range tuples {
+		tuples[i] = tuple.T(tuple.Str(fmt.Sprintf("tag%d", i%17)), tuple.Int(int64(i)))
+	}
+	for _, eng := range storeEngines() {
+		b.Run(eng.name+"/insert", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				st := eng.mk()
+				for _, t := range tuples {
+					st.Insert(t)
+				}
+			}
+		})
+		b.Run(eng.name+"/insertbatch", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				st := eng.mk()
+				st.InsertBatch(tuples)
+			}
+		})
+	}
+}
+
+// TestInsertBatchEquivalent holds InsertBatch to the Store contract:
+// observationally identical to per-tuple Insert on both engines.
+func TestInsertBatchEquivalent(t *testing.T) {
+	tuples := make([]tuple.Tuple, 200)
+	for i := range tuples {
+		tuples[i] = tuple.T(tuple.Str(fmt.Sprintf("tag%d", i%7)), tuple.Int(int64(i)))
+	}
+	for _, eng := range storeEngines() {
+		one, batch := eng.mk(), eng.mk()
+		one.Insert(tuple.T(tuple.Str("pre")))
+		batch.Insert(tuple.T(tuple.Str("pre")))
+		for _, tu := range tuples {
+			one.Insert(tu)
+		}
+		batch.InsertBatch(tuples)
+		if one.Len() != batch.Len() {
+			t.Fatalf("%s: Len %d vs %d", eng.name, one.Len(), batch.Len())
+		}
+		a, b := one.Snapshot(), batch.Snapshot()
+		for i := range a {
+			if a[i].String() != b[i].String() {
+				t.Fatalf("%s: snapshot diverges at %d: %v vs %v", eng.name, i, a[i], b[i])
+			}
+		}
+		tmpl := tuple.T(tuple.Str("tag3"), tuple.Any())
+		g1, ok1 := one.Find(tmpl, true)
+		g2, ok2 := batch.Find(tmpl, true)
+		if ok1 != ok2 || g1.String() != g2.String() {
+			t.Fatalf("%s: Find diverges: %v/%v vs %v/%v", eng.name, g1, ok1, g2, ok2)
+		}
+	}
+}
+
 // TestIndexedSpeedupAtScale is the acceptance check for the engine: at
 // 10k resident tuples the indexed store must beat the slice store by at
 // least 5x on rdp and inp of a keyed template. It uses testing.Benchmark

@@ -148,9 +148,12 @@ func (n *Network) route(from, to string, payload []byte) error {
 	n.wg.Add(1)
 	n.mu.Unlock()
 
-	cp := make([]byte, len(payload))
-	copy(cp, payload)
-	msg := Inbound{From: from, Payload: cp}
+	// Ownership transfer: the payload is handed to receivers as-is.
+	// Senders must not mutate a buffer after Send — the protocol layer
+	// marshals a fresh buffer per message, and receivers treat payloads
+	// as read-only, so the per-receiver defensive copy that used to
+	// live here was pure allocation overhead on the hot path.
+	msg := Inbound{From: from, Payload: payload}
 	deliver := func() {
 		defer n.wg.Done()
 		select {

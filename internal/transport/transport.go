@@ -28,7 +28,10 @@ type Inbound struct {
 //
 // Send is best-effort and non-blocking: the network may drop or delay
 // messages arbitrarily (asynchronous system model); protocols must
-// retransmit. Inbox delivers received messages until Close.
+// retransmit. Send takes ownership of the payload — the caller must
+// not mutate the buffer afterwards (implementations may hand it to
+// receivers without copying). Inbox delivers received messages until
+// Close; receivers must treat payloads as read-only.
 type Transport interface {
 	// Self returns this node's identity.
 	Self() string

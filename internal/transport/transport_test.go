@@ -64,17 +64,26 @@ func TestInprocUnknownPeer(t *testing.T) {
 	}
 }
 
-func TestInprocPayloadCopied(t *testing.T) {
+func TestInprocPayloadOwnershipTransfer(t *testing.T) {
+	// Send transfers ownership of the payload to the network: the same
+	// buffer may be fanned out to several receivers without copying, so
+	// a sender must not mutate it afterwards. Protocol code marshals a
+	// fresh buffer per message.
 	n := NewNetwork(1)
 	defer n.Close()
-	a, b := n.Endpoint("a"), n.Endpoint("b")
+	a, b, c := n.Endpoint("a"), n.Endpoint("b"), n.Endpoint("c")
 	buf := []byte("orig")
 	if err := a.Send("b", buf); err != nil {
 		t.Fatal(err)
 	}
-	buf[0] = 'X'
+	if err := a.Send("c", buf); err != nil {
+		t.Fatal(err)
+	}
 	if m := recvWithin(t, b, time.Second); string(m.Payload) != "orig" {
-		t.Errorf("payload aliased sender buffer: %q", m.Payload)
+		t.Errorf("b received %q, want \"orig\"", m.Payload)
+	}
+	if m := recvWithin(t, c, time.Second); string(m.Payload) != "orig" {
+		t.Errorf("c received %q, want \"orig\"", m.Payload)
 	}
 }
 

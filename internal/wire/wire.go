@@ -23,8 +23,10 @@ type Writer struct {
 	buf []byte
 }
 
-// NewWriter returns an empty writer.
-func NewWriter() *Writer { return &Writer{} }
+// NewWriter returns an empty writer. The buffer is presized for the
+// protocol's typical small messages, so the append chain of a message
+// encode usually costs one allocation instead of a growth ladder.
+func NewWriter() *Writer { return &Writer{buf: make([]byte, 0, 128)} }
 
 // Data returns the accumulated bytes.
 func (w *Writer) Data() []byte { return w.buf }

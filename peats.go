@@ -23,6 +23,8 @@
 package peats
 
 import (
+	"time"
+
 	"peats/internal/bft"
 	ipeats "peats/internal/peats"
 	"peats/internal/policy"
@@ -119,7 +121,9 @@ const (
 type Option func(*options)
 
 type options struct {
-	engine StoreEngine
+	engine     StoreEngine
+	batchSize  int
+	batchDelay time.Duration
 }
 
 // WithStore selects the tuple-storage engine. Both engines implement
@@ -128,6 +132,24 @@ type options struct {
 // even mix engines.
 func WithStore(e StoreEngine) Option {
 	return func(o *options) { o.engine = e }
+}
+
+// WithBatchSize sets the maximum number of client requests the
+// replicated cluster's primary orders under one agreement round
+// (NewLocalCluster only). At 1, the default, every request runs its
+// own three-phase round; above 1, requests arriving while earlier
+// batches are in flight are proposed together, multiplying write
+// throughput under concurrent load.
+func WithBatchSize(n int) Option {
+	return func(o *options) { o.batchSize = n }
+}
+
+// WithBatchDelay bounds how long the primary holds a non-full batch
+// open while earlier batches are in flight (NewLocalCluster only,
+// default 2ms). An idle cluster always proposes immediately, so the
+// delay never costs latency at low load.
+func WithBatchDelay(d time.Duration) Option {
+	return func(o *options) { o.batchDelay = d }
 }
 
 func buildOptions(opts []Option) options {
@@ -184,7 +206,14 @@ func NewLocalCluster(f int, pol Policy, opts ...Option) (*Cluster, error) {
 		}
 		services[i] = svc
 	}
-	return bft.NewCluster(f, services)
+	var copts []bft.ClusterOption
+	if o.batchSize > 0 {
+		copts = append(copts, bft.WithBatchSize(o.batchSize))
+	}
+	if o.batchDelay > 0 {
+		copts = append(copts, bft.WithBatchDelay(o.batchDelay))
+	}
+	return bft.NewCluster(f, services, copts...)
 }
 
 // ClusterSpace returns a TupleSpace handle on the replicated PEATS for
