@@ -5,13 +5,18 @@
 //	peats-bench -table ops         E8: operation counts vs ACL baseline (§7)
 //	peats-bench -table resilience  E2: n ≥ 3t+1 bound (Thm. 2 / Cor. 1)
 //	peats-bench -table kvalued     E3: n ≥ (k+1)t+1 bound (Thms. 3-4)
+//	peats-bench -table ablation    design-choice costs (DESIGN.md §4)
 //	peats-bench -table stores      storage-engine comparison (slice vs indexed)
 //	peats-bench -table agreement   agreement layer: batched vs unbatched, read-only vs ordered
+//	peats-bench -table shards      sharded space: fast-path reads under write contention per shard count
 //	peats-bench -table all         everything
 //
 // The agreement table additionally writes a machine-readable report to
 // -json (default BENCH_agreement.json); size it with -agree-writers,
-// -agree-ops, -agree-reads and -agree-batch.
+// -agree-ops, -agree-reads and -agree-batch. The shards table writes
+// -shards-json (default BENCH_shards.json); size it with -shard-counts,
+// -shard-writers, -shard-readers, -shard-reads, -shard-resident and
+// -shard-duration.
 package main
 
 import (
@@ -26,43 +31,88 @@ import (
 	"peats/internal/bench"
 )
 
+// knownTables lists every -table value, in print order for "all".
+var knownTables = []string{
+	"bits", "ops", "resilience", "kvalued", "ablation", "stores",
+	"agreement", "shards", "all",
+}
+
 func main() {
 	var (
-		table    = flag.String("table", "all", "table to print: bits|ops|resilience|kvalued|ablation|stores|agreement|all")
-		tsFlag   = flag.String("t", "1,2,3,4", "comma-separated fault bounds t")
-		ksFlag   = flag.String("k", "2,3,4", "comma-separated domain sizes k (kvalued table)")
-		probe    = flag.Duration("probe", 500*time.Millisecond, "stall window for below-bound probes")
-		timeout  = flag.Duration("timeout", 5*time.Minute, "overall deadline")
-		agWriter = flag.Int("agree-writers", 0, "agreement table: concurrent writer clients (default 32)")
-		agOps    = flag.Int("agree-ops", 0, "agreement table: ordered write ops (out/inp) per writer (default 60)")
-		agReads  = flag.Int("agree-reads", 0, "agreement table: rdp probes per read mode (default 300)")
-		agBatch  = flag.Int("agree-batch", 0, "agreement table: batched configuration (default 64)")
-		jsonPath = flag.String("json", "BENCH_agreement.json", "agreement table: machine-readable report path ('' disables)")
+		table      = flag.String("table", "all", "table to print: "+strings.Join(knownTables, "|"))
+		tsFlag     = flag.String("t", "1,2,3,4", "comma-separated fault bounds t")
+		ksFlag     = flag.String("k", "2,3,4", "comma-separated domain sizes k (kvalued table)")
+		probe      = flag.Duration("probe", 500*time.Millisecond, "stall window for below-bound probes")
+		timeout    = flag.Duration("timeout", 5*time.Minute, "overall deadline")
+		storeSizes = flag.String("store-sizes", "", "stores table: comma-separated resident-set sizes (default 10,100,10000)")
+		agWriter   = flag.Int("agree-writers", 0, "agreement table: concurrent writer clients (default 32)")
+		agOps      = flag.Int("agree-ops", 0, "agreement table: ordered write ops (out/inp) per writer (default 60)")
+		agReads    = flag.Int("agree-reads", 0, "agreement table: rdp probes per read mode (default 300)")
+		agBatch    = flag.Int("agree-batch", 0, "agreement table: batched configuration (default 64)")
+		jsonPath   = flag.String("json", "BENCH_agreement.json", "agreement table: machine-readable report path ('' disables)")
+		shCounts   = flag.String("shard-counts", "", "shards table: comma-separated shard counts (default 1,4,16)")
+		shWriters  = flag.Int("shard-writers", 0, "shards table: concurrent writer clients (default 8)")
+		shReaders  = flag.Int("shard-readers", 0, "shards table: concurrent read-only clients (default 8)")
+		shReads    = flag.Int("shard-reads", 0, "shards table: fast-path rdp probes per reader (default 400)")
+		shResident = flag.Int("shard-resident", 0, "shards table: resident filler tuples the write-quota monitor scans (default 600)")
+		shDur      = flag.Duration("shard-duration", 0, "shards table: space-level measurement window per shard count (default 500ms)")
+		shJSONPath = flag.String("shards-json", "BENCH_shards.json", "shards table: machine-readable report path ('' disables)")
 	)
 	flag.Parse()
 	agree := bench.AgreementConfig{
 		Writers: *agWriter, OpsPerWriter: *agOps, Reads: *agReads, BatchSize: *agBatch,
 	}
-	if err := run(*table, *tsFlag, *ksFlag, *probe, *timeout, agree, *jsonPath); err != nil {
+	shards := bench.ShardsConfig{
+		Writers: *shWriters, Readers: *shReaders, ReadsPerReader: *shReads,
+		Resident: *shResident, Duration: *shDur,
+	}
+	cfg := benchConfig{
+		table: *table, ts: *tsFlag, ks: *ksFlag,
+		storeSizes: *storeSizes, shardCounts: *shCounts,
+		probe: *probe, timeout: *timeout,
+		agree: agree, agreeJSON: *jsonPath,
+		shards: shards, shardsJSON: *shJSONPath,
+	}
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "peats-bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(table, tsFlag, ksFlag string, probe, timeout time.Duration, agree bench.AgreementConfig, jsonPath string) error {
-	ts, err := parseInts(tsFlag)
+type benchConfig struct {
+	table, ts, ks           string
+	storeSizes, shardCounts string
+	probe, timeout          time.Duration
+	agree                   bench.AgreementConfig
+	agreeJSON               string
+	shards                  bench.ShardsConfig
+	shardsJSON              string
+}
+
+func run(cfg benchConfig) error {
+	known := false
+	for _, t := range knownTables {
+		if cfg.table == t {
+			known = true
+			break
+		}
+	}
+	if !known {
+		return fmt.Errorf("unknown table %q (known tables: %s)",
+			cfg.table, strings.Join(knownTables, ", "))
+	}
+	ts, err := parseInts(cfg.ts)
 	if err != nil {
 		return fmt.Errorf("-t: %w", err)
 	}
-	ks, err := parseInts(ksFlag)
+	ks, err := parseInts(cfg.ks)
 	if err != nil {
 		return fmt.Errorf("-k: %w", err)
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.timeout)
 	defer cancel()
 
-	want := func(name string) bool { return table == "all" || table == name }
-	printed := false
+	want := func(name string) bool { return cfg.table == "all" || cfg.table == name }
 
 	if want("bits") {
 		fmt.Println("E1 — memory to solve strong binary consensus (paper §5.2):")
@@ -72,7 +122,6 @@ func run(table, tsFlag, ksFlag string, probe, timeout time.Duration, agree bench
 		}
 		bench.WriteBitsTable(os.Stdout, rows)
 		fmt.Println()
-		printed = true
 	}
 	if want("ops") {
 		fmt.Println("E8 — measured shared-memory operations, PEATS vs sticky-bit/ACL baseline (§7):")
@@ -82,13 +131,11 @@ func run(table, tsFlag, ksFlag string, probe, timeout time.Duration, agree bench
 		}
 		bench.WriteOpsTable(os.Stdout, rows)
 		fmt.Println()
-		printed = true
 	}
 	if want("resilience") {
 		fmt.Println("E2 — strong binary consensus resilience bound n ≥ 3t+1 (Cor. 1):")
-		bench.WriteResilienceTable(os.Stdout, bench.ResilienceTable(ts, probe))
+		bench.WriteResilienceTable(os.Stdout, bench.ResilienceTable(ts, cfg.probe))
 		fmt.Println()
-		printed = true
 	}
 	if want("ablation") {
 		fmt.Println("Ablations — design-choice costs (DESIGN.md §4):")
@@ -98,42 +145,61 @@ func run(table, tsFlag, ksFlag string, probe, timeout time.Duration, agree bench
 		}
 		bench.WriteAblationTable(os.Stdout, rows)
 		fmt.Println()
-		printed = true
 	}
 	if want("stores") {
 		fmt.Println("Storage engines — slice (reference) vs indexed (default), mixed arities:")
-		rows, err := bench.StoresTable(nil)
+		var sizes []int
+		if cfg.storeSizes != "" {
+			if sizes, err = parseInts(cfg.storeSizes); err != nil {
+				return fmt.Errorf("-store-sizes: %w", err)
+			}
+		}
+		rows, err := bench.StoresTable(sizes)
 		if err != nil {
 			return err
 		}
 		bench.WriteStoresTable(os.Stdout, rows)
 		fmt.Println()
-		printed = true
 	}
 	if want("agreement") {
 		fmt.Println("Agreement layer — batched vs unbatched ordering, read-only vs ordered reads (in-proc):")
-		rows, err := bench.AgreementTable(ctx, agree)
+		rows, err := bench.AgreementTable(ctx, cfg.agree)
 		if err != nil {
 			return err
 		}
 		bench.WriteAgreementTable(os.Stdout, rows)
-		if jsonPath != "" {
-			if err := bench.WriteAgreementJSON(jsonPath, rows); err != nil {
+		if cfg.agreeJSON != "" {
+			if err := bench.WriteAgreementJSON(cfg.agreeJSON, rows); err != nil {
 				return err
 			}
-			fmt.Printf("wrote %s\n", jsonPath)
+			fmt.Printf("wrote %s\n", cfg.agreeJSON)
 		}
 		fmt.Println()
-		printed = true
+	}
+	if want("shards") {
+		fmt.Println("Sharded space — read throughput under concurrent writers (space core + in-proc cluster):")
+		if cfg.shardCounts != "" {
+			if cfg.shards.Shards, err = parseInts(cfg.shardCounts); err != nil {
+				return fmt.Errorf("-shard-counts: %w", err)
+			}
+		}
+		rows, err := bench.ShardsTable(ctx, cfg.shards)
+		if err != nil {
+			return err
+		}
+		bench.WriteShardsTable(os.Stdout, rows)
+		if cfg.shardsJSON != "" {
+			if err := bench.WriteShardsJSON(cfg.shardsJSON, rows); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", cfg.shardsJSON)
+		}
+		fmt.Println()
 	}
 	if want("kvalued") {
 		fmt.Println("E3 — k-valued bound n ≥ (k+1)t+1 (Thms. 3-4), t = 1:")
-		bench.WriteKValuedTable(os.Stdout, bench.KValuedTable(ks, []int{1}, probe))
+		bench.WriteKValuedTable(os.Stdout, bench.KValuedTable(ks, []int{1}, cfg.probe))
 		fmt.Println()
-		printed = true
-	}
-	if !printed {
-		return fmt.Errorf("unknown table %q", table)
 	}
 	return nil
 }

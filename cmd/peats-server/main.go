@@ -42,6 +42,7 @@ func main() {
 		polName    = flag.String("policy", "allow-all", "access policy: allow-all|weak|strong:<n>,<t>|lockfree")
 		clients    = flag.String("clients", "", "comma-separated client identities to provision keys for")
 		engine     = flag.String("store", "", "tuple-store engine: slice|indexed (default indexed)")
+		shards     = flag.Int("shards", 1, "space shards: per-shard locking lets reads and writes on different shards run concurrently (1-64)")
 		batch      = flag.Int("batch", 64, "max client requests ordered per agreement round (1 = unbatched)")
 		batchDelay = flag.Duration("batch-delay", 2*time.Millisecond, "max time the primary holds a non-full batch while the pipeline is busy")
 		verbose    = flag.Bool("v", false, "log protocol events")
@@ -50,7 +51,8 @@ func main() {
 	if err := run(serverConfig{
 		id: *id, listen: *listen, peers: *peers, clients: *clients,
 		master: *master, polName: *polName, engine: *engine,
-		f: *fFlag, batch: *batch, batchDelay: *batchDelay, verbose: *verbose,
+		f: *fFlag, shards: *shards, batch: *batch, batchDelay: *batchDelay,
+		verbose: *verbose,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "peats-server:", err)
 		os.Exit(1)
@@ -59,7 +61,7 @@ func main() {
 
 type serverConfig struct {
 	id, listen, peers, clients, master, polName, engine string
-	f, batch                                            int
+	f, shards, batch                                    int
 	batchDelay                                          time.Duration
 	verbose                                             bool
 }
@@ -101,7 +103,7 @@ func run(cfg serverConfig) error {
 	}
 	defer tr.Close()
 
-	svc, err := bft.NewSpaceServiceWithEngine(pol, space.Engine(cfg.engine))
+	svc, err := bft.NewSpaceServiceWithConfig(pol, space.Engine(cfg.engine), cfg.shards)
 	if err != nil {
 		return err
 	}
@@ -126,8 +128,8 @@ func run(cfg serverConfig) error {
 	}
 	rep.Start()
 	defer rep.Stop()
-	fmt.Printf("replica %s serving on %s (group %v, f=%d, policy %s, batch %d)\n",
-		cfg.id, tr.Addr(), replicaIDs, cfg.f, cfg.polName, cfg.batch)
+	fmt.Printf("replica %s serving on %s (group %v, f=%d, policy %s, batch %d, shards %d)\n",
+		cfg.id, tr.Addr(), replicaIDs, cfg.f, cfg.polName, cfg.batch, svc.Space().Shards())
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

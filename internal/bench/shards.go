@@ -1,0 +1,474 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"sync/atomic"
+	"text/tabwriter"
+	"time"
+
+	"peats/internal/bft"
+	"peats/internal/policy"
+	"peats/internal/space"
+	"peats/internal/tuple"
+)
+
+// ShardsConfig sizes the shard-contention comparison. The zero value
+// selects defaults sized for a laptop run; CI smoke-tests the path
+// with tiny parameters.
+type ShardsConfig struct {
+	// Shards lists the shard counts to sweep.
+	Shards []int
+	// Writers is the number of concurrent writers keeping ordered
+	// execution busy while reads are measured. All writers share one
+	// tuple key, so a write (or a whole ordered batch) write-locks
+	// exactly one shard regardless of the shard count — the read
+	// scaling then isolates how much of the space a write pins.
+	Writers int
+	// Readers is the number of concurrent readers, each probing its
+	// own key (spread across shards by routing).
+	Readers int
+	// Duration is the measured window of the space-level contention
+	// run per shard count.
+	Duration time.Duration
+	// ReadsPerReader is how many fast-path rdp probes each reader
+	// issues in the cluster-level measurement.
+	ReadsPerReader int
+	// BatchSize is the agreement batch size for the cluster-level
+	// writer load.
+	BatchSize int
+	// Resident is how many filler tuples the cluster-level space
+	// holds. The write policy's reference-monitor predicate quantifies
+	// over the resident state (a quota rule, like the paper's
+	// default-consensus justification rule), so larger residencies make
+	// each monitored write hold its shard's write lock longer.
+	Resident int
+}
+
+func (c ShardsConfig) withDefaults() ShardsConfig {
+	if len(c.Shards) == 0 {
+		c.Shards = []int{1, 4, 16}
+	}
+	if c.Writers <= 0 {
+		c.Writers = 4
+	}
+	if c.Readers <= 0 {
+		c.Readers = 4
+	}
+	if c.Duration <= 0 {
+		c.Duration = 500 * time.Millisecond
+	}
+	if c.ReadsPerReader <= 0 {
+		c.ReadsPerReader = 400
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 64
+	}
+	if c.Resident <= 0 {
+		c.Resident = 600
+	}
+	return c
+}
+
+// ShardsRow is one measurement of the sharded-space comparison: read
+// and write throughput under mixed contention at one shard count.
+// Layer "space" rows measure the space core directly (concurrent
+// goroutines on one Space — lock contention isolated from the
+// protocol); layer "cluster" rows measure the end-to-end read-only
+// fast path on the in-proc replicated transport.
+type ShardsRow struct {
+	Layer        string  `json:"layer"` // "space" or "cluster"
+	Shards       int     `json:"shards"`
+	Writers      int     `json:"writers"`
+	Readers      int     `json:"readers"`
+	ReadOps      int     `json:"read_ops"`
+	ReadsPerSec  float64 `json:"reads_per_sec"`
+	AvgReadUs    float64 `json:"avg_read_latency_us"`
+	WritesPerSec float64 `json:"writes_per_sec"`
+}
+
+// ShardsTable measures mixed read/write contention per shard count at
+// two layers.
+//
+// The space layer runs Writers goroutines hammering out/inp on one
+// shared key against Readers goroutines issuing keyed rdp probes, all
+// on a single Space. With one shard every read serialises on the same
+// RWMutex the writers queue on — under sustained writer pressure an
+// rdp pays the writer-preference park/unpark toll, orders of magnitude
+// above the read itself — while with many shards the readers' shards
+// are uncontended and reads proceed at full speed. This isolates the
+// contention the sharded core removes, and is where the read-scaling
+// acceptance number comes from.
+//
+// The cluster layer runs the same shape end-to-end on the in-proc
+// replicated transport: ordered, reference-monitor-guarded writes
+// (the quota predicate scans the resident state under the write lock)
+// against read-only fast-path probes. Protocol costs (ordering,
+// voting, marshalling) dominate per-op time there, so its scaling is
+// flatter on few cores; it reports what the fast path delivers
+// through the whole stack.
+func ShardsTable(ctx context.Context, cfg ShardsConfig) ([]ShardsRow, error) {
+	cfg = cfg.withDefaults()
+	rows := make([]ShardsRow, 0, 2*len(cfg.Shards))
+	for _, shards := range cfg.Shards {
+		row, err := spaceContention(shards, cfg)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	for _, shards := range cfg.Shards {
+		row, err := clusterContention(ctx, shards, cfg)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// spaceContention measures the space core under mixed load: Writers
+// goroutines cycling out/inp on one shared key (so writes pin exactly
+// one shard) and Readers goroutines probing per-reader keys, for
+// cfg.Duration.
+func spaceContention(shards int, cfg ShardsConfig) (ShardsRow, error) {
+	s, err := space.NewSharded(space.DefaultEngine, shards)
+	if err != nil {
+		return ShardsRow{}, err
+	}
+	for i := 0; i < cfg.Resident; i++ {
+		if err := s.Out(tuple.T(tuple.Str(fmt.Sprintf("FILL%d", i%64)), tuple.Int(int64(i)))); err != nil {
+			return ShardsRow{}, err
+		}
+	}
+	for r := 0; r < cfg.Readers; r++ {
+		if err := s.Out(tuple.T(tuple.Str(fmt.Sprintf("NEEDLE%d", r)), tuple.Int(1))); err != nil {
+			return ShardsRow{}, err
+		}
+	}
+
+	var (
+		stop       atomic.Bool
+		wops, rops atomic.Int64
+		wg         sync.WaitGroup
+	)
+	for w := 0; w < cfg.Writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			entry := tuple.T(tuple.Str("LOAD"), tuple.Int(int64(w)))
+			tmpl := tuple.T(tuple.Str("LOAD"), tuple.Any())
+			for i := 0; !stop.Load(); i++ {
+				if i%2 == 0 {
+					_ = s.Out(entry)
+				} else {
+					s.Inp(tmpl)
+				}
+				wops.Add(1)
+			}
+		}(w)
+	}
+	errs := make(chan error, cfg.Readers)
+	for r := 0; r < cfg.Readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			tmpl := tuple.T(tuple.Str(fmt.Sprintf("NEEDLE%d", r)), tuple.Any())
+			for !stop.Load() {
+				if _, ok := s.Rdp(tmpl); !ok {
+					errs <- fmt.Errorf("space reader %d: needle missing", r)
+					return
+				}
+				rops.Add(1)
+			}
+		}(r)
+	}
+	time.Sleep(cfg.Duration)
+	stop.Store(true)
+	wg.Wait()
+	close(errs)
+	if err := <-errs; err != nil {
+		return ShardsRow{}, err
+	}
+
+	secs := cfg.Duration.Seconds()
+	reads := rops.Load()
+	row := ShardsRow{
+		Layer:        "space",
+		Shards:       shards,
+		Writers:      cfg.Writers,
+		Readers:      cfg.Readers,
+		ReadOps:      int(reads),
+		ReadsPerSec:  float64(reads) / secs,
+		WritesPerSec: float64(wops.Load()) / secs,
+	}
+	if reads > 0 {
+		row.AvgReadUs = secs * 1e6 / float64(reads) * float64(cfg.Readers)
+	}
+	return row, nil
+}
+
+// shardsPolicy is the reference monitor for the cluster-level
+// workload: writes are admitted under a state quota — the predicate
+// counts the resident tuples of the write's arity, quantifying over
+// the whole space exactly like the paper's default-consensus ⊥
+// justification rule — while reads are allowed unconditionally.
+// Monitored writes therefore hold their shard's write lock for
+// O(resident) per operation: the realistic cost profile the sharded
+// core exists for, cheap concurrent reads against expensive guarded
+// writes.
+func shardsPolicy(quota int) policy.Policy {
+	wild := tuple.T(tuple.Any(), tuple.Any())
+	underQuota := func(_ policy.Invocation, st policy.StateView) bool {
+		return st.CountMatching(wild) < quota
+	}
+	return policy.New(
+		policy.Rule{Name: "Rout-quota", Op: policy.OpOut, When: underQuota},
+		policy.Rule{Name: "Rinp-quota", Op: policy.OpInp, When: underQuota},
+		policy.Rule{Name: "Rrdp", Op: policy.OpRdp},
+		policy.Rule{Name: "RrdAll", Op: policy.OpRdAll},
+		policy.Rule{Name: "Rcas", Op: policy.OpCas},
+	)
+}
+
+// clusterContention measures the end-to-end shape on the in-proc
+// transport: a replicated cluster (n = 4) runs writer clients issuing
+// ordered monitor-guarded out/inp load without pause while reader
+// clients drive read-only rdp probes through the fast path.
+func clusterContention(ctx context.Context, shards int, cfg ShardsConfig) (ShardsRow, error) {
+	pol := shardsPolicy(cfg.Resident * 1000)
+	services := make([]bft.Service, 4)
+	for i := range services {
+		svc, err := bft.NewSpaceServiceWithConfig(pol, "", shards)
+		if err != nil {
+			return ShardsRow{}, err
+		}
+		services[i] = svc
+	}
+	cl, err := bft.NewCluster(1, services, bft.WithBatchSize(cfg.BatchSize))
+	if err != nil {
+		return ShardsRow{}, err
+	}
+	defer cl.Stop()
+
+	// Seed the resident filler set (what the write quota predicate
+	// scans) and one needle per reader, each under its own key so keyed
+	// reads spread across shards; then let every replica execute the
+	// seeds so the read-only quorum forms on the first round trip.
+	seeder := bft.NewRemoteSpace(cl.Client("seeder"))
+	seeds := 0
+	for i := 0; i < cfg.Resident; i++ {
+		if err := seeder.Out(ctx, tuple.T(tuple.Str(fmt.Sprintf("FILL%d", i%64)), tuple.Int(int64(i)))); err != nil {
+			return ShardsRow{}, err
+		}
+		seeds++
+	}
+	for r := 0; r < cfg.Readers; r++ {
+		if err := seeder.Out(ctx, tuple.T(tuple.Str(fmt.Sprintf("NEEDLE%d", r)), tuple.Int(1))); err != nil {
+			return ShardsRow{}, err
+		}
+		seeds++
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for _, rep := range cl.Replicas {
+		for rep.Executed() < uint64(seeds) && time.Now().Before(deadline) {
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	// All clients are provisioned sequentially before any load starts:
+	// Cluster.Client installs keys on every replica keyring, which is
+	// not safe concurrently with traffic.
+	writeSpaces := make([]*bft.RemoteSpace, cfg.Writers)
+	for w := range writeSpaces {
+		writeSpaces[w] = bft.NewRemoteSpace(cl.Client(fmt.Sprintf("writer%d", w)))
+	}
+	readSpaces := make([]*bft.RemoteSpace, cfg.Readers)
+	for r := range readSpaces {
+		readSpaces[r] = bft.NewRemoteSpace(cl.Client(fmt.Sprintf("reader%d", r)))
+	}
+
+	// Writers: sustained ordered load on the shared "LOAD" key until
+	// the readers finish; the op count feeds the writes/sec column.
+	var (
+		stop     atomic.Bool
+		writeOps atomic.Int64
+		wg       sync.WaitGroup
+		werrMu   sync.Mutex
+		werr     error
+	)
+	for w := 0; w < cfg.Writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ts := writeSpaces[w]
+			entry := tuple.T(tuple.Str("LOAD"), tuple.Int(int64(w)))
+			tmpl := tuple.T(tuple.Str("LOAD"), tuple.Any())
+			for i := 0; !stop.Load(); i++ {
+				var err error
+				if i%2 == 0 {
+					err = ts.Out(ctx, entry)
+				} else {
+					_, _, err = ts.Inp(ctx, tmpl)
+				}
+				if err != nil {
+					if ctx.Err() == nil && !stop.Load() {
+						werrMu.Lock()
+						if werr == nil {
+							werr = err
+						}
+						werrMu.Unlock()
+					}
+					return
+				}
+				writeOps.Add(1)
+			}
+		}(w)
+	}
+
+	// Readers: each probes its own needle on the read-only fast path.
+	// Clients are reused across waves — a fresh client under a reused
+	// identity would restart request IDs and be dropped by at-most-once
+	// bookkeeping. A warm-up wave runs unmeasured so quorum formation
+	// stays out of the numbers.
+	readWave := func(reads int) (time.Duration, error) {
+		var rwg sync.WaitGroup
+		errs := make(chan error, cfg.Readers)
+		start := time.Now()
+		for r := 0; r < cfg.Readers; r++ {
+			rwg.Add(1)
+			go func(r int) {
+				defer rwg.Done()
+				tmpl := tuple.T(tuple.Str(fmt.Sprintf("NEEDLE%d", r)), tuple.Any())
+				for i := 0; i < reads; i++ {
+					if _, ok, err := readSpaces[r].Rdp(ctx, tmpl); err != nil || !ok {
+						errs <- fmt.Errorf("reader %d rdp %d: found=%v err=%v", r, i, ok, err)
+						return
+					}
+				}
+			}(r)
+		}
+		rwg.Wait()
+		elapsed := time.Since(start)
+		close(errs)
+		return elapsed, <-errs
+	}
+
+	warm := cfg.ReadsPerReader / 4
+	if warm < 2 {
+		warm = 2
+	}
+	if _, err := readWave(warm); err != nil {
+		stop.Store(true)
+		wg.Wait()
+		return ShardsRow{}, err
+	}
+	writeStart := writeOps.Load()
+	start := time.Now()
+	elapsed, rerr := readWave(cfg.ReadsPerReader)
+	writesDuring := writeOps.Load() - writeStart
+	writeElapsed := time.Since(start)
+
+	stop.Store(true)
+	wg.Wait()
+	if rerr != nil {
+		return ShardsRow{}, rerr
+	}
+	if werr != nil {
+		return ShardsRow{}, werr
+	}
+
+	readOps := cfg.Readers * cfg.ReadsPerReader
+	return ShardsRow{
+		Layer:        "cluster",
+		Shards:       shards,
+		Writers:      cfg.Writers,
+		Readers:      cfg.Readers,
+		ReadOps:      readOps,
+		ReadsPerSec:  float64(readOps) / elapsed.Seconds(),
+		AvgReadUs:    float64(elapsed.Microseconds()) / float64(readOps) * float64(cfg.Readers),
+		WritesPerSec: float64(writesDuring) / writeElapsed.Seconds(),
+	}, nil
+}
+
+// ReadScaling returns each shard count's space-layer read throughput
+// relative to the 1-shard row (empty when no 1-shard row exists) —
+// the contention-isolation number the sharded core is held to.
+func ReadScaling(rows []ShardsRow) map[int]float64 {
+	return layerScaling(rows, "space")
+}
+
+// ClusterReadScaling is ReadScaling for the end-to-end cluster rows.
+func ClusterReadScaling(rows []ShardsRow) map[int]float64 {
+	return layerScaling(rows, "cluster")
+}
+
+func layerScaling(rows []ShardsRow, layer string) map[int]float64 {
+	var base float64
+	for _, r := range rows {
+		if r.Layer == layer && r.Shards == 1 {
+			base = r.ReadsPerSec
+		}
+	}
+	out := make(map[int]float64)
+	for _, r := range rows {
+		if r.Layer == layer && base > 0 {
+			out[r.Shards] = r.ReadsPerSec / base
+		}
+	}
+	return out
+}
+
+// WriteShardsTable renders the shard-contention comparison.
+func WriteShardsTable(w io.Writer, rows []ShardsRow) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "layer\tshards\twriters\treaders\treads/sec\tavg read latency\twrites/sec")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%.0f\t%.1fµs\t%.0f\n",
+			r.Layer, r.Shards, r.Writers, r.Readers, r.ReadsPerSec, r.AvgReadUs, r.WritesPerSec)
+	}
+	tw.Flush()
+	spaceScaling := ReadScaling(rows)
+	for _, r := range rows {
+		if r.Layer == "space" && r.Shards != 1 && spaceScaling[r.Shards] > 0 {
+			fmt.Fprintf(w, "space-level read scaling at %d shards: %.1fx under concurrent writers\n",
+				r.Shards, spaceScaling[r.Shards])
+		}
+	}
+	clusterScaling := ClusterReadScaling(rows)
+	for _, r := range rows {
+		if r.Layer == "cluster" && r.Shards != 1 && clusterScaling[r.Shards] > 0 {
+			fmt.Fprintf(w, "cluster read scaling at %d shards: %.1fx (protocol-dominated; grows with cores)\n",
+				r.Shards, clusterScaling[r.Shards])
+		}
+	}
+}
+
+// shardsReport is the machine-readable artifact schema.
+type shardsReport struct {
+	Table              string          `json:"table"`
+	GeneratedAt        string          `json:"generated_at"`
+	ReadScaling        map[int]float64 `json:"read_scaling"`
+	ClusterReadScaling map[int]float64 `json:"cluster_read_scaling"`
+	Rows               []ShardsRow     `json:"rows"`
+}
+
+// WriteShardsJSON writes the rows as a machine-readable JSON report.
+func WriteShardsJSON(path string, rows []ShardsRow) error {
+	report := shardsReport{
+		Table:              "shards",
+		GeneratedAt:        time.Now().UTC().Format(time.RFC3339),
+		ReadScaling:        ReadScaling(rows),
+		ClusterReadScaling: ClusterReadScaling(rows),
+		Rows:               rows,
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -27,17 +27,22 @@ var StoreSizes = []int{10, 100, 10000}
 // probed tuple (tag "needle") last — the linear scan's worst case. It
 // is the single definition of the engine-comparison workload, shared
 // by the CLI stores table and the go-test benchmarks in
-// internal/space.
-func StoreFill(st space.Store, n int) {
+// internal/space. It returns the next free sequence number, for
+// callers that keep inserting.
+func StoreFill(st space.Store, n int) uint64 {
+	seq := uint64(0)
 	for i := 0; i < n-1; i++ {
+		seq++
 		tag := fmt.Sprintf("tag%d", i%17)
 		if i%2 == 0 {
-			st.Insert(tuple.T(tuple.Str(tag), tuple.Int(int64(i))))
+			st.Insert(tuple.T(tuple.Str(tag), tuple.Int(int64(i))), seq)
 		} else {
-			st.Insert(tuple.T(tuple.Str(tag), tuple.Int(int64(i)), tuple.Bool(true)))
+			st.Insert(tuple.T(tuple.Str(tag), tuple.Int(int64(i)), tuple.Bool(true)), seq)
 		}
 	}
-	st.Insert(tuple.T(tuple.Str("needle"), tuple.Int(0)))
+	seq++
+	st.Insert(tuple.T(tuple.Str("needle"), tuple.Int(0)), seq)
+	return seq + 1
 }
 
 // StoresTable measures rdp, inp and cas ns/op for every store engine at
@@ -53,29 +58,31 @@ func StoresTable(sizes []int) ([]StoreRow, error) {
 
 	ops := []struct {
 		name string
-		loop func(st space.Store, b *testing.B)
+		loop func(st space.Store, seq *uint64, b *testing.B)
 	}{
-		{"rdp", func(st space.Store, b *testing.B) {
+		{"rdp", func(st space.Store, _ *uint64, b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, ok := st.Find(needle, false); !ok {
+				if _, _, ok := st.Find(needle, false); !ok {
 					b.Fatal("needle not found")
 				}
 			}
 		}},
-		{"inp", func(st space.Store, b *testing.B) {
+		{"inp", func(st space.Store, seq *uint64, b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, ok := st.Find(needle, true); !ok {
+				if _, _, ok := st.Find(needle, true); !ok {
 					b.Fatal("needle not found")
 				}
-				st.Insert(needleEntry)
+				st.Insert(needleEntry, *seq)
+				*seq++
 			}
 		}},
-		{"cas", func(st space.Store, b *testing.B) {
+		{"cas", func(st space.Store, seq *uint64, b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, ok := st.Find(absent, false); !ok {
-					st.Insert(absentEntry)
+				if _, _, ok := st.Find(absent, false); !ok {
+					st.Insert(absentEntry, *seq)
+					*seq++
 				}
-				if _, ok := st.Find(absent, true); !ok {
+				if _, _, ok := st.Find(absent, true); !ok {
 					b.Fatal("cas entry vanished")
 				}
 			}
@@ -90,9 +97,9 @@ func StoresTable(sizes []int) ([]StoreRow, error) {
 				if err != nil {
 					return nil, err
 				}
-				StoreFill(st, size)
+				seq := StoreFill(st, size)
 				loop := op.loop
-				res := testing.Benchmark(func(b *testing.B) { loop(st, b) })
+				res := testing.Benchmark(func(b *testing.B) { loop(st, &seq, b) })
 				rows = append(rows, StoreRow{
 					Op: op.name, Size: size, Engine: engine, NsPerOp: res.NsPerOp(),
 				})

@@ -458,6 +458,14 @@ func (c *Cluster) Client(id string) *Client {
 		id = fmt.Sprintf("client%d", c.nextCli)
 		c.mu.Unlock()
 	}
+	for _, rid := range c.IDs {
+		if id == rid {
+			// The in-proc network keys endpoints by identity: a client
+			// reusing a replica id would share the replica's inbox and
+			// silently steal its protocol messages.
+			panic(fmt.Sprintf("bft: client id %q collides with a replica id", id))
+		}
+	}
 	for rid, kr := range c.keyrings {
 		kr.SetKey(id, auth.DeriveKey(clusterMaster, rid, id))
 	}

@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"log"
 	"math/bits"
+	"runtime"
 	"sort"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -142,6 +144,13 @@ type Replica struct {
 	stop            chan struct{}
 	done            chan struct{}
 
+	// Read-only fast path: reads execute on a worker pool, off the
+	// event loop, synchronised with ordered execution only by the
+	// space's shard read locks — so they run concurrently with each
+	// other and with batches writing other shards.
+	roCh chan ReadOnly
+	roWG sync.WaitGroup
+
 	// Atomic mirrors of loop-owned state for external observation.
 	viewMirror     atomic.Uint64
 	executedMirror atomic.Uint64
@@ -223,19 +232,45 @@ func NewReplica(cfg ReplicaConfig) (*Replica, error) {
 	return r, nil
 }
 
-// Start launches the replica's event loop.
+// roWorkers is the size of the read-only execution pool and roBacklog
+// its queue depth. Reads beyond the backlog are dropped — the
+// asynchronous model permits loss, and the client falls back to the
+// ordered path.
+var roWorkers = runtime.GOMAXPROCS(0)
+
+const roBacklog = 256
+
+// Start launches the replica's event loop and its read-only worker
+// pool.
 func (r *Replica) Start() {
 	r.timer = time.NewTimer(time.Hour)
 	r.timer.Stop()
 	r.batchTimer = time.NewTimer(time.Hour)
 	r.batchTimer.Stop()
+	r.roCh = make(chan ReadOnly, roBacklog)
+	for i := 0; i < roWorkers; i++ {
+		r.roWG.Add(1)
+		go func() {
+			defer r.roWG.Done()
+			for {
+				select {
+				case ro := <-r.roCh:
+					r.serveReadOnly(ro)
+				case <-r.stop:
+					return
+				}
+			}
+		}()
+	}
 	go r.run()
 }
 
-// Stop terminates the event loop and waits for it to exit.
+// Stop terminates the event loop and the read-only pool, and waits for
+// both to exit.
 func (r *Replica) Stop() {
 	close(r.stop)
 	<-r.done
+	r.roWG.Wait()
 }
 
 // View returns the replica's current view.
@@ -996,12 +1031,29 @@ func (r *Replica) executeOnce(req Request) []byte {
 
 // ---- Read-only fast path ----
 
-// onReadOnly executes a non-mutating operation against the current
-// committed state, without ordering. The reply carries the read-only
-// flag so the client votes it separately (2f+1 byte-identical); a
-// replica whose service cannot serve the operation read-only stays
-// silent and the client falls back to the ordered path.
+// onReadOnly hands a read to the worker pool, keeping the event loop
+// free to order writes. A full backlog drops the read (the client
+// falls back to ordering), so the loop never blocks on readers.
 func (r *Replica) onReadOnly(ro ReadOnly) {
+	select {
+	case r.roCh <- ro:
+	default:
+	}
+}
+
+// serveReadOnly executes a non-mutating operation against the current
+// committed state, without ordering, on a pool worker. The space
+// serialises it against ordered execution with shard read locks only,
+// so reads proceed concurrently with each other and with batches
+// writing other shards. The reply carries the read-only flag so the
+// client votes it separately (2f+1 byte-identical); a replica whose
+// service cannot serve the operation read-only stays silent and the
+// client falls back to the ordered path.
+//
+// Runs outside the event loop: it must touch only immutable replica
+// fields, atomics, and the (internally synchronised) service and
+// transport.
+func (r *Replica) serveReadOnly(ro ReadOnly) {
 	roe, ok := r.service.(ReadOnlyExecutor)
 	if !ok {
 		return
@@ -1010,10 +1062,16 @@ func (r *Replica) onReadOnly(ro ReadOnly) {
 	if !ok {
 		return
 	}
-	r.sendTo(ro.Client, Reply{
-		View: r.view, Client: ro.Client, ReqID: ro.ReqID,
+	payload, err := Marshal(Reply{
+		View: r.viewMirror.Load(), Client: ro.Client, ReqID: ro.ReqID,
 		Replica: r.cfg.ID, Result: result, ReadOnly: true,
 	})
+	if err != nil {
+		return
+	}
+	// Best-effort: a failed send is indistinguishable from loss, and
+	// the client's vote machinery already handles missing replies.
+	_ = r.tr.Send(ro.Client, payload)
 }
 
 // ---- Checkpoints and state transfer ----

@@ -43,6 +43,11 @@ type BatchExecutor interface {
 // current state, outside the ordered sequence. Implementations must
 // return ok=false for any operation that would mutate state — the
 // replica then stays silent and the client falls back to ordering.
+//
+// ExecuteReadOnly is called from the replica's read worker pool,
+// concurrently with itself and with Execute/ExecuteBatch on the event
+// loop, so implementations must synchronise internally (SpaceService
+// uses the space's shard read locks).
 type ReadOnlyExecutor interface {
 	ExecuteReadOnly(client string, op []byte) (result []byte, ok bool)
 }
@@ -51,12 +56,19 @@ type ReadOnlyExecutor interface {
 // guarded by the reference monitor, executing wire.SpaceOp operations.
 // This is the box marked "interceptor + tuple space" in Fig. 2.
 //
-// The space's store engine is pluggable (NewSpaceServiceWithEngine).
-// Replicas running different engines stay consistent: the Store
-// determinism contract guarantees identical match order for identical
-// operation sequences, and Snapshot/Restore exchange engine-neutral
-// tuple lists, so checkpoints and state transfers install cleanly on
-// any engine.
+// The space's store engine and shard count are pluggable
+// (NewSpaceServiceWithConfig). Replicas running different engines or
+// shard counts stay consistent: the Store determinism contract and the
+// space's merge-by-sequence iteration guarantee identical match order
+// for identical operation sequences, and Snapshot/Restore exchange
+// engine-neutral tuple lists, so checkpoints and state transfers
+// install cleanly on any configuration.
+//
+// Ordered execution write-locks only the shards a batch's operations
+// route to (read-locking the rest for the monitor), and the read-only
+// fast path takes shared locks everywhere — so fast-path reads run
+// concurrently with each other and with ordered execution on other
+// shards.
 type SpaceService struct {
 	inner *space.Space
 	pol   policy.Policy
@@ -75,9 +87,19 @@ func NewSpaceService(pol policy.Policy) *SpaceService {
 }
 
 // NewSpaceServiceWithEngine returns a PEATS service whose space uses
-// the named store engine.
+// the named store engine, with a single shard.
 func NewSpaceServiceWithEngine(pol policy.Policy, e space.Engine) (*SpaceService, error) {
-	inner, err := space.NewWithEngine(e)
+	return NewSpaceServiceWithConfig(pol, e, 1)
+}
+
+// NewSpaceServiceWithConfig returns a PEATS service whose space uses
+// the named store engine partitioned into the given number of shards
+// (shards ≤ 0 selects 1).
+func NewSpaceServiceWithConfig(pol policy.Policy, e space.Engine, shards int) (*SpaceService, error) {
+	if shards <= 0 {
+		shards = 1
+	}
+	inner, err := space.NewSharded(e, shards)
 	if err != nil {
 		return nil, err
 	}
@@ -95,11 +117,34 @@ func (s *SpaceService) Execute(client string, op []byte) []byte {
 	if err != nil {
 		return encodeOpError(err)
 	}
+	var ws space.ShardSet
+	s.addWrites(&ws, decoded)
 	var res []byte
-	s.inner.Do(func(tx *space.Tx) {
+	s.inner.DoScoped(ws, func(tx *space.Tx) {
 		res = s.executeIn(tx, client, decoded)
 	})
 	return res
+}
+
+// addWrites adds the shards decoded may mutate to ws. Reads need no
+// entry: scoped transactions hold shared locks on every other shard,
+// so the reference monitor and the read operations observe the whole
+// space consistently.
+func (s *SpaceService) addWrites(ws *space.ShardSet, decoded wire.SpaceOp) {
+	switch decoded.Op {
+	case policy.OpOut:
+		ws.Add(s.inner.EntryShard(decoded.Entry))
+	case policy.OpCas:
+		ws.Add(s.inner.EntryShard(decoded.Entry))
+	case policy.OpInp:
+		if idx, keyed := s.inner.TemplateShard(decoded.Template); keyed {
+			ws.Add(idx)
+		} else {
+			// A wildcard-first destructive read may remove from any
+			// shard.
+			ws.AddAll()
+		}
+	}
 }
 
 func encodeOpError(err error) []byte {
@@ -109,12 +154,15 @@ func encodeOpError(err error) []byte {
 }
 
 // ExecuteBatch implements BatchExecutor: every operation of a committed
-// batch executes inside one space critical section, amortizing the lock
-// and making the batch atomic with respect to concurrent read-only
-// execution.
+// batch executes inside one space critical section scoped to the shards
+// the batch writes, amortizing the locks and making the batch atomic
+// with respect to concurrent read-only execution on those shards.
+// Fast-path reads routed to shards the batch does not write proceed in
+// parallel with the batch.
 func (s *SpaceService) ExecuteBatch(clients []string, ops [][]byte) [][]byte {
 	results := make([][]byte, len(ops))
 	decoded := make([]wire.SpaceOp, len(ops))
+	var ws space.ShardSet
 	for i, op := range ops {
 		d, err := wire.DecodeSpaceOp(op)
 		if err != nil {
@@ -122,8 +170,9 @@ func (s *SpaceService) ExecuteBatch(clients []string, ops [][]byte) [][]byte {
 			continue
 		}
 		decoded[i] = d
+		s.addWrites(&ws, d)
 	}
-	s.inner.Do(func(tx *space.Tx) {
+	s.inner.DoScoped(ws, func(tx *space.Tx) {
 		for i := range ops {
 			if results[i] != nil {
 				continue // malformed: deterministic error already encoded
@@ -140,6 +189,10 @@ func (s *SpaceService) ExecuteBatch(clients []string, ops [][]byte) [][]byte {
 // operation — and any malformed one, whose deterministic error result
 // per-replica voting would mask anyway — reports ok=false so the
 // client falls back to the ordered path.
+//
+// The section holds only shard read locks (DoRead), so fast-path reads
+// run concurrently with each other and with ordered execution on
+// shards the current batch does not write.
 func (s *SpaceService) ExecuteReadOnly(client string, op []byte) ([]byte, bool) {
 	decoded, err := wire.DecodeSpaceOp(op)
 	if err != nil {
@@ -151,7 +204,7 @@ func (s *SpaceService) ExecuteReadOnly(client string, op []byte) ([]byte, bool) 
 		return nil, false
 	}
 	var res []byte
-	s.inner.Do(func(tx *space.Tx) {
+	s.inner.DoRead(func(tx *space.Tx) {
 		res = s.executeIn(tx, client, decoded)
 	})
 	return res, true

@@ -74,7 +74,15 @@ func New(pol policy.Policy) *Space {
 // NewWithEngine returns a PEATS whose space is backed by the named
 // store engine (see space.Engine).
 func NewWithEngine(pol policy.Policy, e space.Engine) (*Space, error) {
-	inner, err := space.NewWithEngine(e)
+	return NewSharded(pol, e, 1)
+}
+
+// NewSharded returns a PEATS whose space is partitioned into shards
+// (see space.NewSharded): operations routed to different shards, and
+// read-only operations anywhere, run concurrently, while observable
+// behaviour stays identical to a single-shard space.
+func NewSharded(pol policy.Policy, e space.Engine, shards int) (*Space, error) {
+	inner, err := space.NewSharded(e, shards)
 	if err != nil {
 		return nil, err
 	}
@@ -131,11 +139,15 @@ func (h *Handle) ID() policy.ProcessID { return h.id }
 
 // Out inserts entry if the policy allows it. The monitor check and the
 // insertion happen in one atomic section, mirroring the sequential
-// execution of the replicated realisation.
+// execution of the replicated realisation. Only the entry's shard is
+// write-locked; the monitor reads the rest of the space under shared
+// locks.
 func (h *Handle) Out(_ context.Context, entry tuple.Tuple) error {
 	inv := policy.Invocation{Invoker: h.id, Op: policy.OpOut, Entry: entry}
+	var ws space.ShardSet
+	ws.Add(h.space.inner.EntryShard(entry))
 	var err error
-	h.space.inner.Do(func(tx *space.Tx) {
+	h.space.inner.DoScoped(ws, func(tx *space.Tx) {
 		if err = h.space.evaluate(inv, tx); err != nil {
 			return
 		}
@@ -144,7 +156,8 @@ func (h *Handle) Out(_ context.Context, entry tuple.Tuple) error {
 	return err
 }
 
-// Rdp performs a non-blocking read if the policy allows it.
+// Rdp performs a non-blocking read if the policy allows it. The whole
+// section runs under shared locks, concurrently with other readers.
 func (h *Handle) Rdp(_ context.Context, tmpl tuple.Tuple) (tuple.Tuple, bool, error) {
 	inv := policy.Invocation{Invoker: h.id, Op: policy.OpRdp, Template: tmpl}
 	var (
@@ -152,7 +165,7 @@ func (h *Handle) Rdp(_ context.Context, tmpl tuple.Tuple) (tuple.Tuple, bool, er
 		ok  bool
 		err error
 	)
-	h.space.inner.Do(func(tx *space.Tx) {
+	h.space.inner.DoRead(func(tx *space.Tx) {
 		if err = h.space.evaluate(inv, tx); err != nil {
 			return
 		}
@@ -164,12 +177,18 @@ func (h *Handle) Rdp(_ context.Context, tmpl tuple.Tuple) (tuple.Tuple, bool, er
 // Inp performs a non-blocking destructive read if the policy allows it.
 func (h *Handle) Inp(_ context.Context, tmpl tuple.Tuple) (tuple.Tuple, bool, error) {
 	inv := policy.Invocation{Invoker: h.id, Op: policy.OpInp, Template: tmpl}
+	var ws space.ShardSet
+	if idx, keyed := h.space.inner.TemplateShard(tmpl); keyed {
+		ws.Add(idx)
+	} else {
+		ws.AddAll()
+	}
 	var (
 		t   tuple.Tuple
 		ok  bool
 		err error
 	)
-	h.space.inner.Do(func(tx *space.Tx) {
+	h.space.inner.DoScoped(ws, func(tx *space.Tx) {
 		if err = h.space.evaluate(inv, tx); err != nil {
 			return
 		}
@@ -184,7 +203,7 @@ func (h *Handle) Inp(_ context.Context, tmpl tuple.Tuple) (tuple.Tuple, bool, er
 func (h *Handle) Rd(ctx context.Context, tmpl tuple.Tuple) (tuple.Tuple, error) {
 	inv := policy.Invocation{Invoker: h.id, Op: policy.OpRd, Template: tmpl}
 	var err error
-	h.space.inner.Do(func(tx *space.Tx) { err = h.space.evaluate(inv, tx) })
+	h.space.inner.DoRead(func(tx *space.Tx) { err = h.space.evaluate(inv, tx) })
 	if err != nil {
 		return tuple.Tuple{}, err
 	}
@@ -195,7 +214,7 @@ func (h *Handle) Rd(ctx context.Context, tmpl tuple.Tuple) (tuple.Tuple, error) 
 func (h *Handle) In(ctx context.Context, tmpl tuple.Tuple) (tuple.Tuple, error) {
 	inv := policy.Invocation{Invoker: h.id, Op: policy.OpIn, Template: tmpl}
 	var err error
-	h.space.inner.Do(func(tx *space.Tx) { err = h.space.evaluate(inv, tx) })
+	h.space.inner.DoRead(func(tx *space.Tx) { err = h.space.evaluate(inv, tx) })
 	if err != nil {
 		return tuple.Tuple{}, err
 	}
@@ -203,13 +222,14 @@ func (h *Handle) In(ctx context.Context, tmpl tuple.Tuple) (tuple.Tuple, error) 
 }
 
 // RdAll performs the bulk non-destructive read if the policy allows it.
+// Like Rdp it runs entirely under shared locks.
 func (h *Handle) RdAll(_ context.Context, tmpl tuple.Tuple) ([]tuple.Tuple, error) {
 	inv := policy.Invocation{Invoker: h.id, Op: policy.OpRdAll, Template: tmpl}
 	var (
 		out []tuple.Tuple
 		err error
 	)
-	h.space.inner.Do(func(tx *space.Tx) {
+	h.space.inner.DoRead(func(tx *space.Tx) {
 		if err = h.space.evaluate(inv, tx); err != nil {
 			return
 		}
@@ -222,12 +242,14 @@ func (h *Handle) RdAll(_ context.Context, tmpl tuple.Tuple) ([]tuple.Tuple, erro
 // The monitor evaluation and the swap form a single atomic step.
 func (h *Handle) Cas(_ context.Context, tmpl, entry tuple.Tuple) (bool, tuple.Tuple, error) {
 	inv := policy.Invocation{Invoker: h.id, Op: policy.OpCas, Template: tmpl, Entry: entry}
+	var ws space.ShardSet
+	ws.Add(h.space.inner.EntryShard(entry))
 	var (
 		inserted bool
 		matched  tuple.Tuple
 		err      error
 	)
-	h.space.inner.Do(func(tx *space.Tx) {
+	h.space.inner.DoScoped(ws, func(tx *space.Tx) {
 		if err = h.space.evaluate(inv, tx); err != nil {
 			return
 		}

@@ -9,23 +9,26 @@ import "peats/internal/tuple"
 // and universal construction in this repository — match in O(bucket)
 // instead of O(space).
 //
-// Insertion order is preserved through monotonic sequence numbers: each
-// record carries the seq at which it was inserted, and every index list
-// is append-only and therefore seq-sorted. A lookup scans exactly one
-// candidate list in seq order, so the first full match it encounters is
-// the first match in insertion order — the same tuple the reference
-// SliceStore returns. Key collisions only add skipped candidates, never
-// reordered ones, so the determinism contract of Store holds and the
-// space remains a deterministic state machine for the BFT substrate.
+// Insertion order is preserved through the space-assigned sequence
+// numbers: each record carries the seq it was inserted with, and every
+// index list is append-only and therefore seq-sorted. A lookup scans
+// exactly one candidate list in seq order, so the first full match it
+// encounters is the first match in insertion order — the same tuple the
+// reference SliceStore returns. Key collisions only add skipped
+// candidates, never reordered ones, so the determinism contract of
+// Store holds and the space remains a deterministic state machine for
+// the BFT substrate.
 //
 // Removal marks records dead in place (O(1)) and the store compacts
 // all index structures once at least half the records are dead, keeping
-// amortised cost per operation constant. Scans additionally trim dead
-// records from the head of the list they walked, so queue-like
-// workloads (out/in on one key) do not accumulate tombstones in their
-// hot list.
+// amortised cost per operation constant. Removal scans additionally
+// trim dead records from the head of the list they walked, so
+// queue-like workloads (out/in on one key) do not accumulate tombstones
+// in their hot list. Pure reads (Find with remove=false, FindAll,
+// Count, ForEach, Snapshot) never mutate anything — the Store
+// concurrency contract — so the sharded space can run them under
+// shared locks.
 type IndexedStore struct {
-	seq     uint64
 	live    int
 	order   []*irec // global insertion (seq) order; may contain dead records
 	buckets map[int]*arityBucket
@@ -62,9 +65,8 @@ func NewIndexedStore() *IndexedStore {
 func (s *IndexedStore) Engine() Engine { return EngineIndexed }
 
 // Insert implements Store.
-func (s *IndexedStore) Insert(t tuple.Tuple) {
-	r := &irec{seq: s.seq, t: t}
-	s.seq++
+func (s *IndexedStore) Insert(t tuple.Tuple, seq uint64) {
+	r := &irec{seq: seq, t: t}
 	s.order = append(s.order, r)
 	s.index(r)
 	s.live++
@@ -74,7 +76,7 @@ func (s *IndexedStore) Insert(t tuple.Tuple) {
 // backing allocation and the order list grows once, so index building
 // on large snapshots (Restore, checkpoint install) is amortized across
 // the batch instead of paying per-tuple allocation and growth.
-func (s *IndexedStore) InsertBatch(ts []tuple.Tuple) {
+func (s *IndexedStore) InsertBatch(ts []SeqTuple) {
 	if len(ts) == 0 {
 		return
 	}
@@ -84,11 +86,10 @@ func (s *IndexedStore) InsertBatch(ts []tuple.Tuple) {
 		copy(grown, s.order)
 		s.order = grown
 	}
-	for i, t := range ts {
+	for i, st := range ts {
 		r := &recs[i]
-		r.seq = s.seq
-		r.t = t
-		s.seq++
+		r.seq = st.Seq
+		r.t = st.T
 		s.order = append(s.order, r)
 		s.index(r)
 	}
@@ -126,13 +127,22 @@ func (s *IndexedStore) candidates(tmpl tuple.Tuple) (b *arityBucket, list []*ire
 	return b, b.all, "", false
 }
 
-// Find implements Store.
-func (s *IndexedStore) Find(tmpl tuple.Tuple, remove bool) (tuple.Tuple, bool) {
+// Find implements Store. The remove=false path is a pure scan — no
+// trimming, no compaction — per the Store concurrency contract.
+func (s *IndexedStore) Find(tmpl tuple.Tuple, remove bool) (tuple.Tuple, uint64, bool) {
 	b, list, key, keyed := s.candidates(tmpl)
 	if b == nil {
-		return tuple.Tuple{}, false
+		return tuple.Tuple{}, 0, false
 	}
-	kept, t, ok := s.scan(list, tmpl, remove)
+	if !remove {
+		for _, r := range list {
+			if !r.dead && tuple.Matches(r.t, tmpl) {
+				return r.t, r.seq, true
+			}
+		}
+		return tuple.Tuple{}, 0, false
+	}
+	kept, t, seq, ok := s.remove(list, tmpl)
 	if keyed {
 		if len(kept) == 0 {
 			delete(b.byKey, key)
@@ -142,16 +152,16 @@ func (s *IndexedStore) Find(tmpl tuple.Tuple, remove bool) (tuple.Tuple, bool) {
 	} else {
 		b.all = kept
 	}
-	if ok && remove {
+	if ok {
 		s.maybeCompact()
 	}
-	return t, ok
+	return t, seq, ok
 }
 
-// scan walks list in seq order for the first record matching tmpl,
-// marking it dead when remove is set. It returns the list with any
-// contiguous dead head trimmed off.
-func (s *IndexedStore) scan(list []*irec, tmpl tuple.Tuple, remove bool) (kept []*irec, t tuple.Tuple, ok bool) {
+// remove walks list in seq order for the first record matching tmpl and
+// marks it dead. It returns the list with any contiguous dead head
+// trimmed off.
+func (s *IndexedStore) remove(list []*irec, tmpl tuple.Tuple) (kept []*irec, t tuple.Tuple, seq uint64, ok bool) {
 	head := 0
 	for i, r := range list {
 		if r.dead {
@@ -163,33 +173,30 @@ func (s *IndexedStore) scan(list []*irec, tmpl tuple.Tuple, remove bool) (kept [
 		if !tuple.Matches(r.t, tmpl) {
 			continue
 		}
-		if remove {
-			t := r.t
-			r.dead = true
-			// Release the tuple immediately: records can share a
-			// batch-allocated backing array (InsertBatch), so a dead
-			// record must not pin its payload until the whole batch
-			// compacts away.
-			r.t = tuple.Tuple{}
-			s.live--
-			s.buckets[t.Arity()].live--
-			if i == head {
-				head++
-			}
-			return list[head:], t, true
+		t, seq = r.t, r.seq
+		r.dead = true
+		// Release the tuple immediately: records can share a
+		// batch-allocated backing array (InsertBatch), so a dead
+		// record must not pin its payload until the whole batch
+		// compacts away.
+		r.t = tuple.Tuple{}
+		s.live--
+		s.buckets[t.Arity()].live--
+		if i == head {
+			head++
 		}
-		return list[head:], r.t, true
+		return list[head:], t, seq, true
 	}
-	return list[head:], tuple.Tuple{}, false
+	return list[head:], tuple.Tuple{}, 0, false
 }
 
 // FindAll implements Store.
-func (s *IndexedStore) FindAll(tmpl tuple.Tuple) []tuple.Tuple {
+func (s *IndexedStore) FindAll(tmpl tuple.Tuple) []SeqTuple {
 	_, list, _, _ := s.candidates(tmpl)
-	var out []tuple.Tuple
+	var out []SeqTuple
 	for _, r := range list {
 		if !r.dead && tuple.Matches(r.t, tmpl) {
-			out = append(out, r.t)
+			out = append(out, SeqTuple{Seq: r.seq, T: r.t})
 		}
 	}
 	return out
@@ -211,23 +218,38 @@ func (s *IndexedStore) Count(tmpl tuple.Tuple) int {
 func (s *IndexedStore) Len() int { return s.live }
 
 // ForEach implements Store.
-func (s *IndexedStore) ForEach(fn func(tuple.Tuple) bool) {
+func (s *IndexedStore) ForEach(fn func(t tuple.Tuple, seq uint64) bool) {
 	for _, r := range s.order {
 		if r.dead {
 			continue
 		}
-		if !fn(r.t) {
+		if !fn(r.t, r.seq) {
 			return
 		}
 	}
 }
 
+// Iter implements Store.
+func (s *IndexedStore) Iter() func() (SeqTuple, bool) {
+	i := 0
+	return func() (SeqTuple, bool) {
+		for i < len(s.order) {
+			r := s.order[i]
+			i++
+			if !r.dead {
+				return SeqTuple{Seq: r.seq, T: r.t}, true
+			}
+		}
+		return SeqTuple{}, false
+	}
+}
+
 // Snapshot implements Store.
-func (s *IndexedStore) Snapshot() []tuple.Tuple {
-	cp := make([]tuple.Tuple, 0, s.live)
+func (s *IndexedStore) Snapshot() []SeqTuple {
+	cp := make([]SeqTuple, 0, s.live)
 	for _, r := range s.order {
 		if !r.dead {
-			cp = append(cp, r.t)
+			cp = append(cp, SeqTuple{Seq: r.seq, T: r.t})
 		}
 	}
 	return cp

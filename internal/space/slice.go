@@ -8,7 +8,7 @@ import "peats/internal/tuple"
 // determinism contract; the indexed engine is tested for observational
 // equivalence against it.
 type SliceStore struct {
-	tuples []tuple.Tuple
+	recs []SeqTuple
 }
 
 var _ Store = (*SliceStore)(nil)
@@ -22,34 +22,34 @@ func NewSliceStore() *SliceStore {
 func (s *SliceStore) Engine() Engine { return EngineSlice }
 
 // Insert implements Store.
-func (s *SliceStore) Insert(t tuple.Tuple) {
-	s.tuples = append(s.tuples, t)
+func (s *SliceStore) Insert(t tuple.Tuple, seq uint64) {
+	s.recs = append(s.recs, SeqTuple{Seq: seq, T: t})
 }
 
 // InsertBatch implements Store.
-func (s *SliceStore) InsertBatch(ts []tuple.Tuple) {
-	s.tuples = append(s.tuples, ts...)
+func (s *SliceStore) InsertBatch(ts []SeqTuple) {
+	s.recs = append(s.recs, ts...)
 }
 
 // Find implements Store.
-func (s *SliceStore) Find(tmpl tuple.Tuple, remove bool) (tuple.Tuple, bool) {
-	for i, t := range s.tuples {
-		if tuple.Matches(t, tmpl) {
+func (s *SliceStore) Find(tmpl tuple.Tuple, remove bool) (tuple.Tuple, uint64, bool) {
+	for i, r := range s.recs {
+		if tuple.Matches(r.T, tmpl) {
 			if remove {
-				s.tuples = append(s.tuples[:i], s.tuples[i+1:]...)
+				s.recs = append(s.recs[:i], s.recs[i+1:]...)
 			}
-			return t, true
+			return r.T, r.Seq, true
 		}
 	}
-	return tuple.Tuple{}, false
+	return tuple.Tuple{}, 0, false
 }
 
 // FindAll implements Store.
-func (s *SliceStore) FindAll(tmpl tuple.Tuple) []tuple.Tuple {
-	var out []tuple.Tuple
-	for _, t := range s.tuples {
-		if tuple.Matches(t, tmpl) {
-			out = append(out, t)
+func (s *SliceStore) FindAll(tmpl tuple.Tuple) []SeqTuple {
+	var out []SeqTuple
+	for _, r := range s.recs {
+		if tuple.Matches(r.T, tmpl) {
+			out = append(out, r)
 		}
 	}
 	return out
@@ -58,8 +58,8 @@ func (s *SliceStore) FindAll(tmpl tuple.Tuple) []tuple.Tuple {
 // Count implements Store.
 func (s *SliceStore) Count(tmpl tuple.Tuple) int {
 	n := 0
-	for _, t := range s.tuples {
-		if tuple.Matches(t, tmpl) {
+	for _, r := range s.recs {
+		if tuple.Matches(r.T, tmpl) {
 			n++
 		}
 	}
@@ -67,23 +67,36 @@ func (s *SliceStore) Count(tmpl tuple.Tuple) int {
 }
 
 // Len implements Store.
-func (s *SliceStore) Len() int { return len(s.tuples) }
+func (s *SliceStore) Len() int { return len(s.recs) }
 
 // ForEach implements Store.
-func (s *SliceStore) ForEach(fn func(tuple.Tuple) bool) {
-	for _, t := range s.tuples {
-		if !fn(t) {
+func (s *SliceStore) ForEach(fn func(t tuple.Tuple, seq uint64) bool) {
+	for _, r := range s.recs {
+		if !fn(r.T, r.Seq) {
 			return
 		}
 	}
 }
 
+// Iter implements Store.
+func (s *SliceStore) Iter() func() (SeqTuple, bool) {
+	i := 0
+	return func() (SeqTuple, bool) {
+		if i >= len(s.recs) {
+			return SeqTuple{}, false
+		}
+		r := s.recs[i]
+		i++
+		return r, true
+	}
+}
+
 // Snapshot implements Store.
-func (s *SliceStore) Snapshot() []tuple.Tuple {
-	cp := make([]tuple.Tuple, len(s.tuples))
-	copy(cp, s.tuples)
+func (s *SliceStore) Snapshot() []SeqTuple {
+	cp := make([]SeqTuple, len(s.recs))
+	copy(cp, s.recs)
 	return cp
 }
 
 // Reset implements Store.
-func (s *SliceStore) Reset() { s.tuples = s.tuples[:0] }
+func (s *SliceStore) Reset() { s.recs = s.recs[:0] }

@@ -7,34 +7,58 @@
 // fails, insert entry t". cas gives the space consensus number n, which
 // makes it a universal object.
 //
-// All operations take effect atomically under a single mutex, which
-// directly yields linearizability: the linearization point of every
-// operation is its critical section. Matching always selects tuples in
-// insertion order, so the space is a deterministic state machine — a
-// requirement for the BFT state-machine-replication substrate
-// (paper §4).
+// # Sharded concurrency architecture
+//
+// The space is partitioned into N shards (1 ≤ N ≤ MaxShards), each
+// owning its own Store instance, its own sync.RWMutex, and its own
+// waiter registrations. A tuple routes to a shard by a hash of its
+// arity and the canonical key of its first field; a template whose
+// first field is defined routes the same way (any entry it can match
+// shares that arity and key, hence that shard), while a template whose
+// first field is undefined consults every shard and merges.
+//
+// Every operation still takes effect atomically — its critical section
+// holds the locks of every shard it can observe or mutate, acquired in
+// ascending shard order (deadlock-free by lock hierarchy) — which
+// directly yields linearizability exactly as the old single-mutex
+// design did. What changes is the granularity: operations on different
+// shards, and read-only operations on any shard, proceed in parallel.
+//
+// Determinism is preserved through a space-wide monotonic sequence
+// number stamped on every insert. Per-shard stores keep their records
+// seq-sorted, and cross-shard results (Find on wildcard-first
+// templates, FindAll, ForEach, Snapshot) merge by sequence number, so
+// a sharded space fed the same call sequence is observationally
+// identical to the single-shard — and ultimately the flat-slice
+// reference — space. That equivalence is correctness, not style: the
+// space is the deterministic state machine of the BFT
+// state-machine-replication substrate (paper §4), and it is pinned by
+// the randomized parity suite in parity_test.go at several shard
+// counts.
 //
 // # Storage engines
 //
 // Tuple storage is pluggable behind the Store interface. Two engines
 // are provided: the slice store (EngineSlice), a linear-scan reference
 // model, and the indexed store (EngineIndexed, the default), which
-// buckets tuples by arity and hashes on the first defined field while
-// preserving insertion-order match semantics through monotonic sequence
-// numbers. Both engines are observationally equivalent by construction
-// and by property test (see parity_test.go); the choice only affects
-// performance. New selects the default engine; NewWithEngine and
-// NewWithStore select explicitly.
+// buckets tuples by arity and hashes on the first defined field. New
+// selects the default engine with one shard; NewWithEngine,
+// NewWithStore and NewSharded select explicitly.
 //
 // Blocked rd/in callers are parked on waiters indexed by template
-// arity, so an insert only consults waiters that could possibly match.
+// arity on the shard(s) their template routes to, so an insert only
+// consults waiters that could possibly match. A wildcard-first
+// template registers on every shard; the first delivery wins the
+// waiter's claim and the remaining registrations are dropped.
 package space
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
+	"sync/atomic"
 
 	"peats/internal/tuple"
 )
@@ -43,141 +67,326 @@ import (
 // undefined fields where an entry is required.
 var ErrNotEntry = errors.New("space: tuple is not an entry")
 
-// Space is a linearizable augmented tuple space backed by a pluggable
-// Store engine.
+// MaxShards bounds the shard count so shard sets fit a 64-bit mask.
+const MaxShards = 64
+
+// Space is a linearizable augmented tuple space partitioned into
+// shards, each backed by its own pluggable Store engine instance.
 type Space struct {
-	mu      sync.Mutex
+	seq    atomic.Uint64 // space-wide insertion sequence number
+	reg    atomic.Uint64 // waiter registration order, for Restore wakes
+	engine Engine
+	shards []*shard
+}
+
+// shard is one partition: a store plus the waiters whose templates
+// route here. Both are guarded by mu; pure reads take it shared.
+type shard struct {
+	mu      sync.RWMutex
 	store   Store
 	waiters map[int][]*waiter // template arity → registration order
 }
 
-// waiter is a parked blocking rd/in call.
+// waiter is a parked blocking rd/in call. A waiter registered on
+// several shards (wildcard-first template) is served at most once:
+// deliverers race on the claimed flag, and the loser leaves the tuple
+// alone. The owner claims it itself to cancel.
 type waiter struct {
 	tmpl    tuple.Tuple
-	remove  bool // in (true) vs rd (false)
-	matched chan tuple.Tuple
+	remove  bool   // in (true) vs rd (false)
+	reg     uint64 // global registration order
+	claimed atomic.Bool
+	matched chan tuple.Tuple // buffered 1; sent by the claiming deliverer
 }
 
-// New returns an empty space backed by the default store engine.
+// New returns an empty single-shard space backed by the default store
+// engine.
 func New() *Space {
 	return NewWithStore(NewIndexedStore())
 }
 
-// NewWithEngine returns an empty space backed by the named engine.
+// NewWithEngine returns an empty single-shard space backed by the named
+// engine.
 func NewWithEngine(e Engine) (*Space, error) {
-	st, err := NewStore(e)
-	if err != nil {
-		return nil, err
+	return NewSharded(e, 1)
+}
+
+// NewSharded returns an empty space with n shards, each backed by its
+// own store of the named engine. n must be in [1, MaxShards]. A
+// sharded space is observationally identical to a single-shard one;
+// the shard count only affects how much of the space concurrent
+// operations lock.
+func NewSharded(e Engine, n int) (*Space, error) {
+	if n < 1 || n > MaxShards {
+		return nil, fmt.Errorf("space: shard count %d out of range [1, %d]", n, MaxShards)
 	}
-	return NewWithStore(st), nil
+	shards := make([]*shard, n)
+	for i := range shards {
+		st, err := NewStore(e)
+		if err != nil {
+			return nil, err
+		}
+		shards[i] = &shard{store: st, waiters: make(map[int][]*waiter)}
+	}
+	sp := &Space{shards: shards, engine: shards[0].store.Engine()}
+	return sp, nil
 }
 
-// NewWithStore returns an empty space backed by the given store. The
-// store must not be shared with another space or touched directly
-// afterwards.
+// NewWithStore returns an empty single-shard space backed by the given
+// store. The store must not be shared with another space or touched
+// directly afterwards.
 func NewWithStore(st Store) *Space {
-	return &Space{store: st, waiters: make(map[int][]*waiter)}
+	return &Space{
+		engine: st.Engine(),
+		shards: []*shard{{store: st, waiters: make(map[int][]*waiter)}},
+	}
 }
 
-// Engine returns the engine of the backing store.
-func (s *Space) Engine() Engine {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.store.Engine()
+// Engine returns the engine of the backing stores.
+func (s *Space) Engine() Engine { return s.engine }
+
+// Shards returns the number of shards the space is partitioned into.
+func (s *Space) Shards() int { return len(s.shards) }
+
+// shardIndex routes an (arity, first-field key) pair to a shard with an
+// FNV-1a hash — stable across processes, so every replica of a cluster
+// routes identically.
+func (s *Space) shardIndex(arity int, key string) int {
+	if len(s.shards) == 1 {
+		return 0
+	}
+	h := uint32(2166136261)
+	h = (h ^ uint32(arity)) * 16777619
+	for i := 0; i < len(key); i++ {
+		h = (h ^ uint32(key[i])) * 16777619
+	}
+	return int(h % uint32(len(s.shards)))
+}
+
+// EntryShard returns the shard index entry t routes to: a hash of its
+// arity and first-field key. Non-entries (possible only via hostile
+// snapshots) route by arity alone; they can never match a template, so
+// any deterministic placement works.
+func (s *Space) EntryShard(t tuple.Tuple) int {
+	key, _ := t.Field(0).MatchKey()
+	return s.shardIndex(t.Arity(), key)
+}
+
+// TemplateShard returns the single shard that holds every possible
+// match for tmpl and keyed=true when tmpl's first field is defined
+// (any matching entry shares its arity and first-field key). It
+// returns keyed=false when the first field is a wildcard or formal, in
+// which case every shard must be consulted.
+func (s *Space) TemplateShard(tmpl tuple.Tuple) (int, bool) {
+	if key, ok := tmpl.Field(0).MatchKey(); ok {
+		return s.shardIndex(tmpl.Arity(), key), true
+	}
+	return 0, false
+}
+
+// Lock-order discipline: every multi-shard critical section acquires
+// shard locks in ascending index order, mixing write and read modes
+// freely. Any wait-for cycle would need some goroutine to wait on an
+// index no greater than one it holds, which ascending acquisition
+// forbids — so the space is deadlock-free by hierarchy.
+
+func (s *Space) lockAll() {
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+	}
+}
+
+func (s *Space) unlockAll() {
+	for _, sh := range s.shards {
+		sh.mu.Unlock()
+	}
+}
+
+func (s *Space) rlockAll() {
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+	}
+}
+
+func (s *Space) runlockAll() {
+	for _, sh := range s.shards {
+		sh.mu.RUnlock()
+	}
 }
 
 // Len returns the number of tuples currently stored.
 func (s *Space) Len() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.store.Len()
+	s.rlockAll()
+	defer s.runlockAll()
+	return s.lenLocked()
+}
+
+func (s *Space) lenLocked() int {
+	n := 0
+	for _, sh := range s.shards {
+		n += sh.store.Len()
+	}
+	return n
 }
 
 // BitSize returns the total payload bits stored, for the memory
 // accounting experiments.
 func (s *Space) BitSize() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.rlockAll()
+	defer s.runlockAll()
 	total := 0
-	s.store.ForEach(func(t tuple.Tuple) bool {
-		total += t.BitSize()
-		return true
-	})
+	for _, sh := range s.shards {
+		sh.store.ForEach(func(t tuple.Tuple, _ uint64) bool {
+			total += t.BitSize()
+			return true
+		})
+	}
 	return total
 }
 
 // Out inserts entry t into the space, waking any waiter whose template
-// matches it.
+// matches it. Only t's shard is locked.
 func (s *Space) Out(t tuple.Tuple) error {
 	if !t.IsEntry() {
 		return fmt.Errorf("%w: %v", ErrNotEntry, t)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.insertLocked(t)
+	sh := s.shards[s.EntryShard(t)]
+	sh.mu.Lock()
+	s.insertLocked(sh, t)
+	sh.mu.Unlock()
 	return nil
 }
 
-// insertLocked adds t, first offering it to matching waiters in
-// registration order. All matching non-destructive (rd) waiters observe
-// the tuple; the first matching destructive (in) waiter consumes it, in
-// which case the tuple is never stored.
-func (s *Space) insertLocked(t tuple.Tuple) {
-	if s.deliverLocked(t) {
+// insertLocked adds t to sh (which must be write-locked), first
+// offering it to matching waiters registered there.
+func (s *Space) insertLocked(sh *shard, t tuple.Tuple) {
+	if sh.deliver(t) {
 		return
 	}
-	s.store.Insert(t)
+	sh.store.Insert(t, s.seq.Add(1))
 }
 
-// deliverLocked hands t to parked waiters of the matching arity, in
-// registration order, removing every served waiter from the index.
-// It reports whether a destructive waiter consumed the tuple.
-func (s *Space) deliverLocked(t tuple.Tuple) (consumed bool) {
+// deliver hands t to parked waiters of the matching arity, in
+// registration order, removing every served (or stale) waiter from the
+// shard's index. It reports whether a destructive waiter consumed the
+// tuple. The caller holds sh.mu exclusively.
+//
+// All matching non-destructive (rd) waiters observe the tuple; the
+// first matching destructive (in) waiter consumes it, in which case
+// the tuple is never stored. Waiters registered on several shards are
+// guarded by their claimed flag: only the winner of the claim is
+// served here, and a waiter already claimed elsewhere (or cancelled)
+// is dropped from the list.
+func (sh *shard) deliver(t tuple.Tuple) (consumed bool) {
 	arity := t.Arity()
-	list := s.waiters[arity]
+	list := sh.waiters[arity]
 	if len(list) == 0 {
 		return false
 	}
 	kept := list[:0]
 	for _, w := range list {
+		if w.claimed.Load() {
+			continue // served on another shard, or cancelled: drop
+		}
 		if !tuple.Matches(t, w.tmpl) || (w.remove && consumed) {
 			kept = append(kept, w)
 			continue
+		}
+		if !w.claimed.CompareAndSwap(false, true) {
+			continue // lost the claim race while we looked: drop
 		}
 		if w.remove {
 			consumed = true
 		}
 		w.matched <- t
 	}
-	s.setWaitersLocked(arity, kept)
+	sh.setWaiters(arity, kept)
 	return consumed
 }
 
-// setWaitersLocked stores the waiter list for an arity, dropping the
-// bucket entirely when it empties so served waiters never linger.
-func (s *Space) setWaitersLocked(arity int, list []*waiter) {
+// setWaiters stores the waiter list for an arity, dropping the bucket
+// entirely when it empties so served waiters never linger.
+func (sh *shard) setWaiters(arity int, list []*waiter) {
 	if len(list) == 0 {
-		delete(s.waiters, arity)
+		delete(sh.waiters, arity)
 		return
 	}
-	s.waiters[arity] = list
+	sh.waiters[arity] = list
+}
+
+// peekLocked returns the earliest match for tmpl across every shard the
+// template routes to, by merged sequence number, without removing it.
+// The caller holds (at least) read locks on those shards.
+func (s *Space) peekLocked(tmpl tuple.Tuple) (tuple.Tuple, bool) {
+	if idx, keyed := s.TemplateShard(tmpl); keyed || len(s.shards) == 1 {
+		t, _, ok := s.shards[idx].store.Find(tmpl, false)
+		return t, ok
+	}
+	var (
+		bestT   tuple.Tuple
+		bestSeq uint64
+		found   bool
+	)
+	for _, sh := range s.shards {
+		if t, seq, ok := sh.store.Find(tmpl, false); ok && (!found || seq < bestSeq) {
+			bestT, bestSeq, found = t, seq, true
+		}
+	}
+	return bestT, found
+}
+
+// takeLocked removes and returns the earliest match for tmpl across
+// every shard the template routes to. The caller holds write locks on
+// those shards.
+func (s *Space) takeLocked(tmpl tuple.Tuple) (tuple.Tuple, bool) {
+	if idx, keyed := s.TemplateShard(tmpl); keyed || len(s.shards) == 1 {
+		t, _, ok := s.shards[idx].store.Find(tmpl, true)
+		return t, ok
+	}
+	best, found := -1, false
+	var bestSeq uint64
+	for i, sh := range s.shards {
+		if _, seq, ok := sh.store.Find(tmpl, false); ok && (!found || seq < bestSeq) {
+			best, bestSeq, found = i, seq, true
+		}
+	}
+	if !found {
+		return tuple.Tuple{}, false
+	}
+	t, _, _ := s.shards[best].store.Find(tmpl, true)
+	return t, true
 }
 
 // Rdp performs a non-blocking non-destructive read: it returns the first
 // tuple (in insertion order) matching template tmpl, or ok=false if none
-// matches.
+// matches. A keyed template takes one shard's read lock; a
+// wildcard-first template takes every shard's.
 func (s *Space) Rdp(tmpl tuple.Tuple) (tuple.Tuple, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.store.Find(tmpl, false)
+	if idx, keyed := s.TemplateShard(tmpl); keyed {
+		sh := s.shards[idx]
+		sh.mu.RLock()
+		t, _, ok := sh.store.Find(tmpl, false)
+		sh.mu.RUnlock()
+		return t, ok
+	}
+	s.rlockAll()
+	defer s.runlockAll()
+	return s.peekLocked(tmpl)
 }
 
 // Inp performs a non-blocking destructive read: like Rdp but the matched
 // tuple is removed from the space.
 func (s *Space) Inp(tmpl tuple.Tuple) (tuple.Tuple, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.store.Find(tmpl, true)
+	if idx, keyed := s.TemplateShard(tmpl); keyed {
+		sh := s.shards[idx]
+		sh.mu.Lock()
+		t, _, ok := sh.store.Find(tmpl, true)
+		sh.mu.Unlock()
+		return t, ok
+	}
+	s.lockAll()
+	defer s.unlockAll()
+	return s.takeLocked(tmpl)
 }
 
 // Rd performs a blocking non-destructive read: it waits until a tuple
@@ -194,37 +403,115 @@ func (s *Space) In(ctx context.Context, tmpl tuple.Tuple) (tuple.Tuple, error) {
 }
 
 func (s *Space) blocking(ctx context.Context, tmpl tuple.Tuple, remove bool) (tuple.Tuple, error) {
-	s.mu.Lock()
-	if t, ok := s.store.Find(tmpl, remove); ok {
-		s.mu.Unlock()
-		return t, nil
-	}
-	arity := tmpl.Arity()
-	w := &waiter{tmpl: tmpl, remove: remove, matched: make(chan tuple.Tuple, 1)}
-	s.waiters[arity] = append(s.waiters[arity], w)
-	s.mu.Unlock()
+	idx, keyed := s.TemplateShard(tmpl)
+	// A non-destructive waiter registered on several shards treats
+	// delivery as a wake hint and re-reads the earliest match by
+	// space-wide insertion order: the delivering insert may have raced
+	// with an insert on another shard that drew a smaller sequence
+	// number, and handing over the delivered tuple directly would let
+	// the rd observe the later tuple while Rdp observes the earlier
+	// one — a non-linearizable pair. Destructive waiters keep the
+	// direct handoff: the consumed tuple was never stored, so no other
+	// observation can contradict its position.
+	hintOnly := !keyed && !remove && len(s.shards) > 1
+	for {
+		w := &waiter{
+			tmpl:    tmpl,
+			remove:  remove,
+			reg:     s.reg.Add(1),
+			matched: make(chan tuple.Tuple, 1),
+		}
+		// Check-and-register atomically under the locks of every shard
+		// the template routes to: a matching insert either happened
+		// before (we find it now) or serialises after our registration
+		// on its shard.
+		if keyed {
+			sh := s.shards[idx]
+			sh.mu.Lock()
+			if t, _, ok := sh.store.Find(tmpl, remove); ok {
+				sh.mu.Unlock()
+				return t, nil
+			}
+			sh.waiters[tmpl.Arity()] = append(sh.waiters[tmpl.Arity()], w)
+			sh.mu.Unlock()
+		} else {
+			s.lockAll()
+			var (
+				t  tuple.Tuple
+				ok bool
+			)
+			if remove {
+				t, ok = s.takeLocked(tmpl)
+			} else {
+				t, ok = s.peekLocked(tmpl)
+			}
+			if ok {
+				s.unlockAll()
+				return t, nil
+			}
+			for _, sh := range s.shards {
+				sh.waiters[tmpl.Arity()] = append(sh.waiters[tmpl.Arity()], w)
+			}
+			s.unlockAll()
+		}
 
-	select {
-	case t := <-w.matched:
-		return t, nil
-	case <-ctx.Done():
-		s.mu.Lock()
-		delivered := true
-		list := s.waiters[arity]
+		var (
+			t         tuple.Tuple
+			delivered bool
+			cancelled bool
+		)
+		select {
+		case t = <-w.matched:
+			delivered = true
+		case <-ctx.Done():
+			cancelled = true
+			if w.claimed.CompareAndSwap(false, true) {
+				s.deregister(w)
+				return tuple.Tuple{}, ctx.Err()
+			}
+			// A deliverer won the claim concurrently and has sent (or
+			// is about to send) a tuple. Honour it so a destructive
+			// read never discards the consumed tuple.
+			t = <-w.matched
+			delivered = true
+		}
+		s.deregister(w)
+		if delivered && !hintOnly {
+			return t, nil
+		}
+		// Woken: return the current earliest match, which may differ
+		// from the delivered tuple or be gone already (consumed by a
+		// concurrent destructive read) — then park again.
+		s.rlockAll()
+		first, ok := s.peekLocked(tmpl)
+		s.runlockAll()
+		if ok {
+			return first, nil
+		}
+		if cancelled {
+			return tuple.Tuple{}, ctx.Err()
+		}
+	}
+}
+
+// deregister drops w's remaining registrations — the shards where a
+// delivery or sweep has not already removed it. Removal is idempotent.
+func (s *Space) deregister(w *waiter) {
+	shards := s.shards
+	if idx, keyed := s.TemplateShard(w.tmpl); keyed {
+		shards = s.shards[idx : idx+1]
+	}
+	arity := w.tmpl.Arity()
+	for _, sh := range shards {
+		sh.mu.Lock()
+		list := sh.waiters[arity]
 		for i, q := range list {
 			if q == w {
-				s.setWaitersLocked(arity, append(list[:i], list[i+1:]...))
-				delivered = false
+				sh.setWaiters(arity, append(list[:i], list[i+1:]...))
 				break
 			}
 		}
-		s.mu.Unlock()
-		if delivered {
-			// A concurrent insert already handed us a tuple. Honour it so
-			// a destructive read never discards the consumed tuple.
-			return <-w.matched, nil
-		}
-		return tuple.Tuple{}, ctx.Err()
+		sh.mu.Unlock()
 	}
 }
 
@@ -232,52 +519,142 @@ func (s *Space) blocking(ctx context.Context, tmpl tuple.Tuple, remove bool) (tu
 // tuple matches template tmpl, insert entry t and return inserted=true.
 // Otherwise return inserted=false together with the first matching tuple,
 // whose fields satisfy tmpl's formal fields (the paper's algorithms read
-// the decision value through them).
+// the decision value through them). A keyed template locks at most two
+// shards (the template's and the entry's); a wildcard-first template
+// locks all.
 func (s *Space) Cas(tmpl, t tuple.Tuple) (inserted bool, matched tuple.Tuple, err error) {
 	if !t.IsEntry() {
 		return false, tuple.Tuple{}, fmt.Errorf("%w: %v", ErrNotEntry, t)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if m, ok := s.store.Find(tmpl, false); ok {
+	ei := s.EntryShard(t)
+	if ti, keyed := s.TemplateShard(tmpl); keyed {
+		lo, hi := ti, ei
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		s.shards[lo].mu.Lock()
+		if lo != hi {
+			s.shards[hi].mu.Lock()
+		}
+		defer func() {
+			if lo != hi {
+				s.shards[hi].mu.Unlock()
+			}
+			s.shards[lo].mu.Unlock()
+		}()
+		if m, _, ok := s.shards[ti].store.Find(tmpl, false); ok {
+			return false, m, nil
+		}
+		s.insertLocked(s.shards[ei], t)
+		return true, tuple.Tuple{}, nil
+	}
+	s.lockAll()
+	defer s.unlockAll()
+	if m, ok := s.peekLocked(tmpl); ok {
 		return false, m, nil
 	}
-	s.insertLocked(t)
+	s.insertLocked(s.shards[ei], t)
 	return true, tuple.Tuple{}, nil
 }
 
 // RdAll returns every stored tuple matching tmpl, in insertion order —
 // the bulk non-destructive read of the DepSpace line (copy-collect).
 func (s *Space) RdAll(tmpl tuple.Tuple) []tuple.Tuple {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.store.FindAll(tmpl)
+	if idx, keyed := s.TemplateShard(tmpl); keyed {
+		sh := s.shards[idx]
+		sh.mu.RLock()
+		defer sh.mu.RUnlock()
+		return stripSeqs(sh.store.FindAll(tmpl))
+	}
+	s.rlockAll()
+	defer s.runlockAll()
+	return stripSeqs(s.mergeLocked(func(st Store) []SeqTuple { return st.FindAll(tmpl) }))
+}
+
+// mergeLocked collects per-shard seq-sorted lists and k-way-merges
+// them into one insertion-order list (each input is already sorted, so
+// no re-sort). The caller holds (at least) read locks on every shard.
+func (s *Space) mergeLocked(collect func(Store) []SeqTuple) []SeqTuple {
+	if len(s.shards) == 1 {
+		return collect(s.shards[0].store)
+	}
+	lists := make([][]SeqTuple, 0, len(s.shards))
+	total := 0
+	for _, sh := range s.shards {
+		if l := collect(sh.store); len(l) > 0 {
+			lists = append(lists, l)
+			total += len(l)
+		}
+	}
+	switch len(lists) {
+	case 0:
+		return nil
+	case 1:
+		return lists[0]
+	}
+	out := make([]SeqTuple, 0, total)
+	for len(lists) > 0 {
+		best := 0
+		for i := 1; i < len(lists); i++ {
+			if lists[i][0].Seq < lists[best][0].Seq {
+				best = i
+			}
+		}
+		out = append(out, lists[best][0])
+		if lists[best] = lists[best][1:]; len(lists[best]) == 0 {
+			lists = append(lists[:best], lists[best+1:]...)
+		}
+	}
+	return out
+}
+
+// stripSeqs projects a merged list back to bare tuples (nil in, nil
+// out, preserving the RdAll no-match contract).
+func stripSeqs(sts []SeqTuple) []tuple.Tuple {
+	if sts == nil {
+		return nil
+	}
+	out := make([]tuple.Tuple, len(sts))
+	for i, st := range sts {
+		out[i] = st.T
+	}
+	return out
 }
 
 // Snapshot returns a copy of the space contents in insertion order, for
 // checkpointing in the replication substrate.
 func (s *Space) Snapshot() []tuple.Tuple {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.store.Snapshot()
+	s.rlockAll()
+	defer s.runlockAll()
+	return stripSeqs(s.mergeLocked(func(st Store) []SeqTuple { return st.Snapshot() }))
 }
 
 // Restore atomically replaces the space contents with the given tuples
 // (in order), discarding the current contents.
 //
 // Restore semantics are deliberately two-phased so a replica installing
-// a checkpoint reaches exactly the snapshot state first: the store is
-// reset and every tuple installed verbatim, and only then are parked
-// waiters re-evaluated against the restored contents, in registration
-// order, with normal rd/in semantics (a served destructive waiter
-// removes its match). On a replica the service executes only
-// non-blocking operations, so no waiters exist and the restored state
-// is bit-identical to the snapshot.
+// a checkpoint reaches exactly the snapshot state first: every store is
+// reset and every tuple installed verbatim (stamped with fresh,
+// increasing sequence numbers, so snapshot order is the new insertion
+// order), and only then are parked waiters re-evaluated against the
+// restored contents, in registration order, with normal rd/in semantics
+// (a served destructive waiter removes its match). On a replica the
+// service executes only non-blocking operations, so no waiters exist
+// and the restored state is bit-identical to the snapshot.
 func (s *Space) Restore(tuples []tuple.Tuple) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.store.Reset()
-	s.store.InsertBatch(tuples)
+	s.lockAll()
+	defer s.unlockAll()
+	for _, sh := range s.shards {
+		sh.store.Reset()
+	}
+	per := make([][]SeqTuple, len(s.shards))
+	for _, t := range tuples {
+		i := s.EntryShard(t)
+		per[i] = append(per[i], SeqTuple{Seq: s.seq.Add(1), T: t})
+	}
+	for i, sh := range s.shards {
+		sh.store.InsertBatch(per[i])
+	}
 	s.wakeWaitersLocked()
 }
 
@@ -285,43 +662,124 @@ func (s *Space) Restore(tuples []tuple.Tuple) {
 // waiters: parked rd/in calls stay parked until a later insert or
 // Restore satisfies them, or their context ends.
 func (s *Space) Reset() {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.store.Reset()
+	s.lockAll()
+	defer s.unlockAll()
+	for _, sh := range s.shards {
+		sh.store.Reset()
+	}
 }
 
-// wakeWaitersLocked re-evaluates every parked waiter against the store,
-// in registration order per arity (arity classes are independent: a
-// waiter can only match tuples of its template's arity). Served waiters
-// are removed from the index.
+// wakeWaitersLocked re-evaluates every parked waiter against the stores
+// in global registration order and sweeps served, cancelled and stale
+// registrations from every shard. The caller holds all write locks.
 func (s *Space) wakeWaitersLocked() {
-	for arity, list := range s.waiters {
-		kept := list[:0]
-		for _, w := range list {
-			if t, ok := s.store.Find(w.tmpl, w.remove); ok {
-				w.matched <- t
-				continue
+	var all []*waiter
+	seen := make(map[*waiter]bool)
+	for _, sh := range s.shards {
+		for _, list := range sh.waiters {
+			for _, w := range list {
+				if !seen[w] {
+					seen[w] = true
+					all = append(all, w)
+				}
 			}
-			kept = append(kept, w)
 		}
-		s.setWaitersLocked(arity, kept)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].reg < all[j].reg })
+	for _, w := range all {
+		if w.claimed.Load() {
+			continue
+		}
+		// Peek before claiming: a claim must only be taken when a match
+		// exists, because an unclaimed waiter may be cancelled by its
+		// owner at any moment and an already-removed tuple would have
+		// no recipient.
+		if _, ok := s.peekLocked(w.tmpl); !ok {
+			continue
+		}
+		if !w.claimed.CompareAndSwap(false, true) {
+			continue // owner cancelled between peek and claim
+		}
+		var t tuple.Tuple
+		if w.remove {
+			t, _ = s.takeLocked(w.tmpl)
+		} else {
+			t, _ = s.peekLocked(w.tmpl)
+		}
+		w.matched <- t
+	}
+	// Sweep claimed waiters out of every shard list so served waiters
+	// never linger in the index.
+	for _, sh := range s.shards {
+		for arity, list := range sh.waiters {
+			kept := list[:0]
+			for _, w := range list {
+				if !w.claimed.Load() {
+					kept = append(kept, w)
+				}
+			}
+			sh.setWaiters(arity, kept)
+		}
 	}
 }
 
 // ForEach calls fn for every stored tuple in insertion order while
-// holding the space lock; fn must not call back into the space. It is
-// used by policy predicates that quantify over the whole state (e.g. the
-// default-consensus ⊥ justification rule). Iteration stops when fn
-// returns false.
+// holding every shard's read lock; fn must not call back into the
+// space. It is used by policy predicates that quantify over the whole
+// state (e.g. the default-consensus ⊥ justification rule). Iteration
+// stops when fn returns false. On a multi-shard space the iteration
+// works over a merged copy of the shard snapshots.
 func (s *Space) ForEach(fn func(tuple.Tuple) bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.store.ForEach(fn)
+	s.rlockAll()
+	defer s.runlockAll()
+	s.forEachLocked(fn)
+}
+
+func (s *Space) forEachLocked(fn func(tuple.Tuple) bool) {
+	if len(s.shards) == 1 {
+		s.shards[0].store.ForEach(func(t tuple.Tuple, _ uint64) bool { return fn(t) })
+		return
+	}
+	// Merge-iterate one cursor per shard by sequence number — no
+	// materialisation, so state-quantifying policy predicates keep an
+	// allocation-free ForEach on sharded spaces too.
+	next := make([]func() (SeqTuple, bool), len(s.shards))
+	heads := make([]SeqTuple, len(s.shards))
+	live := make([]bool, len(s.shards))
+	for i, sh := range s.shards {
+		next[i] = sh.store.Iter()
+		heads[i], live[i] = next[i]()
+	}
+	for {
+		best := -1
+		for i := range heads {
+			if live[i] && (best < 0 || heads[i].Seq < heads[best].Seq) {
+				best = i
+			}
+		}
+		if best < 0 {
+			return
+		}
+		if !fn(heads[best].T) {
+			return
+		}
+		heads[best], live[best] = next[best]()
+	}
 }
 
 // CountMatching returns the number of stored tuples matching tmpl.
 func (s *Space) CountMatching(tmpl tuple.Tuple) int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.store.Count(tmpl)
+	if idx, keyed := s.TemplateShard(tmpl); keyed {
+		sh := s.shards[idx]
+		sh.mu.RLock()
+		defer sh.mu.RUnlock()
+		return sh.store.Count(tmpl)
+	}
+	s.rlockAll()
+	defer s.runlockAll()
+	n := 0
+	for _, sh := range s.shards {
+		n += sh.store.Count(tmpl)
+	}
+	return n
 }

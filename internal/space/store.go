@@ -17,50 +17,76 @@ const (
 	EngineSlice Engine = "slice"
 	// EngineIndexed is the production store: tuples bucketed by arity and
 	// hashed on their first field, with insertion order preserved through
-	// monotonic sequence numbers.
+	// the space-assigned sequence numbers.
 	EngineIndexed Engine = "indexed"
 )
 
 // DefaultEngine is the engine used when none is specified.
 const DefaultEngine = EngineIndexed
 
-// Store is the storage engine behind a Space: an ordered multiset of
-// entries with template matching. A Store is not safe for concurrent
-// use; the owning Space serialises access under its mutex.
+// SeqTuple pairs a stored tuple with the space-wide insertion sequence
+// number it was stamped with. The sequence number totally orders
+// insertions across every shard of a space, so per-shard results merge
+// back into one insertion order.
+type SeqTuple struct {
+	Seq uint64
+	T   tuple.Tuple
+}
+
+// Store is the storage engine behind one shard of a Space: an ordered
+// multiset of entries with template matching. A Store is not safe for
+// concurrent mutation; the owning shard serialises writers under its
+// lock.
 //
 // Determinism contract: the space is the shared object of a BFT
 // state-machine-replication substrate (paper §4), so every method must
 // be a pure function of the sequence of Insert/Find(remove)/Reset calls
-// applied so far. In particular, Find and FindAll must select matches
-// in insertion order, and ForEach and Snapshot must iterate in
-// insertion order — regardless of how the engine organises tuples
+// applied so far. Insertion order is the order of the externally
+// assigned sequence numbers (strictly increasing per store); Find and
+// FindAll must select matches in that order, and ForEach and Snapshot
+// must iterate in it — regardless of how the engine organises tuples
 // internally. Two stores (of any engine) fed the same call sequence
 // must return identical results.
+//
+// Concurrency contract: Find with remove=false, FindAll, Count, Len,
+// ForEach and Snapshot must not mutate any internal state, not even
+// for caching or compaction — the sharded space runs them under shared
+// (read) locks, concurrently with each other.
 type Store interface {
 	// Engine identifies the implementation, for reporting.
 	Engine() Engine
-	// Insert adds entry t after every tuple already stored.
-	Insert(t tuple.Tuple)
+	// Insert adds entry t with the given sequence number, which is
+	// strictly greater than every sequence number already stored.
+	Insert(t tuple.Tuple, seq uint64)
 	// InsertBatch adds every tuple of ts in order, equivalent to
 	// calling Insert on each but letting the engine amortize index
 	// building — the hot path of Restore and checkpoint installs,
-	// where whole snapshots arrive at once.
-	InsertBatch(ts []tuple.Tuple)
-	// Find returns the first tuple in insertion order matching tmpl,
-	// removing it when remove is true.
-	Find(tmpl tuple.Tuple, remove bool) (tuple.Tuple, bool)
+	// where whole snapshots arrive at once. Sequence numbers in ts are
+	// strictly increasing.
+	InsertBatch(ts []SeqTuple)
+	// Find returns the first tuple in insertion order matching tmpl and
+	// its sequence number, removing it when remove is true. With
+	// remove=false the call must not mutate the store.
+	Find(tmpl tuple.Tuple, remove bool) (tuple.Tuple, uint64, bool)
 	// FindAll returns every stored tuple matching tmpl, in insertion
-	// order (nil when none match).
-	FindAll(tmpl tuple.Tuple) []tuple.Tuple
+	// order with sequence numbers (nil when none match).
+	FindAll(tmpl tuple.Tuple) []SeqTuple
 	// Count returns the number of stored tuples matching tmpl.
 	Count(tmpl tuple.Tuple) int
 	// Len returns the number of stored tuples.
 	Len() int
 	// ForEach visits stored tuples in insertion order until fn returns
 	// false.
-	ForEach(fn func(tuple.Tuple) bool)
+	ForEach(fn func(t tuple.Tuple, seq uint64) bool)
+	// Iter returns a cursor over the stored tuples in insertion order:
+	// each call yields the next tuple, with ok=false at the end. The
+	// cursor must not mutate the store (it may run under a shared
+	// lock) and is only valid while the store is unmodified — the
+	// sharded space uses one cursor per shard to merge iteration by
+	// sequence number without materialising the contents.
+	Iter() func() (SeqTuple, bool)
 	// Snapshot returns a copy of the contents in insertion order.
-	Snapshot() []tuple.Tuple
+	Snapshot() []SeqTuple
 	// Reset discards every stored tuple.
 	Reset()
 }

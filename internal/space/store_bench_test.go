@@ -40,7 +40,7 @@ func BenchmarkStoreRdp(b *testing.B) {
 				bench.StoreFill(st, size)
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
-					if _, ok := st.Find(tmpl, false); !ok {
+					if _, _, ok := st.Find(tmpl, false); !ok {
 						b.Fatal("needle not found")
 					}
 				}
@@ -56,13 +56,14 @@ func BenchmarkStoreInp(b *testing.B) {
 		for _, size := range storeSizes {
 			b.Run(fmt.Sprintf("%s/n=%d", eng.name, size), func(b *testing.B) {
 				st := eng.mk()
-				bench.StoreFill(st, size)
+				seq := bench.StoreFill(st, size)
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
-					if _, ok := st.Find(tmpl, true); !ok {
+					if _, _, ok := st.Find(tmpl, true); !ok {
 						b.Fatal("needle not found")
 					}
-					st.Insert(entry)
+					st.Insert(entry, seq)
+					seq++
 				}
 			})
 		}
@@ -79,13 +80,14 @@ func BenchmarkStoreCas(b *testing.B) {
 		for _, size := range storeSizes {
 			b.Run(fmt.Sprintf("%s/n=%d", eng.name, size), func(b *testing.B) {
 				st := eng.mk()
-				bench.StoreFill(st, size)
+				seq := bench.StoreFill(st, size)
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
-					if _, ok := st.Find(tmpl, false); !ok {
-						st.Insert(entry)
+					if _, _, ok := st.Find(tmpl, false); !ok {
+						st.Insert(entry, seq)
+						seq++
 					}
-					if _, ok := st.Find(tmpl, true); !ok {
+					if _, _, ok := st.Find(tmpl, true); !ok {
 						b.Fatal("cas entry vanished")
 					}
 				}
@@ -99,16 +101,19 @@ func BenchmarkStoreCas(b *testing.B) {
 // checkpoint-install path.
 func BenchmarkStoreInsertBatch(b *testing.B) {
 	const n = 10000
-	tuples := make([]tuple.Tuple, n)
+	tuples := make([]space.SeqTuple, n)
 	for i := range tuples {
-		tuples[i] = tuple.T(tuple.Str(fmt.Sprintf("tag%d", i%17)), tuple.Int(int64(i)))
+		tuples[i] = space.SeqTuple{
+			Seq: uint64(i + 1),
+			T:   tuple.T(tuple.Str(fmt.Sprintf("tag%d", i%17)), tuple.Int(int64(i))),
+		}
 	}
 	for _, eng := range storeEngines() {
 		b.Run(eng.name+"/insert", func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				st := eng.mk()
-				for _, t := range tuples {
-					st.Insert(t)
+				for _, st2 := range tuples {
+					st.Insert(st2.T, st2.Seq)
 				}
 			}
 		})
@@ -124,16 +129,19 @@ func BenchmarkStoreInsertBatch(b *testing.B) {
 // TestInsertBatchEquivalent holds InsertBatch to the Store contract:
 // observationally identical to per-tuple Insert on both engines.
 func TestInsertBatchEquivalent(t *testing.T) {
-	tuples := make([]tuple.Tuple, 200)
+	tuples := make([]space.SeqTuple, 200)
 	for i := range tuples {
-		tuples[i] = tuple.T(tuple.Str(fmt.Sprintf("tag%d", i%7)), tuple.Int(int64(i)))
+		tuples[i] = space.SeqTuple{
+			Seq: uint64(i + 2),
+			T:   tuple.T(tuple.Str(fmt.Sprintf("tag%d", i%7)), tuple.Int(int64(i))),
+		}
 	}
 	for _, eng := range storeEngines() {
 		one, batch := eng.mk(), eng.mk()
-		one.Insert(tuple.T(tuple.Str("pre")))
-		batch.Insert(tuple.T(tuple.Str("pre")))
+		one.Insert(tuple.T(tuple.Str("pre")), 1)
+		batch.Insert(tuple.T(tuple.Str("pre")), 1)
 		for _, tu := range tuples {
-			one.Insert(tu)
+			one.Insert(tu.T, tu.Seq)
 		}
 		batch.InsertBatch(tuples)
 		if one.Len() != batch.Len() {
@@ -141,14 +149,14 @@ func TestInsertBatchEquivalent(t *testing.T) {
 		}
 		a, b := one.Snapshot(), batch.Snapshot()
 		for i := range a {
-			if a[i].String() != b[i].String() {
+			if a[i].Seq != b[i].Seq || a[i].T.String() != b[i].T.String() {
 				t.Fatalf("%s: snapshot diverges at %d: %v vs %v", eng.name, i, a[i], b[i])
 			}
 		}
 		tmpl := tuple.T(tuple.Str("tag3"), tuple.Any())
-		g1, ok1 := one.Find(tmpl, true)
-		g2, ok2 := batch.Find(tmpl, true)
-		if ok1 != ok2 || g1.String() != g2.String() {
+		g1, s1, ok1 := one.Find(tmpl, true)
+		g2, s2, ok2 := batch.Find(tmpl, true)
+		if ok1 != ok2 || s1 != s2 || g1.String() != g2.String() {
 			t.Fatalf("%s: Find diverges: %v/%v vs %v/%v", eng.name, g1, ok1, g2, ok2)
 		}
 	}
@@ -169,14 +177,15 @@ func TestIndexedSpeedupAtScale(t *testing.T) {
 	measure := func(mk func() space.Store, remove bool) float64 {
 		res := testing.Benchmark(func(b *testing.B) {
 			st := mk()
-			bench.StoreFill(st, n)
+			seq := bench.StoreFill(st, n)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, ok := st.Find(tmpl, remove); !ok {
+				if _, _, ok := st.Find(tmpl, remove); !ok {
 					b.Fatal("needle not found")
 				}
 				if remove {
-					st.Insert(entry)
+					st.Insert(entry, seq)
+					seq++
 				}
 			}
 		})

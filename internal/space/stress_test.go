@@ -1,0 +1,207 @@
+package space
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"peats/internal/tuple"
+)
+
+// TestShardedWaiterStress is a bounded randomized stress test of the
+// sharded concurrency architecture: blocking rd/in waiters (keyed and
+// wildcard-first, so single-shard and multi-shard registrations),
+// fast-path DoRead readers, and scoped ordered writers all run
+// concurrently, under -race in CI.
+//
+// Correctness properties asserted:
+//   - no lost wakeups: every produced job is eventually consumed even
+//     though consumers park before producers insert;
+//   - no double consumption: every job value is consumed exactly once
+//     (jobs are unique, so a duplicate means one tuple served two
+//     destructive waiters);
+//   - conservation: consumed + remaining = produced.
+func TestShardedWaiterStress(t *testing.T) {
+	for _, shards := range []int{1, 4, 16} {
+		shards := shards
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			s, err := NewSharded(EngineIndexed, shards)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+
+			const (
+				producers   = 4
+				jobsPerProd = 200
+				consumers   = 8
+				readers     = 4
+			)
+			total := producers * jobsPerProd
+
+			var (
+				wg       sync.WaitGroup
+				consumed atomic.Int64
+				mu       sync.Mutex
+				seen     = make(map[int64]bool, total)
+			)
+			record := func(got tuple.Tuple) {
+				v, _ := got.Field(1).IntValue()
+				mu.Lock()
+				defer mu.Unlock()
+				if seen[v] {
+					t.Errorf("job %d consumed twice", v)
+				}
+				seen[v] = true
+			}
+
+			// Consumers: blocking destructive reads, half keyed, half
+			// wildcard-first (registered on every shard). They keep
+			// consuming until the space reports all jobs taken.
+			for c := 0; c < consumers; c++ {
+				wg.Add(1)
+				go func(c int) {
+					defer wg.Done()
+					tmpl := tuple.T(tuple.Str("JOB"), tuple.Any())
+					if c%2 == 1 {
+						tmpl = tuple.T(tuple.Any(), tuple.Any())
+					}
+					for consumed.Load() < int64(total) {
+						cctx, ccancel := context.WithTimeout(ctx, 50*time.Millisecond)
+						got, err := s.In(cctx, tmpl)
+						ccancel()
+						if err != nil {
+							continue // timed out because the space drained
+						}
+						record(got)
+						consumed.Add(1)
+					}
+				}(c)
+			}
+
+			// Producers: ordered writes through scoped transactions (the
+			// replica execution path) and plain Outs.
+			for p := 0; p < producers; p++ {
+				wg.Add(1)
+				go func(p int) {
+					defer wg.Done()
+					for i := 0; i < jobsPerProd; i++ {
+						e := tuple.T(tuple.Str("JOB"), tuple.Int(int64(p*jobsPerProd+i)))
+						if i%2 == 0 {
+							if err := s.Out(e); err != nil {
+								t.Error(err)
+								return
+							}
+							continue
+						}
+						var ws ShardSet
+						ws.Add(s.EntryShard(e))
+						s.DoScoped(ws, func(tx *Tx) {
+							if err := tx.Out(e); err != nil {
+								t.Error(err)
+							}
+						})
+					}
+				}(p)
+			}
+
+			// Fast-path readers: shared-lock sections mixing Rdp, RdAll
+			// and Count, plus blocking rds that are eventually cancelled.
+			stop := make(chan struct{})
+			for r := 0; r < readers; r++ {
+				wg.Add(1)
+				go func(r int) {
+					defer wg.Done()
+					keyed := tuple.T(tuple.Str("JOB"), tuple.Any())
+					wild := tuple.T(tuple.Any(), tuple.Any())
+					for {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						s.DoRead(func(tx *Tx) {
+							tx.Rdp(keyed)
+							if n := tx.CountMatching(wild); n < 0 {
+								t.Error("negative count")
+							}
+							tx.RdAll(keyed)
+						})
+						rctx, rcancel := context.WithTimeout(ctx, time.Millisecond)
+						_, _ = s.Rd(rctx, keyed)
+						rcancel()
+					}
+				}(r)
+			}
+
+			// Wait for every job to be consumed; the 30s ctx bounds a
+			// lost-wakeup hang into a test failure instead.
+			for consumed.Load() < int64(total) {
+				if ctx.Err() != nil {
+					t.Fatalf("lost wakeup: %d/%d jobs consumed before timeout",
+						consumed.Load(), total)
+				}
+				time.Sleep(time.Millisecond)
+			}
+			close(stop)
+			wg.Wait()
+
+			if got := consumed.Load(); got != int64(total) {
+				t.Errorf("consumed %d jobs, want %d", got, total)
+			}
+			if n := s.CountMatching(tuple.T(tuple.Str("JOB"), tuple.Any())); n != 0 {
+				t.Errorf("%d jobs left in space after full consumption", n)
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			if len(seen) != total {
+				t.Errorf("saw %d distinct jobs, want %d", len(seen), total)
+			}
+		})
+	}
+}
+
+// TestScopedWriteOutsideSetPanics pins the DoScoped safety check: a
+// mutation routed to a shard outside the declared write set is a
+// caller bug and must panic rather than mutate under a shared lock.
+func TestScopedWriteOutsideSetPanics(t *testing.T) {
+	s, err := NewSharded(EngineIndexed, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := tuple.T(tuple.Str("a"), tuple.Int(1))
+	var other int
+	for i := 0; i < 8; i++ {
+		if i != s.EntryShard(a) {
+			other = i
+			break
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Out outside the write set did not panic")
+		}
+	}()
+	var ws ShardSet
+	ws.Add(other)
+	s.DoScoped(ws, func(tx *Tx) { _ = tx.Out(a) })
+}
+
+// TestDoReadMutationPanics pins that the read-only fast path cannot
+// mutate: DoRead transactions have an empty write set.
+func TestDoReadMutationPanics(t *testing.T) {
+	s, err := NewSharded(EngineIndexed, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Out inside DoRead did not panic")
+		}
+	}()
+	s.DoRead(func(tx *Tx) { _ = tx.Out(tuple.T(tuple.Str("x"))) })
+}

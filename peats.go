@@ -122,6 +122,7 @@ type Option func(*options)
 
 type options struct {
 	engine     StoreEngine
+	shards     int
 	batchSize  int
 	batchDelay time.Duration
 }
@@ -132,6 +133,16 @@ type options struct {
 // even mix engines.
 func WithStore(e StoreEngine) Option {
 	return func(o *options) { o.engine = e }
+}
+
+// WithShards partitions the space into n shards (1 ≤ n ≤
+// space.MaxShards), each with its own store instance and lock. Tuples
+// route to shards by a hash of their arity and first field, reads and
+// writes on different shards run concurrently, and a space-wide
+// sequence number keeps match order — and therefore every observable
+// result — identical to a single-shard space. The default is 1.
+func WithShards(n int) Option {
+	return func(o *options) { o.shards = n }
 }
 
 // WithBatchSize sets the maximum number of client requests the
@@ -161,16 +172,25 @@ func buildOptions(opts []Option) options {
 }
 
 // NewSpace returns a local PEATS protected by the given policy. By
-// default the space uses the indexed store engine; pass
-// WithStore(SliceStore) for the reference engine. Unknown engines
+// default the space uses the indexed store engine with one shard; pass
+// WithStore(SliceStore) for the reference engine and WithShards for a
+// partitioned space. Unknown engines and out-of-range shard counts
 // panic, as they indicate a programming error at construction time.
 func NewSpace(pol Policy, opts ...Option) *Space {
 	o := buildOptions(opts)
-	s, err := ipeats.NewWithEngine(pol, o.engine)
+	s, err := ipeats.NewSharded(pol, o.engine, o.sharedShards())
 	if err != nil {
 		panic(err)
 	}
 	return s
+}
+
+// sharedShards resolves the shard option's default.
+func (o options) sharedShards() int {
+	if o.shards <= 0 {
+		return 1
+	}
+	return o.shards
 }
 
 // WrapSpace protects an existing raw space with a policy.
@@ -193,14 +213,14 @@ type (
 // NewLocalCluster starts an in-process BFT-replicated PEATS with
 // n = 3f+1 replicas, each running the reference monitor with the given
 // policy. Callers obtain TupleSpace handles with ClusterSpace and must
-// Stop the cluster when done. WithStore selects the storage engine
-// every replica's space uses.
+// Stop the cluster when done. WithStore selects the storage engine and
+// WithShards the shard count every replica's space uses.
 func NewLocalCluster(f int, pol Policy, opts ...Option) (*Cluster, error) {
 	o := buildOptions(opts)
 	n := 3*f + 1
 	services := make([]bft.Service, n)
 	for i := range services {
-		svc, err := bft.NewSpaceServiceWithEngine(pol, o.engine)
+		svc, err := bft.NewSpaceServiceWithConfig(pol, o.engine, o.sharedShards())
 		if err != nil {
 			return nil, err
 		}
