@@ -9,6 +9,7 @@
 //	peats-bench -table stores      storage-engine comparison (slice vs indexed)
 //	peats-bench -table agreement   agreement layer: batched vs unbatched, read-only vs ordered
 //	peats-bench -table shards      sharded space: fast-path reads under write contention per shard count
+//	peats-bench -table tx          atomic k-op transactions vs k sequential round trips
 //	peats-bench -table all         everything
 //
 // The agreement table additionally writes a machine-readable report to
@@ -16,7 +17,8 @@
 // -agree-ops, -agree-reads and -agree-batch. The shards table writes
 // -shards-json (default BENCH_shards.json); size it with -shard-counts,
 // -shard-writers, -shard-readers, -shard-reads, -shard-resident and
-// -shard-duration.
+// -shard-duration. The tx table writes -tx-json (default
+// BENCH_tx.json); size it with -tx-k, -tx-rounds and -tx-groups.
 package main
 
 import (
@@ -34,7 +36,7 @@ import (
 // knownTables lists every -table value, in print order for "all".
 var knownTables = []string{
 	"bits", "ops", "resilience", "kvalued", "ablation", "stores",
-	"agreement", "shards", "all",
+	"agreement", "shards", "tx", "all",
 }
 
 func main() {
@@ -57,6 +59,10 @@ func main() {
 		shResident = flag.Int("shard-resident", 0, "shards table: resident filler tuples the write-quota monitor scans (default 600)")
 		shDur      = flag.Duration("shard-duration", 0, "shards table: space-level measurement window per shard count (default 500ms)")
 		shJSONPath = flag.String("shards-json", "BENCH_shards.json", "shards table: machine-readable report path ('' disables)")
+		txK        = flag.Int("tx-k", 0, "tx table: operations per transaction (default 8)")
+		txRounds   = flag.Int("tx-rounds", 0, "tx table: units per mode (default 16)")
+		txGroups   = flag.String("tx-groups", "", "tx table: comma-separated fault bounds f (default 1,2)")
+		txJSONPath = flag.String("tx-json", "BENCH_tx.json", "tx table: machine-readable report path ('' disables)")
 	)
 	flag.Parse()
 	agree := bench.AgreementConfig{
@@ -66,12 +72,14 @@ func main() {
 		Writers: *shWriters, Readers: *shReaders, ReadsPerReader: *shReads,
 		Resident: *shResident, Duration: *shDur,
 	}
+	tx := bench.TxConfig{K: *txK, Rounds: *txRounds}
 	cfg := benchConfig{
 		table: *table, ts: *tsFlag, ks: *ksFlag,
 		storeSizes: *storeSizes, shardCounts: *shCounts,
 		probe: *probe, timeout: *timeout,
 		agree: agree, agreeJSON: *jsonPath,
 		shards: shards, shardsJSON: *shJSONPath,
+		tx: tx, txGroups: *txGroups, txJSON: *txJSONPath,
 	}
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "peats-bench:", err)
@@ -87,6 +95,8 @@ type benchConfig struct {
 	agreeJSON               string
 	shards                  bench.ShardsConfig
 	shardsJSON              string
+	tx                      bench.TxConfig
+	txGroups, txJSON        string
 }
 
 func run(cfg benchConfig) error {
@@ -193,6 +203,26 @@ func run(cfg benchConfig) error {
 				return err
 			}
 			fmt.Printf("wrote %s\n", cfg.shardsJSON)
+		}
+		fmt.Println()
+	}
+	if want("tx") {
+		fmt.Println("Transactions — atomic k-op Submit vs k sequential round trips (in-proc):")
+		if cfg.txGroups != "" {
+			if cfg.tx.Groups, err = parseInts(cfg.txGroups); err != nil {
+				return fmt.Errorf("-tx-groups: %w", err)
+			}
+		}
+		rows, err := bench.TxTable(ctx, cfg.tx)
+		if err != nil {
+			return err
+		}
+		bench.WriteTxTable(os.Stdout, rows)
+		if cfg.txJSON != "" {
+			if err := bench.WriteTxJSON(cfg.txJSON, rows); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", cfg.txJSON)
 		}
 		fmt.Println()
 	}

@@ -23,6 +23,39 @@ func Example() {
 	// Output: <"JOB", 7, "build">
 }
 
+// Operations as values: Submit executes a list of ops as one atomic,
+// monitor-vetted unit. The consume-and-republish pair below moves a
+// tuple between queues in a single step — if the InpOp missed, the
+// whole unit would abort (peats.ErrAborted) and the OutOp would never
+// happen.
+func ExampleHandle_Submit() {
+	s := peats.NewSpace(peats.AllowAll())
+	h := s.Handle("worker")
+	ctx := context.Background()
+
+	_ = h.Out(ctx, peats.T(peats.Str("pending"), peats.Str("job-1")))
+	res, err := h.Submit(ctx,
+		peats.InpOp(peats.T(peats.Str("pending"), peats.Formal("job"))),
+		peats.OutOp(peats.T(peats.Str("active"), peats.Str("job-1"), peats.Str("worker"))),
+	)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	job, _ := res[0].Bindings["job"].StrValue()
+	fmt.Println("moved:", job)
+
+	// Replaying the move aborts atomically: the tuple is gone.
+	_, err = h.Submit(ctx,
+		peats.InpOp(peats.T(peats.Str("pending"), peats.Formal("job"))),
+		peats.OutOp(peats.T(peats.Str("active"), peats.Str("job-1"), peats.Str("worker"))),
+	)
+	fmt.Println("replay aborted:", errors.Is(err, peats.ErrAborted))
+	// Output:
+	// moved: job-1
+	// replay aborted: true
+}
+
 // Weak Byzantine consensus (paper Alg. 1): the first cas wins, later
 // proposers adopt the decision, and the Fig. 3 policy stops everything
 // else.

@@ -1,0 +1,131 @@
+// Atomic queue-to-queue tuple transfer over a replicated PEATS: the
+// ops-as-values Submit API executes a consume-and-republish pair as one
+// atomic, monitor-vetted unit — one agreement round, one critical
+// section at every replica — so competing workers can never double-claim
+// a task or lose one in flight.
+//
+// Three workers race over a backlog of tasks. Each picks a candidate
+// with a fast-path read, then submits
+//
+//	Submit(InpOp(<"pending", task>), OutOp(<"active", task, worker>))
+//
+// If another worker consumed the task first, the InpOp misses and the
+// whole unit aborts (peats.ErrAborted) with no effect — the OutOp never
+// happens — and the worker simply retries on the next candidate.
+//
+// Run with: go run ./examples/atomictransfer
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"peats"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "atomictransfer:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	cluster, err := peats.NewLocalCluster(1, peats.AllowAll(), peats.WithShards(4))
+	if err != nil {
+		return err
+	}
+	defer cluster.Stop()
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
+	// Seed the pending queue.
+	const tasks = 6
+	producer := peats.ClusterSpace(cluster, "producer")
+	for i := 0; i < tasks; i++ {
+		task := fmt.Sprintf("task-%d", i)
+		if err := producer.Out(ctx, peats.T(peats.Str("pending"), peats.Str(task))); err != nil {
+			return err
+		}
+	}
+
+	// Workers claim tasks with atomic transfers.
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	claimed := map[string]string{} // task → worker
+	errs := make(chan error, 3)
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(worker string) {
+			defer wg.Done()
+			ts := peats.ClusterSpace(cluster, peats.ProcessID(worker),
+				peats.WithPollInterval(2*time.Millisecond))
+			for {
+				// Find a candidate on the read-only fast path.
+				cand, ok, err := ts.Rdp(ctx, peats.T(peats.Str("pending"), peats.Formal("t")))
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !ok {
+					return // backlog drained
+				}
+				name, _ := cand.Field(1).StrValue()
+				// The atomic transfer: consume from pending AND publish to
+				// active, or do neither.
+				_, err = ts.Submit(ctx,
+					peats.InpOp(cand),
+					peats.OutOp(peats.T(peats.Str("active"), peats.Str(name), peats.Str(worker))),
+				)
+				switch {
+				case err == nil:
+					mu.Lock()
+					claimed[name] = worker
+					mu.Unlock()
+				case errors.Is(err, peats.ErrAborted):
+					// Another worker won this task; try the next candidate.
+				default:
+					errs <- err
+					return
+				}
+			}
+		}(fmt.Sprintf("worker-%d", w))
+	}
+	wg.Wait()
+	close(errs)
+	if err := <-errs; err != nil {
+		return err
+	}
+
+	// Every task moved exactly once: the pending queue is empty and the
+	// active queue holds one tuple per task.
+	reader := peats.ClusterSpace(cluster, "reader")
+	pending, err := reader.RdAll(ctx, peats.T(peats.Str("pending"), peats.Any()))
+	if err != nil {
+		return err
+	}
+	active, err := reader.RdAll(ctx, peats.T(peats.Str("active"), peats.Any(), peats.Any()))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("pending left: %d, active: %d (want 0 and %d)\n", len(pending), len(active), tasks)
+
+	names := make([]string, 0, len(claimed))
+	for name := range claimed {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Printf("  %s moved atomically by %s\n", name, claimed[name])
+	}
+	if len(pending) != 0 || len(active) != tasks || len(claimed) != tasks {
+		return fmt.Errorf("transfer invariant violated")
+	}
+	fmt.Println("every task transferred exactly once — no double claims, none lost")
+	return nil
+}

@@ -40,6 +40,22 @@ func (c *CountingSpace) Counts() (outs, reads, cas int64) {
 	return c.outs.Load(), c.reads.Load(), c.cas.Load()
 }
 
+// Submit implements peats.TupleSpace, counting each submitted op under
+// its legacy bucket.
+func (c *CountingSpace) Submit(ctx context.Context, ops ...peats.Op) ([]peats.Result, error) {
+	for _, op := range ops {
+		switch op.Code {
+		case policy.OpOut:
+			c.outs.Add(1)
+		case policy.OpCas:
+			c.cas.Add(1)
+		default:
+			c.reads.Add(1)
+		}
+	}
+	return c.inner.Submit(ctx, ops...)
+}
+
 // Out implements peats.TupleSpace.
 func (c *CountingSpace) Out(ctx context.Context, e tuple.Tuple) error {
 	c.outs.Add(1)

@@ -1,0 +1,207 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"text/tabwriter"
+	"time"
+
+	"peats/internal/bft"
+	"peats/internal/peats"
+	"peats/internal/tuple"
+)
+
+// TxConfig sizes the transaction-amortisation comparison: one client
+// performing k-operation units either as k sequential round trips or as
+// one atomic Submit transaction. The zero value selects laptop-sized
+// defaults; CI smoke-tests the path with tiny parameters.
+type TxConfig struct {
+	// K is the number of operations per unit.
+	K int
+	// Rounds is how many units each mode executes (alternating out and
+	// inp rounds, so the resident space stays bounded).
+	Rounds int
+	// Groups lists the fault bounds f to sweep (n = 3f+1 replicas). The
+	// protocol cost a transaction amortises grows with the group, so the
+	// speedup does too.
+	Groups []int
+}
+
+func (c TxConfig) withDefaults() TxConfig {
+	if c.K <= 1 {
+		c.K = 8
+	}
+	if c.Rounds <= 0 {
+		c.Rounds = 16
+	}
+	if c.Rounds%2 != 0 {
+		c.Rounds++ // pair out/inp rounds so the space drains
+	}
+	if len(c.Groups) == 0 {
+		c.Groups = []int{1, 2}
+	}
+	return c
+}
+
+// TxRow is one measurement: K ops per unit, via sequential round trips
+// or one transaction.
+type TxRow struct {
+	Mode      string  `json:"mode"` // "sequential" or "tx"
+	F         int     `json:"f"`    // fault bound; n = 3f+1 replicas
+	K         int     `json:"k"`
+	Units     int     `json:"units"`
+	Ops       int     `json:"ops"`
+	Seconds   float64 `json:"seconds"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+	UnitUs    float64 `json:"avg_unit_latency_us"`
+}
+
+// TxTable measures k sequential round trips against one k-op Submit
+// transaction per unit, per group size.
+func TxTable(ctx context.Context, cfg TxConfig) ([]TxRow, error) {
+	cfg = cfg.withDefaults()
+	var rows []TxRow
+	for _, f := range cfg.Groups {
+		for _, mode := range []string{"sequential", "tx"} {
+			row, err := txThroughput(ctx, f, cfg.K, cfg.Rounds, mode)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// txUnitOps builds the ops of one unit: even rounds write K distinct
+// tuples, odd rounds consume exactly those K (by exact template, so a
+// tx unit never aborts), keeping the resident set bounded.
+func txUnitOps(round, k int) []peats.Op {
+	ops := make([]peats.Op, k)
+	for i := range ops {
+		entry := tuple.T(tuple.Str("TXB"), tuple.Int(int64(i)))
+		if round%2 == 0 {
+			ops[i] = peats.OutOp(entry)
+		} else {
+			ops[i] = peats.InpOp(entry)
+		}
+	}
+	return ops
+}
+
+func txThroughput(ctx context.Context, f, k, rounds int, mode string) (TxRow, error) {
+	cl, err := agreementCluster(f, 1)
+	if err != nil {
+		return TxRow{}, err
+	}
+	defer cl.Stop()
+	ts := bft.NewRemoteSpace(cl.Client("txc"))
+
+	runUnit := func(round int) error {
+		ops := txUnitOps(round, k)
+		if mode == "tx" {
+			_, err := ts.Submit(ctx, ops...)
+			return err
+		}
+		for i, op := range ops {
+			if _, err := ts.Submit(ctx, op); err != nil {
+				return fmt.Errorf("op %d: %w", i, err)
+			}
+		}
+		return nil
+	}
+	// Warm-up pair of rounds keeps setup out of the measurement.
+	for r := 0; r < 2; r++ {
+		if err := runUnit(r); err != nil {
+			return TxRow{}, fmt.Errorf("tx bench warmup (%s, f=%d): %w", mode, f, err)
+		}
+	}
+	start := time.Now()
+	for r := 0; r < rounds; r++ {
+		if err := runUnit(r); err != nil {
+			return TxRow{}, fmt.Errorf("tx bench (%s, f=%d, round %d): %w", mode, f, r, err)
+		}
+	}
+	elapsed := time.Since(start)
+	ops := rounds * k
+	return TxRow{
+		Mode: mode, F: f, K: k, Units: rounds, Ops: ops,
+		Seconds:   elapsed.Seconds(),
+		OpsPerSec: float64(ops) / elapsed.Seconds(),
+		UnitUs:    float64(elapsed.Microseconds()) / float64(rounds),
+	}, nil
+}
+
+// TxSpeedup is tx-over-sequential unit throughput at one group size.
+type TxSpeedup struct {
+	F       int     `json:"f"`
+	Speedup float64 `json:"speedup"`
+}
+
+// TxSpeedups returns the per-group speedup of the transaction mode, in
+// row order.
+func TxSpeedups(rows []TxRow) []TxSpeedup {
+	seq := make(map[int]float64)
+	tx := make(map[int]float64)
+	var order []int
+	for _, r := range rows {
+		if _, a := seq[r.F]; !a {
+			if _, b := tx[r.F]; !b {
+				order = append(order, r.F)
+			}
+		}
+		if r.Mode == "tx" {
+			tx[r.F] = r.OpsPerSec
+		} else {
+			seq[r.F] = r.OpsPerSec
+		}
+	}
+	var out []TxSpeedup
+	for _, f := range order {
+		if seq[f] > 0 && tx[f] > 0 {
+			out = append(out, TxSpeedup{F: f, Speedup: tx[f] / seq[f]})
+		}
+	}
+	return out
+}
+
+// WriteTxTable renders the comparison with the per-group speedup.
+func WriteTxTable(w io.Writer, rows []TxRow) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "mode\tn\tk\tunits\tops\tops/sec\tavg unit latency")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\t%.0f\t%.0fµs\n",
+			r.Mode, 3*r.F+1, r.K, r.Units, r.Ops, r.OpsPerSec, r.UnitUs)
+	}
+	tw.Flush()
+	for _, s := range TxSpeedups(rows) {
+		fmt.Fprintf(w, "tx amortisation at n=%d: %.1fx over sequential round trips\n",
+			3*s.F+1, s.Speedup)
+	}
+}
+
+// txReport is the machine-readable artifact schema.
+type txReport struct {
+	Table       string      `json:"table"`
+	GeneratedAt string      `json:"generated_at"`
+	Speedups    []TxSpeedup `json:"tx_speedups"`
+	Rows        []TxRow     `json:"rows"`
+}
+
+// WriteTxJSON writes the rows as a machine-readable JSON report.
+func WriteTxJSON(path string, rows []TxRow) error {
+	report := txReport{
+		Table:       "tx",
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Speedups:    TxSpeedups(rows),
+		Rows:        rows,
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -329,6 +329,84 @@ func TestByzantinePrimaryEquivocatesOnBatchContents(t *testing.T) {
 	}
 }
 
+// TestByzantinePrimaryEquivocatesOnTxContents extends the
+// batch-content-equivocation adversary to transaction payloads: the
+// requests the primary reorders are atomic multi-op SpaceTx units. The
+// group must survive via view change with each transaction executing
+// atomically, exactly once — neither fork's ordering may leak partial
+// transaction effects.
+func TestByzantinePrimaryEquivocatesOnTxContents(t *testing.T) {
+	ids := []string{"r0", "r1", "r2", "r3"}
+	net := transport.NewNetwork(7)
+	t.Cleanup(net.Close)
+	startBackups(t, net, ids, 200*time.Millisecond)
+
+	txPayload := func(tag string, vals ...int64) []byte {
+		ops := make([]wire.SpaceOp, len(vals))
+		for i, v := range vals {
+			ops[i] = wire.SpaceOp{Op: policy.OpOut,
+				Entry: tuple.T(tuple.Str(tag), tuple.Int(v))}
+		}
+		return wire.EncodeSpaceTx(wire.SpaceTx{Ops: ops})
+	}
+	c1, c2 := net.Endpoint("t1"), net.Endpoint("t2")
+	req1 := Request{Client: "t1", ReqID: 1, Op: txPayload("TX1", 1, 2)}
+	req2 := Request{Client: "t2", ReqID: 1, Op: txPayload("TX2", 3, 4)}
+	send := func(from *transport.Endpoint, msg any, to ...string) {
+		payload, err := Marshal(msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, id := range to {
+			_ = from.Send(id, payload)
+		}
+	}
+	send(c1, req1, "r1", "r2", "r3")
+	send(c2, req2, "r1", "r2", "r3")
+
+	fp := startFakePrimary(net, "r0", func(fp *fakePrimary, m transport.Inbound) {
+		msg, err := Unmarshal(m.Payload)
+		if err != nil {
+			return
+		}
+		if _, ok := msg.(Request); !ok {
+			return // silent in the view change
+		}
+		ab := []Request{req1, req2}
+		ba := []Request{req2, req1}
+		fp.send(t, "r1", Batch{View: 0, Seq: 1, Digest: BatchDigest(ab), Reqs: ab})
+		fp.send(t, "r2", Batch{View: 0, Seq: 1, Digest: BatchDigest(ba), Reqs: ba})
+		fp.send(t, "r3", Batch{View: 0, Seq: 1, Digest: BatchDigest(ba), Reqs: ba})
+	})
+	defer fp.halt()
+	send(c1, req1, "r0")
+	send(c2, req2, "r0")
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	reader := NewRemoteSpace(NewClient(net.Endpoint("reader"), ids, 1))
+	// Both transactions must commit whole (under the new view) …
+	for _, want := range []struct {
+		tag string
+		v   int64
+	}{{"TX1", 1}, {"TX1", 2}, {"TX2", 3}, {"TX2", 4}} {
+		if _, err := reader.Rd(ctx, tuple.T(tuple.Str(want.tag), tuple.Int(want.v))); err != nil {
+			t.Fatalf("tx tuple <%s,%d> never appeared after equivocation: %v", want.tag, want.v, err)
+		}
+	}
+	// … and each exactly once: 4 tuples total, no partial or double
+	// transaction execution.
+	for _, tag := range []string{"TX1", "TX2"} {
+		all, err := reader.RdAll(ctx, tuple.T(tuple.Str(tag), tuple.Any()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(all) != 2 {
+			t.Errorf("%s: %d tuples, want 2 (partial or double tx execution): %v", tag, len(all), all)
+		}
+	}
+}
+
 // TestViewChangeMidBatchPreservesDigest: a batch prepared in view 0 at
 // only part of the group (so it cannot commit) must be re-proposed in
 // view 1 under the SAME digest, and every request in it must execute

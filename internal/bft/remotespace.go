@@ -2,7 +2,9 @@ package bft
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"math/rand"
 	"time"
 
 	"peats/internal/peats"
@@ -16,18 +18,33 @@ import (
 // client, so the consensus algorithms and universal constructions run
 // unchanged over the replicated realisation (Fig. 2).
 //
-// Blocking rd/in are realised by polling their non-blocking variants,
-// as in DEPSPACE.
+// Submit ships a multi-operation unit as one wire.SpaceTx under a
+// single request (one digest, one agreement round): every replica
+// executes the whole list in one space critical section and replies
+// with a per-op result vector, so a k-op transaction costs one round
+// trip instead of k. A single-op submission travels in the legacy
+// single-operation wire form — the two are executed by the same staged
+// path at the replicas.
 //
-// Non-mutating operations (rd, rdp, rdAll) take the read-only fast
-// path by default: replicas answer from current committed state
-// without ordering and the client accepts a 2f+1 byte-identical vote,
-// falling back to ordered execution when the vote cannot form. Set
-// OrderedReads to force every read through total ordering.
+// Blocking rd/in are realised by polling their non-blocking variants,
+// as in DEPSPACE, with jittered exponential backoff between misses
+// (floor PollInterval, cap PollMaxInterval).
+//
+// Non-mutating requests (rd, rdp, rdAll, and submissions composed
+// entirely of read-only ops) take the read-only fast path by default:
+// replicas answer from current committed state without ordering and the
+// client accepts a 2f+1 byte-identical vote, falling back to ordered
+// execution when the vote cannot form. Set OrderedReads to force every
+// read through total ordering.
 type RemoteSpace struct {
 	c *Client
-	// PollInterval paces the rd/in polling loops (default 5ms).
+	// PollInterval is the initial (floor) delay of the rd/in polling
+	// loops (default 5ms). Each consecutive miss doubles the delay, with
+	// jitter, up to PollMaxInterval.
 	PollInterval time.Duration
+	// PollMaxInterval caps the rd/in polling backoff (default 100ms, and
+	// never below PollInterval).
+	PollMaxInterval time.Duration
 	// OrderedReads disables the read-only fast path.
 	OrderedReads bool
 }
@@ -77,46 +94,133 @@ func (s *RemoteSpace) invokeVia(
 	return res, nil
 }
 
+// Submit implements peats.TupleSpace over the replicated realisation.
+// The ops travel as one request and execute as one atomic unit at every
+// replica, with the same abort semantics as the local Handle: denial
+// (ErrDenied with the monitor's detail), malformed arguments, or an
+// InpOp miss (ErrAborted) leave the space untouched, and the returned
+// results cover the attempted prefix. A submission of only read-only
+// ops is eligible for the read-only fast path.
+func (s *RemoteSpace) Submit(ctx context.Context, ops ...peats.Op) ([]peats.Result, error) {
+	if len(ops) == 0 {
+		return nil, errors.New("peats: empty submission")
+	}
+	if len(ops) > wire.MaxTxOps {
+		return nil, fmt.Errorf("peats: submission of %d ops exceeds the %d-op wire bound",
+			len(ops), wire.MaxTxOps)
+	}
+	wops := make([]wire.SpaceOp, len(ops))
+	readOnly := true
+	for i, op := range ops {
+		switch op.Code {
+		case policy.OpOut, policy.OpRdp, policy.OpInp, policy.OpCas, policy.OpRdAll:
+		default:
+			return nil, fmt.Errorf("peats: op %v cannot be submitted", op.Code)
+		}
+		readOnly = readOnly && op.ReadOnly()
+		wops[i] = wire.SpaceOp{Op: op.Code, Template: op.Template, Entry: op.Entry}
+	}
+	if len(ops) == 1 {
+		// A one-op unit travels in the legacy wire form (and is executed
+		// by the same staged path at the replicas).
+		var (
+			res wire.SpaceResult
+			err error
+		)
+		if readOnly {
+			res, err = s.invokeRO(ctx, wops[0])
+		} else {
+			res, err = s.invoke(ctx, wops[0])
+		}
+		if err != nil {
+			return nil, err
+		}
+		return []peats.Result{toResult(ops[0], res)}, nil
+	}
+
+	call := s.c.Invoke
+	if readOnly && !s.OrderedReads {
+		call = s.c.InvokeReadOnly
+	}
+	raw, err := call(ctx, wire.EncodeSpaceTx(wire.SpaceTx{Ops: wops}))
+	if err != nil {
+		return nil, err
+	}
+	vec, err := wire.DecodeSpaceResults(raw)
+	if err != nil {
+		return nil, fmt.Errorf("replicated space: %w", err)
+	}
+	if len(vec) != len(ops) {
+		return nil, fmt.Errorf("replicated space: %d results for %d ops", len(vec), len(ops))
+	}
+	results := make([]peats.Result, 0, len(ops))
+	for i, sr := range vec {
+		switch sr.Status {
+		case wire.StatusOK:
+		case wire.StatusDenied:
+			return results, &peats.DeniedError{Detail: sr.Detail}
+		case wire.StatusSkipped:
+			// Unreachable for vectors produced by correct replicas: the
+			// aborting op before it already ended the loop.
+			return results, fmt.Errorf("%w: op %d skipped", peats.ErrAborted, i)
+		default:
+			return results, errors.New("peats service: " + sr.Detail)
+		}
+		results = append(results, toResult(ops[i], sr))
+		if ops[i].Code == policy.OpInp && !sr.Found {
+			return results, fmt.Errorf("%w: op %d (inp %v) found no match",
+				peats.ErrAborted, i, ops[i].Template)
+		}
+	}
+	return results, nil
+}
+
+// toResult lifts a wire result into the client-facing form, deriving
+// formal-field bindings from the op's template.
+func toResult(op peats.Op, sr wire.SpaceResult) peats.Result {
+	return peats.NewResult(op, sr.Found, sr.Inserted, sr.Tuple, sr.Tuples)
+}
+
 // Out implements peats.TupleSpace.
 func (s *RemoteSpace) Out(ctx context.Context, entry tuple.Tuple) error {
-	_, err := s.invoke(ctx, wire.SpaceOp{Op: policy.OpOut, Entry: entry})
+	_, err := s.Submit(ctx, peats.OutOp(entry))
 	return err
 }
 
 // Rdp implements peats.TupleSpace.
 func (s *RemoteSpace) Rdp(ctx context.Context, tmpl tuple.Tuple) (tuple.Tuple, bool, error) {
-	res, err := s.invokeRO(ctx, wire.SpaceOp{Op: policy.OpRdp, Template: tmpl})
+	res, err := s.Submit(ctx, peats.RdpOp(tmpl))
 	if err != nil {
 		return tuple.Tuple{}, false, err
 	}
-	return res.Tuple, res.Found, nil
+	return res[0].Tuple, res[0].Found, nil
 }
 
 // Inp implements peats.TupleSpace.
 func (s *RemoteSpace) Inp(ctx context.Context, tmpl tuple.Tuple) (tuple.Tuple, bool, error) {
-	res, err := s.invoke(ctx, wire.SpaceOp{Op: policy.OpInp, Template: tmpl})
+	res, err := s.Submit(ctx, peats.InpOp(tmpl))
 	if err != nil {
 		return tuple.Tuple{}, false, err
 	}
-	return res.Tuple, res.Found, nil
+	return res[0].Tuple, res[0].Found, nil
 }
 
 // RdAll implements peats.TupleSpace.
 func (s *RemoteSpace) RdAll(ctx context.Context, tmpl tuple.Tuple) ([]tuple.Tuple, error) {
-	res, err := s.invokeRO(ctx, wire.SpaceOp{Op: policy.OpRdAll, Template: tmpl})
+	res, err := s.Submit(ctx, peats.RdAllOp(tmpl))
 	if err != nil {
 		return nil, err
 	}
-	return res.Tuples, nil
+	return res[0].Tuples, nil
 }
 
 // Cas implements peats.TupleSpace.
 func (s *RemoteSpace) Cas(ctx context.Context, tmpl, entry tuple.Tuple) (bool, tuple.Tuple, error) {
-	res, err := s.invoke(ctx, wire.SpaceOp{Op: policy.OpCas, Template: tmpl, Entry: entry})
+	res, err := s.Submit(ctx, peats.CasOp(tmpl, entry))
 	if err != nil {
 		return false, tuple.Tuple{}, err
 	}
-	return res.Inserted, res.Tuple, nil
+	return res[0].Inserted, res[0].Tuple, nil
 }
 
 // Rd implements peats.TupleSpace by polling Rdp.
@@ -129,18 +233,49 @@ func (s *RemoteSpace) In(ctx context.Context, tmpl tuple.Tuple) (tuple.Tuple, er
 	return s.poll(ctx, tmpl, s.Inp)
 }
 
+// pollDelay returns the delay before the attempt-th retry of a polling
+// loop: floor·2^attempt with uniform jitter of up to half the base,
+// never below floor and never above max. The jitter decorrelates
+// clients that missed the same tuple, so a wake-up does not produce a
+// synchronized thundering herd; once the backoff saturates the cap the
+// jitter headroom is gone and the delay sits exactly at max.
+func pollDelay(floor, max time.Duration, attempt int) time.Duration {
+	base := floor
+	for i := 0; i < attempt && base < max; i++ {
+		base *= 2
+	}
+	if base > max {
+		base = max
+	}
+	headroom := base / 2
+	if base+headroom > max {
+		headroom = max - base
+	}
+	return base + time.Duration(rand.Int63n(int64(headroom)+1))
+}
+
 func (s *RemoteSpace) poll(
 	ctx context.Context,
 	tmpl tuple.Tuple,
 	op func(context.Context, tuple.Tuple) (tuple.Tuple, bool, error),
 ) (tuple.Tuple, error) {
-	interval := s.PollInterval
-	if interval <= 0 {
-		interval = 5 * time.Millisecond
+	floor := s.PollInterval
+	if floor <= 0 {
+		floor = 5 * time.Millisecond
 	}
-	ticker := time.NewTicker(interval)
-	defer ticker.Stop()
-	for {
+	max := s.PollMaxInterval
+	if max <= 0 {
+		max = 100 * time.Millisecond
+	}
+	if max < floor {
+		max = floor
+	}
+	timer := time.NewTimer(0)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	defer timer.Stop()
+	for attempt := 0; ; attempt++ {
 		t, ok, err := op(ctx, tmpl)
 		if err != nil {
 			return tuple.Tuple{}, err
@@ -148,10 +283,11 @@ func (s *RemoteSpace) poll(
 		if ok {
 			return t, nil
 		}
+		timer.Reset(pollDelay(floor, max, attempt))
 		select {
 		case <-ctx.Done():
 			return tuple.Tuple{}, ctx.Err()
-		case <-ticker.C:
+		case <-timer.C:
 		}
 	}
 }

@@ -53,8 +53,18 @@ type ReadOnlyExecutor interface {
 }
 
 // SpaceService is the PEATS state machine: an augmented tuple space
-// guarded by the reference monitor, executing wire.SpaceOp operations.
-// This is the box marked "interceptor + tuple space" in Fig. 2.
+// guarded by the reference monitor, executing wire.SpaceOp operations
+// and wire.SpaceTx atomic multi-operation transactions. This is the box
+// marked "interceptor + tuple space" in Fig. 2.
+//
+// Every request — single op or transaction — runs through one staged
+// executor: operations execute against a deferred-update view inside
+// one scoped critical section, the monitor vetting each against the
+// state its predecessors produced, and the staged effects commit only
+// if no operation was denied or malformed and every inp found a match
+// (otherwise the transaction aborts and the space is untouched). A
+// single-operation request is simply a one-op transaction that travels
+// in the legacy wire form.
 //
 // The space's store engine and shard count are pluggable
 // (NewSpaceServiceWithConfig). Replicas running different engines or
@@ -64,7 +74,7 @@ type ReadOnlyExecutor interface {
 // engine-neutral tuple lists, so checkpoints and state transfers
 // install cleanly on any configuration.
 //
-// Ordered execution write-locks only the shards a batch's operations
+// Ordered execution write-locks only the shards a request's operations
 // route to (read-locking the rest for the monitor), and the read-only
 // fast path takes shared locks everywhere — so fast-path reads run
 // concurrently with each other and with ordered execution on other
@@ -109,149 +119,198 @@ func NewSpaceServiceWithConfig(pol policy.Policy, e space.Engine, shards int) (*
 // Space exposes the underlying space for inspection in tests.
 func (s *SpaceService) Space() *space.Space { return s.inner }
 
+// decodedReq is one decoded request payload: a single op or a
+// transaction, with a deterministic decode error when malformed.
+type decodedReq struct {
+	ops  []wire.SpaceOp
+	isTx bool
+	err  error
+}
+
+// decodeReq parses a request payload as a SpaceTx or a single SpaceOp.
+func decodeReq(op []byte) decodedReq {
+	if wire.IsSpaceTx(op) {
+		tx, err := wire.DecodeSpaceTx(op)
+		return decodedReq{ops: tx.Ops, isTx: true, err: err}
+	}
+	decoded, err := wire.DecodeSpaceOp(op)
+	return decodedReq{ops: []wire.SpaceOp{decoded}, err: err}
+}
+
+// encode renders a result vector in the wire form the client expects
+// for this request shape: a bare SpaceResult for a single op, a result
+// vector for a transaction.
+func (d decodedReq) encode(results []wire.SpaceResult) []byte {
+	if d.isTx {
+		return wire.EncodeSpaceResults(results)
+	}
+	return wire.EncodeSpaceResult(results[0])
+}
+
+// encodeErr renders d's decode error deterministically in the matching
+// wire form.
+func (d decodedReq) encodeErr() []byte {
+	res := wire.SpaceResult{Status: wire.StatusError, Detail: d.err.Error()}
+	if d.isTx {
+		return wire.EncodeSpaceResults([]wire.SpaceResult{res})
+	}
+	return wire.EncodeSpaceResult(res)
+}
+
+// addWrites adds the shards the request's operations may mutate to ws.
+func (s *SpaceService) addWrites(ws *space.ShardSet, d decodedReq) {
+	if d.err != nil {
+		return
+	}
+	for _, op := range d.ops {
+		// Unsupported codes never survive decoding, so the error return
+		// is vacuous here.
+		_, _ = peats.SubmitWrites(s.inner, ws, op.Op, op.Template, op.Entry)
+	}
+}
+
 // Execute implements Service. Malformed operations yield StatusError;
 // operations rejected by the monitor yield StatusDenied. Both are
 // deterministic results, so replicas never diverge on bad input.
 func (s *SpaceService) Execute(client string, op []byte) []byte {
-	decoded, err := wire.DecodeSpaceOp(op)
-	if err != nil {
-		return encodeOpError(err)
+	d := decodeReq(op)
+	if d.err != nil {
+		return d.encodeErr()
 	}
 	var ws space.ShardSet
-	s.addWrites(&ws, decoded)
+	s.addWrites(&ws, d)
 	var res []byte
 	s.inner.DoScoped(ws, func(tx *space.Tx) {
-		res = s.executeIn(tx, client, decoded)
+		res = d.encode(s.executeTxIn(tx, client, d.ops))
 	})
 	return res
 }
 
-// addWrites adds the shards decoded may mutate to ws. Reads need no
-// entry: scoped transactions hold shared locks on every other shard,
-// so the reference monitor and the read operations observe the whole
-// space consistently.
-func (s *SpaceService) addWrites(ws *space.ShardSet, decoded wire.SpaceOp) {
-	switch decoded.Op {
-	case policy.OpOut:
-		ws.Add(s.inner.EntryShard(decoded.Entry))
-	case policy.OpCas:
-		ws.Add(s.inner.EntryShard(decoded.Entry))
-	case policy.OpInp:
-		if idx, keyed := s.inner.TemplateShard(decoded.Template); keyed {
-			ws.Add(idx)
-		} else {
-			// A wildcard-first destructive read may remove from any
-			// shard.
-			ws.AddAll()
-		}
-	}
-}
-
-func encodeOpError(err error) []byte {
-	return wire.EncodeSpaceResult(wire.SpaceResult{
-		Status: wire.StatusError, Detail: err.Error(),
-	})
-}
-
-// ExecuteBatch implements BatchExecutor: every operation of a committed
+// ExecuteBatch implements BatchExecutor: every request of a committed
 // batch executes inside one space critical section scoped to the shards
 // the batch writes, amortizing the locks and making the batch atomic
 // with respect to concurrent read-only execution on those shards.
 // Fast-path reads routed to shards the batch does not write proceed in
-// parallel with the batch.
+// parallel with the batch. Each request remains its own atomic unit:
+// a transaction that aborts discards only its own staged effects.
 func (s *SpaceService) ExecuteBatch(clients []string, ops [][]byte) [][]byte {
 	results := make([][]byte, len(ops))
-	decoded := make([]wire.SpaceOp, len(ops))
+	decoded := make([]decodedReq, len(ops))
 	var ws space.ShardSet
 	for i, op := range ops {
-		d, err := wire.DecodeSpaceOp(op)
-		if err != nil {
-			results[i] = encodeOpError(err)
+		decoded[i] = decodeReq(op)
+		if decoded[i].err != nil {
+			results[i] = decoded[i].encodeErr()
 			continue
 		}
-		decoded[i] = d
-		s.addWrites(&ws, d)
+		s.addWrites(&ws, decoded[i])
 	}
 	s.inner.DoScoped(ws, func(tx *space.Tx) {
 		for i := range ops {
 			if results[i] != nil {
 				continue // malformed: deterministic error already encoded
 			}
-			results[i] = s.executeIn(tx, clients[i], decoded[i])
+			results[i] = decoded[i].encode(s.executeTxIn(tx, clients[i], decoded[i].ops))
 		}
 	})
 	return results
 }
 
 // ExecuteReadOnly implements ReadOnlyExecutor: rdp and rdAll (the
-// non-mutating operations) execute against current state without
-// ordering, still passing through the reference monitor. Every other
-// operation — and any malformed one, whose deterministic error result
-// per-replica voting would mask anyway — reports ok=false so the
-// client falls back to the ordered path.
+// non-mutating operations) — alone or as an all-read-only transaction —
+// execute against current state without ordering, still passing through
+// the reference monitor. Every other request — and any malformed one,
+// whose deterministic error result per-replica voting would mask
+// anyway — reports ok=false so the client falls back to the ordered
+// path.
 //
 // The section holds only shard read locks (DoRead), so fast-path reads
 // run concurrently with each other and with ordered execution on
 // shards the current batch does not write.
 func (s *SpaceService) ExecuteReadOnly(client string, op []byte) ([]byte, bool) {
-	decoded, err := wire.DecodeSpaceOp(op)
-	if err != nil {
+	d := decodeReq(op)
+	if d.err != nil {
 		return nil, false
 	}
-	switch decoded.Op {
-	case policy.OpRdp, policy.OpRdAll:
-	default:
-		return nil, false
+	for _, decoded := range d.ops {
+		switch decoded.Op {
+		case policy.OpRdp, policy.OpRdAll:
+		default:
+			return nil, false
+		}
 	}
 	var res []byte
 	s.inner.DoRead(func(tx *space.Tx) {
-		res = s.executeIn(tx, client, decoded)
+		res = d.encode(s.executeTxIn(tx, client, d.ops))
 	})
 	return res, true
 }
 
-// executeIn applies one decoded operation inside an open critical
-// section.
-func (s *SpaceService) executeIn(tx *space.Tx, client string, decoded wire.SpaceOp) []byte {
+// executeTxIn applies one request's operations as an atomic unit inside
+// an open critical section: each op is vetted and executed against a
+// staged view reflecting its predecessors, and the staged effects
+// commit only if no op aborts (denial, malformed argument, or an inp
+// that found no match). Aborted units leave the space untouched, with
+// the unexecuted tail marked StatusSkipped.
+func (s *SpaceService) executeTxIn(tx *space.Tx, client string, ops []wire.SpaceOp) []wire.SpaceResult {
+	st := tx.Stage()
+	results := make([]wire.SpaceResult, len(ops))
+	for i, op := range ops {
+		res, abort := s.applyStaged(st, client, op, i, len(ops))
+		results[i] = res
+		if abort {
+			for j := i + 1; j < len(ops); j++ {
+				results[j] = wire.SpaceResult{Status: wire.StatusSkipped}
+			}
+			return results
+		}
+	}
+	st.Commit()
+	return results
+}
+
+// applyStaged vets and executes one operation against the staged view,
+// reporting whether it aborts the unit. An inp miss aborts: for a
+// one-op unit that is indistinguishable from the legacy not-found
+// result (nothing was staged), and for a longer one it is what makes
+// consume-then-act patterns atomic.
+func (s *SpaceService) applyStaged(st *space.Staged, client string, op wire.SpaceOp, idx, txLen int) (wire.SpaceResult, bool) {
 	inv := policy.Invocation{
 		Invoker:  policy.ProcessID(client),
-		Op:       decoded.Op,
-		Template: decoded.Template,
-		Entry:    decoded.Entry,
+		Op:       op.Op,
+		Template: op.Template,
+		Entry:    op.Entry,
+		TxIndex:  idx,
+		TxLen:    txLen,
 	}
-	var res wire.SpaceResult
-	if d := s.pol.Evaluate(inv, tx); !d.Allowed {
-		res = wire.SpaceResult{Status: wire.StatusDenied, Detail: inv.String()}
-		return wire.EncodeSpaceResult(res)
+	if d := s.pol.Evaluate(inv, st); !d.Allowed {
+		return wire.SpaceResult{Status: wire.StatusDenied, Detail: inv.String()}, true
 	}
-	switch decoded.Op {
+	switch op.Op {
 	case policy.OpOut:
-		if err := tx.Out(decoded.Entry); err != nil {
-			res = wire.SpaceResult{Status: wire.StatusError, Detail: err.Error()}
-			break
+		if err := st.Out(op.Entry); err != nil {
+			return wire.SpaceResult{Status: wire.StatusError, Detail: err.Error()}, true
 		}
-		res = wire.SpaceResult{Status: wire.StatusOK}
+		return wire.SpaceResult{Status: wire.StatusOK}, false
 	case policy.OpRdp:
-		t, ok := tx.Rdp(decoded.Template)
-		res = wire.SpaceResult{Status: wire.StatusOK, Found: ok, Tuple: t}
+		t, ok := st.Rdp(op.Template)
+		return wire.SpaceResult{Status: wire.StatusOK, Found: ok, Tuple: t}, false
 	case policy.OpInp:
-		t, ok := tx.Inp(decoded.Template)
-		res = wire.SpaceResult{Status: wire.StatusOK, Found: ok, Tuple: t}
+		t, ok := st.Inp(op.Template)
+		return wire.SpaceResult{Status: wire.StatusOK, Found: ok, Tuple: t}, !ok
 	case policy.OpRdAll:
-		all := tx.RdAll(decoded.Template)
-		res = wire.SpaceResult{Status: wire.StatusOK, Found: len(all) > 0, Tuples: all}
+		all := st.RdAll(op.Template)
+		return wire.SpaceResult{Status: wire.StatusOK, Found: len(all) > 0, Tuples: all}, false
 	case policy.OpCas:
-		ins, matched, err := tx.Cas(decoded.Template, decoded.Entry)
+		ins, matched, err := st.Cas(op.Template, op.Entry)
 		if err != nil {
-			res = wire.SpaceResult{Status: wire.StatusError, Detail: err.Error()}
-			break
+			return wire.SpaceResult{Status: wire.StatusError, Detail: err.Error()}, true
 		}
-		res = wire.SpaceResult{Status: wire.StatusOK, Inserted: ins, Tuple: matched}
+		return wire.SpaceResult{Status: wire.StatusOK, Inserted: ins, Tuple: matched}, false
 	default:
-		res = wire.SpaceResult{Status: wire.StatusError,
-			Detail: fmt.Sprintf("unsupported op %v", decoded.Op)}
+		return wire.SpaceResult{Status: wire.StatusError,
+			Detail: fmt.Sprintf("unsupported op %v", op.Op)}, true
 	}
-	return wire.EncodeSpaceResult(res)
 }
 
 // Snapshot implements Service: the canonical encoding of the tuple list.
@@ -292,7 +351,7 @@ func resultToError(res wire.SpaceResult) error {
 	case wire.StatusOK:
 		return nil
 	case wire.StatusDenied:
-		return fmt.Errorf("%w: %s", peats.ErrDenied, res.Detail)
+		return &peats.DeniedError{Detail: res.Detail}
 	default:
 		return errors.New("peats service: " + res.Detail)
 	}

@@ -13,6 +13,20 @@
 // local PEATS handle and by the replicated BFT client, so the paper's
 // consensus algorithms and universal constructions run unchanged over
 // either realisation.
+//
+// # Operations as values
+//
+// Every non-blocking operation exists as a first-class Op value
+// (OutOp, RdpOp, InpOp, CasOp, RdAllOp). Submit executes a list of such
+// values as one atomic, monitor-vetted unit: inside a single critical
+// section, each op is vetted by the reference monitor against the state
+// the preceding ops produced and then executed against it. A submission
+// aborts — leaving the space untouched — when the monitor denies an op,
+// an op is malformed, or a destructive read (InpOp) finds no match; the
+// last case is what makes multi-key test-and-set and atomic
+// move-between-queues patterns work, and it surfaces as ErrAborted.
+// The legacy single-operation methods are thin wrappers over one-op
+// submissions.
 package peats
 
 import (
@@ -31,6 +45,96 @@ import (
 // invocation under the space's access policy.
 var ErrDenied = errors.New("peats: invocation denied by access policy")
 
+// ErrAborted is returned when a multi-operation submission aborts
+// because a destructive read found no match: none of the submission's
+// operations take effect. The returned error wraps ErrAborted and names
+// the failing operation; the result prefix up to and including it is
+// still returned for inspection.
+var ErrAborted = errors.New("peats: transaction aborted")
+
+// DeniedError carries the reference monitor's denial detail. It
+// satisfies errors.Is(err, ErrDenied) and is produced identically by
+// the local and the replicated realisation, so callers can rely on the
+// detail surviving the wire.
+type DeniedError struct {
+	// Detail renders the denied invocation (invoker, operation,
+	// arguments, transaction position).
+	Detail string
+}
+
+// Error formats the denial exactly as the historical wrapped error did.
+func (e *DeniedError) Error() string { return ErrDenied.Error() + ": " + e.Detail }
+
+// Is reports that the error is an ErrDenied.
+func (e *DeniedError) Is(target error) bool { return target == ErrDenied }
+
+// Op is one tuple-space operation as a first-class value, built with
+// OutOp, RdpOp, InpOp, CasOp or RdAllOp and executed — alone or as part
+// of an atomic multi-operation unit — with TupleSpace.Submit. The zero
+// Op is invalid.
+type Op struct {
+	// Code is the operation (only the non-blocking operations and cas
+	// can be submitted; blocking rd/in are realised by polling).
+	Code policy.Op
+	// Template is the template argument of rdp/inp/cas/rdAll.
+	Template tuple.Tuple
+	// Entry is the entry argument of out and cas.
+	Entry tuple.Tuple
+}
+
+// OutOp stages the insertion of entry.
+func OutOp(entry tuple.Tuple) Op { return Op{Code: policy.OpOut, Entry: entry} }
+
+// RdpOp stages a non-destructive non-blocking read.
+func RdpOp(tmpl tuple.Tuple) Op { return Op{Code: policy.OpRdp, Template: tmpl} }
+
+// InpOp stages a destructive non-blocking read. Inside a multi-op
+// submission, a miss aborts the whole unit (ErrAborted).
+func InpOp(tmpl tuple.Tuple) Op { return Op{Code: policy.OpInp, Template: tmpl} }
+
+// CasOp stages the conditional atomic swap cas(tmpl, entry).
+func CasOp(tmpl, entry tuple.Tuple) Op {
+	return Op{Code: policy.OpCas, Template: tmpl, Entry: entry}
+}
+
+// RdAllOp stages the bulk non-destructive read.
+func RdAllOp(tmpl tuple.Tuple) Op { return Op{Code: policy.OpRdAll, Template: tmpl} }
+
+// ReadOnly reports whether the op cannot mutate the space — a
+// submission of only read-only ops is eligible for the replicated
+// read-only fast path.
+func (op Op) ReadOnly() bool {
+	return op.Code == policy.OpRdp || op.Code == policy.OpRdAll
+}
+
+// Result is the outcome of one submitted operation.
+type Result struct {
+	// Found reports a match for rdp/inp (and a non-empty rdAll).
+	Found bool
+	// Inserted reports that cas inserted its entry.
+	Inserted bool
+	// Tuple is the matched tuple of rdp/inp and of a cas that did not
+	// insert.
+	Tuple tuple.Tuple
+	// Tuples is the rdAll match list.
+	Tuples []tuple.Tuple
+	// Bindings maps the formal fields of the op's template to the
+	// values they matched in Tuple.
+	Bindings tuple.Bindings
+}
+
+// NewResult assembles a Result, deriving the formal-field bindings of
+// the op's template from the matched tuple. Both realisations build
+// their results through it so bindings behave identically.
+func NewResult(op Op, found, inserted bool, t tuple.Tuple, all []tuple.Tuple) Result {
+	r := Result{Found: found, Inserted: inserted, Tuple: t, Tuples: all}
+	matched := found || (op.Code == policy.OpCas && !inserted)
+	if matched && !t.IsZero() {
+		r.Bindings, _ = tuple.Match(t, op.Template)
+	}
+	return r
+}
+
 // TupleSpace is the augmented-tuple-space interface used by all
 // algorithms in this repository. Implementations are bound to an
 // authenticated process identity.
@@ -38,7 +142,13 @@ var ErrDenied = errors.New("peats: invocation denied by access policy")
 // Cas is the conditional atomic swap: atomically, if no tuple matches
 // tmpl, insert entry and return inserted=true; otherwise return
 // inserted=false and the first matching tuple.
+//
+// Submit executes a list of operation values as one atomic,
+// monitor-vetted unit and returns one Result per op; see the package
+// comment for the abort semantics. The single-operation methods are
+// wrappers over one-op submissions.
 type TupleSpace interface {
+	Submit(ctx context.Context, ops ...Op) ([]Result, error)
 	Out(ctx context.Context, entry tuple.Tuple) error
 	Rd(ctx context.Context, tmpl tuple.Tuple) (tuple.Tuple, error)
 	Rdp(ctx context.Context, tmpl tuple.Tuple) (tuple.Tuple, bool, error)
@@ -120,7 +230,7 @@ func (s *Space) evaluate(inv policy.Invocation, st policy.StateView) error {
 	d := s.pol.Evaluate(inv, st)
 	if !d.Allowed {
 		s.denied.Add(1)
-		return fmt.Errorf("%w: %s", ErrDenied, inv)
+		return &DeniedError{Detail: inv.String()}
 	}
 	s.allowed.Add(1)
 	return nil
@@ -137,64 +247,141 @@ var _ TupleSpace = (*Handle)(nil)
 // ID returns the process identity the handle is bound to.
 func (h *Handle) ID() policy.ProcessID { return h.id }
 
-// Out inserts entry if the policy allows it. The monitor check and the
-// insertion happen in one atomic section, mirroring the sequential
-// execution of the replicated realisation. Only the entry's shard is
-// write-locked; the monitor reads the rest of the space under shared
-// locks.
-func (h *Handle) Out(_ context.Context, entry tuple.Tuple) error {
-	inv := policy.Invocation{Invoker: h.id, Op: policy.OpOut, Entry: entry}
-	var ws space.ShardSet
-	ws.Add(h.space.inner.EntryShard(entry))
-	var err error
-	h.space.inner.DoScoped(ws, func(tx *space.Tx) {
-		if err = h.space.evaluate(inv, tx); err != nil {
-			return
+// SubmitWrites accumulates into ws the shards the given submitted op
+// may mutate, reporting whether the op is read-only. It is shared with
+// the replicated service so both realisations scope their critical
+// sections identically: reads need no entry because scoped transactions
+// hold shared locks on every other shard.
+func SubmitWrites(sp *space.Space, ws *space.ShardSet, code policy.Op, tmpl, entry tuple.Tuple) (readOnly bool, err error) {
+	switch code {
+	case policy.OpOut, policy.OpCas:
+		ws.Add(sp.EntryShard(entry))
+	case policy.OpInp:
+		if idx, keyed := sp.TemplateShard(tmpl); keyed {
+			ws.Add(idx)
+		} else {
+			// A wildcard-first destructive read may remove from any shard.
+			ws.AddAll()
 		}
-		err = tx.Out(entry)
-	})
+	case policy.OpRdp, policy.OpRdAll:
+		return true, nil
+	default:
+		return false, fmt.Errorf("peats: op %v cannot be submitted", code)
+	}
+	return false, nil
+}
+
+// Submit implements TupleSpace: the ops execute as one atomic,
+// monitor-vetted unit inside a single scoped critical section (a
+// submission of only read-only ops runs entirely under shared locks).
+// Each op is vetted and executed against the state produced by its
+// predecessors; the whole unit takes effect only if no op is denied or
+// malformed and every InpOp finds a match. On abort the space is left
+// untouched and the returned results cover the attempted prefix.
+func (h *Handle) Submit(_ context.Context, ops ...Op) ([]Result, error) {
+	if len(ops) == 0 {
+		return nil, errors.New("peats: empty submission")
+	}
+	var ws space.ShardSet
+	readOnly := true
+	for _, op := range ops {
+		ro, err := SubmitWrites(h.space.inner, &ws, op.Code, op.Template, op.Entry)
+		if err != nil {
+			return nil, err
+		}
+		readOnly = readOnly && ro
+	}
+	var (
+		results []Result
+		err     error
+	)
+	run := func(tx *space.Tx) { results, err = h.submitIn(tx, ops) }
+	if readOnly {
+		h.space.inner.DoRead(run)
+	} else {
+		h.space.inner.DoScoped(ws, run)
+	}
+	return results, err
+}
+
+// submitIn executes the submission inside an open critical section.
+func (h *Handle) submitIn(tx *space.Tx, ops []Op) ([]Result, error) {
+	st := tx.Stage()
+	results := make([]Result, 0, len(ops))
+	for i, op := range ops {
+		inv := policy.Invocation{
+			Invoker: h.id, Op: op.Code,
+			Template: op.Template, Entry: op.Entry,
+			TxIndex: i, TxLen: len(ops),
+		}
+		if err := h.space.evaluate(inv, st); err != nil {
+			return results, err
+		}
+		var res Result
+		switch op.Code {
+		case policy.OpOut:
+			if err := st.Out(op.Entry); err != nil {
+				return results, err
+			}
+			res = NewResult(op, false, false, tuple.Tuple{}, nil)
+		case policy.OpRdp:
+			t, ok := st.Rdp(op.Template)
+			res = NewResult(op, ok, false, t, nil)
+		case policy.OpInp:
+			t, ok := st.Inp(op.Template)
+			res = NewResult(op, ok, false, t, nil)
+			if !ok {
+				results = append(results, res)
+				if len(ops) > 1 {
+					return results, fmt.Errorf("%w: op %d (inp %v) found no match",
+						ErrAborted, i, op.Template)
+				}
+				// A solo inp miss is a plain not-found, and it staged
+				// nothing, so falling out without committing is identical
+				// to committing.
+				return results, nil
+			}
+		case policy.OpCas:
+			ins, m, err := st.Cas(op.Template, op.Entry)
+			if err != nil {
+				return results, err
+			}
+			res = NewResult(op, false, ins, m, nil)
+		case policy.OpRdAll:
+			all := st.RdAll(op.Template)
+			res = NewResult(op, len(all) > 0, false, tuple.Tuple{}, all)
+		}
+		results = append(results, res)
+	}
+	st.Commit()
+	return results, nil
+}
+
+// Out inserts entry if the policy allows it: a one-op submission, so
+// the monitor check and the insertion happen in one atomic section with
+// only the entry's shard write-locked.
+func (h *Handle) Out(ctx context.Context, entry tuple.Tuple) error {
+	_, err := h.Submit(ctx, OutOp(entry))
 	return err
 }
 
 // Rdp performs a non-blocking read if the policy allows it. The whole
 // section runs under shared locks, concurrently with other readers.
-func (h *Handle) Rdp(_ context.Context, tmpl tuple.Tuple) (tuple.Tuple, bool, error) {
-	inv := policy.Invocation{Invoker: h.id, Op: policy.OpRdp, Template: tmpl}
-	var (
-		t   tuple.Tuple
-		ok  bool
-		err error
-	)
-	h.space.inner.DoRead(func(tx *space.Tx) {
-		if err = h.space.evaluate(inv, tx); err != nil {
-			return
-		}
-		t, ok = tx.Rdp(tmpl)
-	})
-	return t, ok, err
+func (h *Handle) Rdp(ctx context.Context, tmpl tuple.Tuple) (tuple.Tuple, bool, error) {
+	res, err := h.Submit(ctx, RdpOp(tmpl))
+	if err != nil {
+		return tuple.Tuple{}, false, err
+	}
+	return res[0].Tuple, res[0].Found, nil
 }
 
 // Inp performs a non-blocking destructive read if the policy allows it.
-func (h *Handle) Inp(_ context.Context, tmpl tuple.Tuple) (tuple.Tuple, bool, error) {
-	inv := policy.Invocation{Invoker: h.id, Op: policy.OpInp, Template: tmpl}
-	var ws space.ShardSet
-	if idx, keyed := h.space.inner.TemplateShard(tmpl); keyed {
-		ws.Add(idx)
-	} else {
-		ws.AddAll()
+func (h *Handle) Inp(ctx context.Context, tmpl tuple.Tuple) (tuple.Tuple, bool, error) {
+	res, err := h.Submit(ctx, InpOp(tmpl))
+	if err != nil {
+		return tuple.Tuple{}, false, err
 	}
-	var (
-		t   tuple.Tuple
-		ok  bool
-		err error
-	)
-	h.space.inner.DoScoped(ws, func(tx *space.Tx) {
-		if err = h.space.evaluate(inv, tx); err != nil {
-			return
-		}
-		t, ok = tx.Inp(tmpl)
-	})
-	return t, ok, err
+	return res[0].Tuple, res[0].Found, nil
 }
 
 // Rd performs a blocking read if the policy allows it. The permission
@@ -223,39 +410,22 @@ func (h *Handle) In(ctx context.Context, tmpl tuple.Tuple) (tuple.Tuple, error) 
 
 // RdAll performs the bulk non-destructive read if the policy allows it.
 // Like Rdp it runs entirely under shared locks.
-func (h *Handle) RdAll(_ context.Context, tmpl tuple.Tuple) ([]tuple.Tuple, error) {
-	inv := policy.Invocation{Invoker: h.id, Op: policy.OpRdAll, Template: tmpl}
-	var (
-		out []tuple.Tuple
-		err error
-	)
-	h.space.inner.DoRead(func(tx *space.Tx) {
-		if err = h.space.evaluate(inv, tx); err != nil {
-			return
-		}
-		out = tx.RdAll(tmpl)
-	})
-	return out, err
+func (h *Handle) RdAll(ctx context.Context, tmpl tuple.Tuple) ([]tuple.Tuple, error) {
+	res, err := h.Submit(ctx, RdAllOp(tmpl))
+	if err != nil {
+		return nil, err
+	}
+	return res[0].Tuples, nil
 }
 
 // Cas performs the conditional atomic swap if the policy allows it.
 // The monitor evaluation and the swap form a single atomic step.
-func (h *Handle) Cas(_ context.Context, tmpl, entry tuple.Tuple) (bool, tuple.Tuple, error) {
-	inv := policy.Invocation{Invoker: h.id, Op: policy.OpCas, Template: tmpl, Entry: entry}
-	var ws space.ShardSet
-	ws.Add(h.space.inner.EntryShard(entry))
-	var (
-		inserted bool
-		matched  tuple.Tuple
-		err      error
-	)
-	h.space.inner.DoScoped(ws, func(tx *space.Tx) {
-		if err = h.space.evaluate(inv, tx); err != nil {
-			return
-		}
-		inserted, matched, err = tx.Cas(tmpl, entry)
-	})
-	return inserted, matched, err
+func (h *Handle) Cas(ctx context.Context, tmpl, entry tuple.Tuple) (bool, tuple.Tuple, error) {
+	res, err := h.Submit(ctx, CasOp(tmpl, entry))
+	if err != nil {
+		return false, tuple.Tuple{}, err
+	}
+	return res[0].Inserted, res[0].Tuple, nil
 }
 
 // PollRd emulates a blocking rd over a space that only offers rdp (the

@@ -1,0 +1,369 @@
+package peats
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"peats/internal/policy"
+	"peats/internal/space"
+	"peats/internal/tuple"
+)
+
+func TestSubmitMultiOpAtomicUnit(t *testing.T) {
+	s := New(policy.AllowAll())
+	h := s.Handle("p")
+	ctx := context.Background()
+
+	task := tuple.T(tuple.Str("pending"), tuple.Str("job7"))
+	if err := h.Out(ctx, task); err != nil {
+		t.Fatal(err)
+	}
+	// Atomic move: consume from pending, republish under done.
+	res, err := h.Submit(ctx,
+		InpOp(task),
+		OutOp(tuple.T(tuple.Str("done"), tuple.Str("job7"))),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 || !res[0].Found || !res[0].Tuple.Equal(task) {
+		t.Fatalf("results = %+v", res)
+	}
+	if _, ok, _ := h.Rdp(ctx, tuple.T(tuple.Str("pending"), tuple.Any())); ok {
+		t.Error("pending tuple survived the move")
+	}
+	if _, ok, _ := h.Rdp(ctx, tuple.T(tuple.Str("done"), tuple.Any())); !ok {
+		t.Error("done tuple missing after the move")
+	}
+
+	// Re-running the same move aborts: the pending tuple is gone, so
+	// the InpOp miss must discard the OutOp too.
+	res, err = h.Submit(ctx,
+		InpOp(task),
+		OutOp(tuple.T(tuple.Str("done"), tuple.Str("job7"))),
+	)
+	if !errors.Is(err, ErrAborted) {
+		t.Fatalf("err = %v, want ErrAborted", err)
+	}
+	if len(res) != 1 || res[0].Found {
+		t.Fatalf("aborted prefix = %+v", res)
+	}
+	all, err := h.RdAll(ctx, tuple.T(tuple.Str("done"), tuple.Any()))
+	if err != nil || len(all) != 1 {
+		t.Fatalf("done tuples after abort = %v (%v), want exactly 1", all, err)
+	}
+}
+
+func TestSubmitOpsSeePredecessorEffects(t *testing.T) {
+	s := New(policy.AllowAll())
+	h := s.Handle("p")
+	ctx := context.Background()
+
+	// Out then Rdp/Inp of the same tuple inside one unit.
+	entry := tuple.T(tuple.Str("SELF"), tuple.Int(1))
+	res, err := h.Submit(ctx, OutOp(entry), RdpOp(tuple.T(tuple.Str("SELF"), tuple.Formal("v"))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res[1].Found || !res[1].Tuple.Equal(entry) {
+		t.Fatalf("rdp after staged out: %+v", res[1])
+	}
+	if v, _ := res[1].Bindings["v"].IntValue(); v != 1 {
+		t.Errorf("bindings = %v", res[1].Bindings)
+	}
+	// Consume-then-republish-then-consume chains through the overlay.
+	res, err = h.Submit(ctx,
+		InpOp(entry),
+		OutOp(tuple.T(tuple.Str("SELF"), tuple.Int(2))),
+		InpOp(tuple.T(tuple.Str("SELF"), tuple.Any())),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := res[2].Tuple.Field(1).IntValue(); v != 2 {
+		t.Fatalf("final inp = %+v", res[2])
+	}
+	if s.Inner().Len() != 0 {
+		t.Errorf("space len = %d, want 0", s.Inner().Len())
+	}
+}
+
+func TestSubmitDenialAbortsWholeUnit(t *testing.T) {
+	// Policy: out is free, inp is denied.
+	pol := policy.New(policy.Rule{Name: "Rout", Op: policy.OpOut})
+	s := New(pol)
+	h := s.Handle("p")
+	ctx := context.Background()
+
+	res, err := h.Submit(ctx,
+		OutOp(tuple.T(tuple.Str("X"), tuple.Int(1))),
+		InpOp(tuple.T(tuple.Str("X"), tuple.Any())),
+	)
+	if !errors.Is(err, ErrDenied) {
+		t.Fatalf("err = %v, want ErrDenied", err)
+	}
+	var denied *DeniedError
+	if !errors.As(err, &denied) || denied.Detail == "" {
+		t.Fatalf("denial detail missing: %v", err)
+	}
+	if len(res) != 1 {
+		t.Fatalf("prefix = %+v, want the out alone", res)
+	}
+	// The allowed out must NOT have taken effect.
+	if s.Inner().Len() != 0 {
+		t.Error("denied unit left effects behind")
+	}
+	// The denial detail names the tx position.
+	if want := "[tx 2/2]"; !contains(denied.Detail, want) {
+		t.Errorf("detail %q lacks %q", denied.Detail, want)
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+func TestSubmitEmptyAndUnsupported(t *testing.T) {
+	h := New(policy.AllowAll()).Handle("p")
+	ctx := context.Background()
+	if _, err := h.Submit(ctx); err == nil {
+		t.Error("empty submission accepted")
+	}
+	if _, err := h.Submit(ctx, Op{Code: policy.OpRd}); err == nil {
+		t.Error("blocking rd accepted as submitted op")
+	}
+	// Malformed entry aborts without effects.
+	res, err := h.Submit(ctx,
+		OutOp(tuple.T(tuple.Str("OK"))),
+		OutOp(tuple.T(tuple.Any())), // not an entry
+	)
+	if err == nil {
+		t.Fatal("non-entry out accepted")
+	}
+	if len(res) != 1 || New(policy.AllowAll()).Inner().Len() != 0 {
+		t.Fatalf("prefix = %+v", res)
+	}
+	if h.space.Inner().Len() != 0 {
+		t.Error("aborted unit left effects behind")
+	}
+}
+
+func TestSubmitConcurrentConflictingUnits(t *testing.T) {
+	// Many goroutines race to claim one resource tuple with the same
+	// atomic consume-and-mark unit: exactly one may win.
+	for _, shards := range []int{1, 8} {
+		s, err := NewSharded(policy.AllowAll(), space.EngineIndexed, shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx := context.Background()
+		if err := s.Handle("seed").Out(ctx, tuple.T(tuple.Str("RES"))); err != nil {
+			t.Fatal(err)
+		}
+		const workers = 16
+		var wg sync.WaitGroup
+		var mu sync.Mutex
+		winners := 0
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				h := s.Handle(policy.ProcessID(fmt.Sprintf("w%d", w)))
+				_, err := h.Submit(ctx,
+					InpOp(tuple.T(tuple.Str("RES"))),
+					OutOp(tuple.T(tuple.Str("WINNER"), tuple.Int(int64(w)))),
+				)
+				if err == nil {
+					mu.Lock()
+					winners++
+					mu.Unlock()
+				} else if !errors.Is(err, ErrAborted) {
+					t.Errorf("worker %d: %v", w, err)
+				}
+			}(w)
+		}
+		wg.Wait()
+		if winners != 1 {
+			t.Fatalf("shards=%d: %d winners, want 1", shards, winners)
+		}
+		all, err := s.Handle("r").RdAll(ctx, tuple.T(tuple.Str("WINNER"), tuple.Any()))
+		if err != nil || len(all) != 1 {
+			t.Fatalf("shards=%d: WINNER tuples = %v (%v)", shards, all, err)
+		}
+	}
+}
+
+func TestSubmitAllReadOnlyRunsUnderSharedLocks(t *testing.T) {
+	// An all-read-only submission goes through DoRead: a mutating op in
+	// it would panic on the writableShard guard, so success here proves
+	// the shared-lock path was taken AND that read-only classification
+	// is correct.
+	s := New(policy.AllowAll())
+	h := s.Handle("p")
+	ctx := context.Background()
+	if err := h.Out(ctx, tuple.T(tuple.Str("R"), tuple.Int(1))); err != nil {
+		t.Fatal(err)
+	}
+	res, err := h.Submit(ctx,
+		RdpOp(tuple.T(tuple.Str("R"), tuple.Any())),
+		RdAllOp(tuple.T(tuple.Str("R"), tuple.Any())),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res[0].Found || len(res[1].Tuples) != 1 {
+		t.Fatalf("results = %+v", res)
+	}
+}
+
+// ---- Single-op Submit ≡ legacy method parity ----
+
+type legacyStep struct {
+	kind        int // 0 out, 1 rdp, 2 inp, 3 cas, 4 rdall
+	tmpl, entry tuple.Tuple
+}
+
+func randParityStep(r *rand.Rand) legacyStep {
+	tags := []string{"A", "B", "C"}
+	entry := tuple.T(tuple.Str(tags[r.Intn(len(tags))]), tuple.Int(int64(r.Intn(4))))
+	var tmpl tuple.Tuple
+	switch r.Intn(4) {
+	case 0:
+		tmpl = tuple.T(tuple.Any(), tuple.Int(int64(r.Intn(4))))
+	case 1:
+		tmpl = tuple.T(tuple.Str(tags[r.Intn(len(tags))]), tuple.Formal("v"))
+	default:
+		tmpl = tuple.T(tuple.Str(tags[r.Intn(len(tags))]), tuple.Int(int64(r.Intn(4))))
+	}
+	return legacyStep{kind: r.Intn(5), tmpl: tmpl, entry: entry}
+}
+
+// parityPolicy denies a slice of the operation space so the parity
+// suite also covers denial outcomes: inp of tag "C" is never allowed.
+func parityPolicy() policy.Policy {
+	allow := func(op policy.Op) policy.Rule { return policy.Rule{Name: "allow", Op: op} }
+	return policy.New(
+		allow(policy.OpOut), allow(policy.OpRdp), allow(policy.OpRdAll), allow(policy.OpCas),
+		policy.Rule{Name: "Rinp", Op: policy.OpInp,
+			When: policy.Not(policy.TemplateField(0, tuple.Str("C")))},
+	)
+}
+
+// TestSubmitSingleOpParityLocal runs the same randomized operation
+// sequence through the legacy TupleSpace methods and through one-op
+// Submit, on both engines at shard counts {1, 4, 16}: outcomes, errors,
+// monitor counters and final contents must be identical — the legacy
+// methods are wrappers, not a second execution path.
+func TestSubmitSingleOpParityLocal(t *testing.T) {
+	ctx := context.Background()
+	for _, e := range []space.Engine{space.EngineSlice, space.EngineIndexed} {
+		for _, shards := range []int{1, 4, 16} {
+			t.Run(fmt.Sprintf("%s/%d", e, shards), func(t *testing.T) {
+				r := rand.New(rand.NewSource(int64(7 + shards)))
+				legacy, err := NewSharded(parityPolicy(), e, shards)
+				if err != nil {
+					t.Fatal(err)
+				}
+				viaSubmit, err := NewSharded(parityPolicy(), e, shards)
+				if err != nil {
+					t.Fatal(err)
+				}
+				hl := legacy.Handle("p")
+				hs := viaSubmit.Handle("p")
+				for i := 0; i < 400; i++ {
+					step := randParityStep(r)
+					a := runLegacy(ctx, hl, step)
+					b := runSubmit(ctx, hs, step)
+					if a != b {
+						t.Fatalf("step %d (%+v): legacy %q vs submit %q", i, step, a, b)
+					}
+				}
+				if !reflect.DeepEqual(legacy.Inner().Snapshot(), viaSubmit.Inner().Snapshot()) {
+					t.Fatal("final contents diverge")
+				}
+				if legacy.Stats() != viaSubmit.Stats() {
+					t.Fatalf("monitor counters diverge: %+v vs %+v",
+						legacy.Stats(), viaSubmit.Stats())
+				}
+			})
+		}
+	}
+}
+
+func runLegacy(ctx context.Context, h *Handle, s legacyStep) string {
+	switch s.kind {
+	case 0:
+		return fmt.Sprint("out:", h.Out(ctx, s.entry))
+	case 1:
+		u, ok, err := h.Rdp(ctx, s.tmpl)
+		return fmt.Sprint("rdp:", u, ok, err)
+	case 2:
+		u, ok, err := h.Inp(ctx, s.tmpl)
+		return fmt.Sprint("inp:", u, ok, err)
+	case 3:
+		ins, m, err := h.Cas(ctx, s.tmpl, s.entry)
+		return fmt.Sprint("cas:", ins, m, err)
+	default:
+		all, err := h.RdAll(ctx, s.tmpl)
+		return fmt.Sprint("rdall:", all, err)
+	}
+}
+
+func runSubmit(ctx context.Context, h *Handle, s legacyStep) string {
+	one := func(op Op) (Result, error) {
+		res, err := h.Submit(ctx, op)
+		if err != nil {
+			return Result{}, err
+		}
+		return res[0], nil
+	}
+	switch s.kind {
+	case 0:
+		_, err := one(OutOp(s.entry))
+		return fmt.Sprint("out:", err)
+	case 1:
+		r, err := one(RdpOp(s.tmpl))
+		return fmt.Sprint("rdp:", r.Tuple, r.Found, err)
+	case 2:
+		r, err := one(InpOp(s.tmpl))
+		return fmt.Sprint("inp:", r.Tuple, r.Found, err)
+	case 3:
+		r, err := one(CasOp(s.tmpl, s.entry))
+		return fmt.Sprint("cas:", r.Inserted, r.Tuple, err)
+	default:
+		r, err := one(RdAllOp(s.tmpl))
+		return fmt.Sprint("rdall:", r.Tuples, err)
+	}
+}
+
+func TestSubmitBindingsOnCasMiss(t *testing.T) {
+	s := New(policy.AllowAll())
+	h := s.Handle("p")
+	ctx := context.Background()
+	if err := h.Out(ctx, tuple.T(tuple.Str("DEC"), tuple.Int(42))); err != nil {
+		t.Fatal(err)
+	}
+	res, err := h.Submit(ctx, CasOp(
+		tuple.T(tuple.Str("DEC"), tuple.Formal("d")),
+		tuple.T(tuple.Str("DEC"), tuple.Int(99)),
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Inserted {
+		t.Fatal("cas inserted over an existing decision")
+	}
+	if v, _ := res[0].Bindings["d"].IntValue(); v != 42 {
+		t.Errorf("bindings = %v, want d=42", res[0].Bindings)
+	}
+}

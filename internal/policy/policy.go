@@ -81,7 +81,19 @@ type Invocation struct {
 	// Entry is the entry argument of out and cas. It is the zero Tuple
 	// for the read operations.
 	Entry tuple.Tuple
+	// TxIndex and TxLen locate the invocation inside a multi-operation
+	// submission (an atomic transaction of TxLen operations vetted one
+	// by one, in order, each against the state its predecessors
+	// produced): TxIndex is the operation's 0-based position. Solo
+	// invocations carry TxLen ≤ 1, so predicates that ignore these
+	// fields behave exactly as before transactions existed.
+	TxIndex int
+	TxLen   int
 }
+
+// InTx reports whether the invocation is part of a multi-operation
+// transaction.
+func (inv Invocation) InTx() bool { return inv.TxLen > 1 }
 
 // String renders the invocation for diagnostics and audit logs.
 func (inv Invocation) String() string {
@@ -92,7 +104,11 @@ func (inv Invocation) String() string {
 	if !inv.Entry.IsZero() {
 		args = append(args, inv.Entry.String())
 	}
-	return fmt.Sprintf("%s: %s(%s)", inv.Invoker, inv.Op, strings.Join(args, ", "))
+	base := fmt.Sprintf("%s: %s(%s)", inv.Invoker, inv.Op, strings.Join(args, ", "))
+	if inv.InTx() {
+		return fmt.Sprintf("%s [tx %d/%d]", base, inv.TxIndex+1, inv.TxLen)
+	}
+	return base
 }
 
 // StateView is the read-only view of the protected object's state that

@@ -87,6 +87,14 @@ func EntryFieldIsInvoker(i int) Predicate {
 	}
 }
 
+// InTx is satisfied when the invocation arrives as part of a
+// multi-operation transaction (Submit with more than one op). Rules can
+// combine it with Not to confine an operation to solo invocations, or
+// require it for operations only meaningful inside an atomic unit.
+func InTx() Predicate {
+	return func(inv Invocation, _ StateView) bool { return inv.InTx() }
+}
+
 // Exists is satisfied when some stored tuple matches tmpl
 // (∃y: <...> ∈ TS in the paper's rules).
 func Exists(tmpl tuple.Tuple) Predicate {

@@ -736,8 +736,17 @@ func (s *Space) ForEach(fn func(tuple.Tuple) bool) {
 }
 
 func (s *Space) forEachLocked(fn func(tuple.Tuple) bool) {
+	s.forEachSeqLocked(func(st SeqTuple) bool { return fn(st.T) })
+}
+
+// forEachSeqLocked visits stored tuples with their sequence numbers in
+// insertion order until fn returns false. The caller holds (at least)
+// read locks on every shard.
+func (s *Space) forEachSeqLocked(fn func(SeqTuple) bool) {
 	if len(s.shards) == 1 {
-		s.shards[0].store.ForEach(func(t tuple.Tuple, _ uint64) bool { return fn(t) })
+		s.shards[0].store.ForEach(func(t tuple.Tuple, seq uint64) bool {
+			return fn(SeqTuple{Seq: seq, T: t})
+		})
 		return
 	}
 	// Merge-iterate one cursor per shard by sequence number — no
@@ -760,7 +769,7 @@ func (s *Space) forEachLocked(fn func(tuple.Tuple) bool) {
 		if best < 0 {
 			return
 		}
-		if !fn(heads[best].T) {
+		if !fn(heads[best]) {
 			return
 		}
 		heads[best], live[best] = next[best]()

@@ -1,0 +1,255 @@
+package space
+
+import (
+	"peats/internal/tuple"
+)
+
+// Staged is a deferred-update view of the space inside an open critical
+// section: operations observe the real contents plus an overlay of the
+// mutations staged so far, and nothing touches the stores until Commit.
+// Dropping a Staged without committing discards every staged effect —
+// which is how atomic multi-operation submissions abort without an undo
+// log.
+//
+// Observational contract: a Staged fed a sequence of operations and
+// then committed is indistinguishable from applying the same operations
+// directly to the Tx one by one. In particular, matches are selected in
+// insertion order with staged inserts ordered after every stored tuple
+// (they would receive larger sequence numbers), and a staged removal
+// hides exactly the tuple a direct execution would have consumed.
+//
+// Like the Tx it wraps, a Staged is single-threaded and only valid
+// during the critical-section callback. Commit requires the shards the
+// staged mutations touch to be in the transaction's write set; a
+// Staged that only ever read commits nothing and is safe under DoRead.
+type Staged struct {
+	tx *Tx
+	// inserts holds the entries staged for insertion, in operation
+	// order — the order they will be stamped with fresh sequence
+	// numbers on commit.
+	inserts []tuple.Tuple
+	// removed holds the stored tuples consumed by staged destructive
+	// reads, in consumption order; removedSeqs indexes their sequence
+	// numbers so reads skip them.
+	removed     []SeqTuple
+	removedSeqs map[uint64]struct{}
+}
+
+// Stage opens a deferred-update view over the transaction.
+func (tx *Tx) Stage() *Staged {
+	return &Staged{tx: tx}
+}
+
+// overlayClean reports whether no mutation has been staged, enabling
+// the direct store fast paths.
+func (st *Staged) overlayClean() bool {
+	return len(st.inserts) == 0 && len(st.removed) == 0
+}
+
+func (st *Staged) isRemoved(seq uint64) bool {
+	_, ok := st.removedSeqs[seq]
+	return ok
+}
+
+// peekStored returns the earliest stored (non-staged-removed) match for
+// tmpl across the shards it routes to.
+func (st *Staged) peekStored(tmpl tuple.Tuple) (SeqTuple, bool) {
+	s := st.tx.s
+	if len(st.removedSeqs) == 0 {
+		// No staged removals: the store's own first match is the answer.
+		if idx, keyed := s.TemplateShard(tmpl); keyed || len(s.shards) == 1 {
+			t, seq, ok := s.shards[idx].store.Find(tmpl, false)
+			return SeqTuple{Seq: seq, T: t}, ok
+		}
+		var (
+			best  SeqTuple
+			found bool
+		)
+		for _, sh := range s.shards {
+			if t, seq, ok := sh.store.Find(tmpl, false); ok && (!found || seq < best.Seq) {
+				best, found = SeqTuple{Seq: seq, T: t}, true
+			}
+		}
+		return best, found
+	}
+	// Staged removals hide tuples: scan each routed shard's matches in
+	// order for the first survivor, then take the earliest across shards.
+	shards := s.shards
+	if idx, keyed := s.TemplateShard(tmpl); keyed {
+		shards = s.shards[idx : idx+1]
+	}
+	var (
+		best  SeqTuple
+		found bool
+	)
+	for _, sh := range shards {
+		for _, cand := range sh.store.FindAll(tmpl) {
+			if st.isRemoved(cand.Seq) {
+				continue
+			}
+			if !found || cand.Seq < best.Seq {
+				best, found = cand, true
+			}
+			break // per-shard lists are seq-sorted: first survivor is the shard's best
+		}
+	}
+	return best, found
+}
+
+// find returns the first match for tmpl in the staged view — stored
+// tuples first (they precede every staged insert in insertion order),
+// then staged inserts in staging order — consuming it when remove is
+// true.
+func (st *Staged) find(tmpl tuple.Tuple, remove bool) (tuple.Tuple, bool) {
+	if cand, ok := st.peekStored(tmpl); ok {
+		if remove {
+			if st.removedSeqs == nil {
+				st.removedSeqs = make(map[uint64]struct{}, 1)
+			}
+			st.removedSeqs[cand.Seq] = struct{}{}
+			st.removed = append(st.removed, cand)
+		}
+		return cand.T, true
+	}
+	for i, p := range st.inserts {
+		if tuple.Matches(p, tmpl) {
+			if remove {
+				st.inserts = append(st.inserts[:i], st.inserts[i+1:]...)
+			}
+			return p, true
+		}
+	}
+	return tuple.Tuple{}, false
+}
+
+// Out stages the insertion of entry t.
+func (st *Staged) Out(t tuple.Tuple) error {
+	if !t.IsEntry() {
+		return ErrNotEntry
+	}
+	st.inserts = append(st.inserts, t)
+	return nil
+}
+
+// Rdp returns the first tuple matching tmpl in the staged view.
+func (st *Staged) Rdp(tmpl tuple.Tuple) (tuple.Tuple, bool) {
+	return st.find(tmpl, false)
+}
+
+// Inp removes and returns the first tuple matching tmpl in the staged
+// view. Removal of a stored tuple is staged; removal of a staged insert
+// simply un-stages it.
+func (st *Staged) Inp(tmpl tuple.Tuple) (tuple.Tuple, bool) {
+	return st.find(tmpl, true)
+}
+
+// Cas performs the conditional atomic swap against the staged view.
+func (st *Staged) Cas(tmpl, t tuple.Tuple) (bool, tuple.Tuple, error) {
+	if !t.IsEntry() {
+		return false, tuple.Tuple{}, ErrNotEntry
+	}
+	if m, ok := st.find(tmpl, false); ok {
+		return false, m, nil
+	}
+	st.inserts = append(st.inserts, t)
+	return true, tuple.Tuple{}, nil
+}
+
+// RdAll returns every tuple matching tmpl in the staged view, in
+// insertion order (staged inserts last, in staging order).
+func (st *Staged) RdAll(tmpl tuple.Tuple) []tuple.Tuple {
+	s := st.tx.s
+	var stored []SeqTuple
+	if idx, keyed := s.TemplateShard(tmpl); keyed {
+		stored = s.shards[idx].store.FindAll(tmpl)
+	} else {
+		stored = s.mergeLocked(func(sto Store) []SeqTuple { return sto.FindAll(tmpl) })
+	}
+	var out []tuple.Tuple
+	for _, cand := range stored {
+		if !st.isRemoved(cand.Seq) {
+			out = append(out, cand.T)
+		}
+	}
+	for _, p := range st.inserts {
+		if tuple.Matches(p, tmpl) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Len returns the number of tuples in the staged view.
+func (st *Staged) Len() int {
+	return st.tx.Len() - len(st.removed) + len(st.inserts)
+}
+
+// CountMatching returns how many tuples match tmpl in the staged view.
+// It implements policy.StateView, so the reference monitor vets each
+// operation of a transaction against the state its predecessors
+// produced.
+func (st *Staged) CountMatching(tmpl tuple.Tuple) int {
+	n := st.tx.CountMatching(tmpl)
+	for _, r := range st.removed {
+		if tuple.Matches(r.T, tmpl) {
+			n--
+		}
+	}
+	for _, p := range st.inserts {
+		if tuple.Matches(p, tmpl) {
+			n++
+		}
+	}
+	return n
+}
+
+// ForEach visits the tuples of the staged view in insertion order until
+// fn returns false (policy.StateView).
+func (st *Staged) ForEach(fn func(tuple.Tuple) bool) {
+	if st.overlayClean() {
+		st.tx.s.forEachLocked(fn)
+		return
+	}
+	stopped := false
+	st.tx.s.forEachSeqLocked(func(cand SeqTuple) bool {
+		if st.isRemoved(cand.Seq) {
+			return true
+		}
+		if !fn(cand.T) {
+			stopped = true
+			return false
+		}
+		return true
+	})
+	if stopped {
+		return
+	}
+	for _, p := range st.inserts {
+		if !fn(p) {
+			return
+		}
+	}
+}
+
+// Commit applies the staged mutations to the space: consumed stored
+// tuples are removed and staged inserts are stamped with fresh sequence
+// numbers (waking matching waiters), in staging order. Every touched
+// shard must be in the transaction's write set. A Staged is spent after
+// Commit.
+func (st *Staged) Commit() {
+	s := st.tx.s
+	for _, r := range st.removed {
+		// An entry used as a template matches exactly its own value, and
+		// identical tuples are consumed in ascending sequence order both
+		// here and in the staged view, so Find removes precisely the
+		// tuple the overlay consumed.
+		sh := st.tx.writableShard(s.EntryShard(r.T))
+		if _, _, ok := sh.store.Find(r.T, true); !ok {
+			panic("space: staged removal lost its target")
+		}
+	}
+	for _, t := range st.inserts {
+		s.insertLocked(st.tx.writableShard(s.EntryShard(t)), t)
+	}
+	st.removed, st.removedSeqs, st.inserts = nil, nil, nil
+}

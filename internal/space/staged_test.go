@@ -1,0 +1,293 @@
+package space
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"peats/internal/tuple"
+)
+
+// stagedSpace builds a sharded space preloaded with the given entries.
+func stagedSpace(t *testing.T, e Engine, shards int, entries ...tuple.Tuple) *Space {
+	t.Helper()
+	s, err := NewSharded(e, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, entry := range entries {
+		if err := s.Out(entry); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s
+}
+
+func allShards() ShardSet {
+	var ws ShardSet
+	ws.AddAll()
+	return ws
+}
+
+// TestStagedOverlaySemantics pins the deferred-update view: staged
+// inserts are visible to later ops, staged removals hide stored tuples,
+// and nothing touches the store before Commit.
+func TestStagedOverlaySemantics(t *testing.T) {
+	ka := tuple.T(tuple.Str("K"), tuple.Int(1))
+	kb := tuple.T(tuple.Str("K"), tuple.Int(2))
+	kc := tuple.T(tuple.Str("K"), tuple.Int(3))
+	anyK := tuple.T(tuple.Str("K"), tuple.Any())
+
+	s := stagedSpace(t, EngineIndexed, 4, ka, kb)
+	s.DoScoped(allShards(), func(tx *Tx) {
+		st := tx.Stage()
+		// Stored tuples first, in insertion order.
+		if got, ok := st.Rdp(anyK); !ok || !got.Equal(ka) {
+			t.Fatalf("Rdp = %v %v, want %v", got, ok, ka)
+		}
+		// Staged insert becomes visible, after stored tuples.
+		if err := st.Out(kc); err != nil {
+			t.Fatal(err)
+		}
+		if got := st.RdAll(anyK); len(got) != 3 || !got[2].Equal(kc) {
+			t.Fatalf("RdAll with staged insert = %v", got)
+		}
+		if st.CountMatching(anyK) != 3 {
+			t.Fatalf("CountMatching = %d, want 3", st.CountMatching(anyK))
+		}
+		// Staged removal hides the earliest stored match...
+		if got, ok := st.Inp(anyK); !ok || !got.Equal(ka) {
+			t.Fatalf("Inp = %v %v, want %v", got, ok, ka)
+		}
+		if got, ok := st.Rdp(anyK); !ok || !got.Equal(kb) {
+			t.Fatalf("Rdp after staged removal = %v %v, want %v", got, ok, kb)
+		}
+		// ... and ForEach skips it while still showing the staged insert.
+		var seen []tuple.Tuple
+		st.ForEach(func(u tuple.Tuple) bool { seen = append(seen, u); return true })
+		if len(seen) != 2 || !seen[0].Equal(kb) || !seen[1].Equal(kc) {
+			t.Fatalf("ForEach = %v", seen)
+		}
+		if st.Len() != 2 {
+			t.Fatalf("Len = %d, want 2", st.Len())
+		}
+		// Consuming a staged insert un-stages it.
+		if got, ok := st.Inp(tuple.T(tuple.Str("K"), tuple.Int(3))); !ok || !got.Equal(kc) {
+			t.Fatalf("Inp staged insert = %v %v", got, ok)
+		}
+		// The store itself is untouched so far.
+		if tx.Len() != 2 {
+			t.Fatalf("store mutated before commit: len %d", tx.Len())
+		}
+		st.Commit()
+	})
+	// After commit: ka consumed, kb remains, kc was staged then consumed.
+	left := s.Snapshot()
+	if len(left) != 1 || !left[0].Equal(kb) {
+		t.Fatalf("post-commit contents = %v, want [%v]", left, kb)
+	}
+}
+
+// TestStagedDropDiscardsEffects: a Staged dropped without Commit leaves
+// the space bit-identical — the abort path of atomic submissions.
+func TestStagedDropDiscardsEffects(t *testing.T) {
+	for _, e := range Engines() {
+		for _, shards := range []int{1, 4} {
+			a := tuple.T(tuple.Str("A"), tuple.Int(1))
+			b := tuple.T(tuple.Str("B"), tuple.Int(2))
+			s := stagedSpace(t, e, shards, a, b)
+			before := s.Snapshot()
+			s.DoScoped(allShards(), func(tx *Tx) {
+				st := tx.Stage()
+				if _, ok := st.Inp(tuple.T(tuple.Str("A"), tuple.Any())); !ok {
+					t.Fatal("staged inp missed")
+				}
+				if err := st.Out(tuple.T(tuple.Str("C"), tuple.Int(3))); err != nil {
+					t.Fatal(err)
+				}
+				// No Commit: everything staged must vanish.
+			})
+			if !reflect.DeepEqual(before, s.Snapshot()) {
+				t.Fatalf("%s/%d shards: abort mutated the space: %v -> %v",
+					e, shards, before, s.Snapshot())
+			}
+		}
+	}
+}
+
+// TestStagedIdenticalTuplesConsumeInOrder: identical stored tuples are
+// consumed in ascending insertion order through the staged view, so the
+// commit-time by-value removal deletes exactly the overlay's choice.
+func TestStagedIdenticalTuplesConsumeInOrder(t *testing.T) {
+	dup := tuple.T(tuple.Str("D"))
+	marker := tuple.T(tuple.Str("M"))
+	// Insertion order: dup, marker, dup.
+	s := stagedSpace(t, EngineIndexed, 4, dup, marker, dup)
+	s.DoScoped(allShards(), func(tx *Tx) {
+		st := tx.Stage()
+		if _, ok := st.Inp(tuple.T(tuple.Str("D"))); !ok {
+			t.Fatal("first dup not found")
+		}
+		st.Commit()
+	})
+	// The FIRST dup must be gone: insertion order is now marker, dup.
+	snap := s.Snapshot()
+	if len(snap) != 2 || !snap[0].Equal(marker) || !snap[1].Equal(dup) {
+		t.Fatalf("post-commit order = %v, want [%v %v]", snap, marker, dup)
+	}
+}
+
+// TestStagedCommitWakesWaiters: entries committed from a staged unit
+// reach parked blocking readers exactly like direct Out.
+func TestStagedCommitWakesWaiters(t *testing.T) {
+	s := stagedSpace(t, EngineIndexed, 4)
+	got := make(chan tuple.Tuple, 1)
+	go func() {
+		u, err := s.Rd(t.Context(), tuple.T(tuple.Str("W"), tuple.Any()))
+		if err != nil {
+			t.Error(err)
+		}
+		got <- u
+	}()
+	entry := tuple.T(tuple.Str("W"), tuple.Int(9))
+	for {
+		// Retry until the waiter is registered and served.
+		s.DoScoped(allShards(), func(tx *Tx) {
+			st := tx.Stage()
+			if err := st.Out(entry); err != nil {
+				t.Error(err)
+			}
+			st.Commit()
+		})
+		select {
+		case u := <-got:
+			if !u.Equal(entry) {
+				t.Fatalf("waiter got %v", u)
+			}
+			return
+		default:
+			// The waiter may not have parked yet and the entry may have
+			// been stored; consume it and retry.
+			if _, ok := s.Inp(tuple.T(tuple.Str("W"), tuple.Any())); !ok {
+				// Delivered to the waiter; loop to the select.
+				u := <-got
+				if !u.Equal(entry) {
+					t.Fatalf("waiter got %v", u)
+				}
+				return
+			}
+		}
+	}
+}
+
+// randTupleFor returns a random entry from a small domain, so staged
+// and direct executions collide often.
+func randTupleFor(r *rand.Rand) tuple.Tuple {
+	tags := []string{"A", "B", "C"}
+	return tuple.T(
+		tuple.Str(tags[r.Intn(len(tags))]),
+		tuple.Int(int64(r.Intn(3))),
+	)
+}
+
+func randTemplateFor(r *rand.Rand) tuple.Tuple {
+	if r.Intn(3) == 0 { // wildcard-first: crosses shards
+		return tuple.T(tuple.Any(), tuple.Int(int64(r.Intn(3))))
+	}
+	u := randTupleFor(r)
+	if r.Intn(2) == 0 {
+		return tuple.T(u.Field(0), tuple.Any())
+	}
+	return u
+}
+
+// TestStagedMatchesDirectExecution is the staged-layer parity property:
+// a committed staged unit is indistinguishable from applying the same
+// operations directly to the transaction, op by op — per-op outcomes
+// and final contents alike — on both engines at several shard counts.
+func TestStagedMatchesDirectExecution(t *testing.T) {
+	for _, e := range Engines() {
+		for _, shards := range []int{1, 4, 16} {
+			t.Run(fmt.Sprintf("%s/%d", e, shards), func(t *testing.T) {
+				r := rand.New(rand.NewSource(int64(42 + shards)))
+				direct, err := NewSharded(e, shards)
+				if err != nil {
+					t.Fatal(err)
+				}
+				staged, err := NewSharded(e, shards)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for round := 0; round < 60; round++ {
+					n := 1 + r.Intn(6)
+					type opRec struct {
+						kind       int
+						tmpl, prev tuple.Tuple
+					}
+					ops := make([]opRec, n)
+					for i := range ops {
+						ops[i] = opRec{kind: r.Intn(5), tmpl: randTemplateFor(r), prev: randTupleFor(r)}
+					}
+					var directOut, stagedOut []string
+					direct.DoScoped(allShards(), func(tx *Tx) {
+						for _, op := range ops {
+							directOut = append(directOut, applyDirect(tx, op.kind, op.tmpl, op.prev))
+						}
+					})
+					staged.DoScoped(allShards(), func(tx *Tx) {
+						st := tx.Stage()
+						for _, op := range ops {
+							stagedOut = append(stagedOut, applyStagedOp(st, op.kind, op.tmpl, op.prev))
+						}
+						st.Commit()
+					})
+					if !reflect.DeepEqual(directOut, stagedOut) {
+						t.Fatalf("round %d: outcomes diverge\ndirect: %v\nstaged: %v",
+							round, directOut, stagedOut)
+					}
+					a, b := direct.Snapshot(), staged.Snapshot()
+					if !reflect.DeepEqual(a, b) {
+						t.Fatalf("round %d: contents diverge\ndirect: %v\nstaged: %v", round, a, b)
+					}
+				}
+			})
+		}
+	}
+}
+
+func applyDirect(tx *Tx, kind int, tmpl, entry tuple.Tuple) string {
+	switch kind {
+	case 0:
+		return fmt.Sprint("out:", tx.Out(entry))
+	case 1:
+		u, ok := tx.Rdp(tmpl)
+		return fmt.Sprint("rdp:", u, ok)
+	case 2:
+		u, ok := tx.Inp(tmpl)
+		return fmt.Sprint("inp:", u, ok)
+	case 3:
+		ins, m, err := tx.Cas(tmpl, entry)
+		return fmt.Sprint("cas:", ins, m, err)
+	default:
+		return fmt.Sprint("rdall:", tx.RdAll(tmpl))
+	}
+}
+
+func applyStagedOp(st *Staged, kind int, tmpl, entry tuple.Tuple) string {
+	switch kind {
+	case 0:
+		return fmt.Sprint("out:", st.Out(entry))
+	case 1:
+		u, ok := st.Rdp(tmpl)
+		return fmt.Sprint("rdp:", u, ok)
+	case 2:
+		u, ok := st.Inp(tmpl)
+		return fmt.Sprint("inp:", u, ok)
+	case 3:
+		ins, m, err := st.Cas(tmpl, entry)
+		return fmt.Sprint("cas:", ins, m, err)
+	default:
+		return fmt.Sprint("rdall:", st.RdAll(tmpl))
+	}
+}

@@ -20,28 +20,111 @@ type SpaceOp struct {
 // EncodeSpaceOp returns the canonical encoding of op.
 func EncodeSpaceOp(op SpaceOp) []byte {
 	w := NewWriter()
+	appendSpaceOp(w, op)
+	return w.Data()
+}
+
+func appendSpaceOp(w *Writer, op SpaceOp) {
 	w.Byte(byte(op.Op))
 	w.Tuple(op.Template)
 	w.Tuple(op.Entry)
-	return w.Data()
+}
+
+// readSpaceOp parses one operation body (no EOF check, so the caller
+// can read several in sequence).
+func readSpaceOp(r *Reader) (SpaceOp, error) {
+	op := SpaceOp{Op: policy.Op(r.Byte())}
+	op.Template = r.Tuple()
+	op.Entry = r.Tuple()
+	if err := r.Err(); err != nil {
+		return SpaceOp{}, err
+	}
+	switch op.Op {
+	case policy.OpOut, policy.OpRdp, policy.OpInp, policy.OpCas, policy.OpRdAll:
+	default:
+		return SpaceOp{}, fmt.Errorf("unsupported op %v", op.Op)
+	}
+	return op, nil
 }
 
 // DecodeSpaceOp parses an encoded operation.
 func DecodeSpaceOp(b []byte) (SpaceOp, error) {
 	r := NewReader(b)
-	op := SpaceOp{Op: policy.Op(r.Byte())}
-	op.Template = r.Tuple()
-	op.Entry = r.Tuple()
+	op, err := readSpaceOp(r)
+	if err != nil {
+		return SpaceOp{}, fmt.Errorf("decode space op: %w", err)
+	}
 	r.ExpectEOF()
 	if err := r.Err(); err != nil {
 		return SpaceOp{}, fmt.Errorf("decode space op: %w", err)
 	}
-	switch op.Op {
-	case policy.OpOut, policy.OpRdp, policy.OpInp, policy.OpCas, policy.OpRdAll:
-	default:
-		return SpaceOp{}, fmt.Errorf("decode space op: unsupported op %v", op.Op)
-	}
 	return op, nil
+}
+
+// spaceTxTag is the leading byte of an encoded SpaceTx. It is disjoint
+// from every policy.Op value, so a request payload self-describes as a
+// single operation or a transaction.
+const spaceTxTag = 0xF5
+
+// MaxTxOps bounds the operations decoded per transaction, so a
+// Byzantine client cannot force huge allocations on every replica.
+const MaxTxOps = 1 << 10
+
+// SpaceTx is an ordered list of tuple-space operations submitted for
+// execution as one atomic unit: every replica decodes the list, vets
+// each operation through the reference monitor against the state the
+// preceding operations produced, and executes the whole list in one
+// space critical section, replying with one SpaceResult per operation.
+type SpaceTx struct {
+	Ops []SpaceOp
+}
+
+// EncodeSpaceTx returns the canonical encoding of tx.
+func EncodeSpaceTx(tx SpaceTx) []byte {
+	w := NewWriter()
+	w.Byte(spaceTxTag)
+	w.Uvarint(uint64(len(tx.Ops)))
+	for _, op := range tx.Ops {
+		appendSpaceOp(w, op)
+	}
+	return w.Data()
+}
+
+// IsSpaceTx reports whether b carries an encoded SpaceTx (as opposed to
+// a single SpaceOp).
+func IsSpaceTx(b []byte) bool {
+	return len(b) > 0 && b[0] == spaceTxTag
+}
+
+// DecodeSpaceTx parses an encoded transaction.
+func DecodeSpaceTx(b []byte) (SpaceTx, error) {
+	r := NewReader(b)
+	if r.Byte() != spaceTxTag {
+		return SpaceTx{}, fmt.Errorf("decode space tx: missing tag")
+	}
+	count := r.Uvarint()
+	if count == 0 {
+		if err := r.Err(); err != nil {
+			return SpaceTx{}, fmt.Errorf("decode space tx: %w", err)
+		}
+		return SpaceTx{}, fmt.Errorf("decode space tx: empty transaction")
+	}
+	if count > MaxTxOps {
+		return SpaceTx{}, fmt.Errorf("decode space tx: %d ops", count)
+	}
+	tx := SpaceTx{Ops: make([]SpaceOp, 0, count)}
+	for i := uint64(0); i < count; i++ {
+		op, err := readSpaceOp(r)
+		if err != nil {
+			return SpaceTx{}, fmt.Errorf("decode space tx: op %d: %w", i, err)
+		}
+		tx.Ops = append(tx.Ops, op)
+	}
+	r.ExpectEOF()
+	if err := r.Err(); err != nil {
+		return SpaceTx{}, fmt.Errorf("decode space tx: %w", err)
+	}
+	return tx, nil
 }
 
 // Status of an executed space operation.
@@ -49,9 +132,10 @@ type Status uint8
 
 // Space-operation statuses.
 const (
-	StatusOK     Status = iota + 1 // executed
-	StatusDenied                   // rejected by the reference monitor
-	StatusError                    // malformed operation
+	StatusOK      Status = iota + 1 // executed
+	StatusDenied                    // rejected by the reference monitor
+	StatusError                     // malformed operation
+	StatusSkipped                   // not executed: an earlier op aborted the transaction
 )
 
 // SpaceResult is the deterministic outcome of a SpaceOp, produced
@@ -68,6 +152,11 @@ type SpaceResult struct {
 // EncodeSpaceResult returns the canonical encoding of res.
 func EncodeSpaceResult(res SpaceResult) []byte {
 	w := NewWriter()
+	appendSpaceResult(w, res)
+	return w.Data()
+}
+
+func appendSpaceResult(w *Writer, res SpaceResult) {
 	w.Byte(byte(res.Status))
 	w.Bool(res.Inserted)
 	w.Bool(res.Found)
@@ -77,30 +166,74 @@ func EncodeSpaceResult(res SpaceResult) []byte {
 		w.Tuple(t)
 	}
 	w.String(res.Detail)
-	return w.Data()
 }
 
-// DecodeSpaceResult parses an encoded result.
-func DecodeSpaceResult(b []byte) (SpaceResult, error) {
-	r := NewReader(b)
+// readSpaceResult parses one result body (no EOF check).
+func readSpaceResult(r *Reader) (SpaceResult, error) {
 	res := SpaceResult{Status: Status(r.Byte())}
 	res.Inserted = r.Bool()
 	res.Found = r.Bool()
 	res.Tuple = r.Tuple()
 	count := r.Uvarint()
 	if count > 1<<20 {
-		return SpaceResult{}, fmt.Errorf("decode space result: %d tuples", count)
+		return SpaceResult{}, fmt.Errorf("%d tuples", count)
 	}
 	for i := uint64(0); i < count; i++ {
 		res.Tuples = append(res.Tuples, r.Tuple())
 	}
 	res.Detail = r.String()
+	if err := r.Err(); err != nil {
+		return SpaceResult{}, err
+	}
+	if res.Status < StatusOK || res.Status > StatusSkipped {
+		return SpaceResult{}, fmt.Errorf("bad status %d", res.Status)
+	}
+	return res, nil
+}
+
+// DecodeSpaceResult parses an encoded result.
+func DecodeSpaceResult(b []byte) (SpaceResult, error) {
+	r := NewReader(b)
+	res, err := readSpaceResult(r)
+	if err != nil {
+		return SpaceResult{}, fmt.Errorf("decode space result: %w", err)
+	}
 	r.ExpectEOF()
 	if err := r.Err(); err != nil {
 		return SpaceResult{}, fmt.Errorf("decode space result: %w", err)
 	}
-	if res.Status < StatusOK || res.Status > StatusError {
-		return SpaceResult{}, fmt.Errorf("decode space result: bad status %d", res.Status)
-	}
 	return res, nil
+}
+
+// EncodeSpaceResults returns the canonical encoding of a transaction's
+// per-operation result vector.
+func EncodeSpaceResults(rs []SpaceResult) []byte {
+	w := NewWriter()
+	w.Uvarint(uint64(len(rs)))
+	for _, res := range rs {
+		appendSpaceResult(w, res)
+	}
+	return w.Data()
+}
+
+// DecodeSpaceResults parses an encoded result vector.
+func DecodeSpaceResults(b []byte) ([]SpaceResult, error) {
+	r := NewReader(b)
+	count := r.Uvarint()
+	if count > MaxTxOps {
+		return nil, fmt.Errorf("decode space results: %d results", count)
+	}
+	rs := make([]SpaceResult, 0, count)
+	for i := uint64(0); i < count; i++ {
+		res, err := readSpaceResult(r)
+		if err != nil {
+			return nil, fmt.Errorf("decode space results: result %d: %w", i, err)
+		}
+		rs = append(rs, res)
+	}
+	r.ExpectEOF()
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("decode space results: %w", err)
+	}
+	return rs, nil
 }

@@ -1,0 +1,117 @@
+package wire
+
+import (
+	"testing"
+
+	"peats/internal/policy"
+	"peats/internal/tuple"
+)
+
+// sameResult compares results semantically: a decoded zero tuple has an
+// empty (non-nil) field slice, so struct equality is too strict.
+func sameResult(a, b SpaceResult) bool {
+	if a.Status != b.Status || a.Inserted != b.Inserted || a.Found != b.Found ||
+		a.Detail != b.Detail || !a.Tuple.Equal(b.Tuple) || len(a.Tuples) != len(b.Tuples) {
+		return false
+	}
+	for i := range a.Tuples {
+		if !a.Tuples[i].Equal(b.Tuples[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func sampleOps() []SpaceOp {
+	return []SpaceOp{
+		{Op: policy.OpOut, Entry: tuple.T(tuple.Str("A"), tuple.Int(1))},
+		{Op: policy.OpRdp, Template: tuple.T(tuple.Str("A"), tuple.Formal("v"))},
+		{Op: policy.OpInp, Template: tuple.T(tuple.Any(), tuple.Int(2))},
+		{Op: policy.OpCas,
+			Template: tuple.T(tuple.Str("D"), tuple.Any()),
+			Entry:    tuple.T(tuple.Str("D"), tuple.Bool(true))},
+		{Op: policy.OpRdAll, Template: tuple.T(tuple.Str("A"), tuple.Any())},
+	}
+}
+
+func TestSpaceTxRoundTrip(t *testing.T) {
+	tx := SpaceTx{Ops: sampleOps()}
+	b := EncodeSpaceTx(tx)
+	if !IsSpaceTx(b) {
+		t.Fatal("encoded tx not recognised")
+	}
+	got, err := DecodeSpaceTx(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Ops) != len(tx.Ops) {
+		t.Fatalf("%d ops, want %d", len(got.Ops), len(tx.Ops))
+	}
+	for i := range tx.Ops {
+		if got.Ops[i].Op != tx.Ops[i].Op ||
+			!got.Ops[i].Template.Equal(tx.Ops[i].Template) ||
+			!got.Ops[i].Entry.Equal(tx.Ops[i].Entry) {
+			t.Errorf("op %d: %+v != %+v", i, got.Ops[i], tx.Ops[i])
+		}
+	}
+	// A single-op encoding must NOT look like a tx.
+	if IsSpaceTx(EncodeSpaceOp(sampleOps()[0])) {
+		t.Error("single op misidentified as tx")
+	}
+}
+
+func TestSpaceTxDecodeRejections(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":         {},
+		"tag only":      {0xF5},
+		"zero ops":      {0xF5, 0x00},
+		"huge count":    {0xF5, 0xFF, 0xFF, 0xFF, 0x7F},
+		"truncated op":  append([]byte{0xF5, 0x01}, 0x01),
+		"bad op code":   EncodeSpaceTx(SpaceTx{Ops: []SpaceOp{{Op: policy.OpRd}}}),
+		"trailing junk": append(EncodeSpaceTx(SpaceTx{Ops: sampleOps()[:1]}), 0xAA),
+	}
+	for name, b := range cases {
+		if _, err := DecodeSpaceTx(b); err == nil {
+			t.Errorf("%s: decode accepted %x", name, b)
+		}
+	}
+}
+
+func TestSpaceResultsRoundTrip(t *testing.T) {
+	rs := []SpaceResult{
+		{Status: StatusOK, Found: true, Tuple: tuple.T(tuple.Str("A"), tuple.Int(1))},
+		{Status: StatusOK, Inserted: true},
+		{Status: StatusOK, Found: true, Tuples: []tuple.Tuple{
+			tuple.T(tuple.Int(1)), tuple.T(tuple.Int(2)),
+		}},
+		{Status: StatusDenied, Detail: "p: inp(<*>) [tx 4/5]"},
+		{Status: StatusSkipped},
+	}
+	got, err := DecodeSpaceResults(EncodeSpaceResults(rs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(rs) {
+		t.Fatalf("%d results, want %d", len(got), len(rs))
+	}
+	for i := range rs {
+		if !sameResult(got[i], rs[i]) {
+			t.Errorf("result %d: %+v != %+v", i, got[i], rs[i])
+		}
+	}
+	// Empty vectors survive too (not produced by replicas, but the
+	// codec must be total on its own output).
+	if got, err := DecodeSpaceResults(EncodeSpaceResults(nil)); err != nil || len(got) != 0 {
+		t.Fatalf("empty vector: %v %v", got, err)
+	}
+}
+
+func TestSpaceResultStatusValidation(t *testing.T) {
+	bad := EncodeSpaceResult(SpaceResult{Status: Status(9)})
+	if _, err := DecodeSpaceResult(bad); err == nil {
+		t.Error("status 9 accepted")
+	}
+	if _, err := DecodeSpaceResult(EncodeSpaceResult(SpaceResult{Status: StatusSkipped})); err != nil {
+		t.Errorf("skipped status rejected: %v", err)
+	}
+}

@@ -97,9 +97,48 @@ type (
 	TupleSpace = ipeats.TupleSpace
 )
 
+// Operations-as-values re-exports: Op values built with OutOp, RdpOp,
+// InpOp, CasOp and RdAllOp execute — alone or as an atomic
+// multi-operation unit — through TupleSpace.Submit, which returns one
+// Result per op. A multi-op submission is all-or-nothing: it executes
+// inside one critical section (locally) or one agreement round
+// (replicated), each op vetted by the reference monitor against the
+// state its predecessors produced, and aborts without effect when an op
+// is denied, malformed, or an InpOp finds no match (ErrAborted).
+type (
+	// Op is one tuple-space operation as a first-class value.
+	Op = ipeats.Op
+	// Result is the outcome of one submitted operation: matched tuple,
+	// found/inserted flags, and formal-field Bindings.
+	Result = ipeats.Result
+	// DeniedError carries the reference monitor's denial detail; it
+	// satisfies errors.Is(err, ErrDenied) on both realisations.
+	DeniedError = ipeats.DeniedError
+)
+
+// Op constructors (see package peats/internal/peats).
+var (
+	// OutOp stages the insertion of an entry.
+	OutOp = ipeats.OutOp
+	// RdpOp stages a non-destructive non-blocking read.
+	RdpOp = ipeats.RdpOp
+	// InpOp stages a destructive non-blocking read; inside a multi-op
+	// submission a miss aborts the whole unit.
+	InpOp = ipeats.InpOp
+	// CasOp stages the conditional atomic swap.
+	CasOp = ipeats.CasOp
+	// RdAllOp stages the bulk non-destructive read.
+	RdAllOp = ipeats.RdAllOp
+)
+
 // ErrDenied is returned when the reference monitor rejects an
 // invocation.
 var ErrDenied = ipeats.ErrDenied
+
+// ErrAborted is returned (wrapped) when a multi-op submission aborts
+// because a destructive read found no match; no operation of the unit
+// takes effect.
+var ErrAborted = ipeats.ErrAborted
 
 // StoreEngine selects the tuple-storage engine backing a space. The
 // zero value selects the default engine (IndexedStore).
@@ -121,10 +160,11 @@ const (
 type Option func(*options)
 
 type options struct {
-	engine     StoreEngine
-	shards     int
-	batchSize  int
-	batchDelay time.Duration
+	engine       StoreEngine
+	shards       int
+	batchSize    int
+	batchDelay   time.Duration
+	pollInterval time.Duration
 }
 
 // WithStore selects the tuple-storage engine. Both engines implement
@@ -161,6 +201,15 @@ func WithBatchSize(n int) Option {
 // delay never costs latency at low load.
 func WithBatchDelay(d time.Duration) Option {
 	return func(o *options) { o.batchDelay = d }
+}
+
+// WithPollInterval sets the floor of the jittered exponential backoff
+// replicated handles use to poll blocking Rd/In (ClusterSpace only,
+// default 5ms; each miss doubles the delay up to the handle's
+// PollMaxInterval cap, and a floor at or above the cap polls at the
+// constant floor). Lower values trade replica load for wake-up latency.
+func WithPollInterval(d time.Duration) Option {
+	return func(o *options) { o.pollInterval = d }
 }
 
 func buildOptions(opts []Option) options {
@@ -237,7 +286,13 @@ func NewLocalCluster(f int, pol Policy, opts ...Option) (*Cluster, error) {
 }
 
 // ClusterSpace returns a TupleSpace handle on the replicated PEATS for
-// the given authenticated process identity.
-func ClusterSpace(c *Cluster, id ProcessID) *RemoteSpace {
-	return bft.NewRemoteSpace(c.Client(string(id)))
+// the given authenticated process identity. WithPollInterval tunes the
+// handle's blocking-read polling without reaching into bft.RemoteSpace.
+func ClusterSpace(c *Cluster, id ProcessID, opts ...Option) *RemoteSpace {
+	o := buildOptions(opts)
+	rs := bft.NewRemoteSpace(c.Client(string(id)))
+	if o.pollInterval > 0 {
+		rs.PollInterval = o.pollInterval
+	}
+	return rs
 }

@@ -84,6 +84,69 @@ Rrdp: allow rdp
 	}
 }
 
+// TestFacadeSubmitTx exercises the ops-as-values API end to end through
+// the public surface, locally and replicated, including the poll-floor
+// option on cluster handles.
+func TestFacadeSubmitTx(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	// Local: multi-key test-and-set — claim two keys or neither.
+	s := NewSpace(AllowAll(), WithShards(8))
+	h := s.Handle("p")
+	for _, k := range []string{"k1", "k2"} {
+		if err := h.Out(ctx, T(Str("free"), Str(k))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := h.Submit(ctx,
+		InpOp(T(Str("free"), Str("k1"))),
+		InpOp(T(Str("free"), Str("k2"))),
+		OutOp(T(Str("lock"), Str("p"))),
+	); err != nil {
+		t.Fatal(err)
+	}
+	// Second claim aborts atomically — the lock tuple is not duplicated.
+	_, err := h.Submit(ctx,
+		InpOp(T(Str("free"), Str("k1"))),
+		InpOp(T(Str("free"), Str("k2"))),
+		OutOp(T(Str("lock"), Str("p"))),
+	)
+	if !errors.Is(err, ErrAborted) {
+		t.Fatalf("second claim err = %v, want ErrAborted", err)
+	}
+	if locks, _ := h.RdAll(ctx, T(Str("lock"), Any())); len(locks) != 1 {
+		t.Fatalf("lock tuples = %v, want 1", locks)
+	}
+
+	// Replicated, through ClusterSpace with a tuned poll floor.
+	cluster, err := NewLocalCluster(1, AllowAll(), WithShards(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Stop()
+	ts := ClusterSpace(cluster, "p1", WithPollInterval(time.Millisecond))
+	if ts.PollInterval != time.Millisecond {
+		t.Errorf("WithPollInterval not applied: %v", ts.PollInterval)
+	}
+	if err := ts.Out(ctx, T(Str("Q"), Int(1))); err != nil {
+		t.Fatal(err)
+	}
+	res, err := ts.Submit(ctx,
+		InpOp(T(Str("Q"), Formal("v"))),
+		OutOp(T(Str("Q2"), Int(1))),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := res[0].Bindings["v"].IntValue(); v != 1 {
+		t.Errorf("bindings = %v", res[0].Bindings)
+	}
+	if _, ok, _ := ts.Rdp(ctx, T(Str("Q2"), Any())); !ok {
+		t.Error("replicated transfer lost the tuple")
+	}
+}
+
 // TestFacadeStoreEngines exercises the WithStore option end to end:
 // each engine drives a local space through the full monitor path, and
 // a replicated cluster runs on the reference engine, proving the
