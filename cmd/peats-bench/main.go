@@ -10,6 +10,7 @@
 //	peats-bench -table agreement   agreement layer: batched vs unbatched, read-only vs ordered
 //	peats-bench -table shards      sharded space: fast-path reads under write contention per shard count
 //	peats-bench -table tx          atomic k-op transactions vs k sequential round trips
+//	peats-bench -table durable     WAL group-commit vs fsync-per-op, recovery time vs WAL length
 //	peats-bench -table all         everything
 //
 // The agreement table additionally writes a machine-readable report to
@@ -36,7 +37,7 @@ import (
 // knownTables lists every -table value, in print order for "all".
 var knownTables = []string{
 	"bits", "ops", "resilience", "kvalued", "ablation", "stores",
-	"agreement", "shards", "tx", "all",
+	"agreement", "shards", "tx", "durable", "all",
 }
 
 func main() {
@@ -63,6 +64,9 @@ func main() {
 		txRounds   = flag.Int("tx-rounds", 0, "tx table: units per mode (default 16)")
 		txGroups   = flag.String("tx-groups", "", "tx table: comma-separated fault bounds f (default 1,2)")
 		txJSONPath = flag.String("tx-json", "BENCH_tx.json", "tx table: machine-readable report path ('' disables)")
+		durOps     = flag.Int("dur-ops", 0, "durable table: committed units per fsync-policy measurement (default 2000)")
+		durWALs    = flag.String("dur-wals", "", "durable table: comma-separated WAL lengths for the recovery sweep (default 1000,5000,20000)")
+		durJSON    = flag.String("durable-json", "BENCH_durable.json", "durable table: machine-readable report path ('' disables)")
 	)
 	flag.Parse()
 	agree := bench.AgreementConfig{
@@ -80,6 +84,7 @@ func main() {
 		agree: agree, agreeJSON: *jsonPath,
 		shards: shards, shardsJSON: *shJSONPath,
 		tx: tx, txGroups: *txGroups, txJSON: *txJSONPath,
+		durable: bench.DurableConfig{Ops: *durOps}, durWALs: *durWALs, durableJSON: *durJSON,
 	}
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "peats-bench:", err)
@@ -97,6 +102,8 @@ type benchConfig struct {
 	shardsJSON              string
 	tx                      bench.TxConfig
 	txGroups, txJSON        string
+	durable                 bench.DurableConfig
+	durWALs, durableJSON    string
 }
 
 func run(cfg benchConfig) error {
@@ -223,6 +230,26 @@ func run(cfg benchConfig) error {
 				return err
 			}
 			fmt.Printf("wrote %s\n", cfg.txJSON)
+		}
+		fmt.Println()
+	}
+	if want("durable") {
+		fmt.Println("Durability — WAL commit throughput per fsync policy, recovery time vs WAL length:")
+		if cfg.durWALs != "" {
+			if cfg.durable.WALLens, err = parseInts(cfg.durWALs); err != nil {
+				return fmt.Errorf("-dur-wals: %w", err)
+			}
+		}
+		rows, err := bench.DurableTable(cfg.durable)
+		if err != nil {
+			return err
+		}
+		bench.WriteDurableTable(os.Stdout, rows)
+		if cfg.durableJSON != "" {
+			if err := bench.WriteDurableJSON(cfg.durableJSON, rows); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", cfg.durableJSON)
 		}
 		fmt.Println()
 	}

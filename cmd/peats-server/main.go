@@ -26,6 +26,7 @@ import (
 	"peats/internal/auth"
 	"peats/internal/bft"
 	"peats/internal/consensus"
+	"peats/internal/durable"
 	"peats/internal/policy"
 	"peats/internal/space"
 	"peats/internal/transport"
@@ -41,7 +42,9 @@ func main() {
 		master     = flag.String("master", "", "shared master secret for pairwise keys")
 		polName    = flag.String("policy", "allow-all", "access policy: allow-all|weak|strong:<n>,<t>|lockfree")
 		clients    = flag.String("clients", "", "comma-separated client identities to provision keys for")
-		engine     = flag.String("store", "", "tuple-store engine: slice|indexed (default indexed)")
+		engine     = flag.String("store", "", "tuple-store engine: slice|indexed|durable (default indexed; durable needs -data-dir)")
+		dataDir    = flag.String("data-dir", "", "durable engine data directory (selects -store durable): WAL + snapshots, recovered on restart")
+		fsync      = flag.String("fsync", "interval", "durable engine fsync policy: always (per batch) | interval (group commit) | never")
 		shards     = flag.Int("shards", 1, "space shards: per-shard locking lets reads and writes on different shards run concurrently (1-64)")
 		batch      = flag.Int("batch", 64, "max client requests ordered per agreement round (1 = unbatched)")
 		batchDelay = flag.Duration("batch-delay", 2*time.Millisecond, "max time the primary holds a non-full batch while the pipeline is busy")
@@ -51,6 +54,7 @@ func main() {
 	if err := run(serverConfig{
 		id: *id, listen: *listen, peers: *peers, clients: *clients,
 		master: *master, polName: *polName, engine: *engine,
+		dataDir: *dataDir, fsync: *fsync,
 		f: *fFlag, shards: *shards, batch: *batch, batchDelay: *batchDelay,
 		verbose: *verbose,
 	}); err != nil {
@@ -61,6 +65,7 @@ func main() {
 
 type serverConfig struct {
 	id, listen, peers, clients, master, polName, engine string
+	dataDir, fsync                                      string
 	f, shards, batch                                    int
 	batchDelay                                          time.Duration
 	verbose                                             bool
@@ -103,9 +108,35 @@ func run(cfg serverConfig) error {
 	}
 	defer tr.Close()
 
-	svc, err := bft.NewSpaceServiceWithConfig(pol, space.Engine(cfg.engine), cfg.shards)
-	if err != nil {
-		return err
+	var (
+		svc *bft.SpaceService
+		db  *durable.DB
+	)
+	if cfg.dataDir != "" || cfg.engine == string(space.EngineDurable) {
+		if cfg.dataDir == "" {
+			return fmt.Errorf("-store durable needs -data-dir")
+		}
+		db, err = durable.Open(durable.Options{
+			Dir:  cfg.dataDir,
+			Sync: durable.SyncPolicy(cfg.fsync),
+			// The replica compacts at full checkpoints itself.
+			AutoCompactBytes: -1,
+		})
+		if err != nil {
+			return err
+		}
+		defer db.Close()
+		svc, err = bft.NewDurableSpaceService(pol, db, cfg.shards)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("recovered %d tuples up to agreement seq %d from %s\n",
+			len(db.Recovered().Tuples), db.Recovered().UnitSeq, cfg.dataDir)
+	} else {
+		svc, err = bft.NewSpaceServiceWithConfig(pol, space.Engine(cfg.engine), cfg.shards)
+		if err != nil {
+			return err
+		}
 	}
 
 	var logger *log.Logger
@@ -127,14 +158,30 @@ func run(cfg serverConfig) error {
 		return err
 	}
 	rep.Start()
-	defer rep.Stop()
-	fmt.Printf("replica %s serving on %s (group %v, f=%d, policy %s, batch %d, shards %d)\n",
-		cfg.id, tr.Addr(), replicaIDs, cfg.f, cfg.polName, cfg.batch, svc.Space().Shards())
+	fmt.Printf("replica %s serving on %s (group %v, f=%d, policy %s, batch %d, shards %d, store %s)\n",
+		cfg.id, tr.Addr(), replicaIDs, cfg.f, cfg.polName, cfg.batch, svc.Space().Shards(), svc.Space().Engine())
 
-	sig := make(chan os.Signal, 1)
+	// Graceful shutdown: the first SIGINT/SIGTERM stops ordering and
+	// execution, closes the transport, and flushes and closes the WAL
+	// (the deferred db.Close reports any final I/O error); a second
+	// signal aborts immediately.
+	sig := make(chan os.Signal, 2)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	fmt.Println("shutting down")
+	fmt.Println("shutting down: draining replica and flushing the log")
+	go func() {
+		<-sig
+		fmt.Fprintln(os.Stderr, "peats-server: forced exit")
+		os.Exit(2)
+	}()
+	rep.Stop()
+	tr.Close()
+	if db != nil {
+		if err := db.Close(); err != nil {
+			return fmt.Errorf("flush WAL: %w", err)
+		}
+	}
+	fmt.Println("shutdown complete")
 	return nil
 }
 

@@ -1,0 +1,191 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"text/tabwriter"
+	"time"
+
+	"peats/internal/durable"
+	"peats/internal/space"
+	"peats/internal/tuple"
+)
+
+// DurableConfig sizes the durability experiments.
+type DurableConfig struct {
+	// Ops is the number of committed units per throughput measurement
+	// (default 2000).
+	Ops int
+	// WALLens are the WAL lengths (committed units) the recovery-time
+	// sweep reopens (default 1000, 5000, 20000).
+	WALLens []int
+	// Dir is the scratch directory (a fresh temp dir when empty).
+	Dir string
+}
+
+func (c DurableConfig) withDefaults() DurableConfig {
+	if c.Ops <= 0 {
+		c.Ops = 2000
+	}
+	if len(c.WALLens) == 0 {
+		c.WALLens = []int{1000, 5000, 20000}
+	}
+	return c
+}
+
+// DurableRow is one line of the durability table.
+type DurableRow struct {
+	Workload  string  `json:"workload"` // "commit" or "recovery"
+	Mode      string  `json:"mode"`     // fsync policy, or "wal=N"
+	Ops       int     `json:"ops"`
+	Seconds   float64 `json:"seconds"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+	AvgMicros float64 `json:"avg_latency_us"`
+}
+
+// DurableTable measures the durability engine:
+//
+//   - commit throughput per fsync policy — fsync-per-op (always) vs
+//     group commit (interval) vs none, each unit one insert+remove pair
+//     through a durable space, which is what an agreement batch costs
+//     at the store layer;
+//   - recovery time as a function of WAL length — Open replaying N
+//     units with no snapshot to shortcut them.
+func DurableTable(cfg DurableConfig) ([]DurableRow, error) {
+	cfg = cfg.withDefaults()
+	scratch := cfg.Dir
+	if scratch == "" {
+		dir, err := os.MkdirTemp("", "peats-durable-bench")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(dir)
+		scratch = dir
+	}
+
+	var rows []DurableRow
+	for _, sync := range durable.SyncPolicies() {
+		elapsed, err := runDurableCommits(filepath.Join(scratch, "commit-"+string(sync)), sync, cfg.Ops)
+		if err != nil {
+			return nil, fmt.Errorf("durable commit %s: %w", sync, err)
+		}
+		rows = append(rows, DurableRow{
+			Workload: "commit", Mode: string(sync), Ops: cfg.Ops,
+			Seconds:   elapsed.Seconds(),
+			OpsPerSec: float64(cfg.Ops) / elapsed.Seconds(),
+			AvgMicros: elapsed.Seconds() / float64(cfg.Ops) * 1e6,
+		})
+	}
+	for _, n := range cfg.WALLens {
+		dir := filepath.Join(scratch, fmt.Sprintf("recover-%d", n))
+		if _, err := runDurableCommits(dir, durable.SyncNever, n); err != nil {
+			return nil, fmt.Errorf("durable recovery prep %d: %w", n, err)
+		}
+		start := time.Now()
+		db, err := durable.Open(durable.Options{Dir: dir, Sync: durable.SyncNever, AutoCompactBytes: -1})
+		if err != nil {
+			return nil, fmt.Errorf("durable recovery %d: %w", n, err)
+		}
+		elapsed := time.Since(start)
+		db.Close()
+		rows = append(rows, DurableRow{
+			Workload: "recovery", Mode: fmt.Sprintf("wal=%d", n), Ops: n,
+			Seconds:   elapsed.Seconds(),
+			OpsPerSec: float64(n) / elapsed.Seconds(),
+			AvgMicros: elapsed.Seconds() / float64(n) * 1e6,
+		})
+	}
+	return rows, nil
+}
+
+// runDurableCommits drives ops committed units (one insert plus one
+// removal each, framed BeginUnit/CommitUnit like an agreement batch)
+// through a durable space and reports the elapsed wall time. The DB is
+// closed without compaction, so the directory's WAL holds all units —
+// which is exactly what the recovery sweep wants to replay.
+func runDurableCommits(dir string, sync durable.SyncPolicy, ops int) (time.Duration, error) {
+	db, err := durable.Open(durable.Options{Dir: dir, Sync: sync, AutoCompactBytes: -1})
+	if err != nil {
+		return 0, err
+	}
+	sp, err := space.NewShardedFactory(1, func(int) (space.Store, error) { return db.NewStore(), nil })
+	if err != nil {
+		db.Close()
+		return 0, err
+	}
+	start := time.Now()
+	for i := 1; i <= ops; i++ {
+		db.BeginUnit(uint64(i))
+		if err := sp.Out(tuple.T(tuple.Str("bench"), tuple.Int(int64(i)))); err != nil {
+			db.Close()
+			return 0, err
+		}
+		if i > 1 {
+			sp.Inp(tuple.T(tuple.Str("bench"), tuple.Int(int64(i-1))))
+		}
+		db.CommitUnit(nil)
+	}
+	if err := db.Flush(); err != nil {
+		db.Close()
+		return 0, err
+	}
+	elapsed := time.Since(start)
+	return elapsed, db.Close()
+}
+
+// WriteDurableTable renders the durability table.
+func WriteDurableTable(w io.Writer, rows []DurableRow) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "workload\tmode\tops\tseconds\tops/sec\tavg µs")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%.3f\t%.0f\t%.1f\n",
+			r.Workload, r.Mode, r.Ops, r.Seconds, r.OpsPerSec, r.AvgMicros)
+	}
+	tw.Flush()
+}
+
+// GroupCommitSpeedup is the headline number: group-commit (interval)
+// unit throughput over fsync-per-op (always).
+func GroupCommitSpeedup(rows []DurableRow) float64 {
+	var always, interval float64
+	for _, r := range rows {
+		if r.Workload != "commit" {
+			continue
+		}
+		switch r.Mode {
+		case string(durable.SyncAlways):
+			always = r.OpsPerSec
+		case string(durable.SyncInterval):
+			interval = r.OpsPerSec
+		}
+	}
+	if always == 0 {
+		return 0
+	}
+	return interval / always
+}
+
+type durableReport struct {
+	Table              string       `json:"table"`
+	GeneratedAt        string       `json:"generated_at"`
+	GroupCommitSpeedup float64      `json:"group_commit_speedup"`
+	Rows               []DurableRow `json:"rows"`
+}
+
+// WriteDurableJSON writes the rows as a machine-readable JSON report.
+func WriteDurableJSON(path string, rows []DurableRow) error {
+	report := durableReport{
+		Table:              "durable",
+		GeneratedAt:        time.Now().UTC().Format(time.RFC3339),
+		GroupCommitSpeedup: GroupCommitSpeedup(rows),
+		Rows:               rows,
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -3,6 +3,7 @@ package bft
 import (
 	"context"
 	"fmt"
+	"io"
 	"math/bits"
 	"sort"
 	"sync"
@@ -358,6 +359,7 @@ type Cluster struct {
 	F        int
 
 	keyrings map[string]*auth.Keyring // replica id → its keyring
+	services []Service                // closed (where closeable) on Stop
 
 	mu      sync.Mutex
 	nextCli int
@@ -368,6 +370,8 @@ type ClusterOption func(*clusterConfig)
 
 type clusterConfig struct {
 	checkpointInterval uint64
+	compactEvery       int
+	keepCpHistory      bool
 	vcTimeout          time.Duration
 	seed               int64
 	batchSize          int
@@ -377,6 +381,19 @@ type clusterConfig struct {
 // WithCheckpointInterval sets the replicas' checkpoint interval.
 func WithCheckpointInterval(k uint64) ClusterOption {
 	return func(c *clusterConfig) { c.checkpointInterval = k }
+}
+
+// WithCompactEvery sets how many checkpoints pass between full state
+// snapshots (ReplicaConfig.CompactEvery): the checkpoints in between
+// publish chained deltas.
+func WithCompactEvery(k int) ClusterOption {
+	return func(c *clusterConfig) { c.compactEvery = k }
+}
+
+// WithCheckpointHistory makes every replica retain its published
+// checkpoint digests for inspection (tests).
+func WithCheckpointHistory() ClusterOption {
+	return func(c *clusterConfig) { c.keepCpHistory = true }
 }
 
 // WithViewChangeTimeout sets the replicas' view-change timeout.
@@ -418,7 +435,7 @@ func NewCluster(f int, services []Service, opts ...ClusterOption) (*Cluster, err
 	for i := range ids {
 		ids[i] = fmt.Sprintf("r%d", i)
 	}
-	cl := &Cluster{Net: net, IDs: ids, F: f, keyrings: make(map[string]*auth.Keyring)}
+	cl := &Cluster{Net: net, IDs: ids, F: f, keyrings: make(map[string]*auth.Keyring), services: services}
 	for _, id := range ids {
 		cl.keyrings[id] = auth.NewKeyringFromMaster(clusterMaster, id, ids)
 	}
@@ -427,16 +444,18 @@ func NewCluster(f int, services []Service, opts ...ClusterOption) (*Cluster, err
 			continue
 		}
 		rep, err := NewReplica(ReplicaConfig{
-			ID:                 ids[i],
-			Replicas:           ids,
-			F:                  f,
-			Transport:          net.Endpoint(ids[i]),
-			Service:            svc,
-			CheckpointInterval: cfg.checkpointInterval,
-			ViewChangeTimeout:  cfg.vcTimeout,
-			BatchSize:          cfg.batchSize,
-			BatchDelay:         cfg.batchDelay,
-			Keyring:            cl.keyrings[ids[i]],
+			ID:                    ids[i],
+			Replicas:              ids,
+			F:                     f,
+			Transport:             net.Endpoint(ids[i]),
+			Service:               svc,
+			CheckpointInterval:    cfg.checkpointInterval,
+			CompactEvery:          cfg.compactEvery,
+			KeepCheckpointHistory: cfg.keepCpHistory,
+			ViewChangeTimeout:     cfg.vcTimeout,
+			BatchSize:             cfg.batchSize,
+			BatchDelay:            cfg.batchDelay,
+			Keyring:               cl.keyrings[ids[i]],
 		})
 		if err != nil {
 			net.Close()
@@ -474,10 +493,17 @@ func (c *Cluster) Client(id string) *Client {
 	return cli
 }
 
-// Stop shuts down all replicas and the network.
+// Stop shuts down all replicas and the network, then closes every
+// closeable service (a durable service flushes and closes its
+// write-ahead log here).
 func (c *Cluster) Stop() {
 	for _, r := range c.Replicas {
 		r.Stop()
 	}
 	c.Net.Close()
+	for _, svc := range c.services {
+		if closer, ok := svc.(io.Closer); ok {
+			closer.Close()
+		}
+	}
 }

@@ -32,6 +32,19 @@ type ReplicaConfig struct {
 	// CheckpointInterval is the number of executions between
 	// checkpoints (default 64).
 	CheckpointInterval uint64
+	// CompactEvery is the number of checkpoints between full state
+	// snapshots (default 4). When the service supports incremental
+	// checkpoints (DeltaSnapshotter), only one checkpoint in
+	// CompactEvery serializes the whole state — re-basing the chained
+	// checkpoint digest and, on a durable service, compacting the
+	// write-ahead log; the checkpoints between publish deltas digested
+	// over the chain, costing O(changes) instead of O(space). 1 makes
+	// every checkpoint a full snapshot (the pre-delta behaviour).
+	CompactEvery int
+	// KeepCheckpointHistory retains every checkpoint digest this
+	// replica publishes, for tests and diagnostics (CheckpointDigests).
+	// Off by default so long-running replicas stay bounded.
+	KeepCheckpointHistory bool
 	// ViewChangeTimeout is how long a backup waits for a pending request
 	// to commit before suspecting the primary (default 500ms). Each
 	// unsuccessful view change doubles it.
@@ -133,6 +146,22 @@ type Replica struct {
 	checkpoints map[uint64]map[string][32]byte
 	snapshots   map[uint64][]byte
 
+	// Incremental-checkpoint chain state. cpBase holds the last full
+	// stateSnapshot (the chain's base) and cpDeltas the delta blob of
+	// every chained checkpoint since, so the replica can serve
+	// verifiable base-plus-deltas state transfers; cpDigest is the
+	// running chain digest. dirtyClients tracks the client records
+	// touched since the last checkpoint — the client-table half of a
+	// delta. durable is non-nil when the service persists state.
+	cpHave       bool
+	cpDigest     [32]byte
+	cpBase       []byte
+	cpBaseSeq    uint64
+	cpDeltas     map[uint64][]byte
+	dirtyClients map[string]struct{}
+	cpHistory    map[uint64][32]byte
+	durable      DurableService
+
 	inViewChange bool
 	nextTimeout  time.Duration
 	viewChanges  map[uint64]map[string]ViewChange
@@ -196,6 +225,9 @@ func NewReplica(cfg ReplicaConfig) (*Replica, error) {
 	if cfg.CheckpointInterval == 0 {
 		cfg.CheckpointInterval = 64
 	}
+	if cfg.CompactEvery <= 0 {
+		cfg.CompactEvery = 4
+	}
 	if cfg.ViewChangeTimeout <= 0 {
 		cfg.ViewChangeTimeout = 500 * time.Millisecond
 	}
@@ -228,8 +260,53 @@ func NewReplica(cfg ReplicaConfig) (*Replica, error) {
 		nextTimeout: cfg.ViewChangeTimeout,
 		stop:        make(chan struct{}),
 		done:        make(chan struct{}),
+
+		cpDeltas:     make(map[uint64][]byte),
+		dirtyClients: make(map[string]struct{}),
+		cpHistory:    make(map[uint64][32]byte),
+	}
+	if err := r.initDurable(); err != nil {
+		return nil, err
 	}
 	return r, nil
+}
+
+// initDurable detects a persistent service and resumes from its data
+// directory: the recovered agreement position becomes the replica's
+// executed/assigned sequence and local stable checkpoint (everything
+// at or below it is already applied), and the client table is the
+// recovery snapshot's table with every recovered unit's updates folded
+// forward — so at-most-once semantics survive the restart. The first
+// checkpoint after a recovery is always a full snapshot (no chain base
+// exists), which re-joins the cluster's digest chain at the next
+// compaction boundary.
+func (r *Replica) initDurable() error {
+	d, ok := r.cfg.Service.(DurableService)
+	if !ok || !d.Durable() {
+		return nil
+	}
+	r.durable = d
+	unitSeq, baseExtra, units := d.RecoveredState()
+	if unitSeq == 0 {
+		return nil
+	}
+	clients, err := decodeClientTable(baseExtra)
+	if err != nil {
+		return fmt.Errorf("bft: recover %s: %w", r.cfg.ID, err)
+	}
+	for _, u := range units {
+		ups, err := decodeClientUpdates(u.Extra)
+		if err != nil {
+			return fmt.Errorf("bft: recover %s unit %d: %w", r.cfg.ID, u.Seq, err)
+		}
+		applyClientUpdates(clients, ups)
+	}
+	r.clients = clients
+	r.executed = unitSeq
+	r.seq = unitSeq
+	r.lowWater = unitSeq
+	r.executedMirror.Store(unitSeq)
+	return nil
 }
 
 // roWorkers is the size of the read-only execution pool and roBacklog
@@ -891,7 +968,16 @@ func (r *Replica) tryExecute() {
 		if !r.committed(e) {
 			break
 		}
-		r.executeBatch(e)
+		if r.durable != nil {
+			// The batch is one atomic WAL unit: its store mutations frame
+			// together with the client-table updates it causes, so a
+			// crash recovers to a batch boundary or not at all.
+			r.durable.BeginUnit(next)
+			r.executeBatch(e)
+			r.durable.CommitUnit(r.unitExtra(e))
+		} else {
+			r.executeBatch(e)
+		}
 		e.executed = true
 		r.executed = next
 		if len(r.pending) == 0 {
@@ -924,6 +1010,10 @@ func (r *Replica) executeBatch(e *logEntry) {
 		if noop(req) {
 			continue
 		}
+		// Every client the batch names is dirty for the next checkpoint
+		// delta (re-encoding an unchanged duplicate record is harmless
+		// and keeps the set identical on every replica).
+		r.dirtyClients[req.Client] = struct{}{}
 		d := e.digests[i]
 		delete(r.pending, d)
 		delete(r.assigned, d)
@@ -1125,13 +1215,123 @@ func (r *Replica) restoreState(snapshot []byte) error {
 	return nil
 }
 
+// makeCheckpoint publishes the state digest at seq. With a
+// delta-capable service, only one checkpoint in CompactEvery pays for
+// a full stateSnapshot (re-basing the digest chain, and compacting the
+// durable engine's log); the checkpoints between digest the interval's
+// delta blob over the chain — O(changes this interval), however large
+// the resident space is.
 func (r *Replica) makeCheckpoint(seq uint64) {
-	snap := r.stateSnapshot()
-	r.snapshots[seq] = snap
-	digest := auth.Digest(snap)
+	var digest [32]byte
+	if blob, ok := r.tryDeltaCheckpoint(seq); ok {
+		digest = chainCheckpointDigest(r.cpDigest, blob)
+		r.cpDeltas[seq] = blob
+		r.cpDigest = digest
+	} else {
+		snap := r.stateSnapshot()
+		r.snapshots[seq] = snap
+		digest = auth.Digest(snap)
+		r.rebase(seq, snap, digest)
+		if r.durable != nil {
+			if err := r.durable.CompactTo(seq, encodeFullClientTable(r.clients)); err != nil {
+				r.logf("compact at %d: %v", seq, err)
+			}
+		}
+	}
+	if r.cfg.KeepCheckpointHistory {
+		r.cpHistory[seq] = digest
+	}
 	cp := Checkpoint{Seq: seq, Digest: digest, Replica: r.cfg.ID}
 	r.recordCheckpoint(cp)
 	r.broadcast(cp)
+}
+
+// tryDeltaCheckpoint drains the service journal and, when a delta
+// checkpoint is due and possible, returns the delta blob to chain.
+// Full checkpoints are due on a deterministic schedule (every
+// CompactEvery-th interval by sequence number), so every replica picks
+// the same mode and the digests vote — a replica whose journal broke
+// (Restore, recovery, overflow: all deterministic or self-affecting
+// events) dissents with a full digest until the next scheduled full
+// checkpoint re-bases everyone.
+func (r *Replica) tryDeltaCheckpoint(seq uint64) ([]byte, bool) {
+	ds, ok := r.service.(DeltaSnapshotter)
+	if !ok {
+		return nil, false
+	}
+	every := r.cfg.CheckpointInterval * uint64(r.cfg.CompactEvery)
+	if !r.cpHave || r.cfg.CompactEvery <= 1 || seq%every == 0 {
+		// A full checkpoint is due: the journal restarts here, but its
+		// contents are not needed — skip the encode.
+		ds.ResetJournal()
+		return nil, false
+	}
+	svcDelta, jok := ds.CheckpointDelta()
+	if !jok {
+		return nil, false
+	}
+	return encodeCheckpointDelta(svcDelta, r.drainClientUpdates()), true
+}
+
+// drainClientUpdates encodes and clears the dirty client records.
+func (r *Replica) drainClientUpdates() []byte {
+	if len(r.dirtyClients) == 0 {
+		return encodeClientRecords(r.clients, nil)
+	}
+	ids := make([]string, 0, len(r.dirtyClients))
+	for id := range r.dirtyClients {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	clear(r.dirtyClients)
+	return encodeClientRecords(r.clients, ids)
+}
+
+// rebase installs a full snapshot as the digest chain's new base.
+func (r *Replica) rebase(seq uint64, snap []byte, digest [32]byte) {
+	r.cpHave = true
+	r.cpBase = snap
+	r.cpBaseSeq = seq
+	r.cpDigest = digest
+	clear(r.cpDeltas)
+	clear(r.dirtyClients) // the full snapshot carries the whole table
+}
+
+// unitExtra encodes the client records a just-executed batch touched —
+// the replication half of the batch's WAL unit.
+func (r *Replica) unitExtra(e *logEntry) []byte {
+	var ids []string
+	seen := make(map[string]struct{}, len(e.batch.Reqs))
+	for _, req := range e.batch.Reqs {
+		if noop(req) {
+			continue
+		}
+		if _, dup := seen[req.Client]; dup {
+			continue
+		}
+		seen[req.Client] = struct{}{}
+		ids = append(ids, req.Client)
+	}
+	sort.Strings(ids)
+	return encodeClientRecords(r.clients, ids)
+}
+
+// StateDigest returns the digest of the replica's current full state
+// snapshot (service state plus client table) — the value a full
+// checkpoint here would publish. It reads loop-owned state: call it
+// only before Start or after Stop (crash-recovery tests compare it to
+// the digests healthy replicas published).
+func (r *Replica) StateDigest() [32]byte { return auth.Digest(r.stateSnapshot()) }
+
+// CheckpointDigests returns the checkpoint digests this replica
+// published, by sequence number (requires
+// ReplicaConfig.KeepCheckpointHistory). Loop-owned: call after Stop.
+func (r *Replica) CheckpointDigests() map[uint64][32]byte {
+	out := make(map[uint64][32]byte, len(r.cpHistory))
+	for s, d := range r.cpHistory {
+		out[s] = d
+	}
+	return out
 }
 
 func (r *Replica) onCheckpoint(cp Checkpoint) {
@@ -1225,23 +1425,63 @@ func (r *Replica) requestState(seq uint64, digest [32]byte) {
 	}
 }
 
+// onStateRequest serves checkpointed state: the full stateSnapshot
+// when the requested sequence is a full checkpoint still held, or a
+// chain pack — the last full snapshot plus every checkpoint delta up
+// to the requested sequence — whose folded digest the requester checks
+// against the checkpoint quorum.
 func (r *Replica) onStateRequest(req StateRequest, from string) {
-	snap, ok := r.snapshots[req.Seq]
+	if snap, ok := r.snapshots[req.Seq]; ok {
+		r.sendTo(from, StateResponse{Seq: req.Seq, View: r.view, Snapshot: encodeFullPack(snap), Replica: r.cfg.ID})
+		return
+	}
+	pack, ok := r.chainPackFor(req.Seq)
 	if !ok {
 		return
 	}
-	r.sendTo(from, StateResponse{Seq: req.Seq, View: r.view, Snapshot: snap, Replica: r.cfg.ID})
+	r.sendTo(from, StateResponse{Seq: req.Seq, View: r.view, Snapshot: pack, Replica: r.cfg.ID})
+}
+
+// chainPackFor assembles base + deltas covering every checkpoint in
+// (base, seq], if this replica still holds them all.
+func (r *Replica) chainPackFor(seq uint64) ([]byte, bool) {
+	if !r.cpHave || seq <= r.cpBaseSeq {
+		return nil, false
+	}
+	interval := r.cfg.CheckpointInterval
+	var cps []seqDelta
+	for s := r.cpBaseSeq + interval; s <= seq; s += interval {
+		d, ok := r.cpDeltas[s]
+		if !ok {
+			return nil, false
+		}
+		cps = append(cps, seqDelta{seq: s, delta: d})
+	}
+	if len(cps) == 0 || cps[len(cps)-1].seq != seq {
+		return nil, false // seq is not checkpoint-aligned with our chain
+	}
+	return encodeChainPack(r.cpBaseSeq, r.cpBase, cps), true
 }
 
 func (r *Replica) onStateResponse(resp StateResponse) {
 	if resp.Seq <= r.executed {
 		return
 	}
-	// Verify against a checkpoint quorum before installing.
-	byReplica := r.checkpoints[resp.Seq]
-	digest := auth.Digest(resp.Snapshot)
+	full, chain, isChain, err := decodeStatePack(resp.Snapshot)
+	if err != nil {
+		r.logf("state response at %d: %v", resp.Seq, err)
+		return
+	}
+	// Verify against a checkpoint quorum before installing. A chain
+	// pack folds to the chained digest the quorum voted, which commits
+	// to the base snapshot and every delta — so tampering with any part
+	// of either pack breaks the match.
+	digest := auth.Digest(full)
+	if isChain {
+		digest = chain.digest()
+	}
 	matching := 0
-	for _, d := range byReplica {
+	for _, d := range r.checkpoints[resp.Seq] {
 		if d == digest {
 			matching++
 		}
@@ -1250,15 +1490,54 @@ func (r *Replica) onStateResponse(resp StateResponse) {
 		r.logf("state response at %d lacks a digest quorum", resp.Seq)
 		return
 	}
-	if err := r.restoreState(resp.Snapshot); err != nil {
+	if r.durable != nil {
+		// The install is covered by the snapshot EndStateLoad writes,
+		// not by the WAL: load mode for the whole sequence.
+		r.durable.BeginStateLoad()
+	}
+	if isChain {
+		err = r.installChain(chain)
+	} else {
+		err = r.restoreState(full)
+	}
+	if err != nil {
+		if r.durable != nil {
+			// Never snapshot a partially-installed state: leave the disk
+			// at the last good state and fail loudly here.
+			r.durable.AbortStateLoad()
+		}
 		r.logf("restore at %d: %v", resp.Seq, err)
 		return
+	}
+	if ds, ok := r.service.(DeltaSnapshotter); ok {
+		// The installed state IS the checkpoint the chain describes:
+		// the journal restarts here, so this replica's next delta
+		// checkpoint chains consistently with everyone else's.
+		ds.ResetJournal()
+	}
+	if r.durable != nil {
+		if lerr := r.durable.EndStateLoad(resp.Seq, encodeFullClientTable(r.clients)); lerr != nil {
+			r.logf("persist state transfer at %d: %v", resp.Seq, lerr)
+		}
+	}
+	if isChain {
+		r.cpHave = true
+		r.cpBase = chain.base
+		r.cpBaseSeq = chain.baseSeq
+		r.cpDigest = digest
+		clear(r.cpDeltas)
+		for _, cd := range chain.cps {
+			r.cpDeltas[cd.seq] = cd.delta
+		}
+		clear(r.dirtyClients)
+	} else {
+		r.snapshots[resp.Seq] = full
+		r.rebase(resp.Seq, full, digest)
 	}
 	r.executed = resp.Seq
 	if resp.Seq > r.seq {
 		r.seq = resp.Seq
 	}
-	r.snapshots[resp.Seq] = resp.Snapshot
 	r.stabilize(resp.Seq)
 	if resp.View > r.view {
 		r.view = resp.View
@@ -1266,4 +1545,28 @@ func (r *Replica) onStateResponse(resp StateResponse) {
 	}
 	r.logf("state transfer installed seq %d", resp.Seq)
 	r.tryExecute()
+}
+
+// installChain restores the chain's base snapshot and replays its
+// checkpoint deltas — service mutations through ApplyDelta, client
+// records folded over the base's table.
+func (r *Replica) installChain(chain chainPack) error {
+	ds, ok := r.service.(DeltaSnapshotter)
+	if !ok {
+		return fmt.Errorf("bft: chain state response but service has no delta support")
+	}
+	if err := r.restoreState(chain.base); err != nil {
+		return err
+	}
+	for _, cd := range chain.cps {
+		svcDelta, ups, err := decodeCheckpointDelta(cd.delta)
+		if err != nil {
+			return fmt.Errorf("bft: checkpoint %d: %w", cd.seq, err)
+		}
+		if err := ds.ApplyDelta(svcDelta); err != nil {
+			return fmt.Errorf("bft: checkpoint %d: %w", cd.seq, err)
+		}
+		applyClientUpdates(r.clients, ups)
+	}
+	return nil
 }

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"peats/internal/durable"
 	"peats/internal/peats"
 	"peats/internal/policy"
 	"peats/internal/space"
@@ -82,12 +83,28 @@ type ReadOnlyExecutor interface {
 type SpaceService struct {
 	inner *space.Space
 	pol   policy.Policy
+
+	// Mutation journal backing incremental checkpoints: every committed
+	// unit appends its net effects (value-addressed, see wire.Delta).
+	// Only ordered execution appends — the event-loop goroutine — so no
+	// lock is needed; read-only execution never stages mutations.
+	// journalBroken marks a journal that cannot stand in for the state
+	// (a Restore replaced the state wholesale, or the journal
+	// overflowed): the next checkpoint must be a full snapshot.
+	journal       []wire.DeltaOp
+	journalBroken bool
+
+	// db, when set, is the durability engine behind the space's stores
+	// (NewDurableSpaceService).
+	db *durable.DB
 }
 
 var (
 	_ Service          = (*SpaceService)(nil)
 	_ BatchExecutor    = (*SpaceService)(nil)
 	_ ReadOnlyExecutor = (*SpaceService)(nil)
+	_ DeltaSnapshotter = (*SpaceService)(nil)
+	_ DurableService   = (*SpaceService)(nil)
 )
 
 // NewSpaceService returns a PEATS service protected by the given
@@ -116,8 +133,43 @@ func NewSpaceServiceWithConfig(pol policy.Policy, e space.Engine, shards int) (*
 	return &SpaceService{inner: inner, pol: pol}, nil
 }
 
+// NewDurableSpaceService returns a PEATS service whose space is backed
+// by the durability engine: every shard's store journals into db's
+// write-ahead log, and the state db recovered from disk is installed
+// into the space (under its original sequence numbers) before the
+// service is handed out. The replica layer detects the durable service
+// and frames agreement batches as atomic WAL units, compacts at full
+// checkpoints, and folds the recovered client table forward.
+func NewDurableSpaceService(pol policy.Policy, db *durable.DB, shards int) (*SpaceService, error) {
+	if shards <= 0 {
+		shards = 1
+	}
+	inner, err := space.NewShardedFactory(shards, func(int) (space.Store, error) {
+		return db.NewStore(), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	db.StartLoad()
+	err = inner.Install(db.Recovered().Tuples)
+	db.EndLoad()
+	if err != nil {
+		return nil, err
+	}
+	return &SpaceService{inner: inner, pol: pol, db: db}, nil
+}
+
 // Space exposes the underlying space for inspection in tests.
 func (s *SpaceService) Space() *space.Space { return s.inner }
+
+// Close releases the durability engine, flushing the write-ahead log
+// (no-op for in-memory services).
+func (s *SpaceService) Close() error {
+	if s.db == nil {
+		return nil
+	}
+	return s.db.Close()
+}
 
 // decodedReq is one decoded request payload: a single op or a
 // transaction, with a deterministic decode error when malformed.
@@ -265,8 +317,143 @@ func (s *SpaceService) executeTxIn(tx *space.Tx, client string, ops []wire.Space
 			return results
 		}
 	}
+	s.journalEffects(st)
 	st.Commit()
 	return results
+}
+
+// maxJournalOps caps the mutation journal. Checkpoints drain it every
+// CheckpointInterval executions, so the cap only triggers when nothing
+// checkpoints (a service driven outside a replica); overflowing marks
+// the journal broken, deterministically — every replica executes the
+// same sequence, so all of them overflow on the same unit and fall
+// back to a full checkpoint together.
+const maxJournalOps = 1 << 17
+
+// journalEffects records a unit's net effects for the incremental
+// checkpoint, in the exact order Commit applies them (removals, then
+// inserts). Removals are journaled by value: applying "remove the
+// first stored tuple equal to v" consumes exactly the tuple the staged
+// executor consumed (see Staged.Commit), on any replica, regardless of
+// its internal sequence numbering.
+func (s *SpaceService) journalEffects(st *space.Staged) {
+	removed, inserted := st.Effects()
+	if len(removed)+len(inserted) == 0 || s.journalBroken {
+		return
+	}
+	for _, r := range removed {
+		s.journal = append(s.journal, wire.DeltaOp{Remove: true, T: r.T})
+	}
+	for _, t := range inserted {
+		s.journal = append(s.journal, wire.DeltaOp{T: t})
+	}
+	if len(s.journal) > maxJournalOps {
+		s.journal = nil
+		s.journalBroken = true
+	}
+}
+
+// CheckpointDelta implements DeltaSnapshotter.
+func (s *SpaceService) CheckpointDelta() ([]byte, bool) {
+	if s.journalBroken {
+		s.journal, s.journalBroken = nil, false
+		return nil, false
+	}
+	blob := wire.EncodeDelta(wire.Delta{Ops: s.journal})
+	s.journal = nil
+	return blob, true
+}
+
+// ApplyDelta implements DeltaSnapshotter: the delta's mutations apply
+// to the current state in order, inside one critical section. A
+// removal that finds no equal tuple means the delta does not follow
+// from this state — the install aborts with an error (the caller
+// verified the chain digest, so this is corruption, not divergence).
+func (s *SpaceService) ApplyDelta(delta []byte) error {
+	d, err := wire.DecodeDelta(delta)
+	if err != nil {
+		return err
+	}
+	s.journal, s.journalBroken = nil, true
+	var applyErr error
+	s.inner.Do(func(tx *space.Tx) {
+		for i, op := range d.Ops {
+			if op.Remove {
+				if _, ok := tx.Inp(op.T); !ok {
+					applyErr = fmt.Errorf("bft: delta op %d removes an absent tuple", i)
+					return
+				}
+				continue
+			}
+			if err := tx.Out(op.T); err != nil {
+				applyErr = fmt.Errorf("bft: delta op %d: %w", i, err)
+				return
+			}
+		}
+	})
+	return applyErr
+}
+
+// ResetJournal implements DeltaSnapshotter.
+func (s *SpaceService) ResetJournal() {
+	s.journal, s.journalBroken = nil, false
+}
+
+// Durable implements DurableService.
+func (s *SpaceService) Durable() bool { return s.db != nil }
+
+// BeginUnit implements DurableService.
+func (s *SpaceService) BeginUnit(seq uint64) {
+	if s.db != nil {
+		s.db.BeginUnit(seq)
+	}
+}
+
+// CommitUnit implements DurableService.
+func (s *SpaceService) CommitUnit(extra []byte) {
+	if s.db != nil {
+		s.db.CommitUnit(extra)
+	}
+}
+
+// CompactTo implements DurableService.
+func (s *SpaceService) CompactTo(seq uint64, extra []byte) error {
+	if s.db == nil {
+		return nil
+	}
+	return s.db.Compact(seq, extra)
+}
+
+// BeginStateLoad implements DurableService.
+func (s *SpaceService) BeginStateLoad() {
+	if s.db != nil {
+		s.db.StartLoad()
+	}
+}
+
+// EndStateLoad implements DurableService.
+func (s *SpaceService) EndStateLoad(seq uint64, extra []byte) error {
+	if s.db == nil {
+		return nil
+	}
+	s.db.EndLoad()
+	return s.db.Compact(seq, extra)
+}
+
+// AbortStateLoad implements DurableService.
+func (s *SpaceService) AbortStateLoad() {
+	if s.db != nil {
+		s.db.EndLoad()
+	}
+}
+
+// RecoveredState implements DurableService.
+func (s *SpaceService) RecoveredState() (uint64, []byte, []durable.UnitExtra) {
+	if s.db == nil {
+		return 0, nil, nil
+	}
+	rec := s.db.Recovered()
+	return rec.UnitSeq, rec.BaseExtra, rec.Units
 }
 
 // applyStaged vets and executes one operation against the staged view,
@@ -324,7 +511,10 @@ func (s *SpaceService) Snapshot() []byte {
 	return w.Data()
 }
 
-// Restore implements Service.
+// Restore implements Service. The mutation journal cannot describe a
+// wholesale state replacement, so Restore breaks it: the next
+// checkpoint falls back to a full snapshot (unless a state-transfer
+// install completes the picture and calls ResetJournal).
 func (s *SpaceService) Restore(snapshot []byte) error {
 	r := wire.NewReader(snapshot)
 	count := r.Uvarint()
@@ -339,6 +529,7 @@ func (s *SpaceService) Restore(snapshot []byte) error {
 	if err := r.Err(); err != nil {
 		return fmt.Errorf("bft: restore space: %w", err)
 	}
+	s.journal, s.journalBroken = nil, true
 	s.inner.Restore(tuples)
 	return nil
 }

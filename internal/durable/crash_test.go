@@ -1,0 +1,99 @@
+package durable
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// crashChildEnv tells the re-executed test binary to act as the crash
+// child: open a DB in the named directory and append units forever,
+// until the parent SIGKILLs it.
+const crashChildEnv = "PEATS_DURABLE_CRASH_DIR"
+
+// TestCrashChildProcess is not a test in the parent run: re-executed
+// with crashChildEnv set, it is the victim process of
+// TestProcessKillMidWriteRecoversCommittedPrefix.
+func TestCrashChildProcess(t *testing.T) {
+	dir := os.Getenv(crashChildEnv)
+	if dir == "" {
+		t.Skip("crash child mode only")
+	}
+	db, err := Open(Options{Dir: dir, Sync: SyncAlways, AutoCompactBytes: -1})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "child open:", err)
+		os.Exit(1)
+	}
+	st := db.NewStore()
+	for i := uint64(1); ; i++ {
+		db.BeginUnit(i)
+		st.Insert(ut(int(i)), i)
+		db.CommitUnit(fmt.Appendf(nil, "x%d", i))
+	}
+}
+
+// TestProcessKillMidWriteRecoversCommittedPrefix SIGKILLs a real child
+// process in the middle of a write-heavy loop and then recovers its
+// data directory: the recovered state must be exactly the committed
+// prefix of units 1..k — a state the cluster checkpointed or could
+// checkpoint — never a partial unit, never a gap.
+func TestProcessKillMidWriteRecoversCommittedPrefix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns a child process")
+	}
+	dir := t.TempDir()
+	cmd := exec.Command(os.Args[0], "-test.run", "^TestCrashChildProcess$", "-test.v")
+	cmd.Env = append(os.Environ(), crashChildEnv+"="+dir)
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	// Let the child commit some units before the kill: wait for WAL
+	// growth past a threshold so the kill lands mid-stream.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		var total int64
+		paths, _ := filepath.Glob(filepath.Join(dir, "wal-*.log"))
+		for _, p := range paths {
+			if fi, err := os.Stat(p); err == nil {
+				total += fi.Size()
+			}
+		}
+		if total > 16<<10 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("child produced no WAL growth")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := cmd.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	cmd.Wait()
+
+	db, err := Open(Options{Dir: dir, Sync: SyncAlways, AutoCompactBytes: -1})
+	if err != nil {
+		t.Fatalf("recovery after SIGKILL: %v", err)
+	}
+	defer db.Close()
+	rec := db.Recovered()
+	k := int(rec.UnitSeq)
+	if k == 0 {
+		t.Fatal("no units recovered despite WAL growth")
+	}
+	wantPrefix(t, rec, k)
+	if len(rec.Units) != k {
+		t.Fatalf("recovered %d unit extras, want %d", len(rec.Units), k)
+	}
+	for i, u := range rec.Units {
+		if u.Seq != uint64(i+1) || string(u.Extra) != fmt.Sprintf("x%d", i+1) {
+			t.Fatalf("unit[%d] = %d/%q, want %d/x%d", i, u.Seq, u.Extra, i+1, i+1)
+		}
+	}
+}

@@ -1,0 +1,187 @@
+package durable
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+
+	"peats/internal/tuple"
+	"peats/internal/wire"
+)
+
+// On-disk WAL framing: every record is
+//
+//	u32le payload length | u32le CRC-32C of payload | payload
+//
+// A record is durable iff its frame is complete and the checksum
+// matches; recovery stops at the first frame that is not, so a unit —
+// the payload always describes one whole unit — is atomic on disk.
+// Payloads are encoded with the deterministic wire primitives.
+
+// recHeaderLen is the fixed frame header size.
+const recHeaderLen = 8
+
+// maxRecordBytes bounds a single record. One record carries one
+// agreement batch's mutations, which the protocol already bounds far
+// below this; anything larger in a file is corruption, not data.
+const maxRecordBytes = 1 << 28
+
+// maxWALMuts bounds decoded mutation counts, so a corrupt or hostile
+// record cannot force a huge allocation before the data runs out.
+const maxWALMuts = 1 << 22
+
+// crcTable is the Castagnoli polynomial, hardware-accelerated on the
+// platforms the replicas run on.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// errTorn marks an incomplete final frame — the expected shape of a
+// crash mid-write. Recovery truncates it; any other decoding failure in
+// the middle of the log is corruption and fails loudly instead.
+var errTorn = errors.New("durable: torn record")
+
+// errCorrupt marks a frame whose checksum or payload is bad.
+var errCorrupt = errors.New("durable: corrupt record")
+
+// Mutation is one logged store mutation: the insertion of a tuple under
+// a space sequence number, or the removal of the tuple holding one.
+// Within one database lifetime sequence numbers are stable (recovery
+// re-installs recovered tuples under their original numbers), so
+// removal by sequence number is exact.
+type Mutation struct {
+	Remove bool
+	Seq    uint64
+	T      tuple.Tuple // zero for removals
+}
+
+// WALRecord is the payload of one WAL frame: the mutations of one
+// atomic unit (an agreement batch on a replica, a single operation on a
+// local space), the unit's agreement sequence number (0 for local
+// auto-units), and an opaque extra blob the replication layer uses for
+// its per-batch client-table updates.
+type WALRecord struct {
+	Unit  uint64
+	Muts  []Mutation
+	Extra []byte
+}
+
+// EncodeWALRecord returns the canonical payload encoding of r.
+func EncodeWALRecord(r WALRecord) []byte {
+	w := wire.NewWriter()
+	w.Uvarint(r.Unit)
+	w.Uvarint(uint64(len(r.Muts)))
+	for _, m := range r.Muts {
+		if m.Remove {
+			w.Byte(1)
+			w.Uvarint(m.Seq)
+		} else {
+			w.Byte(0)
+			w.Uvarint(m.Seq)
+			w.Tuple(m.T)
+		}
+	}
+	w.Bytes(r.Extra)
+	return w.Data()
+}
+
+// DecodeWALRecord parses a WAL record payload. Like every decoder fed
+// from disk or the network it may reject, but must never panic — a
+// corrupt data directory has to surface as an error, not a crash.
+func DecodeWALRecord(b []byte) (WALRecord, error) {
+	r := wire.NewReader(b)
+	rec := WALRecord{Unit: r.Uvarint()}
+	count := r.Uvarint()
+	if count > maxWALMuts {
+		return WALRecord{}, fmt.Errorf("%w: %d mutations", errCorrupt, count)
+	}
+	if count > 0 && r.Err() == nil {
+		rec.Muts = make([]Mutation, 0, min(count, 1024))
+		for i := uint64(0); i < count; i++ {
+			var m Mutation
+			switch r.Byte() {
+			case 0:
+				m.Seq = r.Uvarint()
+				m.T = r.Tuple()
+			case 1:
+				m.Remove = true
+				m.Seq = r.Uvarint()
+			default:
+				return WALRecord{}, fmt.Errorf("%w: unknown mutation tag", errCorrupt)
+			}
+			if r.Err() != nil {
+				break
+			}
+			rec.Muts = append(rec.Muts, m)
+		}
+	}
+	rec.Extra = r.Bytes()
+	r.ExpectEOF()
+	if err := r.Err(); err != nil {
+		return WALRecord{}, fmt.Errorf("%w: %v", errCorrupt, err)
+	}
+	return rec, nil
+}
+
+// appendFrame appends the framed record to dst.
+func appendFrame(dst []byte, payload []byte) []byte {
+	var hdr [recHeaderLen]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, crcTable))
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...)
+}
+
+// readFrame parses one frame from the head of data, returning the
+// payload view and the total frame length. It returns errTorn when the
+// frame runs past the data (a crash mid-write) and errCorrupt when the
+// checksum or length is bad.
+func readFrame(data []byte) (payload []byte, n int, err error) {
+	if len(data) < recHeaderLen {
+		return nil, 0, errTorn
+	}
+	ln := binary.LittleEndian.Uint32(data[0:4])
+	sum := binary.LittleEndian.Uint32(data[4:8])
+	if ln > maxRecordBytes {
+		return nil, 0, errCorrupt
+	}
+	if uint64(len(data)) < recHeaderLen+uint64(ln) {
+		return nil, 0, errTorn
+	}
+	payload = data[recHeaderLen : recHeaderLen+int(ln)]
+	if crc32.Checksum(payload, crcTable) != sum {
+		return nil, 0, errCorrupt
+	}
+	return payload, recHeaderLen + int(ln), nil
+}
+
+// frameBuf accumulates the mutation stream of one open unit. Its
+// encoding matches EncodeWALRecord, assembled incrementally so a
+// unit's mutations stream straight into the payload as they happen.
+type frameBuf struct {
+	unit uint64
+	muts []byte
+	n    uint64
+}
+
+func (f *frameBuf) addInsert(seq uint64, t tuple.Tuple) {
+	f.muts = append(f.muts, 0)
+	f.muts = binary.AppendUvarint(f.muts, seq)
+	f.muts = tuple.Append(f.muts, t)
+	f.n++
+}
+
+func (f *frameBuf) addRemove(seq uint64) {
+	f.muts = append(f.muts, 1)
+	f.muts = binary.AppendUvarint(f.muts, seq)
+	f.n++
+}
+
+// payload completes the unit's record payload with the extra blob.
+func (f *frameBuf) payload(extra []byte) []byte {
+	buf := make([]byte, 0, 2*binary.MaxVarintLen64+len(f.muts)+len(extra)+binary.MaxVarintLen64)
+	buf = binary.AppendUvarint(buf, f.unit)
+	buf = binary.AppendUvarint(buf, f.n)
+	buf = append(buf, f.muts...)
+	buf = binary.AppendUvarint(buf, uint64(len(extra)))
+	return append(buf, extra...)
+}

@@ -173,6 +173,22 @@ type Space struct {
 	pol     policy.Policy
 	allowed atomic.Int64
 	denied  atomic.Int64
+	closer  func() error // durability release hook, see AttachCloser
+}
+
+// AttachCloser registers the release hook Close invokes — a space built
+// over a data directory attaches the durability engine's
+// flush-and-close here.
+func (s *Space) AttachCloser(fn func() error) { s.closer = fn }
+
+// Close releases resources behind the space. For in-memory spaces it
+// is a no-op; for durable spaces it flushes and closes the write-ahead
+// log, after which the space must not be used.
+func (s *Space) Close() error {
+	if s.closer == nil {
+		return nil
+	}
+	return s.closer()
 }
 
 // New returns a PEATS with the given access policy over a fresh space

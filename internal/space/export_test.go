@@ -1,0 +1,7 @@
+package space
+
+// Test-only exports, so sibling external test packages (space_test)
+// can reuse the parity machinery against engines that live outside
+// this package — the durable engine's parity suite drives real spaces
+// through DriveSpacePair without duplicating the generator.
+var DriveSpacePair = driveSpacePair

@@ -142,6 +142,58 @@ func NewWithStore(st Store) *Space {
 	}
 }
 
+// NewShardedFactory returns an empty space with n shards whose stores
+// come from mk (called once per shard, in shard order). It is the
+// construction hook for engines NewStore cannot build on its own —
+// the durable engine hands out stores bound to one shared write-ahead
+// log this way. The stores must be fresh and not shared with another
+// space.
+func NewShardedFactory(n int, mk func(shard int) (Store, error)) (*Space, error) {
+	if n < 1 || n > MaxShards {
+		return nil, fmt.Errorf("space: shard count %d out of range [1, %d]", n, MaxShards)
+	}
+	shards := make([]*shard, n)
+	for i := range shards {
+		st, err := mk(i)
+		if err != nil {
+			return nil, err
+		}
+		shards[i] = &shard{store: st, waiters: make(map[int][]*waiter)}
+	}
+	return &Space{shards: shards, engine: shards[0].store.Engine()}, nil
+}
+
+// Install is the crash-recovery hook: it loads recovered records into
+// an empty space verbatim, preserving their original sequence numbers,
+// and advances the space-wide sequence counter past them. Unlike
+// Restore — which re-stamps a snapshot with fresh numbers — Install
+// keeps the numbering a write-ahead log recorded, so log records that
+// address tuples by sequence number stay meaningful across restarts.
+// recs must be seq-sorted (the order a recovery produces); the space
+// must not have been used yet.
+func (s *Space) Install(recs []SeqTuple) error {
+	s.lockAll()
+	defer s.unlockAll()
+	if s.lenLocked() != 0 || s.seq.Load() != 0 {
+		return errors.New("space: Install on a non-empty space")
+	}
+	per := make([][]SeqTuple, len(s.shards))
+	var maxSeq uint64
+	for _, r := range recs {
+		if r.Seq <= maxSeq {
+			return fmt.Errorf("space: Install records not strictly seq-sorted at %d", r.Seq)
+		}
+		maxSeq = r.Seq
+		i := s.EntryShard(r.T)
+		per[i] = append(per[i], r)
+	}
+	for i, sh := range s.shards {
+		sh.store.InsertBatch(per[i])
+	}
+	s.seq.Store(maxSeq)
+	return nil
+}
+
 // Engine returns the engine of the backing stores.
 func (s *Space) Engine() Engine { return s.engine }
 

@@ -231,6 +231,19 @@ func (st *Staged) ForEach(fn func(tuple.Tuple) bool) {
 	}
 }
 
+// Effects returns the net mutations the overlay holds: the stored
+// tuples staged for removal (in consumption order) and the entries
+// staged for insertion (in staging order) — exactly what Commit is
+// about to apply, in the order it applies them. The replication
+// substrate journals these per executed unit to build incremental
+// checkpoints; removals are value-addressed downstream (see
+// wire.Delta), which the Commit determinism argument below justifies.
+// The returned slices alias the overlay and are only valid until
+// Commit.
+func (st *Staged) Effects() (removed []SeqTuple, inserted []tuple.Tuple) {
+	return st.removed, st.inserts
+}
+
 // Commit applies the staged mutations to the space: consumed stored
 // tuples are removed and staged inserts are stamped with fresh sequence
 // numbers (waking matching waiters), in staging order. Every touched

@@ -19,6 +19,13 @@ const (
 	// hashed on their first field, with insertion order preserved through
 	// the space-assigned sequence numbers.
 	EngineIndexed Engine = "indexed"
+	// EngineDurable is the persistent store: an indexed store wrapped by
+	// the write-ahead log of package durable, which persists every
+	// mutation and recovers the contents across process crashes. It
+	// needs a data directory, so it cannot be built by NewStore — open a
+	// durable.DB and construct the space with NewShardedFactory (or let
+	// peats.WithDataDir / peats-server -store durable do both).
+	EngineDurable Engine = "durable"
 )
 
 // DefaultEngine is the engine used when none is specified.
@@ -101,10 +108,14 @@ func NewStore(e Engine) (Store, error) {
 		return NewSliceStore(), nil
 	case EngineIndexed:
 		return NewIndexedStore(), nil
+	case EngineDurable:
+		return nil, fmt.Errorf("space: the durable engine needs a data directory (open a durable.DB and use NewShardedFactory)")
 	default:
 		return nil, fmt.Errorf("space: unknown store engine %q", e)
 	}
 }
 
-// Engines lists the selectable engines.
+// Engines lists the self-contained in-memory engines NewStore can
+// build. The durable engine is deliberately absent: it exists only
+// bound to a data directory.
 func Engines() []Engine { return []Engine{EngineSlice, EngineIndexed} }

@@ -1,0 +1,81 @@
+package wire
+
+import (
+	"fmt"
+
+	"peats/internal/tuple"
+)
+
+// Delta is an incremental checkpoint: the ordered list of tuple-space
+// mutations executed since the previous checkpoint. Replicas of the
+// replication substrate produce identical deltas for identical executed
+// sequences (the space is a deterministic state machine), so a delta
+// both extends the chained checkpoint digest and, applied to the
+// previous checkpoint's state, reproduces the next one — which is what
+// lets checkpointing cost O(changes) instead of O(space).
+//
+// Mutations are value-addressed, not sequence-addressed: a removal
+// names the removed tuple itself, and applying it removes the first
+// stored tuple equal to that value (entries used as templates match
+// exactly their own value, and identical tuples are consumed in
+// ascending insertion order — the same rule the staged executor uses).
+// That keeps deltas replica-independent: space-internal sequence
+// numbers may differ across replicas after a state transfer, but
+// insertion order, and therefore value-addressed application, never
+// does.
+type Delta struct {
+	Ops []DeltaOp
+}
+
+// DeltaOp is one mutation of a delta: the insertion or removal of a
+// tuple value.
+type DeltaOp struct {
+	Remove bool
+	T      tuple.Tuple
+}
+
+// MaxDeltaOps bounds decoded delta lengths so a malformed or hostile
+// delta cannot force huge allocations. A checkpoint interval is at
+// most window (1024) batches of at most maxBatch requests, but honest
+// deltas are far smaller; the bound only needs to stop abuse.
+const MaxDeltaOps = 1 << 20
+
+// EncodeDelta returns the canonical encoding of d. Equal logical deltas
+// encode to equal bytes — the chained checkpoint digest depends on it.
+func EncodeDelta(d Delta) []byte {
+	w := NewWriter()
+	w.Uvarint(uint64(len(d.Ops)))
+	for _, op := range d.Ops {
+		w.Bool(op.Remove)
+		w.Tuple(op.T)
+	}
+	return w.Data()
+}
+
+// DecodeDelta parses an encoded delta. Like every wire decoder it faces
+// bytes from possibly Byzantine peers: it may reject, but must never
+// panic or over-allocate.
+func DecodeDelta(b []byte) (Delta, error) {
+	r := NewReader(b)
+	count := r.Uvarint()
+	if count > MaxDeltaOps {
+		return Delta{}, fmt.Errorf("decode delta: %d ops", count)
+	}
+	var d Delta
+	if count > 0 && r.Err() == nil {
+		d.Ops = make([]DeltaOp, 0, min(count, 1024))
+		for i := uint64(0); i < count; i++ {
+			op := DeltaOp{Remove: r.Bool()}
+			op.T = r.Tuple()
+			if r.Err() != nil {
+				break
+			}
+			d.Ops = append(d.Ops, op)
+		}
+	}
+	r.ExpectEOF()
+	if err := r.Err(); err != nil {
+		return Delta{}, fmt.Errorf("decode delta: %w", err)
+	}
+	return d, nil
+}

@@ -1,0 +1,82 @@
+package wire
+
+import (
+	"testing"
+
+	"peats/internal/tuple"
+)
+
+func sampleDelta() Delta {
+	return Delta{Ops: []DeltaOp{
+		{T: tuple.T(tuple.Str("A"), tuple.Int(1))},
+		{Remove: true, T: tuple.T(tuple.Str("A"), tuple.Int(1))},
+		{T: tuple.T(tuple.Bytes([]byte{0, 1, 2}))},
+		{T: tuple.T(tuple.Bool(true), tuple.Str("x"), tuple.Int(-9))},
+	}}
+}
+
+func TestDeltaRoundTrip(t *testing.T) {
+	for _, d := range []Delta{{}, sampleDelta()} {
+		got, err := DecodeDelta(EncodeDelta(d))
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if len(got.Ops) != len(d.Ops) {
+			t.Fatalf("ops %d, want %d", len(got.Ops), len(d.Ops))
+		}
+		for i := range d.Ops {
+			if got.Ops[i].Remove != d.Ops[i].Remove || !got.Ops[i].T.Equal(d.Ops[i].T) {
+				t.Fatalf("op %d: %+v != %+v", i, got.Ops[i], d.Ops[i])
+			}
+		}
+	}
+}
+
+func TestDeltaDeterministicEncoding(t *testing.T) {
+	d := sampleDelta()
+	a, b := EncodeDelta(d), EncodeDelta(d)
+	if string(a) != string(b) {
+		t.Fatal("encoding not deterministic")
+	}
+}
+
+func TestDecodeDeltaRejects(t *testing.T) {
+	cases := [][]byte{
+		{0x02},                                   // truncated ops
+		{0xff, 0xff, 0xff, 0xff, 0x7f},           // absurd count
+		append(EncodeDelta(sampleDelta()), 0x00), // trailing bytes
+	}
+	for i, b := range cases {
+		if _, err := DecodeDelta(b); err == nil {
+			t.Errorf("case %d: accepted malformed delta", i)
+		}
+	}
+}
+
+func FuzzDecodeDelta(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x01})
+	f.Add([]byte{0xde, 0xad, 0xbe, 0xef})
+	f.Add(EncodeDelta(sampleDelta()))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		d, err := DecodeDelta(b)
+		if err != nil {
+			return
+		}
+		if uint64(len(d.Ops)) > MaxDeltaOps {
+			t.Fatalf("accepted delta with %d ops", len(d.Ops))
+		}
+		back, err := DecodeDelta(EncodeDelta(d))
+		if err != nil {
+			t.Fatalf("re-decode of accepted delta failed: %v", err)
+		}
+		if len(back.Ops) != len(d.Ops) {
+			t.Fatalf("round trip diverged: %d != %d ops", len(back.Ops), len(d.Ops))
+		}
+		for i := range d.Ops {
+			if back.Ops[i].Remove != d.Ops[i].Remove || !back.Ops[i].T.Equal(d.Ops[i].T) {
+				t.Fatalf("round trip diverged at op %d", i)
+			}
+		}
+	})
+}

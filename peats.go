@@ -23,9 +23,13 @@
 package peats
 
 import (
+	"errors"
+	"fmt"
+	"path/filepath"
 	"time"
 
 	"peats/internal/bft"
+	"peats/internal/durable"
 	ipeats "peats/internal/peats"
 	"peats/internal/policy"
 	"peats/internal/space"
@@ -154,6 +158,31 @@ const (
 	// order — and therefore match determinism — preserved through
 	// monotonic sequence numbers.
 	IndexedStore StoreEngine = space.EngineIndexed
+	// DurableStore is the persistent engine: the indexed engine wrapped
+	// by a write-ahead log that survives crashes (package durable). It
+	// needs a data directory — select it with WithDataDir (which
+	// implies it), tune it with WithFsync, and Close the space (or Stop
+	// the cluster) to flush the log.
+	DurableStore StoreEngine = space.EngineDurable
+)
+
+// FsyncPolicy selects when the durable engine fsyncs its write-ahead
+// log (WithFsync).
+type FsyncPolicy = durable.SyncPolicy
+
+// Available fsync policies.
+const (
+	// FsyncAlways makes every committed operation (or agreement batch)
+	// durable before it is acknowledged: maximum safety, one fsync per
+	// unit.
+	FsyncAlways FsyncPolicy = durable.SyncAlways
+	// FsyncInterval is group commit (the default): operations
+	// accumulate and one fsync covers the whole window. A crash loses
+	// at most the last window, never a torn unit — and a replicated
+	// deployment re-fetches the lost tail from its peers.
+	FsyncInterval FsyncPolicy = durable.SyncInterval
+	// FsyncNever leaves flushing to the operating system.
+	FsyncNever FsyncPolicy = durable.SyncNever
 )
 
 // Option configures space construction (NewSpace, NewLocalCluster).
@@ -165,6 +194,8 @@ type options struct {
 	batchSize    int
 	batchDelay   time.Duration
 	pollInterval time.Duration
+	dataDir      string
+	fsync        FsyncPolicy
 }
 
 // WithStore selects the tuple-storage engine. Both engines implement
@@ -203,6 +234,23 @@ func WithBatchDelay(d time.Duration) Option {
 	return func(o *options) { o.batchDelay = d }
 }
 
+// WithDataDir selects the durable store engine rooted at dir: every
+// mutation is write-ahead logged and the space recovers its contents
+// (and, replicated, its execution position) from dir after a crash or
+// restart. On NewLocalCluster each replica persists under its own
+// subdirectory dir/r<i>. Implies WithStore(DurableStore); combine with
+// WithFsync to pick the durability/throughput trade-off, and Close the
+// space (Stop the cluster) to flush on the way out.
+func WithDataDir(dir string) Option {
+	return func(o *options) { o.dataDir = dir }
+}
+
+// WithFsync sets the durable engine's fsync policy (default
+// FsyncInterval, i.e. group commit). Only meaningful with WithDataDir.
+func WithFsync(p FsyncPolicy) Option {
+	return func(o *options) { o.fsync = p }
+}
+
 // WithPollInterval sets the floor of the jittered exponential backoff
 // replicated handles use to poll blocking Rd/In (ClusterSpace only,
 // default 5ms; each miss doubles the delay up to the handle's
@@ -222,16 +270,54 @@ func buildOptions(opts []Option) options {
 
 // NewSpace returns a local PEATS protected by the given policy. By
 // default the space uses the indexed store engine with one shard; pass
-// WithStore(SliceStore) for the reference engine and WithShards for a
-// partitioned space. Unknown engines and out-of-range shard counts
-// panic, as they indicate a programming error at construction time.
+// WithStore(SliceStore) for the reference engine, WithShards for a
+// partitioned space, and WithDataDir for the durable engine. Unknown
+// engines, out-of-range shard counts and durable open failures panic;
+// use OpenSpace when the error should be handled (a data directory
+// brings real I/O failure modes with it).
 func NewSpace(pol Policy, opts ...Option) *Space {
-	o := buildOptions(opts)
-	s, err := ipeats.NewSharded(pol, o.engine, o.sharedShards())
+	s, err := OpenSpace(pol, opts...)
 	if err != nil {
 		panic(err)
 	}
 	return s
+}
+
+// OpenSpace is NewSpace returning errors instead of panicking — the
+// natural constructor for durable spaces, whose data directory may be
+// unreadable, locked or damaged.
+func OpenSpace(pol Policy, opts ...Option) (*Space, error) {
+	o := buildOptions(opts)
+	if !o.durable() {
+		return ipeats.NewSharded(pol, o.engine, o.sharedShards())
+	}
+	if o.dataDir == "" {
+		return nil, errors.New("peats: the durable store engine needs WithDataDir")
+	}
+	db, err := durable.Open(durable.Options{Dir: o.dataDir, Sync: o.fsync})
+	if err != nil {
+		return nil, err
+	}
+	raw, err := space.NewShardedFactory(o.sharedShards(), func(int) (space.Store, error) {
+		return db.NewStore(), nil
+	})
+	if err == nil {
+		db.StartLoad()
+		err = raw.Install(db.Recovered().Tuples)
+		db.EndLoad()
+	}
+	if err != nil {
+		db.Close()
+		return nil, err
+	}
+	s := ipeats.Wrap(raw, pol)
+	s.AttachCloser(db.Close)
+	return s, nil
+}
+
+// durable reports whether the options select the durable engine.
+func (o options) durable() bool {
+	return o.dataDir != "" || o.engine == DurableStore
 }
 
 // sharedShards resolves the shard option's default.
@@ -263,14 +349,39 @@ type (
 // n = 3f+1 replicas, each running the reference monitor with the given
 // policy. Callers obtain TupleSpace handles with ClusterSpace and must
 // Stop the cluster when done. WithStore selects the storage engine and
-// WithShards the shard count every replica's space uses.
+// WithShards the shard count every replica's space uses; WithDataDir
+// makes every replica durable under its own subdirectory (dir/r<i>),
+// recovering state and execution position on the next construction.
 func NewLocalCluster(f int, pol Policy, opts ...Option) (*Cluster, error) {
 	o := buildOptions(opts)
+	if o.durable() && o.dataDir == "" {
+		return nil, errors.New("peats: the durable store engine needs WithDataDir")
+	}
 	n := 3*f + 1
 	services := make([]bft.Service, n)
 	for i := range services {
-		svc, err := bft.NewSpaceServiceWithConfig(pol, o.engine, o.sharedShards())
+		var (
+			svc *bft.SpaceService
+			err error
+		)
+		if o.durable() {
+			var db *durable.DB
+			db, err = durable.Open(durable.Options{
+				Dir:  filepath.Join(o.dataDir, fmt.Sprintf("r%d", i)),
+				Sync: o.fsync,
+				// The replicas compact at full checkpoints themselves.
+				AutoCompactBytes: -1,
+			})
+			if err == nil {
+				if svc, err = bft.NewDurableSpaceService(pol, db, o.sharedShards()); err != nil {
+					db.Close()
+				}
+			}
+		} else {
+			svc, err = bft.NewSpaceServiceWithConfig(pol, o.engine, o.sharedShards())
+		}
 		if err != nil {
+			closeServices(services[:i])
 			return nil, err
 		}
 		services[i] = svc
@@ -282,7 +393,22 @@ func NewLocalCluster(f int, pol Policy, opts ...Option) (*Cluster, error) {
 	if o.batchDelay > 0 {
 		copts = append(copts, bft.WithBatchDelay(o.batchDelay))
 	}
-	return bft.NewCluster(f, services, copts...)
+	cl, err := bft.NewCluster(f, services, copts...)
+	if err != nil {
+		closeServices(services)
+		return nil, err
+	}
+	return cl, nil
+}
+
+// closeServices releases the durable engines behind partially
+// constructed clusters (failed NewLocalCluster paths).
+func closeServices(services []bft.Service) {
+	for _, s := range services {
+		if c, ok := s.(*bft.SpaceService); ok {
+			c.Close()
+		}
+	}
 }
 
 // ClusterSpace returns a TupleSpace handle on the replicated PEATS for
