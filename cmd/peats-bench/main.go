@@ -11,6 +11,7 @@
 //	peats-bench -table shards      sharded space: fast-path reads under write contention per shard count
 //	peats-bench -table tx          atomic k-op transactions vs k sequential round trips
 //	peats-bench -table durable     WAL group-commit vs fsync-per-op, recovery time vs WAL length
+//	peats-bench -table latency     commit round cut: committed vs tentative vs pipelined Submit
 //	peats-bench -table all         everything
 //
 // The agreement table additionally writes a machine-readable report to
@@ -37,7 +38,7 @@ import (
 // knownTables lists every -table value, in print order for "all".
 var knownTables = []string{
 	"bits", "ops", "resilience", "kvalued", "ablation", "stores",
-	"agreement", "shards", "tx", "durable", "all",
+	"agreement", "shards", "tx", "durable", "latency", "all",
 }
 
 func main() {
@@ -67,6 +68,11 @@ func main() {
 		durOps     = flag.Int("dur-ops", 0, "durable table: committed units per fsync-policy measurement (default 2000)")
 		durWALs    = flag.String("dur-wals", "", "durable table: comma-separated WAL lengths for the recovery sweep (default 1000,5000,20000)")
 		durJSON    = flag.String("durable-json", "BENCH_durable.json", "durable table: machine-readable report path ('' disables)")
+		latOps     = flag.Int("lat-ops", 0, "latency table: Submit calls per mode (default 160)")
+		latDepth   = flag.Int("lat-depth", 0, "latency table: SubmitAsync window per Flush in the pipelined mode (default 8)")
+		latGroups  = flag.String("lat-groups", "", "latency table: comma-separated fault bounds f (default 1,2)")
+		latDelay   = flag.Duration("lat-delay", 0, "latency table: simulated one-way link delay (default 100µs; negative disables)")
+		latJSON    = flag.String("latency-json", "BENCH_latency.json", "latency table: machine-readable report path ('' disables)")
 	)
 	flag.Parse()
 	agree := bench.AgreementConfig{
@@ -85,6 +91,8 @@ func main() {
 		shards: shards, shardsJSON: *shJSONPath,
 		tx: tx, txGroups: *txGroups, txJSON: *txJSONPath,
 		durable: bench.DurableConfig{Ops: *durOps}, durWALs: *durWALs, durableJSON: *durJSON,
+		latency:   bench.LatencyConfig{Ops: *latOps, Depth: *latDepth, NetDelay: *latDelay},
+		latGroups: *latGroups, latencyJSON: *latJSON,
 	}
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "peats-bench:", err)
@@ -104,6 +112,8 @@ type benchConfig struct {
 	txGroups, txJSON        string
 	durable                 bench.DurableConfig
 	durWALs, durableJSON    string
+	latency                 bench.LatencyConfig
+	latGroups, latencyJSON  string
 }
 
 func run(cfg benchConfig) error {
@@ -250,6 +260,26 @@ func run(cfg benchConfig) error {
 				return err
 			}
 			fmt.Printf("wrote %s\n", cfg.durableJSON)
+		}
+		fmt.Println()
+	}
+	if want("latency") {
+		fmt.Println("Latency — committed vs tentative replies vs pipelined Submit (in-proc):")
+		if cfg.latGroups != "" {
+			if cfg.latency.Groups, err = parseInts(cfg.latGroups); err != nil {
+				return fmt.Errorf("-lat-groups: %w", err)
+			}
+		}
+		rows, err := bench.LatencyTable(ctx, cfg.latency)
+		if err != nil {
+			return err
+		}
+		bench.WriteLatencyTable(os.Stdout, rows)
+		if cfg.latencyJSON != "" {
+			if err := bench.WriteLatencyJSON(cfg.latencyJSON, rows); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", cfg.latencyJSON)
 		}
 		fmt.Println()
 	}

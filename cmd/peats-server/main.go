@@ -48,6 +48,7 @@ func main() {
 		shards     = flag.Int("shards", 1, "space shards: per-shard locking lets reads and writes on different shards run concurrently (1-64)")
 		batch      = flag.Int("batch", 64, "max client requests ordered per agreement round (1 = unbatched)")
 		batchDelay = flag.Duration("batch-delay", 2*time.Millisecond, "max time the primary holds a non-full batch while the pipeline is busy")
+		tentative  = flag.Bool("tentative", true, "execute batches at prepared and reply tentatively, one round before the commit quorum")
 		verbose    = flag.Bool("v", false, "log protocol events")
 	)
 	flag.Parse()
@@ -56,7 +57,8 @@ func main() {
 		master: *master, polName: *polName, engine: *engine,
 		dataDir: *dataDir, fsync: *fsync,
 		f: *fFlag, shards: *shards, batch: *batch, batchDelay: *batchDelay,
-		verbose: *verbose,
+		tentative: *tentative,
+		verbose:   *verbose,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "peats-server:", err)
 		os.Exit(1)
@@ -68,6 +70,7 @@ type serverConfig struct {
 	dataDir, fsync                                      string
 	f, shards, batch                                    int
 	batchDelay                                          time.Duration
+	tentative                                           bool
 	verbose                                             bool
 }
 
@@ -144,15 +147,16 @@ func run(cfg serverConfig) error {
 		logger = log.New(os.Stderr, "", log.Lmicroseconds)
 	}
 	rep, err := bft.NewReplica(bft.ReplicaConfig{
-		ID:         cfg.id,
-		Replicas:   replicaIDs,
-		F:          cfg.f,
-		Transport:  tr,
-		Service:    svc,
-		BatchSize:  cfg.batch,
-		BatchDelay: cfg.batchDelay,
-		Keyring:    kr,
-		Logger:     logger,
+		ID:               cfg.id,
+		Replicas:         replicaIDs,
+		F:                cfg.f,
+		Transport:        tr,
+		Service:          svc,
+		BatchSize:        cfg.batch,
+		BatchDelay:       cfg.batchDelay,
+		DisableTentative: !cfg.tentative,
+		Keyring:          kr,
+		Logger:           logger,
 	})
 	if err != nil {
 		return err

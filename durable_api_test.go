@@ -60,6 +60,66 @@ func TestDurableLocalSpacePersistsAcrossReopen(t *testing.T) {
 	}
 }
 
+// TestDurableLocalSubmitAtomicAcrossReopen pins the framed local
+// transaction path: a multi-op Submit on a durable space journals as
+// one WAL unit, so the whole transaction — including its destructive
+// reads — survives Close and reopen together.
+func TestDurableLocalSubmitAtomicAcrossReopen(t *testing.T) {
+	ctx := context.Background()
+	dir := filepath.Join(t.TempDir(), "space")
+
+	s, err := peats.OpenSpace(peats.AllowAll(), peats.WithDataDir(dir),
+		peats.WithFsync(peats.FsyncAlways))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := s.Handle("p1")
+	bal := func(who string, v int64) peats.Tuple {
+		return peats.T(peats.Str("bal"), peats.Str(who), peats.Int(v))
+	}
+	if err := h.Out(ctx, bal("a", 10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Out(ctx, bal("b", 5)); err != nil {
+		t.Fatal(err)
+	}
+	// Transfer 3 from a to b as one atomic, singly-framed transaction.
+	res, err := h.Submit(ctx,
+		peats.InpOp(peats.T(peats.Str("bal"), peats.Str("a"), peats.Formal("v"))),
+		peats.OutOp(bal("a", 7)),
+		peats.InpOp(peats.T(peats.Str("bal"), peats.Str("b"), peats.Formal("v"))),
+		peats.OutOp(bal("b", 8)),
+	)
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	if len(res) != 4 {
+		t.Fatalf("submit returned %d results, want 4", len(res))
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := peats.OpenSpace(peats.AllowAll(), peats.WithDataDir(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	h2 := s2.Handle("p1")
+	for who, want := range map[string]int64{"a": 7, "b": 8} {
+		got, ok, err := h2.Rdp(ctx, peats.T(peats.Str("bal"), peats.Str(who), peats.Formal("v")))
+		if err != nil || !ok {
+			t.Fatalf("rdp %s after reopen: %v %v", who, ok, err)
+		}
+		if v, _ := got.Field(2).IntValue(); v != want {
+			t.Fatalf("balance %s recovered as %v, want %d", who, got, want)
+		}
+	}
+	if n := s2.Inner().Len(); n != 2 {
+		t.Fatalf("recovered %d tuples, want 2", n)
+	}
+}
+
 // TestDurableClusterPersistsAcrossReopen pins the replicated public
 // surface: a local cluster built with WithDataDir serves its
 // pre-restart state after Stop and reconstruction over the same

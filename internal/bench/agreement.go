@@ -2,10 +2,8 @@ package bench
 
 import (
 	"context"
-	"encoding/json"
 	"fmt"
 	"io"
-	"os"
 	"sync"
 	"text/tabwriter"
 	"time"
@@ -67,6 +65,7 @@ type AgreementRow struct {
 	Seconds   float64 `json:"seconds"`
 	OpsPerSec float64 `json:"ops_per_sec"`
 	AvgMicros float64 `json:"avg_latency_us"`
+	Percentiles
 }
 
 // AgreementTable measures the agreement layer: write throughput with
@@ -118,7 +117,10 @@ func writeThroughput(ctx context.Context, f, batch, writers, opsPer int) (Agreem
 	for w := range spaces {
 		spaces[w] = bft.NewRemoteSpace(cl.Client(fmt.Sprintf("w%d", w)))
 	}
-	wave := func(ops int) (time.Duration, error) {
+	// Per-writer sample slices avoid a contended append; the timed
+	// wave merges them for the percentile summary.
+	perOp := make([][]time.Duration, writers)
+	wave := func(ops int, record bool) (time.Duration, error) {
 		var wg sync.WaitGroup
 		errs := make(chan error, writers)
 		start := time.Now()
@@ -126,8 +128,12 @@ func writeThroughput(ctx context.Context, f, batch, writers, opsPer int) (Agreem
 			wg.Add(1)
 			go func(w int) {
 				defer wg.Done()
+				if record {
+					perOp[w] = make([]time.Duration, 0, ops)
+				}
 				entry := tuple.T(tuple.Str("LOAD"), tuple.Int(int64(w)))
 				for i := 0; i < ops; i++ {
+					opStart := time.Now()
 					if i%2 == 0 {
 						if err := spaces[w].Out(ctx, entry); err != nil {
 							errs <- fmt.Errorf("writer %d out %d: %w", w, i, err)
@@ -136,6 +142,9 @@ func writeThroughput(ctx context.Context, f, batch, writers, opsPer int) (Agreem
 					} else if _, _, err := spaces[w].Inp(ctx, entry); err != nil {
 						errs <- fmt.Errorf("writer %d inp %d: %w", w, i, err)
 						return
+					}
+					if record {
+						perOp[w] = append(perOp[w], time.Since(opStart))
 					}
 				}
 			}(w)
@@ -150,24 +159,29 @@ func writeThroughput(ctx context.Context, f, batch, writers, opsPer int) (Agreem
 	if warm < 2 {
 		warm = 2
 	}
-	if _, err := wave(warm); err != nil {
+	if _, err := wave(warm, false); err != nil {
 		return AgreementRow{}, err
 	}
-	elapsed, err := wave(opsPer)
+	elapsed, err := wave(opsPer, true)
 	if err != nil {
 		return AgreementRow{}, err
 	}
 
+	var samples []time.Duration
+	for _, s := range perOp {
+		samples = append(samples, s...)
+	}
 	ops := writers * opsPer
 	return AgreementRow{
-		Workload:  "write",
-		Mode:      fmt.Sprintf("batch=%d", batch),
-		F:         f,
-		Clients:   writers,
-		Ops:       ops,
-		Seconds:   elapsed.Seconds(),
-		OpsPerSec: float64(ops) / elapsed.Seconds(),
-		AvgMicros: float64(elapsed.Microseconds()) / float64(ops) * float64(writers),
+		Workload:    "write",
+		Mode:        fmt.Sprintf("batch=%d", batch),
+		F:           f,
+		Clients:     writers,
+		Ops:         ops,
+		Seconds:     elapsed.Seconds(),
+		OpsPerSec:   float64(ops) / elapsed.Seconds(),
+		AvgMicros:   float64(elapsed.Microseconds()) / float64(ops) * float64(writers),
+		Percentiles: percentiles(samples),
 	}, nil
 }
 
@@ -201,22 +215,26 @@ func readLatency(ctx context.Context, batch, reads int) ([]AgreementRow, error) 
 	}{{"ordered", true}, {"read-only", false}} {
 		ts := bft.NewRemoteSpace(cl.Client("reader-" + mode.name))
 		ts.OrderedReads = mode.ordered
+		samples := make([]time.Duration, 0, reads)
 		start := time.Now()
 		for i := 0; i < reads; i++ {
+			opStart := time.Now()
 			if _, ok, err := ts.Rdp(ctx, tmpl); err != nil || !ok {
 				return nil, fmt.Errorf("%s rdp %d: found=%v err=%v", mode.name, i, ok, err)
 			}
+			samples = append(samples, time.Since(opStart))
 		}
 		elapsed := time.Since(start)
 		rows = append(rows, AgreementRow{
-			Workload:  "read",
-			Mode:      mode.name,
-			F:         1,
-			Clients:   1,
-			Ops:       reads,
-			Seconds:   elapsed.Seconds(),
-			OpsPerSec: float64(reads) / elapsed.Seconds(),
-			AvgMicros: float64(elapsed.Microseconds()) / float64(reads),
+			Workload:    "read",
+			Mode:        mode.name,
+			F:           1,
+			Clients:     1,
+			Ops:         reads,
+			Seconds:     elapsed.Seconds(),
+			OpsPerSec:   float64(reads) / elapsed.Seconds(),
+			AvgMicros:   float64(elapsed.Microseconds()) / float64(reads),
+			Percentiles: percentiles(samples),
 		})
 	}
 	return rows, nil
@@ -226,10 +244,11 @@ func readLatency(ctx context.Context, batch, reads int) ([]AgreementRow, error) 
 // batching speedup per group size and the read-path latency ratio.
 func WriteAgreementTable(w io.Writer, rows []AgreementRow) {
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "workload\tmode\tn\tclients\tops\tops/sec\tavg latency")
+	fmt.Fprintln(tw, "workload\tmode\tn\tclients\tops\tops/sec\tavg latency\tp50\tp95\tp99")
 	for _, r := range rows {
-		fmt.Fprintf(tw, "%s\t%s\t%d\t%d\t%d\t%.0f\t%.0fµs\n",
-			r.Workload, r.Mode, 3*r.F+1, r.Clients, r.Ops, r.OpsPerSec, r.AvgMicros)
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%d\t%d\t%.0f\t%.0fµs\t%.0fµs\t%.0fµs\t%.0fµs\n",
+			r.Workload, r.Mode, 3*r.F+1, r.Clients, r.Ops, r.OpsPerSec, r.AvgMicros,
+			r.P50, r.P95, r.P99)
 	}
 	tw.Flush()
 	for _, s := range WriteSpeedups(rows) {
@@ -299,8 +318,7 @@ func readOnlyGain(rows []AgreementRow) float64 {
 
 // agreementReport is the machine-readable artifact schema.
 type agreementReport struct {
-	Table           string         `json:"table"`
-	GeneratedAt     string         `json:"generated_at"`
+	reportMeta
 	WriteSpeedups   []WriteSpeedup `json:"write_speedups"`
 	ReadLatencyGain float64        `json:"read_latency_gain"`
 	Rows            []AgreementRow `json:"rows"`
@@ -308,16 +326,9 @@ type agreementReport struct {
 
 // WriteAgreementJSON writes the rows as a machine-readable JSON report.
 func WriteAgreementJSON(path string, rows []AgreementRow) error {
-	report := agreementReport{
-		Table:           "agreement",
-		GeneratedAt:     time.Now().UTC().Format(time.RFC3339),
+	return writeReportJSON(path, "agreement", &agreementReport{
 		WriteSpeedups:   WriteSpeedups(rows),
 		ReadLatencyGain: readOnlyGain(rows),
 		Rows:            rows,
-	}
-	data, err := json.MarshalIndent(report, "", "  ")
-	if err != nil {
-		return err
-	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
+	})
 }

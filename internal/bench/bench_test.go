@@ -3,6 +3,9 @@ package bench
 import (
 	"bytes"
 	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -149,6 +152,46 @@ func TestResilienceAndKValuedTables(t *testing.T) {
 	WriteKValuedTable(&buf, krows)
 	if !strings.Contains(buf.String(), "(k+1)t+1") {
 		t.Error("rendering broken")
+	}
+}
+
+func TestLatencyTableSmoke(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	rows, err := LatencyTable(ctx, LatencyConfig{Ops: 8, Depth: 4, Groups: []int{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d rows, want 3 (committed, tentative, tentative+pipelined)", len(rows))
+	}
+	for _, r := range rows {
+		if r.P50 <= 0 || r.P95 < r.P50 || r.P99 < r.P95 {
+			t.Errorf("%s: percentile shape broken: %+v", r.Mode, r.Percentiles)
+		}
+	}
+	var buf bytes.Buffer
+	WriteLatencyTable(&buf, rows)
+	if !strings.Contains(buf.String(), "tentative+pipelined") {
+		t.Error("table rendering broken")
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_latency.json")
+	if err := WriteLatencyJSON(path, rows); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Table string        `json:"table"`
+		Gains []LatencyGain `json:"median_speedups"`
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Table != "latency" || len(rep.Gains) != 2 {
+		t.Errorf("report header/gains wrong: %+v", rep)
 	}
 }
 

@@ -1,7 +1,6 @@
 package bench
 
 import (
-	"encoding/json"
 	"fmt"
 	"io"
 	"os"
@@ -169,23 +168,15 @@ func GroupCommitSpeedup(rows []DurableRow) float64 {
 }
 
 type durableReport struct {
-	Table              string       `json:"table"`
-	GeneratedAt        string       `json:"generated_at"`
+	reportMeta
 	GroupCommitSpeedup float64      `json:"group_commit_speedup"`
 	Rows               []DurableRow `json:"rows"`
 }
 
 // WriteDurableJSON writes the rows as a machine-readable JSON report.
 func WriteDurableJSON(path string, rows []DurableRow) error {
-	report := durableReport{
-		Table:              "durable",
-		GeneratedAt:        time.Now().UTC().Format(time.RFC3339),
+	return writeReportJSON(path, "durable", &durableReport{
 		GroupCommitSpeedup: GroupCommitSpeedup(rows),
 		Rows:               rows,
-	}
-	data, err := json.MarshalIndent(report, "", "  ")
-	if err != nil {
-		return err
-	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
+	})
 }

@@ -1,0 +1,65 @@
+package bench
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"sort"
+	"time"
+)
+
+// reportMeta is the header every machine-readable report shares. Table
+// report structs embed it (encoding/json flattens embedded structs, so
+// the artifact schema is unchanged) and writeReportJSON stamps it.
+type reportMeta struct {
+	Table       string `json:"table"`
+	GeneratedAt string `json:"generated_at"`
+}
+
+func (m *reportMeta) setMeta(table, at string) {
+	m.Table = table
+	m.GeneratedAt = at
+}
+
+// metaSetter is implemented by every report struct via the embedded
+// reportMeta.
+type metaSetter interface{ setMeta(table, at string) }
+
+// writeReportJSON stamps rep's meta header and writes it to path as
+// indented JSON — the one JSON writer every bench table shares.
+func writeReportJSON(path, table string, rep metaSetter) error {
+	rep.setMeta(table, time.Now().UTC().Format(time.RFC3339))
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Percentiles are the latency quantiles a latency distribution reports,
+// in microseconds.
+type Percentiles struct {
+	P50 float64 `json:"p50_latency_us"`
+	P95 float64 `json:"p95_latency_us"`
+	P99 float64 `json:"p99_latency_us"`
+}
+
+// percentiles summarizes per-op latency samples. samples is consumed
+// (sorted in place).
+func percentiles(samples []time.Duration) Percentiles {
+	if len(samples) == 0 {
+		return Percentiles{}
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	at := func(p float64) float64 {
+		idx := int(math.Ceil(p/100*float64(len(samples)))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(samples) {
+			idx = len(samples) - 1
+		}
+		return float64(samples[idx].Nanoseconds()) / 1e3
+	}
+	return Percentiles{P50: at(50), P95: at(95), P99: at(99)}
+}

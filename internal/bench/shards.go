@@ -2,10 +2,8 @@ package bench
 
 import (
 	"context"
-	"encoding/json"
 	"fmt"
 	"io"
-	"os"
 	"sync"
 	"sync/atomic"
 	"text/tabwriter"
@@ -450,8 +448,7 @@ func WriteShardsTable(w io.Writer, rows []ShardsRow) {
 
 // shardsReport is the machine-readable artifact schema.
 type shardsReport struct {
-	Table              string          `json:"table"`
-	GeneratedAt        string          `json:"generated_at"`
+	reportMeta
 	ReadScaling        map[int]float64 `json:"read_scaling"`
 	ClusterReadScaling map[int]float64 `json:"cluster_read_scaling"`
 	Rows               []ShardsRow     `json:"rows"`
@@ -459,16 +456,9 @@ type shardsReport struct {
 
 // WriteShardsJSON writes the rows as a machine-readable JSON report.
 func WriteShardsJSON(path string, rows []ShardsRow) error {
-	report := shardsReport{
-		Table:              "shards",
-		GeneratedAt:        time.Now().UTC().Format(time.RFC3339),
+	return writeReportJSON(path, "shards", &shardsReport{
 		ReadScaling:        ReadScaling(rows),
 		ClusterReadScaling: ClusterReadScaling(rows),
 		Rows:               rows,
-	}
-	data, err := json.MarshalIndent(report, "", "  ")
-	if err != nil {
-		return err
-	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
+	})
 }

@@ -2,10 +2,8 @@ package bench
 
 import (
 	"context"
-	"encoding/json"
 	"fmt"
 	"io"
-	"os"
 	"text/tabwriter"
 	"time"
 
@@ -57,6 +55,8 @@ type TxRow struct {
 	Seconds   float64 `json:"seconds"`
 	OpsPerSec float64 `json:"ops_per_sec"`
 	UnitUs    float64 `json:"avg_unit_latency_us"`
+	// Percentiles summarize per-unit latency.
+	Percentiles
 }
 
 // TxTable measures k sequential round trips against one k-op Submit
@@ -119,19 +119,23 @@ func txThroughput(ctx context.Context, f, k, rounds int, mode string) (TxRow, er
 			return TxRow{}, fmt.Errorf("tx bench warmup (%s, f=%d): %w", mode, f, err)
 		}
 	}
+	samples := make([]time.Duration, 0, rounds)
 	start := time.Now()
 	for r := 0; r < rounds; r++ {
+		unitStart := time.Now()
 		if err := runUnit(r); err != nil {
 			return TxRow{}, fmt.Errorf("tx bench (%s, f=%d, round %d): %w", mode, f, r, err)
 		}
+		samples = append(samples, time.Since(unitStart))
 	}
 	elapsed := time.Since(start)
 	ops := rounds * k
 	return TxRow{
 		Mode: mode, F: f, K: k, Units: rounds, Ops: ops,
-		Seconds:   elapsed.Seconds(),
-		OpsPerSec: float64(ops) / elapsed.Seconds(),
-		UnitUs:    float64(elapsed.Microseconds()) / float64(rounds),
+		Seconds:     elapsed.Seconds(),
+		OpsPerSec:   float64(ops) / elapsed.Seconds(),
+		UnitUs:      float64(elapsed.Microseconds()) / float64(rounds),
+		Percentiles: percentiles(samples),
 	}, nil
 }
 
@@ -171,10 +175,11 @@ func TxSpeedups(rows []TxRow) []TxSpeedup {
 // WriteTxTable renders the comparison with the per-group speedup.
 func WriteTxTable(w io.Writer, rows []TxRow) {
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "mode\tn\tk\tunits\tops\tops/sec\tavg unit latency")
+	fmt.Fprintln(tw, "mode\tn\tk\tunits\tops\tops/sec\tavg unit latency\tp50\tp95\tp99")
 	for _, r := range rows {
-		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\t%.0f\t%.0fµs\n",
-			r.Mode, 3*r.F+1, r.K, r.Units, r.Ops, r.OpsPerSec, r.UnitUs)
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\t%.0f\t%.0fµs\t%.0fµs\t%.0fµs\t%.0fµs\n",
+			r.Mode, 3*r.F+1, r.K, r.Units, r.Ops, r.OpsPerSec, r.UnitUs,
+			r.P50, r.P95, r.P99)
 	}
 	tw.Flush()
 	for _, s := range TxSpeedups(rows) {
@@ -185,23 +190,15 @@ func WriteTxTable(w io.Writer, rows []TxRow) {
 
 // txReport is the machine-readable artifact schema.
 type txReport struct {
-	Table       string      `json:"table"`
-	GeneratedAt string      `json:"generated_at"`
-	Speedups    []TxSpeedup `json:"tx_speedups"`
-	Rows        []TxRow     `json:"rows"`
+	reportMeta
+	Speedups []TxSpeedup `json:"tx_speedups"`
+	Rows     []TxRow     `json:"rows"`
 }
 
 // WriteTxJSON writes the rows as a machine-readable JSON report.
 func WriteTxJSON(path string, rows []TxRow) error {
-	report := txReport{
-		Table:       "tx",
-		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
-		Speedups:    TxSpeedups(rows),
-		Rows:        rows,
-	}
-	data, err := json.MarshalIndent(report, "", "  ")
-	if err != nil {
-		return err
-	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
+	return writeReportJSON(path, "tx", &txReport{
+		Speedups: TxSpeedups(rows),
+		Rows:     rows,
+	})
 }

@@ -57,12 +57,22 @@ type Client struct {
 	// replica; it enables the authenticator vector and the primary-first
 	// send pattern.
 	Keyring *auth.Keyring
+	// AcceptTentative lets ordered invocations return on 2f+1 matching
+	// TENTATIVE replies — one protocol round before the commit quorum.
+	// Safe because 2f+1 tentative replies prove the batch prepared at
+	// 2f+1 replicas, so every view-change quorum intersects that set in
+	// a correct replica carrying the batch forward under the same
+	// digest. When the tentative vote never forms (replicas with
+	// tentative execution disabled, or a view change in flight), the
+	// committed replies decide as usual — no timeout needed.
+	AcceptTentative bool
 
 	retx    *time.Ticker // reusable retransmission ticker
 	roTimer *time.Timer  // reusable read-only fallback timer
 
 	indexes map[string]int // replica id → group index
 	votes   voteBox        // reusable per-invocation vote tally
+	tvotes  voteBox        // tentative-reply camp, tallied separately
 	views   []uint64       // per-invocation reported views, by replica index
 	seen    uint64         // bitmask of replicas that reported a view
 }
@@ -211,6 +221,7 @@ func (c *Client) invokeOrdered(ctx context.Context, req Request) ([]byte, error)
 	}
 
 	c.votes.reset()
+	c.tvotes.reset()
 	c.seen = 0
 	if c.retx == nil {
 		c.retx = time.NewTicker(c.RetransmitInterval)
@@ -234,12 +245,148 @@ func (c *Client) invokeOrdered(ctx context.Context, req Request) ([]byte, error)
 			}
 			idx := c.indexes[rep.Replica]
 			c.noteView(idx, rep.View)
+			if rep.Tentative {
+				// Tentative and committed replies vote in separate camps:
+				// a replica may legitimately send both for one request.
+				if c.AcceptTentative && c.tvotes.add(rep.Result, idx) >= 2*c.f+1 {
+					c.adoptView()
+					return rep.Result, nil
+				}
+				continue
+			}
 			if c.votes.add(rep.Result, idx) >= 2*c.f+1 {
 				c.adoptView()
 				return rep.Result, nil
 			}
 		}
 	}
+}
+
+// InvokeBatch pipelines several independent ordered operations: all are
+// submitted at once under consecutive request IDs, so the primary can
+// pack them into a single agreement batch and the whole set costs one
+// protocol round instead of len(ops). Results are returned in op order.
+// It fails or succeeds as a whole — on context cancellation no per-op
+// results are reported, mirroring Invoke.
+//
+// The operations must be independent: they may execute in any relative
+// order within the batch the primary forms. As with Invoke, the client
+// issues one InvokeBatch at a time.
+func (c *Client) InvokeBatch(ctx context.Context, ops [][]byte) ([][]byte, error) {
+	switch len(ops) {
+	case 0:
+		return nil, nil
+	case 1:
+		res, err := c.Invoke(ctx, ops[0])
+		if err != nil {
+			return nil, err
+		}
+		return [][]byte{res}, nil
+	}
+
+	firstID := c.reqID + 1
+	c.reqID += uint64(len(ops))
+	payloads := make([][]byte, len(ops))
+	authed := true
+	for i, op := range ops {
+		req := Request{Client: c.id, ReqID: firstID + uint64(i), Op: op}
+		req.Auth = c.authVector(req)
+		authed = authed && req.Auth != nil
+		p, err := Marshal(req)
+		if err != nil {
+			return nil, fmt.Errorf("bft client: %w", err)
+		}
+		payloads[i] = p
+	}
+
+	results := make([][]byte, len(ops))
+	done := make([]bool, len(ops))
+	remaining := len(ops)
+	// Per-request vote boxes: replies for different request IDs must
+	// never pool votes.
+	votes := make([]voteBox, len(ops))
+	tvotes := make([]voteBox, len(ops))
+
+	send := func(retransmit bool) {
+		for i, p := range payloads {
+			if done[i] {
+				continue
+			}
+			if authed && !retransmit {
+				_ = c.tr.Send(c.primaryGuess(), p)
+			} else {
+				for _, id := range c.replicas {
+					_ = c.tr.Send(id, p)
+				}
+			}
+		}
+	}
+	send(false)
+
+	c.seen = 0
+	if c.retx == nil {
+		c.retx = time.NewTicker(c.RetransmitInterval)
+	} else {
+		c.retx.Reset(c.RetransmitInterval)
+	}
+	defer c.retx.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return nil, fmt.Errorf("bft client: %w", ctx.Err())
+		case <-c.retx.C:
+			send(true)
+		case m, ok := <-c.tr.Inbox():
+			if !ok {
+				return nil, fmt.Errorf("bft client: transport closed")
+			}
+			rep, ok := c.batchReplyFor(m, firstID, uint64(len(ops)))
+			if !ok || rep.ReadOnly {
+				continue
+			}
+			k := int(rep.ReqID - firstID)
+			if done[k] {
+				continue
+			}
+			idx := c.indexes[rep.Replica]
+			c.noteView(idx, rep.View)
+			box := &votes[k]
+			if rep.Tentative {
+				if !c.AcceptTentative {
+					continue
+				}
+				box = &tvotes[k]
+			}
+			if box.add(rep.Result, idx) >= 2*c.f+1 {
+				results[k] = rep.Result
+				done[k] = true
+				if remaining--; remaining == 0 {
+					c.adoptView()
+					return results, nil
+				}
+			}
+		}
+	}
+}
+
+// batchReplyFor validates an inbound message as a reply to one of the
+// current pipelined requests.
+func (c *Client) batchReplyFor(m transport.Inbound, firstID, n uint64) (Reply, bool) {
+	msg, err := Unmarshal(m.Payload)
+	if err != nil {
+		return Reply{}, false
+	}
+	rep, ok := msg.(Reply)
+	if !ok || rep.Replica != m.From || rep.Client != c.id {
+		return Reply{}, false
+	}
+	if rep.ReqID < firstID || rep.ReqID >= firstID+n {
+		return Reply{}, false // stale reply from an earlier invocation
+	}
+	if !c.isReplica(m.From) {
+		return Reply{}, false
+	}
+	return rep, true
 }
 
 // InvokeReadOnly submits a non-mutating op on the read-only fast path,
@@ -376,6 +523,7 @@ type clusterConfig struct {
 	seed               int64
 	batchSize          int
 	batchDelay         time.Duration
+	disableTentative   bool
 }
 
 // WithCheckpointInterval sets the replicas' checkpoint interval.
@@ -417,6 +565,14 @@ func WithBatchDelay(d time.Duration) ClusterOption {
 	return func(c *clusterConfig) { c.batchDelay = d }
 }
 
+// WithTentativeExecution toggles replica-side tentative execution
+// (default on for services that support it). Pass false to make every
+// replica execute and reply only at the commit quorum — the baseline
+// the latency benchmarks compare against.
+func WithTentativeExecution(on bool) ClusterOption {
+	return func(c *clusterConfig) { c.disableTentative = !on }
+}
+
 // NewCluster starts n = 3f+1 replicas of the given services (one per
 // replica, so Byzantine tests can hand a corrupt service to some of
 // them) over a fresh in-process network. services[i] may be nil to skip
@@ -455,6 +611,7 @@ func NewCluster(f int, services []Service, opts ...ClusterOption) (*Cluster, err
 			ViewChangeTimeout:     cfg.vcTimeout,
 			BatchSize:             cfg.batchSize,
 			BatchDelay:            cfg.batchDelay,
+			DisableTentative:      cfg.disableTentative,
 			Keyring:               cl.keyrings[ids[i]],
 		})
 		if err != nil {

@@ -286,13 +286,19 @@ type Commit struct {
 // ReadOnly marks results of the unordered read-only fast path; clients
 // never mix read-only and ordered replies in one vote (a lagging
 // replica's read-only reply must not help an ordered quorum).
+// Tentative marks results executed at *prepared*, before the commit
+// quorum (Castro–Liskov tentative execution); clients likewise keep
+// tentative and committed replies in separate vote camps — 2f+1
+// matching tentative replies prove the batch prepared at 2f+1 replicas,
+// which is exactly what makes it survive any view change.
 type Reply struct {
-	View     uint64
-	Client   string
-	ReqID    uint64
-	Replica  string
-	Result   []byte
-	ReadOnly bool
+	View      uint64
+	Client    string
+	ReqID     uint64
+	Replica   string
+	Result    []byte
+	ReadOnly  bool
+	Tentative bool
 }
 
 // ReadOnly asks a replica to execute a non-mutating operation against
@@ -379,6 +385,7 @@ func Marshal(msg any) ([]byte, error) {
 		w.String(m.Replica)
 		w.Bytes(m.Result)
 		w.Bool(m.ReadOnly)
+		w.Bool(m.Tentative)
 	case ReadOnly:
 		w.Byte(byte(MsgReadOnly))
 		w.String(m.Client)
@@ -460,6 +467,7 @@ func Unmarshal(b []byte) (any, error) {
 		msg = Reply{
 			View: r.Uvarint(), Client: r.String(), ReqID: r.Uvarint(),
 			Replica: r.String(), Result: r.Bytes(), ReadOnly: r.Bool(),
+			Tentative: r.Bool(),
 		}
 	case MsgReadOnly:
 		msg = ReadOnly{Client: r.String(), ReqID: r.Uvarint(), Op: r.Bytes()}

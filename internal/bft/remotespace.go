@@ -47,6 +47,17 @@ type RemoteSpace struct {
 	PollMaxInterval time.Duration
 	// OrderedReads disables the read-only fast path.
 	OrderedReads bool
+	// TentativeWrites accepts 2f+1 matching tentative replies for
+	// mutating submissions, cutting the commit round off the latency
+	// path (default on; see Client.AcceptTentative for why this is
+	// safe). TentativeReads does the same for ordered reads — reads
+	// forced through ordering by OrderedReads or by read-only vote
+	// failure; the read-only fast path itself never replies
+	// tentatively.
+	TentativeWrites bool
+	TentativeReads  bool
+
+	pending []*PendingSubmit // submissions buffered by SubmitAsync
 }
 
 var _ peats.TupleSpace = (*RemoteSpace)(nil)
@@ -55,7 +66,12 @@ var _ peats.TupleSpace = (*RemoteSpace)(nil)
 // process identity seen by the reference monitor is the client's
 // transport identity.
 func NewRemoteSpace(c *Client) *RemoteSpace {
-	return &RemoteSpace{c: c, PollInterval: 5 * time.Millisecond}
+	return &RemoteSpace{
+		c:               c,
+		PollInterval:    5 * time.Millisecond,
+		TentativeWrites: true,
+		TentativeReads:  true,
+	}
 }
 
 // ID returns the authenticated process identity of the underlying
@@ -102,23 +118,16 @@ func (s *RemoteSpace) invokeVia(
 // results cover the attempted prefix. A submission of only read-only
 // ops is eligible for the read-only fast path.
 func (s *RemoteSpace) Submit(ctx context.Context, ops ...peats.Op) ([]peats.Result, error) {
-	if len(ops) == 0 {
-		return nil, errors.New("peats: empty submission")
+	wops, readOnly, err := validateSubmission(ops)
+	if err != nil {
+		return nil, err
 	}
-	if len(ops) > wire.MaxTxOps {
-		return nil, fmt.Errorf("peats: submission of %d ops exceeds the %d-op wire bound",
-			len(ops), wire.MaxTxOps)
-	}
-	wops := make([]wire.SpaceOp, len(ops))
-	readOnly := true
-	for i, op := range ops {
-		switch op.Code {
-		case policy.OpOut, policy.OpRdp, policy.OpInp, policy.OpCas, policy.OpRdAll:
-		default:
-			return nil, fmt.Errorf("peats: op %v cannot be submitted", op.Code)
-		}
-		readOnly = readOnly && op.ReadOnly()
-		wops[i] = wire.SpaceOp{Op: op.Code, Template: op.Template, Entry: op.Entry}
+	// The knob is re-applied on every invocation: the shared client may
+	// serve several RemoteSpace handles with different settings.
+	if readOnly {
+		s.c.AcceptTentative = s.TentativeReads
+	} else {
+		s.c.AcceptTentative = s.TentativeWrites
 	}
 	if len(ops) == 1 {
 		// A one-op unit travels in the legacy wire form (and is executed
@@ -146,6 +155,36 @@ func (s *RemoteSpace) Submit(ctx context.Context, ops ...peats.Op) ([]peats.Resu
 	if err != nil {
 		return nil, err
 	}
+	return decodeSubmission(ops, raw)
+}
+
+// validateSubmission checks a Submit op list and lifts it to the wire
+// form, reporting whether the whole unit is read-only.
+func validateSubmission(ops []peats.Op) ([]wire.SpaceOp, bool, error) {
+	if len(ops) == 0 {
+		return nil, false, errors.New("peats: empty submission")
+	}
+	if len(ops) > wire.MaxTxOps {
+		return nil, false, fmt.Errorf("peats: submission of %d ops exceeds the %d-op wire bound",
+			len(ops), wire.MaxTxOps)
+	}
+	wops := make([]wire.SpaceOp, len(ops))
+	readOnly := true
+	for i, op := range ops {
+		switch op.Code {
+		case policy.OpOut, policy.OpRdp, policy.OpInp, policy.OpCas, policy.OpRdAll:
+		default:
+			return nil, false, fmt.Errorf("peats: op %v cannot be submitted", op.Code)
+		}
+		readOnly = readOnly && op.ReadOnly()
+		wops[i] = wire.SpaceOp{Op: op.Code, Template: op.Template, Entry: op.Entry}
+	}
+	return wops, readOnly, nil
+}
+
+// decodeSubmission lifts a replica result vector into client results,
+// with the same abort semantics as the local Handle.
+func decodeSubmission(ops []peats.Op, raw []byte) ([]peats.Result, error) {
 	vec, err := wire.DecodeSpaceResults(raw)
 	if err != nil {
 		return nil, fmt.Errorf("replicated space: %w", err)
@@ -173,6 +212,96 @@ func (s *RemoteSpace) Submit(ctx context.Context, ops ...peats.Op) ([]peats.Resu
 		}
 	}
 	return results, nil
+}
+
+// PendingSubmit is a submission buffered by SubmitAsync; its results
+// become available after the next Flush.
+type PendingSubmit struct {
+	ops     []peats.Op
+	wops    []wire.SpaceOp
+	results []peats.Result
+	err     error
+	flushed bool
+}
+
+// Results returns the submission's outcome. Calling it before the
+// flush reports an error.
+func (p *PendingSubmit) Results() ([]peats.Result, error) {
+	if !p.flushed && p.err == nil {
+		return nil, errors.New("peats: submission not flushed")
+	}
+	return p.results, p.err
+}
+
+// SubmitAsync buffers a submission for the next Flush instead of
+// invoking it immediately. Buffered submissions are pipelined: Flush
+// ships them under consecutive request IDs in one send, so the primary
+// packs them into a single agreement batch and k independent Submits
+// cost one protocol round instead of k.
+//
+// The buffered submissions must be independent of each other — they
+// may execute in any relative order within the agreement batch.
+// Validation errors surface on the returned handle at Flush time.
+func (s *RemoteSpace) SubmitAsync(ops ...peats.Op) *PendingSubmit {
+	p := &PendingSubmit{ops: ops}
+	p.wops, _, p.err = validateSubmission(ops)
+	s.pending = append(s.pending, p)
+	return p
+}
+
+// Flush ships every buffered submission in one pipelined round and
+// resolves their handles. It returns the first transport-level error;
+// per-submission outcomes (denials, aborts) are reported only through
+// the handles.
+func (s *RemoteSpace) Flush(ctx context.Context) error {
+	pend := s.pending
+	s.pending = nil
+	live := pend[:0]
+	for _, p := range pend {
+		if p.err == nil {
+			live = append(live, p)
+		}
+	}
+	if len(live) == 0 {
+		return nil
+	}
+	// Pipelined submissions always travel ordered: the read-only fast
+	// path answers from per-replica current state, which is pointless to
+	// batch (and mixing paths would break the single-batch packing).
+	s.c.AcceptTentative = s.TentativeWrites
+	payloads := make([][]byte, len(live))
+	for i, p := range live {
+		if len(p.wops) == 1 {
+			payloads[i] = wire.EncodeSpaceOp(p.wops[0])
+		} else {
+			payloads[i] = wire.EncodeSpaceTx(wire.SpaceTx{Ops: p.wops})
+		}
+	}
+	raws, err := s.c.InvokeBatch(ctx, payloads)
+	if err != nil {
+		for _, p := range live {
+			p.err = err
+		}
+		return err
+	}
+	for i, p := range live {
+		p.flushed = true
+		if len(p.ops) == 1 {
+			res, rerr := wire.DecodeSpaceResult(raws[i])
+			if rerr != nil {
+				p.err = fmt.Errorf("replicated space: %w", rerr)
+				continue
+			}
+			if rerr := resultToError(res); rerr != nil {
+				p.err = rerr
+				continue
+			}
+			p.results = []peats.Result{toResult(p.ops[0], res)}
+			continue
+		}
+		p.results, p.err = decodeSubmission(p.ops, raws[i])
+	}
+	return nil
 }
 
 // toResult lifts a wire result into the client-facing form, deriving

@@ -61,6 +61,12 @@ type ReplicaConfig struct {
 	// matters when BatchSize > 1: an idle pipeline always proposes
 	// immediately, so the delay is never paid at low load.
 	BatchDelay time.Duration
+	// DisableTentative turns off tentative execution: the replica then
+	// executes and replies only once the commit quorum lands. By
+	// default, a service supporting TentativeService executes every
+	// batch the moment it is locally prepared, replying tentatively one
+	// protocol round early (Castro–Liskov).
+	DisableTentative bool
 	// Keyring optionally holds the pairwise keys this replica shares
 	// with clients. When set, the replica can vouch for a request it
 	// only saw inside the primary's batch by verifying the client's
@@ -104,6 +110,18 @@ type clientRecord struct {
 	lastReqID uint64
 	lastReply []byte
 	lastView  uint64
+}
+
+// tentSeg is the replica-layer residue of one tentatively executed
+// unit: the client records it will install and the replies it produced,
+// held aside until the commit quorum promotes the unit into committed
+// state — or a view change discards it. The committed client table and
+// the service's real state stay untouched in the meantime, so rollback
+// is simply dropping the segment.
+type tentSeg struct {
+	seq     uint64
+	clients map[string]*clientRecord
+	results [][]byte // aligned with the batch's requests; nil = silent
 }
 
 // queuedReq is one request awaiting a sequence number at the primary.
@@ -161,6 +179,15 @@ type Replica struct {
 	dirtyClients map[string]struct{}
 	cpHistory    map[uint64][32]byte
 	durable      DurableService
+
+	// Tentative execution state. tentSvc is non-nil when the service
+	// supports it and the config does not disable it. tentExecuted is
+	// the highest tentatively executed sequence (always ≥ executed);
+	// tentSegs holds, oldest first, the replica-layer residue of the
+	// unpromoted units executed+1 .. tentExecuted.
+	tentSvc      TentativeService
+	tentExecuted uint64
+	tentSegs     []tentSeg
 
 	inViewChange bool
 	nextTimeout  time.Duration
@@ -268,6 +295,10 @@ func NewReplica(cfg ReplicaConfig) (*Replica, error) {
 	if err := r.initDurable(); err != nil {
 		return nil, err
 	}
+	if ts, ok := cfg.Service.(TentativeService); ok && !cfg.DisableTentative {
+		r.tentSvc = ts
+	}
+	r.tentExecuted = r.executed
 	return r, nil
 }
 
@@ -960,7 +991,8 @@ func (r *Replica) committed(e *logEntry) bool {
 }
 
 // tryExecute applies committed batches in sequence order, each batch
-// atomically.
+// atomically. A batch already executed tentatively (its overlay is the
+// oldest segment of the stack) is promoted rather than re-executed.
 func (r *Replica) tryExecute() {
 	for {
 		next := r.executed + 1
@@ -968,18 +1000,35 @@ func (r *Replica) tryExecute() {
 		if !r.committed(e) {
 			break
 		}
-		if r.durable != nil {
-			// The batch is one atomic WAL unit: its store mutations frame
-			// together with the client-table updates it causes, so a
-			// crash recovers to a batch boundary or not at all.
-			r.durable.BeginUnit(next)
-			r.executeBatch(e)
-			r.durable.CommitUnit(r.unitExtra(e))
-		} else {
-			r.executeBatch(e)
+		switch {
+		case len(r.tentSegs) > 0 && r.tentSegs[0].seq == next:
+			r.promoteTentative(next, e)
+		default:
+			if len(r.tentSegs) > 0 {
+				// The stack cannot start above executed+1: segments are
+				// created consecutively from executed+1 and promoted in
+				// order. Reaching here means the invariant broke —
+				// discard the tentative state and take the direct path.
+				r.logf("tentative stack out of sync at %d (head %d), rolling back",
+					next, r.tentSegs[0].seq)
+				r.rollbackTentative()
+			}
+			if r.durable != nil {
+				// The batch is one atomic WAL unit: its store mutations
+				// frame together with the client-table updates it causes,
+				// so a crash recovers to a batch boundary or not at all.
+				r.durable.BeginUnit(next)
+				r.executeBatch(e)
+				r.durable.CommitUnit(r.unitExtra(e))
+			} else {
+				r.executeBatch(e)
+			}
 		}
 		e.executed = true
 		r.executed = next
+		if r.tentExecuted < r.executed {
+			r.tentExecuted = r.executed
+		}
 		if len(r.pending) == 0 {
 			r.disarmTimer()
 		} else {
@@ -992,6 +1041,168 @@ func (r *Replica) tryExecute() {
 	// The pipeline advanced (or stalled): give the primary a chance to
 	// propose what queued up meanwhile.
 	r.flushQueue(false)
+	// Newly prepared batches (or batches re-accepted by a view change)
+	// may be ready for tentative execution.
+	r.tryTentative()
+}
+
+// ---- Tentative execution (Castro–Liskov) ----
+//
+// A batch the replica has locally prepared (sentCommit) is proven to be
+// prepared at this replica; once 2f+1 replicas reply tentatively, the
+// client knows the batch prepared at 2f+1 replicas, so any view-change
+// quorum intersects it in a correct replica that carries the batch
+// forward under the same digest — the result can never be revoked.
+// The replica therefore executes at prepared into an overlay
+// (TentativeService), replies with the Tentative flag one protocol
+// round early, and applies the overlay to real state when the commit
+// quorum lands. Nothing tentative touches the committed client table,
+// the stores or the WAL, so a view change that drops a prepared batch
+// rolls back by discarding overlays.
+
+// tryTentative executes prepared-but-uncommitted batches into the
+// overlay stack, in sequence order directly above the committed prefix.
+func (r *Replica) tryTentative() {
+	if r.tentSvc == nil || r.inViewChange {
+		return
+	}
+	if r.tentExecuted < r.executed {
+		r.tentExecuted = r.executed
+	}
+	for {
+		next := r.tentExecuted + 1
+		e := r.entries[next]
+		if e == nil || e.batch == nil || !e.sentCommit || e.executed {
+			return
+		}
+		r.executeTentative(next, e)
+		r.tentExecuted = next
+	}
+}
+
+// tentLookup resolves a client's at-most-once record through the
+// tentative overlays (newest first), falling back to the committed
+// table — the record state a direct execution would see once every
+// tentative unit commits.
+func (r *Replica) tentLookup(client string) *clientRecord {
+	for i := len(r.tentSegs) - 1; i >= 0; i-- {
+		if rec, ok := r.tentSegs[i].clients[client]; ok {
+			return rec
+		}
+	}
+	return r.clients[client]
+}
+
+// executeTentative runs one prepared batch into a fresh overlay unit
+// and sends tentative replies. The at-most-once bookkeeping lands in
+// the unit's segment, not the committed client table; pending and
+// assigned records survive untouched so client retransmissions keep
+// driving repair until the batch actually commits.
+func (r *Replica) executeTentative(seq uint64, e *logEntry) {
+	b := e.batch
+	seg := tentSeg{
+		seq:     seq,
+		clients: make(map[string]*clientRecord),
+		results: make([][]byte, len(b.Reqs)),
+	}
+	r.tentSvc.BeginTentativeUnit(seq)
+	for i, req := range b.Reqs {
+		if noop(req) {
+			continue
+		}
+		// Within-batch duplicates consult this unit's own records first
+		// — the same order sequential direct execution observes.
+		rec, ok := seg.clients[req.Client]
+		if !ok {
+			rec = r.tentLookup(req.Client)
+		}
+		if rec != nil && req.ReqID <= rec.lastReqID {
+			if req.ReqID == rec.lastReqID {
+				seg.results[i] = rec.lastReply
+			}
+			continue
+		}
+		result := r.tentSvc.TentativeExecute(req.Client, req.Op)
+		seg.clients[req.Client] = &clientRecord{lastReqID: req.ReqID, lastReply: result}
+		seg.results[i] = result
+	}
+	r.tentSvc.EndTentativeUnit()
+	r.tentSegs = append(r.tentSegs, seg)
+	for i, req := range b.Reqs {
+		if noop(req) || seg.results[i] == nil {
+			continue
+		}
+		r.sendTo(req.Client, Reply{
+			View: r.view, Client: req.Client, ReqID: req.ReqID,
+			Replica: r.cfg.ID, Result: seg.results[i], Tentative: true,
+		})
+	}
+}
+
+// promoteTentative lands the oldest tentative unit in committed state:
+// the service applies its overlay (journaling checkpoint effects
+// exactly as direct execution would), the unit's client records fold
+// into the committed table, and committed replies confirm the
+// tentative ones. On a durable service the whole promotion is one WAL
+// unit, so recovery still lands on a committed-batch boundary.
+func (r *Replica) promoteTentative(next uint64, e *logEntry) {
+	seg := r.tentSegs[0]
+	promote := func() {
+		r.tentSvc.PromoteTentative()
+		for id, rec := range seg.clients {
+			cur, ok := r.clients[id]
+			if !ok {
+				cur = &clientRecord{}
+				r.clients[id] = cur
+			}
+			cur.lastReqID = rec.lastReqID
+			cur.lastReply = rec.lastReply
+			// Stamped at promotion time, exactly when direct execution
+			// would have run — keeps the client table byte-identical to a
+			// replica executing on the commit quorum.
+			cur.lastView = r.view
+		}
+	}
+	if r.durable != nil {
+		r.durable.BeginUnit(next)
+		promote()
+		r.durable.CommitUnit(r.unitExtra(e))
+	} else {
+		promote()
+	}
+	r.tentSegs = r.tentSegs[1:]
+	b := e.batch
+	for i, req := range b.Reqs {
+		if noop(req) {
+			continue
+		}
+		r.dirtyClients[req.Client] = struct{}{}
+		d := e.digests[i]
+		delete(r.pending, d)
+		delete(r.assigned, d)
+		delete(r.queued, d)
+		if seg.results[i] != nil {
+			r.sendTo(req.Client, Reply{
+				View: r.view, Client: req.Client, ReqID: req.ReqID,
+				Replica: r.cfg.ID, Result: seg.results[i],
+			})
+		}
+	}
+}
+
+// rollbackTentative discards every unpromoted tentative unit — called
+// when a view change or state transfer may invalidate the prepared
+// suffix. Re-proposed batches re-execute tentatively (byte-identically:
+// committed state was never touched) after the new view installs.
+func (r *Replica) rollbackTentative() {
+	if len(r.tentSegs) == 0 && r.tentExecuted == r.executed {
+		return
+	}
+	if r.tentSvc != nil {
+		r.tentSvc.RollbackTentative()
+	}
+	r.tentSegs = nil
+	r.tentExecuted = r.executed
 }
 
 // executeBatch applies every request of a committed batch in order and
@@ -1490,6 +1701,9 @@ func (r *Replica) onStateResponse(resp StateResponse) {
 		r.logf("state response at %d lacks a digest quorum", resp.Seq)
 		return
 	}
+	// The incoming snapshot replaces local state wholesale; tentative
+	// overlays stacked on the old state are meaningless on top of it.
+	r.rollbackTentative()
 	if r.durable != nil {
 		// The install is covered by the snapshot EndStateLoad writes,
 		// not by the WAL: load mode for the whole sequence.

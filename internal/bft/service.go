@@ -39,6 +39,25 @@ type BatchExecutor interface {
 	ExecuteBatch(clients []string, ops [][]byte) [][]byte
 }
 
+// TentativeService is an optional Service extension backing tentative
+// execution (Castro–Liskov): the replica executes a batch into an
+// overlay as soon as it is *prepared* (BeginTentativeUnit /
+// TentativeExecute / EndTentativeUnit), applies the overlay to real
+// state once the commit quorum lands (PromoteTentative, always in
+// sequence order), and discards every unpromoted overlay when a view
+// change may have dropped prepared batches (RollbackTentative).
+// TentativeExecute must return exactly the bytes Execute would return
+// once every earlier unit commits, and PromoteTentative must leave
+// state and checkpoint journal byte-identical to direct execution. All
+// methods run on the replica event loop.
+type TentativeService interface {
+	BeginTentativeUnit(seq uint64)
+	TentativeExecute(client string, op []byte) []byte
+	EndTentativeUnit()
+	PromoteTentative()
+	RollbackTentative()
+}
+
 // ReadOnlyExecutor is an optional Service extension backing the
 // read-only fast path: executing a non-mutating operation against the
 // current state, outside the ordered sequence. Implementations must
@@ -97,6 +116,14 @@ type SpaceService struct {
 	// db, when set, is the durability engine behind the space's stores
 	// (NewDurableSpaceService).
 	db *durable.DB
+
+	// tentative is the overlay stack of units executed at *prepared*
+	// but not yet committed (Castro–Liskov tentative execution). Only
+	// the replica event loop touches it. Lazily allocated; nil and
+	// empty are equivalent. Nothing tentative reaches the stores — or,
+	// on a durable service, the WAL — until PromoteTentative, so
+	// recovery can never resurface un-agreed state.
+	tentative *space.Overlay
 }
 
 var (
@@ -105,6 +132,7 @@ var (
 	_ ReadOnlyExecutor = (*SpaceService)(nil)
 	_ DeltaSnapshotter = (*SpaceService)(nil)
 	_ DurableService   = (*SpaceService)(nil)
+	_ TentativeService = (*SpaceService)(nil)
 )
 
 // NewSpaceService returns a PEATS service protected by the given
@@ -320,6 +348,105 @@ func (s *SpaceService) executeTxIn(tx *space.Tx, client string, ops []wire.Space
 	s.journalEffects(st)
 	st.Commit()
 	return results
+}
+
+// ---- Tentative execution ----
+//
+// The replica calls BeginTentativeUnit / TentativeExecute /
+// EndTentativeUnit when a batch reaches prepared, PromoteTentative when
+// its commit quorum lands (always in sequence order), and
+// RollbackTentative when a view change may have dropped prepared
+// batches. All five run on the replica event loop.
+
+// BeginTentativeUnit opens an overlay segment for the prepared batch at
+// agreement sequence seq.
+func (s *SpaceService) BeginTentativeUnit(seq uint64) {
+	if s.tentative == nil {
+		s.tentative = s.inner.NewOverlay()
+	}
+	s.tentative.BeginUnit(seq)
+}
+
+// TentativeExecute applies one request of the open tentative unit
+// against the overlay view — committed state plus every tentative unit
+// below — and returns the canonical result bytes, byte-identical to
+// what Execute would return after the preceding units commit. The
+// stores are not touched: effects fold into the overlay, under shard
+// read locks only.
+func (s *SpaceService) TentativeExecute(client string, op []byte) []byte {
+	d := decodeReq(op)
+	if d.err != nil {
+		return d.encodeErr()
+	}
+	var res []byte
+	s.inner.DoRead(func(tx *space.Tx) {
+		st := tx.StageOn(s.tentative)
+		results := make([]wire.SpaceResult, len(d.ops))
+		aborted := false
+		for i, op := range d.ops {
+			r, abort := s.applyStaged(st, client, op, i, len(d.ops))
+			results[i] = r
+			if abort {
+				for j := i + 1; j < len(d.ops); j++ {
+					results[j] = wire.SpaceResult{Status: wire.StatusSkipped}
+				}
+				aborted = true
+				break
+			}
+		}
+		if aborted {
+			st.AbortTentative()
+		} else {
+			st.CommitTentative()
+		}
+		res = d.encode(results)
+	})
+	return res
+}
+
+// EndTentativeUnit closes the open overlay segment.
+func (s *SpaceService) EndTentativeUnit() { s.tentative.EndUnit() }
+
+// PromoteTentative applies the oldest tentative unit to the stores —
+// its commit quorum landed — and journals its effects for the
+// incremental checkpoint exactly as direct execution would have
+// (journalEffects ordering: per request, removals by value then
+// inserts). On a durable service the caller brackets this with
+// BeginUnit/CommitUnit, so the whole unit lands in one WAL frame.
+func (s *SpaceService) PromoteTentative() {
+	for _, eff := range s.tentative.PromoteBottom() {
+		if len(eff.Removed)+len(eff.Inserted) == 0 || s.journalBroken {
+			continue
+		}
+		for _, t := range eff.Removed {
+			s.journal = append(s.journal, wire.DeltaOp{Remove: true, T: t})
+		}
+		for _, t := range eff.Inserted {
+			s.journal = append(s.journal, wire.DeltaOp{T: t})
+		}
+		if len(s.journal) > maxJournalOps {
+			s.journal = nil
+			s.journalBroken = true
+		}
+	}
+}
+
+// RollbackTentative discards every unpromoted tentative unit: a view
+// change may drop prepared batches, and whatever survives re-executes
+// after the new view re-proposes it.
+func (s *SpaceService) RollbackTentative() {
+	if s.tentative != nil {
+		s.tentative.Rollback(0)
+	}
+}
+
+// TentativeDepth reports how many tentative units are stacked (test
+// hook).
+func (s *SpaceService) TentativeDepth() int {
+	if s.tentative == nil {
+		return 0
+	}
+	return s.tentative.Depth()
 }
 
 // maxJournalOps caps the mutation journal. Checkpoints drain it every

@@ -567,6 +567,76 @@ func TestPollDelayBackoff(t *testing.T) {
 	}
 }
 
+// TestPollFloorAtOrAboveCapDegenerates drives the poll loop itself
+// (no cluster) with a floor above the cap: the effective schedule is
+// constant at the floor with zero jitter headroom, so two misses cost
+// exactly two floor-length sleeps before the hit returns.
+func TestPollFloorAtOrAboveCapDegenerates(t *testing.T) {
+	s := &RemoteSpace{PollInterval: 30 * time.Millisecond, PollMaxInterval: 10 * time.Millisecond}
+	calls := 0
+	start := time.Now()
+	got, err := s.poll(context.Background(), tuple.T(tuple.Str("X")),
+		func(context.Context, tuple.Tuple) (tuple.Tuple, bool, error) {
+			calls++
+			return tuple.T(tuple.Int(int64(calls))), calls >= 3, nil
+		})
+	if err != nil || calls != 3 {
+		t.Fatalf("poll: calls=%d err=%v", calls, err)
+	}
+	if v, _ := got.Field(0).IntValue(); v != 3 {
+		t.Fatalf("poll returned %v, want the third attempt's tuple", got)
+	}
+	if elapsed := time.Since(start); elapsed < 2*s.PollInterval {
+		t.Errorf("two misses slept %v, want ≥ %v (floor must win over a lower cap)",
+			elapsed, 2*s.PollInterval)
+	}
+}
+
+// TestPollCancellationAndErrorPropagation: cancelling the context while
+// the poll loop is parked in backoff unblocks it promptly, and an
+// operation error aborts the loop immediately without a retry.
+func TestPollCancellationAndErrorPropagation(t *testing.T) {
+	s := &RemoteSpace{PollInterval: 20 * time.Millisecond, PollMaxInterval: time.Second}
+	miss := func(context.Context, tuple.Tuple) (tuple.Tuple, bool, error) {
+		return tuple.Tuple{}, false, nil
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(30 * time.Millisecond) // poll is parked in its second backoff
+		cancel()
+	}()
+	start := time.Now()
+	if _, err := s.poll(ctx, tuple.T(tuple.Str("X")), miss); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled poll err = %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 500*time.Millisecond {
+		t.Errorf("cancellation took %v to unblock a parked poller", elapsed)
+	}
+
+	// A context cancelled before the first attempt still runs the
+	// operation once (matching Rdp/Inp, which surface their own ctx
+	// error) and then stops in the select.
+	calls := 0
+	if _, err := s.poll(ctx, tuple.T(tuple.Str("X")),
+		func(context.Context, tuple.Tuple) (tuple.Tuple, bool, error) {
+			calls++
+			return tuple.Tuple{}, false, nil
+		}); !errors.Is(err, context.Canceled) || calls != 1 {
+		t.Fatalf("pre-cancelled poll: calls=%d err=%v", calls, err)
+	}
+
+	boom := errors.New("replica unreachable")
+	calls = 0
+	if _, err := s.poll(context.Background(), tuple.T(tuple.Str("X")),
+		func(context.Context, tuple.Tuple) (tuple.Tuple, bool, error) {
+			calls++
+			return tuple.Tuple{}, false, boom
+		}); !errors.Is(err, boom) || calls != 1 {
+		t.Fatalf("error propagation: calls=%d err=%v", calls, err)
+	}
+}
+
 // TestRemoteSpacePollBackoffStillDelivers: a blocking Rd with an
 // aggressive floor finds a late tuple and respects cancellation.
 func TestRemoteSpacePollBackoffStillDelivers(t *testing.T) {

@@ -185,6 +185,12 @@ func (r *Replica) installView(view uint64, batches []Batch) {
 	r.inViewChange = false
 	r.nextTimeout = r.cfg.ViewChangeTimeout
 
+	// A prepared batch the new view does not re-issue must not leave
+	// effects behind: discard every tentative overlay before reseeding.
+	// Batches that survived re-execute tentatively below, on identical
+	// committed state, so surviving results are byte-identical.
+	r.rollbackTentative()
+
 	// Reset per-view voting state above the stable checkpoint, keeping
 	// executed entries.
 	for seq, e := range r.entries {

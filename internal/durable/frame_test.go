@@ -1,0 +1,134 @@
+package durable
+
+import (
+	"os"
+	"testing"
+)
+
+// readRecords decodes every WAL record across all segment files, in
+// log order.
+func readRecords(t *testing.T, dir string) []WALRecord {
+	t.Helper()
+	var out []WALRecord
+	for _, path := range segFiles(t, dir) {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for len(data) > 0 {
+			payload, n, err := readFrame(data)
+			if err != nil {
+				t.Fatalf("readFrame(%s): %v", path, err)
+			}
+			rec, err := DecodeWALRecord(payload)
+			if err != nil {
+				t.Fatalf("DecodeWALRecord(%s): %v", path, err)
+			}
+			out = append(out, rec)
+			data = data[n:]
+		}
+	}
+	return out
+}
+
+func TestLocalUnitFramesTransactionIntoOneRecord(t *testing.T) {
+	dir := t.TempDir()
+	db := mustOpen(t, dir, SyncAlways)
+	st := db.NewStore()
+
+	st.Insert(ut(1), 1) // un-framed singleton: one record
+
+	db.BeginLocalUnit() // multi-op local transaction: one record
+	st.Insert(ut(2), 2)
+	st.Insert(ut(3), 3)
+	st.Insert(ut(4), 4)
+	db.CommitLocalUnit()
+
+	st.Insert(ut(5), 5) // singleton after the frame closes
+
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	recs := readRecords(t, dir)
+	if len(recs) != 3 {
+		t.Fatalf("wrote %d WAL records, want 3 (singleton, framed tx, singleton)", len(recs))
+	}
+	if got := len(recs[1].Muts); got != 3 {
+		t.Errorf("framed record holds %d mutations, want 3", got)
+	}
+	for i, rec := range recs {
+		if rec.Unit != 0 {
+			t.Errorf("record %d has unit %d, want 0 for local frames", i, rec.Unit)
+		}
+	}
+
+	db2 := mustOpen(t, dir, SyncAlways)
+	defer db2.Close()
+	wantPrefix(t, db2.Recovered(), 5)
+}
+
+func TestLocalUnitDoesNotAdvanceUnitSeq(t *testing.T) {
+	dir := t.TempDir()
+	db := mustOpen(t, dir, SyncAlways)
+	st := db.NewStore()
+
+	db.BeginUnit(1) // replication unit
+	st.Insert(ut(1), 1)
+	db.CommitUnit([]byte("u1"))
+
+	db.BeginLocalUnit() // local frame must not look like unit 2
+	st.Insert(ut(2), 2)
+	st.Insert(ut(3), 3)
+	db.CommitLocalUnit()
+
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2 := mustOpen(t, dir, SyncAlways)
+	defer db2.Close()
+	rec := db2.Recovered()
+	wantPrefix(t, rec, 3)
+	if rec.UnitSeq != 1 {
+		t.Errorf("recovered UnitSeq = %d, want 1: local frames must not advance it", rec.UnitSeq)
+	}
+	if len(rec.Units) != 1 || string(rec.Units[0].Extra) != "u1" {
+		t.Errorf("recovered units = %v, want just unit 1", rec.Units)
+	}
+}
+
+func TestLocalUnitCrashBeforeCommitLosesWholeFrame(t *testing.T) {
+	dir := t.TempDir()
+	db := mustOpen(t, dir, SyncAlways)
+	st := db.NewStore()
+
+	st.Insert(ut(1), 1)
+
+	db.BeginLocalUnit()
+	st.Insert(ut(2), 2)
+	st.Insert(ut(3), 3)
+	db.Crash()           // power cut mid-transaction: frame never sealed
+	db.CommitLocalUnit() // must be a no-op, not a panic, after Crash
+
+	db2 := mustOpen(t, dir, SyncAlways)
+	defer db2.Close()
+	wantPrefix(t, db2.Recovered(), 1)
+}
+
+func TestLocalUnitEmptyFrameWritesNothing(t *testing.T) {
+	dir := t.TempDir()
+	db := mustOpen(t, dir, SyncAlways)
+	st := db.NewStore()
+
+	st.Insert(ut(1), 1)
+	db.BeginLocalUnit() // read-only or aborted transaction
+	db.CommitLocalUnit()
+
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if recs := readRecords(t, dir); len(recs) != 1 {
+		t.Fatalf("wrote %d WAL records, want 1: empty frames must write nothing", len(recs))
+	}
+}

@@ -174,12 +174,26 @@ type Space struct {
 	allowed atomic.Int64
 	denied  atomic.Int64
 	closer  func() error // durability release hook, see AttachCloser
+	framer  Framer       // WAL transaction framing hook, see AttachFramer
+}
+
+// Framer frames one local multi-op transaction as a single atomic WAL
+// unit. The durability engine implements it (durable.DB); in-memory
+// spaces leave it unset.
+type Framer interface {
+	BeginLocalUnit()
+	CommitLocalUnit()
 }
 
 // AttachCloser registers the release hook Close invokes — a space built
 // over a data directory attaches the durability engine's
 // flush-and-close here.
 func (s *Space) AttachCloser(fn func() error) { s.closer = fn }
+
+// AttachFramer registers the WAL framing hook: every mutating multi-op
+// Submit then journals as one unit — one group-commit fsync window —
+// instead of one journal record per op.
+func (s *Space) AttachFramer(f Framer) { s.framer = f }
 
 // Close releases resources behind the space. For in-memory spaces it
 // is a no-op; for durable spaces it flushes and closes the write-ahead
@@ -315,6 +329,13 @@ func (h *Handle) Submit(_ context.Context, ops ...Op) ([]Result, error) {
 	if readOnly {
 		h.space.inner.DoRead(run)
 	} else {
+		if f := h.space.framer; f != nil && len(ops) > 1 {
+			// Frame the transaction's journal entries into one WAL unit
+			// before taking shard locks (the framer serializes framed
+			// transactions; lock order framer → shards is uniform).
+			f.BeginLocalUnit()
+			defer f.CommitLocalUnit()
+		}
 		h.space.inner.DoScoped(ws, run)
 	}
 	return results, err

@@ -1,0 +1,280 @@
+package space
+
+import (
+	"peats/internal/tuple"
+)
+
+// Overlay is a stack of tentatively executed units layered over the
+// committed contents of a space. The replication substrate executes an
+// agreement batch into the overlay as soon as the batch is *prepared*
+// (Castro–Liskov tentative execution), answers clients from the
+// tentative state, and only applies the unit to the real stores —
+// PromoteBottom — once the commit quorum lands. A view change that
+// drops prepared batches discards their overlay segments (Rollback)
+// without the stores ever having seen them, so no undo log is needed:
+// the overlay *is* the undo log, by never being applied.
+//
+// Each unit is a segment; each segment holds one effect group per
+// atomic fold (one client transaction), preserving the per-transaction
+// effect order a direct execution would have journaled. Tuples inserted
+// by one tentative unit may be consumed by a later one; such
+// cross-segment consumption is tracked by pointer so promotion and
+// rollback resolve it exactly.
+//
+// Ownership: an Overlay is single-threaded — only the replica event
+// loop touches it. Tentative execution reads committed state through a
+// Staged opened with Tx.StageOn under (at least) read locks; the
+// overlay bookkeeping itself needs no locks. PromoteBottom opens its
+// own scoped write section.
+type Overlay struct {
+	s *Space
+	// hidden maps the sequence numbers of stored tuples the tentative
+	// view must not observe — stored tuples consumed by a tentative
+	// unit, plus promoted inserts whose tentative consumer has not
+	// promoted yet — to their values (the value is needed to answer
+	// CountMatching without touching the stores).
+	hidden map[uint64]tuple.Tuple
+	segs   []*overlaySeg
+	open   bool // the top segment is open for folding
+}
+
+// overlaySeg is the net effect of one tentative unit (agreement batch).
+type overlaySeg struct {
+	tag    uint64
+	groups []effectGroup
+}
+
+// effectGroup is the net effect of one atomic fold — one client
+// transaction — in the order a direct execution journals it: removals
+// in consumption order, then inserts in staging order.
+type effectGroup struct {
+	removals []overlayRemoval
+	inserts  []*OverlayInsert
+}
+
+// overlayRemoval is one tentatively consumed tuple: either a stored
+// (committed) tuple, identified by its sequence number, or an insert of
+// an earlier tentative unit, identified by pointer.
+type overlayRemoval struct {
+	stored SeqTuple
+	base   *OverlayInsert // non-nil: consumed an earlier tentative insert
+}
+
+// value returns the consumed tuple's value.
+func (r overlayRemoval) value() tuple.Tuple {
+	if r.base != nil {
+		return r.base.T
+	}
+	return r.stored.T
+}
+
+// OverlayInsert is one tentatively inserted entry. Later tentative
+// units consume it by marking it; promotion materialises it in the
+// stores, recording the sequence number it received so a marked
+// consumer can remove exactly it when that consumer promotes.
+type OverlayInsert struct {
+	T           tuple.Tuple
+	consumed    bool
+	promoted    bool
+	promotedSeq uint64
+}
+
+// UnitEffects is the journalled effect of one effect group, value
+// addressed the way wire.DeltaOp needs it — what PromoteBottom returns
+// so the replication service appends the same incremental-checkpoint
+// journal entries a direct execution would have.
+type UnitEffects struct {
+	Removed  []tuple.Tuple
+	Inserted []tuple.Tuple
+}
+
+// NewOverlay returns an empty overlay over the space.
+func (s *Space) NewOverlay() *Overlay {
+	return &Overlay{s: s, hidden: make(map[uint64]tuple.Tuple)}
+}
+
+// Depth returns the number of tentative units stacked.
+func (ov *Overlay) Depth() int { return len(ov.segs) }
+
+// Empty reports whether the overlay holds no tentative state: the
+// tentative view coincides with the committed contents.
+func (ov *Overlay) Empty() bool { return len(ov.segs) == 0 && len(ov.hidden) == 0 }
+
+// BeginUnit opens a new top segment for the tentative unit tagged tag
+// (the agreement sequence number, for diagnostics). Every fold until
+// EndUnit lands in this segment.
+func (ov *Overlay) BeginUnit(tag uint64) {
+	if ov.open {
+		panic("space: overlay BeginUnit with a unit already open")
+	}
+	ov.segs = append(ov.segs, &overlaySeg{tag: tag})
+	ov.open = true
+}
+
+// EndUnit closes the open segment. A segment with no folds is kept: a
+// batch of denied or read-only transactions still occupies its
+// sequence number and promotes as a no-op.
+func (ov *Overlay) EndUnit() {
+	if !ov.open {
+		panic("space: overlay EndUnit without BeginUnit")
+	}
+	ov.open = false
+}
+
+// hiddenSeq reports whether the stored tuple with the given sequence
+// number is hidden from the tentative view.
+func (ov *Overlay) hiddenSeq(seq uint64) bool {
+	_, ok := ov.hidden[seq]
+	return ok
+}
+
+// eachVisibleInsert visits the overlay's unconsumed tentative inserts
+// in unit then staging order — the order they follow every stored tuple
+// in the tentative view — until fn returns false.
+func (ov *Overlay) eachVisibleInsert(fn func(*OverlayInsert) bool) {
+	for _, seg := range ov.segs {
+		for _, g := range seg.groups {
+			for _, ins := range g.inserts {
+				if ins.consumed {
+					continue
+				}
+				if !fn(ins) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// fold appends one transaction's staged effects to the open segment.
+// The staged view recorded consumption of stored tuples in st.takes and
+// marked consumed overlay inserts eagerly, so folding is pure
+// bookkeeping; the hidden index gains the stored tuples this
+// transaction consumed.
+func (ov *Overlay) fold(takes []overlayRemoval, inserts []tuple.Tuple) {
+	if !ov.open {
+		panic("space: overlay fold without an open unit")
+	}
+	seg := ov.segs[len(ov.segs)-1]
+	g := effectGroup{removals: takes}
+	for _, r := range takes {
+		if r.base == nil {
+			ov.hidden[r.stored.Seq] = r.stored.T
+		}
+	}
+	g.inserts = make([]*OverlayInsert, len(inserts))
+	for i, t := range inserts {
+		g.inserts[i] = &OverlayInsert{T: t}
+	}
+	seg.groups = append(seg.groups, g)
+}
+
+// PromoteBottom applies the oldest tentative unit to the real stores
+// and pops it: the unit's commit quorum landed, so its effects become
+// committed state, group by group in the order a direct execution
+// would have applied them. Removals are value-addressed — the same
+// ascending-sequence determinism argument as Staged.Commit guarantees
+// each removes exactly the tuple the tentative view consumed. An
+// insert already consumed by a still-tentative later unit is stored
+// without waiter delivery and stays hidden from the tentative view
+// until its consumer promotes and removes it.
+//
+// It returns one UnitEffects per group for the incremental-checkpoint
+// journal. Store mutations run inside a scoped write section, so a
+// durable engine journals the whole unit into whatever WAL frame the
+// caller has open.
+func (ov *Overlay) PromoteBottom() []UnitEffects {
+	if ov.open {
+		panic("space: PromoteBottom with a tentative unit open")
+	}
+	if len(ov.segs) == 0 {
+		panic("space: PromoteBottom on an empty overlay")
+	}
+	seg := ov.segs[0]
+	s := ov.s
+	var ws ShardSet
+	for _, g := range seg.groups {
+		for _, r := range g.removals {
+			ws.Add(s.EntryShard(r.value()))
+		}
+		for _, ins := range g.inserts {
+			ws.Add(s.EntryShard(ins.T))
+		}
+	}
+	out := make([]UnitEffects, 0, len(seg.groups))
+	apply := func(tx *Tx) {
+		for _, g := range seg.groups {
+			var eff UnitEffects
+			for _, r := range g.removals {
+				t := r.value()
+				var seq uint64
+				if r.base != nil {
+					// Units promote strictly in order, so a consumed
+					// earlier insert has been materialised by now.
+					if !r.base.promoted {
+						panic("space: tentative removal of an unpromoted insert")
+					}
+					seq = r.base.promotedSeq
+				} else {
+					seq = r.stored.Seq
+				}
+				sh := tx.writableShard(s.EntryShard(t))
+				if _, _, ok := sh.store.Find(t, true); !ok {
+					panic("space: tentative removal lost its target")
+				}
+				delete(ov.hidden, seq)
+				eff.Removed = append(eff.Removed, t)
+			}
+			for _, ins := range g.inserts {
+				sh := tx.writableShard(s.EntryShard(ins.T))
+				if ins.consumed {
+					// The consumer already answered with this tuple;
+					// delivering it to a waiter now would spend it twice.
+					// (Replica-owned spaces have no waiters — this is
+					// belt and braces.)
+					seq := s.seq.Add(1)
+					sh.store.Insert(ins.T, seq)
+					ins.promoted, ins.promotedSeq = true, seq
+					ov.hidden[seq] = ins.T
+				} else {
+					s.insertLocked(sh, ins.T)
+					ins.promoted = true
+				}
+				eff.Inserted = append(eff.Inserted, ins.T)
+			}
+			out = append(out, eff)
+		}
+	}
+	s.DoScoped(ws, apply)
+	ov.segs = ov.segs[1:]
+	return out
+}
+
+// Rollback discards every tentative unit above the first keep segments
+// (Rollback(0) drops them all): consumed stored tuples become visible
+// again, consumed inserts of surviving units are un-consumed, and
+// promoted-but-consumed tuples return to committed visibility. The
+// real stores are untouched — that is the point.
+func (ov *Overlay) Rollback(keep int) {
+	if ov.open {
+		panic("space: Rollback with a tentative unit open")
+	}
+	if keep < 0 || keep > len(ov.segs) {
+		panic("space: Rollback keep out of range")
+	}
+	for _, seg := range ov.segs[keep:] {
+		for _, g := range seg.groups {
+			for _, r := range g.removals {
+				switch {
+				case r.base == nil:
+					delete(ov.hidden, r.stored.Seq)
+				case r.base.promoted:
+					delete(ov.hidden, r.base.promotedSeq)
+				default:
+					r.base.consumed = false
+				}
+			}
+		}
+	}
+	ov.segs = ov.segs[:keep]
+}

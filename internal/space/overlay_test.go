@@ -1,0 +1,386 @@
+package space
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"peats/internal/tuple"
+)
+
+// ovView opens a read-only overlay-stacked view, runs fn, and discards
+// the staged effects — the way assertions peek at the tentative state.
+func ovView(s *Space, ov *Overlay, fn func(st *Staged)) {
+	s.DoRead(func(tx *Tx) { fn(tx.StageOn(ov)) })
+}
+
+// tentTx runs one transaction tentatively against the overlay's open
+// unit: ops get applied through fn, and the effects fold on success.
+func tentTx(s *Space, ov *Overlay, fn func(st *Staged) bool) {
+	s.DoRead(func(tx *Tx) {
+		st := tx.StageOn(ov)
+		if fn(st) {
+			st.CommitTentative()
+		} else {
+			st.AbortTentative()
+		}
+	})
+}
+
+func tv(k string, v int64) tuple.Tuple { return tuple.T(tuple.Str(k), tuple.Int(v)) }
+func tmplAny(k string) tuple.Tuple     { return tuple.T(tuple.Str(k), tuple.Any()) }
+
+// TestOverlayCrossUnitConsumption pins the stacking semantics: a later
+// tentative unit consumes an earlier unit's insert; the view hides it,
+// promotion of the producer materialises it hidden, and promotion of
+// the consumer removes it from the stores.
+func TestOverlayCrossUnitConsumption(t *testing.T) {
+	s := New()
+	if err := s.Out(tv("base", 0)); err != nil {
+		t.Fatal(err)
+	}
+	ov := s.NewOverlay()
+
+	// Unit 1 inserts X.
+	ov.BeginUnit(1)
+	tentTx(s, ov, func(st *Staged) bool { return st.Out(tv("X", 1)) == nil })
+	ov.EndUnit()
+
+	// Unit 2 consumes X (an overlay insert, not a stored tuple).
+	ov.BeginUnit(2)
+	tentTx(s, ov, func(st *Staged) bool {
+		got, ok := st.Inp(tmplAny("X"))
+		if !ok {
+			t.Error("unit 2 missed the tentative insert")
+			return false
+		}
+		if v, _ := got.Field(1).IntValue(); v != 1 {
+			t.Errorf("unit 2 consumed %v", got)
+		}
+		return true
+	})
+	ov.EndUnit()
+
+	// Tentative view: X is gone, base remains.
+	ovView(s, ov, func(st *Staged) {
+		if _, ok := st.Rdp(tmplAny("X")); ok {
+			t.Error("consumed tentative insert still visible")
+		}
+		if st.Len() != 1 {
+			t.Errorf("tentative Len = %d, want 1", st.Len())
+		}
+	})
+
+	// Promote unit 1: X reaches the stores but stays hidden (its
+	// consumer is still tentative), and the stores must show it.
+	eff := ov.PromoteBottom()
+	if len(eff) != 1 || len(eff[0].Inserted) != 1 {
+		t.Fatalf("unit 1 effects = %+v", eff)
+	}
+	if n := s.CountMatching(tmplAny("X")); n != 1 {
+		t.Errorf("store after producer promotion: %d X, want 1", n)
+	}
+	ovView(s, ov, func(st *Staged) {
+		if _, ok := st.Rdp(tmplAny("X")); ok {
+			t.Error("promoted-but-consumed tuple leaked into the view")
+		}
+		if n := st.CountMatching(tmplAny("X")); n != 0 {
+			t.Errorf("tentative CountMatching(X) = %d, want 0", n)
+		}
+	})
+
+	// Promote unit 2: the removal lands.
+	eff = ov.PromoteBottom()
+	if len(eff) != 1 || len(eff[0].Removed) != 1 {
+		t.Fatalf("unit 2 effects = %+v", eff)
+	}
+	if n := s.CountMatching(tmplAny("X")); n != 0 {
+		t.Errorf("store after consumer promotion: %d X, want 0", n)
+	}
+	if !ov.Empty() {
+		t.Error("overlay not empty after full promotion")
+	}
+}
+
+// TestOverlayRollbackRestoresVisibility pins the rollback semantics the
+// view-change path relies on: dropping tentative units un-hides the
+// stored tuples they consumed, un-consumes surviving units' inserts,
+// and — when the producer already promoted — returns the tuple to
+// committed visibility, all without touching the stores.
+func TestOverlayRollbackRestoresVisibility(t *testing.T) {
+	s := New()
+	if err := s.Out(tv("K", 7)); err != nil {
+		t.Fatal(err)
+	}
+	ov := s.NewOverlay()
+
+	// Unit 1: insert A. Unit 2: consume the stored K and unit 1's A.
+	ov.BeginUnit(1)
+	tentTx(s, ov, func(st *Staged) bool { return st.Out(tv("A", 1)) == nil })
+	ov.EndUnit()
+	ov.BeginUnit(2)
+	tentTx(s, ov, func(st *Staged) bool {
+		if _, ok := st.Inp(tmplAny("K")); !ok {
+			return false
+		}
+		_, ok := st.Inp(tmplAny("A"))
+		return ok
+	})
+	ov.EndUnit()
+
+	// Drop unit 2 only: K and A become visible again.
+	ov.Rollback(1)
+	ovView(s, ov, func(st *Staged) {
+		if _, ok := st.Rdp(tmplAny("K")); !ok {
+			t.Error("rolled-back consumption left K hidden")
+		}
+		if _, ok := st.Rdp(tmplAny("A")); !ok {
+			t.Error("rolled-back consumption left unit 1's insert consumed")
+		}
+	})
+	if s.Len() != 1 {
+		t.Errorf("rollback touched the stores: Len = %d, want 1", s.Len())
+	}
+
+	// Re-run unit 2, promote unit 1, then drop unit 2 after its
+	// producer promoted: A must return to committed visibility.
+	ov.BeginUnit(2)
+	tentTx(s, ov, func(st *Staged) bool {
+		_, ok := st.Inp(tmplAny("A"))
+		return ok
+	})
+	ov.EndUnit()
+	ov.PromoteBottom() // unit 1: A stored, hidden (consumer tentative)
+	ovView(s, ov, func(st *Staged) {
+		if _, ok := st.Rdp(tmplAny("A")); ok {
+			t.Error("A visible while its consumer is tentative")
+		}
+	})
+	ov.Rollback(0)
+	ovView(s, ov, func(st *Staged) {
+		if _, ok := st.Rdp(tmplAny("A")); !ok {
+			t.Error("A not restored to visibility after consumer rollback")
+		}
+	})
+	if n := s.CountMatching(tmplAny("A")); n != 1 {
+		t.Errorf("store lost the promoted A: count = %d", n)
+	}
+	if !ov.Empty() {
+		t.Error("overlay not empty after Rollback(0) with everything promoted")
+	}
+}
+
+// TestOverlayViewOrdering pins the match order of the stacked view:
+// stored tuples (by sequence), then overlay inserts (unit then staging
+// order), then the transaction's own staged inserts.
+func TestOverlayViewOrdering(t *testing.T) {
+	s := New()
+	s.Out(tv("Q", 0))
+	ov := s.NewOverlay()
+	ov.BeginUnit(1)
+	tentTx(s, ov, func(st *Staged) bool { return st.Out(tv("Q", 1)) == nil })
+	ov.EndUnit()
+	ov.BeginUnit(2)
+	tentTx(s, ov, func(st *Staged) bool { return st.Out(tv("Q", 2)) == nil })
+	ov.EndUnit()
+
+	ovView(s, ov, func(st *Staged) {
+		if err := st.Out(tv("Q", 3)); err != nil {
+			t.Fatal(err)
+		}
+		all := st.RdAll(tmplAny("Q"))
+		if len(all) != 4 {
+			t.Fatalf("RdAll = %d tuples, want 4", len(all))
+		}
+		for i, tu := range all {
+			if v, _ := tu.Field(1).IntValue(); v != int64(i) {
+				t.Errorf("position %d holds %v (order broken)", i, tu)
+			}
+		}
+		var seen []int64
+		st.ForEach(func(tu tuple.Tuple) bool {
+			v, _ := tu.Field(1).IntValue()
+			seen = append(seen, v)
+			return true
+		})
+		if fmt.Sprint(seen) != "[0 1 2 3]" {
+			t.Errorf("ForEach order = %v", seen)
+		}
+		// Consumption follows the same order.
+		for want := int64(0); want < 4; want++ {
+			got, ok := st.Inp(tmplAny("Q"))
+			if !ok {
+				t.Fatalf("Inp #%d missed", want)
+			}
+			if v, _ := got.Field(1).IntValue(); v != want {
+				t.Errorf("Inp #%d consumed %v", want, got)
+			}
+		}
+	})
+}
+
+// ovOp is one randomized operation of the equivalence harness.
+type ovOp struct {
+	kind        int // 0 out, 1 inp, 2 cas, 3 rdp, 4 rdall
+	tmpl, entry tuple.Tuple
+}
+
+// applyOvOps executes ops against a staged view, returning a result
+// transcript and ok=false when an inp miss aborts the transaction
+// (multi-op submission semantics).
+func applyOvOps(st *Staged, ops []ovOp) (string, bool) {
+	out := ""
+	for _, op := range ops {
+		switch op.kind {
+		case 0:
+			st.Out(op.entry)
+			out += "out;"
+		case 1:
+			got, ok := st.Inp(op.tmpl)
+			out += fmt.Sprintf("inp(%v,%v);", got, ok)
+			if !ok && len(ops) > 1 {
+				return out, false
+			}
+		case 2:
+			ins, m, _ := st.Cas(op.tmpl, op.entry)
+			out += fmt.Sprintf("cas(%v,%v);", ins, m)
+		case 3:
+			got, ok := st.Rdp(op.tmpl)
+			out += fmt.Sprintf("rdp(%v,%v);", got, ok)
+		case 4:
+			out += fmt.Sprintf("rdall(%v);n=%d;len=%d;", st.RdAll(op.tmpl), st.CountMatching(op.tmpl), st.Len())
+		}
+	}
+	return out, true
+}
+
+// TestOverlayPromotionEquivalentToDirectExecution is the randomized
+// acceptance property of tentative execution: a stream of units
+// executed into the overlay — with promotions and rollbacks interleaved
+// at random — yields, unit by promoted unit, byte-identical result
+// transcripts, journal effects and final contents to a twin space that
+// executes each unit directly at its commit point. Exercised across
+// engines and shard counts, since replicas may be configured unevenly.
+func TestOverlayPromotionEquivalentToDirectExecution(t *testing.T) {
+	type pendingUnit struct {
+		txs     [][]ovOp // op lists per transaction
+		results []string // tentative transcripts, aborts included
+		ok      []bool
+	}
+	for _, eng := range Engines() {
+		for _, shards := range []int{1, 4, 16} {
+			t.Run(fmt.Sprintf("%s/%d", eng, shards), func(t *testing.T) {
+				tent, err := NewSharded(eng, shards)
+				if err != nil {
+					t.Fatal(err)
+				}
+				direct, err := NewSharded(eng, shards)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ov := tent.NewOverlay()
+				rng := rand.New(rand.NewSource(42))
+				entry := func() tuple.Tuple {
+					return tv(string(rune('A'+rng.Intn(3))), int64(rng.Intn(4)))
+				}
+				tmpl := func() tuple.Tuple {
+					if rng.Intn(3) == 0 {
+						return tuple.T(tuple.Any(), tuple.Int(int64(rng.Intn(4))))
+					}
+					return entry()
+				}
+				randTx := func() []ovOp {
+					n := 1 + rng.Intn(4)
+					ops := make([]ovOp, n)
+					for i := range ops {
+						ops[i] = ovOp{kind: rng.Intn(5), tmpl: tmpl(), entry: entry()}
+					}
+					return ops
+				}
+
+				var pending []pendingUnit
+				nextTag := uint64(1)
+				for step := 0; step < 600; step++ {
+					switch r := rng.Intn(10); {
+					case r < 6: // new tentative unit
+						u := pendingUnit{txs: make([][]ovOp, 1+rng.Intn(3))}
+						ov.BeginUnit(nextTag)
+						nextTag++
+						for i := range u.txs {
+							u.txs[i] = randTx()
+							tent.DoRead(func(tx *Tx) {
+								st := tx.StageOn(ov)
+								res, ok := applyOvOps(st, u.txs[i])
+								u.results = append(u.results, res)
+								u.ok = append(u.ok, ok)
+								if ok {
+									st.CommitTentative()
+								} else {
+									st.AbortTentative()
+								}
+							})
+						}
+						ov.EndUnit()
+						pending = append(pending, u)
+					case r < 9: // promote the bottom unit; twin executes directly
+						if len(pending) == 0 {
+							continue
+						}
+						u := pending[0]
+						pending = pending[1:]
+						eff := ov.PromoteBottom()
+						effIdx := 0
+						for i, ops := range u.txs {
+							var dres string
+							var dok bool
+							var drem []SeqTuple
+							var dins []tuple.Tuple
+							direct.Do(func(tx *Tx) {
+								st := tx.Stage()
+								dres, dok = applyOvOps(st, ops)
+								if dok {
+									r, ins := st.Effects()
+									drem, dins = append([]SeqTuple(nil), r...), append([]tuple.Tuple(nil), ins...)
+									st.Commit()
+								}
+							})
+							if dres != u.results[i] || dok != u.ok[i] {
+								t.Fatalf("step %d tx %d: tentative %q/%v, direct %q/%v",
+									step, i, u.results[i], u.ok[i], dres, dok)
+							}
+							if !dok {
+								continue // aborted: no effect group was folded
+							}
+							e := eff[effIdx]
+							effIdx++
+							if fmt.Sprint(stripSeqs(drem)) != fmt.Sprint(e.Removed) ||
+								fmt.Sprint(dins) != fmt.Sprint(e.Inserted) {
+								t.Fatalf("step %d tx %d: journal effects diverge:\n tentative -%v +%v\n direct    -%v +%v",
+									step, i, e.Removed, e.Inserted, stripSeqs(drem), dins)
+							}
+						}
+						if effIdx != len(eff) {
+							t.Fatalf("step %d: %d effect groups, %d committed txs", step, len(eff), effIdx)
+						}
+					default: // drop a tentative suffix (the view-change path)
+						if len(pending) == 0 {
+							continue
+						}
+						keep := rng.Intn(len(pending) + 1)
+						ov.Rollback(keep)
+						pending = pending[:keep]
+					}
+				}
+				ov.Rollback(0)
+				pending = nil
+				gotSnap, wantSnap := tent.Snapshot(), direct.Snapshot()
+				if fmt.Sprint(gotSnap) != fmt.Sprint(wantSnap) {
+					t.Fatalf("final contents diverge:\n tentative %v\n direct    %v", gotSnap, wantSnap)
+				}
+				if !ov.Empty() {
+					t.Error("overlay not empty at the end")
+				}
+			})
+		}
+	}
+}

@@ -33,6 +33,18 @@ type Staged struct {
 	// numbers so reads skip them.
 	removed     []SeqTuple
 	removedSeqs map[uint64]struct{}
+
+	// base, when non-nil, stacks this view on a tentative-execution
+	// overlay (Tx.StageOn): matches are selected stored tuples first,
+	// then the overlay's unconsumed inserts, then this view's own
+	// staged inserts — exactly the order a direct execution of the
+	// overlay's units followed by this transaction would produce.
+	base *Overlay
+	// takes records every consumption — stored or overlay insert — in
+	// order, for folding into the overlay; baseTaken lists the overlay
+	// inserts consumed (marked eagerly), for un-marking on abort.
+	takes     []overlayRemoval
+	baseTaken []*OverlayInsert
 }
 
 // Stage opens a deferred-update view over the transaction.
@@ -40,22 +52,44 @@ func (tx *Tx) Stage() *Staged {
 	return &Staged{tx: tx}
 }
 
-// overlayClean reports whether no mutation has been staged, enabling
-// the direct store fast paths.
+// StageOn opens a deferred-update view stacked on a tentative overlay:
+// the view observes committed state as modified by the overlay's
+// units, and its effects are destined for the overlay (CommitTentative)
+// rather than the stores. The overlay must belong to the transaction's
+// space, and the caller needs no write locks — tentative execution
+// never touches the stores.
+func (tx *Tx) StageOn(ov *Overlay) *Staged {
+	if ov.s != tx.s {
+		panic("space: StageOn with an overlay of another space")
+	}
+	return &Staged{tx: tx, base: ov}
+}
+
+// overlayClean reports whether no mutation has been staged and no base
+// overlay shadows the stores, enabling the direct store fast paths.
 func (st *Staged) overlayClean() bool {
-	return len(st.inserts) == 0 && len(st.removed) == 0
+	return len(st.inserts) == 0 && len(st.removed) == 0 &&
+		(st.base == nil || st.base.Empty())
+}
+
+// hiddenStored reports whether either this view or its base overlay
+// hides the stored tuple with the given sequence number.
+func (st *Staged) hiddenStored() bool {
+	return len(st.removedSeqs) > 0 || (st.base != nil && len(st.base.hidden) > 0)
 }
 
 func (st *Staged) isRemoved(seq uint64) bool {
-	_, ok := st.removedSeqs[seq]
-	return ok
+	if _, ok := st.removedSeqs[seq]; ok {
+		return true
+	}
+	return st.base != nil && st.base.hiddenSeq(seq)
 }
 
 // peekStored returns the earliest stored (non-staged-removed) match for
 // tmpl across the shards it routes to.
 func (st *Staged) peekStored(tmpl tuple.Tuple) (SeqTuple, bool) {
 	s := st.tx.s
-	if len(st.removedSeqs) == 0 {
+	if !st.hiddenStored() {
 		// No staged removals: the store's own first match is the answer.
 		if idx, keyed := s.TemplateShard(tmpl); keyed || len(s.shards) == 1 {
 			t, seq, ok := s.shards[idx].store.Find(tmpl, false)
@@ -98,8 +132,8 @@ func (st *Staged) peekStored(tmpl tuple.Tuple) (SeqTuple, bool) {
 
 // find returns the first match for tmpl in the staged view — stored
 // tuples first (they precede every staged insert in insertion order),
-// then staged inserts in staging order — consuming it when remove is
-// true.
+// then the base overlay's unconsumed inserts, then staged inserts in
+// staging order — consuming it when remove is true.
 func (st *Staged) find(tmpl tuple.Tuple, remove bool) (tuple.Tuple, bool) {
 	if cand, ok := st.peekStored(tmpl); ok {
 		if remove {
@@ -108,8 +142,31 @@ func (st *Staged) find(tmpl tuple.Tuple, remove bool) (tuple.Tuple, bool) {
 			}
 			st.removedSeqs[cand.Seq] = struct{}{}
 			st.removed = append(st.removed, cand)
+			if st.base != nil {
+				st.takes = append(st.takes, overlayRemoval{stored: cand})
+			}
 		}
 		return cand.T, true
+	}
+	if st.base != nil {
+		var hit *OverlayInsert
+		st.base.eachVisibleInsert(func(ins *OverlayInsert) bool {
+			if tuple.Matches(ins.T, tmpl) {
+				hit = ins
+				return false
+			}
+			return true
+		})
+		if hit != nil {
+			if remove {
+				// Mark eagerly so later finds in this transaction skip
+				// it; AbortTentative un-marks via baseTaken.
+				hit.consumed = true
+				st.baseTaken = append(st.baseTaken, hit)
+				st.takes = append(st.takes, overlayRemoval{base: hit})
+			}
+			return hit.T, true
+		}
 	}
 	for i, p := range st.inserts {
 		if tuple.Matches(p, tmpl) {
@@ -171,6 +228,14 @@ func (st *Staged) RdAll(tmpl tuple.Tuple) []tuple.Tuple {
 			out = append(out, cand.T)
 		}
 	}
+	if st.base != nil {
+		st.base.eachVisibleInsert(func(ins *OverlayInsert) bool {
+			if tuple.Matches(ins.T, tmpl) {
+				out = append(out, ins.T)
+			}
+			return true
+		})
+	}
 	for _, p := range st.inserts {
 		if tuple.Matches(p, tmpl) {
 			out = append(out, p)
@@ -181,7 +246,12 @@ func (st *Staged) RdAll(tmpl tuple.Tuple) []tuple.Tuple {
 
 // Len returns the number of tuples in the staged view.
 func (st *Staged) Len() int {
-	return st.tx.Len() - len(st.removed) + len(st.inserts)
+	n := st.tx.Len() - len(st.removed) + len(st.inserts)
+	if st.base != nil {
+		n -= len(st.base.hidden)
+		st.base.eachVisibleInsert(func(*OverlayInsert) bool { n++; return true })
+	}
+	return n
 }
 
 // CountMatching returns how many tuples match tmpl in the staged view.
@@ -190,6 +260,19 @@ func (st *Staged) Len() int {
 // produced.
 func (st *Staged) CountMatching(tmpl tuple.Tuple) int {
 	n := st.tx.CountMatching(tmpl)
+	if st.base != nil {
+		for _, t := range st.base.hidden {
+			if tuple.Matches(t, tmpl) {
+				n--
+			}
+		}
+		st.base.eachVisibleInsert(func(ins *OverlayInsert) bool {
+			if tuple.Matches(ins.T, tmpl) {
+				n++
+			}
+			return true
+		})
+	}
 	for _, r := range st.removed {
 		if tuple.Matches(r.T, tmpl) {
 			n--
@@ -224,6 +307,18 @@ func (st *Staged) ForEach(fn func(tuple.Tuple) bool) {
 	if stopped {
 		return
 	}
+	if st.base != nil {
+		st.base.eachVisibleInsert(func(ins *OverlayInsert) bool {
+			if !fn(ins.T) {
+				stopped = true
+				return false
+			}
+			return true
+		})
+		if stopped {
+			return
+		}
+	}
 	for _, p := range st.inserts {
 		if !fn(p) {
 			return
@@ -250,6 +345,9 @@ func (st *Staged) Effects() (removed []SeqTuple, inserted []tuple.Tuple) {
 // shard must be in the transaction's write set. A Staged is spent after
 // Commit.
 func (st *Staged) Commit() {
+	if st.base != nil {
+		panic("space: Commit on an overlay-stacked Staged (use CommitTentative)")
+	}
 	s := st.tx.s
 	for _, r := range st.removed {
 		// An entry used as a template matches exactly its own value, and
@@ -265,4 +363,29 @@ func (st *Staged) Commit() {
 		s.insertLocked(st.tx.writableShard(s.EntryShard(t)), t)
 	}
 	st.removed, st.removedSeqs, st.inserts = nil, nil, nil
+}
+
+// CommitTentative folds the staged effects into the base overlay's
+// open unit instead of the stores: this transaction's consumptions and
+// insertions become part of the tentative state later transactions of
+// the same or following units observe, and nothing touches the stores
+// until the unit promotes. The Staged is spent afterwards.
+func (st *Staged) CommitTentative() {
+	if st.base == nil {
+		panic("space: CommitTentative without an overlay base")
+	}
+	st.base.fold(st.takes, st.inserts)
+	st.takes, st.baseTaken, st.inserts = nil, nil, nil
+	st.removed, st.removedSeqs = nil, nil
+}
+
+// AbortTentative discards the staged effects, un-marking the overlay
+// inserts this transaction had eagerly consumed so they stay visible.
+// The Staged is spent afterwards.
+func (st *Staged) AbortTentative() {
+	for _, ins := range st.baseTaken {
+		ins.consumed = false
+	}
+	st.takes, st.baseTaken, st.inserts = nil, nil, nil
+	st.removed, st.removedSeqs = nil, nil
 }

@@ -16,9 +16,18 @@ type Network struct {
 	rng       *rand.Rand
 	endpoints map[string]*Endpoint
 	links     map[[2]string]linkConfig
-	parts     map[string]int // identity → partition id (0 = default)
+	queues    map[[2]string]chan delayed // per-link FIFO delivery for delayed links
+	parts     map[string]int             // identity → partition id (0 = default)
 	wg        sync.WaitGroup
+	done      chan struct{}
 	closed    bool
+}
+
+// delayed is one message queued on a delayed link, due at `at`.
+type delayed struct {
+	at  time.Time
+	dst *Endpoint
+	msg Inbound
 }
 
 type linkConfig struct {
@@ -33,7 +42,9 @@ func NewNetwork(seed int64) *Network {
 		rng:       rand.New(rand.NewSource(seed)),
 		endpoints: make(map[string]*Endpoint),
 		links:     make(map[[2]string]linkConfig),
+		queues:    make(map[[2]string]chan delayed),
 		parts:     make(map[string]int),
+		done:      make(chan struct{}),
 	}
 }
 
@@ -111,6 +122,7 @@ func (n *Network) Close() {
 		return
 	}
 	n.closed = true
+	close(n.done)
 	eps := make([]*Endpoint, 0, len(n.endpoints))
 	for _, ep := range n.endpoints {
 		eps = append(eps, ep)
@@ -144,31 +156,72 @@ func (n *Network) route(from, to string, payload []byte) error {
 		n.mu.Unlock()
 		return nil // dropped
 	}
-	delay := cfg.delay
-	n.wg.Add(1)
-	n.mu.Unlock()
-
 	// Ownership transfer: the payload is handed to receivers as-is.
 	// Senders must not mutate a buffer after Send — the protocol layer
 	// marshals a fresh buffer per message, and receivers treat payloads
 	// as read-only, so the per-receiver defensive copy that used to
 	// live here was pure allocation overhead on the hot path.
 	msg := Inbound{From: from, Payload: payload}
-	deliver := func() {
-		defer n.wg.Done()
-		select {
-		case dst.inbox <- msg:
-		case <-dst.done:
-		default:
-			// Inbox full: drop (asynchronous model permits loss).
+	if cfg.delay > 0 {
+		// Delayed links are FIFO, like a real (TCP) connection with
+		// latency: each directed link has one delivery queue so two
+		// messages from the same sender never reorder. Per-message
+		// timers would race on delivery and reorder same-link traffic,
+		// which no transport this simulates does.
+		key := [2]string{from, to}
+		q, ok := n.queues[key]
+		if !ok {
+			q = make(chan delayed, inboxDepth)
+			n.queues[key] = q
+			n.wg.Add(1)
+			go n.deliverLoop(q)
 		}
-	}
-	if delay > 0 {
-		time.AfterFunc(delay, deliver)
+		n.mu.Unlock()
+		select {
+		case q <- delayed{at: time.Now().Add(cfg.delay), dst: dst, msg: msg}:
+		default:
+			// Link queue full: drop (asynchronous model permits loss).
+		}
 		return nil
 	}
-	deliver()
+	n.wg.Add(1)
+	n.mu.Unlock()
+	defer n.wg.Done()
+	select {
+	case dst.inbox <- msg:
+	case <-dst.done:
+	default:
+		// Inbox full: drop (asynchronous model permits loss).
+	}
 	return nil
+}
+
+// deliverLoop drains one delayed link's queue in order, waiting out
+// each message's remaining delay before handing it to the inbox.
+func (n *Network) deliverLoop(q chan delayed) {
+	defer n.wg.Done()
+	for {
+		select {
+		case <-n.done:
+			return
+		case d := <-q:
+			if wait := time.Until(d.at); wait > 0 {
+				t := time.NewTimer(wait)
+				select {
+				case <-t.C:
+				case <-n.done:
+					t.Stop()
+					return
+				}
+			}
+			select {
+			case d.dst.inbox <- d.msg:
+			case <-d.dst.done:
+			default:
+				// Inbox full: drop (asynchronous model permits loss).
+			}
+		}
+	}
 }
 
 // Endpoint is one node's attachment to a Network.

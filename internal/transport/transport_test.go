@@ -118,6 +118,28 @@ func TestInprocDelay(t *testing.T) {
 	}
 }
 
+// A delayed link must deliver in send order — pipelined clients send
+// consecutive request numbers over one link, and the at-most-once
+// client table silently drops anything that arrives out of order.
+func TestInprocDelayedLinkIsFIFO(t *testing.T) {
+	n := NewNetwork(1)
+	defer n.Close()
+	a, b := n.Endpoint("a"), n.Endpoint("b")
+	n.SetLink("a", "b", 0, 100*time.Microsecond)
+	const count = 200
+	for i := 0; i < count; i++ {
+		if err := a.Send("b", []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < count; i++ {
+		msg := recvWithin(t, b, time.Second)
+		if got := int(msg.Payload[0]); got != i {
+			t.Fatalf("message %d arrived in position %d: delayed link reordered", got, i)
+		}
+	}
+}
+
 func TestInprocPartition(t *testing.T) {
 	n := NewNetwork(1)
 	defer n.Close()

@@ -189,13 +189,15 @@ const (
 type Option func(*options)
 
 type options struct {
-	engine       StoreEngine
-	shards       int
-	batchSize    int
-	batchDelay   time.Duration
-	pollInterval time.Duration
-	dataDir      string
-	fsync        FsyncPolicy
+	engine          StoreEngine
+	shards          int
+	batchSize       int
+	batchDelay      time.Duration
+	pollInterval    time.Duration
+	dataDir         string
+	fsync           FsyncPolicy
+	tentativeWrites *bool
+	tentativeReads  *bool
 }
 
 // WithStore selects the tuple-storage engine. Both engines implement
@@ -260,6 +262,23 @@ func WithPollInterval(d time.Duration) Option {
 	return func(o *options) { o.pollInterval = d }
 }
 
+// WithTentativeWrites toggles acceptance of tentative replies for
+// mutating submissions (ClusterSpace only, default on). Replicas
+// execute a write the moment its batch is prepared and reply
+// tentatively; 2f+1 matching tentative replies prove the result can
+// never be revoked, cutting one protocol round off write latency. Pass
+// false to wait for the commit-quorum replies instead.
+func WithTentativeWrites(on bool) Option {
+	return func(o *options) { o.tentativeWrites = &on }
+}
+
+// WithTentativeReads is WithTentativeWrites for reads that go through
+// total ordering (OrderedReads handles, or read-only fast-path vote
+// failures). Default on.
+func WithTentativeReads(on bool) Option {
+	return func(o *options) { o.tentativeReads = &on }
+}
+
 func buildOptions(opts []Option) options {
 	var o options
 	for _, opt := range opts {
@@ -312,6 +331,7 @@ func OpenSpace(pol Policy, opts ...Option) (*Space, error) {
 	}
 	s := ipeats.Wrap(raw, pol)
 	s.AttachCloser(db.Close)
+	s.AttachFramer(db)
 	return s, nil
 }
 
@@ -419,6 +439,12 @@ func ClusterSpace(c *Cluster, id ProcessID, opts ...Option) *RemoteSpace {
 	rs := bft.NewRemoteSpace(c.Client(string(id)))
 	if o.pollInterval > 0 {
 		rs.PollInterval = o.pollInterval
+	}
+	if o.tentativeWrites != nil {
+		rs.TentativeWrites = *o.tentativeWrites
+	}
+	if o.tentativeReads != nil {
+		rs.TentativeReads = *o.tentativeReads
 	}
 	return rs
 }
