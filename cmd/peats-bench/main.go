@@ -12,6 +12,7 @@
 //	peats-bench -table tx          atomic k-op transactions vs k sequential round trips
 //	peats-bench -table durable     WAL group-commit vs fsync-per-op, recovery time vs WAL length
 //	peats-bench -table latency     commit round cut: committed vs tentative vs pipelined Submit
+//	peats-bench -table transport   TCP wire layer: write coalescing throughput, vote p99 under bulk
 //	peats-bench -table all         everything
 //
 // The agreement table additionally writes a machine-readable report to
@@ -38,7 +39,7 @@ import (
 // knownTables lists every -table value, in print order for "all".
 var knownTables = []string{
 	"bits", "ops", "resilience", "kvalued", "ablation", "stores",
-	"agreement", "shards", "tx", "durable", "latency", "all",
+	"agreement", "shards", "tx", "durable", "latency", "transport", "all",
 }
 
 func main() {
@@ -73,6 +74,13 @@ func main() {
 		latGroups  = flag.String("lat-groups", "", "latency table: comma-separated fault bounds f (default 1,2)")
 		latDelay   = flag.Duration("lat-delay", 0, "latency table: simulated one-way link delay (default 100µs; negative disables)")
 		latJSON    = flag.String("latency-json", "BENCH_latency.json", "latency table: machine-readable report path ('' disables)")
+		tpSenders  = flag.Int("tp-senders", 0, "transport table: concurrent sender goroutines (default 4)")
+		tpFrames   = flag.Int("tp-frames", 0, "transport table: frames per sender (default 20000)")
+		tpBytes    = flag.Int("tp-frame-bytes", 0, "transport table: vote-sized payload bytes per frame (default 64)")
+		tpVotes    = flag.Int("tp-votes", 0, "transport table: vote round-trips per latency mode (default 1500)")
+		tpBulk     = flag.Int("tp-bulk-bytes", 0, "transport table: bytes per concurrent state pack (default 4MiB)")
+		tpBulkRate = flag.Int("tp-bulk-mbps", 0, "transport table: state-pack stream rate in MB/s (default 32)")
+		tpJSON     = flag.String("transport-json", "BENCH_transport.json", "transport table: machine-readable report path ('' disables)")
 	)
 	flag.Parse()
 	agree := bench.AgreementConfig{
@@ -93,6 +101,11 @@ func main() {
 		durable: bench.DurableConfig{Ops: *durOps}, durWALs: *durWALs, durableJSON: *durJSON,
 		latency:   bench.LatencyConfig{Ops: *latOps, Depth: *latDepth, NetDelay: *latDelay},
 		latGroups: *latGroups, latencyJSON: *latJSON,
+		transport: bench.TransportConfig{
+			Senders: *tpSenders, Frames: *tpFrames, FrameBytes: *tpBytes,
+			Votes: *tpVotes, BulkBytes: *tpBulk, BulkMBps: *tpBulkRate,
+		},
+		transportJSON: *tpJSON,
 	}
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "peats-bench:", err)
@@ -114,6 +127,8 @@ type benchConfig struct {
 	durWALs, durableJSON    string
 	latency                 bench.LatencyConfig
 	latGroups, latencyJSON  string
+	transport               bench.TransportConfig
+	transportJSON           string
 }
 
 func run(cfg benchConfig) error {
@@ -280,6 +295,21 @@ func run(cfg benchConfig) error {
 				return err
 			}
 			fmt.Printf("wrote %s\n", cfg.latencyJSON)
+		}
+		fmt.Println()
+	}
+	if want("transport") {
+		fmt.Println("Transport — coalesced vs per-frame writes, vote p99 under a concurrent bulk stream (loopback TCP):")
+		rows, err := bench.TransportTable(ctx, cfg.transport)
+		if err != nil {
+			return err
+		}
+		bench.WriteTransportTable(os.Stdout, rows)
+		if cfg.transportJSON != "" {
+			if err := bench.WriteTransportJSON(cfg.transportJSON, rows); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", cfg.transportJSON)
 		}
 		fmt.Println()
 	}

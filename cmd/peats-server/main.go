@@ -49,6 +49,10 @@ func main() {
 		batch      = flag.Int("batch", 64, "max client requests ordered per agreement round (1 = unbatched)")
 		batchDelay = flag.Duration("batch-delay", 2*time.Millisecond, "max time the primary holds a non-full batch while the pipeline is busy")
 		tentative  = flag.Bool("tentative", true, "execute batches at prepared and reply tentatively, one round before the commit quorum")
+		sqProto    = flag.Int("sendq-protocol", 0, "per-peer protocol send-queue depth in frames; oldest dropped when full (default 4096)")
+		sqRequest  = flag.Int("sendq-request", 0, "per-peer request send-queue depth in frames; newest rejected when full (default 1024)")
+		sqBulk     = flag.Int("sendq-bulk", 0, "per-peer bulk send-queue depth in chunks; whole messages admitted or rejected (default 256)")
+		bulkChunk  = flag.Int("bulk-chunk", 0, "bulk frames larger than this are chunked onto the dedicated bulk connection (default 64KiB)")
 		verbose    = flag.Bool("v", false, "log protocol events")
 	)
 	flag.Parse()
@@ -58,7 +62,11 @@ func main() {
 		dataDir: *dataDir, fsync: *fsync,
 		f: *fFlag, shards: *shards, batch: *batch, batchDelay: *batchDelay,
 		tentative: *tentative,
-		verbose:   *verbose,
+		sendq: transport.TCPConfig{
+			ProtocolDepth: *sqProto, RequestDepth: *sqRequest,
+			BulkDepth: *sqBulk, BulkChunk: *bulkChunk,
+		},
+		verbose: *verbose,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "peats-server:", err)
 		os.Exit(1)
@@ -71,6 +79,7 @@ type serverConfig struct {
 	f, shards, batch                                    int
 	batchDelay                                          time.Duration
 	tentative                                           bool
+	sendq                                               transport.TCPConfig
 	verbose                                             bool
 }
 
@@ -105,7 +114,7 @@ func run(cfg serverConfig) error {
 	}
 	kr := auth.NewKeyringFromMaster([]byte(cfg.master), cfg.id, all)
 
-	tr, err := transport.NewTCP(cfg.id, cfg.listen, addrs, kr)
+	tr, err := transport.NewTCPWithConfig(cfg.id, cfg.listen, addrs, kr, cfg.sendq)
 	if err != nil {
 		return err
 	}

@@ -94,6 +94,16 @@ func (p *peerMAC) mac(msg []byte) []byte {
 	return p.h.Sum(make([]byte, 0, KeySize))
 }
 
+// macAppend appends the MAC of msg to dst without allocating beyond
+// dst's growth.
+func (p *peerMAC) macAppend(dst, msg []byte) []byte {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.h.Reset()
+	p.h.Write(msg)
+	return p.h.Sum(dst)
+}
+
 // verify checks a MAC without allocating.
 func (p *peerMAC) verify(msg, mac []byte) bool {
 	p.mu.Lock()
@@ -153,6 +163,20 @@ func (kr *Keyring) MAC(peer string, msg []byte) ([]byte, error) {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownPeer, peer)
 	}
 	return pm.mac(msg), nil
+}
+
+// AppendMAC appends the authenticator for msg on the channel to peer
+// onto dst and returns the extended slice — the allocation-free form of
+// MAC for callers that seal into a reused buffer (the TCP transport's
+// coalescing writer seals every outbound frame this way).
+func (kr *Keyring) AppendMAC(peer string, dst, msg []byte) ([]byte, error) {
+	kr.mu.RLock()
+	pm := kr.macs[peer]
+	kr.mu.RUnlock()
+	if pm == nil {
+		return dst, fmt.Errorf("%w: %q", ErrUnknownPeer, peer)
+	}
+	return pm.macAppend(dst, msg), nil
 }
 
 // Verify checks the authenticator for msg on the channel from peer.

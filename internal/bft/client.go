@@ -209,13 +209,13 @@ func (c *Client) invokeOrdered(ctx context.Context, req Request) ([]byte, error)
 		for _, id := range c.replicas {
 			// Best effort: the asynchronous model tolerates loss and the
 			// retransmission loop recovers.
-			_ = c.tr.Send(id, payload)
+			_ = c.tr.SendClass(id, payload, transport.ClassRequest)
 		}
 	}
 	if req.Auth != nil {
 		// Happy path: the primary relays the request inside its batch,
 		// and the authenticator vector lets backups vouch for it.
-		_ = c.tr.Send(c.primaryGuess(), payload)
+		_ = c.tr.SendClass(c.primaryGuess(), payload, transport.ClassRequest)
 	} else {
 		broadcast()
 	}
@@ -313,10 +313,10 @@ func (c *Client) InvokeBatch(ctx context.Context, ops [][]byte) ([][]byte, error
 				continue
 			}
 			if authed && !retransmit {
-				_ = c.tr.Send(c.primaryGuess(), p)
+				_ = c.tr.SendClass(c.primaryGuess(), p, transport.ClassRequest)
 			} else {
 				for _, id := range c.replicas {
-					_ = c.tr.Send(id, p)
+					_ = c.tr.SendClass(id, p, transport.ClassRequest)
 				}
 			}
 		}
@@ -399,7 +399,7 @@ func (c *Client) InvokeReadOnly(ctx context.Context, op []byte) ([]byte, error) 
 		return nil, fmt.Errorf("bft client: %w", err)
 	}
 	for _, id := range c.replicas {
-		_ = c.tr.Send(id, payload)
+		_ = c.tr.SendClass(id, payload, transport.ClassRequest)
 	}
 
 	fallback := c.ReadOnlyFallback

@@ -1,6 +1,7 @@
 package bft
 
 import (
+	"errors"
 	"fmt"
 	"log"
 	"math/bits"
@@ -533,29 +534,56 @@ func (r *Replica) voteBit(id string) uint64 {
 	return 1 << uint(r.indexes[id])
 }
 
-func (r *Replica) broadcast(msg any) {
+// broadcast sends a protocol message to every other replica and
+// reports how many peer links signalled backpressure — the batcher
+// uses the count to pace proposals; everyone else ignores it (protocol
+// traffic is admitted drop-oldest even under pressure, and the repair
+// machinery retransmits).
+func (r *Replica) broadcast(msg any) int {
 	payload, err := Marshal(msg)
 	if err != nil {
 		r.logf("marshal %T: %v", msg, err)
-		return
+		return 0
 	}
+	pressured := 0
 	for _, id := range r.cfg.Replicas {
 		if id == r.cfg.ID {
 			continue
 		}
-		if err := r.tr.Send(id, payload); err != nil {
+		switch err := r.tr.Send(id, payload); {
+		case err == nil:
+		case errors.Is(err, transport.ErrBackpressure):
+			pressured++
+		default:
 			r.logf("send to %s: %v", id, err)
 		}
 	}
+	return pressured
 }
 
 func (r *Replica) sendTo(id string, msg any) {
+	r.sendToClass(id, msg, transport.ClassProtocol)
+}
+
+// sendReply sends a client-facing reply on the request lane, so reply
+// bursts queue behind protocol traffic rather than ahead of it. A
+// backpressured reply is simply dropped — the client retransmits and
+// its vote machinery tolerates missing replies.
+func (r *Replica) sendReply(client string, msg any) {
+	r.sendToClass(client, msg, transport.ClassRequest)
+}
+
+func (r *Replica) sendToClass(id string, msg any, class transport.Class) {
 	payload, err := Marshal(msg)
 	if err != nil {
 		r.logf("marshal %T: %v", msg, err)
 		return
 	}
-	if err := r.tr.Send(id, payload); err != nil {
+	switch err := r.tr.SendClass(id, payload, class); {
+	case err == nil:
+	case errors.Is(err, transport.ErrBackpressure):
+		// Lossy-network semantics: the receiver retransmits its request.
+	default:
 		r.logf("send to %s: %v", id, err)
 	}
 }
@@ -566,7 +594,7 @@ func (r *Replica) onRequest(req Request) {
 	// At-most-once: answer duplicates from the client table.
 	if rec, ok := r.clients[req.Client]; ok && req.ReqID <= rec.lastReqID {
 		if req.ReqID == rec.lastReqID && rec.lastReply != nil {
-			r.sendTo(req.Client, Reply{
+			r.sendReply(req.Client, Reply{
 				View: rec.lastView, Client: req.Client, ReqID: req.ReqID,
 				Replica: r.cfg.ID, Result: rec.lastReply,
 			})
@@ -701,21 +729,30 @@ func (r *Replica) flushQueue(force bool) {
 		r.seq++
 		b := Batch{View: r.view, Seq: r.seq, Digest: batchDigestFrom(ds), Reqs: reqs}
 		r.acceptBatch(b, ds)
-		r.sendProposal(b)
+		pressured := r.sendProposal(b)
 		r.batchesMirror.Add(1)
 		r.armTimer()
+		if pressured > r.cfg.F && len(r.queue) > 0 {
+			// More than f peer links are congested, so the proposal may
+			// not reach a quorum promptly. Hold the rest of the queue
+			// for one batch-delay instead of piling more proposals onto
+			// full lanes; the batch timer's force-flush keeps liveness.
+			r.armBatchTimer()
+			return
+		}
 	}
 	r.disarmBatchTimer()
 }
 
 // sendProposal broadcasts a batch proposal, using the classic
-// PRE-PREPARE wire form for single-request batches.
-func (r *Replica) sendProposal(b Batch) {
+// PRE-PREPARE wire form for single-request batches. It returns the
+// number of peer links that reported backpressure, for the batcher's
+// pacing decision.
+func (r *Replica) sendProposal(b Batch) int {
 	if len(b.Reqs) == 1 {
-		r.broadcast(PrePrepare{View: b.View, Seq: b.Seq, Digest: b.Digest, Req: b.Reqs[0]})
-		return
+		return r.broadcast(PrePrepare{View: b.View, Seq: b.Seq, Digest: b.Digest, Req: b.Reqs[0]})
 	}
-	r.broadcast(b)
+	return r.broadcast(b)
 }
 
 func (r *Replica) armBatchTimer() {
@@ -1132,7 +1169,7 @@ func (r *Replica) executeTentative(seq uint64, e *logEntry) {
 		if noop(req) || seg.results[i] == nil {
 			continue
 		}
-		r.sendTo(req.Client, Reply{
+		r.sendReply(req.Client, Reply{
 			View: r.view, Client: req.Client, ReqID: req.ReqID,
 			Replica: r.cfg.ID, Result: seg.results[i], Tentative: true,
 		})
@@ -1182,7 +1219,7 @@ func (r *Replica) promoteTentative(next uint64, e *logEntry) {
 		delete(r.assigned, d)
 		delete(r.queued, d)
 		if seg.results[i] != nil {
-			r.sendTo(req.Client, Reply{
+			r.sendReply(req.Client, Reply{
 				View: r.view, Client: req.Client, ReqID: req.ReqID,
 				Replica: r.cfg.ID, Result: seg.results[i],
 			})
@@ -1230,7 +1267,7 @@ func (r *Replica) executeBatch(e *logEntry) {
 		delete(r.assigned, d)
 		delete(r.queued, d)
 		if results[i] != nil {
-			r.sendTo(req.Client, Reply{
+			r.sendReply(req.Client, Reply{
 				View: r.view, Client: req.Client, ReqID: req.ReqID,
 				Replica: r.cfg.ID, Result: results[i],
 			})
@@ -1370,9 +1407,10 @@ func (r *Replica) serveReadOnly(ro ReadOnly) {
 	if err != nil {
 		return
 	}
-	// Best-effort: a failed send is indistinguishable from loss, and
-	// the client's vote machinery already handles missing replies.
-	_ = r.tr.Send(ro.Client, payload)
+	// Best-effort on the request lane: a failed send is
+	// indistinguishable from loss, and the client's vote machinery
+	// already handles missing replies.
+	_ = r.tr.SendClass(ro.Client, payload, transport.ClassRequest)
 }
 
 // ---- Checkpoints and state transfer ----
@@ -1643,14 +1681,33 @@ func (r *Replica) requestState(seq uint64, digest [32]byte) {
 // against the checkpoint quorum.
 func (r *Replica) onStateRequest(req StateRequest, from string) {
 	if snap, ok := r.snapshots[req.Seq]; ok {
-		r.sendTo(from, StateResponse{Seq: req.Seq, View: r.view, Snapshot: encodeFullPack(snap), Replica: r.cfg.ID})
+		r.sendBulk(from, StateResponse{Seq: req.Seq, View: r.view, Snapshot: encodeFullPack(snap), Replica: r.cfg.ID})
 		return
 	}
 	pack, ok := r.chainPackFor(req.Seq)
 	if !ok {
 		return
 	}
-	r.sendTo(from, StateResponse{Seq: req.Seq, View: r.view, Snapshot: pack, Replica: r.cfg.ID})
+	r.sendBulk(from, StateResponse{Seq: req.Seq, View: r.view, Snapshot: pack, Replica: r.cfg.ID})
+}
+
+// sendBulk ships a state pack on the bulk lane, where the transport
+// chunks it so it cannot head-of-line-block votes. A pack rejected by
+// backpressure is logged and dropped whole — the requester re-sends
+// its STATE-REQUEST (to a rotating peer) until one lands.
+func (r *Replica) sendBulk(id string, msg any) {
+	payload, err := Marshal(msg)
+	if err != nil {
+		r.logf("marshal %T: %v", msg, err)
+		return
+	}
+	switch err := r.tr.SendClass(id, payload, transport.ClassBulk); {
+	case err == nil:
+	case errors.Is(err, transport.ErrBackpressure):
+		r.logf("bulk lane to %s full, dropping %d-byte state pack", id, len(payload))
+	default:
+		r.logf("send to %s: %v", id, err)
+	}
 }
 
 // chainPackFor assembles base + deltas covering every checkpoint in

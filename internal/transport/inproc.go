@@ -248,6 +248,13 @@ func (e *Endpoint) Send(to string, payload []byte) error {
 	return e.net.route(e.id, to, payload)
 }
 
+// SendClass implements Transport. The simulated network has infinite
+// bandwidth per hub tick, so priority lanes and backpressure are
+// meaningless here: every class routes identically.
+func (e *Endpoint) SendClass(to string, payload []byte, _ Class) error {
+	return e.Send(to, payload)
+}
+
 // Inbox implements Transport.
 func (e *Endpoint) Inbox() <-chan Inbound { return e.inbox }
 
