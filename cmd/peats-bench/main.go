@@ -13,6 +13,7 @@
 //	peats-bench -table durable     WAL group-commit vs fsync-per-op, recovery time vs WAL length
 //	peats-bench -table latency     commit round cut: committed vs tentative vs pipelined Submit
 //	peats-bench -table transport   TCP wire layer: write coalescing throughput, vote p99 under bulk
+//	peats-bench -table partitions  partitioned deployment: write scaling per group count, 2PC cost
 //	peats-bench -table all         everything
 //
 // The agreement table additionally writes a machine-readable report to
@@ -39,7 +40,8 @@ import (
 // knownTables lists every -table value, in print order for "all".
 var knownTables = []string{
 	"bits", "ops", "resilience", "kvalued", "ablation", "stores",
-	"agreement", "shards", "tx", "durable", "latency", "transport", "all",
+	"agreement", "shards", "tx", "durable", "latency", "transport",
+	"partitions", "all",
 }
 
 func main() {
@@ -81,6 +83,12 @@ func main() {
 		tpBulk     = flag.Int("tp-bulk-bytes", 0, "transport table: bytes per concurrent state pack (default 4MiB)")
 		tpBulkRate = flag.Int("tp-bulk-mbps", 0, "transport table: state-pack stream rate in MB/s (default 32)")
 		tpJSON     = flag.String("transport-json", "BENCH_transport.json", "transport table: machine-readable report path ('' disables)")
+		ptWriters  = flag.Int("part-writers", 0, "partitions table: concurrent writer clients (default 16)")
+		ptOps      = flag.Int("part-ops", 0, "partitions table: single-partition write ops per writer (default 150)")
+		ptGroups   = flag.String("part-groups", "", "partitions table: comma-separated group counts M (default 1,2,4)")
+		ptF        = flag.Int("part-f", 0, "partitions table: per-group fault bound of the scaling sweep (default 0)")
+		ptCross    = flag.Int("part-cross", 0, "partitions table: cross-partition 2PC submissions per writer (default 40)")
+		ptJSON     = flag.String("partitions-json", "BENCH_partitions.json", "partitions table: machine-readable report path ('' disables)")
 	)
 	flag.Parse()
 	agree := bench.AgreementConfig{
@@ -106,6 +114,10 @@ func main() {
 			Votes: *tpVotes, BulkBytes: *tpBulk, BulkMBps: *tpBulkRate,
 		},
 		transportJSON: *tpJSON,
+		partitions: bench.PartitionsConfig{
+			Writers: *ptWriters, OpsPerWriter: *ptOps, CrossOps: *ptCross, F: *ptF,
+		},
+		partGroups: *ptGroups, partitionsJSON: *ptJSON,
 	}
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "peats-bench:", err)
@@ -129,6 +141,9 @@ type benchConfig struct {
 	latGroups, latencyJSON  string
 	transport               bench.TransportConfig
 	transportJSON           string
+	partitions              bench.PartitionsConfig
+	partGroups              string
+	partitionsJSON          string
 }
 
 func run(cfg benchConfig) error {
@@ -310,6 +325,26 @@ func run(cfg benchConfig) error {
 				return err
 			}
 			fmt.Printf("wrote %s\n", cfg.transportJSON)
+		}
+		fmt.Println()
+	}
+	if want("partitions") {
+		fmt.Println("Partitions — aggregate write throughput per group count, 2PC cost, same-budget baseline (in-proc):")
+		if cfg.partGroups != "" {
+			if cfg.partitions.Groups, err = parseInts(cfg.partGroups); err != nil {
+				return fmt.Errorf("-part-groups: %w", err)
+			}
+		}
+		rows, err := bench.PartitionsTable(ctx, cfg.partitions)
+		if err != nil {
+			return err
+		}
+		bench.WritePartitionsTable(os.Stdout, rows)
+		if cfg.partitionsJSON != "" {
+			if err := bench.WritePartitionsJSON(cfg.partitionsJSON, rows); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", cfg.partitionsJSON)
 		}
 		fmt.Println()
 	}

@@ -3,6 +3,14 @@
 //
 //	peats-client -id alice -peers r0=127.0.0.1:7000,... -master secret
 //
+// Against a partitioned deployment, point it at the shared topology
+// file instead of a single replica group; the shell then routes each
+// operation to the owning group (FNV-1a over arity and first field)
+// and runs cross-partition submissions through the client-coordinated
+// two-phase commit:
+//
+//	peats-client -id alice -topology topo.json -master secret
+//
 // Commands (tuple fields: bare integers, 'quoted strings', * wildcard,
 // ?name formal):
 //
@@ -26,53 +34,92 @@ import (
 
 	"peats/internal/auth"
 	"peats/internal/bft"
+	"peats/internal/partition"
 	"peats/internal/transport"
 	"peats/internal/tuple"
 )
 
 func main() {
 	var (
-		id     = flag.String("id", "client", "client identity (provisioned on the servers)")
-		peers  = flag.String("peers", "", "comma-separated id=addr pairs for all replicas")
-		fFlag  = flag.Int("f", 1, "tolerated Byzantine replicas")
-		master = flag.String("master", "", "shared master secret")
+		id       = flag.String("id", "client", "client identity (provisioned on the servers)")
+		peers    = flag.String("peers", "", "comma-separated id=addr pairs for all replicas of one group")
+		fFlag    = flag.Int("f", 1, "tolerated Byzantine replicas")
+		master   = flag.String("master", "", "shared master secret")
+		topoPath = flag.String("topology", "", "partitioned deployment: JSON topology file (replaces -peers/-f)")
 	)
 	flag.Parse()
-	if err := run(*id, *peers, *master, *fFlag); err != nil {
+	if err := run(*id, *peers, *master, *topoPath, *fFlag); err != nil {
 		fmt.Fprintln(os.Stderr, "peats-client:", err)
 		os.Exit(1)
 	}
 }
 
-func run(id, peers, master string, f int) error {
-	if peers == "" || master == "" {
-		return fmt.Errorf("-peers and -master are required")
+// shellSpace is the slice of peats.TupleSpace the shell drives; both
+// the single-group bft.RemoteSpace and the partition router satisfy it.
+type shellSpace interface {
+	Out(ctx context.Context, entry tuple.Tuple) error
+	Rdp(ctx context.Context, tmpl tuple.Tuple) (tuple.Tuple, bool, error)
+	Inp(ctx context.Context, tmpl tuple.Tuple) (tuple.Tuple, bool, error)
+	Cas(ctx context.Context, tmpl, entry tuple.Tuple) (bool, tuple.Tuple, error)
+}
+
+func run(id, peers, master, topoPath string, f int) error {
+	if master == "" {
+		return fmt.Errorf("-master is required")
 	}
-	addrs := make(map[string]string)
-	for _, pair := range strings.Split(peers, ",") {
-		rid, addr, ok := strings.Cut(strings.TrimSpace(pair), "=")
-		if !ok {
-			return fmt.Errorf("bad peer %q", pair)
+	var (
+		ts      shellSpace
+		where   string
+		closers []func()
+	)
+	defer func() {
+		for _, c := range closers {
+			c()
 		}
-		addrs[rid] = addr
-	}
-	replicaIDs := make([]string, 0, len(addrs))
-	for rid := range addrs {
-		replicaIDs = append(replicaIDs, rid)
-	}
-	sort.Strings(replicaIDs)
+	}()
+	if topoPath != "" {
+		topo, err := partition.LoadTopology(topoPath)
+		if err != nil {
+			return err
+		}
+		ps, close, err := dialTopology(id, master, topo)
+		if err != nil {
+			return err
+		}
+		closers = append(closers, close)
+		ts = ps
+		where = fmt.Sprintf("%d-group topology %v", len(topo.Groups), topo.GroupIDs())
+	} else {
+		if peers == "" {
+			return fmt.Errorf("-peers or -topology is required")
+		}
+		addrs := make(map[string]string)
+		for _, pair := range strings.Split(peers, ",") {
+			rid, addr, ok := strings.Cut(strings.TrimSpace(pair), "=")
+			if !ok {
+				return fmt.Errorf("bad peer %q", pair)
+			}
+			addrs[rid] = addr
+		}
+		replicaIDs := make([]string, 0, len(addrs))
+		for rid := range addrs {
+			replicaIDs = append(replicaIDs, rid)
+		}
+		sort.Strings(replicaIDs)
 
-	kr := auth.NewKeyringFromMaster([]byte(master), id, replicaIDs)
-	tr, err := transport.NewTCP(id, "127.0.0.1:0", addrs, kr)
-	if err != nil {
-		return err
+		kr := auth.NewKeyringFromMaster([]byte(master), id, replicaIDs)
+		tr, err := transport.NewTCP(id, "127.0.0.1:0", addrs, kr)
+		if err != nil {
+			return err
+		}
+		closers = append(closers, func() { tr.Close() })
+		cli := bft.NewClient(tr, replicaIDs, f)
+		cli.Keyring = kr // enables the authenticator vector + primary-first sends
+		ts = bft.NewRemoteSpace(cli)
+		where = fmt.Sprintf("%v", replicaIDs)
 	}
-	defer tr.Close()
-	cli := bft.NewClient(tr, replicaIDs, f)
-	cli.Keyring = kr // enables the authenticator vector + primary-first sends
-	ts := bft.NewRemoteSpace(cli)
 
-	fmt.Printf("connected as %s to %v; type 'help'\n", id, replicaIDs)
+	fmt.Printf("connected as %s to %s; type 'help'\n", id, where)
 	sc := bufio.NewScanner(os.Stdin)
 	for fmt.Print("peats> "); sc.Scan(); fmt.Print("peats> ") {
 		line := strings.TrimSpace(sc.Text())
@@ -94,7 +141,56 @@ func run(id, peers, master string, f int) error {
 	return sc.Err()
 }
 
-func execute(ts *bft.RemoteSpace, line string) error {
+// dialTopology opens one TCP transport and BFT client per group of the
+// topology (every replica address must be listed) and wires them into
+// the partition router. All group clients authenticate as the same
+// process identity, so every group's reference monitor sees one
+// principal.
+func dialTopology(id, master string, topo *partition.Topology) (*partition.Space, func(), error) {
+	dir := topo.Directory([]byte(master))
+	var (
+		groups  []partition.Group
+		closers []func()
+	)
+	close := func() {
+		for _, c := range closers {
+			c()
+		}
+	}
+	for _, g := range topo.Groups {
+		addrs := make(map[string]string, len(g.Replicas))
+		replicaIDs := make([]string, 0, len(g.Replicas))
+		for _, r := range g.Replicas {
+			if r.Addr == "" {
+				close()
+				return nil, nil, fmt.Errorf("topology has no address for replica %q of group %q", r.ID, g.ID)
+			}
+			addrs[r.ID] = r.Addr
+			replicaIDs = append(replicaIDs, r.ID)
+		}
+		sort.Strings(replicaIDs)
+		kr := auth.NewKeyringFromMaster([]byte(master), id, replicaIDs)
+		tr, err := transport.NewTCP(id, "127.0.0.1:0", addrs, kr)
+		if err != nil {
+			close()
+			return nil, nil, fmt.Errorf("group %q: %w", g.ID, err)
+		}
+		closers = append(closers, func() { tr.Close() })
+		cli := bft.NewClient(tr, replicaIDs, g.F)
+		cli.Keyring = kr
+		cli.Group = g.ID
+		cli.AttestKeys = dir[g.ID].Keys
+		groups = append(groups, partition.Group{ID: g.ID, Client: cli})
+	}
+	ps, err := partition.NewSpace(groups)
+	if err != nil {
+		close()
+		return nil, nil, err
+	}
+	return ps, close, nil
+}
+
+func execute(ts shellSpace, line string) error {
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 

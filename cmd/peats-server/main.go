@@ -9,9 +9,24 @@
 // -master secret, from which pairwise HMAC keys are derived. The
 // served space uses the allow-all policy unless -policy selects one of
 // the built-in consensus policies.
+//
+// In a partitioned deployment (M independent groups sharding the tuple
+// key space) every replica additionally names its group and the shared
+// topology file:
+//
+//	peats-server -id r0 -listen 127.0.0.1:7000 -group g0 -topology topo.json -master secret
+//
+// The topology file lists every group with its replicas and addresses;
+// -peers and -f are then derived from the replica's own group (passing
+// them anyway is allowed, but they must agree with the topology). The
+// group identity is stamped into agreement so misrouted requests are
+// dropped, and the replica signs 2PC outcomes with its attestation key
+// (derived from -master) so clients can assemble transferable vote
+// certificates for cross-partition commits.
 package main
 
 import (
+	"crypto/ed25519"
 	"flag"
 	"fmt"
 	"os"
@@ -27,6 +42,7 @@ import (
 	"peats/internal/bft"
 	"peats/internal/consensus"
 	"peats/internal/durable"
+	"peats/internal/partition"
 	"peats/internal/policy"
 	"peats/internal/space"
 	"peats/internal/transport"
@@ -40,6 +56,8 @@ func main() {
 		peers      = flag.String("peers", "", "comma-separated id=addr pairs for ALL replicas")
 		fFlag      = flag.Int("f", 1, "tolerated Byzantine replicas (n = 3f+1)")
 		master     = flag.String("master", "", "shared master secret for pairwise keys")
+		group      = flag.String("group", "", "partitioned deployment: this replica's group id (needs -topology)")
+		topoPath   = flag.String("topology", "", "partitioned deployment: JSON topology file shared by all groups")
 		polName    = flag.String("policy", "allow-all", "access policy: allow-all|weak|strong:<n>,<t>|lockfree")
 		clients    = flag.String("clients", "", "comma-separated client identities to provision keys for")
 		engine     = flag.String("store", "", "tuple-store engine: slice|indexed|durable (default indexed; durable needs -data-dir)")
@@ -59,6 +77,7 @@ func main() {
 	if err := run(serverConfig{
 		id: *id, listen: *listen, peers: *peers, clients: *clients,
 		master: *master, polName: *polName, engine: *engine,
+		group: *group, topology: *topoPath,
 		dataDir: *dataDir, fsync: *fsync,
 		f: *fFlag, shards: *shards, batch: *batch, batchDelay: *batchDelay,
 		tentative: *tentative,
@@ -75,6 +94,7 @@ func main() {
 
 type serverConfig struct {
 	id, listen, peers, clients, master, polName, engine string
+	group, topology                                     string
 	dataDir, fsync                                      string
 	f, shards, batch                                    int
 	batchDelay                                          time.Duration
@@ -84,8 +104,42 @@ type serverConfig struct {
 }
 
 func run(cfg serverConfig) error {
-	if cfg.id == "" || cfg.listen == "" || cfg.peers == "" || cfg.master == "" {
-		return fmt.Errorf("-id, -listen, -peers and -master are required")
+	if cfg.id == "" || cfg.listen == "" || cfg.master == "" {
+		return fmt.Errorf("-id, -listen and -master are required")
+	}
+	var topo *partition.Topology
+	if cfg.topology != "" {
+		if cfg.group == "" {
+			return fmt.Errorf("-topology needs -group")
+		}
+		var err error
+		topo, err = partition.LoadTopology(cfg.topology)
+		if err != nil {
+			return err
+		}
+		gspec, ok := topo.Group(cfg.group)
+		if !ok {
+			return fmt.Errorf("group %q is not in topology %s", cfg.group, cfg.topology)
+		}
+		// The topology is the authority on the group's fault bound and
+		// membership; -peers may still override addresses (NAT, tests).
+		cfg.f = gspec.F
+		if cfg.peers == "" {
+			pairs := make([]string, len(gspec.Replicas))
+			for i, r := range gspec.Replicas {
+				if r.Addr == "" {
+					return fmt.Errorf("topology has no address for replica %q of group %q (add addr fields or pass -peers)",
+						r.ID, cfg.group)
+				}
+				pairs[i] = r.ID + "=" + r.Addr
+			}
+			cfg.peers = strings.Join(pairs, ",")
+		}
+	} else if cfg.group != "" {
+		return fmt.Errorf("-group needs -topology")
+	}
+	if cfg.peers == "" {
+		return fmt.Errorf("-peers (or a -topology carrying addresses) is required")
 	}
 	addrs, err := parsePeers(cfg.peers)
 	if err != nil {
@@ -98,6 +152,17 @@ func run(cfg serverConfig) error {
 	sort.Strings(replicaIDs)
 	if len(replicaIDs) != 3*cfg.f+1 {
 		return fmt.Errorf("got %d replicas for f=%d, need %d", len(replicaIDs), cfg.f, 3*cfg.f+1)
+	}
+	if topo != nil {
+		gspec, _ := topo.Group(cfg.group)
+		for _, r := range gspec.Replicas {
+			if _, ok := addrs[r.ID]; !ok {
+				return fmt.Errorf("-peers disagrees with topology: group %q expects replica %q", cfg.group, r.ID)
+			}
+		}
+		if _, ok := addrs[cfg.id]; !ok {
+			return fmt.Errorf("replica %q is not a member of group %q", cfg.id, cfg.group)
+		}
 	}
 
 	pol, err := buildPolicy(cfg.polName)
@@ -151,6 +216,15 @@ func run(cfg serverConfig) error {
 		}
 	}
 
+	// In a partitioned deployment the replica enforces its group
+	// boundary (2PC prepares for other groups are rejected) and signs
+	// agreed 2PC outcomes so clients can carry them across groups.
+	var attestKey ed25519.PrivateKey
+	if topo != nil {
+		svc.EnablePartition(cfg.group, topo.Directory([]byte(cfg.master)))
+		attestKey = bft.AttestKeyFor([]byte(cfg.master), cfg.group, cfg.id)
+	}
+
 	var logger *log.Logger
 	if cfg.verbose {
 		logger = log.New(os.Stderr, "", log.Lmicroseconds)
@@ -166,6 +240,8 @@ func run(cfg serverConfig) error {
 		DisableTentative: !cfg.tentative,
 		Keyring:          kr,
 		Logger:           logger,
+		Group:            cfg.group,
+		AttestKey:        attestKey,
 	})
 	if err != nil {
 		return err
@@ -173,6 +249,9 @@ func run(cfg serverConfig) error {
 	rep.Start()
 	fmt.Printf("replica %s serving on %s (group %v, f=%d, policy %s, batch %d, shards %d, store %s)\n",
 		cfg.id, tr.Addr(), replicaIDs, cfg.f, cfg.polName, cfg.batch, svc.Space().Shards(), svc.Space().Engine())
+	if topo != nil {
+		fmt.Printf("partition %s of %d-group topology %s\n", cfg.group, len(topo.Groups), cfg.topology)
+	}
 
 	// Graceful shutdown: the first SIGINT/SIGTERM stops ordering and
 	// execution, closes the transport, and flushes and closes the WAL

@@ -98,6 +98,47 @@ Rread: allow rdp
 	// true
 }
 
+// A partitioned deployment shards the tuple space across independent
+// BFT replica groups — here two in-process groups of one replica each
+// (f=0). The handle routes every operation to the group owning its
+// (arity, first-field) hash: keyed operations cost one group's
+// agreement, and a submission spanning groups runs as a BFT-agreed
+// two-phase commit, so it still executes atomically.
+func ExampleNewPartitionedCluster() {
+	pc, err := peats.NewPartitionedCluster([]int{0, 0}, peats.AllowAll())
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer pc.Stop()
+	sp, _ := pc.Space("p1")
+	ctx := context.Background()
+
+	// "user" tuples live in group g0, "order" tuples in g1.
+	_ = sp.Out(ctx, peats.T(peats.Str("user"), peats.Int(7)))
+	_ = sp.Out(ctx, peats.T(peats.Str("order"), peats.Int(99)))
+
+	t, _, _ := sp.Rdp(ctx, peats.T(peats.Str("user"), peats.Any()))
+	fmt.Println(t)
+
+	// A wildcard-first template fans out to every group and merges the
+	// matches in canonical group order.
+	all, _ := sp.RdAll(ctx, peats.T(peats.Any(), peats.Any()))
+	fmt.Println(len(all), "tuples across both groups")
+
+	// Consuming one tuple from each group is atomic: both inps commit,
+	// or — had either missed — neither would.
+	_, err = sp.Submit(ctx,
+		peats.InpOp(peats.T(peats.Str("user"), peats.Any())),
+		peats.InpOp(peats.T(peats.Str("order"), peats.Any())),
+	)
+	fmt.Println("cross-partition submit:", err)
+	// Output:
+	// <"user", 7>
+	// 2 tuples across both groups
+	// cross-partition submit: <nil>
+}
+
 // The lock-free universal construction (paper Alg. 3) emulates any
 // deterministic object — here a shared counter.
 func ExampleNewSpace_universalConstruction() {

@@ -1,0 +1,468 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sync"
+	"text/tabwriter"
+	"time"
+
+	"peats/internal/bft"
+	"peats/internal/partition"
+	ipeats "peats/internal/peats"
+	"peats/internal/policy"
+	"peats/internal/space"
+	"peats/internal/tuple"
+)
+
+// PartitionsConfig sizes the partitioned-deployment comparison. The
+// zero value selects defaults sized for a laptop run; CI smoke-tests
+// the path with tiny parameters.
+type PartitionsConfig struct {
+	// Writers is the number of concurrent writer clients.
+	Writers int
+	// OpsPerWriter is how many single-partition write operations each
+	// writer issues per configuration.
+	OpsPerWriter int
+	// Groups lists the group counts M to sweep: M groups of 3F+1
+	// replicas each, the load spread uniformly. Each group is an
+	// independent agreement pipeline, so on a multi-core host the sweep
+	// scales with M; on a single core it is flat (the core, not the
+	// pipeline, is the ceiling) and the budget rows carry the story.
+	Groups []int
+	// F is the per-group fault bound of the scaling sweep (default 0:
+	// one replica per group, the cheapest pipeline per core).
+	F int
+	// CrossOps is how many cross-partition two-phase submissions each
+	// writer issues in the 2PC cost measurement.
+	CrossOps int
+	// BudgetF is the fault bound of the single-group same-budget
+	// baseline: one group of 3·BudgetF+1 replicas versus 3·BudgetF+1
+	// groups of one replica — the same machine count, partitioned.
+	BudgetF int
+}
+
+func (c PartitionsConfig) withDefaults() PartitionsConfig {
+	if c.Writers <= 0 {
+		c.Writers = 16
+	}
+	if c.OpsPerWriter <= 0 {
+		c.OpsPerWriter = 150
+	}
+	if len(c.Groups) == 0 {
+		c.Groups = []int{1, 2, 4}
+	}
+	if c.F < 0 {
+		c.F = 0
+	}
+	if c.CrossOps <= 0 {
+		c.CrossOps = 40
+	}
+	if c.BudgetF <= 0 {
+		c.BudgetF = 1
+	}
+	return c
+}
+
+// PartitionsRow is one measurement of the partitioned-deployment
+// comparison on the in-process transport.
+type PartitionsRow struct {
+	Workload  string  `json:"workload"` // "single-partition" / "cross-partition" / "budget-baseline"
+	Groups    int     `json:"groups"`
+	F         int     `json:"f"`        // per-group fault bound
+	Replicas  int     `json:"replicas"` // total replicas across groups
+	Clients   int     `json:"clients"`
+	Ops       int     `json:"ops"`
+	Seconds   float64 `json:"seconds"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+	AvgMicros float64 `json:"avg_latency_us"`
+	Percentiles
+}
+
+// partitionedDeployment is an in-process M-group deployment plus one
+// routing space handle per writer.
+type partitionedDeployment struct {
+	clusters []*bft.Cluster
+	spaces   []*partition.Space
+}
+
+func (d *partitionedDeployment) stop() {
+	for _, c := range d.clusters {
+		c.Stop()
+	}
+}
+
+// newPartitionedDeployment starts M groups of 3f+1 replicas each and
+// builds writers routing handles.
+func newPartitionedDeployment(m, f, writers int) (*partitionedDeployment, error) {
+	topo := &partition.Topology{}
+	for gi := 0; gi < m; gi++ {
+		g := partition.GroupSpec{ID: fmt.Sprintf("g%d", gi), F: f}
+		for j := 0; j < 3*f+1; j++ {
+			g.Replicas = append(g.Replicas, partition.ReplicaSpec{ID: fmt.Sprintf("r%d", j)})
+		}
+		topo.Groups = append(topo.Groups, g)
+	}
+	master := []byte("peats-bench-partitions")
+	dir := topo.Directory(master)
+	pol := policy.AllowAll()
+
+	d := &partitionedDeployment{}
+	for gi := 0; gi < m; gi++ {
+		services := make([]bft.Service, 3*f+1)
+		for i := range services {
+			svc := bft.NewSpaceService(pol)
+			svc.EnablePartition(topo.Groups[gi].ID, dir)
+			services[i] = svc
+		}
+		cl, err := bft.NewCluster(f, services,
+			bft.WithGroupIdentity(topo.Groups[gi].ID, master))
+		if err != nil {
+			d.stop()
+			return nil, err
+		}
+		d.clusters = append(d.clusters, cl)
+	}
+	for w := 0; w < writers; w++ {
+		groups := make([]partition.Group, m)
+		for gi := 0; gi < m; gi++ {
+			groups[gi] = partition.Group{
+				ID:     topo.Groups[gi].ID,
+				Client: d.clusters[gi].Client(fmt.Sprintf("w%d", w)),
+			}
+		}
+		sp, err := partition.NewSpace(groups)
+		if err != nil {
+			d.stop()
+			return nil, err
+		}
+		d.spaces = append(d.spaces, sp)
+	}
+	return d, nil
+}
+
+// keyForGroup returns a first-field key whose arity-2 tuples the
+// routing rule assigns to the wanted group.
+func keyForGroup(m, want int) string {
+	for i := 0; ; i++ {
+		k := fmt.Sprintf("key%d", i)
+		if space.RouteEntry(tuple.T(tuple.Str(k), tuple.Int(0)), m) == want {
+			return k
+		}
+	}
+}
+
+// partitionThroughput measures aggregate single-partition write
+// throughput: writers spread uniformly over the groups, each issuing
+// alternating out/inp on its home key — every submission routes direct
+// to its owning group, so M groups order the load on M independent
+// pipelines.
+func partitionThroughput(ctx context.Context, m, f, writers, opsPer int) (PartitionsRow, error) {
+	d, err := newPartitionedDeployment(m, f, writers)
+	if err != nil {
+		return PartitionsRow{}, err
+	}
+	defer d.stop()
+
+	keys := make([]string, writers)
+	for w := range keys {
+		keys[w] = keyForGroup(m, w%m)
+	}
+	perOp := make([][]time.Duration, writers)
+	wave := func(ops int, record bool) (time.Duration, error) {
+		var wg sync.WaitGroup
+		errs := make(chan error, writers)
+		start := time.Now()
+		for w := 0; w < writers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				if record {
+					perOp[w] = make([]time.Duration, 0, ops)
+				}
+				entry := tuple.T(tuple.Str(keys[w]), tuple.Int(int64(w)))
+				for i := 0; i < ops; i++ {
+					opStart := time.Now()
+					if i%2 == 0 {
+						if err := d.spaces[w].Out(ctx, entry); err != nil {
+							errs <- fmt.Errorf("writer %d out %d: %w", w, i, err)
+							return
+						}
+					} else if _, _, err := d.spaces[w].Inp(ctx, entry); err != nil {
+						errs <- fmt.Errorf("writer %d inp %d: %w", w, i, err)
+						return
+					}
+					if record {
+						perOp[w] = append(perOp[w], time.Since(opStart))
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		close(errs)
+		return elapsed, <-errs
+	}
+
+	warm := opsPer / 4
+	if warm < 2 {
+		warm = 2
+	}
+	if _, err := wave(warm, false); err != nil {
+		return PartitionsRow{}, err
+	}
+	elapsed, err := wave(opsPer, true)
+	if err != nil {
+		return PartitionsRow{}, err
+	}
+
+	var samples []time.Duration
+	for _, s := range perOp {
+		samples = append(samples, s...)
+	}
+	ops := writers * opsPer
+	return PartitionsRow{
+		Workload:    "single-partition",
+		Groups:      m,
+		F:           f,
+		Replicas:    m * (3*f + 1),
+		Clients:     writers,
+		Ops:         ops,
+		Seconds:     elapsed.Seconds(),
+		OpsPerSec:   float64(ops) / elapsed.Seconds(),
+		AvgMicros:   float64(elapsed.Microseconds()) / float64(ops) * float64(writers),
+		Percentiles: percentiles(samples),
+	}, nil
+}
+
+// crossThroughput measures the two-phase-commit path: every submission
+// pairs an out in one group with an out in another, costing a prepare
+// and a decision round at each participant.
+func crossThroughput(ctx context.Context, m, f, writers, opsPer int) (PartitionsRow, error) {
+	d, err := newPartitionedDeployment(m, f, writers)
+	if err != nil {
+		return PartitionsRow{}, err
+	}
+	defer d.stop()
+
+	keyA, keyB := keyForGroup(m, 0), keyForGroup(m, 1%m)
+	perOp := make([][]time.Duration, writers)
+	var wg sync.WaitGroup
+	errs := make(chan error, writers)
+	start := time.Now()
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			perOp[w] = make([]time.Duration, 0, opsPer)
+			ea := tuple.T(tuple.Str(keyA), tuple.Int(int64(w)))
+			eb := tuple.T(tuple.Str(keyB), tuple.Int(int64(w)))
+			for i := 0; i < opsPer; i++ {
+				opStart := time.Now()
+				if _, err := d.spaces[w].Submit(ctx,
+					ipeats.OutOp(ea), ipeats.OutOp(eb)); err != nil {
+					errs <- fmt.Errorf("writer %d cross %d: %w", w, i, err)
+					return
+				}
+				perOp[w] = append(perOp[w], time.Since(opStart))
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(errs)
+	if err := <-errs; err != nil {
+		return PartitionsRow{}, err
+	}
+
+	var samples []time.Duration
+	for _, s := range perOp {
+		samples = append(samples, s...)
+	}
+	ops := writers * opsPer
+	return PartitionsRow{
+		Workload:    "cross-partition",
+		Groups:      m,
+		F:           f,
+		Replicas:    m * (3*f + 1),
+		Clients:     writers,
+		Ops:         ops,
+		Seconds:     elapsed.Seconds(),
+		OpsPerSec:   float64(ops) / elapsed.Seconds(),
+		AvgMicros:   float64(elapsed.Microseconds()) / float64(ops) * float64(writers),
+		Percentiles: percentiles(samples),
+	}, nil
+}
+
+// budgetBaseline measures the same write workload on one replicated
+// group of 3f+1 replicas — the same machine budget as 3f+1 groups of
+// one, un-partitioned.
+func budgetBaseline(ctx context.Context, f, writers, opsPer int) (PartitionsRow, error) {
+	row, err := writeThroughput(ctx, f, 64, writers, opsPer)
+	if err != nil {
+		return PartitionsRow{}, err
+	}
+	return PartitionsRow{
+		Workload:    "budget-baseline",
+		Groups:      1,
+		F:           f,
+		Replicas:    3*f + 1,
+		Clients:     row.Clients,
+		Ops:         row.Ops,
+		Seconds:     row.Seconds,
+		OpsPerSec:   row.OpsPerSec,
+		AvgMicros:   row.AvgMicros,
+		Percentiles: row.Percentiles,
+	}, nil
+}
+
+// PartitionsTable measures the partitioned deployment: aggregate
+// single-partition write throughput per group count, the 2PC cost of
+// cross-partition submissions, and the past-the-ceiling comparison
+// against one BFT group of 3·BudgetF+1 replicas — by two groups using
+// a fraction of its replica budget, and by 3·BudgetF+1 groups using
+// exactly its replica budget.
+func PartitionsTable(ctx context.Context, cfg PartitionsConfig) ([]PartitionsRow, error) {
+	cfg = cfg.withDefaults()
+	var rows []PartitionsRow
+	for _, m := range cfg.Groups {
+		row, err := partitionThroughput(ctx, m, cfg.F, cfg.Writers, cfg.OpsPerWriter)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	for _, m := range cfg.Groups {
+		if m < 2 {
+			continue
+		}
+		row, err := crossThroughput(ctx, m, cfg.F, cfg.Writers, cfg.CrossOps)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	budget, err := budgetBaseline(ctx, cfg.BudgetF, cfg.Writers, cfg.OpsPerWriter)
+	if err != nil {
+		return nil, err
+	}
+	twoGroups, err := partitionThroughput(ctx, 2, 0, cfg.Writers, cfg.OpsPerWriter)
+	if err != nil {
+		return nil, err
+	}
+	twoGroups.Workload = "two-groups"
+	budgetPart, err := partitionThroughput(ctx, 3*cfg.BudgetF+1, 0, cfg.Writers, cfg.OpsPerWriter)
+	if err != nil {
+		return nil, err
+	}
+	budgetPart.Workload = "budget-partitioned"
+	return append(rows, budget, twoGroups, budgetPart), nil
+}
+
+// PartitionSpeedup is aggregate single-partition write throughput at M
+// groups over the M=1 baseline.
+type PartitionSpeedup struct {
+	Groups  int     `json:"groups"`
+	Speedup float64 `json:"speedup"`
+}
+
+// PartitionSpeedups returns the single-partition scaling per group
+// count, in row order.
+func PartitionSpeedups(rows []PartitionsRow) []PartitionSpeedup {
+	var base float64
+	for _, r := range rows {
+		if r.Workload == "single-partition" && r.Groups == 1 {
+			base = r.OpsPerSec
+			break
+		}
+	}
+	if base == 0 {
+		return nil
+	}
+	var out []PartitionSpeedup
+	for _, r := range rows {
+		if r.Workload == "single-partition" && r.Groups > 1 {
+			out = append(out, PartitionSpeedup{Groups: r.Groups, Speedup: r.OpsPerSec / base})
+		}
+	}
+	return out
+}
+
+// budgetGain returns partitioned-over-replicated throughput at the same
+// total replica count, or 0 when either row is missing.
+func budgetGain(rows []PartitionsRow) float64 {
+	var repl, part float64
+	for _, r := range rows {
+		switch r.Workload {
+		case "budget-baseline":
+			repl = r.OpsPerSec
+		case "budget-partitioned":
+			part = r.OpsPerSec
+		}
+	}
+	if repl == 0 || part == 0 {
+		return 0
+	}
+	return part / repl
+}
+
+// twoGroupGain returns two-partitioned-groups throughput over the
+// single replicated BFT group — the minimal past-the-ceiling claim,
+// achieved on a fraction of the baseline's replica budget.
+func twoGroupGain(rows []PartitionsRow) float64 {
+	var repl, two float64
+	for _, r := range rows {
+		switch r.Workload {
+		case "budget-baseline":
+			repl = r.OpsPerSec
+		case "two-groups":
+			two = r.OpsPerSec
+		}
+	}
+	if repl == 0 || two == 0 {
+		return 0
+	}
+	return two / repl
+}
+
+// WritePartitionsTable renders the partitioned-deployment comparison.
+func WritePartitionsTable(w io.Writer, rows []PartitionsRow) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "workload\tgroups\tf\treplicas\tclients\tops\tops/sec\tavg latency\tp50\tp95\tp99")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\t%d\t%.0f\t%.0fµs\t%.0fµs\t%.0fµs\t%.0fµs\n",
+			r.Workload, r.Groups, r.F, r.Replicas, r.Clients, r.Ops, r.OpsPerSec,
+			r.AvgMicros, r.P50, r.P95, r.P99)
+	}
+	tw.Flush()
+	for _, s := range PartitionSpeedups(rows) {
+		fmt.Fprintf(w, "partition scaling at %d groups: %.1fx single-partition write throughput\n",
+			s.Groups, s.Speedup)
+	}
+	if g := twoGroupGain(rows); g > 0 {
+		fmt.Fprintf(w, "two groups vs one replicated BFT group: %.1fx aggregate writes\n", g)
+	}
+	if g := budgetGain(rows); g > 0 {
+		fmt.Fprintf(w, "same replica budget, partitioned vs replicated: %.1fx\n", g)
+	}
+}
+
+// partitionsReport is the machine-readable artifact schema.
+type partitionsReport struct {
+	reportMeta
+	Speedups     []PartitionSpeedup `json:"partition_speedups"`
+	TwoGroupGain float64            `json:"two_group_gain"`
+	BudgetGain   float64            `json:"same_budget_gain"`
+	Rows         []PartitionsRow    `json:"rows"`
+}
+
+// WritePartitionsJSON writes the rows as a machine-readable JSON report.
+func WritePartitionsJSON(path string, rows []PartitionsRow) error {
+	return writeReportJSON(path, "partitions", &partitionsReport{
+		Speedups:     PartitionSpeedups(rows),
+		TwoGroupGain: twoGroupGain(rows),
+		BudgetGain:   budgetGain(rows),
+		Rows:         rows,
+	})
+}

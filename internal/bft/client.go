@@ -2,6 +2,7 @@ package bft
 
 import (
 	"context"
+	"crypto/ed25519"
 	"fmt"
 	"io"
 	"math/bits"
@@ -11,6 +12,7 @@ import (
 
 	"peats/internal/auth"
 	"peats/internal/transport"
+	"peats/internal/wire"
 )
 
 // Client invokes operations on the replicated service.
@@ -66,6 +68,14 @@ type Client struct {
 	// tentative execution disabled, or a view change in flight), the
 	// committed replies decide as usual — no timeout needed.
 	AcceptTentative bool
+	// Group, in a partitioned deployment, is the identity of the replica
+	// group this client handle talks to. It is stamped into every
+	// ordered request (part of the MAC'd digest), so replicas of other
+	// groups drop requests a faulty router misdelivers.
+	Group string
+	// AttestKeys holds the group replicas' attestation public keys,
+	// enabling InvokeCert to assemble transferable vote certificates.
+	AttestKeys map[string]ed25519.PublicKey
 
 	retx    *time.Ticker // reusable retransmission ticker
 	roTimer *time.Timer  // reusable read-only fallback timer
@@ -194,9 +204,90 @@ func (c *Client) authVector(req Request) [][]byte {
 // Invoke submits op for ordered execution and returns the voted result.
 func (c *Client) Invoke(ctx context.Context, op []byte) ([]byte, error) {
 	c.reqID++
-	req := Request{Client: c.id, ReqID: c.reqID, Op: op}
+	req := Request{Client: c.id, ReqID: c.reqID, Op: op, Group: c.Group}
 	req.Auth = c.authVector(req)
 	return c.invokeOrdered(ctx, req)
+}
+
+// InvokeCert submits op for ordered execution and returns, along with
+// the voted result, a vote certificate: 2f+1 distinct replicas'
+// attestation signatures over the result. The certificate is
+// transferable evidence — any party holding the deployment directory
+// can verify that this group's agreement produced exactly these bytes,
+// which is how a cross-partition coordinator proves one group's
+// prepare vote to another group. Acceptance is gated on valid
+// signatures, not just matching results, so the returned certificate
+// always verifies.
+func (c *Client) InvokeCert(ctx context.Context, op []byte) ([]byte, wire.VoteCert, error) {
+	c.reqID++
+	req := Request{Client: c.id, ReqID: c.reqID, Op: op, Group: c.Group}
+	req.Auth = c.authVector(req)
+	payload, err := Marshal(req)
+	if err != nil {
+		return nil, wire.VoteCert{}, fmt.Errorf("bft client: %w", err)
+	}
+	broadcast := func() {
+		for _, id := range c.replicas {
+			_ = c.tr.SendClass(id, payload, transport.ClassRequest)
+		}
+	}
+	if req.Auth != nil {
+		_ = c.tr.SendClass(c.primaryGuess(), payload, transport.ClassRequest)
+	} else {
+		broadcast()
+	}
+
+	// result bytes → replica id → verified attestation signature.
+	atts := make(map[string]map[string][]byte)
+	c.seen = 0
+	if c.retx == nil {
+		c.retx = time.NewTicker(c.RetransmitInterval)
+	} else {
+		c.retx.Reset(c.RetransmitInterval)
+	}
+	defer c.retx.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return nil, wire.VoteCert{}, fmt.Errorf("bft client: %w", ctx.Err())
+		case <-c.retx.C:
+			broadcast()
+		case m, ok := <-c.tr.Inbox():
+			if !ok {
+				return nil, wire.VoteCert{}, fmt.Errorf("bft client: transport closed")
+			}
+			rep, ok := c.replyFor(m, req.ReqID)
+			if !ok || rep.ReadOnly || rep.Tentative {
+				continue // only committed replies carry attestations
+			}
+			idx := c.indexes[rep.Replica]
+			c.noteView(idx, rep.View)
+			pub, ok := c.AttestKeys[rep.Replica]
+			if !ok || len(rep.Attest) != ed25519.SignatureSize ||
+				!ed25519.Verify(pub, wire.AttestPayload(c.Group, rep.Result), rep.Attest) {
+				continue // no valid attestation: useless for a certificate
+			}
+			camp := atts[string(rep.Result)]
+			if camp == nil {
+				camp = make(map[string][]byte)
+				atts[string(rep.Result)] = camp
+			}
+			camp[rep.Replica] = rep.Attest
+			if len(camp) >= 2*c.f+1 {
+				c.adoptView()
+				cert := wire.VoteCert{Group: c.Group, Outcome: rep.Result}
+				ids := make([]string, 0, len(camp))
+				for id := range camp {
+					ids = append(ids, id)
+				}
+				sort.Strings(ids)
+				for _, id := range ids {
+					cert.Atts = append(cert.Atts, wire.Attestation{Replica: id, Sig: camp[id]})
+				}
+				return rep.Result, cert, nil
+			}
+		}
+	}
 }
 
 func (c *Client) invokeOrdered(ctx context.Context, req Request) ([]byte, error) {
@@ -289,7 +380,7 @@ func (c *Client) InvokeBatch(ctx context.Context, ops [][]byte) ([][]byte, error
 	payloads := make([][]byte, len(ops))
 	authed := true
 	for i, op := range ops {
-		req := Request{Client: c.id, ReqID: firstID + uint64(i), Op: op}
+		req := Request{Client: c.id, ReqID: firstID + uint64(i), Op: op, Group: c.Group}
 		req.Auth = c.authVector(req)
 		authed = authed && req.Auth != nil
 		p, err := Marshal(req)
@@ -460,7 +551,7 @@ func (c *Client) InvokeReadOnly(ctx context.Context, op []byte) ([]byte, error) 
 // the same request ID (replicas never recorded the read-only attempt,
 // so at-most-once bookkeeping is untouched).
 func (c *Client) orderedFallback(ctx context.Context, op []byte) ([]byte, error) {
-	req := Request{Client: c.id, ReqID: c.reqID, Op: op}
+	req := Request{Client: c.id, ReqID: c.reqID, Op: op, Group: c.Group}
 	req.Auth = c.authVector(req)
 	return c.invokeOrdered(ctx, req)
 }
@@ -508,6 +599,9 @@ type Cluster struct {
 	keyrings map[string]*auth.Keyring // replica id → its keyring
 	services []Service                // closed (where closeable) on Stop
 
+	group        string // partitioned deployments: this cluster's group identity
+	attestMaster []byte
+
 	mu      sync.Mutex
 	nextCli int
 }
@@ -524,6 +618,8 @@ type clusterConfig struct {
 	batchSize          int
 	batchDelay         time.Duration
 	disableTentative   bool
+	group              string
+	attestMaster       []byte
 }
 
 // WithCheckpointInterval sets the replicas' checkpoint interval.
@@ -573,6 +669,16 @@ func WithTentativeExecution(on bool) ClusterOption {
 	return func(c *clusterConfig) { c.disableTentative = !on }
 }
 
+// WithGroupIdentity marks the cluster as one group of a partitioned
+// deployment: every replica is configured with the group identity
+// (requests MAC-bind to it and misrouted ones are dropped) and an
+// attestation signing key derived from the deployment's attestation
+// master secret, and clients are provisioned to verify attestations
+// and assemble vote certificates (InvokeCert).
+func WithGroupIdentity(group string, attestMaster []byte) ClusterOption {
+	return func(c *clusterConfig) { c.group, c.attestMaster = group, attestMaster }
+}
+
 // NewCluster starts n = 3f+1 replicas of the given services (one per
 // replica, so Byzantine tests can hand a corrupt service to some of
 // them) over a fresh in-process network. services[i] may be nil to skip
@@ -591,7 +697,11 @@ func NewCluster(f int, services []Service, opts ...ClusterOption) (*Cluster, err
 	for i := range ids {
 		ids[i] = fmt.Sprintf("r%d", i)
 	}
-	cl := &Cluster{Net: net, IDs: ids, F: f, keyrings: make(map[string]*auth.Keyring), services: services}
+	cl := &Cluster{
+		Net: net, IDs: ids, F: f,
+		keyrings: make(map[string]*auth.Keyring), services: services,
+		group: cfg.group, attestMaster: cfg.attestMaster,
+	}
 	for _, id := range ids {
 		cl.keyrings[id] = auth.NewKeyringFromMaster(clusterMaster, id, ids)
 	}
@@ -599,12 +709,18 @@ func NewCluster(f int, services []Service, opts ...ClusterOption) (*Cluster, err
 		if svc == nil {
 			continue
 		}
+		var attestKey ed25519.PrivateKey
+		if cfg.group != "" {
+			attestKey = AttestKeyFor(cfg.attestMaster, cfg.group, ids[i])
+		}
 		rep, err := NewReplica(ReplicaConfig{
 			ID:                    ids[i],
 			Replicas:              ids,
 			F:                     f,
 			Transport:             net.Endpoint(ids[i]),
 			Service:               svc,
+			Group:                 cfg.group,
+			AttestKey:             attestKey,
 			CheckpointInterval:    cfg.checkpointInterval,
 			CompactEvery:          cfg.compactEvery,
 			KeepCheckpointHistory: cfg.keepCpHistory,
@@ -647,6 +763,13 @@ func (c *Cluster) Client(id string) *Client {
 	}
 	cli := NewClient(c.Net.Endpoint(id), c.IDs, c.F)
 	cli.Keyring = auth.NewKeyringFromMaster(clusterMaster, id, c.IDs)
+	if c.group != "" {
+		cli.Group = c.group
+		cli.AttestKeys = make(map[string]ed25519.PublicKey, len(c.IDs))
+		for _, rid := range c.IDs {
+			cli.AttestKeys[rid] = AttestKeyFor(c.attestMaster, c.group, rid).Public().(ed25519.PublicKey)
+		}
+	}
 	return cli
 }
 

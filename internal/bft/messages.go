@@ -114,6 +114,12 @@ type Request struct {
 	ReqID  uint64
 	Op     []byte
 	Auth   [][]byte
+	// Group names the replica group the request is addressed to in a
+	// partitioned deployment. It is part of the digest, so a request
+	// MAC-bound to one group cannot be replayed against another;
+	// replicas configured with a group identity drop requests addressed
+	// elsewhere. Empty in single-group deployments.
+	Group string
 }
 
 // Digest returns the canonical digest identifying the request. The
@@ -133,6 +139,8 @@ func appendRequest(buf []byte, r Request) []byte {
 	buf = binary.AppendUvarint(buf, r.ReqID)
 	buf = binary.AppendUvarint(buf, uint64(len(r.Op)))
 	buf = append(buf, r.Op...)
+	buf = binary.AppendUvarint(buf, uint64(len(r.Group)))
+	buf = append(buf, r.Group...)
 	return buf
 }
 
@@ -142,7 +150,7 @@ func encodeRequest(r Request) []byte {
 }
 
 func decodeRequest(r *wire.Reader) Request {
-	return Request{Client: r.String(), ReqID: r.Uvarint(), Op: r.Bytes()}
+	return Request{Client: r.String(), ReqID: r.Uvarint(), Op: r.Bytes(), Group: r.String()}
 }
 
 // maxAuth bounds decoded authenticator vectors (one entry per replica).
@@ -299,6 +307,17 @@ type Reply struct {
 	Result    []byte
 	ReadOnly  bool
 	Tentative bool
+	// Group echoes the replica's group identity in a partitioned
+	// deployment; empty otherwise.
+	Group string
+	// Attest, when present, is the replica's signature over
+	// wire.AttestPayload(Group, Result): transferable evidence, beyond
+	// the pairwise channel MAC, that this replica reported this agreed
+	// result. Replies to partition 2PC operations carry it so clients
+	// can assemble vote certificates. It is deliberately outside Result
+	// — clients vote on result bytes, and per-replica signatures must
+	// not split the vote.
+	Attest []byte
 }
 
 // ReadOnly asks a replica to execute a non-mutating operation against
@@ -386,6 +405,8 @@ func Marshal(msg any) ([]byte, error) {
 		w.Bytes(m.Result)
 		w.Bool(m.ReadOnly)
 		w.Bool(m.Tentative)
+		w.String(m.Group)
+		w.Bytes(m.Attest)
 	case ReadOnly:
 		w.Byte(byte(MsgReadOnly))
 		w.String(m.Client)
@@ -467,7 +488,7 @@ func Unmarshal(b []byte) (any, error) {
 		msg = Reply{
 			View: r.Uvarint(), Client: r.String(), ReqID: r.Uvarint(),
 			Replica: r.String(), Result: r.Bytes(), ReadOnly: r.Bool(),
-			Tentative: r.Bool(),
+			Tentative: r.Bool(), Group: r.String(), Attest: r.Bytes(),
 		}
 	case MsgReadOnly:
 		msg = ReadOnly{Client: r.String(), ReqID: r.Uvarint(), Op: r.Bytes()}

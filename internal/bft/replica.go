@@ -1,6 +1,7 @@
 package bft
 
 import (
+	"crypto/ed25519"
 	"errors"
 	"fmt"
 	"log"
@@ -68,6 +69,18 @@ type ReplicaConfig struct {
 	// batch the moment it is locally prepared, replying tentatively one
 	// protocol round early (Castro–Liskov).
 	DisableTentative bool
+	// Group names the replica group in a partitioned deployment. A
+	// replica with a group identity stamps it into every reply and
+	// drops client requests addressed to another group (requests with
+	// an empty group are accepted for single-group compatibility).
+	Group string
+	// AttestKey, when set, lets the replica sign agreed results of
+	// partition 2PC operations (wire.AttestPayload over Group and the
+	// result bytes). Clients assemble 2f+1 such signatures into vote
+	// certificates that other groups verify against the deployment
+	// topology — the mechanism that makes cross-partition decisions
+	// safe under an untrusted coordinator.
+	AttestKey ed25519.PrivateKey
 	// Keyring optionally holds the pairwise keys this replica shares
 	// with clients. When set, the replica can vouch for a request it
 	// only saw inside the primary's batch by verifying the client's
@@ -187,6 +200,7 @@ type Replica struct {
 	// tentSegs holds, oldest first, the replica-layer residue of the
 	// unpromoted units executed+1 .. tentExecuted.
 	tentSvc      TentativeService
+	tentFilter   TentativeFilter
 	tentExecuted uint64
 	tentSegs     []tentSeg
 
@@ -299,8 +313,30 @@ func NewReplica(cfg ReplicaConfig) (*Replica, error) {
 	if ts, ok := cfg.Service.(TentativeService); ok && !cfg.DisableTentative {
 		r.tentSvc = ts
 	}
+	if tf, ok := cfg.Service.(TentativeFilter); ok {
+		r.tentFilter = tf
+	}
 	r.tentExecuted = r.executed
 	return r, nil
+}
+
+// misrouted reports whether a request is addressed to another group.
+// Requests without a group identity are accepted everywhere, so
+// single-group deployments are unaffected.
+func (r *Replica) misrouted(req Request) bool {
+	return req.Group != "" && req.Group != r.cfg.Group
+}
+
+// attest signs the agreed result of a partition 2PC operation with the
+// replica's attestation key; it returns nil for every other request.
+// Only committed results are ever attested — a tentative result is not
+// yet this group's agreed word (and 2PC operations are excluded from
+// tentative execution anyway).
+func (r *Replica) attest(op, result []byte) []byte {
+	if r.cfg.AttestKey == nil || !wire.IsPartitionOp(op) {
+		return nil
+	}
+	return ed25519.Sign(r.cfg.AttestKey, wire.AttestPayload(r.cfg.Group, result))
 }
 
 // initDurable detects a persistent service and resumes from its data
@@ -591,12 +627,16 @@ func (r *Replica) sendToClass(id string, msg any, class transport.Class) {
 // ---- Normal case ----
 
 func (r *Replica) onRequest(req Request) {
+	if r.misrouted(req) {
+		return // addressed to another group of a partitioned deployment
+	}
 	// At-most-once: answer duplicates from the client table.
 	if rec, ok := r.clients[req.Client]; ok && req.ReqID <= rec.lastReqID {
 		if req.ReqID == rec.lastReqID && rec.lastReply != nil {
 			r.sendReply(req.Client, Reply{
 				View: rec.lastView, Client: req.Client, ReqID: req.ReqID,
 				Replica: r.cfg.ID, Result: rec.lastReply,
+				Group: r.cfg.Group, Attest: r.attest(req.Op, rec.lastReply),
 			})
 		}
 		return
@@ -729,6 +769,12 @@ func (r *Replica) flushQueue(force bool) {
 		r.seq++
 		b := Batch{View: r.view, Seq: r.seq, Digest: batchDigestFrom(ds), Reqs: reqs}
 		r.acceptBatch(b, ds)
+		// The primary's own vote (merged with any early votes) can
+		// already be a prepare quorum — always in an f=0 group, whose
+		// liveness depends on this check; with f>0 only when peers voted
+		// before the proposal, which acceptBatch merged in.
+		r.tryPrepared(b.Seq)
+		r.tryExecute()
 		pressured := r.sendProposal(b)
 		r.batchesMirror.Add(1)
 		r.armTimer()
@@ -1112,9 +1158,31 @@ func (r *Replica) tryTentative() {
 		if e == nil || e.batch == nil || !e.sentCommit || e.executed {
 			return
 		}
+		if r.filteredBatch(e.batch) {
+			// The batch holds an operation the service must execute on
+			// committed state (partition 2PC mutates bookkeeping no
+			// overlay can roll back). Stop here — skipping past it would
+			// break the overlay chain's ordering contract — and let the
+			// commit quorum drive this and all later batches.
+			return
+		}
 		r.executeTentative(next, e)
 		r.tentExecuted = next
 	}
+}
+
+// filteredBatch reports whether any request of the batch is excluded
+// from tentative execution by the service.
+func (r *Replica) filteredBatch(b *Batch) bool {
+	if r.tentFilter == nil {
+		return false
+	}
+	for _, req := range b.Reqs {
+		if !noop(req) && r.tentFilter.SkipTentative(req.Op) {
+			return true
+		}
+	}
+	return false
 }
 
 // tentLookup resolves a client's at-most-once record through the
@@ -1172,6 +1240,7 @@ func (r *Replica) executeTentative(seq uint64, e *logEntry) {
 		r.sendReply(req.Client, Reply{
 			View: r.view, Client: req.Client, ReqID: req.ReqID,
 			Replica: r.cfg.ID, Result: seg.results[i], Tentative: true,
+			Group: r.cfg.Group,
 		})
 	}
 }
@@ -1222,6 +1291,7 @@ func (r *Replica) promoteTentative(next uint64, e *logEntry) {
 			r.sendReply(req.Client, Reply{
 				View: r.view, Client: req.Client, ReqID: req.ReqID,
 				Replica: r.cfg.ID, Result: seg.results[i],
+				Group: r.cfg.Group, Attest: r.attest(req.Op, seg.results[i]),
 			})
 		}
 	}
@@ -1270,6 +1340,7 @@ func (r *Replica) executeBatch(e *logEntry) {
 			r.sendReply(req.Client, Reply{
 				View: r.view, Client: req.Client, ReqID: req.ReqID,
 				Replica: r.cfg.ID, Result: results[i],
+				Group: r.cfg.Group, Attest: r.attest(req.Op, results[i]),
 			})
 		}
 	}
@@ -1403,6 +1474,7 @@ func (r *Replica) serveReadOnly(ro ReadOnly) {
 	payload, err := Marshal(Reply{
 		View: r.viewMirror.Load(), Client: ro.Client, ReqID: ro.ReqID,
 		Replica: r.cfg.ID, Result: result, ReadOnly: true,
+		Group: r.cfg.Group,
 	})
 	if err != nil {
 		return

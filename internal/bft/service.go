@@ -58,6 +58,17 @@ type TentativeService interface {
 	RollbackTentative()
 }
 
+// TentativeFilter is an optional Service extension restricting
+// tentative execution: the replica must not execute a batch containing
+// an operation for which SkipTentative reports true before its commit
+// quorum lands — and must not execute any later batch tentatively
+// either, because overlay units stack in sequence order. SpaceService
+// filters the partition 2PC operations, whose pending-transaction
+// table mutations no overlay can roll back.
+type TentativeFilter interface {
+	SkipTentative(op []byte) bool
+}
+
 // ReadOnlyExecutor is an optional Service extension backing the
 // read-only fast path: executing a non-mutating operation against the
 // current state, outside the ordered sequence. Implementations must
@@ -117,6 +128,11 @@ type SpaceService struct {
 	// (NewDurableSpaceService).
 	db *durable.DB
 
+	// ptx, when set (EnablePartition), holds the cross-partition 2PC
+	// state: this group's identity, the deployment directory, and the
+	// pending/decided transaction tables.
+	ptx *partitionState
+
 	// tentative is the overlay stack of units executed at *prepared*
 	// but not yet committed (Castro–Liskov tentative execution). Only
 	// the replica event loop touches it. Lazily allocated; nil and
@@ -133,6 +149,7 @@ var (
 	_ DeltaSnapshotter = (*SpaceService)(nil)
 	_ DurableService   = (*SpaceService)(nil)
 	_ TentativeService = (*SpaceService)(nil)
+	_ TentativeFilter  = (*SpaceService)(nil)
 )
 
 // NewSpaceService returns a PEATS service protected by the given
@@ -253,6 +270,9 @@ func (s *SpaceService) addWrites(ws *space.ShardSet, d decodedReq) {
 // operations rejected by the monitor yield StatusDenied. Both are
 // deterministic results, so replicas never diverge on bad input.
 func (s *SpaceService) Execute(client string, op []byte) []byte {
+	if wire.IsPartitionOp(op) {
+		return s.executePartition(client, op)
+	}
 	d := decodeReq(op)
 	if d.err != nil {
 		return d.encodeErr()
@@ -273,26 +293,40 @@ func (s *SpaceService) Execute(client string, op []byte) []byte {
 // Fast-path reads routed to shards the batch does not write proceed in
 // parallel with the batch. Each request remains its own atomic unit:
 // a transaction that aborts discards only its own staged effects.
+// Partition 2PC operations manage their own locking (a prepare opens a
+// read section, a commit decision a scoped write section), so a batch
+// splits into runs of ordinary requests — each run one critical
+// section — with partition operations executed between runs, in order.
 func (s *SpaceService) ExecuteBatch(clients []string, ops [][]byte) [][]byte {
 	results := make([][]byte, len(ops))
 	decoded := make([]decodedReq, len(ops))
-	var ws space.ShardSet
-	for i, op := range ops {
-		decoded[i] = decodeReq(op)
-		if decoded[i].err != nil {
-			results[i] = decoded[i].encodeErr()
+	for i := 0; i < len(ops); {
+		if wire.IsPartitionOp(ops[i]) {
+			results[i] = s.executePartition(clients[i], ops[i])
+			i++
 			continue
 		}
-		s.addWrites(&ws, decoded[i])
-	}
-	s.inner.DoScoped(ws, func(tx *space.Tx) {
-		for i := range ops {
-			if results[i] != nil {
-				continue // malformed: deterministic error already encoded
+		j := i
+		var ws space.ShardSet
+		for j < len(ops) && !wire.IsPartitionOp(ops[j]) {
+			decoded[j] = decodeReq(ops[j])
+			if decoded[j].err != nil {
+				results[j] = decoded[j].encodeErr()
+			} else {
+				s.addWrites(&ws, decoded[j])
 			}
-			results[i] = decoded[i].encode(s.executeTxIn(tx, clients[i], decoded[i].ops))
+			j++
 		}
-	})
+		s.inner.DoScoped(ws, func(tx *space.Tx) {
+			for k := i; k < j; k++ {
+				if results[k] != nil {
+					continue // malformed: deterministic error already encoded
+				}
+				results[k] = decoded[k].encode(s.executeTxIn(tx, clients[k], decoded[k].ops))
+			}
+		})
+		i = j
+	}
 	return results
 }
 
@@ -334,6 +368,7 @@ func (s *SpaceService) ExecuteReadOnly(client string, op []byte) ([]byte, bool) 
 // the unexecuted tail marked StatusSkipped.
 func (s *SpaceService) executeTxIn(tx *space.Tx, client string, ops []wire.SpaceOp) []wire.SpaceResult {
 	st := tx.Stage()
+	s.freezeReservations(st)
 	results := make([]wire.SpaceResult, len(ops))
 	for i, op := range ops {
 		res, abort := s.applyStaged(st, client, op, i, len(ops))
@@ -381,6 +416,7 @@ func (s *SpaceService) TentativeExecute(client string, op []byte) []byte {
 	var res []byte
 	s.inner.DoRead(func(tx *space.Tx) {
 		st := tx.StageOn(s.tentative)
+		s.freezeReservations(st)
 		results := make([]wire.SpaceResult, len(d.ops))
 		aborted := false
 		for i, op := range d.ops {
@@ -627,7 +663,10 @@ func (s *SpaceService) applyStaged(st *space.Staged, client string, op wire.Spac
 	}
 }
 
-// Snapshot implements Service: the canonical encoding of the tuple list.
+// Snapshot implements Service: the canonical encoding of the tuple
+// list, followed — on a partitioned service — by the pending and
+// decided cross-partition transaction tables (they shape what every
+// later operation observes, so they are checkpoint state).
 func (s *SpaceService) Snapshot() []byte {
 	tuples := s.inner.Snapshot()
 	w := wire.NewWriter()
@@ -635,6 +674,7 @@ func (s *SpaceService) Snapshot() []byte {
 	for _, t := range tuples {
 		w.Tuple(t)
 	}
+	s.appendPartitionSnapshot(w)
 	return w.Data()
 }
 
@@ -652,12 +692,17 @@ func (s *SpaceService) Restore(snapshot []byte) error {
 	for i := uint64(0); i < count; i++ {
 		tuples = append(tuples, r.Tuple())
 	}
-	r.ExpectEOF()
+	if s.ptx == nil {
+		r.ExpectEOF()
+	}
 	if err := r.Err(); err != nil {
 		return fmt.Errorf("bft: restore space: %w", err)
 	}
 	s.journal, s.journalBroken = nil, true
 	s.inner.Restore(tuples)
+	if s.ptx != nil {
+		return s.restorePartitionSnapshot(r)
+	}
 	return nil
 }
 

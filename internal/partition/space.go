@@ -1,0 +1,332 @@
+package partition
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"peats/internal/bft"
+	"peats/internal/peats"
+	"peats/internal/policy"
+	"peats/internal/space"
+	"peats/internal/tuple"
+	"peats/internal/wire"
+)
+
+// Group is one replica group's client-side handle: its identity in the
+// topology and a BFT client connected to its replicas. The client must
+// carry the group identity and attestation keys (bft.Cluster.Client
+// provisions both when the cluster was built WithGroupIdentity), or
+// cross-partition transactions cannot assemble vote certificates.
+type Group struct {
+	ID     string
+	Client *bft.Client
+}
+
+// Space implements peats.TupleSpace over a partitioned deployment. It
+// routes every operation to its owning group by the canonical
+// FNV-1a(arity, first-field) rule:
+//
+//   - A submission whose operations all route to one group is
+//     forwarded to that group's replicated space unchanged — the
+//     common case costs exactly what a single-group deployment costs,
+//     which is what lets M groups scale aggregate write throughput.
+//   - A submission spanning several groups runs as a BFT-agreed
+//     two-phase commit (see coordinator.go): atomic and isolated, at
+//     the cost of one prepare and one decision round.
+//   - A single wildcard-first read fans out to every group and merges
+//     group-major: RdAll concatenates the per-group match lists in
+//     canonical group order, Rdp returns the first group's match. A
+//     wildcard Inp locates a match with a fan-out read, then consumes
+//     that exact tuple from its owning group.
+//
+// Cross-partition submissions and wildcard Inp require every operation
+// to carry a concrete first field (an op that routes nowhere cannot be
+// part of an atomic multi-group unit); Cas additionally requires its
+// template to route to its entry's group, since the swap must be
+// atomic and a partitioned space cannot match in one group and insert
+// in another atomically.
+//
+// Like the single-group handles, a Space issues one submission at a
+// time per handle.
+type Space struct {
+	groups []groupHandle
+	id     string // client process identity, shared by every group client
+	txSeq  uint64 // per-handle transaction counter; txIDs are id-scoped
+
+	// PollInterval / PollMaxInterval tune the blocking rd/in polling
+	// loops, as on bft.RemoteSpace.
+	PollInterval    time.Duration
+	PollMaxInterval time.Duration
+}
+
+type groupHandle struct {
+	id     string
+	client *bft.Client
+	remote *bft.RemoteSpace
+}
+
+var _ peats.TupleSpace = (*Space)(nil)
+
+// NewSpace builds a partitioned space handle over per-group clients,
+// in canonical topology order. Every client must authenticate as the
+// same process identity — the reference monitors of all groups must
+// see one principal.
+func NewSpace(groups []Group) (*Space, error) {
+	if len(groups) == 0 {
+		return nil, errors.New("partition: no groups")
+	}
+	s := &Space{id: groups[0].Client.ID()}
+	for _, g := range groups {
+		if g.Client.ID() != s.id {
+			return nil, fmt.Errorf("partition: group %q client identity %q != %q",
+				g.ID, g.Client.ID(), s.id)
+		}
+		if g.Client.Group != g.ID {
+			return nil, fmt.Errorf("partition: group %q client is bound to group %q",
+				g.ID, g.Client.Group)
+		}
+		s.groups = append(s.groups, groupHandle{
+			id: g.ID, client: g.Client, remote: bft.NewRemoteSpace(g.Client),
+		})
+	}
+	return s, nil
+}
+
+// ID returns the authenticated process identity.
+func (s *Space) ID() policy.ProcessID { return policy.ProcessID(s.id) }
+
+// routeOp returns the owning group index of one operation, or ok=false
+// for a wildcard-first template.
+func (s *Space) routeOp(op peats.Op) (int, bool) {
+	switch op.Code {
+	case policy.OpOut:
+		return space.RouteEntry(op.Entry, len(s.groups)), true
+	case policy.OpCas:
+		return space.RouteEntry(op.Entry, len(s.groups)), true
+	default:
+		return space.RouteTemplate(op.Template, len(s.groups))
+	}
+}
+
+// Submit implements peats.TupleSpace with the routing contract above.
+func (s *Space) Submit(ctx context.Context, ops ...peats.Op) ([]peats.Result, error) {
+	if len(ops) == 0 {
+		return nil, errors.New("peats: empty submission")
+	}
+	routes := make([]int, len(ops))
+	single := true
+	for i, op := range ops {
+		if op.Code == policy.OpCas {
+			gi, ok := space.RouteTemplate(op.Template, len(s.groups))
+			if !ok || gi != space.RouteEntry(op.Entry, len(s.groups)) {
+				return nil, errors.New(
+					"partition: cas template must route to the entry's partition")
+			}
+		}
+		gi, ok := s.routeOp(op)
+		if !ok {
+			if len(ops) != 1 {
+				return nil, errors.New(
+					"partition: wildcard-first templates cannot join multi-op submissions")
+			}
+			return s.submitWildcard(ctx, ops[0])
+		}
+		routes[i] = gi
+		single = single && gi == routes[0]
+	}
+	if single {
+		// Every op owned by one group: forward unchanged. Same wire
+		// forms, same fast paths, zero added round trips.
+		return s.groups[routes[0]].remote.Submit(ctx, ops...)
+	}
+	return s.submitCross(ctx, ops, routes)
+}
+
+// submitWildcard serves a single wildcard-first read by fanning out.
+func (s *Space) submitWildcard(ctx context.Context, op peats.Op) ([]peats.Result, error) {
+	switch op.Code {
+	case policy.OpRdAll:
+		var all []tuple.Tuple
+		for i := range s.groups {
+			part, err := s.groups[i].remote.RdAll(ctx, op.Template)
+			if err != nil {
+				return nil, err
+			}
+			// Group-major merge: canonical group order, each group's
+			// matches in its own sequence order.
+			all = append(all, part...)
+		}
+		return []peats.Result{peats.NewResult(op, len(all) > 0, false, tuple.Tuple{}, all)}, nil
+	case policy.OpRdp:
+		for i := range s.groups {
+			t, found, err := s.groups[i].remote.Rdp(ctx, op.Template)
+			if err != nil {
+				return nil, err
+			}
+			if found {
+				return []peats.Result{peats.NewResult(op, true, false, t, nil)}, nil
+			}
+		}
+		return []peats.Result{peats.NewResult(op, false, false, tuple.Tuple{}, nil)}, nil
+	case policy.OpInp:
+		t, found, err := s.wildcardInp(ctx, op.Template)
+		if err != nil {
+			return nil, err
+		}
+		res := peats.NewResult(op, found, false, t, nil)
+		if !found {
+			return []peats.Result{res}, fmt.Errorf(
+				"%w: inp %v found no match", peats.ErrAborted, op.Template)
+		}
+		return []peats.Result{res}, nil
+	case policy.OpOut, policy.OpCas:
+		// Unreachable: entries always route.
+		return nil, errors.New("partition: unroutable mutating operation")
+	default:
+		return nil, fmt.Errorf("peats: op %v cannot be submitted", op.Code)
+	}
+}
+
+// wildcardInp consumes a match for a wildcard-first template: locate a
+// candidate with a non-destructive fan-out read, then consume that
+// exact tuple from its owning group (an entry used as a template
+// matches only its own value). A candidate stolen by a concurrent
+// consumer just moves the scan on; the not-found answer is only given
+// after a full pass finds no candidate anywhere.
+func (s *Space) wildcardInp(ctx context.Context, tmpl tuple.Tuple) (tuple.Tuple, bool, error) {
+	for i := range s.groups {
+		for {
+			cand, found, err := s.groups[i].remote.Rdp(ctx, tmpl)
+			if err != nil {
+				return tuple.Tuple{}, false, err
+			}
+			if !found {
+				break // this group is empty of matches; next group
+			}
+			got, ok, err := s.groups[i].remote.Inp(ctx, cand)
+			if err != nil {
+				if errors.Is(err, peats.ErrAborted) {
+					continue // candidate raced away; rescan this group
+				}
+				return tuple.Tuple{}, false, err
+			}
+			if ok {
+				return got, true, nil
+			}
+		}
+	}
+	return tuple.Tuple{}, false, nil
+}
+
+// Out implements peats.TupleSpace.
+func (s *Space) Out(ctx context.Context, entry tuple.Tuple) error {
+	_, err := s.Submit(ctx, peats.OutOp(entry))
+	return err
+}
+
+// Rdp implements peats.TupleSpace.
+func (s *Space) Rdp(ctx context.Context, tmpl tuple.Tuple) (tuple.Tuple, bool, error) {
+	res, err := s.Submit(ctx, peats.RdpOp(tmpl))
+	if err != nil {
+		return tuple.Tuple{}, false, err
+	}
+	return res[0].Tuple, res[0].Found, nil
+}
+
+// Inp implements peats.TupleSpace.
+func (s *Space) Inp(ctx context.Context, tmpl tuple.Tuple) (tuple.Tuple, bool, error) {
+	res, err := s.Submit(ctx, peats.InpOp(tmpl))
+	if err != nil {
+		if errors.Is(err, peats.ErrAborted) && len(res) == 1 && !res[0].Found {
+			return tuple.Tuple{}, false, nil
+		}
+		return tuple.Tuple{}, false, err
+	}
+	return res[0].Tuple, res[0].Found, nil
+}
+
+// RdAll implements peats.TupleSpace.
+func (s *Space) RdAll(ctx context.Context, tmpl tuple.Tuple) ([]tuple.Tuple, error) {
+	res, err := s.Submit(ctx, peats.RdAllOp(tmpl))
+	if err != nil {
+		return nil, err
+	}
+	return res[0].Tuples, nil
+}
+
+// Cas implements peats.TupleSpace.
+func (s *Space) Cas(ctx context.Context, tmpl, entry tuple.Tuple) (bool, tuple.Tuple, error) {
+	res, err := s.Submit(ctx, peats.CasOp(tmpl, entry))
+	if err != nil {
+		return false, tuple.Tuple{}, err
+	}
+	return res[0].Inserted, res[0].Tuple, nil
+}
+
+// Rd implements peats.TupleSpace by polling Rdp.
+func (s *Space) Rd(ctx context.Context, tmpl tuple.Tuple) (tuple.Tuple, error) {
+	return s.poll(ctx, tmpl, s.Rdp)
+}
+
+// In implements peats.TupleSpace by polling Inp.
+func (s *Space) In(ctx context.Context, tmpl tuple.Tuple) (tuple.Tuple, error) {
+	return s.poll(ctx, tmpl, s.Inp)
+}
+
+func (s *Space) poll(
+	ctx context.Context,
+	tmpl tuple.Tuple,
+	op func(context.Context, tuple.Tuple) (tuple.Tuple, bool, error),
+) (tuple.Tuple, error) {
+	floor := s.PollInterval
+	if floor <= 0 {
+		floor = 5 * time.Millisecond
+	}
+	max := s.PollMaxInterval
+	if max <= 0 {
+		max = 100 * time.Millisecond
+	}
+	if max < floor {
+		max = floor
+	}
+	timer := time.NewTimer(0)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	defer timer.Stop()
+	delay := floor
+	for {
+		t, ok, err := op(ctx, tmpl)
+		if err != nil {
+			return tuple.Tuple{}, err
+		}
+		if ok {
+			return t, nil
+		}
+		jittered := delay + time.Duration(rand.Int63n(int64(delay/2)+1))
+		if jittered > max {
+			jittered = max
+		}
+		timer.Reset(jittered)
+		select {
+		case <-ctx.Done():
+			return tuple.Tuple{}, ctx.Err()
+		case <-timer.C:
+		}
+		if delay < max {
+			delay *= 2
+		}
+	}
+}
+
+// toWireOps lifts a peats op slice to the wire form.
+func toWireOps(ops []peats.Op) []wire.SpaceOp {
+	wops := make([]wire.SpaceOp, len(ops))
+	for i, op := range ops {
+		wops[i] = wire.SpaceOp{Op: op.Code, Template: op.Template, Entry: op.Entry}
+	}
+	return wops
+}

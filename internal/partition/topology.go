@@ -1,0 +1,149 @@
+// Package partition realises the partitioned multi-group deployment:
+// M independent BFT replica groups, each owning the slice of the tuple
+// key space the canonical FNV-1a(arity, first-field) routing rule
+// assigns to it, with a client-side router that sends every
+// single-partition submission straight to its owning group (zero added
+// round trips) and drives cross-partition submissions through a
+// BFT-agreed two-phase commit whose coordinator — the client — is
+// untrusted.
+package partition
+
+import (
+	"crypto/ed25519"
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"peats/internal/bft"
+	"peats/internal/space"
+	"peats/internal/tuple"
+)
+
+// ReplicaSpec names one replica of a group and, in a networked
+// deployment, its listen address.
+type ReplicaSpec struct {
+	ID   string `json:"id"`
+	Addr string `json:"addr,omitempty"`
+}
+
+// GroupSpec describes one replica group: its identity, fault bound and
+// members (3F+1 of them).
+type GroupSpec struct {
+	ID       string        `json:"id"`
+	F        int           `json:"f"`
+	Replicas []ReplicaSpec `json:"replicas"`
+}
+
+// Topology describes a partitioned deployment. The order of Groups is
+// canonical: group i owns the tuples the routing rule maps to index i,
+// so every client and every server must use the same ordering (the
+// topology file is part of the trusted setup, like the key material).
+type Topology struct {
+	Groups []GroupSpec `json:"groups"`
+}
+
+// Validate checks structural sanity: at least one group, unique group
+// and replica identities, and 3F+1 replicas per group.
+func (t *Topology) Validate() error {
+	if len(t.Groups) == 0 {
+		return fmt.Errorf("partition: topology has no groups")
+	}
+	seen := make(map[string]struct{}, len(t.Groups))
+	for _, g := range t.Groups {
+		if g.ID == "" {
+			return fmt.Errorf("partition: group with empty id")
+		}
+		if _, dup := seen[g.ID]; dup {
+			return fmt.Errorf("partition: duplicate group id %q", g.ID)
+		}
+		seen[g.ID] = struct{}{}
+		if g.F < 0 {
+			return fmt.Errorf("partition: group %q with negative f", g.ID)
+		}
+		if len(g.Replicas) != 3*g.F+1 {
+			return fmt.Errorf("partition: group %q has %d replicas, need %d for f=%d",
+				g.ID, len(g.Replicas), 3*g.F+1, g.F)
+		}
+		rseen := make(map[string]struct{}, len(g.Replicas))
+		for _, r := range g.Replicas {
+			if r.ID == "" {
+				return fmt.Errorf("partition: group %q has a replica with empty id", g.ID)
+			}
+			if _, dup := rseen[r.ID]; dup {
+				return fmt.Errorf("partition: group %q has duplicate replica id %q", g.ID, r.ID)
+			}
+			rseen[r.ID] = struct{}{}
+		}
+	}
+	return nil
+}
+
+// Group returns the spec of the named group.
+func (t *Topology) Group(id string) (GroupSpec, bool) {
+	for _, g := range t.Groups {
+		if g.ID == id {
+			return g, true
+		}
+	}
+	return GroupSpec{}, false
+}
+
+// GroupIDs returns the group identities in canonical order.
+func (t *Topology) GroupIDs() []string {
+	ids := make([]string, len(t.Groups))
+	for i, g := range t.Groups {
+		ids[i] = g.ID
+	}
+	return ids
+}
+
+// Directory derives the deployment's attestation directory from the
+// attestation master secret: topology files carry no public keys, any
+// holder of the master reconstructs them (bft.AttestKeyFor).
+func (t *Topology) Directory(attestMaster []byte) bft.Directory {
+	dir := make(bft.Directory, len(t.Groups))
+	for _, g := range t.Groups {
+		keys := make(map[string]ed25519.PublicKey, len(g.Replicas))
+		for _, r := range g.Replicas {
+			keys[r.ID] = bft.AttestKeyFor(attestMaster, g.ID, r.ID).Public().(ed25519.PublicKey)
+		}
+		dir[g.ID] = bft.GroupKeys{F: g.F, Keys: keys}
+	}
+	return dir
+}
+
+// RouteEntry returns the index of the group owning the entry, per the
+// canonical FNV-1a(arity, first-field) rule — the same rule the
+// space's shard router uses, so the partition map is stable and
+// documented in one place.
+func (t *Topology) RouteEntry(entry tuple.Tuple) int {
+	return space.RouteEntry(entry, len(t.Groups))
+}
+
+// RouteTemplate returns the owning group index for a template whose
+// first field is concrete, or ok=false for a wildcard-first template
+// (which matches in every group and must fan out).
+func (t *Topology) RouteTemplate(tmpl tuple.Tuple) (int, bool) {
+	return space.RouteTemplate(tmpl, len(t.Groups))
+}
+
+// ParseTopology decodes and validates a JSON topology description.
+func ParseTopology(data []byte) (*Topology, error) {
+	var t Topology
+	if err := json.Unmarshal(data, &t); err != nil {
+		return nil, fmt.Errorf("partition: parse topology: %w", err)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return &t, nil
+}
+
+// LoadTopology reads a JSON topology description from a file.
+func LoadTopology(path string) (*Topology, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("partition: %w", err)
+	}
+	return ParseTopology(data)
+}

@@ -200,11 +200,14 @@ func (s *Space) Engine() Engine { return s.engine }
 // Shards returns the number of shards the space is partitioned into.
 func (s *Space) Shards() int { return len(s.shards) }
 
-// shardIndex routes an (arity, first-field key) pair to a shard with an
-// FNV-1a hash — stable across processes, so every replica of a cluster
-// routes identically.
-func (s *Space) shardIndex(arity int, key string) int {
-	if len(s.shards) == 1 {
+// RouteIndex routes an (arity, first-field key) pair to one of n
+// buckets with an FNV-1a hash — stable across processes, so every
+// replica of a cluster routes identically. It is the canonical
+// placement rule of the system, shared by the intra-process shard
+// layer and the multi-group partitioned deployment: both split the
+// tuple space along the same function, at different scales.
+func RouteIndex(arity int, key string, n int) int {
+	if n <= 1 {
 		return 0
 	}
 	h := uint32(2166136261)
@@ -212,7 +215,28 @@ func (s *Space) shardIndex(arity int, key string) int {
 	for i := 0; i < len(key); i++ {
 		h = (h ^ uint32(key[i])) * 16777619
 	}
-	return int(h % uint32(len(s.shards)))
+	return int(h % uint32(n))
+}
+
+// RouteEntry returns the bucket among n that entry t routes to.
+func RouteEntry(t tuple.Tuple, n int) int {
+	key, _ := t.Field(0).MatchKey()
+	return RouteIndex(t.Arity(), key, n)
+}
+
+// RouteTemplate returns the single bucket among n that can hold
+// matches for tmpl and keyed=true when tmpl's first field is defined;
+// keyed=false means every bucket must be consulted.
+func RouteTemplate(tmpl tuple.Tuple, n int) (int, bool) {
+	if key, ok := tmpl.Field(0).MatchKey(); ok {
+		return RouteIndex(tmpl.Arity(), key, n), true
+	}
+	return 0, false
+}
+
+// shardIndex routes an (arity, first-field key) pair to a shard.
+func (s *Space) shardIndex(arity int, key string) int {
+	return RouteIndex(arity, key, len(s.shards))
 }
 
 // EntryShard returns the shard index entry t routes to: a hash of its

@@ -34,6 +34,14 @@ type Staged struct {
 	removed     []SeqTuple
 	removedSeqs map[uint64]struct{}
 
+	// frozen hides stored tuples reserved by in-doubt cross-partition
+	// transactions (Freeze): they are invisible to matching, counting
+	// and iteration exactly like staged removals, but are not effects —
+	// Commit neither consumes nor journals them. frozenSeqs indexes
+	// their sequence numbers.
+	frozen     []SeqTuple
+	frozenSeqs map[uint64]struct{}
+
 	// base, when non-nil, stacks this view on a tentative-execution
 	// overlay (Tx.StageOn): matches are selected stored tuples first,
 	// then the overlay's unconsumed inserts, then this view's own
@@ -65,21 +73,65 @@ func (tx *Tx) StageOn(ov *Overlay) *Staged {
 	return &Staged{tx: tx, base: ov}
 }
 
+// Freeze hides the given stored tuples from this view for its whole
+// lifetime. The partitioned deployment uses it to mask the
+// reservations of prepared-but-undecided cross-partition transactions:
+// a reserved tuple behaves as already consumed until the transaction's
+// decision arrives, so no concurrent operation can steal a commit's
+// removal target. Frozen tuples are not staged effects — Commit leaves
+// them in place.
+func (st *Staged) Freeze(rs []SeqTuple) {
+	if len(rs) == 0 {
+		return
+	}
+	if st.frozenSeqs == nil {
+		st.frozenSeqs = make(map[uint64]struct{}, len(rs))
+	}
+	for _, r := range rs {
+		if _, ok := st.frozenSeqs[r.Seq]; ok {
+			continue
+		}
+		st.frozenSeqs[r.Seq] = struct{}{}
+		st.frozen = append(st.frozen, r)
+	}
+}
+
+// Seed loads previously captured effects into an empty staged unit, so
+// a reservation parked outside any critical section can be applied
+// later with the usual Commit path (value-addressed removals, fresh
+// insert sequence numbers). The staged view takes ownership of the
+// slices.
+func (st *Staged) Seed(removed []SeqTuple, inserts []tuple.Tuple) {
+	if len(st.removed) != 0 || len(st.inserts) != 0 {
+		panic("space: Seed on a non-empty staged unit")
+	}
+	st.removed = removed
+	st.removedSeqs = make(map[uint64]struct{}, len(removed))
+	for _, r := range removed {
+		st.removedSeqs[r.Seq] = struct{}{}
+	}
+	st.inserts = inserts
+}
+
 // overlayClean reports whether no mutation has been staged and no base
 // overlay shadows the stores, enabling the direct store fast paths.
 func (st *Staged) overlayClean() bool {
-	return len(st.inserts) == 0 && len(st.removed) == 0 &&
+	return len(st.inserts) == 0 && len(st.removed) == 0 && len(st.frozen) == 0 &&
 		(st.base == nil || st.base.Empty())
 }
 
 // hiddenStored reports whether either this view or its base overlay
 // hides the stored tuple with the given sequence number.
 func (st *Staged) hiddenStored() bool {
-	return len(st.removedSeqs) > 0 || (st.base != nil && len(st.base.hidden) > 0)
+	return len(st.removedSeqs) > 0 || len(st.frozenSeqs) > 0 ||
+		(st.base != nil && len(st.base.hidden) > 0)
 }
 
 func (st *Staged) isRemoved(seq uint64) bool {
 	if _, ok := st.removedSeqs[seq]; ok {
+		return true
+	}
+	if _, ok := st.frozenSeqs[seq]; ok {
 		return true
 	}
 	return st.base != nil && st.base.hiddenSeq(seq)
@@ -246,7 +298,7 @@ func (st *Staged) RdAll(tmpl tuple.Tuple) []tuple.Tuple {
 
 // Len returns the number of tuples in the staged view.
 func (st *Staged) Len() int {
-	n := st.tx.Len() - len(st.removed) + len(st.inserts)
+	n := st.tx.Len() - len(st.removed) - len(st.frozen) + len(st.inserts)
 	if st.base != nil {
 		n -= len(st.base.hidden)
 		st.base.eachVisibleInsert(func(*OverlayInsert) bool { n++; return true })
@@ -274,6 +326,11 @@ func (st *Staged) CountMatching(tmpl tuple.Tuple) int {
 		})
 	}
 	for _, r := range st.removed {
+		if tuple.Matches(r.T, tmpl) {
+			n--
+		}
+	}
+	for _, r := range st.frozen {
 		if tuple.Matches(r.T, tmpl) {
 			n--
 		}

@@ -1,0 +1,358 @@
+package wire
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Partitioned deployments split the tuple space across M independent
+// BFT groups. Cross-partition submissions run a two-phase protocol: the
+// coordinator (an untrusted client) sends each participant group a
+// TxPrepare carrying that group's slice of the transaction, collects
+// BFT-agreed votes, and delivers a TxDecision justified by vote
+// certificates. Every message here is carried as the Op payload of an
+// ordinary agreed request, so the prepare/abort decision of each group
+// is itself the output of its BFT agreement.
+//
+// The payload tags live above the policy op-code range and beside
+// spaceTxTag (0xF5) so a one-byte peek classifies any submission.
+const (
+	txPrepareTag  = 0xF6
+	txDecisionTag = 0xF7
+	txStatusTag   = 0xF8
+)
+
+// Transaction outcome states carried in TxOutcome.State.
+const (
+	// TxVoteYes: the group executed its slice successfully and holds a
+	// reservation; it will commit iff shown an all-YES certificate set.
+	TxVoteYes = 1
+	// TxVoteNo: the group's slice aborted (denial, inp miss, malformed);
+	// the transaction is pinned aborted at this group.
+	TxVoteNo = 2
+	// TxCommitted / TxAborted: a decision has been applied.
+	TxCommitted = 3
+	TxAborted   = 4
+)
+
+// Bounds on variable-length partition message fields.
+const (
+	// MaxTxParticipants bounds the participant list of one transaction.
+	MaxTxParticipants = 1 << 8
+	// MaxTxID bounds the transaction identifier length.
+	MaxTxID = 1 << 7
+	// MaxCertSigs bounds the attestation list of one vote certificate.
+	MaxCertSigs = 1 << 8
+)
+
+// IsPartitionOp reports whether b is a partition 2PC payload
+// (TxPrepare, TxDecision or TxStatus).
+func IsPartitionOp(b []byte) bool {
+	if len(b) == 0 {
+		return false
+	}
+	switch b[0] {
+	case txPrepareTag, txDecisionTag, txStatusTag:
+		return true
+	}
+	return false
+}
+
+// IsTxPrepare reports whether b encodes a TxPrepare.
+func IsTxPrepare(b []byte) bool { return len(b) > 0 && b[0] == txPrepareTag }
+
+// IsTxDecision reports whether b encodes a TxDecision.
+func IsTxDecision(b []byte) bool { return len(b) > 0 && b[0] == txDecisionTag }
+
+// IsTxStatus reports whether b encodes a TxStatus.
+func IsTxStatus(b []byte) bool { return len(b) > 0 && b[0] == txStatusTag }
+
+// TxPrepare asks one group to vote on its slice of a cross-partition
+// transaction. Participants is the full (sorted) group list so every
+// participant learns, through agreement, who else must vote YES before
+// a commit certificate can exist.
+type TxPrepare struct {
+	TxID         string
+	Participants []string
+	Ops          []SpaceOp
+}
+
+// EncodeTxPrepare encodes a prepare payload.
+func EncodeTxPrepare(p TxPrepare) []byte {
+	w := NewWriter()
+	w.Byte(txPrepareTag)
+	w.String(p.TxID)
+	w.Uvarint(uint64(len(p.Participants)))
+	for _, g := range p.Participants {
+		w.String(g)
+	}
+	w.Uvarint(uint64(len(p.Ops)))
+	for _, op := range p.Ops {
+		appendSpaceOp(w, op)
+	}
+	return w.Data()
+}
+
+// DecodeTxPrepare decodes a prepare payload.
+func DecodeTxPrepare(b []byte) (TxPrepare, error) {
+	r := NewReader(b)
+	if r.Byte() != txPrepareTag {
+		return TxPrepare{}, errors.New("wire: not a tx-prepare payload")
+	}
+	var p TxPrepare
+	p.TxID = r.String()
+	if len(p.TxID) == 0 || len(p.TxID) > MaxTxID {
+		return TxPrepare{}, fmt.Errorf("wire: tx id length %d out of range", len(p.TxID))
+	}
+	ng := r.Uvarint()
+	if r.Err() == nil && (ng == 0 || ng > MaxTxParticipants) {
+		return TxPrepare{}, fmt.Errorf("wire: %d tx participants out of range", ng)
+	}
+	for i := uint64(0); i < ng && r.Err() == nil; i++ {
+		p.Participants = append(p.Participants, r.String())
+	}
+	no := r.Uvarint()
+	if r.Err() == nil && (no == 0 || no > MaxTxOps) {
+		return TxPrepare{}, fmt.Errorf("wire: %d tx ops out of range", no)
+	}
+	for i := uint64(0); i < no && r.Err() == nil; i++ {
+		op, err := readSpaceOp(r)
+		if err != nil {
+			return TxPrepare{}, err
+		}
+		p.Ops = append(p.Ops, op)
+	}
+	r.ExpectEOF()
+	if err := r.Err(); err != nil {
+		return TxPrepare{}, err
+	}
+	return p, nil
+}
+
+// TxOutcome is the agreed result of every partition 2PC payload: the
+// vote of a prepare, the recorded state answered by a status query, and
+// the post-state of a decision. For YES votes Results carries the
+// slice's per-op results so the coordinator can assemble the client's
+// reply without a second round.
+type TxOutcome struct {
+	TxID         string
+	State        uint8
+	Participants []string
+	Results      []SpaceResult
+}
+
+// EncodeTxOutcome encodes an outcome. The encoding is canonical: equal
+// outcomes encode to equal bytes, which both reply voting and vote
+// certificates rely on.
+func EncodeTxOutcome(o TxOutcome) []byte {
+	w := NewWriter()
+	w.String(o.TxID)
+	w.Byte(o.State)
+	w.Uvarint(uint64(len(o.Participants)))
+	for _, g := range o.Participants {
+		w.String(g)
+	}
+	w.Uvarint(uint64(len(o.Results)))
+	for _, res := range o.Results {
+		appendSpaceResult(w, res)
+	}
+	return w.Data()
+}
+
+// DecodeTxOutcome decodes an outcome.
+func DecodeTxOutcome(b []byte) (TxOutcome, error) {
+	r := NewReader(b)
+	var o TxOutcome
+	o.TxID = r.String()
+	if len(o.TxID) == 0 || len(o.TxID) > MaxTxID {
+		return TxOutcome{}, fmt.Errorf("wire: tx id length %d out of range", len(o.TxID))
+	}
+	o.State = r.Byte()
+	if r.Err() == nil {
+		switch o.State {
+		case TxVoteYes, TxVoteNo, TxCommitted, TxAborted:
+		default:
+			return TxOutcome{}, fmt.Errorf("wire: unknown tx state %d", o.State)
+		}
+	}
+	ng := r.Uvarint()
+	if r.Err() == nil && ng > MaxTxParticipants {
+		return TxOutcome{}, fmt.Errorf("wire: %d tx participants out of range", ng)
+	}
+	for i := uint64(0); i < ng && r.Err() == nil; i++ {
+		o.Participants = append(o.Participants, r.String())
+	}
+	nr := r.Uvarint()
+	if r.Err() == nil && nr > MaxTxOps {
+		return TxOutcome{}, fmt.Errorf("wire: %d tx results out of range", nr)
+	}
+	for i := uint64(0); i < nr && r.Err() == nil; i++ {
+		res, err := readSpaceResult(r)
+		if err != nil {
+			return TxOutcome{}, err
+		}
+		o.Results = append(o.Results, res)
+	}
+	r.ExpectEOF()
+	if err := r.Err(); err != nil {
+		return TxOutcome{}, err
+	}
+	return o, nil
+}
+
+// Attestation is one replica's signature over an attest payload.
+type Attestation struct {
+	Replica string
+	Sig     []byte
+}
+
+// VoteCert is transferable evidence that a group agreed on an outcome:
+// the outcome's encoded bytes plus attestations from 2f+1 of the
+// group's replicas. Groups verify certificates against the deployment
+// topology, so an untrusted coordinator cannot forge another group's
+// vote.
+type VoteCert struct {
+	Group   string
+	Outcome []byte
+	Atts    []Attestation
+}
+
+func appendVoteCert(w *Writer, c VoteCert) {
+	w.String(c.Group)
+	w.Bytes(c.Outcome)
+	w.Uvarint(uint64(len(c.Atts)))
+	for _, a := range c.Atts {
+		w.String(a.Replica)
+		w.Bytes(a.Sig)
+	}
+}
+
+func readVoteCert(r *Reader) (VoteCert, error) {
+	var c VoteCert
+	c.Group = r.String()
+	c.Outcome = r.Bytes()
+	na := r.Uvarint()
+	if r.Err() == nil && na > MaxCertSigs {
+		return VoteCert{}, fmt.Errorf("wire: %d cert attestations out of range", na)
+	}
+	for i := uint64(0); i < na && r.Err() == nil; i++ {
+		var a Attestation
+		a.Replica = r.String()
+		a.Sig = r.Bytes()
+		c.Atts = append(c.Atts, a)
+	}
+	if err := r.Err(); err != nil {
+		return VoteCert{}, err
+	}
+	return c, nil
+}
+
+// TxDecision delivers the coordinator's commit/abort decision together
+// with the vote certificates that justify it. A commit must prove every
+// participant voted YES; an abort must prove some participant voted NO
+// (or was pinned aborted). Each group re-validates the justification
+// under agreement and ignores unjustified decisions, so conflicting
+// decisions sent by a Byzantine coordinator cannot diverge outcomes.
+type TxDecision struct {
+	TxID   string
+	Commit bool
+	Certs  []VoteCert
+}
+
+// EncodeTxDecision encodes a decision payload.
+func EncodeTxDecision(d TxDecision) []byte {
+	w := NewWriter()
+	w.Byte(txDecisionTag)
+	w.String(d.TxID)
+	w.Bool(d.Commit)
+	w.Uvarint(uint64(len(d.Certs)))
+	for _, c := range d.Certs {
+		appendVoteCert(w, c)
+	}
+	return w.Data()
+}
+
+// DecodeTxDecision decodes a decision payload.
+func DecodeTxDecision(b []byte) (TxDecision, error) {
+	r := NewReader(b)
+	if r.Byte() != txDecisionTag {
+		return TxDecision{}, errors.New("wire: not a tx-decision payload")
+	}
+	var d TxDecision
+	d.TxID = r.String()
+	if len(d.TxID) == 0 || len(d.TxID) > MaxTxID {
+		return TxDecision{}, fmt.Errorf("wire: tx id length %d out of range", len(d.TxID))
+	}
+	d.Commit = r.Bool()
+	nc := r.Uvarint()
+	if r.Err() == nil && nc > MaxTxParticipants {
+		return TxDecision{}, fmt.Errorf("wire: %d decision certs out of range", nc)
+	}
+	for i := uint64(0); i < nc && r.Err() == nil; i++ {
+		c, err := readVoteCert(r)
+		if err != nil {
+			return TxDecision{}, err
+		}
+		d.Certs = append(d.Certs, c)
+	}
+	r.ExpectEOF()
+	if err := r.Err(); err != nil {
+		return TxDecision{}, err
+	}
+	return d, nil
+}
+
+// TxStatus queries a group's agreed record of a transaction. Unknown
+// transactions are pinned aborted by the query itself (presumed abort),
+// which gives crashed-coordinator recovery a terminating protocol: once
+// every participant has answered, the answers determine the unique
+// valid decision.
+type TxStatus struct {
+	TxID string
+}
+
+// EncodeTxStatus encodes a status payload.
+func EncodeTxStatus(s TxStatus) []byte {
+	w := NewWriter()
+	w.Byte(txStatusTag)
+	w.String(s.TxID)
+	return w.Data()
+}
+
+// DecodeTxStatus decodes a status payload.
+func DecodeTxStatus(b []byte) (TxStatus, error) {
+	r := NewReader(b)
+	if r.Byte() != txStatusTag {
+		return TxStatus{}, errors.New("wire: not a tx-status payload")
+	}
+	var s TxStatus
+	s.TxID = r.String()
+	if len(s.TxID) == 0 || len(s.TxID) > MaxTxID {
+		return TxStatus{}, fmt.Errorf("wire: tx id length %d out of range", len(s.TxID))
+	}
+	r.ExpectEOF()
+	if err := r.Err(); err != nil {
+		return TxStatus{}, err
+	}
+	return s, nil
+}
+
+// attestDomain separates attestation signatures from any other use of
+// the replicas' signing keys.
+var attestDomain = []byte("peats-attest\x00")
+
+// AttestPayload is the byte string a replica signs to attest that its
+// group agreed on result bytes: a domain tag, the group identity and
+// the result digest. Binding the group prevents replaying an
+// attestation from one group against another.
+func AttestPayload(group string, result []byte) []byte {
+	sum := sha256.Sum256(result)
+	p := make([]byte, 0, len(attestDomain)+10+len(group)+len(sum))
+	p = append(p, attestDomain...)
+	p = binary.AppendUvarint(p, uint64(len(group)))
+	p = append(p, group...)
+	p = append(p, sum[:]...)
+	return p
+}

@@ -1,0 +1,106 @@
+package wire
+
+import (
+	"testing"
+)
+
+// Partition 2PC payloads arrive from untrusted coordinators and are fed
+// straight into agreed execution, so their decoders must be total:
+// reject freely, never panic or hang, and round-trip whatever they
+// accept.
+
+func FuzzDecodeTxPrepare(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0xF6})
+	f.Add([]byte{0xF6, 0x01, 'x'})
+	f.Add(EncodeTxPrepare(TxPrepare{
+		TxID:         "tx-1",
+		Participants: []string{"g0", "g1"},
+		Ops:          sampleOps(),
+	}))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		p, err := DecodeTxPrepare(b)
+		if err != nil {
+			return
+		}
+		if len(p.TxID) == 0 || len(p.Participants) == 0 || len(p.Ops) == 0 {
+			t.Fatalf("accepted empty prepare: %+v", p)
+		}
+		back, err := DecodeTxPrepare(EncodeTxPrepare(p))
+		if err != nil {
+			t.Fatalf("re-decode of accepted prepare failed: %v", err)
+		}
+		if back.TxID != p.TxID || len(back.Participants) != len(p.Participants) || len(back.Ops) != len(p.Ops) {
+			t.Fatalf("round trip diverged: %+v != %+v", back, p)
+		}
+	})
+}
+
+func FuzzDecodeTxDecision(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0xF7})
+	f.Add([]byte{0xF7, 0x01, 'x', 0x01, 0x01})
+	f.Add(EncodeTxDecision(TxDecision{
+		TxID:   "tx-1",
+		Commit: true,
+		Certs: []VoteCert{{
+			Group:   "g0",
+			Outcome: EncodeTxOutcome(TxOutcome{TxID: "tx-1", State: TxVoteYes}),
+			Atts:    []Attestation{{Replica: "r0", Sig: []byte{1, 2, 3}}},
+		}},
+	}))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		d, err := DecodeTxDecision(b)
+		if err != nil {
+			return
+		}
+		back, err := DecodeTxDecision(EncodeTxDecision(d))
+		if err != nil {
+			t.Fatalf("re-decode of accepted decision failed: %v", err)
+		}
+		if back.TxID != d.TxID || back.Commit != d.Commit || len(back.Certs) != len(d.Certs) {
+			t.Fatalf("round trip diverged: %+v != %+v", back, d)
+		}
+	})
+}
+
+func FuzzDecodeTxStatus(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0xF8})
+	f.Add(EncodeTxStatus(TxStatus{TxID: "tx-1"}))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		s, err := DecodeTxStatus(b)
+		if err != nil {
+			return
+		}
+		back, err := DecodeTxStatus(EncodeTxStatus(s))
+		if err != nil || back.TxID != s.TxID {
+			t.Fatalf("round trip diverged: %+v / %v", back, err)
+		}
+	})
+}
+
+func FuzzDecodeTxOutcome(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x01, 'x', 0x01, 0x00, 0x00})
+	f.Add(EncodeTxOutcome(TxOutcome{
+		TxID:         "tx-1",
+		State:        TxVoteYes,
+		Participants: []string{"g0", "g1"},
+		Results:      []SpaceResult{{Status: StatusOK, Inserted: true}},
+	}))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		o, err := DecodeTxOutcome(b)
+		if err != nil {
+			return
+		}
+		back, err := DecodeTxOutcome(EncodeTxOutcome(o))
+		if err != nil {
+			t.Fatalf("re-decode of accepted outcome failed: %v", err)
+		}
+		if back.TxID != o.TxID || back.State != o.State ||
+			len(back.Participants) != len(o.Participants) || len(back.Results) != len(o.Results) {
+			t.Fatalf("round trip diverged: %+v != %+v", back, o)
+		}
+	})
+}

@@ -1,0 +1,400 @@
+package peats
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// partitionCtx bounds a partition test step without hanging broken runs.
+func partitionCtx(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+// partGen produces random keyed and wildcard-first operations over a
+// small domain, so group collisions, cross-group submissions, matches
+// and misses are all frequent. Everything derives from a seeded
+// rand.Rand, so failures reproduce by seed.
+type partGen struct {
+	rng *rand.Rand
+}
+
+// key returns a concrete first field from a small pool; eight keys over
+// four groups make every group populated and multi-group submissions
+// common.
+func (g *partGen) key() Field {
+	return Str(fmt.Sprintf("k%d", g.rng.Intn(8)))
+}
+
+func (g *partGen) tail(defined bool) Field {
+	if !defined {
+		if g.rng.Intn(2) == 0 {
+			return Any()
+		}
+		return Formal(fmt.Sprintf("v%d", g.rng.Intn(3)))
+	}
+	if g.rng.Intn(2) == 0 {
+		return Int(int64(g.rng.Intn(3)))
+	}
+	return Str(string(rune('A' + g.rng.Intn(2))))
+}
+
+// entry returns a fully defined tuple of arity 1..3 with a pooled key.
+func (g *partGen) entry() Tuple {
+	fields := []Field{g.key()}
+	for n := g.rng.Intn(3); n > 0; n-- {
+		fields = append(fields, g.tail(true))
+	}
+	return T(fields...)
+}
+
+// keyedTemplate returns a template with a concrete pooled first field,
+// so it routes to exactly one partition.
+func (g *partGen) keyedTemplate() Tuple {
+	fields := []Field{g.key()}
+	for n := g.rng.Intn(3); n > 0; n-- {
+		fields = append(fields, g.tail(g.rng.Intn(3) != 0))
+	}
+	return T(fields...)
+}
+
+// wildcardTemplate returns a template with an undefined first field,
+// which matches in every partition and must fan out.
+func (g *partGen) wildcardTemplate() Tuple {
+	fields := []Field{g.tail(false)}
+	for n := g.rng.Intn(3); n > 0; n-- {
+		fields = append(fields, g.tail(g.rng.Intn(3) != 0))
+	}
+	return T(fields...)
+}
+
+// casPair returns a template/entry pair that routes to one partition:
+// same arity, same concrete first field — the shape the partitioned
+// space requires of cas.
+func (g *partGen) casPair() (tmpl, entry Tuple) {
+	k := g.key()
+	arity := 1 + g.rng.Intn(3)
+	tf := []Field{k}
+	ef := []Field{k}
+	for i := 1; i < arity; i++ {
+		tf = append(tf, g.tail(g.rng.Intn(3) != 0))
+		ef = append(ef, g.tail(true))
+	}
+	return T(tf...), T(ef...)
+}
+
+// submission returns 2..4 keyed ops forming one atomic unit; keys are
+// drawn independently, so units regularly span several partitions and
+// regularly abort on an inp miss.
+func (g *partGen) submission() []Op {
+	n := 2 + g.rng.Intn(3)
+	ops := make([]Op, n)
+	for i := range ops {
+		switch g.rng.Intn(5) {
+		case 0, 1:
+			ops[i] = OutOp(g.entry())
+		case 2:
+			ops[i] = RdpOp(g.keyedTemplate())
+		case 3:
+			ops[i] = InpOp(g.keyedTemplate())
+		default:
+			tmpl, entry := g.casPair()
+			ops[i] = CasOp(tmpl, entry)
+		}
+	}
+	return ops
+}
+
+// tupleBag builds a multiset fingerprint of a tuple list.
+func tupleBag(ts []Tuple) map[string]int {
+	bag := make(map[string]int, len(ts))
+	for _, t := range ts {
+		bag[fmt.Sprintf("%v", t)]++
+	}
+	return bag
+}
+
+func sameBag(a, b []Tuple) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	ba, bb := tupleBag(a), tupleBag(b)
+	for k, n := range ba {
+		if bb[k] != n {
+			return false
+		}
+	}
+	return true
+}
+
+// errClass collapses an error to the classes the parity contract
+// compares: nil, denied, aborted, or other.
+func errClass(err error) string {
+	switch {
+	case err == nil:
+		return "nil"
+	case errors.Is(err, ErrDenied):
+		return "denied"
+	case errors.Is(err, ErrAborted):
+		return "aborted"
+	default:
+		return "other"
+	}
+}
+
+// drivePartitionParity runs the same randomized operation sequence
+// through a reference single-space handle and a partitioned space and
+// fails on the first observable divergence. Keyed operations must agree
+// exactly (a keyed template's matches all live in one group, inserted
+// in submission order, so even the match choice is determined);
+// wildcard reads must agree up to the documented group-major merge:
+// RdAll as a multiset, Rdp on found-ness and membership.
+func drivePartitionParity(t *testing.T, seed int64, steps int, ref TupleSpace, part TupleSpace) {
+	t.Helper()
+	ctx := partitionCtx(t)
+	g := &partGen{rng: rand.New(rand.NewSource(seed))}
+	for i := 0; i < steps; i++ {
+		switch g.rng.Intn(10) {
+		case 0, 1, 2:
+			e := g.entry()
+			if err1, err2 := ref.Out(ctx, e), part.Out(ctx, e); errClass(err1) != errClass(err2) {
+				t.Fatalf("seed %d step %d out: %v vs %v", seed, i, err1, err2)
+			}
+		case 3:
+			tmpl := g.keyedTemplate()
+			ta, oka, err1 := ref.Rdp(ctx, tmpl)
+			tb, okb, err2 := part.Rdp(ctx, tmpl)
+			if err1 != nil || err2 != nil || oka != okb || (oka && !ta.Equal(tb)) {
+				t.Fatalf("seed %d step %d rdp %v: %v/%v/%v vs %v/%v/%v",
+					seed, i, tmpl, ta, oka, err1, tb, okb, err2)
+			}
+		case 4:
+			tmpl := g.keyedTemplate()
+			ta, oka, err1 := ref.Inp(ctx, tmpl)
+			tb, okb, err2 := part.Inp(ctx, tmpl)
+			if err1 != nil || err2 != nil || oka != okb || (oka && !ta.Equal(tb)) {
+				t.Fatalf("seed %d step %d inp %v: %v/%v/%v vs %v/%v/%v",
+					seed, i, tmpl, ta, oka, err1, tb, okb, err2)
+			}
+		case 5:
+			tmpl, entry := g.casPair()
+			insA, mA, err1 := ref.Cas(ctx, tmpl, entry)
+			insB, mB, err2 := part.Cas(ctx, tmpl, entry)
+			if err1 != nil || err2 != nil || insA != insB || !mA.Equal(mB) {
+				t.Fatalf("seed %d step %d cas: %v/%v/%v vs %v/%v/%v",
+					seed, i, insA, mA, err1, insB, mB, err2)
+			}
+		case 6:
+			tmpl := g.keyedTemplate()
+			la, err1 := ref.RdAll(ctx, tmpl)
+			lb, err2 := part.RdAll(ctx, tmpl)
+			if err1 != nil || err2 != nil || len(la) != len(lb) {
+				t.Fatalf("seed %d step %d rdall %v: %d/%v vs %d/%v",
+					seed, i, tmpl, len(la), err1, len(lb), err2)
+			}
+			for j := range la {
+				if !la[j].Equal(lb[j]) {
+					t.Fatalf("seed %d step %d rdall[%d]: %v vs %v", seed, i, j, la[j], lb[j])
+				}
+			}
+		case 7:
+			// Wildcard fan-out reads: RdAll merges group-major, so order
+			// may differ from the single space — the multiset must not.
+			tmpl := g.wildcardTemplate()
+			la, err1 := ref.RdAll(ctx, tmpl)
+			lb, err2 := part.RdAll(ctx, tmpl)
+			if err1 != nil || err2 != nil || !sameBag(la, lb) {
+				t.Fatalf("seed %d step %d wildcard rdall %v: %v (%v) vs %v (%v)",
+					seed, i, tmpl, la, err1, lb, err2)
+			}
+		case 8:
+			tmpl := g.wildcardTemplate()
+			ta, oka, err1 := ref.Rdp(ctx, tmpl)
+			tb, okb, err2 := part.Rdp(ctx, tmpl)
+			if err1 != nil || err2 != nil || oka != okb {
+				t.Fatalf("seed %d step %d wildcard rdp %v: %v/%v/%v vs %v/%v/%v",
+					seed, i, tmpl, ta, oka, err1, tb, okb, err2)
+			}
+			if okb {
+				// The partitioned pick is the first group's earliest match —
+				// any member of the full match set is a correct rdp answer.
+				all, err := ref.RdAll(ctx, tmpl)
+				if err != nil || tupleBag(all)[fmt.Sprintf("%v", tb)] == 0 {
+					t.Fatalf("seed %d step %d wildcard rdp: %v not in match set %v (%v)",
+						seed, i, tb, all, err)
+				}
+			}
+		default:
+			// Atomic multi-op submissions, regularly spanning partitions.
+			ops := g.submission()
+			ra, err1 := ref.Submit(ctx, ops...)
+			rb, err2 := part.Submit(ctx, ops...)
+			if errClass(err1) != errClass(err2) {
+				t.Fatalf("seed %d step %d submit %v: err %v vs %v", seed, i, ops, err1, err2)
+			}
+			if len(ra) != len(rb) {
+				t.Fatalf("seed %d step %d submit %v: %d results vs %d (%v / %v)",
+					seed, i, ops, len(ra), len(rb), ra, rb)
+			}
+			for j := range ra {
+				if ra[j].Found != rb[j].Found || ra[j].Inserted != rb[j].Inserted ||
+					!ra[j].Tuple.Equal(rb[j].Tuple) {
+					t.Fatalf("seed %d step %d submit result[%d]: %+v vs %+v",
+						seed, i, j, ra[j], rb[j])
+				}
+			}
+		}
+	}
+	// Final deep check: the two spaces hold the same multiset of tuples
+	// at every arity the generator produces.
+	for arity := 1; arity <= 3; arity++ {
+		fields := make([]Field, arity)
+		for i := range fields {
+			fields[i] = Any()
+		}
+		tmpl := T(fields...)
+		la, err1 := ref.RdAll(partitionCtx(t), tmpl)
+		lb, err2 := part.RdAll(partitionCtx(t), tmpl)
+		if err1 != nil || err2 != nil || !sameBag(la, lb) {
+			t.Fatalf("seed %d final arity %d: %d tuples vs %d (%v / %v)",
+				seed, arity, len(la), len(lb), err1, err2)
+		}
+	}
+}
+
+// TestPartitionParity holds a four-group partitioned deployment
+// observationally equivalent to a single tuple space across both store
+// engines and shard counts {1, 4}: partitioning is a deployment choice,
+// not a semantic one.
+func TestPartitionParity(t *testing.T) {
+	for _, engine := range []StoreEngine{SliceStore, IndexedStore} {
+		for _, shards := range []int{1, 4} {
+			engine, shards := engine, shards
+			t.Run(fmt.Sprintf("%s/shards=%d", engine, shards), func(t *testing.T) {
+				t.Parallel()
+				pc, err := NewPartitionedCluster([]int{0, 0, 0, 0}, AllowAll(),
+					WithStore(engine), WithShards(shards))
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer pc.Stop()
+				part, err := pc.Space("p1")
+				if err != nil {
+					t.Fatal(err)
+				}
+				for seed := int64(0); seed < 2; seed++ {
+					ref := NewSpace(AllowAll()).Handle("p1")
+					drivePartitionParity(t, seed, 130, ref, part)
+					// Drain the partitioned space between seeds so both
+					// sides restart empty.
+					for arity := 1; arity <= 3; arity++ {
+						fields := make([]Field, arity)
+						for i := range fields {
+							fields[i] = Any()
+						}
+						for {
+							_, ok, err := part.Inp(partitionCtx(t), T(fields...))
+							if err != nil {
+								t.Fatal(err)
+							}
+							if !ok {
+								break
+							}
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestPartitionSingleGroup pins the M=1 degenerate case: a partitioned
+// cluster of one group is exactly a single-group deployment — every
+// submission forwards unchanged, wildcards included.
+func TestPartitionSingleGroup(t *testing.T) {
+	pc, err := NewPartitionedCluster([]int{0}, AllowAll())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pc.Stop()
+	part, err := pc.Space("p1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := NewSpace(AllowAll()).Handle("p1")
+	drivePartitionParity(t, 77, 150, ref, part)
+}
+
+// TestPartitionCrossGroupAtomicity pins the two-phase path directly:
+// a submission spanning two groups either applies everywhere or
+// nowhere, and a mid-unit inp miss rolls the whole unit back.
+func TestPartitionCrossGroupAtomicity(t *testing.T) {
+	pc, err := NewPartitionedCluster([]int{0, 0}, AllowAll())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pc.Stop()
+	part, err := pc.Space("p1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := partitionCtx(t)
+
+	// Find two keys whose arity-2 tuples are owned by different groups
+	// (routing hashes arity and first field).
+	keyA, keyB := "", ""
+	for i := 0; i < 64 && (keyA == "" || keyB == ""); i++ {
+		k := fmt.Sprintf("k%d", i)
+		switch pc.Topology.RouteEntry(T(Str(k), Int(0))) {
+		case 0:
+			if keyA == "" {
+				keyA = k
+			}
+		case 1:
+			if keyB == "" {
+				keyB = k
+			}
+		}
+	}
+	if keyA == "" || keyB == "" {
+		t.Fatal("could not find keys for both groups")
+	}
+
+	// Commit: two outs, one per group, in one unit.
+	if _, err := part.Submit(ctx, OutOp(T(Str(keyA), Int(1))), OutOp(T(Str(keyB), Int(2)))); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := part.Rdp(ctx, T(Str(keyA), Any())); err != nil || !ok {
+		t.Fatalf("group-0 half missing after commit: %v %v", ok, err)
+	}
+	if _, ok, err := part.Rdp(ctx, T(Str(keyB), Any())); err != nil || !ok {
+		t.Fatalf("group-1 half missing after commit: %v %v", ok, err)
+	}
+
+	// Abort: an out to one group plus an inp miss at the other — the out
+	// must not survive the abort.
+	_, err = part.Submit(ctx,
+		OutOp(T(Str(keyA), Str("doomed"))),
+		InpOp(T(Str(keyB), Str("no-such-tuple"))))
+	if !errors.Is(err, ErrAborted) {
+		t.Fatalf("err = %v, want ErrAborted", err)
+	}
+	if _, ok, _ := part.Rdp(ctx, T(Str(keyA), Str("doomed"))); ok {
+		t.Fatal("aborted unit's out leaked into group 0")
+	}
+
+	// The consumed-by-nobody check: the committed tuples are still there
+	// and consumable exactly once.
+	if _, ok, err := part.Inp(ctx, T(Str(keyA), Int(1))); err != nil || !ok {
+		t.Fatalf("committed tuple unconsumable: %v %v", ok, err)
+	}
+	if _, ok, _ := part.Inp(ctx, T(Str(keyA), Int(1))); ok {
+		t.Fatal("committed tuple consumed twice")
+	}
+}

@@ -30,6 +30,7 @@ import (
 
 	"peats/internal/bft"
 	"peats/internal/durable"
+	"peats/internal/partition"
 	ipeats "peats/internal/peats"
 	"peats/internal/policy"
 	"peats/internal/space"
@@ -447,4 +448,141 @@ func ClusterSpace(c *Cluster, id ProcessID, opts ...Option) *RemoteSpace {
 		rs.TentativeReads = *o.tentativeReads
 	}
 	return rs
+}
+
+// Partitioning re-exports (multi-group deployments).
+type (
+	// ClusterTopology describes a partitioned deployment: the ordered
+	// list of replica groups, each owning the slice of the tuple key
+	// space the canonical FNV-1a(arity, first-field) rule routes to it.
+	ClusterTopology = partition.Topology
+	// TopologyGroup is one group of a ClusterTopology.
+	TopologyGroup = partition.GroupSpec
+	// TopologyReplica is one replica of a TopologyGroup.
+	TopologyReplica = partition.ReplicaSpec
+	// PartitionedSpace is the TupleSpace handle over a partitioned
+	// deployment: single-partition submissions go straight to their
+	// owning group, cross-partition submissions run a BFT-agreed
+	// two-phase commit, wildcard-first reads fan out and merge.
+	PartitionedSpace = partition.Space
+)
+
+// partitionMaster is the deterministic attestation master secret of
+// in-process partitioned clusters, standing in for a real deployment's
+// trusted key setup (see bft.AttestKeyFor).
+var partitionMaster = []byte("peats-inproc-partitions")
+
+// PartitionedCluster is an in-process partitioned deployment: one
+// BFT-replicated group per entry of the topology, all sharing a
+// reference monitor policy. Writes to different partitions are ordered
+// by different groups, which is what scales aggregate throughput past
+// the single-group agreement ceiling.
+type PartitionedCluster struct {
+	// Topology describes the deployment; group i of Groups realises
+	// Topology.Groups[i].
+	Topology *ClusterTopology
+	// Groups are the running replica groups, in canonical order.
+	Groups []*Cluster
+}
+
+// NewPartitionedCluster starts one in-process replica group per entry
+// of fs (group i with fault bound fs[i], hence 3·fs[i]+1 replicas),
+// every replica running the reference monitor with the given policy.
+// The options mirror NewLocalCluster; WithDataDir roots each group
+// under its own subdirectory (dir/g<i>/r<j>). Stop the cluster when
+// done. Handles come from PartitionedCluster.Space.
+func NewPartitionedCluster(fs []int, pol Policy, opts ...Option) (*PartitionedCluster, error) {
+	if len(fs) == 0 {
+		return nil, errors.New("peats: a partitioned cluster needs at least one group")
+	}
+	o := buildOptions(opts)
+	if o.durable() && o.dataDir == "" {
+		return nil, errors.New("peats: the durable store engine needs WithDataDir")
+	}
+	topo := &ClusterTopology{}
+	for gi, f := range fs {
+		if f < 0 {
+			return nil, fmt.Errorf("peats: group %d with negative fault bound", gi)
+		}
+		g := TopologyGroup{ID: fmt.Sprintf("g%d", gi), F: f}
+		for j := 0; j < 3*f+1; j++ {
+			g.Replicas = append(g.Replicas, TopologyReplica{ID: fmt.Sprintf("r%d", j)})
+		}
+		topo.Groups = append(topo.Groups, g)
+	}
+	dir := topo.Directory(partitionMaster)
+
+	pc := &PartitionedCluster{Topology: topo}
+	for gi, f := range fs {
+		gid := topo.Groups[gi].ID
+		n := 3*f + 1
+		services := make([]bft.Service, n)
+		var err error
+		for i := range services {
+			var svc *bft.SpaceService
+			if o.durable() {
+				var db *durable.DB
+				db, err = durable.Open(durable.Options{
+					Dir:              filepath.Join(o.dataDir, gid, fmt.Sprintf("r%d", i)),
+					Sync:             o.fsync,
+					AutoCompactBytes: -1,
+				})
+				if err == nil {
+					if svc, err = bft.NewDurableSpaceService(pol, db, o.sharedShards()); err != nil {
+						db.Close()
+					}
+				}
+			} else {
+				svc, err = bft.NewSpaceServiceWithConfig(pol, o.engine, o.sharedShards())
+			}
+			if err != nil {
+				closeServices(services[:i])
+				pc.Stop()
+				return nil, err
+			}
+			svc.EnablePartition(gid, dir)
+			services[i] = svc
+		}
+		copts := []bft.ClusterOption{bft.WithGroupIdentity(gid, partitionMaster)}
+		if o.batchSize > 0 {
+			copts = append(copts, bft.WithBatchSize(o.batchSize))
+		}
+		if o.batchDelay > 0 {
+			copts = append(copts, bft.WithBatchDelay(o.batchDelay))
+		}
+		cl, err := bft.NewCluster(f, services, copts...)
+		if err != nil {
+			closeServices(services)
+			pc.Stop()
+			return nil, err
+		}
+		pc.Groups = append(pc.Groups, cl)
+	}
+	return pc, nil
+}
+
+// Stop shuts down every group.
+func (pc *PartitionedCluster) Stop() {
+	for _, c := range pc.Groups {
+		c.Stop()
+	}
+}
+
+// Space returns a partition-routing TupleSpace handle for the given
+// authenticated process identity: one BFT client per group, all bound
+// to the same principal. WithPollInterval tunes blocking-read polling.
+func (pc *PartitionedCluster) Space(id ProcessID, opts ...Option) (*PartitionedSpace, error) {
+	o := buildOptions(opts)
+	groups := make([]partition.Group, len(pc.Groups))
+	for i, c := range pc.Groups {
+		groups[i] = partition.Group{ID: pc.Topology.Groups[i].ID, Client: c.Client(string(id))}
+	}
+	sp, err := partition.NewSpace(groups)
+	if err != nil {
+		return nil, err
+	}
+	if o.pollInterval > 0 {
+		sp.PollInterval = o.pollInterval
+	}
+	return sp, nil
 }
