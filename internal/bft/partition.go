@@ -83,10 +83,13 @@ type pendingRes struct {
 
 // decidedTx records a transaction's final state (and, for commits, its
 // participant set, so a Committed status answer remains usable as YES
-// evidence).
+// evidence). The stamp orders entries by decision time for the aborted
+// GC; it is part of the replicated state (snapshots carry it), so every
+// replica evicts the same entries at the same execution point.
 type decidedTx struct {
 	state uint8 // wire.TxCommitted or wire.TxAborted
 	parts []string
+	stamp uint64
 }
 
 // partitionState is the 2PC half of a SpaceService. The pending and
@@ -104,6 +107,9 @@ type partitionState struct {
 	pending map[string]*pendingRes
 	decided map[string]decidedTx
 	frozen  atomic.Value // []space.SeqTuple
+
+	stamp   uint64 // next decision stamp; deterministic across replicas
+	aborted int    // count of decided entries in state TxAborted
 }
 
 // EnablePartition gives the service a group identity and the
@@ -159,12 +165,123 @@ func encodeOutcome(txID string, state uint8, parts []string, results []wire.Spac
 	})
 }
 
-// breakJournal marks the next checkpoint as a full snapshot: the
-// pending/decided tables are checkpoint state the delta journal cannot
-// express. Every replica executes the same agreed sequence, so all of
-// them break the journal on the same operation.
-func (s *SpaceService) breakJournal() {
-	s.journal, s.journalBroken = nil, true
+// maxAbortedDecided bounds how many aborted decision records the
+// decided table retains. Aborted entries are the unbounded class — any
+// client can mint them by probing unknown txIDs — and presumed abort
+// makes them safely evictable: re-probing an evicted ID pins it
+// aborted again with the identical answer. Committed entries are kept
+// forever; evicting one could let a replayed prepare resurrect a
+// transaction whose commit evidence still circulates. The one cost of
+// eviction is that an aborted txID's at-most-once window expires: a
+// party reusing the ID after eviction runs a fresh transaction under
+// it. Honest coordinators never reuse IDs (they carry a random nonce),
+// and a dishonest party gains nothing it could not get with a new ID.
+const maxAbortedDecided = 1 << 14
+
+// pin records a transaction's final state, stamping it into the
+// decision order and garbage-collecting old aborted entries. Callers
+// guarantee txID is not already decided (every execution path answers
+// from the decided table first). Event loop only.
+func (p *partitionState) pin(txID string, state uint8, parts []string) {
+	p.decided[txID] = decidedTx{state: state, parts: parts, stamp: p.stamp}
+	p.stamp++
+	if state == wire.TxAborted {
+		p.aborted++
+		p.gcAborted()
+	}
+}
+
+// gcAborted evicts the oldest aborted decision records once the table
+// holds more than maxAbortedDecided of them, keeping the newest half —
+// amortized batch eviction, so the sort runs once per ~cap/2 pins.
+// Stamps are replicated state, so every replica evicts the same
+// entries on the same pin.
+func (p *partitionState) gcAborted() {
+	if p.aborted <= maxAbortedDecided {
+		return
+	}
+	type aged struct {
+		id    string
+		stamp uint64
+	}
+	olds := make([]aged, 0, p.aborted)
+	for id, dec := range p.decided {
+		if dec.state == wire.TxAborted {
+			olds = append(olds, aged{id, dec.stamp})
+		}
+	}
+	sort.Slice(olds, func(i, j int) bool { return olds[i].stamp < olds[j].stamp })
+	for _, a := range olds[:len(olds)-maxAbortedDecided/2] {
+		delete(p.decided, a.id)
+		p.aborted--
+	}
+}
+
+// reserveDeltaOp renders a parked reservation as its checkpoint-delta
+// event: removals by value (sequence numbers are replica-local), plus
+// everything a replaying replica needs to reconstruct the pendingRes.
+func reserveDeltaOp(txID string, res *pendingRes) wire.DeltaOp {
+	removed := make([]tuple.Tuple, len(res.removed))
+	for i, r := range res.removed {
+		removed[i] = r.T
+	}
+	return wire.DeltaOp{
+		Kind: wire.DeltaReserve, TxID: txID, Parts: res.parts,
+		Removed: removed, Inserts: res.inserts, Outcome: res.outcome,
+	}
+}
+
+// applyPartitionDelta replays one partition 2PC event from an
+// incremental checkpoint, inside the caller's full critical section.
+// Events replay through the same table transitions ordered execution
+// performs — pin stamps included — so the replaying replica's tables,
+// freezes, and stores advance exactly as the source's did.
+func (s *SpaceService) applyPartitionDelta(tx *space.Tx, op wire.DeltaOp) error {
+	if s.ptx == nil {
+		return fmt.Errorf("partition event on a non-partitioned service")
+	}
+	switch op.Kind {
+	case wire.DeltaReserve:
+		if _, ok := s.ptx.pending[op.TxID]; ok {
+			return fmt.Errorf("reserve for already-pending tx %s", op.TxID)
+		}
+		// Bind the reserved values to concrete stored tuples with the
+		// current reservations frozen — the same selection the source's
+		// prepare performed, so per-value reserved counts match.
+		st := tx.Stage()
+		s.freezeReservations(st)
+		for _, v := range op.Removed {
+			if _, ok := st.Inp(v); !ok {
+				return fmt.Errorf("reservation of tx %s lost its target", op.TxID)
+			}
+		}
+		bound, _ := st.Effects()
+		s.ptx.pending[op.TxID] = &pendingRes{
+			parts:   op.Parts,
+			removed: append([]space.SeqTuple(nil), bound...),
+			inserts: op.Inserts,
+			outcome: op.Outcome,
+		}
+		// The staged view is dropped: binding consumed nothing.
+		s.ptx.refreshFrozen()
+	case wire.DeltaDecide:
+		if op.Commit {
+			res, ok := s.ptx.pending[op.TxID]
+			if !ok {
+				return fmt.Errorf("commit event for unprepared tx %s", op.TxID)
+			}
+			s.commitReservation(tx, op.TxID, res)
+			return nil
+		}
+		delete(s.ptx.pending, op.TxID)
+		s.ptx.pin(op.TxID, wire.TxAborted, nil)
+		s.ptx.refreshFrozen()
+	case wire.DeltaPin:
+		s.ptx.pin(op.TxID, wire.TxAborted, nil)
+	default:
+		return fmt.Errorf("unknown partition event kind %d", op.Kind)
+	}
+	return nil
 }
 
 // executePartition dispatches one agreed partition 2PC operation. It
@@ -216,8 +333,8 @@ func (s *SpaceService) executePrepare(client string, op []byte) []byte {
 	if !selfIn {
 		// A prepare that does not name this group as a participant is
 		// misrouted; vote NO so the transaction can only abort.
-		s.ptx.decided[p.TxID] = decidedTx{state: wire.TxAborted}
-		s.breakJournal()
+		s.ptx.pin(p.TxID, wire.TxAborted, nil)
+		s.journalOp(wire.DeltaOp{Kind: wire.DeltaPin, TxID: p.TxID})
 		return encodeOutcome(p.TxID, wire.TxVoteNo, parts, nil)
 	}
 
@@ -234,7 +351,7 @@ func (s *SpaceService) executePrepare(client string, op []byte) []byte {
 					results[j] = wire.SpaceResult{Status: wire.StatusSkipped}
 				}
 				outcome = encodeOutcome(p.TxID, wire.TxVoteNo, parts, results)
-				s.ptx.decided[p.TxID] = decidedTx{state: wire.TxAborted}
+				s.ptx.pin(p.TxID, wire.TxAborted, nil)
 				return
 			}
 		}
@@ -247,7 +364,11 @@ func (s *SpaceService) executePrepare(client string, op []byte) []byte {
 		// stores until the decision.
 	})
 	s.ptx.refreshFrozen()
-	s.breakJournal()
+	if res, ok := s.ptx.pending[p.TxID]; ok {
+		s.journalOp(reserveDeltaOp(p.TxID, res))
+	} else {
+		s.journalOp(wire.DeltaOp{Kind: wire.DeltaPin, TxID: p.TxID})
+	}
 	return outcome
 }
 
@@ -274,16 +395,16 @@ func (s *SpaceService) executeDecision(op []byte) []byte {
 			return res.outcome // unjustified: still prepared
 		}
 		s.applyReservation(d.TxID, res)
-		s.breakJournal()
+		s.journalOp(wire.DeltaOp{Kind: wire.DeltaDecide, TxID: d.TxID, Commit: true})
 		return encodeOutcome(d.TxID, wire.TxCommitted, res.parts, nil)
 	}
 	if prepared && !s.validAbort(d, res.parts) {
 		return res.outcome // unjustified: still prepared
 	}
 	delete(s.ptx.pending, d.TxID)
-	s.ptx.decided[d.TxID] = decidedTx{state: wire.TxAborted}
+	s.ptx.pin(d.TxID, wire.TxAborted, nil)
 	s.ptx.refreshFrozen()
-	s.breakJournal()
+	s.journalOp(wire.DeltaOp{Kind: wire.DeltaDecide, TxID: d.TxID})
 	return encodeOutcome(d.TxID, wire.TxAborted, nil, nil)
 }
 
@@ -293,6 +414,15 @@ func (s *SpaceService) executeDecision(op []byte) []byte {
 // still-prepared transaction is the stored YES vote, byte-identical to
 // the prepare reply — so attested status replies reassemble into the
 // same certificates a crashed coordinator lost.
+//
+// Pinning is open to any authenticated client by design (recovery must
+// terminate without the coordinator's cooperation), which would be a
+// denial-of-service lever if txIDs were guessable — a rival could pin
+// a victim's next transaction aborted before it prepares. The defense
+// is unpredictability, not authorization: coordinators embed a random
+// nonce in every txID (see partition.Space), so there is no "next ID"
+// to aim at, and the aborted-pin GC (maxAbortedDecided) keeps the spam
+// an attacker can mint from inflating replica memory.
 func (s *SpaceService) executeStatus(op []byte) []byte {
 	q, err := wire.DecodeTxStatus(op)
 	if err != nil {
@@ -304,8 +434,8 @@ func (s *SpaceService) executeStatus(op []byte) []byte {
 	if res, ok := s.ptx.pending[q.TxID]; ok {
 		return res.outcome
 	}
-	s.ptx.decided[q.TxID] = decidedTx{state: wire.TxAborted}
-	s.breakJournal()
+	s.ptx.pin(q.TxID, wire.TxAborted, nil)
+	s.journalOp(wire.DeltaOp{Kind: wire.DeltaPin, TxID: q.TxID})
 	return encodeOutcome(q.TxID, wire.TxAborted, nil, nil)
 }
 
@@ -316,13 +446,6 @@ func (s *SpaceService) executeStatus(op []byte) []byte {
 // inside the scoped section — the write locks keep the read-only pool
 // out of the touched shards, so no reader can observe the stores and
 // the freeze list disagreeing.
-//
-// Commit consumes the earliest stored tuple equal to each reserved
-// value. Reservations hold the earliest equal copies (the prepare's
-// staged view matched earliest-first, and later inserts only get larger
-// sequence numbers), so the removals land exactly on reserved tuples —
-// or, when two pending transactions reserved equal values, on
-// value-interchangeable copies, which leaves the same multiset.
 func (s *SpaceService) applyReservation(txID string, res *pendingRes) {
 	var ws space.ShardSet
 	for _, r := range res.removed {
@@ -332,13 +455,84 @@ func (s *SpaceService) applyReservation(txID string, res *pendingRes) {
 		ws.Add(s.inner.EntryShard(t))
 	}
 	s.inner.DoScoped(ws, func(tx *space.Tx) {
-		st := tx.Stage()
-		st.Seed(res.removed, res.inserts)
-		st.Commit()
-		delete(s.ptx.pending, txID)
-		s.ptx.decided[txID] = decidedTx{state: wire.TxCommitted, parts: res.parts}
-		s.ptx.refreshFrozen()
+		s.commitReservation(tx, txID, res)
 	})
+}
+
+// commitReservation applies a reservation's effects inside an open
+// critical section covering every touched shard.
+//
+// Commit consumes the earliest stored tuple equal to each reserved
+// value. When another pending transaction reserved an equal value, the
+// consumed copy may be the one *that* reservation's frozen sequence
+// names — value-interchangeable for the store multiset, but it would
+// leave the other reservation freezing a dead sequence while its
+// surviving copy sits exposed: a concurrent inp could steal the copy,
+// and the other transaction's later justified commit would find its
+// target gone. rebindEqual repairs this immediately, re-binding every
+// pending reservation of a just-committed value onto the surviving
+// copies before the frozen cache is republished.
+func (s *SpaceService) commitReservation(tx *space.Tx, txID string, res *pendingRes) {
+	st := tx.Stage()
+	st.Seed(res.removed, res.inserts)
+	st.Commit()
+	delete(s.ptx.pending, txID)
+	s.ptx.pin(txID, wire.TxCommitted, res.parts)
+	s.rebindEqual(tx, res.removed)
+	s.ptx.refreshFrozen()
+}
+
+// rebindEqual re-binds, onto currently stored copies, every pending
+// reservation holding a value equal to one just committed. All copies
+// of an affected value held by any pending reservation are rebound in
+// one pass (canonical txID order, earliest stored copy first), so no
+// freezing is needed: the pass itself assigns distinct copies.
+//
+// The binding always succeeds: each prepare matched with every earlier
+// reservation frozen and ordinary execution never consumes frozen
+// tuples, so per value the reserved count never exceeds the stored
+// count — an invariant the commit preserved by consuming exactly its
+// own reserved copies, count-wise. Equal values route to one shard, so
+// every lookup stays inside the commit's write scope.
+func (s *SpaceService) rebindEqual(tx *space.Tx, committed []space.SeqTuple) {
+	affected := make(map[string][]int) // txID → indices of removals to re-bind
+	var ids []string
+	for id, res := range s.ptx.pending {
+		for i, r := range res.removed {
+			for _, c := range committed {
+				if r.T.Equal(c.T) {
+					if len(affected[id]) == 0 {
+						ids = append(ids, id)
+					}
+					affected[id] = append(affected[id], i)
+					break
+				}
+			}
+		}
+	}
+	if len(ids) == 0 {
+		return
+	}
+	sort.Strings(ids)
+	st := tx.Stage()
+	for _, id := range ids {
+		res := s.ptx.pending[id]
+		for _, i := range affected[id] {
+			if _, ok := st.Inp(res.removed[i].T); !ok {
+				panic("bft: pending reservation lost every equal copy")
+			}
+		}
+	}
+	bound, _ := st.Effects()
+	k := 0
+	for _, id := range ids {
+		res := s.ptx.pending[id]
+		for _, i := range affected[id] {
+			res.removed[i] = bound[k]
+			k++
+		}
+	}
+	// The staged view is dropped: re-binding consumed nothing.
 }
 
 // validCommit reports whether d carries, for every participant of this
@@ -487,6 +681,7 @@ func (s *SpaceService) appendPartitionSnapshot(w *wire.Writer) {
 		dec := s.ptx.decided[id]
 		w.String(id)
 		w.Byte(dec.state)
+		w.Uvarint(dec.stamp)
 		w.Uvarint(uint64(len(dec.parts)))
 		for _, g := range dec.parts {
 			w.String(g)
@@ -504,6 +699,8 @@ func (s *SpaceService) appendPartitionSnapshot(w *wire.Writer) {
 func (s *SpaceService) restorePartitionSnapshot(r *wire.Reader) error {
 	s.ptx.pending = make(map[string]*pendingRes)
 	s.ptx.decided = make(map[string]decidedTx)
+	s.ptx.stamp = 0
+	s.ptx.aborted = 0
 	if r.Remaining() == 0 {
 		s.ptx.refreshFrozen()
 		return nil
@@ -554,6 +751,7 @@ func (s *SpaceService) restorePartitionSnapshot(r *wire.Reader) error {
 	for i := uint64(0); i < nd && r.Err() == nil; i++ {
 		id := r.String()
 		state := r.Byte()
+		stamp := r.Uvarint()
 		ng := r.Uvarint()
 		if ng > wire.MaxTxParticipants {
 			return fmt.Errorf("bft: decided tx with %d participants", ng)
@@ -562,7 +760,17 @@ func (s *SpaceService) restorePartitionSnapshot(r *wire.Reader) error {
 		for j := uint64(0); j < ng && r.Err() == nil; j++ {
 			parts = append(parts, r.String())
 		}
-		s.ptx.decided[id] = decidedTx{state: state, parts: parts}
+		s.ptx.decided[id] = decidedTx{state: state, parts: parts, stamp: stamp}
+		// Recompute the stamp counter and the aborted census. The GC
+		// never evicts the newest entry (eviction drops oldest aborted
+		// entries, keeping the most recent half), so max(stamp)+1 is
+		// exactly the counter the source replica holds.
+		if stamp >= s.ptx.stamp {
+			s.ptx.stamp = stamp + 1
+		}
+		if state == wire.TxAborted {
+			s.ptx.aborted++
+		}
 	}
 	r.ExpectEOF()
 	if err := r.Err(); err != nil {

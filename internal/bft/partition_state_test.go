@@ -1,0 +1,262 @@
+package bft
+
+import (
+	"bytes"
+	"crypto/ed25519"
+	"fmt"
+	"testing"
+
+	"peats/internal/policy"
+	"peats/internal/tuple"
+	"peats/internal/wire"
+)
+
+// testTopology is a two-group directory whose attestation keys the test
+// holds, so it can forge any certificate an honest deployment could
+// produce (one replica per group, F=0, so one signature is a quorum).
+type testTopology struct {
+	master []byte
+	dir    Directory
+}
+
+func newTestTopology(groups ...string) testTopology {
+	tp := testTopology{master: []byte("partition-state-test-master"), dir: Directory{}}
+	for _, g := range groups {
+		priv := AttestKeyFor(tp.master, g, "r0")
+		tp.dir[g] = GroupKeys{F: 0, Keys: map[string]ed25519.PublicKey{
+			"r0": priv.Public().(ed25519.PublicKey),
+		}}
+	}
+	return tp
+}
+
+// cert wraps outcome bytes in a quorum certificate of the named group.
+func (tp testTopology) cert(group string, outcome []byte) wire.VoteCert {
+	priv := AttestKeyFor(tp.master, group, "r0")
+	return wire.VoteCert{Group: group, Outcome: outcome, Atts: []wire.Attestation{
+		{Replica: "r0", Sig: ed25519.Sign(priv, wire.AttestPayload(group, outcome))},
+	}}
+}
+
+// prepareTx runs a prepare through ordered execution and returns the
+// raw reply (usable as certificate outcome bytes) plus its decoding.
+func prepareTx(t *testing.T, svc *SpaceService, client, txID string, parts []string, ops []wire.SpaceOp) ([]byte, wire.TxOutcome) {
+	t.Helper()
+	raw := svc.Execute(client, wire.EncodeTxPrepare(wire.TxPrepare{
+		TxID: txID, Participants: parts, Ops: ops,
+	}))
+	o, err := wire.DecodeTxOutcome(raw)
+	if err != nil {
+		t.Fatalf("prepare %s: %v", txID, err)
+	}
+	return raw, o
+}
+
+func decideTx(t *testing.T, svc *SpaceService, d wire.TxDecision) wire.TxOutcome {
+	t.Helper()
+	raw := svc.Execute("anyone", wire.EncodeTxDecision(d))
+	o, err := wire.DecodeTxOutcome(raw)
+	if err != nil {
+		t.Fatalf("decision %s: %v", d.TxID, err)
+	}
+	return o
+}
+
+func statusTx(t *testing.T, svc *SpaceService, txID string) wire.TxOutcome {
+	t.Helper()
+	raw := svc.Execute("anyone", wire.EncodeTxStatus(wire.TxStatus{TxID: txID}))
+	o, err := wire.DecodeTxOutcome(raw)
+	if err != nil {
+		t.Fatalf("status %s: %v", txID, err)
+	}
+	return o
+}
+
+// TestReservationCommitRebindsEqualValues is the regression for the
+// copy-stealing bug: two transactions reserve equal-valued tuples, and
+// the one prepared *second* commits first. Its value-addressed commit
+// consumes the earliest stored copy — the one the first reservation's
+// frozen sequence named. Without re-binding, the first transaction is
+// left freezing a dead sequence while its surviving copy sits exposed:
+// an ordinary inp steals it and the first transaction's justified
+// commit panics the replica. With re-binding, the survivor stays
+// frozen and both commits land.
+func TestReservationCommitRebindsEqualValues(t *testing.T) {
+	tp := newTestTopology("g0")
+	svc := NewSpaceService(policy.AllowAll())
+	svc.EnablePartition("g0", tp.dir)
+
+	v := tuple.T(tuple.Str("A"), tuple.Int(1))
+	for i := 0; i < 2; i++ {
+		if res := execOp(t, svc, "c1", wire.SpaceOp{Op: policy.OpOut, Entry: v}); res.Status != wire.StatusOK {
+			t.Fatalf("out %d: %+v", i, res)
+		}
+	}
+	inpV := []wire.SpaceOp{{Op: policy.OpInp, Template: v}}
+
+	_, o1 := prepareTx(t, svc, "c1", "c1:1:aa", []string{"g0"}, inpV)
+	if o1.State != wire.TxVoteYes {
+		t.Fatalf("t1 vote: %+v", o1)
+	}
+	raw2, o2 := prepareTx(t, svc, "c2", "c2:1:bb", []string{"g0"}, inpV)
+	if o2.State != wire.TxVoteYes {
+		t.Fatalf("t2 vote: %+v", o2)
+	}
+
+	// Commit the second transaction first: inverse decision order.
+	if o := decideTx(t, svc, wire.TxDecision{
+		TxID: "c2:1:bb", Commit: true, Certs: []wire.VoteCert{tp.cert("g0", raw2)},
+	}); o.State != wire.TxCommitted {
+		t.Fatalf("t2 commit: %+v", o)
+	}
+
+	// The surviving copy belongs to t1's reservation: an ordinary inp
+	// must not see it. Pre-fix it was exposed and stolen here.
+	if res := execOp(t, svc, "c3", wire.SpaceOp{Op: policy.OpInp, Template: v}); res.Found {
+		t.Fatal("ordinary inp stole a reserved copy")
+	}
+
+	// t1's justified commit must land on the re-bound copy. Pre-fix this
+	// panicked: "space: staged removal lost its target". The stored YES
+	// outcome is refetched via status — byte-identical to the prepare
+	// reply, per the status contract — and wrapped in a certificate.
+	raw1 := svc.Execute("anyone", wire.EncodeTxStatus(wire.TxStatus{TxID: "c1:1:aa"}))
+	if o := decideTx(t, svc, wire.TxDecision{
+		TxID: "c1:1:aa", Commit: true, Certs: []wire.VoteCert{tp.cert("g0", raw1)},
+	}); o.State != wire.TxCommitted {
+		t.Fatalf("t1 commit: %+v", o)
+	}
+	if n := svc.Space().Len(); n != 0 {
+		t.Fatalf("space holds %d tuples after both commits, want 0", n)
+	}
+}
+
+// TestDecidedTableGC bounds the decided table under status-probe spam:
+// aborted pins are evicted oldest-first once they exceed
+// maxAbortedDecided, committed records are never evicted, and an
+// evicted ID still answers aborted when re-probed (presumed abort makes
+// eviction invisible).
+func TestDecidedTableGC(t *testing.T) {
+	tp := newTestTopology("g0")
+	svc := NewSpaceService(policy.AllowAll())
+	svc.EnablePartition("g0", tp.dir)
+
+	v := tuple.T(tuple.Str("K"), tuple.Int(7))
+	if res := execOp(t, svc, "c1", wire.SpaceOp{Op: policy.OpOut, Entry: v}); res.Status != wire.StatusOK {
+		t.Fatalf("out: %+v", res)
+	}
+	rawP, oP := prepareTx(t, svc, "c1", "c1:1:aa", []string{"g0"},
+		[]wire.SpaceOp{{Op: policy.OpInp, Template: v}})
+	if oP.State != wire.TxVoteYes {
+		t.Fatalf("prepare: %+v", oP)
+	}
+	if o := decideTx(t, svc, wire.TxDecision{
+		TxID: "c1:1:aa", Commit: true, Certs: []wire.VoteCert{tp.cert("g0", rawP)},
+	}); o.State != wire.TxCommitted {
+		t.Fatalf("commit: %+v", o)
+	}
+
+	spam := maxAbortedDecided + maxAbortedDecided/2
+	for i := 0; i < spam; i++ {
+		statusTx(t, svc, fmt.Sprintf("spam:%d:ff", i))
+	}
+	if n := len(svc.ptx.decided); n > maxAbortedDecided+1 {
+		t.Fatalf("decided table holds %d entries, want ≤ %d", n, maxAbortedDecided+1)
+	}
+	if svc.ptx.aborted > maxAbortedDecided {
+		t.Fatalf("aborted census %d exceeds the bound", svc.ptx.aborted)
+	}
+	// The committed record survives eviction.
+	if o := statusTx(t, svc, "c1:1:aa"); o.State != wire.TxCommitted {
+		t.Fatalf("committed record evicted: %+v", o)
+	}
+	// The oldest spam pin was evicted; a re-probe pins it aborted again
+	// with the identical answer.
+	if _, ok := svc.ptx.decided["spam:0:ff"]; ok {
+		t.Fatal("oldest aborted pin was not evicted")
+	}
+	if o := statusTx(t, svc, "spam:0:ff"); o.State != wire.TxAborted {
+		t.Fatalf("re-probed evicted pin: %+v", o)
+	}
+}
+
+// TestPartitionDeltaMirror drives a source service through every
+// partition event kind interleaved with ordinary mutations, ships its
+// incremental checkpoint deltas to a mirror, and requires the mirror's
+// snapshot — stores, pending table, decided table, stamps — to be
+// byte-identical to the source's. This is exactly the contract chained
+// delta checkpoints rest on; before partition events were journaled,
+// any partition op forced a full snapshot instead.
+func TestPartitionDeltaMirror(t *testing.T) {
+	tp := newTestTopology("g0", "g1")
+	src := NewSpaceService(policy.AllowAll())
+	src.EnablePartition("g0", tp.dir)
+	mir := NewSpaceService(policy.AllowAll())
+	mir.EnablePartition("g0", tp.dir)
+
+	ship := func(step string) {
+		t.Helper()
+		blob, ok := src.CheckpointDelta()
+		if !ok {
+			t.Fatalf("%s: source journal broken — partition ops should journal events", step)
+		}
+		if err := mir.ApplyDelta(blob); err != nil {
+			t.Fatalf("%s: apply delta: %v", step, err)
+		}
+		mir.ResetJournal()
+	}
+
+	v := tuple.T(tuple.Str("A"), tuple.Int(1))
+	w := tuple.T(tuple.Str("B"), tuple.Int(2))
+	for i := 0; i < 3; i++ {
+		execOp(t, src, "c1", wire.SpaceOp{Op: policy.OpOut, Entry: v})
+	}
+	execOp(t, src, "c1", wire.SpaceOp{Op: policy.OpOut, Entry: w})
+
+	// t1 reserves a copy of v with g1 as co-participant (so a forged g1
+	// record can later justify its abort).
+	_, o1 := prepareTx(t, src, "c1", "c1:1:aa", []string{"g0", "g1"},
+		[]wire.SpaceOp{{Op: policy.OpInp, Template: v}})
+	if o1.State != wire.TxVoteYes {
+		t.Fatalf("t1 vote: %+v", o1)
+	}
+	// An ordinary inp between the prepares must consume a free copy on
+	// the mirror too — the freeze-aware part of delta application.
+	if res := execOp(t, src, "c2", wire.SpaceOp{Op: policy.OpInp, Template: v}); !res.Found {
+		t.Fatalf("ordinary inp: %+v", res)
+	}
+	ship("first interval")
+
+	raw2, o2 := prepareTx(t, src, "c2", "c2:1:bb", []string{"g0"},
+		[]wire.SpaceOp{{Op: policy.OpInp, Template: v}})
+	if o2.State != wire.TxVoteYes {
+		t.Fatalf("t2 vote: %+v", o2)
+	}
+	// Committing t2 consumes the earliest stored copy and re-binds t1.
+	if o := decideTx(t, src, wire.TxDecision{
+		TxID: "c2:1:bb", Commit: true, Certs: []wire.VoteCert{tp.cert("g0", raw2)},
+	}); o.State != wire.TxCommitted {
+		t.Fatalf("t2 commit: %+v", o)
+	}
+	// A status probe of an unknown transaction pins it aborted.
+	if o := statusTx(t, src, "ghost:1:zz"); o.State != wire.TxAborted {
+		t.Fatalf("ghost status: %+v", o)
+	}
+	// Abort t1, justified by a forged g1 aborted record.
+	g1Aborted := wire.EncodeTxOutcome(wire.TxOutcome{TxID: "c1:1:aa", State: wire.TxAborted})
+	if o := decideTx(t, src, wire.TxDecision{
+		TxID: "c1:1:aa", Certs: []wire.VoteCert{tp.cert("g1", g1Aborted)},
+	}); o.State != wire.TxAborted {
+		t.Fatalf("t1 abort: %+v", o)
+	}
+	// The copy t1's dropped reservation held is free again.
+	if res := execOp(t, src, "c3", wire.SpaceOp{Op: policy.OpInp, Template: v}); !res.Found {
+		t.Fatalf("post-abort inp: %+v", res)
+	}
+	ship("second interval")
+
+	a, b := src.Snapshot(), mir.Snapshot()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("mirror diverged: source snapshot %d bytes, mirror %d bytes", len(a), len(b))
+	}
+}

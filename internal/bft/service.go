@@ -451,18 +451,11 @@ func (s *SpaceService) EndTentativeUnit() { s.tentative.EndUnit() }
 // BeginUnit/CommitUnit, so the whole unit lands in one WAL frame.
 func (s *SpaceService) PromoteTentative() {
 	for _, eff := range s.tentative.PromoteBottom() {
-		if len(eff.Removed)+len(eff.Inserted) == 0 || s.journalBroken {
-			continue
-		}
 		for _, t := range eff.Removed {
-			s.journal = append(s.journal, wire.DeltaOp{Remove: true, T: t})
+			s.journalOp(wire.DeltaOp{Kind: wire.DeltaRemove, T: t})
 		}
 		for _, t := range eff.Inserted {
-			s.journal = append(s.journal, wire.DeltaOp{T: t})
-		}
-		if len(s.journal) > maxJournalOps {
-			s.journal = nil
-			s.journalBroken = true
+			s.journalOp(wire.DeltaOp{Kind: wire.DeltaInsert, T: t})
 		}
 	}
 }
@@ -493,6 +486,20 @@ func (s *SpaceService) TentativeDepth() int {
 // back to a full checkpoint together.
 const maxJournalOps = 1 << 17
 
+// journalOp appends one op to the mutation journal, marking the
+// journal broken on overflow. No-op while the journal is broken. Event
+// loop only.
+func (s *SpaceService) journalOp(op wire.DeltaOp) {
+	if s.journalBroken {
+		return
+	}
+	s.journal = append(s.journal, op)
+	if len(s.journal) > maxJournalOps {
+		s.journal = nil
+		s.journalBroken = true
+	}
+}
+
 // journalEffects records a unit's net effects for the incremental
 // checkpoint, in the exact order Commit applies them (removals, then
 // inserts). Removals are journaled by value: applying "remove the
@@ -501,18 +508,11 @@ const maxJournalOps = 1 << 17
 // its internal sequence numbering.
 func (s *SpaceService) journalEffects(st *space.Staged) {
 	removed, inserted := st.Effects()
-	if len(removed)+len(inserted) == 0 || s.journalBroken {
-		return
-	}
 	for _, r := range removed {
-		s.journal = append(s.journal, wire.DeltaOp{Remove: true, T: r.T})
+		s.journalOp(wire.DeltaOp{Kind: wire.DeltaRemove, T: r.T})
 	}
 	for _, t := range inserted {
-		s.journal = append(s.journal, wire.DeltaOp{T: t})
-	}
-	if len(s.journal) > maxJournalOps {
-		s.journal = nil
-		s.journalBroken = true
+		s.journalOp(wire.DeltaOp{Kind: wire.DeltaInsert, T: t})
 	}
 }
 
@@ -532,6 +532,17 @@ func (s *SpaceService) CheckpointDelta() ([]byte, bool) {
 // removal that finds no equal tuple means the delta does not follow
 // from this state — the install aborts with an error (the caller
 // verified the chain digest, so this is corruption, not divergence).
+//
+// Tuple mutations run through a staged view with the current
+// reservations frozen, exactly like the source execution: a delta
+// removal must consume the same copy the source consumed, and with
+// equal-valued tuples split between free and reserved copies only a
+// freeze-aware selection lands on the free one. Partition 2PC events
+// flush the staged run before them (the event's table transition must
+// observe the stores the source's did) and replay through the same
+// transitions ordered execution performs, so the pending/decided
+// tables, the reservation freezes, and the stores all advance in
+// lockstep with the source replica.
 func (s *SpaceService) ApplyDelta(delta []byte) error {
 	d, err := wire.DecodeDelta(delta)
 	if err != nil {
@@ -540,19 +551,41 @@ func (s *SpaceService) ApplyDelta(delta []byte) error {
 	s.journal, s.journalBroken = nil, true
 	var applyErr error
 	s.inner.Do(func(tx *space.Tx) {
+		var st *space.Staged
+		view := func() *space.Staged {
+			if st == nil {
+				st = tx.Stage()
+				s.freezeReservations(st)
+			}
+			return st
+		}
+		flush := func() {
+			if st != nil {
+				st.Commit()
+				st = nil
+			}
+		}
 		for i, op := range d.Ops {
-			if op.Remove {
-				if _, ok := tx.Inp(op.T); !ok {
+			switch op.Kind {
+			case wire.DeltaRemove:
+				if _, ok := view().Inp(op.T); !ok {
 					applyErr = fmt.Errorf("bft: delta op %d removes an absent tuple", i)
 					return
 				}
-				continue
-			}
-			if err := tx.Out(op.T); err != nil {
-				applyErr = fmt.Errorf("bft: delta op %d: %w", i, err)
-				return
+			case wire.DeltaInsert:
+				if err := view().Out(op.T); err != nil {
+					applyErr = fmt.Errorf("bft: delta op %d: %w", i, err)
+					return
+				}
+			default:
+				flush()
+				if err := s.applyPartitionDelta(tx, op); err != nil {
+					applyErr = fmt.Errorf("bft: delta op %d: %w", i, err)
+					return
+				}
 			}
 		}
+		flush()
 	})
 	return applyErr
 }

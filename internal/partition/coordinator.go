@@ -2,6 +2,7 @@ package partition
 
 import (
 	"context"
+	"crypto/rand"
 	"errors"
 	"fmt"
 	"sort"
@@ -129,8 +130,18 @@ func (s *Space) submitCross(ctx context.Context, ops []peats.Op, routes []int) (
 		parts[k] = s.groups[gi].id
 	}
 	sort.Strings(parts)
+	// Transaction IDs must be unpredictable, not just unique: any
+	// authenticated party may status-probe an unknown ID and thereby pin
+	// it aborted (presumed abort, required for coordinator recovery to
+	// terminate). With guessable IDs a rival could pre-pin this client's
+	// next transactions aborted — a targeted denial of service — so each
+	// ID carries a fresh random nonce alongside the readable sequence.
+	var nonce [8]byte
+	if _, err := rand.Read(nonce[:]); err != nil {
+		return nil, fmt.Errorf("partition: tx nonce: %w", err)
+	}
 	s.txSeq++
-	txID := fmt.Sprintf("%s:%d", s.id, s.txSeq)
+	txID := fmt.Sprintf("%s:%d:%x", s.id, s.txSeq, nonce)
 
 	replies := s.invokeCertAll(ctx, idxs, func(gi int) []byte {
 		sliced := make([]peats.Op, len(perGroup[gi]))

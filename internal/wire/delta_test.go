@@ -1,6 +1,7 @@
 package wire
 
 import (
+	"bytes"
 	"testing"
 
 	"peats/internal/tuple"
@@ -8,11 +9,49 @@ import (
 
 func sampleDelta() Delta {
 	return Delta{Ops: []DeltaOp{
-		{T: tuple.T(tuple.Str("A"), tuple.Int(1))},
-		{Remove: true, T: tuple.T(tuple.Str("A"), tuple.Int(1))},
-		{T: tuple.T(tuple.Bytes([]byte{0, 1, 2}))},
-		{T: tuple.T(tuple.Bool(true), tuple.Str("x"), tuple.Int(-9))},
+		{Kind: DeltaInsert, T: tuple.T(tuple.Str("A"), tuple.Int(1))},
+		{Kind: DeltaRemove, T: tuple.T(tuple.Str("A"), tuple.Int(1))},
+		{Kind: DeltaInsert, T: tuple.T(tuple.Bytes([]byte{0, 1, 2}))},
+		{Kind: DeltaInsert, T: tuple.T(tuple.Bool(true), tuple.Str("x"), tuple.Int(-9))},
+		{
+			Kind: DeltaReserve, TxID: "c1:7:aa", Parts: []string{"g0", "g1"},
+			Removed: []tuple.Tuple{tuple.T(tuple.Str("A"), tuple.Int(1))},
+			Inserts: []tuple.Tuple{tuple.T(tuple.Str("B"))},
+			Outcome: []byte{0xf7, 0x01, 0x02},
+		},
+		{Kind: DeltaReserve, TxID: "c2:1:bb", Parts: []string{"g0"}},
+		{Kind: DeltaDecide, TxID: "c1:7:aa", Commit: true},
+		{Kind: DeltaDecide, TxID: "c2:1:bb"},
+		{Kind: DeltaPin, TxID: "ghost:9:cc"},
 	}}
+}
+
+func deltaOpsEqual(a, b DeltaOp) bool {
+	if a.Kind != b.Kind || !a.T.Equal(b.T) || a.TxID != b.TxID || a.Commit != b.Commit {
+		return false
+	}
+	if len(a.Parts) != len(b.Parts) || !bytes.Equal(a.Outcome, b.Outcome) {
+		return false
+	}
+	for i := range a.Parts {
+		if a.Parts[i] != b.Parts[i] {
+			return false
+		}
+	}
+	if len(a.Removed) != len(b.Removed) || len(a.Inserts) != len(b.Inserts) {
+		return false
+	}
+	for i := range a.Removed {
+		if !a.Removed[i].Equal(b.Removed[i]) {
+			return false
+		}
+	}
+	for i := range a.Inserts {
+		if !a.Inserts[i].Equal(b.Inserts[i]) {
+			return false
+		}
+	}
+	return true
 }
 
 func TestDeltaRoundTrip(t *testing.T) {
@@ -25,7 +64,7 @@ func TestDeltaRoundTrip(t *testing.T) {
 			t.Fatalf("ops %d, want %d", len(got.Ops), len(d.Ops))
 		}
 		for i := range d.Ops {
-			if got.Ops[i].Remove != d.Ops[i].Remove || !got.Ops[i].T.Equal(d.Ops[i].T) {
+			if !deltaOpsEqual(got.Ops[i], d.Ops[i]) {
 				t.Fatalf("op %d: %+v != %+v", i, got.Ops[i], d.Ops[i])
 			}
 		}
@@ -45,6 +84,10 @@ func TestDecodeDeltaRejects(t *testing.T) {
 		{0x02},                                   // truncated ops
 		{0xff, 0xff, 0xff, 0xff, 0x7f},           // absurd count
 		append(EncodeDelta(sampleDelta()), 0x00), // trailing bytes
+		{0x01, 0x05},                             // unknown op kind
+		{0x01, DeltaPin, 0x00},                   // pin with empty txID
+		{0x01, DeltaDecide, 0x01, 'x'},           // decide truncated before flag
+		{0x01, DeltaReserve, 0x01, 'x', 0x00},    // reserve with zero participants
 	}
 	for i, b := range cases {
 		if _, err := DecodeDelta(b); err == nil {
@@ -58,6 +101,7 @@ func FuzzDecodeDelta(f *testing.F) {
 	f.Add([]byte{0x01})
 	f.Add([]byte{0xde, 0xad, 0xbe, 0xef})
 	f.Add(EncodeDelta(sampleDelta()))
+	f.Add(EncodeDelta(Delta{Ops: []DeltaOp{{Kind: DeltaPin, TxID: "a:1:ff"}}}))
 	f.Fuzz(func(t *testing.T, b []byte) {
 		d, err := DecodeDelta(b)
 		if err != nil {
@@ -74,7 +118,7 @@ func FuzzDecodeDelta(f *testing.F) {
 			t.Fatalf("round trip diverged: %d != %d ops", len(back.Ops), len(d.Ops))
 		}
 		for i := range d.Ops {
-			if back.Ops[i].Remove != d.Ops[i].Remove || !back.Ops[i].T.Equal(d.Ops[i].T) {
+			if !deltaOpsEqual(back.Ops[i], d.Ops[i]) {
 				t.Fatalf("round trip diverged at op %d", i)
 			}
 		}
