@@ -47,6 +47,7 @@ var knownTables = []string{
 func main() {
 	var (
 		table      = flag.String("table", "all", "table to print: "+strings.Join(knownTables, "|"))
+		seed       = flag.Int64("seed", 1, "workload seed for randomized table state (logged every run so results reproduce exactly)")
 		tsFlag     = flag.String("t", "1,2,3,4", "comma-separated fault bounds t")
 		ksFlag     = flag.String("k", "2,3,4", "comma-separated domain sizes k (kvalued table)")
 		probe      = flag.Duration("probe", 500*time.Millisecond, "stall window for below-bound probes")
@@ -91,12 +92,13 @@ func main() {
 		ptJSON     = flag.String("partitions-json", "BENCH_partitions.json", "partitions table: machine-readable report path ('' disables)")
 	)
 	flag.Parse()
+	fmt.Fprintf(os.Stderr, "peats-bench: seed=%d\n", *seed)
 	agree := bench.AgreementConfig{
 		Writers: *agWriter, OpsPerWriter: *agOps, Reads: *agReads, BatchSize: *agBatch,
 	}
 	shards := bench.ShardsConfig{
 		Writers: *shWriters, Readers: *shReaders, ReadsPerReader: *shReads,
-		Resident: *shResident, Duration: *shDur,
+		Resident: *shResident, Duration: *shDur, Seed: *seed,
 	}
 	tx := bench.TxConfig{K: *txK, Rounds: *txRounds}
 	cfg := benchConfig{

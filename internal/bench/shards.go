@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"math/rand"
 	"sync"
 	"sync/atomic"
 	"text/tabwriter"
@@ -45,11 +46,19 @@ type ShardsConfig struct {
 	// default-consensus justification rule), so larger residencies make
 	// each monitored write hold its shard's write lock longer.
 	Resident int
+	// Seed drives the randomized placement of the resident filler set
+	// across tag keys (and therefore shards). Two runs with the same
+	// seed lay out identical state; the CLI logs it so any run
+	// reproduces exactly.
+	Seed int64
 }
 
 func (c ShardsConfig) withDefaults() ShardsConfig {
 	if len(c.Shards) == 0 {
 		c.Shards = []int{1, 4, 16}
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
 	}
 	if c.Writers <= 0 {
 		c.Writers = 4
@@ -138,8 +147,9 @@ func spaceContention(shards int, cfg ShardsConfig) (ShardsRow, error) {
 	if err != nil {
 		return ShardsRow{}, err
 	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
 	for i := 0; i < cfg.Resident; i++ {
-		if err := s.Out(tuple.T(tuple.Str(fmt.Sprintf("FILL%d", i%64)), tuple.Int(int64(i)))); err != nil {
+		if err := s.Out(tuple.T(tuple.Str(fmt.Sprintf("FILL%d", rng.Intn(64))), tuple.Int(int64(i)))); err != nil {
 			return ShardsRow{}, err
 		}
 	}
@@ -259,8 +269,9 @@ func clusterContention(ctx context.Context, shards int, cfg ShardsConfig) (Shard
 	// seeds so the read-only quorum forms on the first round trip.
 	seeder := bft.NewRemoteSpace(cl.Client("seeder"))
 	seeds := 0
+	rng := rand.New(rand.NewSource(cfg.Seed))
 	for i := 0; i < cfg.Resident; i++ {
-		if err := seeder.Out(ctx, tuple.T(tuple.Str(fmt.Sprintf("FILL%d", i%64)), tuple.Int(int64(i)))); err != nil {
+		if err := seeder.Out(ctx, tuple.T(tuple.Str(fmt.Sprintf("FILL%d", rng.Intn(64))), tuple.Int(int64(i)))); err != nil {
 			return ShardsRow{}, err
 		}
 		seeds++

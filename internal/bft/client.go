@@ -12,6 +12,7 @@ import (
 
 	"peats/internal/auth"
 	"peats/internal/transport"
+	"peats/internal/vclock"
 	"peats/internal/wire"
 )
 
@@ -76,9 +77,12 @@ type Client struct {
 	// AttestKeys holds the group replicas' attestation public keys,
 	// enabling InvokeCert to assemble transferable vote certificates.
 	AttestKeys map[string]ed25519.PublicKey
+	// Clock supplies the retransmission ticker and read-only fallback
+	// timer; nil means real time.
+	Clock vclock.Clock
 
-	retx    *time.Ticker // reusable retransmission ticker
-	roTimer *time.Timer  // reusable read-only fallback timer
+	retx    vclock.Ticker // reusable retransmission ticker
+	roTimer vclock.Timer  // reusable read-only fallback timer
 
 	indexes map[string]int // replica id → group index
 	votes   voteBox        // reusable per-invocation vote tally
@@ -174,6 +178,22 @@ func NewClient(tr transport.Transport, replicas []string, f int) *Client {
 	}
 }
 
+func (c *Client) clock() vclock.Clock {
+	if c.Clock == nil {
+		c.Clock = vclock.Real()
+	}
+	return c.Clock
+}
+
+// armRetx starts (or restarts) the reusable retransmission ticker.
+func (c *Client) armRetx() {
+	if c.retx == nil {
+		c.retx = c.clock().NewTicker(c.RetransmitInterval, nil)
+	} else {
+		c.retx.Reset(c.RetransmitInterval)
+	}
+}
+
 // ID returns the client's authenticated identity.
 func (c *Client) ID() string { return c.id }
 
@@ -240,17 +260,13 @@ func (c *Client) InvokeCert(ctx context.Context, op []byte) ([]byte, wire.VoteCe
 	// result bytes → replica id → verified attestation signature.
 	atts := make(map[string]map[string][]byte)
 	c.seen = 0
-	if c.retx == nil {
-		c.retx = time.NewTicker(c.RetransmitInterval)
-	} else {
-		c.retx.Reset(c.RetransmitInterval)
-	}
+	c.armRetx()
 	defer c.retx.Stop()
 	for {
 		select {
 		case <-ctx.Done():
 			return nil, wire.VoteCert{}, fmt.Errorf("bft client: %w", ctx.Err())
-		case <-c.retx.C:
+		case <-c.retx.C():
 			broadcast()
 		case m, ok := <-c.tr.Inbox():
 			if !ok {
@@ -314,17 +330,13 @@ func (c *Client) invokeOrdered(ctx context.Context, req Request) ([]byte, error)
 	c.votes.reset()
 	c.tvotes.reset()
 	c.seen = 0
-	if c.retx == nil {
-		c.retx = time.NewTicker(c.RetransmitInterval)
-	} else {
-		c.retx.Reset(c.RetransmitInterval)
-	}
+	c.armRetx()
 	defer c.retx.Stop()
 	for {
 		select {
 		case <-ctx.Done():
 			return nil, fmt.Errorf("bft client: %w", ctx.Err())
-		case <-c.retx.C:
+		case <-c.retx.C():
 			broadcast()
 		case m, ok := <-c.tr.Inbox():
 			if !ok {
@@ -415,17 +427,13 @@ func (c *Client) InvokeBatch(ctx context.Context, ops [][]byte) ([][]byte, error
 	send(false)
 
 	c.seen = 0
-	if c.retx == nil {
-		c.retx = time.NewTicker(c.RetransmitInterval)
-	} else {
-		c.retx.Reset(c.RetransmitInterval)
-	}
+	c.armRetx()
 	defer c.retx.Stop()
 	for {
 		select {
 		case <-ctx.Done():
 			return nil, fmt.Errorf("bft client: %w", ctx.Err())
-		case <-c.retx.C:
+		case <-c.retx.C():
 			send(true)
 		case m, ok := <-c.tr.Inbox():
 			if !ok {
@@ -498,16 +506,14 @@ func (c *Client) InvokeReadOnly(ctx context.Context, op []byte) ([]byte, error) 
 		fallback = 50 * time.Millisecond
 	}
 	if c.roTimer == nil {
-		c.roTimer = time.NewTimer(fallback)
-	} else {
-		if !c.roTimer.Stop() {
-			select {
-			case <-c.roTimer.C:
-			default:
-			}
+		c.roTimer = c.clock().NewTimer(nil)
+	} else if !c.roTimer.Stop() {
+		select {
+		case <-c.roTimer.C():
+		default:
 		}
-		c.roTimer.Reset(fallback)
 	}
+	c.roTimer.Reset(fallback)
 	deadline := c.roTimer
 	defer deadline.Stop()
 
@@ -520,7 +526,7 @@ func (c *Client) InvokeReadOnly(ctx context.Context, op []byte) ([]byte, error) 
 		select {
 		case <-ctx.Done():
 			return nil, fmt.Errorf("bft client: %w", ctx.Err())
-		case <-deadline.C:
+		case <-deadline.C():
 			return c.orderedFallback(ctx, op)
 		case m, ok := <-c.tr.Inbox():
 			if !ok {

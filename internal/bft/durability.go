@@ -110,7 +110,6 @@ func appendClientRecords(w *wire.Writer, clients map[string]*clientRecord, ids [
 		w.String(id)
 		w.Uvarint(rec.lastReqID)
 		w.Bytes(rec.lastReply)
-		w.Uvarint(rec.lastView)
 	}
 }
 
@@ -140,7 +139,7 @@ func readClientRecords(r *wire.Reader) ([]clientUpdate, error) {
 	ups := make([]clientUpdate, 0, min(count, 1024))
 	for i := uint64(0); i < count; i++ {
 		u := clientUpdate{id: r.String()}
-		u.rec = clientRecord{lastReqID: r.Uvarint(), lastReply: r.Bytes(), lastView: r.Uvarint()}
+		u.rec = clientRecord{lastReqID: r.Uvarint(), lastReply: r.Bytes()}
 		if err := r.Err(); err != nil {
 			return nil, err
 		}

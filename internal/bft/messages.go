@@ -62,6 +62,7 @@ const (
 	MsgBatch
 	MsgReadOnly
 	MsgSeqRequest
+	MsgViewChangeAck
 )
 
 // String returns the PBFT name of the message type.
@@ -93,6 +94,8 @@ func (t MsgType) String() string {
 		return "READ-ONLY"
 	case MsgSeqRequest:
 		return "SEQ-REQUEST"
+	case MsgViewChangeAck:
+		return "VIEW-CHANGE-ACK"
 	default:
 		return fmt.Sprintf("MSG(%d)", uint8(t))
 	}
@@ -329,9 +332,13 @@ type ReadOnly struct {
 	Op     []byte
 }
 
-// Checkpoint announces a replica's state digest at a checkpoint.
+// Checkpoint announces a replica's state digest at a checkpoint. View
+// is the view the sender was operating in: a quorum of matching
+// checkpoints doubles as Byzantine-robust evidence of the view the
+// group is actively working in (see syncViewWithQuorum).
 type Checkpoint struct {
 	Seq     uint64
+	View    uint64
 	Digest  [32]byte
 	Replica string
 }
@@ -343,6 +350,21 @@ type ViewChange struct {
 	LastStable uint64
 	Prepared   []Batch
 	Replica    string
+}
+
+// ViewChangeAck confirms to the new primary that the sender received
+// Origin's VIEW-CHANGE for View with the given content digest (the
+// digest of the message's canonical encoding). Channel MACs only
+// authenticate hops, so a VIEW-CHANGE's prepared-batch claims reach the
+// primary unprotected end-to-end; the primary uses a VIEW-CHANGE only
+// once 2f-1 other replicas acknowledge byte-identical contents, which
+// keeps one faulty replica from smuggling a fabricated prepared batch
+// into the NEW-VIEW merge (the PBFT MAC-authenticated view-change ack).
+type ViewChangeAck struct {
+	View    uint64
+	Origin  string
+	Digest  [32]byte
+	Replica string
 }
 
 // NewView installs a view: the new primary re-issues, under their
@@ -415,6 +437,7 @@ func Marshal(msg any) ([]byte, error) {
 	case Checkpoint:
 		w.Byte(byte(MsgCheckpoint))
 		w.Uvarint(m.Seq)
+		w.Uvarint(m.View)
 		w.Bytes(m.Digest[:])
 		w.String(m.Replica)
 	case ViewChange:
@@ -437,6 +460,12 @@ func Marshal(msg any) ([]byte, error) {
 	case SeqRequest:
 		w.Byte(byte(MsgSeqRequest))
 		w.Uvarint(m.Seq)
+		w.String(m.Replica)
+	case ViewChangeAck:
+		w.Byte(byte(MsgViewChangeAck))
+		w.Uvarint(m.View)
+		w.String(m.Origin)
+		w.Bytes(m.Digest[:])
 		w.String(m.Replica)
 	case StateRequest:
 		w.Byte(byte(MsgStateRequest))
@@ -493,7 +522,7 @@ func Unmarshal(b []byte) (any, error) {
 	case MsgReadOnly:
 		msg = ReadOnly{Client: r.String(), ReqID: r.Uvarint(), Op: r.Bytes()}
 	case MsgCheckpoint:
-		cp := Checkpoint{Seq: r.Uvarint()}
+		cp := Checkpoint{Seq: r.Uvarint(), View: r.Uvarint()}
 		copy(cp.Digest[:], r.BytesView())
 		cp.Replica = r.String()
 		msg = cp
@@ -529,6 +558,11 @@ func Unmarshal(b []byte) (any, error) {
 		msg = nv
 	case MsgSeqRequest:
 		msg = SeqRequest{Seq: r.Uvarint(), Replica: r.String()}
+	case MsgViewChangeAck:
+		a := ViewChangeAck{View: r.Uvarint(), Origin: r.String()}
+		copy(a.Digest[:], r.BytesView())
+		a.Replica = r.String()
+		msg = a
 	case MsgStateRequest:
 		msg = StateRequest{Seq: r.Uvarint(), Replica: r.String()}
 	case MsgStateResponse:

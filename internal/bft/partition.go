@@ -139,6 +139,9 @@ func (p *partitionState) refreshFrozen() {
 	for _, res := range p.pending {
 		frozen = append(frozen, res.removed...)
 	}
+	// Stable order: the pending table is a map, and the cache feeds
+	// Freeze whose scan order must not vary between replay runs.
+	sort.Slice(frozen, func(i, j int) bool { return frozen[i].Seq < frozen[j].Seq })
 	p.frozen.Store(frozen)
 }
 

@@ -10,6 +10,7 @@ import (
 	"peats/internal/peats"
 	"peats/internal/policy"
 	"peats/internal/tuple"
+	"peats/internal/vclock"
 	"peats/internal/wire"
 )
 
@@ -399,10 +400,11 @@ func (s *RemoteSpace) poll(
 	if max < floor {
 		max = floor
 	}
-	timer := time.NewTimer(0)
-	if !timer.Stop() {
-		<-timer.C
+	clock := vclock.Real()
+	if s.c != nil { // poll-shape tests run without a client
+		clock = s.c.clock()
 	}
+	timer := clock.NewTimer(nil)
 	defer timer.Stop()
 	for attempt := 0; ; attempt++ {
 		t, ok, err := op(ctx, tmpl)
@@ -416,7 +418,7 @@ func (s *RemoteSpace) poll(
 		select {
 		case <-ctx.Done():
 			return tuple.Tuple{}, ctx.Err()
-		case <-timer.C:
+		case <-timer.C():
 		}
 	}
 }

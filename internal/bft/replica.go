@@ -14,6 +14,7 @@ import (
 
 	"peats/internal/auth"
 	"peats/internal/transport"
+	"peats/internal/vclock"
 	"peats/internal/wire"
 )
 
@@ -89,6 +90,10 @@ type ReplicaConfig struct {
 	Keyring *auth.Keyring
 	// Logger receives protocol diagnostics; nil disables logging.
 	Logger *log.Logger
+	// Clock supplies the view-change and batch timers; nil means real
+	// time. The simulator injects a virtual clock whose timers fire
+	// synchronously on its event loop, so it owns all scheduling.
+	Clock vclock.Clock
 }
 
 // logEntry tracks one sequence number through the three phases. Vote
@@ -119,11 +124,15 @@ type earlyVotes struct {
 	commits  uint64
 }
 
-// clientRecord implements at-most-once execution per client.
+// clientRecord implements at-most-once execution per client. It is
+// replicated state (checkpoint digests cover it), so it must be a pure
+// function of the committed history: the view a request happened to
+// execute in is deliberately NOT recorded — replicas legitimately
+// execute the same batch in different views after view changes, and a
+// view stamp here would make their checkpoint digests dissent forever.
 type clientRecord struct {
 	lastReqID uint64
 	lastReply []byte
-	lastView  uint64
 }
 
 // tentSeg is the replica-layer residue of one tentatively executed
@@ -175,8 +184,12 @@ type Replica struct {
 	queue       []queuedReq                // primary: requests awaiting a sequence number
 	queued      map[[32]byte]struct{}      // primary: digests in queue
 	unverified  map[uint64]unverifiedBatch // batches awaiting request verification
-	checkpoints map[uint64]map[string][32]byte
+	checkpoints map[uint64]map[string]cpVote
 	snapshots   map[uint64][]byte
+	// prepCerts holds, per sequence, the batch this replica most
+	// recently prepared there (the PBFT P-set). Kept outside entries so
+	// view installs cannot destroy it; GC'd only by stabilize.
+	prepCerts map[uint64]Batch
 
 	// Incremental-checkpoint chain state. cpBase holds the last full
 	// stateSnapshot (the chain's base) and cpDeltas the delta blob of
@@ -193,6 +206,21 @@ type Replica struct {
 	dirtyClients map[string]struct{}
 	cpHistory    map[uint64][32]byte
 	durable      DurableService
+	// lastCP is our latest checkpoint announcement, re-sent to peers
+	// that ask (SEQ-REQUEST) about sequences we have stabilized past —
+	// checkpoint messages are otherwise broadcast exactly once, and a
+	// laggard needs f+1 matching announcements to trust a state
+	// transfer.
+	lastCP Checkpoint
+	// groupStable is the highest seq at which this replica observed a
+	// full 2f+1 matching checkpoint quorum. It can lag lowWater: WAL
+	// recovery and state transfer raise lowWater to the recovered seq
+	// (this replica can no longer vote below it) without any proof the
+	// GROUP stabilized that prefix. The NEW-VIEW merge must drop
+	// prepared batches only below groupStable — dropping below a merely
+	// personal lowWater discards batches other replicas still need,
+	// possibly committed elsewhere and acked to clients.
+	groupStable uint64
 
 	// Tentative execution state. tentSvc is non-nil when the service
 	// supports it and the config does not disable it. tentExecuted is
@@ -206,11 +234,21 @@ type Replica struct {
 
 	inViewChange bool
 	nextTimeout  time.Duration
-	viewChanges  map[uint64]map[string]ViewChange
+	viewChanges  map[uint64]map[string]recordedVC
+	// vcAcks collects VIEW-CHANGE-ACKs at the would-be primary:
+	// view → origin replica → content digest → acknowledging replicas.
+	vcAcks map[uint64]map[string]map[[32]byte]map[string]struct{}
+	// installedView is the highest view this replica actually installed
+	// (NEW-VIEW processed, or adopted from quorum evidence) — as opposed
+	// to views merely entered by a failed view-change attempt. A replica
+	// only casts votes in installed views, so syncViewWithQuorum may
+	// safely fall back to any view ≥ installedView.
+	installedView uint64
 
-	timer           *time.Timer
-	batchTimer      *time.Timer
+	timer           vclock.Timer
+	batchTimer      vclock.Timer
 	batchTimerArmed bool
+	driven          bool // simulation mode: no goroutines, caller delivers events
 	scratchSeen     map[string]struct{} // batchResults duplicate scan, reused
 	stop            chan struct{}
 	done            chan struct{}
@@ -282,6 +320,9 @@ func NewReplica(cfg ReplicaConfig) (*Replica, error) {
 	if cfg.BatchDelay <= 0 {
 		cfg.BatchDelay = 2 * time.Millisecond
 	}
+	if cfg.Clock == nil {
+		cfg.Clock = vclock.Real()
+	}
 	r := &Replica{
 		cfg:         cfg,
 		n:           len(cfg.Replicas),
@@ -296,9 +337,11 @@ func NewReplica(cfg ReplicaConfig) (*Replica, error) {
 		assigned:    make(map[[32]byte]uint64),
 		queued:      make(map[[32]byte]struct{}),
 		unverified:  make(map[uint64]unverifiedBatch),
-		checkpoints: make(map[uint64]map[string][32]byte),
+		checkpoints: make(map[uint64]map[string]cpVote),
 		snapshots:   make(map[uint64][]byte),
-		viewChanges: make(map[uint64]map[string]ViewChange),
+		prepCerts:   make(map[uint64]Batch),
+		viewChanges: make(map[uint64]map[string]recordedVC),
+		vcAcks:      make(map[uint64]map[string]map[[32]byte]map[string]struct{}),
 		nextTimeout: cfg.ViewChangeTimeout,
 		stop:        make(chan struct{}),
 		done:        make(chan struct{}),
@@ -388,10 +431,7 @@ const roBacklog = 256
 // Start launches the replica's event loop and its read-only worker
 // pool.
 func (r *Replica) Start() {
-	r.timer = time.NewTimer(time.Hour)
-	r.timer.Stop()
-	r.batchTimer = time.NewTimer(time.Hour)
-	r.batchTimer.Stop()
+	r.initTimers()
 	r.roCh = make(chan ReadOnly, roBacklog)
 	for i := 0; i < roWorkers; i++ {
 		r.roWG.Add(1)
@@ -410,9 +450,48 @@ func (r *Replica) Start() {
 	go r.run()
 }
 
+// initTimers creates the view-change and batch timers on the config
+// clock. A real clock's timers deliver on C() into run's select; a
+// virtual clock invokes the fire callbacks synchronously from the
+// simulation loop instead, so both modes share the same handling.
+func (r *Replica) initTimers() {
+	r.timer = r.cfg.Clock.NewTimer(func() {
+		r.onTimeout()
+		r.sync()
+	})
+	r.batchTimer = r.cfg.Clock.NewTimer(func() {
+		r.batchTimerArmed = false
+		r.flushQueue(true)
+		r.sync()
+	})
+}
+
+// StartDriven puts the replica in driven (simulation) mode: no
+// goroutines are launched. The caller owns the single thread of
+// control — it delivers inbound messages via Deliver, and timer fires
+// arrive synchronously through the virtual clock's callbacks.
+// Requires a virtual ReplicaConfig.Clock.
+func (r *Replica) StartDriven() {
+	r.driven = true
+	r.initTimers()
+}
+
+// Deliver hands one inbound message to a driven replica and refreshes
+// its mirrors. Only valid after StartDriven, on the driving thread.
+func (r *Replica) Deliver(m transport.Inbound) {
+	r.dispatch(m)
+	r.sync()
+}
+
 // Stop terminates the event loop and the read-only pool, and waits for
-// both to exit.
+// both to exit. A driven replica has neither: Stop just disarms its
+// timers, after which the virtual clock will not call back into it.
 func (r *Replica) Stop() {
+	if r.driven {
+		r.disarmTimer()
+		r.disarmBatchTimer()
+		return
+	}
 	close(r.stop)
 	<-r.done
 	r.roWG.Wait()
@@ -461,10 +540,10 @@ func (r *Replica) run() {
 			}
 			r.dispatch(m)
 			r.sync()
-		case <-r.timer.C:
+		case <-r.timer.C():
 			r.onTimeout()
 			r.sync()
-		case <-r.batchTimer.C:
+		case <-r.batchTimer.C():
 			r.batchTimerArmed = false
 			r.flushQueue(true)
 			r.sync()
@@ -535,6 +614,11 @@ func (r *Replica) dispatch(m transport.Inbound) {
 			return
 		}
 		r.onViewChange(msg)
+	case ViewChangeAck:
+		if msg.Replica != m.From || !r.isReplica(m.From) {
+			return
+		}
+		r.onViewChangeAck(msg)
 	case NewView:
 		if msg.Replica != m.From || m.From != r.primary(msg.View) {
 			return
@@ -633,8 +717,10 @@ func (r *Replica) onRequest(req Request) {
 	// At-most-once: answer duplicates from the client table.
 	if rec, ok := r.clients[req.Client]; ok && req.ReqID <= rec.lastReqID {
 		if req.ReqID == rec.lastReqID && rec.lastReply != nil {
+			// Reply.View is only the client's primary-guess hint; the
+			// current view is the freshest value we can offer.
 			r.sendReply(req.Client, Reply{
-				View: rec.lastView, Client: req.Client, ReqID: req.ReqID,
+				View: r.view, Client: req.Client, ReqID: req.ReqID,
 				Replica: r.cfg.ID, Result: rec.lastReply,
 				Group: r.cfg.Group, Attest: r.attest(req.Op, rec.lastReply),
 			})
@@ -642,6 +728,18 @@ func (r *Replica) onRequest(req Request) {
 		return
 	}
 	if r.inViewChange {
+		// No proposals mid-view-change, but still track the request: its
+		// pending record keeps the view-change timer armed (a stabilize
+		// may have disarmed it) and carries the request into the new
+		// view's re-proposal, instead of waiting another client
+		// retransmission interval after install.
+		digest := req.Digest()
+		if _, dup := r.pending[digest]; !dup {
+			r.pending[digest] = req
+			if len(r.pending) == 1 {
+				r.armTimer()
+			}
+		}
 		return
 	}
 	digest := req.Digest()
@@ -694,6 +792,20 @@ func (r *Replica) onRequest(req Request) {
 // Client retransmissions pace the repair, so it is naturally
 // rate-limited and touches only sequences someone still waits on.
 func (r *Replica) repairSeq(seq uint64) {
+	r.repairOne(seq)
+	if next := r.executed + 1; next < seq {
+		// A hole below blocks execution of seq no matter how seq's own
+		// quorum completes. Holes with no client attached — a NEW-VIEW
+		// no-op whose commit votes were lost — have no retransmission of
+		// their own, so every client-paced repair above also repairs the
+		// execution frontier.
+		r.repairOne(next)
+	}
+}
+
+// repairOne re-sends our protocol state for one sequence number and
+// solicits the votes we may have lost.
+func (r *Replica) repairOne(seq uint64) {
 	e := r.entries[seq]
 	if e == nil || e.batch == nil || e.executed {
 		return
@@ -710,11 +822,21 @@ func (r *Replica) repairSeq(seq uint64) {
 }
 
 // onSeqRequest re-sends our commit vote for a sequence a peer is stuck
-// on.
+// on. The primary also re-sends the proposal itself (the asker may
+// never have received the batch), and a request for a sequence we have
+// stabilized past is answered with our latest checkpoint announcement —
+// the asker is behind our stable state and needs checkpoint evidence to
+// trigger a state transfer, not votes we no longer hold.
 func (r *Replica) onSeqRequest(sr SeqRequest, from string) {
 	e := r.entries[sr.Seq]
 	if e == nil || e.batch == nil {
+		if sr.Seq <= r.lowWater && r.lastCP.Seq > 0 {
+			r.sendTo(from, r.lastCP)
+		}
 		return
+	}
+	if r.isPrimary() && e.batch.View == r.view {
+		r.sendTo(from, *e.batch)
 	}
 	if e.sentCommit || e.executed {
 		r.sendTo(from, Commit{View: r.view, Seq: sr.Seq, Digest: e.batch.Digest, Replica: r.cfg.ID})
@@ -816,7 +938,7 @@ func (r *Replica) disarmBatchTimer() {
 	r.batchTimerArmed = false
 	if !r.batchTimer.Stop() {
 		select {
-		case <-r.batchTimer.C:
+		case <-r.batchTimer.C():
 		default:
 		}
 	}
@@ -871,7 +993,18 @@ func (r *Replica) batchVerifiable(b Batch, ds [][32]byte) bool {
 // retryUnverified re-processes buffered batches once more first-hand
 // requests arrive.
 func (r *Replica) retryUnverified() {
-	for seq, ub := range r.unverified {
+	if len(r.unverified) == 0 {
+		return
+	}
+	// Ascending sequence order: processing order affects which batches
+	// prepare first, and map order would make replays diverge.
+	seqs := make([]uint64, 0, len(r.unverified))
+	for seq := range r.unverified {
+		seqs = append(seqs, seq)
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	for _, seq := range seqs {
+		ub := r.unverified[seq]
 		if r.batchVerifiable(ub.b, ub.ds) {
 			delete(r.unverified, seq)
 			if ub.b.View == r.view {
@@ -1036,6 +1169,13 @@ func (r *Replica) tryPrepared(seq uint64) {
 		return
 	}
 	e.sentCommit = true
+	// Record the prepared certificate independently of the log entry:
+	// view installs reseed entries (resetting their vote bitmasks), but
+	// the certificate must survive until the sequence stabilizes — the
+	// view-change safety argument needs every honest replica that
+	// prepared a batch to keep carrying the proof, or a batch committed
+	// elsewhere can be merged away into a no-op.
+	r.prepCerts[seq] = *e.batch
 	c := Commit{View: r.view, Seq: seq, Digest: e.batch.Digest, Replica: r.cfg.ID}
 	e.commits |= r.voteBit(r.cfg.ID)
 	r.broadcast(c)
@@ -1263,10 +1403,6 @@ func (r *Replica) promoteTentative(next uint64, e *logEntry) {
 			}
 			cur.lastReqID = rec.lastReqID
 			cur.lastReply = rec.lastReply
-			// Stamped at promotion time, exactly when direct execution
-			// would have run — keeps the client table byte-identical to a
-			// replica executing on the commit quorum.
-			cur.lastView = r.view
 		}
 	}
 	if r.durable != nil {
@@ -1395,7 +1531,6 @@ func (r *Replica) batchResults(reqs []Request) [][]byte {
 				}
 				rec.lastReqID = req.ReqID
 				rec.lastReply = out[j]
-				rec.lastView = r.view
 				results[i] = out[j]
 			}
 			// Duplicates (and anything else) fall through below.
@@ -1434,7 +1569,6 @@ func (r *Replica) executeOnce(req Request) []byte {
 	result := r.service.Execute(req.Client, req.Op)
 	rec.lastReqID = req.ReqID
 	rec.lastReply = result
-	rec.lastView = r.view
 	return result
 }
 
@@ -1444,6 +1578,12 @@ func (r *Replica) executeOnce(req Request) []byte {
 // free to order writes. A full backlog drops the read (the client
 // falls back to ordering), so the loop never blocks on readers.
 func (r *Replica) onReadOnly(ro ReadOnly) {
+	if r.driven {
+		// Simulation mode has no worker pool; serve inline so the read
+		// lands deterministically at its delivery point in virtual time.
+		r.serveReadOnly(ro)
+		return
+	}
 	select {
 	case r.roCh <- ro:
 	default:
@@ -1504,7 +1644,6 @@ func (r *Replica) stateSnapshot() []byte {
 		w.String(id)
 		w.Uvarint(rec.lastReqID)
 		w.Bytes(rec.lastReply)
-		w.Uvarint(rec.lastView)
 	}
 	return w.Data()
 }
@@ -1522,7 +1661,6 @@ func (r *Replica) restoreState(snapshot []byte) error {
 		clients[id] = &clientRecord{
 			lastReqID: rd.Uvarint(),
 			lastReply: rd.Bytes(),
-			lastView:  rd.Uvarint(),
 		}
 	}
 	rd.ExpectEOF()
@@ -1562,7 +1700,8 @@ func (r *Replica) makeCheckpoint(seq uint64) {
 	if r.cfg.KeepCheckpointHistory {
 		r.cpHistory[seq] = digest
 	}
-	cp := Checkpoint{Seq: seq, Digest: digest, Replica: r.cfg.ID}
+	cp := Checkpoint{Seq: seq, View: r.view, Digest: digest, Replica: r.cfg.ID}
+	r.lastCP = cp
 	r.recordCheckpoint(cp)
 	r.broadcast(cp)
 }
@@ -1665,19 +1804,26 @@ func (r *Replica) recordCheckpoint(cp Checkpoint) {
 	}
 	byReplica, ok := r.checkpoints[cp.Seq]
 	if !ok {
-		byReplica = make(map[string][32]byte)
+		byReplica = make(map[string]cpVote)
 		r.checkpoints[cp.Seq] = byReplica
 	}
-	byReplica[cp.Replica] = cp.Digest
+	byReplica[cp.Replica] = cpVote{digest: cp.Digest, view: cp.View}
 	// Count matching digests.
 	counts := make(map[[32]byte]int)
-	for _, d := range byReplica {
-		counts[d]++
+	for _, v := range byReplica {
+		counts[v.digest]++
 	}
 	for d, c := range counts {
 		if c < r.quorum() {
 			continue
 		}
+		if cp.Seq > r.groupStable {
+			r.groupStable = cp.Seq
+		}
+		// A quorum of checkpoints is also live proof of the view the
+		// group operates in — realign before acting on the checkpoint,
+		// so a replica wedged in a view nobody joined can rejoin.
+		r.syncViewWithQuorum(cp.Seq, d)
 		if cp.Seq <= r.executed {
 			r.stabilize(cp.Seq)
 		} else {
@@ -1686,6 +1832,22 @@ func (r *Replica) recordCheckpoint(cp Checkpoint) {
 			r.requestState(cp.Seq, d)
 		}
 		return
+	}
+	// Weak certificate: f+1 matching digests above our execution point
+	// include at least one honest replica, whose checkpoint digest is
+	// committed state by construction — enough to trust a transfer.
+	// (Only one digest can ever reach f+1: honest replicas agree, so a
+	// second camp holds at most the f faulty.) This matters when fewer
+	// than 2f+1 replicas are still advancing: the full quorum above can
+	// never assemble, and without this path two laggards each below the
+	// survivors' low-water mark would deadlock the group forever.
+	if cp.Seq > r.executed {
+		for d, c := range counts {
+			if c >= r.cfg.F+1 {
+				r.requestState(cp.Seq, d)
+				return
+			}
+		}
 	}
 }
 
@@ -1709,6 +1871,11 @@ func (r *Replica) stabilize(seq uint64) {
 			delete(r.checkpoints, s)
 		}
 	}
+	for s := range r.prepCerts {
+		if s <= seq {
+			delete(r.prepCerts, s)
+		}
+	}
 	for s := range r.snapshots {
 		if s < seq {
 			delete(r.snapshots, s)
@@ -1729,7 +1896,10 @@ func (r *Replica) stabilize(seq uint64) {
 			delete(r.pending, d)
 		}
 	}
-	if len(r.pending) == 0 {
+	if len(r.pending) == 0 && !r.inViewChange {
+		// Mid-view-change the timer is the only way forward (it escalates
+		// to the next view if the NEW-VIEW never arrives); disarming it
+		// here would deadlock a group whose pending queues drained.
 		r.disarmTimer()
 	}
 	r.logf("checkpoint stable at %d", seq)
@@ -1738,8 +1908,13 @@ func (r *Replica) stabilize(seq uint64) {
 }
 
 func (r *Replica) requestState(seq uint64, digest [32]byte) {
-	for id, d := range r.checkpoints[seq] {
-		if d == digest && id != r.cfg.ID {
+	// Deterministic peer choice (group order starting after ourselves):
+	// map order would pick a different server on every replay, and the
+	// offset spreads transfer load when several replicas lag at once.
+	byReplica := r.checkpoints[seq]
+	for i := 1; i < r.n; i++ {
+		id := r.cfg.Replicas[(r.index+i)%r.n]
+		if v, ok := byReplica[id]; ok && v.digest == digest {
 			r.sendTo(id, StateRequest{Seq: seq, Replica: r.cfg.ID})
 			return
 		}
@@ -1821,13 +1996,18 @@ func (r *Replica) onStateResponse(resp StateResponse) {
 		digest = chain.digest()
 	}
 	matching := 0
-	for _, d := range r.checkpoints[resp.Seq] {
-		if d == digest {
+	for _, v := range r.checkpoints[resp.Seq] {
+		if v.digest == digest {
 			matching++
 		}
 	}
-	if matching < r.quorum() {
-		r.logf("state response at %d lacks a digest quorum", resp.Seq)
+	if matching < r.cfg.F+1 {
+		// f+1 matching announcements form a weak certificate: at least
+		// one is honest, and an honest replica only announces committed
+		// state. A full 2f+1 quorum may never assemble when fewer than
+		// 2f+1 replicas are still advancing, so demanding it here would
+		// wedge laggards permanently.
+		r.logf("state response at %d lacks a weak digest certificate", resp.Seq)
 		return
 	}
 	// The incoming snapshot replaces local state wholesale; tentative
@@ -1882,10 +2062,13 @@ func (r *Replica) onStateResponse(resp StateResponse) {
 		r.seq = resp.Seq
 	}
 	r.stabilize(resp.Seq)
-	if resp.View > r.view {
-		r.view = resp.View
-		r.inViewChange = false
+	if resp.Seq > r.lastCP.Seq {
+		r.lastCP = Checkpoint{Seq: resp.Seq, View: r.view, Digest: digest, Replica: r.cfg.ID}
 	}
+	// Realign with the view the checkpoint quorum reported, rather than
+	// trusting the single responder's View field (one Byzantine server
+	// could otherwise strand us in a fictitious far-future view).
+	r.syncViewWithQuorum(resp.Seq, digest)
 	r.logf("state transfer installed seq %d", resp.Seq)
 	r.tryExecute()
 }

@@ -1,6 +1,11 @@
 package bft
 
-import "math/bits"
+import (
+	"bytes"
+	"sort"
+
+	"peats/internal/auth"
+)
 
 // View changes: a backup that suspects the primary (a pending request
 // did not commit before its timer fired, or the primary equivocated)
@@ -17,7 +22,7 @@ import "math/bits"
 func (r *Replica) armTimer() {
 	if !r.timer.Stop() {
 		select {
-		case <-r.timer.C:
+		case <-r.timer.C():
 		default:
 		}
 	}
@@ -27,7 +32,7 @@ func (r *Replica) armTimer() {
 func (r *Replica) disarmTimer() {
 	if !r.timer.Stop() {
 		select {
-		case <-r.timer.C:
+		case <-r.timer.C():
 		default:
 		}
 	}
@@ -46,19 +51,22 @@ func (r *Replica) onTimeout() {
 	r.startViewChange(r.view + 1)
 }
 
-// preparedProofs collects the batches of entries prepared above the
+// preparedProofs collects the batches this replica prepared above the
 // stable checkpoint (the P set of PBFT, with channel MACs standing in
-// for per-message proofs).
+// for per-message proofs). It reads the persistent certificate map,
+// not the live entries: entries are reseeded on every view install,
+// and a proof lost that way could let a later merge replace a batch —
+// committed on another replica, acked to its client — with a no-op.
 func (r *Replica) preparedProofs() []Batch {
-	var out []Batch
-	for seq, e := range r.entries {
-		if seq <= r.lowWater || e.batch == nil {
+	out := make([]Batch, 0, len(r.prepCerts))
+	for seq, b := range r.prepCerts {
+		if seq <= r.lowWater {
 			continue
 		}
-		if bits.OnesCount64(e.prepares) >= r.quorum() {
-			out = append(out, *e.batch)
-		}
+		out = append(out, b)
 	}
+	// Map order would vary the VIEW-CHANGE message bytes run to run.
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
 	return out
 }
 
@@ -83,6 +91,13 @@ func (r *Replica) startViewChange(newView uint64) {
 	r.armTimer()
 }
 
+// recordedVC is a received VIEW-CHANGE plus the digest of its canonical
+// encoding — the value VIEW-CHANGE-ACKs attest to.
+type recordedVC struct {
+	vc     ViewChange
+	digest [32]byte
+}
+
 func (r *Replica) onViewChange(vc ViewChange) {
 	if vc.NewView <= r.view && !(vc.NewView == r.view && r.inViewChange) {
 		return
@@ -100,10 +115,74 @@ func (r *Replica) onViewChange(vc ViewChange) {
 func (r *Replica) recordViewChange(vc ViewChange) {
 	byReplica, ok := r.viewChanges[vc.NewView]
 	if !ok {
-		byReplica = make(map[string]ViewChange)
+		byReplica = make(map[string]recordedVC)
 		r.viewChanges[vc.NewView] = byReplica
 	}
-	byReplica[vc.Replica] = vc
+	rec := recordedVC{vc: vc, digest: viewChangeDigest(vc)}
+	byReplica[vc.Replica] = rec
+	// Confirm the contents to the view's primary: channel MACs protect
+	// hops, not the claims inside, so the primary only merges a
+	// VIEW-CHANGE whose bytes 2f-1 other replicas also saw (otherwise a
+	// faulty sender could feed the primary a fabricated prepared batch
+	// that overrides — or conflicts with — a legitimately prepared one).
+	if p := r.primary(vc.NewView); p != r.cfg.ID && vc.Replica != r.cfg.ID {
+		r.sendTo(p, ViewChangeAck{
+			View: vc.NewView, Origin: vc.Replica, Digest: rec.digest, Replica: r.cfg.ID,
+		})
+	}
+}
+
+// viewChangeDigest digests a VIEW-CHANGE's canonical encoding.
+func viewChangeDigest(vc ViewChange) [32]byte {
+	payload, err := Marshal(vc)
+	if err != nil {
+		return [32]byte{}
+	}
+	return auth.Digest(payload)
+}
+
+func (r *Replica) onViewChangeAck(a ViewChangeAck) {
+	if r.primary(a.View) != r.cfg.ID || a.View < r.view || a.Replica == a.Origin {
+		return
+	}
+	byOrigin, ok := r.vcAcks[a.View]
+	if !ok {
+		byOrigin = make(map[string]map[[32]byte]map[string]struct{})
+		r.vcAcks[a.View] = byOrigin
+	}
+	byDigest, ok := byOrigin[a.Origin]
+	if !ok {
+		byDigest = make(map[[32]byte]map[string]struct{})
+		byOrigin[a.Origin] = byDigest
+	}
+	ackers, ok := byDigest[a.Digest]
+	if !ok {
+		ackers = make(map[string]struct{})
+		byDigest[a.Digest] = ackers
+	}
+	ackers[a.Replica] = struct{}{}
+	r.maybeInstallView(a.View)
+}
+
+// validatedViewChanges returns the VIEW-CHANGEs of the view whose
+// contents are confirmed: the primary's own, and those of any origin
+// where 2f-1 other replicas acked the same digest the primary received
+// (together with the origin and the primary that is 2f+1 parties, so at
+// least one correct replica vouches for the bytes end-to-end).
+func (r *Replica) validatedViewChanges(view uint64) map[string]ViewChange {
+	out := make(map[string]ViewChange)
+	acks := r.vcAcks[view]
+	for origin, rec := range r.viewChanges[view] {
+		if origin == r.cfg.ID {
+			out[origin] = rec.vc
+			continue
+		}
+		need := 2*r.cfg.F - 1
+		if len(acks[origin][rec.digest]) >= need {
+			out[origin] = rec.vc
+		}
+	}
+	return out
 }
 
 // maybeInstallView runs at the would-be primary: with 2f+1 view-change
@@ -112,20 +191,33 @@ func (r *Replica) maybeInstallView(view uint64) {
 	if r.primary(view) != r.cfg.ID || view != r.view || !r.inViewChange {
 		return
 	}
-	vcs := r.viewChanges[view]
+	vcs := r.validatedViewChanges(view)
 	if len(vcs) < r.quorum() {
 		return
 	}
 
-	// Merge the prepared sets: highest-view batch wins per seq.
+	// Merge the prepared sets: highest-view batch wins per seq. The
+	// drop-floor is groupStable — the highest seq this replica SAW a
+	// 2f+1 checkpoint quorum for — never the personal lowWater: after a
+	// crash-recovery or state transfer, lowWater covers sequences the
+	// group may still need re-issued (a batch committed on one replica
+	// and acked to a client can live there), and dropping them here
+	// replaces them with no-ops, permanently losing the requests to
+	// client-table duplicate suppression once later requests execute.
+	floor := r.groupStable
 	merged := make(map[uint64]Batch)
-	maxSeq := r.lowWater
+	maxSeq := floor
 	for _, vc := range vcs {
 		for _, b := range vc.Prepared {
-			if b.Seq <= r.lowWater {
+			if b.Seq <= floor {
 				continue
 			}
-			if cur, ok := merged[b.Seq]; !ok || b.View > cur.View {
+			// Tie-break equal views on the digest so the merge result
+			// does not depend on the view-change map's iteration order
+			// (a Byzantine participant can claim a conflicting batch at
+			// the same seq and view).
+			if cur, ok := merged[b.Seq]; !ok || b.View > cur.View ||
+				(b.View == cur.View && bytes.Compare(b.Digest[:], cur.Digest[:]) < 0) {
 				merged[b.Seq] = b
 			}
 			if b.Seq > maxSeq {
@@ -137,8 +229,8 @@ func (r *Replica) maybeInstallView(view uint64) {
 	// original digest and request list, so a batch prepared in view v
 	// re-proposes under the same digest in view v+1 — and fill holes
 	// with no-ops so the execution pipeline cannot stall on a gap.
-	batches := make([]Batch, 0, maxSeq-r.lowWater)
-	for seq := r.lowWater + 1; seq <= maxSeq; seq++ {
+	batches := make([]Batch, 0, maxSeq-floor)
+	for seq := floor + 1; seq <= maxSeq; seq++ {
 		b, ok := merged[seq]
 		if !ok {
 			noopReq := Request{Client: "", ReqID: 0, Op: nil}
@@ -178,10 +270,105 @@ func (r *Replica) onNewView(nv NewView) {
 	}
 }
 
+// cpVote is one replica's checkpoint announcement: the state digest it
+// published and the view it was operating in when it published it.
+type cpVote struct {
+	digest [32]byte
+	view   uint64
+}
+
+// syncViewWithQuorum realigns this replica's view with the view the
+// group demonstrably operates in, using a just-assembled checkpoint
+// quorum as evidence. Each CHECKPOINT carries its sender's view; among
+// the 2f+1 matching voters at most f are Byzantine, so the (f+1)-th
+// smallest reported view is bracketed by honest views — it cannot be
+// forged past the group in either direction.
+//
+// Jumping FORWARD covers a replica that missed a NEW-VIEW entirely
+// (state transfer only fixes that when the replica is also behind on
+// state). Falling BACK covers the runaway straggler: a replica whose
+// timer fired alone keeps view-changing into ever-higher views that no
+// one joins (the f+1 join rule protects the group from exactly that),
+// while the healthy quorum — pending queues empty — never times out.
+// Stuck in a view it never installed, the straggler rejects all
+// current-view traffic and would stay wedged forever. Rejoining is safe
+// precisely because nothing was installed above the target: a replica
+// casts votes only in installed views, so it abandons views it never
+// spoke in and resumes as if the timeouts had not happened.
+// installedView guards the induction — a replica never falls back below
+// a view it installed, so a view that committed anything is only ever
+// left forward.
+func (r *Replica) syncViewWithQuorum(seq uint64, digest [32]byte) {
+	views := make([]uint64, 0, r.n)
+	for _, v := range r.checkpoints[seq] {
+		if v.digest == digest {
+			views = append(views, v.view)
+		}
+	}
+	if len(views) < r.quorum() {
+		return
+	}
+	sort.Slice(views, func(i, j int) bool { return views[i] < views[j] })
+	w := views[r.cfg.F]
+	switch {
+	case w > r.view:
+		// The group moved past us.
+	case w == r.view && r.inViewChange:
+		// Our own NEW-VIEW was lost; the group installed the view.
+	case w < r.view && r.inViewChange && w >= r.installedView:
+		// Runaway straggler: rejoin the view the group still works in.
+	default:
+		return
+	}
+	r.adoptView(w)
+}
+
+// adoptView switches to a view the group is known to operate in,
+// without a NEW-VIEW: protocol records of the abandoned views are
+// discarded (checkpoints and state transfer re-cover anything that
+// committed meanwhile) and the replica resumes as an ordinary backup.
+func (r *Replica) adoptView(view uint64) {
+	r.logf("adopting group view %d (was %d)", view, r.view)
+	r.view = view
+	r.installedView = view
+	r.inViewChange = false
+	r.nextTimeout = r.cfg.ViewChangeTimeout
+	r.rollbackTentative()
+	for seq, e := range r.entries {
+		if seq > r.lowWater && !e.executed {
+			delete(r.entries, seq)
+		}
+	}
+	r.assigned = make(map[[32]byte]uint64)
+	r.unverified = make(map[uint64]unverifiedBatch)
+	r.queue = nil
+	r.queued = make(map[[32]byte]struct{})
+	r.disarmBatchTimer()
+	if r.executed > r.seq {
+		r.seq = r.executed
+	}
+	for v := range r.viewChanges {
+		if v <= view {
+			delete(r.viewChanges, v)
+		}
+	}
+	for v := range r.vcAcks {
+		if v <= view {
+			delete(r.vcAcks, v)
+		}
+	}
+	if len(r.pending) > 0 {
+		r.armTimer()
+	} else {
+		r.disarmTimer()
+	}
+}
+
 // installView switches to the view and reseeds the log with the
 // re-issued batches.
 func (r *Replica) installView(view uint64, batches []Batch) {
 	r.view = view
+	r.installedView = view
 	r.inViewChange = false
 	r.nextTimeout = r.cfg.ViewChangeTimeout
 
@@ -220,11 +407,28 @@ func (r *Replica) installView(view uint64, batches []Batch) {
 			delete(r.viewChanges, seq)
 		}
 	}
+	for v := range r.vcAcks {
+		if v <= view {
+			delete(r.vcAcks, v)
+		}
+	}
 	for _, b := range batches {
 		if b.Seq <= r.lowWater {
 			continue
 		}
 		if e, ok := r.entries[b.Seq]; ok && e.executed {
+			// Already executed here, but a peer that has not may need a
+			// fresh commit quorum: its vote records died with the old
+			// view, and an executed replica never re-enters the prepare
+			// phase (tryPrepared short-circuits on sentCommit). Re-issue
+			// our commit vote — onCommit accepts commits across views —
+			// so stragglers can finish batches the group already settled.
+			// Only for the same digest we executed: a NEW-VIEW no-op
+			// filler at an executed sequence must not collect our vote
+			// for conflicting contents.
+			if e.batch != nil && e.batch.Digest == b.Digest {
+				r.broadcast(Commit{View: view, Seq: b.Seq, Digest: b.Digest, Replica: r.cfg.ID})
+			}
 			continue
 		}
 		ds, ok := b.digests()
@@ -249,7 +453,16 @@ func (r *Replica) installView(view uint64, batches []Batch) {
 		// it into the view's batches; backups wait for the client's
 		// retransmission (see onRequest for why replicas never forward).
 		if r.isPrimary() {
-			for digest, req := range r.pending {
+			// Deterministic proposal order for the carried-over requests.
+			digests := make([][32]byte, 0, len(r.pending))
+			for digest := range r.pending {
+				digests = append(digests, digest)
+			}
+			sort.Slice(digests, func(i, j int) bool {
+				return bytes.Compare(digests[i][:], digests[j][:]) < 0
+			})
+			for _, digest := range digests {
+				req := r.pending[digest]
 				if _, ok := r.assigned[digest]; ok {
 					continue
 				}

@@ -12,6 +12,7 @@ import (
 	"peats/internal/policy"
 	"peats/internal/space"
 	"peats/internal/tuple"
+	"peats/internal/vclock"
 	"peats/internal/wire"
 )
 
@@ -60,6 +61,8 @@ type Space struct {
 	// loops, as on bft.RemoteSpace.
 	PollInterval    time.Duration
 	PollMaxInterval time.Duration
+	// Clock supplies the polling timer; nil means real time.
+	Clock vclock.Clock
 }
 
 type groupHandle struct {
@@ -292,10 +295,11 @@ func (s *Space) poll(
 	if max < floor {
 		max = floor
 	}
-	timer := time.NewTimer(0)
-	if !timer.Stop() {
-		<-timer.C
+	clock := s.Clock
+	if clock == nil {
+		clock = vclock.Real()
 	}
+	timer := clock.NewTimer(nil)
 	defer timer.Stop()
 	delay := floor
 	for {
@@ -314,7 +318,7 @@ func (s *Space) poll(
 		select {
 		case <-ctx.Done():
 			return tuple.Tuple{}, ctx.Err()
-		case <-timer.C:
+		case <-timer.C():
 		}
 		if delay < max {
 			delay *= 2

@@ -1,0 +1,119 @@
+package sim
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// RunSeed builds and runs one seed of a canned schedule family.
+func RunSeed(name string, seed int64) (Result, error) {
+	sched, err := Canned(name, seed)
+	if err != nil {
+		return Result{}, err
+	}
+	return Run(sched), nil
+}
+
+// Sweep runs seeds [start, start+count) of the named family across the
+// given number of workers and returns the failures (each run is fully
+// self-contained, so parallelism is across runs, never within one)
+// plus the total loop events fired. An unknown family name surfaces as
+// a single failed Result.
+func Sweep(name string, start int64, count, workers int) ([]Result, uint64) {
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > count {
+		workers = count
+	}
+	var (
+		next     atomic.Int64
+		events   atomic.Uint64
+		mu       sync.Mutex
+		failures []Result
+		wg       sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(count) {
+					return
+				}
+				res, err := RunSeed(name, start+i)
+				if err != nil {
+					res = Result{Schedule: Schedule{Name: name, Seed: start + i}, Err: err}
+				}
+				events.Add(res.Events)
+				if res.Failed() {
+					mu.Lock()
+					failures = append(failures, res)
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return failures, events.Load()
+}
+
+func (s Schedule) clone() Schedule {
+	c := s
+	c.Partitions = append([]Partition(nil), s.Partitions...)
+	c.Crashes = append([]Crash(nil), s.Crashes...)
+	return c
+}
+
+// Minimize greedily shrinks a failing schedule: it zeroes fault
+// dimensions and removes scripted events one at a time, keeping every
+// simplification under which the failure (deterministically) persists.
+// The result is the smallest schedule this descent finds that still
+// fails — the starting point for debugging a seed.
+func Minimize(s Schedule) Schedule {
+	if !Run(s).Failed() {
+		return s
+	}
+	cur := s.clone()
+	try := func(mut func(*Schedule)) bool {
+		cand := cur.clone()
+		mut(&cand)
+		if Run(cand).Failed() {
+			cur = cand
+			return true
+		}
+		return false
+	}
+	for pass := 0; pass < 4; pass++ {
+		changed := false
+		if cur.NumByzantine > 0 {
+			changed = try(func(c *Schedule) { c.NumByzantine = 0 }) || changed
+		}
+		for i := len(cur.Crashes) - 1; i >= 0; i-- {
+			i := i
+			changed = try(func(c *Schedule) {
+				c.Crashes = append(c.Crashes[:i:i], c.Crashes[i+1:]...)
+			}) || changed
+		}
+		for i := len(cur.Partitions) - 1; i >= 0; i-- {
+			i := i
+			changed = try(func(c *Schedule) {
+				c.Partitions = append(c.Partitions[:i:i], c.Partitions[i+1:]...)
+			}) || changed
+		}
+		if cur.DropProb > 0 {
+			changed = try(func(c *Schedule) { c.DropProb = 0 }) || changed
+		}
+		if cur.ReorderProb > 0 {
+			changed = try(func(c *Schedule) { c.ReorderProb, c.ReorderMax = 0, 0 }) || changed
+		}
+		if cur.DelayMax > cur.DelayMin {
+			changed = try(func(c *Schedule) { c.DelayMax = c.DelayMin }) || changed
+		}
+		if !changed {
+			break
+		}
+	}
+	return cur
+}

@@ -1,0 +1,193 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Schedule is a declarative fault script plus the seed of the RNG that
+// drives its stochastic half. A (Schedule, seed) pair fully determines
+// a run: replaying the same value reproduces the identical event trace
+// byte for byte.
+type Schedule struct {
+	Name string // canned-schedule name; "twopc" selects the two-group scenario
+	Seed int64
+
+	// Stochastic network faults, applied per message until the horizon.
+	DropProb    float64       // probability a message is silently dropped
+	DelayMin    time.Duration // per-message delivery delay, uniform in [min,max]
+	DelayMax    time.Duration
+	ReorderProb float64       // probability of an extra delay, overtaking later sends
+	ReorderMax  time.Duration // bound of the extra reorder delay
+
+	// Scripted faults.
+	Partitions []Partition
+	Crashes    []Crash
+	// NumByzantine replicas (≤ f, taken from the end of the group so
+	// the initial primary stays honest in most runs) have their
+	// outbound messages randomly mutated in flight.
+	NumByzantine int
+
+	// Horizon is when fault injection stops; the run then heals
+	// everything and drives the cluster until the standing invariants
+	// can be checked (or the convergence grace expires — a liveness
+	// failure).
+	Horizon time.Duration
+}
+
+// Partition isolates a minority of replica indexes from the rest
+// between At and HealAt.
+type Partition struct {
+	At, HealAt time.Duration
+	Minority   []int
+}
+
+// Crash stops a replica at At, closing its durable engine; RestartAt
+// (0 = never) reopens the same data dir and rejoins it as a fresh
+// process that must recover its state.
+type Crash struct {
+	Replica   int
+	At        time.Duration
+	RestartAt time.Duration
+}
+
+// String renders the schedule compactly for failure reports.
+func (s Schedule) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s seed=%d drop=%.3f delay=[%s,%s]", s.Name, s.Seed, s.DropProb, s.DelayMin, s.DelayMax)
+	if s.ReorderProb > 0 {
+		fmt.Fprintf(&b, " reorder=%.2f/%s", s.ReorderProb, s.ReorderMax)
+	}
+	for _, p := range s.Partitions {
+		fmt.Fprintf(&b, " part{%v @%s..%s}", p.Minority, p.At, p.HealAt)
+	}
+	for _, c := range s.Crashes {
+		if c.RestartAt > 0 {
+			fmt.Fprintf(&b, " crash{r%d @%s..%s}", c.Replica, c.At, c.RestartAt)
+		} else {
+			fmt.Fprintf(&b, " crash{r%d @%s}", c.Replica, c.At)
+		}
+	}
+	if s.NumByzantine > 0 {
+		fmt.Fprintf(&b, " byz=%d", s.NumByzantine)
+	}
+	fmt.Fprintf(&b, " horizon=%s", s.Horizon)
+	return b.String()
+}
+
+// CannedNames lists the built-in schedule families, in the order the
+// explorer sweeps them.
+func CannedNames() []string {
+	return []string{"viewstorm", "partition", "crashrestart", "twopc", "mixed"}
+}
+
+// Canned builds one seed's instance of a named schedule family. The
+// seed both parameterizes the script (fault times, victims) and seeds
+// the run's stochastic faults, so consecutive seeds explore genuinely
+// different scenarios.
+func Canned(name string, seed int64) (Schedule, error) {
+	rng := rand.New(rand.NewSource(seed ^ 0x5eed5c4ed))
+	ms := func(lo, hi int) time.Duration {
+		return time.Duration(lo+rng.Intn(hi-lo+1)) * time.Millisecond
+	}
+	s := Schedule{
+		Name:     name,
+		Seed:     seed,
+		DelayMin: 1 * time.Millisecond,
+		DelayMax: ms(3, 12),
+		Horizon:  2 * time.Second,
+	}
+	switch name {
+	case "viewstorm":
+		// Heavy loss and reordering around a sluggish primary: the
+		// view-change machinery runs constantly (timeouts here are a few
+		// hundred ms of virtual time).
+		s.DropProb = 0.05 + 0.20*rng.Float64()
+		s.ReorderProb = 0.25
+		s.ReorderMax = ms(50, 250)
+	case "partition":
+		// One or two minority partitions with heals racing the workload.
+		s.DropProb = 0.02 * rng.Float64()
+		s.ReorderProb = 0.10
+		s.ReorderMax = ms(20, 80)
+		cuts := 1 + rng.Intn(2)
+		for i := 0; i < cuts; i++ {
+			at := ms(100, 900)
+			s.Partitions = append(s.Partitions, Partition{
+				At: at, HealAt: at + ms(100, 600), Minority: []int{rng.Intn(4)},
+			})
+		}
+	case "crashrestart":
+		// Crash-restart with durable recovery, racing state transfer: the
+		// victim is down long enough to fall behind a checkpoint.
+		s.DropProb = 0.02 * rng.Float64()
+		s.ReorderProb = 0.10
+		s.ReorderMax = ms(10, 60)
+		at := ms(100, 700)
+		s.Crashes = append(s.Crashes, Crash{
+			Replica: rng.Intn(4), At: at, RestartAt: at + ms(200, 900),
+		})
+		if rng.Intn(2) == 0 {
+			// A second, possibly overlapping crash of a different replica.
+			victim := rng.Intn(4)
+			if victim == s.Crashes[0].Replica {
+				victim = (victim + 1) % 4
+			}
+			at2 := ms(100, 900)
+			s.Crashes = append(s.Crashes, Crash{Replica: victim, At: at2, RestartAt: at2 + ms(200, 700)})
+		}
+	case "twopc":
+		// Cross-group transactions under loss, with the coordinator
+		// crashing mid-protocol and a recovery client finishing the job.
+		s.DropProb = 0.03 + 0.07*rng.Float64()
+		s.ReorderProb = 0.15
+		s.ReorderMax = ms(20, 100)
+		s.Horizon = 3 * time.Second
+	case "mixed":
+		// Everything at once, within the fault model: loss, reorder, one
+		// partition, one crash-restart, one Byzantine replica.
+		s.DropProb = 0.02 + 0.08*rng.Float64()
+		s.ReorderProb = 0.20
+		s.ReorderMax = ms(20, 150)
+		at := ms(100, 800)
+		s.Partitions = append(s.Partitions, Partition{
+			At: at, HealAt: at + ms(100, 500), Minority: []int{rng.Intn(4)},
+		})
+		cAt := ms(100, 900)
+		s.Crashes = append(s.Crashes, Crash{Replica: rng.Intn(4), At: cAt, RestartAt: cAt + ms(200, 800)})
+		s.NumByzantine = 1
+	default:
+		return Schedule{}, fmt.Errorf("sim: unknown schedule %q (have %v)", name, CannedNames())
+	}
+	s.normalize()
+	return s, nil
+}
+
+// normalize clamps scripted events inside the horizon and orders them,
+// so the harness can schedule them directly.
+func (s *Schedule) normalize() {
+	clamp := func(d time.Duration) time.Duration {
+		if d > s.Horizon {
+			return s.Horizon
+		}
+		return d
+	}
+	for i := range s.Partitions {
+		s.Partitions[i].At = clamp(s.Partitions[i].At)
+		s.Partitions[i].HealAt = clamp(s.Partitions[i].HealAt)
+	}
+	for i := range s.Crashes {
+		s.Crashes[i].At = clamp(s.Crashes[i].At)
+		if s.Crashes[i].RestartAt > 0 {
+			s.Crashes[i].RestartAt = clamp(s.Crashes[i].RestartAt)
+		}
+	}
+	sort.SliceStable(s.Partitions, func(i, j int) bool { return s.Partitions[i].At < s.Partitions[j].At })
+	sort.SliceStable(s.Crashes, func(i, j int) bool { return s.Crashes[i].At < s.Crashes[j].At })
+	if s.DelayMax < s.DelayMin {
+		s.DelayMax = s.DelayMin
+	}
+}

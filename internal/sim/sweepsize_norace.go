@@ -1,0 +1,10 @@
+//go:build !race
+
+package sim
+
+// defaultSweepSeeds is the per-family seed count the go-test sweeps run
+// when PEATS_SIM_SEEDS is unset: five families at this depth is a
+// ≥1000-schedule adversarial sweep per `go test ./internal/sim`, sized
+// to finish in seconds of wall clock. The explorer CLI and CI go
+// deeper.
+const defaultSweepSeeds = 200

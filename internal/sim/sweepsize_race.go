@@ -1,0 +1,8 @@
+//go:build race
+
+package sim
+
+// Under the race detector each simulated run costs roughly 6× its
+// native time, so the default sweeps shrink to keep `go test -race`
+// inside its usual budget. PEATS_SIM_SEEDS still overrides.
+const defaultSweepSeeds = 60

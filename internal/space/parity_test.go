@@ -2,6 +2,7 @@ package space
 
 import (
 	"context"
+	"flag"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -9,6 +10,24 @@ import (
 
 	"peats/internal/tuple"
 )
+
+// seedFlag offsets every randomized parity sweep's seed range:
+//
+//	go test ./internal/space -seed 424242
+//
+// explores a fresh slice of the operation-sequence space, and a failure
+// anywhere prints the exact seed (base + offset) to replay. The zero
+// default keeps CI runs deterministic.
+var seedFlag = flag.Int64("seed", 0, "base offset added to every randomized parity-suite seed")
+
+// suiteSeeds logs and returns the seed range [lo+*seedFlag, hi+*seedFlag)
+// a randomized suite will sweep.
+func suiteSeeds(t *testing.T, lo, hi int64) (int64, int64) {
+	t.Helper()
+	lo, hi = lo+*seedFlag, hi+*seedFlag
+	t.Logf("seeds [%d,%d) — replay any failure with -seed (offset %d)", lo, hi, *seedFlag)
+	return lo, hi
+}
 
 // bgCtx returns a context that outlives any reasonable test step but
 // cannot hang a broken run forever.
@@ -77,7 +96,8 @@ func (g *parityGen) template() tuple.Tuple {
 // SMR substrate depends on: either engine must realise the same
 // deterministic state machine.
 func TestStoreParity(t *testing.T) {
-	for seed := int64(0); seed < 20; seed++ {
+	lo, hi := suiteSeeds(t, 0, 20)
+	for seed := lo; seed < hi; seed++ {
 		seed := seed
 		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
 			g := &parityGen{rng: rand.New(rand.NewSource(seed))}
@@ -283,7 +303,8 @@ func driveSpacePair(t *testing.T, seed int64, steps int, a, b *Space) {
 // two full Spaces (waiter plumbing included) built on different engines
 // and compares every result — the end-to-end version of TestStoreParity.
 func TestSpaceParityAcrossEngines(t *testing.T) {
-	for seed := int64(100); seed < 110; seed++ {
+	lo, hi := suiteSeeds(t, 100, 110)
+	for seed := lo; seed < hi; seed++ {
 		driveSpacePair(t, seed, 1500,
 			NewWithStore(NewSliceStore()),
 			NewWithStore(NewIndexedStore()))
@@ -299,7 +320,8 @@ func TestSpaceParityAcrossShardCounts(t *testing.T) {
 		for _, n := range shardCounts {
 			engine, n := engine, n
 			t.Run(fmt.Sprintf("%s/shards=%d", engine, n), func(t *testing.T) {
-				for seed := int64(200); seed < 206; seed++ {
+				lo, hi := suiteSeeds(t, 200, 206)
+				for seed := lo; seed < hi; seed++ {
 					ref := NewWithStore(NewSliceStore())
 					sharded, err := NewSharded(engine, n)
 					if err != nil {
@@ -317,7 +339,8 @@ func TestSpaceParityAcrossShardCounts(t *testing.T) {
 // on shard 0), same results — so turning the shard knob down to 1 is
 // bit-identical to never having it.
 func TestSingleShardMatchesUnsharded(t *testing.T) {
-	for seed := int64(300); seed < 306; seed++ {
+	lo, hi := suiteSeeds(t, 300, 306)
+	for seed := lo; seed < hi; seed++ {
 		unsharded := NewWithStore(NewIndexedStore())
 		single, err := NewSharded(EngineIndexed, 1)
 		if err != nil {

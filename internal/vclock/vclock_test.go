@@ -1,0 +1,39 @@
+package vclock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRealTimerStartsStopped(t *testing.T) {
+	tm := Real().NewTimer(nil)
+	select {
+	case <-tm.C():
+		t.Fatal("new timer fired without Reset")
+	case <-time.After(20 * time.Millisecond):
+	}
+	tm.Reset(time.Millisecond)
+	select {
+	case <-tm.C():
+	case <-time.After(time.Second):
+		t.Fatal("reset timer did not fire")
+	}
+}
+
+func TestRealTickerFires(t *testing.T) {
+	tk := Real().NewTicker(time.Millisecond, nil)
+	defer tk.Stop()
+	select {
+	case <-tk.C():
+	case <-time.After(time.Second):
+		t.Fatal("ticker did not fire")
+	}
+}
+
+func TestRealNow(t *testing.T) {
+	before := time.Now()
+	now := Real().Now()
+	if now.Before(before.Add(-time.Second)) {
+		t.Fatalf("Real().Now() = %v, too far before %v", now, before)
+	}
+}
