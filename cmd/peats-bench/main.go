@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"peats/internal/bench"
+	"peats/internal/buildinfo"
 )
 
 // knownTables lists every -table value, in print order for "all".
@@ -90,8 +91,13 @@ func main() {
 		ptF        = flag.Int("part-f", 0, "partitions table: per-group fault bound of the scaling sweep (default 0)")
 		ptCross    = flag.Int("part-cross", 0, "partitions table: cross-partition 2PC submissions per writer (default 40)")
 		ptJSON     = flag.String("partitions-json", "BENCH_partitions.json", "partitions table: machine-readable report path ('' disables)")
+		version    = flag.Bool("version", false, "print build version and exit")
 	)
 	flag.Parse()
+	if *version {
+		buildinfo.Print("peats-bench")
+		return
+	}
 	fmt.Fprintf(os.Stderr, "peats-bench: seed=%d\n", *seed)
 	agree := bench.AgreementConfig{
 		Writers: *agWriter, OpsPerWriter: *agOps, Reads: *agReads, BatchSize: *agBatch,

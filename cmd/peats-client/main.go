@@ -34,6 +34,7 @@ import (
 
 	"peats/internal/auth"
 	"peats/internal/bft"
+	"peats/internal/buildinfo"
 	"peats/internal/partition"
 	"peats/internal/transport"
 	"peats/internal/tuple"
@@ -46,8 +47,13 @@ func main() {
 		fFlag    = flag.Int("f", 1, "tolerated Byzantine replicas")
 		master   = flag.String("master", "", "shared master secret")
 		topoPath = flag.String("topology", "", "partitioned deployment: JSON topology file (replaces -peers/-f)")
+		version  = flag.Bool("version", false, "print build version and exit")
 	)
 	flag.Parse()
+	if *version {
+		buildinfo.Print("peats-client")
+		return
+	}
 	if err := run(*id, *peers, *master, *topoPath, *fFlag); err != nil {
 		fmt.Fprintln(os.Stderr, "peats-client:", err)
 		os.Exit(1)

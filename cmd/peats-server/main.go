@@ -26,9 +26,12 @@
 package main
 
 import (
+	"context"
 	"crypto/ed25519"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"sort"
@@ -40,8 +43,10 @@ import (
 
 	"peats/internal/auth"
 	"peats/internal/bft"
+	"peats/internal/buildinfo"
 	"peats/internal/consensus"
 	"peats/internal/durable"
+	"peats/internal/metrics"
 	"peats/internal/partition"
 	"peats/internal/policy"
 	"peats/internal/space"
@@ -71,14 +76,20 @@ func main() {
 		sqRequest  = flag.Int("sendq-request", 0, "per-peer request send-queue depth in frames; newest rejected when full (default 1024)")
 		sqBulk     = flag.Int("sendq-bulk", 0, "per-peer bulk send-queue depth in chunks; whole messages admitted or rejected (default 256)")
 		bulkChunk  = flag.Int("bulk-chunk", 0, "bulk frames larger than this are chunked onto the dedicated bulk connection (default 64KiB)")
+		metricsAt  = flag.String("metrics-addr", "", "serve Prometheus /metrics and JSON /status on this address (off when empty)")
+		version    = flag.Bool("version", false, "print build version and exit")
 		verbose    = flag.Bool("v", false, "log protocol events")
 	)
 	flag.Parse()
+	if *version {
+		buildinfo.Print("peats-server")
+		return
+	}
 	if err := run(serverConfig{
 		id: *id, listen: *listen, peers: *peers, clients: *clients,
 		master: *master, polName: *polName, engine: *engine,
 		group: *group, topology: *topoPath,
-		dataDir: *dataDir, fsync: *fsync,
+		dataDir: *dataDir, fsync: *fsync, metricsAddr: *metricsAt,
 		f: *fFlag, shards: *shards, batch: *batch, batchDelay: *batchDelay,
 		tentative: *tentative,
 		sendq: transport.TCPConfig{
@@ -96,11 +107,37 @@ type serverConfig struct {
 	id, listen, peers, clients, master, polName, engine string
 	group, topology                                     string
 	dataDir, fsync                                      string
+	metricsAddr                                         string
 	f, shards, batch                                    int
 	batchDelay                                          time.Duration
 	tentative                                           bool
 	sendq                                               transport.TCPConfig
 	verbose                                             bool
+
+	// Test hooks. signals, when non-nil, replaces the OS signal
+	// subscription (closing it is a no-op, not a signal); ready, when
+	// non-nil, is called once the replica serves, with the bound
+	// replica and metrics addresses.
+	signals <-chan os.Signal
+	ready   func(replicaAddr, metricsAddr string)
+}
+
+// serverStatus is the /status document: the replica's protocol
+// position (read from its lock-free mirrors) plus the deployment shape.
+type serverStatus struct {
+	Replica  string         `json:"replica"`
+	Group    string         `json:"group,omitempty"`
+	View     uint64         `json:"view"`
+	Executed uint64         `json:"executed"`
+	LowWater uint64         `json:"low_water"`
+	Batches  uint64         `json:"batches_proposed"`
+	Records  int64          `json:"log_records"`
+	Policy   string         `json:"policy"`
+	Engine   string         `json:"engine"`
+	Shards   int            `json:"shards"`
+	Peers    []string       `json:"peers"`
+	F        int            `json:"f"`
+	Build    buildinfo.Info `json:"build"`
 }
 
 func run(cfg serverConfig) error {
@@ -229,6 +266,20 @@ func run(cfg serverConfig) error {
 	if cfg.verbose {
 		logger = log.New(os.Stderr, "", log.Lmicroseconds)
 	}
+
+	// The metrics registry exists only when an endpoint will serve it:
+	// a nil registry makes every instrumented site a no-op branch.
+	var reg *metrics.Registry
+	if cfg.metricsAddr != "" {
+		reg = metrics.New()
+		bi := buildinfo.Read()
+		reg.GaugeFunc("peats_build_info",
+			"Build identity; always 1, the labels carry the version.",
+			func() float64 { return 1 },
+			metrics.L("version", bi.Version), metrics.L("revision", bi.Revision),
+			metrics.L("go", bi.Go), metrics.L("replica", cfg.id))
+	}
+
 	rep, err := bft.NewReplica(bft.ReplicaConfig{
 		ID:               cfg.id,
 		Replicas:         replicaIDs,
@@ -242,9 +293,13 @@ func run(cfg serverConfig) error {
 		Logger:           logger,
 		Group:            cfg.group,
 		AttestKey:        attestKey,
+		Metrics:          reg,
 	})
 	if err != nil {
 		return err
+	}
+	if reg != nil {
+		tr.EnableMetrics(reg, metrics.L("replica", cfg.id))
 	}
 	rep.Start()
 	fmt.Printf("replica %s serving on %s (group %v, f=%d, policy %s, batch %d, shards %d, store %s)\n",
@@ -253,19 +308,79 @@ func run(cfg serverConfig) error {
 		fmt.Printf("partition %s of %d-group topology %s\n", cfg.group, len(topo.Groups), cfg.topology)
 	}
 
-	// Graceful shutdown: the first SIGINT/SIGTERM stops ordering and
-	// execution, closes the transport, and flushes and closes the WAL
-	// (the deferred db.Close reports any final I/O error); a second
-	// signal aborts immediately.
-	sig := make(chan os.Signal, 2)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	// Observability endpoint: Prometheus text on /metrics (JSON with
+	// ?format=json) and the status document on /status. Serving only
+	// reads atomic mirrors and registry state, never the event loop's.
+	var (
+		httpSrv     *http.Server
+		httpErr     = make(chan error, 1)
+		metricsAddr string
+	)
+	if cfg.metricsAddr != "" {
+		ln, err := net.Listen("tcp", cfg.metricsAddr)
+		if err != nil {
+			return fmt.Errorf("metrics listener: %w", err)
+		}
+		metricsAddr = ln.Addr().String()
+		status := func() any {
+			return serverStatus{
+				Replica:  cfg.id,
+				Group:    cfg.group,
+				View:     rep.View(),
+				Executed: rep.Executed(),
+				LowWater: rep.LowWater(),
+				Batches:  rep.BatchesProposed(),
+				Records:  rep.LogRecords(),
+				Policy:   cfg.polName,
+				Engine:   string(svc.Space().Engine()),
+				Shards:   svc.Space().Shards(),
+				Peers:    replicaIDs,
+				F:        cfg.f,
+				Build:    buildinfo.Read(),
+			}
+		}
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", metrics.Handler(reg))
+		mux.Handle("/status", metrics.StatusHandler(status))
+		httpSrv = &http.Server{Handler: mux}
+		go func() { httpErr <- httpSrv.Serve(ln) }()
+		fmt.Printf("metrics on http://%s/metrics, status on http://%s/status\n", metricsAddr, metricsAddr)
+	}
+	if cfg.ready != nil {
+		cfg.ready(tr.Addr(), metricsAddr)
+	}
+
+	// Graceful shutdown: the first SIGINT/SIGTERM drains and closes the
+	// metrics endpoint, stops ordering and execution, closes the
+	// transport, and flushes and closes the WAL (the deferred db.Close
+	// reports any final I/O error); a second signal aborts immediately.
+	sig := cfg.signals
+	if sig == nil {
+		ch := make(chan os.Signal, 2)
+		signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+		sig = ch
+	}
 	<-sig
 	fmt.Println("shutting down: draining replica and flushing the log")
 	go func() {
-		<-sig
+		if _, ok := <-sig; !ok {
+			return // channel closed by a test harness, not a signal
+		}
 		fmt.Fprintln(os.Stderr, "peats-server: forced exit")
 		os.Exit(2)
 	}()
+	if httpSrv != nil {
+		// Drain in-flight scrapes, then stop accepting; a scrape that
+		// outlives the grace period is cut off with the listener.
+		ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			_ = httpSrv.Close()
+		}
+		cancel()
+		if err := <-httpErr; err != nil && err != http.ErrServerClosed {
+			fmt.Fprintln(os.Stderr, "peats-server: metrics endpoint:", err)
+		}
+	}
 	rep.Stop()
 	tr.Close()
 	if db != nil {

@@ -1,7 +1,13 @@
 package main
 
 import (
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"syscall"
 	"testing"
+	"time"
 
 	"peats/internal/policy"
 	"peats/internal/tuple"
@@ -39,6 +45,82 @@ func TestBuildPolicy(t *testing.T) {
 	inv := policy.Invocation{Invoker: "p", Op: policy.OpOut, Entry: tuple.T(tuple.Int(1))}
 	if pol.Allows(inv, probeState{}) {
 		t.Error("weak policy allows out")
+	}
+}
+
+// TestShutdownDrainsMetricsEndpoint starts a single-replica server
+// (f=0) with a live metrics endpoint, scrapes it, then delivers one
+// injected signal and asserts that run returns cleanly and that the
+// HTTP listener is actually closed afterwards.
+func TestShutdownDrainsMetricsEndpoint(t *testing.T) {
+	sig := make(chan os.Signal, 1)
+	readyCh := make(chan [2]string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run(serverConfig{
+			id:          "r0",
+			listen:      "127.0.0.1:0",
+			peers:       "r0=127.0.0.1:0",
+			master:      "test-master",
+			polName:     "allow-all",
+			f:           0,
+			shards:      2,
+			batch:       8,
+			metricsAddr: "127.0.0.1:0",
+			signals:     sig,
+			ready:       func(ra, ma string) { readyCh <- [2]string{ra, ma} },
+		})
+	}()
+
+	var metricsAddr string
+	select {
+	case addrs := <-readyCh:
+		metricsAddr = addrs[1]
+	case err := <-done:
+		t.Fatalf("run exited before ready: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never became ready")
+	}
+
+	get := func(path string) (string, error) {
+		resp, err := http.Get("http://" + metricsAddr + path)
+		if err != nil {
+			return "", err
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		return string(b), err
+	}
+	body, err := get("/metrics")
+	if err != nil {
+		t.Fatalf("scrape /metrics: %v", err)
+	}
+	for _, want := range []string{"peats_build_info", "peats_bft_view", "peats_space_tuples"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	body, err = get("/status")
+	if err != nil {
+		t.Fatalf("scrape /status: %v", err)
+	}
+	if !strings.Contains(body, `"replica": "r0"`) {
+		t.Errorf("/status missing replica id:\n%s", body)
+	}
+
+	sig <- syscall.SIGTERM
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned error on shutdown: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("run did not return after signal")
+	}
+	close(sig) // unblocks the force-exit goroutine harmlessly
+
+	if _, err := get("/metrics"); err == nil {
+		t.Error("metrics endpoint still serving after shutdown")
 	}
 }
 

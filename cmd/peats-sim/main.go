@@ -21,6 +21,7 @@ import (
 	"strings"
 	"time"
 
+	"peats/internal/buildinfo"
 	"peats/internal/sim"
 )
 
@@ -41,8 +42,13 @@ func main() {
 		replay   = flag.Int64("replay", -1, "replay exactly this seed of -schedule and exit (-1 = sweep)")
 		noMin    = flag.Bool("no-minimize", false, "skip schedule minimization on failures")
 		jsonOut  = flag.String("json", "", "write failing seeds to this JSON file (CI artifact)")
+		version  = flag.Bool("version", false, "print build version and exit")
 	)
 	flag.Parse()
+	if *version {
+		buildinfo.Print("peats-sim")
+		return
+	}
 
 	families := sim.CannedNames()
 	if *schedule != "all" {

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"peats/internal/auth"
+	"peats/internal/metrics"
 	"peats/internal/transport"
 	"peats/internal/vclock"
 	"peats/internal/wire"
@@ -626,6 +627,8 @@ type clusterConfig struct {
 	disableTentative   bool
 	group              string
 	attestMaster       []byte
+	metrics            *metrics.Registry
+	eventSink          EventSink
 }
 
 // WithCheckpointInterval sets the replicas' checkpoint interval.
@@ -673,6 +676,21 @@ func WithBatchDelay(d time.Duration) ClusterOption {
 // the latency benchmarks compare against.
 func WithTentativeExecution(on bool) ClusterOption {
 	return func(c *clusterConfig) { c.disableTentative = !on }
+}
+
+// WithMetrics instruments every replica of the cluster into one
+// shared registry; series are distinguished by the replica label. The
+// replicated parity and race tests use it to scrape while the cluster
+// runs.
+func WithMetrics(reg *metrics.Registry) ClusterOption {
+	return func(c *clusterConfig) { c.metrics = reg }
+}
+
+// WithEventSink subscribes one sink to every replica's protocol
+// events. Events arrive on each replica's event loop concurrently, so
+// the sink must synchronise internally.
+func WithEventSink(sink EventSink) ClusterOption {
+	return func(c *clusterConfig) { c.eventSink = sink }
 }
 
 // WithGroupIdentity marks the cluster as one group of a partitioned
@@ -735,6 +753,8 @@ func NewCluster(f int, services []Service, opts ...ClusterOption) (*Cluster, err
 			BatchDelay:            cfg.batchDelay,
 			DisableTentative:      cfg.disableTentative,
 			Keyring:               cl.keyrings[ids[i]],
+			Metrics:               cfg.metrics,
+			EventSink:             cfg.eventSink,
 		})
 		if err != nil {
 			net.Close()

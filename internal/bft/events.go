@@ -1,0 +1,77 @@
+package bft
+
+// Protocol event tracing: a lightweight structured hook the sim
+// harness, tests, and diagnostics subscribe to. Events fire on the
+// replica event loop (never from the read-only pool), so a sink
+// observes one replica's protocol history in exact execution order;
+// sinks shared across replicas must synchronise internally. A sink
+// must be fast and must never call back into the replica — it runs
+// inside the event loop's critical path.
+
+// EventType names one protocol event class.
+type EventType string
+
+const (
+	// EventBatchProposed fires at the primary when it broadcasts a
+	// batch proposal. N is the batch fill (request count).
+	EventBatchProposed EventType = "batch_proposed"
+	// EventBatchAccepted fires when a replica accepts a verified batch
+	// proposal into its log. N is the batch fill.
+	EventBatchAccepted EventType = "batch_accepted"
+	// EventPrepared fires when a batch reaches the local prepare quorum
+	// (the replica casts its commit vote).
+	EventPrepared EventType = "prepared"
+	// EventExecuted fires when a committed batch is applied to the
+	// service. N is the batch fill.
+	EventExecuted EventType = "executed"
+	// EventTentativeExecuted fires when a prepared batch executes into
+	// the tentative overlay, one round before commit.
+	EventTentativeExecuted EventType = "tentative_executed"
+	// EventTentativePromoted fires when a tentative unit's commit
+	// quorum lands and its overlay applies to real state.
+	EventTentativePromoted EventType = "tentative_promoted"
+	// EventTentativeRollback fires when the unpromoted overlay stack is
+	// discarded (view change or state transfer). N is the number of
+	// units discarded.
+	EventTentativeRollback EventType = "tentative_rollback"
+	// EventViewChangeStart fires when the replica abandons its view and
+	// broadcasts a VIEW-CHANGE. Seq is unused; View is the target view.
+	EventViewChangeStart EventType = "view_change_start"
+	// EventViewInstalled fires when a view installs (NEW-VIEW processed
+	// or quorum-adopted). View is the installed view.
+	EventViewInstalled EventType = "view_installed"
+	// EventCheckpoint fires when the replica publishes a checkpoint at
+	// Seq. N is 1 for a full snapshot, 0 for a chained delta.
+	EventCheckpoint EventType = "checkpoint"
+	// EventStateTransferInstalled fires when a verified state pack
+	// replaces local state at Seq.
+	EventStateTransferInstalled EventType = "state_transfer_installed"
+)
+
+// Event is one structured protocol event.
+type Event struct {
+	// Replica is the emitting replica's identity.
+	Replica string
+	// Type is the event class.
+	Type EventType
+	// View and Seq locate the event in the protocol; Seq is 0 for
+	// events without a sequence (view changes).
+	View uint64
+	Seq  uint64
+	// N is a per-type small quantity (batch fill, units rolled back,
+	// full-vs-delta flag); see the EventType docs.
+	N int
+}
+
+// EventSink receives protocol events. See the package comment on
+// events.go for the threading contract.
+type EventSink func(Event)
+
+// emit delivers one event to the configured sink, if any. Call only
+// from the event loop (or before Start / after Stop).
+func (r *Replica) emit(t EventType, seq uint64, n int) {
+	if r.cfg.EventSink == nil {
+		return
+	}
+	r.cfg.EventSink(Event{Replica: r.cfg.ID, Type: t, View: r.view, Seq: seq, N: n})
+}

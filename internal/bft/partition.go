@@ -8,6 +8,7 @@ import (
 	"sort"
 	"sync/atomic"
 
+	"peats/internal/metrics"
 	"peats/internal/space"
 	"peats/internal/tuple"
 	"peats/internal/wire"
@@ -110,6 +111,17 @@ type partitionState struct {
 
 	stamp   uint64 // next decision stamp; deterministic across replicas
 	aborted int    // count of decided entries in state TxAborted
+
+	// Atomic size mirrors of the loop-owned tables, refreshed on every
+	// mutation, so scrape-time gauges never read the maps themselves.
+	pendingN atomic.Int64
+	decidedN atomic.Int64
+
+	// 2PC counters, nil until enableMetrics; nil handles no-op.
+	mPrepares *metrics.Counter
+	mCommits  *metrics.Counter
+	mAborts   *metrics.Counter
+	mStatus   *metrics.Counter
 }
 
 // EnablePartition gives the service a group identity and the
@@ -123,6 +135,7 @@ func (s *SpaceService) EnablePartition(group string, dir Directory) {
 		decided: make(map[string]decidedTx),
 	}
 	s.ptx.frozen.Store([]space.SeqTuple(nil))
+	s.ptx.enableMetrics(s.metricsReg, s.metricsLabels...)
 }
 
 // SkipTentative implements TentativeFilter: partition 2PC operations
@@ -134,6 +147,33 @@ func (s *SpaceService) SkipTentative(op []byte) bool {
 
 // refreshFrozen republishes the reserved tuples of every pending
 // transaction for the read-only worker pool. Event loop only.
+// syncSizes refreshes the atomic table-size mirrors. Event loop only.
+func (p *partitionState) syncSizes() {
+	p.pendingN.Store(int64(len(p.pending)))
+	p.decidedN.Store(int64(len(p.decided)))
+}
+
+// enableMetrics registers the 2PC counters and table-size gauges.
+func (p *partitionState) enableMetrics(reg *metrics.Registry, labels ...metrics.Label) {
+	if reg == nil {
+		return
+	}
+	p.mPrepares = reg.Counter("peats_2pc_prepares_total",
+		"TX-PREPARE operations executed (votes cast, YES or NO).", labels...)
+	p.mCommits = reg.Counter("peats_2pc_commits_total",
+		"Transactions committed by a valid certificate.", labels...)
+	p.mAborts = reg.Counter("peats_2pc_aborts_total",
+		"Transactions decided aborted (certificate or presumed-abort pin).", labels...)
+	p.mStatus = reg.Counter("peats_2pc_status_queries_total",
+		"TX-STATUS recovery queries answered.", labels...)
+	reg.GaugeFunc("peats_2pc_pending",
+		"Prepared transactions awaiting a decision (reservation table size).",
+		func() float64 { return float64(p.pendingN.Load()) }, labels...)
+	reg.GaugeFunc("peats_2pc_decided",
+		"Decided transactions retained for recovery answers.",
+		func() float64 { return float64(p.decidedN.Load()) }, labels...)
+}
+
 func (p *partitionState) refreshFrozen() {
 	var frozen []space.SeqTuple
 	for _, res := range p.pending {
@@ -142,6 +182,7 @@ func (p *partitionState) refreshFrozen() {
 	// Stable order: the pending table is a map, and the cache feeds
 	// Freeze whose scan order must not vary between replay runs.
 	sort.Slice(frozen, func(i, j int) bool { return frozen[i].Seq < frozen[j].Seq })
+	p.syncSizes()
 	p.frozen.Store(frozen)
 }
 
@@ -192,6 +233,7 @@ func (p *partitionState) pin(txID string, state uint8, parts []string) {
 		p.aborted++
 		p.gcAborted()
 	}
+	p.syncSizes()
 }
 
 // gcAborted evicts the oldest aborted decision records once the table
@@ -316,6 +358,7 @@ func (s *SpaceService) executePrepare(client string, op []byte) []byte {
 	if err != nil {
 		return partitionErr("bad prepare: " + err.Error())
 	}
+	s.ptx.mPrepares.Inc()
 	parts := append([]string(nil), p.Participants...)
 	sort.Strings(parts)
 	parts = dedupSorted(parts)
@@ -399,6 +442,7 @@ func (s *SpaceService) executeDecision(op []byte) []byte {
 		}
 		s.applyReservation(d.TxID, res)
 		s.journalOp(wire.DeltaOp{Kind: wire.DeltaDecide, TxID: d.TxID, Commit: true})
+		s.ptx.mCommits.Inc()
 		return encodeOutcome(d.TxID, wire.TxCommitted, res.parts, nil)
 	}
 	if prepared && !s.validAbort(d, res.parts) {
@@ -408,6 +452,7 @@ func (s *SpaceService) executeDecision(op []byte) []byte {
 	s.ptx.pin(d.TxID, wire.TxAborted, nil)
 	s.ptx.refreshFrozen()
 	s.journalOp(wire.DeltaOp{Kind: wire.DeltaDecide, TxID: d.TxID})
+	s.ptx.mAborts.Inc()
 	return encodeOutcome(d.TxID, wire.TxAborted, nil, nil)
 }
 
@@ -431,6 +476,7 @@ func (s *SpaceService) executeStatus(op []byte) []byte {
 	if err != nil {
 		return partitionErr("bad status: " + err.Error())
 	}
+	s.ptx.mStatus.Inc()
 	if dec, ok := s.ptx.decided[q.TxID]; ok {
 		return encodeOutcome(q.TxID, dec.state, dec.parts, nil)
 	}

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"peats/internal/auth"
+	"peats/internal/metrics"
 	"peats/internal/transport"
 	"peats/internal/vclock"
 	"peats/internal/wire"
@@ -94,6 +95,17 @@ type ReplicaConfig struct {
 	// time. The simulator injects a virtual clock whose timers fire
 	// synchronously on its event loop, so it owns all scheduling.
 	Clock vclock.Clock
+	// Metrics, when set, registers this replica's protocol metrics
+	// (labelled replica=<ID>) and — when the service implements
+	// MetricsEnabler — the service, store, durability and 2PC metrics
+	// beneath it. Purely observational: metric state is never part of
+	// checkpoint digests or any replicated state, and a nil registry
+	// costs one predictable branch per instrumented site.
+	Metrics *metrics.Registry
+	// EventSink receives structured protocol events (see events.go).
+	// Events fire on the event loop: the sink must be fast and must
+	// never call back into the replica.
+	EventSink EventSink
 }
 
 // logEntry tracks one sequence number through the three phases. Vote
@@ -248,7 +260,7 @@ type Replica struct {
 	timer           vclock.Timer
 	batchTimer      vclock.Timer
 	batchTimerArmed bool
-	driven          bool // simulation mode: no goroutines, caller delivers events
+	driven          bool                // simulation mode: no goroutines, caller delivers events
 	scratchSeen     map[string]struct{} // batchResults duplicate scan, reused
 	stop            chan struct{}
 	done            chan struct{}
@@ -261,10 +273,19 @@ type Replica struct {
 	roWG sync.WaitGroup
 
 	// Atomic mirrors of loop-owned state for external observation.
-	viewMirror     atomic.Uint64
-	executedMirror atomic.Uint64
-	recordsMirror  atomic.Int64
-	batchesMirror  atomic.Uint64
+	viewMirror      atomic.Uint64
+	executedMirror  atomic.Uint64
+	recordsMirror   atomic.Int64
+	batchesMirror   atomic.Uint64
+	lowWaterMirror  atomic.Uint64
+	tentDepthMirror atomic.Int64
+
+	// m holds the protocol metric handles — all nil without
+	// cfg.Metrics, and every operation on a nil handle no-ops.
+	m replicaMetrics
+	// queuedAt stamps the queue's empty-to-nonempty transition for the
+	// batch-delay histogram; only touched when that histogram is live.
+	queuedAt time.Time
 }
 
 // window is the high-water offset: sequence numbers beyond
@@ -360,6 +381,8 @@ func NewReplica(cfg ReplicaConfig) (*Replica, error) {
 		r.tentFilter = tf
 	}
 	r.tentExecuted = r.executed
+	r.lowWaterMirror.Store(r.lowWater)
+	r.initMetrics()
 	return r, nil
 }
 
@@ -513,6 +536,10 @@ func (r *Replica) LogRecords() int64 { return r.recordsMirror.Load() }
 // issued as primary (for tests and diagnostics).
 func (r *Replica) BatchesProposed() uint64 { return r.batchesMirror.Load() }
 
+// LowWater returns the last stable checkpoint sequence number. Safe
+// from any goroutine.
+func (r *Replica) LowWater() uint64 { return r.lowWaterMirror.Load() }
+
 func (r *Replica) logf(format string, args ...any) {
 	if r.logger != nil {
 		r.logger.Printf("[%s v=%d] "+format, append([]any{r.cfg.ID, r.view}, args...)...)
@@ -558,6 +585,8 @@ func (r *Replica) sync() {
 	r.executedMirror.Store(r.executed)
 	r.recordsMirror.Store(int64(len(r.entries) + len(r.pending) +
 		len(r.assigned) + len(r.queue) + len(r.unverified)))
+	r.lowWaterMirror.Store(r.lowWater)
+	r.tentDepthMirror.Store(int64(len(r.tentSegs)))
 }
 
 func (r *Replica) dispatch(m transport.Inbound) {
@@ -845,6 +874,9 @@ func (r *Replica) onSeqRequest(sr SeqRequest, from string) {
 
 // enqueue appends a request to the primary's batch queue.
 func (r *Replica) enqueue(req Request, digest [32]byte) {
+	if r.m.batchDelay != nil && len(r.queue) == 0 {
+		r.queuedAt = r.cfg.Clock.Now()
+	}
 	r.queue = append(r.queue, queuedReq{req: req, digest: digest})
 	r.queued[digest] = struct{}{}
 }
@@ -899,6 +931,13 @@ func (r *Replica) flushQueue(force bool) {
 		r.tryExecute()
 		pressured := r.sendProposal(b)
 		r.batchesMirror.Add(1)
+		r.m.batchesProposed.Inc()
+		if r.m.batchDelay != nil {
+			now := r.cfg.Clock.Now()
+			r.m.batchDelay.Observe(now.Sub(r.queuedAt).Seconds())
+			r.queuedAt = now
+		}
+		r.emit(EventBatchProposed, b.Seq, n)
 		r.armTimer()
 		if pressured > r.cfg.F && len(r.queue) > 0 {
 			// More than f peer links are congested, so the proposal may
@@ -1095,6 +1134,8 @@ func (r *Replica) acceptBatch(b Batch, ds [][32]byte) {
 	e.early = nil
 	e.prepares |= r.voteBit(r.primary(b.View))
 	e.prepares |= r.voteBit(r.cfg.ID)
+	r.m.batchFill.Observe(float64(len(b.Reqs)))
+	r.emit(EventBatchAccepted, b.Seq, len(b.Reqs))
 	if b.Seq > r.seq {
 		r.seq = b.Seq
 	}
@@ -1169,6 +1210,7 @@ func (r *Replica) tryPrepared(seq uint64) {
 		return
 	}
 	e.sentCommit = true
+	r.emit(EventPrepared, seq, 0)
 	// Record the prepared certificate independently of the log entry:
 	// view installs reseed entries (resetting their vote bitmasks), but
 	// the certificate must survive until the sequence stabilizes — the
@@ -1247,6 +1289,9 @@ func (r *Replica) tryExecute() {
 				r.executeBatch(e)
 			}
 		}
+		r.m.batchesExecuted.Inc()
+		r.m.requestsExecuted.Add(uint64(len(e.batch.Reqs)))
+		r.emit(EventExecuted, next, len(e.batch.Reqs))
 		e.executed = true
 		r.executed = next
 		if r.tentExecuted < r.executed {
@@ -1373,6 +1418,8 @@ func (r *Replica) executeTentative(seq uint64, e *logEntry) {
 	}
 	r.tentSvc.EndTentativeUnit()
 	r.tentSegs = append(r.tentSegs, seg)
+	r.m.tentativeExecuted.Inc()
+	r.emit(EventTentativeExecuted, seq, len(b.Reqs))
 	for i, req := range b.Reqs {
 		if noop(req) || seg.results[i] == nil {
 			continue
@@ -1414,6 +1461,8 @@ func (r *Replica) promoteTentative(next uint64, e *logEntry) {
 	}
 	r.tentSegs = r.tentSegs[1:]
 	b := e.batch
+	r.m.tentativePromoted.Inc()
+	r.emit(EventTentativePromoted, next, len(b.Reqs))
 	for i, req := range b.Reqs {
 		if noop(req) {
 			continue
@@ -1441,6 +1490,8 @@ func (r *Replica) rollbackTentative() {
 	if len(r.tentSegs) == 0 && r.tentExecuted == r.executed {
 		return
 	}
+	r.m.tentativeRollbacks.Inc()
+	r.emit(EventTentativeRollback, r.executed, len(r.tentSegs))
 	if r.tentSvc != nil {
 		r.tentSvc.RollbackTentative()
 	}
@@ -1587,6 +1638,7 @@ func (r *Replica) onReadOnly(ro ReadOnly) {
 	select {
 	case r.roCh <- ro:
 	default:
+		r.m.roDropped.Inc()
 	}
 }
 
@@ -1623,6 +1675,7 @@ func (r *Replica) serveReadOnly(ro ReadOnly) {
 	// indistinguishable from loss, and the client's vote machinery
 	// already handles missing replies.
 	_ = r.tr.SendClass(ro.Client, payload, transport.ClassRequest)
+	r.m.roServed.Inc()
 }
 
 // ---- Checkpoints and state transfer ----
@@ -1682,11 +1735,14 @@ func (r *Replica) restoreState(snapshot []byte) error {
 // the resident space is.
 func (r *Replica) makeCheckpoint(seq uint64) {
 	var digest [32]byte
+	full := 0
 	if blob, ok := r.tryDeltaCheckpoint(seq); ok {
 		digest = chainCheckpointDigest(r.cpDigest, blob)
 		r.cpDeltas[seq] = blob
 		r.cpDigest = digest
+		r.m.checkpointsDelta.Inc()
 	} else {
+		full = 1
 		snap := r.stateSnapshot()
 		r.snapshots[seq] = snap
 		digest = auth.Digest(snap)
@@ -1700,6 +1756,10 @@ func (r *Replica) makeCheckpoint(seq uint64) {
 	if r.cfg.KeepCheckpointHistory {
 		r.cpHistory[seq] = digest
 	}
+	if full == 1 {
+		r.m.checkpointsFull.Inc()
+	}
+	r.emit(EventCheckpoint, seq, full)
 	cp := Checkpoint{Seq: seq, View: r.view, Digest: digest, Replica: r.cfg.ID}
 	r.lastCP = cp
 	r.recordCheckpoint(cp)
@@ -1928,6 +1988,7 @@ func (r *Replica) requestState(seq uint64, digest [32]byte) {
 // against the checkpoint quorum.
 func (r *Replica) onStateRequest(req StateRequest, from string) {
 	if snap, ok := r.snapshots[req.Seq]; ok {
+		r.m.stateServed.Inc()
 		r.sendBulk(from, StateResponse{Seq: req.Seq, View: r.view, Snapshot: encodeFullPack(snap), Replica: r.cfg.ID})
 		return
 	}
@@ -1935,6 +1996,7 @@ func (r *Replica) onStateRequest(req StateRequest, from string) {
 	if !ok {
 		return
 	}
+	r.m.stateServed.Inc()
 	r.sendBulk(from, StateResponse{Seq: req.Seq, View: r.view, Snapshot: pack, Replica: r.cfg.ID})
 }
 
@@ -2069,6 +2131,8 @@ func (r *Replica) onStateResponse(resp StateResponse) {
 	// trusting the single responder's View field (one Byzantine server
 	// could otherwise strand us in a fictitious far-future view).
 	r.syncViewWithQuorum(resp.Seq, digest)
+	r.m.stateInstalled.Inc()
+	r.emit(EventStateTransferInstalled, resp.Seq, 0)
 	r.logf("state transfer installed seq %d", resp.Seq)
 	r.tryExecute()
 }

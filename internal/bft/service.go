@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"peats/internal/durable"
+	"peats/internal/metrics"
 	"peats/internal/peats"
 	"peats/internal/policy"
 	"peats/internal/space"
@@ -132,6 +133,12 @@ type SpaceService struct {
 	// state: this group's identity, the deployment directory, and the
 	// pending/decided transaction tables.
 	ptx *partitionState
+
+	// metricsReg and metricsLabels remember the EnableMetrics
+	// arguments so EnablePartition can register the 2PC metrics in
+	// either call order.
+	metricsReg    *metrics.Registry
+	metricsLabels []metrics.Label
 
 	// tentative is the overlay stack of units executed at *prepared*
 	// but not yet committed (Castro–Liskov tentative execution). Only

@@ -7,9 +7,11 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
+	"peats/internal/metrics"
 	"peats/internal/peats"
 	"peats/internal/policy"
 	"peats/internal/space"
@@ -482,11 +484,49 @@ func TestClusterSubmitSingleOpParity(t *testing.T) {
 						}
 						services[i] = svc
 					}
-					cl, err := NewCluster(1, services)
+					// Instrument the cluster and scrape the shared registry
+					// while the randomized workload runs: snapshots must
+					// never perturb replica state (the parity assertions
+					// below are the oracle), and the race detector covers
+					// every update/scrape interleaving.
+					reg := metrics.New()
+					var events atomic.Uint64
+					cl, err := NewCluster(1, services,
+						WithMetrics(reg),
+						WithEventSink(func(Event) { events.Add(1) }))
 					if err != nil {
 						t.Fatal(err)
 					}
 					t.Cleanup(cl.Stop)
+					stop := make(chan struct{})
+					go func() {
+						for {
+							select {
+							case <-stop:
+								return
+							case <-time.After(200 * time.Microsecond):
+								reg.Snapshot()
+							}
+						}
+					}()
+					t.Cleanup(func() {
+						close(stop)
+						if events.Load() == 0 {
+							t.Error("event sink saw no protocol events")
+						}
+						executed := false
+						for _, f := range reg.Snapshot().Families {
+							if f.Name != "peats_bft_batches_executed_total" {
+								continue
+							}
+							for _, s := range f.Series {
+								executed = executed || s.Value > 0
+							}
+						}
+						if !executed {
+							t.Error("no replica recorded executed batches")
+						}
+					})
 					return cl
 				}
 				legacy := NewRemoteSpace(mk().Client("p"))

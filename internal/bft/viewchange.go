@@ -77,6 +77,8 @@ func (r *Replica) startViewChange(newView uint64) {
 	r.inViewChange = true
 	r.view = newView
 	r.disarmBatchTimer()
+	r.m.viewChanges.Inc()
+	r.emit(EventViewChangeStart, 0, 0)
 	vc := ViewChange{
 		NewView:    newView,
 		LastStable: r.lowWater,
@@ -333,6 +335,8 @@ func (r *Replica) adoptView(view uint64) {
 	r.installedView = view
 	r.inViewChange = false
 	r.nextTimeout = r.cfg.ViewChangeTimeout
+	r.m.viewsInstalled.Inc()
+	r.emit(EventViewInstalled, 0, 0)
 	r.rollbackTentative()
 	for seq, e := range r.entries {
 		if seq > r.lowWater && !e.executed {

@@ -1,0 +1,65 @@
+// Package buildinfo reads the module version and VCS revision baked
+// into the binary by the Go toolchain (runtime/debug.ReadBuildInfo),
+// backing the -version flag on every binary and the peats_build_info
+// metric.
+package buildinfo
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+)
+
+// Info is the build identity of the running binary.
+type Info struct {
+	// Version is the main module version ("(devel)" for local builds).
+	Version string `json:"version"`
+	// Revision is the VCS commit, with "+dirty" appended when the
+	// working tree was modified; "unknown" outside a VCS checkout.
+	Revision string `json:"revision"`
+	// Go is the toolchain that built the binary.
+	Go string `json:"go"`
+}
+
+// Read extracts the build identity. It never fails: binaries built
+// without module support report unknowns.
+func Read() Info {
+	info := Info{Version: "unknown", Revision: "unknown", Go: runtime.Version()}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return info
+	}
+	if bi.Main.Version != "" {
+		info.Version = bi.Main.Version
+	}
+	var rev string
+	dirty := false
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if rev != "" {
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		if dirty {
+			rev += "+dirty"
+		}
+		info.Revision = rev
+	}
+	return info
+}
+
+// String renders the standard one-line -version output.
+func (i Info) String() string {
+	return fmt.Sprintf("peats %s (%s, %s)", i.Version, i.Revision, i.Go)
+}
+
+// Print writes "<binary>: <info>" for a -version flag handler.
+func Print(binary string) {
+	fmt.Printf("%s: %s\n", binary, Read())
+}

@@ -32,6 +32,7 @@ import (
 	"sync"
 	"time"
 
+	"peats/internal/metrics"
 	"peats/internal/space"
 	"peats/internal/tuple"
 )
@@ -161,6 +162,21 @@ type DB struct {
 
 	stopSync chan struct{}
 	syncDone chan struct{}
+
+	// recoveryDur is how long Open's recovery pass took, for the
+	// peats_durable_recovery_seconds gauge.
+	recoveryDur time.Duration
+	// unitsSinceSync counts sealed units since the last fsync — the
+	// group-commit window observed by mCommitWindow. Guarded by mu.
+	unitsSinceSync int
+
+	// Metric handles, nil until EnableMetrics; nil handles no-op.
+	mWALBytes     *metrics.Counter
+	mUnits        *metrics.Counter
+	mFsyncs       *metrics.Counter
+	mCommitWindow *metrics.Histogram
+	mRotations    *metrics.Counter
+	mCompactions  *metrics.Counter
 }
 
 // Open opens (or creates) the data directory and recovers its state:
@@ -181,9 +197,11 @@ func Open(opts Options) (*DB, error) {
 		stopSync: make(chan struct{}),
 		syncDone: make(chan struct{}),
 	}
+	recStart := time.Now()
 	if err := db.recover(); err != nil {
 		return nil, err
 	}
+	db.recoveryDur = time.Since(recStart)
 	if err := db.openSegment(db.segIdx + 1); err != nil {
 		return nil, err
 	}
@@ -618,6 +636,9 @@ func (db *DB) sealLocked(f *frameBuf, extra []byte) {
 	pre := len(db.buf)
 	db.buf = appendFrame(db.buf, f.payload(extra))
 	db.walSince += len(db.buf) - pre
+	db.mUnits.Inc()
+	db.mWALBytes.Add(uint64(len(db.buf) - pre))
+	db.unitsSinceSync++
 	switch db.opts.Sync {
 	case SyncAlways:
 		db.writeLocked()
@@ -657,6 +678,9 @@ func (db *DB) fsyncLocked() {
 	}
 	db.fail(db.seg.Sync())
 	db.dirty = false
+	db.mFsyncs.Inc()
+	db.mCommitWindow.Observe(float64(db.unitsSinceSync))
+	db.unitsSinceSync = 0
 }
 
 // openSegment flushes and closes the current segment (if any) and
@@ -674,6 +698,7 @@ func (db *DB) openSegment(idx uint64) error {
 }
 
 func (db *DB) rotateLocked() {
+	db.mRotations.Inc()
 	db.writeLocked()
 	db.fsyncLocked()
 	if db.seg != nil {
@@ -707,6 +732,7 @@ func (db *DB) Compact(unitSeq uint64, extra []byte) error {
 }
 
 func (db *DB) compactLocked(unitSeq uint64, extra []byte) {
+	db.mCompactions.Inc()
 	if unitSeq > db.lastUnit {
 		db.lastUnit = unitSeq
 	}

@@ -1,0 +1,52 @@
+package durable
+
+import (
+	"peats/internal/metrics"
+)
+
+// EnableMetrics registers the durability engine's metric series: WAL
+// throughput (bytes, units, fsyncs, group-commit window), segment
+// rotations and compactions, recovery duration, and on-disk footprint.
+// Call once, after Open and before serving traffic; the disk gauges
+// list the data directory at scrape time, which touches no DB state.
+// A nil registry is a no-op.
+func (db *DB) EnableMetrics(reg *metrics.Registry, labels ...metrics.Label) {
+	if reg == nil {
+		return
+	}
+	db.mWALBytes = reg.Counter("peats_wal_bytes_total",
+		"Bytes appended to the write-ahead log.", labels...)
+	db.mUnits = reg.Counter("peats_wal_units_total",
+		"Atomic units (frames) sealed into the log.", labels...)
+	db.mFsyncs = reg.Counter("peats_wal_fsyncs_total",
+		"fsync calls on the active segment.", labels...)
+	db.mCommitWindow = reg.Histogram("peats_wal_group_commit_units",
+		"Units covered by one fsync (the group-commit window).",
+		metrics.SizeBuckets, labels...)
+	db.mRotations = reg.Counter("peats_wal_segment_rotations_total",
+		"Segment rotations (size limit, compaction, or close).", labels...)
+	db.mCompactions = reg.Counter("peats_durable_compactions_total",
+		"Snapshot compactions (checkpoint-driven or AutoCompactBytes).", labels...)
+
+	reg.GaugeFunc("peats_durable_recovery_seconds",
+		"How long the last Open spent recovering snapshot plus WAL tail.",
+		func() float64 { return db.recoveryDur.Seconds() }, labels...)
+	reg.GaugeFunc("peats_durable_disk_segments",
+		"Live WAL segment files in the data directory.",
+		func() float64 {
+			segs, _, err := db.DiskUsage()
+			if err != nil {
+				return -1
+			}
+			return float64(segs)
+		}, labels...)
+	reg.GaugeFunc("peats_durable_disk_bytes",
+		"Total on-disk bytes (segments plus snapshots).",
+		func() float64 {
+			_, bytes, err := db.DiskUsage()
+			if err != nil {
+				return -1
+			}
+			return float64(bytes)
+		}, labels...)
+}

@@ -1,0 +1,39 @@
+package metrics
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// Handler serves the registry over HTTP: Prometheus text format by
+// default, the JSON Snapshot with ?format=json (what peats-admin
+// consumes). Scrapes only read atomics, so they never perturb the
+// instrumented replica.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			_ = enc.Encode(r.Snapshot())
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// StatusHandler serves fn's return value as indented JSON — the
+// /status endpoint. fn runs per request and must be safe to call
+// concurrently with the serving subsystems (read mirrors, not
+// loop-owned state).
+func StatusHandler(fn func() any) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(fn()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+}

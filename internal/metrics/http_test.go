@@ -1,0 +1,109 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestHandlerFormats(t *testing.T) {
+	r := New()
+	r.Counter("c_total", "C.").Add(7)
+	h := r.Histogram("h", "H.", []float64{1})
+	h.Observe(2)
+	srv := httptest.NewServer(Handler(r))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	if !strings.Contains(string(body), "c_total 7") {
+		t.Errorf("text body missing counter:\n%s", body)
+	}
+
+	resp, err = http.Get(srv.URL + "?format=json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Errorf("JSON Content-Type = %q", ct)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatalf("JSON body does not parse: %v\n%s", err, body)
+	}
+	if len(snap.Families) != 2 {
+		t.Errorf("got %d families, want 2", len(snap.Families))
+	}
+}
+
+func TestStatusHandler(t *testing.T) {
+	srv := httptest.NewServer(StatusHandler(func() any {
+		return map[string]int{"executed": 9}
+	}))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), `"executed": 9`) {
+		t.Errorf("status body = %s", body)
+	}
+}
+
+// TestEndpointGoroutineLeak serves a burst of scrapes and asserts the
+// process returns to its goroutine baseline once the server closes —
+// the scrape path must not park goroutines behind registry locks.
+func TestEndpointGoroutineLeak(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+
+	func() {
+		r := New()
+		for i := 0; i < 16; i++ {
+			r.Counter(fmt.Sprintf("c%d_total", i), "C.").Add(uint64(i))
+			r.Histogram(fmt.Sprintf("h%d", i), "H.", DurationBuckets).Observe(float64(i))
+		}
+		srv := httptest.NewServer(Handler(r))
+		defer srv.Close()
+		for i := 0; i < 50; i++ {
+			resp, err := http.Get(srv.URL)
+			if err != nil {
+				t.Fatal(err)
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}()
+	http.DefaultClient.CloseIdleConnections()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= baseline+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines leaked: baseline %d, now %d\n%s",
+				baseline, runtime.NumGoroutine(), buf[:n])
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

@@ -1,0 +1,524 @@
+// Package metrics is a dependency-free, allocation-conscious metrics
+// registry for the replicated PEATS: atomic counters, gauges, and
+// fixed-bucket histograms, snapshotted into Prometheus text format or
+// JSON without perturbing the instrumented subsystems.
+//
+// Design constraints, in order:
+//
+//   - The agreement hot path must pay only a few uncontended atomic
+//     adds per batch. Handles are plain pointers resolved once at
+//     registration; Observe/Add/Inc never allocate, never lock the
+//     registry, and are nil-safe — a subsystem built without a
+//     registry holds nil handles and every operation compiles down to
+//     a single branch.
+//   - Snapshots are read-only over atomics (plus caller-supplied
+//     gauge functions that must themselves only read atomics or take
+//     shared locks), so scraping a live replica can never change what
+//     the replica would execute, vote, or digest. Nothing in this
+//     package is part of checkpoint state.
+//   - Deterministic output: families sort by name, series by label
+//     set, so two scrapes of identical state render identical bytes.
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Kind is the metric family type.
+type Kind uint8
+
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// Label is one constant name/value pair attached to a series at
+// registration. Labels are constant for the life of the series —
+// there is no dynamic label API, which keeps lookup off the hot path.
+type Label struct{ Key, Value string }
+
+// L builds a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// Registry holds metric families. The zero value is not usable; a nil
+// *Registry is: every registration on it returns a nil handle whose
+// operations no-op, so instrumentation can be threaded unconditionally.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+type family struct {
+	name, help string
+	kind       Kind
+	series     map[string]*series // by canonical label key
+}
+
+// series is one labeled instance of a family. Exactly one of the
+// value groups is live, per the family kind.
+type series struct {
+	labels []Label
+
+	bits atomic.Uint64  // counter: integer count; gauge: float64 bits
+	fn   func() float64 // functional counter/gauge; nil for owned values
+	hist *Histogram
+}
+
+// New returns an empty registry.
+func New() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// labelKey canonicalises a label set (sorted by key) for lookup.
+func labelKey(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for _, l := range labels {
+		b.WriteString(l.Key)
+		b.WriteByte('\x00')
+		b.WriteString(l.Value)
+		b.WriteByte('\x00')
+	}
+	return b.String()
+}
+
+func sortedLabels(labels []Label) []Label {
+	out := append([]Label(nil), labels...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// getOrCreate returns the series for (name, labels), creating family
+// and series as needed. Registering the same name under a different
+// kind is a programming error and panics — silently splitting a name
+// across kinds would corrupt the exposition format.
+func (r *Registry) getOrCreate(name, help string, kind Kind, labels []Label) *series {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, kind: kind, series: make(map[string]*series, 1)}
+		r.families[name] = f
+	} else if f.kind != kind {
+		panic(fmt.Sprintf("metrics: %s registered as %s and %s", name, f.kind, kind))
+	}
+	ls := sortedLabels(labels)
+	key := labelKey(ls)
+	s, ok := f.series[key]
+	if !ok {
+		s = &series{labels: ls}
+		f.series[key] = s
+	}
+	return s
+}
+
+// ---- Counter ----
+
+// Counter is a monotonically non-decreasing integer. A nil Counter
+// no-ops.
+type Counter struct{ s *series }
+
+// Counter registers (or finds) a counter series.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	return &Counter{s: r.getOrCreate(name, help, KindCounter, labels)}
+}
+
+// CounterFunc registers a counter whose value is read from fn at
+// snapshot time — for subsystems that already keep their own atomic
+// counters (the TCP transport's load counters). fn must be safe to
+// call concurrently and should only read atomics or take shared locks.
+// The first registration of a (name, labels) series wins.
+func (r *Registry) CounterFunc(name, help string, fn func() float64, labels ...Label) {
+	if r == nil {
+		return
+	}
+	s := r.getOrCreate(name, help, KindCounter, labels)
+	r.mu.Lock()
+	if s.fn == nil {
+		s.fn = fn
+	}
+	r.mu.Unlock()
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.s.bits.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.s.bits.Load()
+}
+
+// ---- Gauge ----
+
+// Gauge is a float64 that can go up and down. A nil Gauge no-ops.
+type Gauge struct{ s *series }
+
+// Gauge registers (or finds) a gauge series.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return &Gauge{s: r.getOrCreate(name, help, KindGauge, labels)}
+}
+
+// GaugeFunc registers a gauge whose value is read from fn at snapshot
+// time. Same contract as CounterFunc.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	if r == nil {
+		return
+	}
+	s := r.getOrCreate(name, help, KindGauge, labels)
+	r.mu.Lock()
+	if s.fn == nil {
+		s.fn = fn
+	}
+	r.mu.Unlock()
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.s.bits.Store(math.Float64bits(v))
+}
+
+// Add adjusts the gauge by delta (CAS loop; gauges are off the hottest
+// paths).
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.s.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.s.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Inc adds one; Dec subtracts one.
+func (g *Gauge) Inc() { g.Add(1) }
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value returns the current gauge value (0 on nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.s.bits.Load())
+}
+
+// ---- Histogram ----
+
+// Histogram counts observations into fixed buckets. Observe is a
+// bucket scan plus two atomic adds and one CAS — no locks, no
+// allocation. A nil Histogram no-ops.
+type Histogram struct {
+	bounds  []float64 // upper bounds, ascending; +Inf bucket implicit
+	counts  []atomic.Uint64
+	count   atomic.Uint64
+	sumBits atomic.Uint64
+}
+
+// Histogram registers (or finds) a histogram series with the given
+// bucket upper bounds (ascending; the +Inf bucket is implicit). The
+// bounds of the first registration win.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	s := r.getOrCreate(name, help, KindHistogram, labels)
+	r.mu.Lock()
+	if s.hist == nil {
+		b := append([]float64(nil), bounds...)
+		sort.Float64s(b)
+		s.hist = &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+	}
+	h := s.hist
+	r.mu.Unlock()
+	return h
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations (0 on nil).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// snapshotHist reads one consistent-enough view of the histogram.
+// Buckets and count are read independently of concurrent Observes; a
+// scrape racing an observation may be off by the in-flight one, which
+// the exposition model permits.
+func (h *Histogram) snapshot() ([]Bucket, uint64, float64) {
+	buckets := make([]Bucket, len(h.bounds)+1)
+	var cum uint64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		le := math.Inf(1)
+		if i < len(h.bounds) {
+			le = h.bounds[i]
+		}
+		buckets[i] = Bucket{LE: le, CumCount: cum}
+	}
+	return buckets, cum, math.Float64frombits(h.sumBits.Load())
+}
+
+// Quantile estimates the q-quantile (0 < q < 1) from bucket counts by
+// linear interpolation within the containing bucket — the same
+// estimate Prometheus's histogram_quantile computes server-side.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	buckets, total, _ := h.snapshot()
+	return bucketQuantile(q, buckets, total)
+}
+
+func bucketQuantile(q float64, buckets []Bucket, total uint64) float64 {
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	for i, b := range buckets {
+		if float64(b.CumCount) < rank {
+			continue
+		}
+		if math.IsInf(b.LE, 1) {
+			// Open-ended top bucket: the lower bound is the best estimate.
+			if i == 0 {
+				return 0
+			}
+			return buckets[i-1].LE
+		}
+		lo, loCount := 0.0, uint64(0)
+		if i > 0 {
+			lo, loCount = buckets[i-1].LE, buckets[i-1].CumCount
+		}
+		inBucket := b.CumCount - loCount
+		if inBucket == 0 {
+			return b.LE
+		}
+		return lo + (b.LE-lo)*((rank-float64(loCount))/float64(inBucket))
+	}
+	return buckets[len(buckets)-1].LE
+}
+
+// ---- Bucket helpers ----
+
+// ExpBuckets returns n exponential bucket bounds starting at start,
+// each factor times the previous.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// DurationBuckets are latency bounds in seconds, 50µs to ~13s.
+var DurationBuckets = ExpBuckets(50e-6, 2, 18)
+
+// SizeBuckets are small-cardinality size bounds (batch fill, group
+// commit window): 1, 2, 4, ... 1024.
+var SizeBuckets = ExpBuckets(1, 2, 11)
+
+// ---- Snapshot ----
+
+// Bucket is one cumulative histogram bucket.
+type Bucket struct {
+	LE       float64 `json:"le"`
+	CumCount uint64  `json:"count"`
+}
+
+// MarshalJSON renders the bound as a string so the +Inf bucket
+// survives encoding/json (which rejects non-finite float64s).
+func (b Bucket) MarshalJSON() ([]byte, error) {
+	return []byte(fmt.Sprintf(`{"le":%q,"count":%d}`, formatValue(b.LE), b.CumCount)), nil
+}
+
+// UnmarshalJSON is the inverse, for consumers of the JSON snapshot
+// (the peats-admin CLI).
+func (b *Bucket) UnmarshalJSON(data []byte) error {
+	var raw struct {
+		LE    string `json:"le"`
+		Count uint64 `json:"count"`
+	}
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return err
+	}
+	switch raw.LE {
+	case "+Inf":
+		b.LE = math.Inf(1)
+	case "-Inf":
+		b.LE = math.Inf(-1)
+	default:
+		v, err := strconv.ParseFloat(raw.LE, 64)
+		if err != nil {
+			return fmt.Errorf("metrics: bad bucket bound %q", raw.LE)
+		}
+		b.LE = v
+	}
+	b.CumCount = raw.Count
+	return nil
+}
+
+// SeriesSnapshot is one series' point-in-time value.
+type SeriesSnapshot struct {
+	Labels map[string]string `json:"labels,omitempty"`
+	// Value carries counter and gauge readings.
+	Value float64 `json:"value"`
+	// Histogram-only fields.
+	Count   uint64   `json:"obs,omitempty"`
+	Sum     float64  `json:"sum,omitempty"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+	P50     float64  `json:"p50,omitempty"`
+	P95     float64  `json:"p95,omitempty"`
+	P99     float64  `json:"p99,omitempty"`
+
+	key string // canonical label key, for sorting
+}
+
+// FamilySnapshot is one family's point-in-time state.
+type FamilySnapshot struct {
+	Name   string           `json:"name"`
+	Help   string           `json:"help,omitempty"`
+	Kind   string           `json:"kind"`
+	Series []SeriesSnapshot `json:"series"`
+}
+
+// Snapshot is a full registry dump, ordered by family name.
+type Snapshot struct {
+	Families []FamilySnapshot `json:"families"`
+}
+
+// Snapshot captures every family. Safe to call concurrently with
+// updates; it never blocks writers (the registry lock guards only the
+// family maps, which writers touch only at registration).
+func (r *Registry) Snapshot() Snapshot {
+	if r == nil {
+		return Snapshot{}
+	}
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	// Copy the series lists under the lock; values are read after it.
+	type famSeries struct {
+		f  *family
+		ss []*series
+		ks []string
+	}
+	all := make([]famSeries, len(fams))
+	for i, f := range fams {
+		fs := famSeries{f: f}
+		for k, s := range f.series {
+			fs.ks = append(fs.ks, k)
+			fs.ss = append(fs.ss, s)
+		}
+		all[i] = fs
+	}
+	r.mu.Unlock()
+
+	snap := Snapshot{Families: make([]FamilySnapshot, 0, len(all))}
+	for _, fs := range all {
+		out := FamilySnapshot{Name: fs.f.name, Help: fs.f.help, Kind: fs.f.kind.String()}
+		for i, s := range fs.ss {
+			ss := SeriesSnapshot{key: fs.ks[i]}
+			if len(s.labels) > 0 {
+				ss.Labels = make(map[string]string, len(s.labels))
+				for _, l := range s.labels {
+					ss.Labels[l.Key] = l.Value
+				}
+			}
+			switch fs.f.kind {
+			case KindHistogram:
+				if s.hist != nil {
+					ss.Buckets, ss.Count, ss.Sum = s.hist.snapshot()
+					ss.P50 = bucketQuantile(0.50, ss.Buckets, ss.Count)
+					ss.P95 = bucketQuantile(0.95, ss.Buckets, ss.Count)
+					ss.P99 = bucketQuantile(0.99, ss.Buckets, ss.Count)
+				}
+			case KindCounter:
+				if s.fn != nil {
+					ss.Value = s.fn()
+				} else {
+					ss.Value = float64(s.bits.Load())
+				}
+			default:
+				if s.fn != nil {
+					ss.Value = s.fn()
+				} else {
+					ss.Value = math.Float64frombits(s.bits.Load())
+				}
+			}
+			out.Series = append(out.Series, ss)
+		}
+		sort.Slice(out.Series, func(i, j int) bool { return out.Series[i].key < out.Series[j].key })
+		snap.Families = append(snap.Families, out)
+	}
+	sort.Slice(snap.Families, func(i, j int) bool { return snap.Families[i].Name < snap.Families[j].Name })
+	return snap
+}

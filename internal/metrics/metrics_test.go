@@ -1,0 +1,238 @@
+package metrics
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterBasics(t *testing.T) {
+	r := New()
+	c := r.Counter("requests_total", "Requests.", L("replica", "r0"))
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("Value = %d, want 5", got)
+	}
+	// Same name+labels resolves to the same series; different labels a
+	// new one. Handles are cheap wrappers, so compare through the state.
+	again := r.Counter("requests_total", "Requests.", L("replica", "r0"))
+	again.Inc()
+	if c.Value() != 6 || again.Value() != 6 {
+		t.Errorf("same name+labels did not share state: %d %d", c.Value(), again.Value())
+	}
+	other := r.Counter("requests_total", "Requests.", L("replica", "r1"))
+	other.Inc()
+	if c.Value() != 6 || other.Value() != 1 {
+		t.Errorf("series values crossed: %d %d", c.Value(), other.Value())
+	}
+}
+
+func TestNilHandlesNoop(t *testing.T) {
+	// Instrumented code holds nil handles when no registry is wired;
+	// every operation must be a safe no-op.
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	c.Inc()
+	c.Add(7)
+	g.Set(3)
+	g.Add(-1)
+	h.Observe(0.5)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 {
+		t.Error("nil handles reported values")
+	}
+	var r *Registry
+	if r.Counter("x", "") != nil || r.Gauge("x", "") != nil || r.Histogram("x", "", nil) != nil {
+		t.Error("nil registry returned non-nil handles")
+	}
+	r.CounterFunc("x", "", func() float64 { return 1 })
+	r.GaugeFunc("x", "", func() float64 { return 1 })
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := New()
+	r.Counter("metric", "help")
+	defer func() {
+		if recover() == nil {
+			t.Error("registering a gauge over a counter name did not panic")
+		}
+	}()
+	r.Gauge("metric", "help")
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	r := New()
+	h := r.Histogram("latency_seconds", "Latency.", ExpBuckets(0.001, 2, 10))
+	for i := 0; i < 1000; i++ {
+		h.Observe(float64(i%100) / 1000) // 0 .. 0.099, uniform
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	p50 := h.Quantile(0.5)
+	if p50 < 0.02 || p50 > 0.09 {
+		t.Errorf("p50 = %v, want ~0.05 within bucket resolution", p50)
+	}
+	p99 := h.Quantile(0.99)
+	if p99 < p50 {
+		t.Errorf("p99 %v < p50 %v", p99, p50)
+	}
+	// An observation beyond the last bound lands in +Inf; the quantile
+	// falls back to the highest finite bound rather than inventing a value.
+	h2 := r.Histogram("spike_seconds", "Spike.", []float64{1, 2})
+	h2.Observe(100)
+	if q := h2.Quantile(0.99); q != 2 {
+		t.Errorf("open-bucket quantile = %v, want 2", q)
+	}
+}
+
+func TestConcurrentUpdatesAndScrapes(t *testing.T) {
+	// Counters, gauges, and histograms hammered from many goroutines
+	// while snapshots and Prometheus renders run concurrently: the race
+	// detector is the real assertion, monotone totals the functional one.
+	r := New()
+	c := r.Counter("ops_total", "Ops.")
+	g := r.Gauge("depth", "Depth.")
+	h := r.Histogram("size", "Size.", SizeBuckets)
+	const workers, perWorker = 8, 5000
+	var writers, scraper sync.WaitGroup
+	stop := make(chan struct{})
+	scraper.Add(1)
+	go func() { // concurrent scraper
+		defer scraper.Done()
+		last := uint64(0)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			snap := r.Snapshot()
+			for _, f := range snap.Families {
+				if f.Name == "ops_total" {
+					v := uint64(f.Series[0].Value)
+					if v < last {
+						t.Errorf("counter went backwards: %d -> %d", last, v)
+						return
+					}
+					last = v
+				}
+			}
+			var b strings.Builder
+			if err := r.WritePrometheus(&b); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	for w := 0; w < workers; w++ {
+		writers.Add(1)
+		go func() {
+			defer writers.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Add(1)
+				g.Add(-1)
+				h.Observe(float64(i % 64))
+			}
+		}()
+	}
+	writers.Wait()
+	close(stop)
+	scraper.Wait()
+	if got := c.Value(); got != workers*perWorker {
+		t.Errorf("ops_total = %d, want %d", got, workers*perWorker)
+	}
+	if got := h.Count(); got != workers*perWorker {
+		t.Errorf("histogram count = %d, want %d", got, workers*perWorker)
+	}
+	if got := g.Value(); got != 0 {
+		t.Errorf("gauge = %v, want 0", got)
+	}
+}
+
+func TestPrometheusText(t *testing.T) {
+	r := New()
+	r.Counter("peats_ops_total", "Ordered ops.", L("replica", "r0")).Add(3)
+	r.Gauge("peats_depth", `Queue "depth" \ with escapes`, L("lane", "bulk")).Set(2.5)
+	h := r.Histogram("peats_lat", "Latency.", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(5)
+	r.GaugeFunc("peats_up", "Always 1.", func() float64 { return 1 })
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	for _, want := range []string{
+		"# TYPE peats_ops_total counter",
+		`peats_ops_total{replica="r0"} 3`,
+		"# TYPE peats_depth gauge",
+		`peats_depth{lane="bulk"} 2.5`,
+		`Queue "depth" \\ with escapes`,
+		"# TYPE peats_lat histogram",
+		`peats_lat_bucket{le="0.1"} 1`,
+		`peats_lat_bucket{le="+Inf"} 2`,
+		"peats_lat_count 2",
+		"peats_up 1",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("exposition missing %q:\n%s", want, got)
+		}
+	}
+	// Deterministic: two renders of the same registry are identical.
+	var b2 strings.Builder
+	if err := r.WritePrometheus(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != b2.String() {
+		t.Error("two renders of an unchanged registry differ")
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	r := New()
+	r.Counter("c_total", "C.").Add(2)
+	h := r.Histogram("h", "H.", []float64{1, 2})
+	h.Observe(0.5)
+	h.Observe(99) // lands in +Inf — must survive encoding/json
+	snap := r.Snapshot()
+	data, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	if !strings.Contains(string(data), `"le":"+Inf"`) {
+		t.Errorf("marshalled snapshot missing +Inf bucket: %s", data)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	for _, f := range back.Families {
+		if f.Name != "h" {
+			continue
+		}
+		bs := f.Series[0].Buckets
+		last := bs[len(bs)-1]
+		if !math.IsInf(last.LE, 1) || last.CumCount != 2 {
+			t.Errorf("round-tripped +Inf bucket = %+v", last)
+		}
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	b := ExpBuckets(1, 2, 4)
+	want := []float64{1, 2, 4, 8}
+	if len(b) != len(want) {
+		t.Fatalf("len = %d", len(b))
+	}
+	for i := range want {
+		if b[i] != want[i] {
+			t.Errorf("bucket[%d] = %v, want %v", i, b[i], want[i])
+		}
+	}
+}

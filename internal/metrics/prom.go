@@ -1,0 +1,146 @@
+package metrics
+
+import (
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders the registry in the Prometheus text
+// exposition format (version 0.0.4): one HELP/TYPE header per family,
+// histograms as cumulative _bucket/_sum/_count series. Families render
+// sorted by name, series by label set, so identical state renders
+// identical bytes.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	snap := r.Snapshot()
+	var b strings.Builder
+	for _, f := range snap.Families {
+		b.Reset()
+		if f.Help != "" {
+			b.WriteString("# HELP ")
+			b.WriteString(f.Name)
+			b.WriteByte(' ')
+			b.WriteString(escapeHelp(f.Help))
+			b.WriteByte('\n')
+		}
+		b.WriteString("# TYPE ")
+		b.WriteString(f.Name)
+		b.WriteByte(' ')
+		b.WriteString(f.Kind)
+		b.WriteByte('\n')
+		for _, s := range f.Series {
+			if f.Kind == "histogram" {
+				writeHistogram(&b, f.Name, s)
+				continue
+			}
+			b.WriteString(f.Name)
+			writeLabels(&b, s.Labels, "", 0)
+			b.WriteByte(' ')
+			b.WriteString(formatValue(s.Value))
+			b.WriteByte('\n')
+		}
+		if _, err := io.WriteString(w, b.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeHistogram(b *strings.Builder, name string, s SeriesSnapshot) {
+	for _, bk := range s.Buckets {
+		b.WriteString(name)
+		b.WriteString("_bucket")
+		writeLabels(b, s.Labels, "le", bk.LE)
+		b.WriteByte(' ')
+		b.WriteString(strconv.FormatUint(bk.CumCount, 10))
+		b.WriteByte('\n')
+	}
+	b.WriteString(name)
+	b.WriteString("_sum")
+	writeLabels(b, s.Labels, "", 0)
+	b.WriteByte(' ')
+	b.WriteString(formatValue(s.Sum))
+	b.WriteByte('\n')
+	b.WriteString(name)
+	b.WriteString("_count")
+	writeLabels(b, s.Labels, "", 0)
+	b.WriteByte(' ')
+	b.WriteString(strconv.FormatUint(s.Count, 10))
+	b.WriteByte('\n')
+}
+
+// writeLabels renders a label block; leKey, when non-empty, appends the
+// histogram "le" label with the given bound.
+func writeLabels(b *strings.Builder, labels map[string]string, leKey string, le float64) {
+	if len(labels) == 0 && leKey == "" {
+		return
+	}
+	b.WriteByte('{')
+	first := true
+	// Deterministic order.
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sortStrings(keys)
+	for _, k := range keys {
+		if !first {
+			b.WriteByte(',')
+		}
+		first = false
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(labels[k]))
+		b.WriteByte('"')
+	}
+	if leKey != "" {
+		if !first {
+			b.WriteByte(',')
+		}
+		b.WriteString(leKey)
+		b.WriteString(`="`)
+		b.WriteString(formatValue(le))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+}
+
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeLabel(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}
+
+func escapeHelp(s string) string {
+	if !strings.ContainsAny(s, "\\\n") {
+		return s
+	}
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// sortStrings is sort.Strings without dragging sort's interface
+// machinery into the per-series path (label sets are tiny).
+func sortStrings(ss []string) {
+	for i := 1; i < len(ss); i++ {
+		for j := i; j > 0 && ss[j] < ss[j-1]; j-- {
+			ss[j], ss[j-1] = ss[j-1], ss[j]
+		}
+	}
+}

@@ -1,0 +1,45 @@
+package space
+
+import (
+	"strconv"
+
+	"peats/internal/metrics"
+)
+
+// EnableMetrics registers the space's metric series: live tuple counts
+// (total and per shard), parked blocking callers, and transaction lock
+// acquisitions by class. Call before serving traffic; gauge functions
+// read only atomics or take shard read locks, so scrapes never change
+// what a transaction observes. A nil registry is a no-op.
+func (s *Space) EnableMetrics(reg *metrics.Registry, labels ...metrics.Label) {
+	if reg == nil {
+		return
+	}
+	const lockHelp = "Transaction lock acquisitions by class (whole_write = Do, whole_read = DoRead, scoped_write = DoScoped)."
+	cls := func(c string) []metrics.Label {
+		return append(append([]metrics.Label(nil), labels...), metrics.L("class", c))
+	}
+	s.mDo = reg.Counter("peats_space_lock_acquisitions_total", lockHelp, cls("whole_write")...)
+	s.mDoRead = reg.Counter("peats_space_lock_acquisitions_total", lockHelp, cls("whole_read")...)
+	s.mDoScoped = reg.Counter("peats_space_lock_acquisitions_total", lockHelp, cls("scoped_write")...)
+
+	reg.GaugeFunc("peats_space_tuples",
+		"Live tuples across all shards.",
+		func() float64 { return float64(s.Len()) }, labels...)
+	reg.GaugeFunc("peats_space_blocked_waiters",
+		"Blocking rd/in calls currently parked on a template.",
+		func() float64 { return float64(s.blockedWaiters.Load()) }, labels...)
+	for i := range s.shards {
+		sh := s.shards[i]
+		shardLabels := append(append([]metrics.Label(nil), labels...),
+			metrics.L("shard", strconv.Itoa(i)))
+		reg.GaugeFunc("peats_space_shard_tuples",
+			"Live tuples in one shard.",
+			func() float64 {
+				sh.mu.RLock()
+				n := sh.store.Len()
+				sh.mu.RUnlock()
+				return float64(n)
+			}, shardLabels...)
+	}
+}

@@ -60,6 +60,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"peats/internal/metrics"
 	"peats/internal/tuple"
 )
 
@@ -77,6 +78,15 @@ type Space struct {
 	reg    atomic.Uint64 // waiter registration order, for Restore wakes
 	engine Engine
 	shards []*shard
+
+	// blockedWaiters counts parked blocking rd/in calls; maintained
+	// unconditionally (one atomic add per park and unpark) so the
+	// gauge needs no lock at scrape time.
+	blockedWaiters atomic.Int64
+	// Lock-class counters, nil until EnableMetrics; nil handles no-op.
+	mDo       *metrics.Counter
+	mDoRead   *metrics.Counter
+	mDoScoped *metrics.Counter
 }
 
 // shard is one partition: a store plus the waiters whose templates
@@ -510,6 +520,7 @@ func (s *Space) blocking(ctx context.Context, tmpl tuple.Tuple, remove bool) (tu
 			}
 			sh.waiters[tmpl.Arity()] = append(sh.waiters[tmpl.Arity()], w)
 			sh.mu.Unlock()
+			s.blockedWaiters.Add(1)
 		} else {
 			s.lockAll()
 			var (
@@ -529,6 +540,7 @@ func (s *Space) blocking(ctx context.Context, tmpl tuple.Tuple, remove bool) (tu
 				sh.waiters[tmpl.Arity()] = append(sh.waiters[tmpl.Arity()], w)
 			}
 			s.unlockAll()
+			s.blockedWaiters.Add(1)
 		}
 
 		var (
@@ -573,6 +585,7 @@ func (s *Space) blocking(ctx context.Context, tmpl tuple.Tuple, remove bool) (tu
 // deregister drops w's remaining registrations — the shards where a
 // delivery or sweep has not already removed it. Removal is idempotent.
 func (s *Space) deregister(w *waiter) {
+	s.blockedWaiters.Add(-1)
 	shards := s.shards
 	if idx, keyed := s.TemplateShard(w.tmpl); keyed {
 		shards = s.shards[idx : idx+1]

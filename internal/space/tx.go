@@ -40,6 +40,7 @@ type Tx struct {
 // whole-space critical section. fn must not call methods on the Space
 // itself (only on the Tx) and must not block.
 func (s *Space) Do(fn func(tx *Tx)) {
+	s.mDo.Inc()
 	s.lockAll()
 	defer s.unlockAll()
 	var all ShardSet
@@ -53,6 +54,7 @@ func (s *Space) Do(fn func(tx *Tx)) {
 // mutating methods panic — this is the read-only fast path of the
 // replication substrate.
 func (s *Space) DoRead(fn func(tx *Tx)) {
+	s.mDoRead.Inc()
 	s.rlockAll()
 	defer s.runlockAll()
 	fn(&Tx{s: s})
@@ -69,6 +71,7 @@ func (s *Space) DoRead(fn func(tx *Tx)) {
 // execute (EntryShard/TemplateShard); a mutation outside the declared
 // set is a caller bug and panics.
 func (s *Space) DoScoped(writes ShardSet, fn func(tx *Tx)) {
+	s.mDoScoped.Inc()
 	for i, sh := range s.shards {
 		if writes.Has(i) {
 			sh.mu.Lock()

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"peats/internal/auth"
+	"peats/internal/metrics"
 	"peats/internal/wire"
 )
 
@@ -67,6 +68,10 @@ type TCP struct {
 	asm   map[string]*assembly // per-peer bulk reassembly state
 
 	stats tcpCounters
+
+	// mFramesPerWrite is the coalescing histogram, nil until
+	// EnableMetrics; a nil handle no-ops.
+	mFramesPerWrite *metrics.Histogram
 
 	wg   sync.WaitGroup
 	done chan struct{}
@@ -631,6 +636,7 @@ func (p *tcpPeer) writeAll(bulk bool, conn net.Conn, flush []byte, frames int) n
 			p.t.stats.framesSent.Add(uint64(frames))
 			p.t.stats.writes.Add(1)
 			p.t.stats.bytesSent.Add(uint64(len(flush)))
+			p.t.mFramesPerWrite.Observe(float64(frames))
 			return conn
 		}
 		p.dropConn(bulk, conn)
